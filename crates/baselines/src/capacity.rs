@@ -1,0 +1,190 @@
+//! The Hadoop Capacity Scheduler (§VII of the paper lists it alongside the
+//! Fair Scheduler as the stock multi-tenant alternative to FIFO).
+
+use cluster::hdfs::Locality;
+use cluster::{MachineId, SlotKind};
+use hadoop_sim::{ClusterQuery, JobSummary, Scheduler};
+use workload::JobId;
+
+/// The Hadoop Capacity Scheduler: jobs are partitioned into queues, each
+/// queue guaranteed a fraction of the cluster's slots; within a queue jobs
+/// run FIFO. Queues may exceed their guarantee *elastically* when other
+/// queues leave capacity unused.
+///
+/// Jobs are mapped to queues by `job id mod queue count` (a stand-in for
+/// per-user/organization queue assignment).
+///
+/// # Examples
+///
+/// ```
+/// use baselines::CapacityScheduler;
+/// use hadoop_sim::Scheduler;
+///
+/// let s = CapacityScheduler::new(vec![0.5, 0.3, 0.2]).expect("valid");
+/// assert_eq!(s.name(), "Capacity");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CapacityScheduler {
+    capacities: Vec<f64>,
+}
+
+impl CapacityScheduler {
+    /// Creates the scheduler with the given queue capacity fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a message when the fractions are empty,
+    /// non-positive, or do not sum to 1 (within 1 %).
+    pub fn new(capacities: Vec<f64>) -> Result<Self, String> {
+        if capacities.is_empty() {
+            return Err("at least one queue is required".into());
+        }
+        if capacities.iter().any(|&c| !(c > 0.0) || !c.is_finite()) {
+            return Err("queue capacities must be positive".into());
+        }
+        let total: f64 = capacities.iter().sum();
+        if (total - 1.0).abs() > 0.01 {
+            return Err(format!("queue capacities must sum to 1, got {total}"));
+        }
+        Ok(CapacityScheduler { capacities })
+    }
+
+    /// Two equal queues — a reasonable default.
+    pub fn two_queues() -> Self {
+        CapacityScheduler::new(vec![0.5, 0.5]).expect("static config is valid")
+    }
+
+    fn queue_of(&self, job: JobId) -> usize {
+        job.index() % self.capacities.len()
+    }
+}
+
+impl Scheduler for CapacityScheduler {
+    fn name(&self) -> &str {
+        "Capacity"
+    }
+
+    fn select_job(
+        &mut self,
+        query: &dyn ClusterQuery,
+        machine: MachineId,
+        kind: SlotKind,
+    ) -> Option<JobId> {
+        let jobs = query.active_jobs();
+        let candidates: Vec<&JobSummary> =
+            jobs.iter().filter(|j| j.pending(kind) > 0).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pool = query.total_slots() as f64;
+
+        // Occupancy per queue.
+        let mut used = vec![0.0; self.capacities.len()];
+        for j in &jobs {
+            used[self.queue_of(j.id)] += j.slots_occupied as f64;
+        }
+
+        // Queues with pending work, most-underserved (relative to their
+        // guarantee) first — that ordering is also what grants elasticity:
+        // an over-capacity queue still wins when it is the only one with
+        // pending work.
+        let mut queue_order: Vec<usize> = candidates
+            .iter()
+            .map(|j| self.queue_of(j.id))
+            .collect();
+        queue_order.sort_by(|&a, &b| {
+            let ra = used[a] / (self.capacities[a] * pool);
+            let rb = used[b] / (self.capacities[b] * pool);
+            ra.partial_cmp(&rb).expect("finite ratios").then(a.cmp(&b))
+        });
+        queue_order.dedup();
+
+        for queue in queue_order {
+            let mut members: Vec<&&JobSummary> = candidates
+                .iter()
+                .filter(|j| self.queue_of(j.id) == queue)
+                .collect();
+            members.sort_by_key(|j| (j.submitted_at, j.id));
+            if kind == SlotKind::Map {
+                if let Some(local) = members.iter().find(|j| {
+                    query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
+                }) {
+                    return Some(local.id);
+                }
+            }
+            if let Some(first) = members.first() {
+                return Some(first.id);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::Fleet;
+    use hadoop_sim::{Engine, EngineConfig, NoiseConfig};
+    use simcore::SimTime;
+    use workload::{Benchmark, JobSpec};
+
+    #[test]
+    fn validates_capacities() {
+        assert!(CapacityScheduler::new(vec![]).is_err());
+        assert!(CapacityScheduler::new(vec![0.5, 0.6]).is_err());
+        assert!(CapacityScheduler::new(vec![1.5, -0.5]).is_err());
+        assert!(CapacityScheduler::new(vec![0.7, 0.3]).is_ok());
+    }
+
+    #[test]
+    fn queue_mapping_is_round_robin() {
+        let s = CapacityScheduler::new(vec![0.5, 0.25, 0.25]).unwrap();
+        assert_eq!(s.queue_of(JobId(0)), 0);
+        assert_eq!(s.queue_of(JobId(1)), 1);
+        assert_eq!(s.queue_of(JobId(2)), 2);
+        assert_eq!(s.queue_of(JobId(3)), 0);
+    }
+
+    #[test]
+    fn drains_multi_queue_workload() {
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, 7);
+        engine.submit_jobs(vec![
+            JobSpec::new(JobId(0), Benchmark::wordcount(), 64, 4, SimTime::ZERO),
+            JobSpec::new(JobId(1), Benchmark::grep(), 64, 4, SimTime::ZERO),
+            JobSpec::new(JobId(2), Benchmark::terasort(), 64, 4, SimTime::ZERO),
+        ]);
+        let r = engine.run(&mut CapacityScheduler::two_queues());
+        assert!(r.drained);
+        assert_eq!(r.total_tasks, 204);
+        assert_eq!(r.scheduler, "Capacity");
+    }
+
+    #[test]
+    fn both_queues_progress_concurrently() {
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            record_reports: true,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, 9);
+        // Queue 0: the long job; queue 1: the short job.
+        engine.submit_jobs(vec![
+            JobSpec::new(JobId(0), Benchmark::terasort(), 512, 8, SimTime::ZERO),
+            JobSpec::new(
+                JobId(1),
+                Benchmark::wordcount(),
+                16,
+                2,
+                SimTime::from_secs(10),
+            ),
+        ]);
+        let r = engine.run(&mut CapacityScheduler::two_queues());
+        // The short job's queue guarantee shields it from the long job.
+        let finish = |id: usize| r.jobs[id].finished_at.unwrap();
+        assert!(finish(1) < finish(0), "queue guarantee must protect the short job");
+    }
+}

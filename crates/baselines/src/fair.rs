@@ -1,0 +1,303 @@
+//! The Hadoop Fair Scheduler.
+
+use cluster::hdfs::Locality;
+use cluster::{MachineId, SlotKind};
+use hadoop_sim::{ClusterQuery, JobSummary, Scheduler};
+use workload::JobId;
+
+/// The Hadoop Fair Scheduler with equal per-job minimum shares.
+///
+/// Every slot offer goes to the job with the largest *deficit* — the gap
+/// between its fair share (`S_pool / #jobs`) and the slots it currently
+/// occupies — so all jobs make progress concurrently. Map offers prefer a
+/// node-local job when its deficit is within a tolerance of the most
+/// deficit job (a lightweight stand-in for delay scheduling).
+///
+/// The paper uses this scheduler as its primary heterogeneity-oblivious
+/// comparator: it spreads tasks evenly regardless of which machine is
+/// energy-efficient for them, which is precisely the behaviour E-Ant
+/// improves on (Fig. 8).
+///
+/// # Examples
+///
+/// ```
+/// use baselines::FairScheduler;
+/// use hadoop_sim::Scheduler;
+///
+/// assert_eq!(FairScheduler::new().name(), "Fair");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FairScheduler {
+    locality_tolerance: f64,
+}
+
+impl FairScheduler {
+    /// Creates the scheduler with the default locality tolerance.
+    pub fn new() -> Self {
+        FairScheduler {
+            locality_tolerance: 0.25,
+        }
+    }
+
+    /// Deficit of a job: fair share minus occupied slots (positive =
+    /// underserved).
+    fn deficit(job: &JobSummary, fair_share: f64) -> f64 {
+        fair_share - job.slots_occupied as f64
+    }
+}
+
+impl Default for FairScheduler {
+    fn default() -> Self {
+        FairScheduler::new()
+    }
+}
+
+impl Scheduler for FairScheduler {
+    fn name(&self) -> &str {
+        "Fair"
+    }
+
+    fn select_job(
+        &mut self,
+        query: &dyn ClusterQuery,
+        machine: MachineId,
+        kind: SlotKind,
+    ) -> Option<JobId> {
+        let jobs = query.active_jobs();
+        let candidates: Vec<&JobSummary> =
+            jobs.iter().filter(|j| j.pending(kind) > 0).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let fair_share = query.total_slots() as f64 / jobs.len().max(1) as f64;
+
+        let max_deficit = candidates
+            .iter()
+            .map(|j| Self::deficit(j, fair_share))
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        if kind == SlotKind::Map {
+            // Among jobs close to the maximum deficit, prefer node-local
+            // data.
+            let tolerance = self.locality_tolerance * fair_share;
+            if let Some(local) = candidates
+                .iter()
+                .filter(|j| Self::deficit(j, fair_share) >= max_deficit - tolerance)
+                .find(|j| {
+                    query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
+                })
+            {
+                return Some(local.id);
+            }
+        }
+
+        candidates
+            .iter()
+            .max_by(|a, b| {
+                Self::deficit(a, fair_share)
+                    .partial_cmp(&Self::deficit(b, fair_share))
+                    .expect("deficits are finite")
+                    // Deterministic tie-break: earlier submission wins.
+                    .then(b.submitted_at.cmp(&a.submitted_at))
+                    .then(b.id.cmp(&a.id))
+            })
+            .map(|j| j.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::Fleet;
+    use hadoop_sim::{ClusterQuery, Engine, EngineConfig, NoiseConfig};
+    use simcore::{SimDuration, SimTime};
+    use workload::{Benchmark, JobSpec};
+
+    struct MockQuery {
+        fleet: Fleet,
+        jobs: Vec<JobSummary>,
+        local: Vec<(JobId, MachineId)>,
+    }
+
+    impl MockQuery {
+        fn new(jobs: Vec<JobSummary>) -> Self {
+            MockQuery {
+                fleet: Fleet::paper_evaluation(),
+                jobs,
+                local: Vec::new(),
+            }
+        }
+
+        fn summary(id: u64, pending_maps: u32, slots_occupied: u32) -> JobSummary {
+            JobSummary {
+                id: JobId(id),
+                group: String::new(),
+                pending_maps,
+                pending_reduces: 0,
+                slots_occupied,
+                completed_tasks: 0,
+                total_tasks: pending_maps + slots_occupied,
+                submitted_at: SimTime::ZERO,
+            }
+        }
+    }
+
+    impl ClusterQuery for MockQuery {
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn fleet(&self) -> &Fleet {
+            &self.fleet
+        }
+        fn active_jobs(&self) -> Vec<JobSummary> {
+            self.jobs.clone()
+        }
+        fn job_spec(&self, _job: JobId) -> Option<&workload::JobSpec> {
+            None
+        }
+        fn best_map_locality(
+            &self,
+            job: JobId,
+            machine: MachineId,
+        ) -> Option<cluster::hdfs::Locality> {
+            if self.local.contains(&(job, machine)) {
+                Some(cluster::hdfs::Locality::NodeLocal)
+            } else {
+                Some(cluster::hdfs::Locality::Remote)
+            }
+        }
+        fn total_slots(&self) -> usize {
+            96
+        }
+        fn network_congestion(&self) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn picks_the_most_deficit_job() {
+        let query = MockQuery::new(vec![
+            MockQuery::summary(0, 5, 40),
+            MockQuery::summary(1, 5, 2),
+            MockQuery::summary(2, 5, 10),
+        ]);
+        let mut s = FairScheduler::new();
+        assert_eq!(
+            s.select_job(&query, MachineId(0), SlotKind::Map),
+            Some(JobId(1))
+        );
+    }
+
+    #[test]
+    fn prefers_local_job_within_tolerance() {
+        // Jobs 1 and 2 have near-equal deficits; job 2 has local data.
+        let mut query = MockQuery::new(vec![
+            MockQuery::summary(0, 5, 40),
+            MockQuery::summary(1, 5, 2),
+            MockQuery::summary(2, 5, 4),
+        ]);
+        query.local.push((JobId(2), MachineId(3)));
+        let mut s = FairScheduler::new();
+        assert_eq!(
+            s.select_job(&query, MachineId(3), SlotKind::Map),
+            Some(JobId(2)),
+            "locality should win within the deficit tolerance"
+        );
+        // On a machine without local data the raw deficit decides.
+        assert_eq!(
+            s.select_job(&query, MachineId(0), SlotKind::Map),
+            Some(JobId(1))
+        );
+    }
+
+    #[test]
+    fn returns_none_when_nothing_pending() {
+        let query = MockQuery::new(vec![MockQuery::summary(0, 0, 10)]);
+        let mut s = FairScheduler::new();
+        assert_eq!(s.select_job(&query, MachineId(0), SlotKind::Map), None);
+        assert_eq!(s.select_job(&query, MachineId(0), SlotKind::Reduce), None);
+    }
+
+    fn run_two_jobs(seed: u64) -> hadoop_sim::RunResult {
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            record_reports: true,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+        e.submit_jobs(vec![
+            JobSpec::new(JobId(0), Benchmark::terasort(), 128, 8, SimTime::ZERO),
+            JobSpec::new(
+                JobId(1),
+                Benchmark::wordcount(),
+                16,
+                2,
+                SimTime::from_secs(10),
+            ),
+        ]);
+        e.run(&mut FairScheduler::new())
+    }
+
+    #[test]
+    fn drains_workload() {
+        let r = run_two_jobs(1);
+        assert!(r.drained);
+        assert_eq!(r.total_tasks, 154);
+    }
+
+    #[test]
+    fn short_job_not_starved_behind_long_job() {
+        // The exact pathology FIFO exhibits: Fair must let the short job
+        // finish long before the long one.
+        let r = run_two_jobs(2);
+        let finish = |job: usize| r.jobs[job].finished_at.unwrap();
+        assert!(
+            finish(1) < finish(0),
+            "short job should finish first under fair sharing"
+        );
+        let short_completion = finish(1) - SimTime::from_secs(10);
+        assert!(
+            short_completion < SimDuration::from_mins(5),
+            "short job took {short_completion} despite fair sharing"
+        );
+    }
+
+    #[test]
+    fn both_jobs_run_concurrently() {
+        let r = run_two_jobs(3);
+        // Find a moment where both jobs had tasks in flight: job 1 starts
+        // while job 0 still has unfinished tasks.
+        let job1_first_start = r
+            .reports
+            .iter()
+            .filter(|t| t.job() == JobId(1))
+            .map(|t| t.started_at)
+            .min()
+            .unwrap();
+        let job0_last_finish = r
+            .reports
+            .iter()
+            .filter(|t| t.job() == JobId(0))
+            .map(|t| t.finished_at)
+            .max()
+            .unwrap();
+        assert!(job1_first_start < job0_last_finish);
+    }
+
+    #[test]
+    fn deficit_math() {
+        use simcore::SimTime;
+        let job = JobSummary {
+            id: JobId(0),
+            group: "x".into(),
+            pending_maps: 5,
+            pending_reduces: 0,
+            slots_occupied: 3,
+            completed_tasks: 0,
+            total_tasks: 8,
+            submitted_at: SimTime::ZERO,
+        };
+        assert_eq!(FairScheduler::deficit(&job, 10.0), 7.0);
+        assert_eq!(FairScheduler::deficit(&job, 2.0), -1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Hadoop's default FIFO scheduler.
+
+use cluster::hdfs::Locality;
+use cluster::{MachineId, SlotKind};
+use hadoop_sim::{ClusterQuery, Scheduler};
+use workload::JobId;
+
+/// Hadoop's default FIFO queue: the earliest-submitted job with pending
+/// work gets every slot, with the standard node-local preference for map
+/// tasks.
+///
+/// This is the "default heterogeneity-agnostic Hadoop" baseline the paper
+/// measures E-Ant's energy savings against (Fig. 10, Fig. 12). Its known
+/// weakness — a long job monopolizing the cluster (§VII) — is exactly what
+/// the Fair Scheduler exists to fix.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::FifoScheduler;
+/// use hadoop_sim::Scheduler;
+///
+/// assert_eq!(FifoScheduler::new().name(), "FIFO");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FifoScheduler {
+    _private: (),
+}
+
+impl FifoScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        FifoScheduler { _private: () }
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+
+    fn select_job(
+        &mut self,
+        query: &dyn ClusterQuery,
+        machine: MachineId,
+        kind: SlotKind,
+    ) -> Option<JobId> {
+        let mut jobs = query.active_jobs();
+        jobs.sort_by_key(|j| (j.submitted_at, j.id));
+        if kind == SlotKind::Map {
+            // Node-local work from the frontmost jobs first.
+            if let Some(j) = jobs.iter().find(|j| {
+                j.pending_maps > 0
+                    && query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
+            }) {
+                return Some(j.id);
+            }
+        }
+        jobs.iter().find(|j| j.pending(kind) > 0).map(|j| j.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::Fleet;
+    use hadoop_sim::{Engine, EngineConfig, NoiseConfig};
+    use simcore::{SimDuration, SimTime};
+    use workload::{Benchmark, JobSpec};
+
+    fn run_two_jobs() -> hadoop_sim::RunResult {
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            record_reports: true,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(Fleet::paper_evaluation(), cfg, 1);
+        e.submit_jobs(vec![
+            JobSpec::new(JobId(0), Benchmark::terasort(), 512, 8, SimTime::ZERO),
+            JobSpec::new(
+                JobId(1),
+                Benchmark::wordcount(),
+                16,
+                2,
+                SimTime::from_secs(10),
+            ),
+        ]);
+        e.run(&mut FifoScheduler::new())
+    }
+
+    #[test]
+    fn drains_and_respects_submission_order() {
+        let r = run_two_jobs();
+        assert!(r.drained);
+        // The early long job's map work is scheduled before the late short
+        // job gets substantial service: job 1's first task must start after
+        // job 0's.
+        let first_start = |job: u64| {
+            r.reports
+                .iter()
+                .filter(|t| t.job() == JobId(job))
+                .map(|t| t.started_at)
+                .min()
+                .unwrap()
+        };
+        assert!(first_start(0) < first_start(1));
+    }
+
+    #[test]
+    fn long_job_delays_short_job() {
+        // FIFO's signature pathology: the short job finishes near the end.
+        let r = run_two_jobs();
+        let finish = |job: u64| r.jobs[job as usize].finished_at.unwrap();
+        let short_completion = finish(1) - SimTime::from_secs(10);
+        // The short job alone would take about half a minute on this
+        // fleet; under FIFO behind 512 terasort maps it takes far longer.
+        assert!(
+            short_completion > SimDuration::from_secs(90),
+            "short job finished suspiciously fast for FIFO: {short_completion}"
+        );
+    }
+}

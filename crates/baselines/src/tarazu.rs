@@ -1,0 +1,261 @@
+//! Tarazu: communication-aware load balancing (Ahmad et al., ASPLOS 2012),
+//! reimplemented from its published description.
+
+use cluster::hdfs::Locality;
+use cluster::{MachineId, SlotKind};
+use hadoop_sim::{ClusterQuery, Scheduler};
+use workload::JobId;
+
+/// Tuning knobs of the Tarazu reimplementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TarazuConfig {
+    /// Mean active transfers per machine above which the network counts as
+    /// congested and remote map execution is suppressed (Tarazu's
+    /// Communication-Aware Load Balancing of map computation).
+    pub congestion_threshold: f64,
+    /// Slack multiplier on a machine's speed-proportional share of running
+    /// maps before it stops accepting *non-local* work. 1.0 enforces the
+    /// share exactly; larger values are more permissive.
+    pub share_slack: f64,
+}
+
+impl Default for TarazuConfig {
+    fn default() -> Self {
+        TarazuConfig {
+            congestion_threshold: 2.0,
+            share_slack: 2.5,
+        }
+    }
+}
+
+/// Communication-aware load balancing for heterogeneous MapReduce.
+///
+/// Tarazu's published insight is that heterogeneity-oblivious scheduling
+/// causes bursty shuffle traffic and a map distribution mismatched to
+/// machine capability; it fixes both by (a) suppressing remote (non-local)
+/// map execution while the network is congested, and (b) bounding each
+/// machine's share of in-flight map work by its relative compute
+/// capability, so slow nodes stop stealing work they will finish late. The
+/// policy stays work-conserving: node-local work is always accepted, and
+/// fast machines always have share headroom.
+///
+/// This reimplementation runs on top of fair sharing for inter-job order.
+/// It optimizes *performance*, not energy — exactly the distinction the
+/// paper draws in §VI-A.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::TarazuScheduler;
+/// use hadoop_sim::Scheduler;
+///
+/// assert_eq!(TarazuScheduler::new(1).name(), "Tarazu");
+/// ```
+#[derive(Debug)]
+pub struct TarazuScheduler {
+    config: TarazuConfig,
+    /// Per-machine relative compute speed (cores × per-core speed),
+    /// learned lazily from the fleet. `speed_total` is the fleet sum.
+    speeds: Vec<f64>,
+    speed_total: f64,
+}
+
+impl TarazuScheduler {
+    /// Creates the scheduler with default tuning. The seed is accepted for
+    /// interface parity with the other schedulers; the policy itself is
+    /// deterministic.
+    pub fn new(_seed: u64) -> Self {
+        TarazuScheduler::with_config(TarazuConfig::default())
+    }
+
+    /// Creates the scheduler with explicit tuning.
+    pub fn with_config(config: TarazuConfig) -> Self {
+        TarazuScheduler {
+            config,
+            speeds: Vec::new(),
+            speed_total: 0.0,
+        }
+    }
+
+    fn ensure_speeds(&mut self, query: &dyn ClusterQuery) {
+        if !self.speeds.is_empty() {
+            return;
+        }
+        let fleet = query.fleet();
+        self.speeds = fleet
+            .iter()
+            .map(|m| m.profile().cores() as f64 * m.profile().cpu_speed())
+            .collect();
+        self.speed_total = self.speeds.iter().sum();
+    }
+
+    /// Whether `machine` is already at or above its speed-proportional
+    /// share of the cluster's in-flight map work.
+    fn over_share(&self, query: &dyn ClusterQuery, machine: MachineId) -> bool {
+        let fleet = query.fleet();
+        let running_total: usize = fleet.iter().map(|m| m.slots().used_map).sum();
+        let mine = fleet
+            .machine(machine)
+            .map(|m| m.slots().used_map)
+            .unwrap_or(0);
+        let share = self.speeds[machine.index()] / self.speed_total.max(1e-9);
+        let target = share * (running_total + 1) as f64 * self.config.share_slack;
+        (mine as f64) >= target.max(1.0)
+    }
+}
+
+impl Scheduler for TarazuScheduler {
+    fn name(&self) -> &str {
+        "Tarazu"
+    }
+
+    fn select_job(
+        &mut self,
+        query: &dyn ClusterQuery,
+        machine: MachineId,
+        kind: SlotKind,
+    ) -> Option<JobId> {
+        self.ensure_speeds(query);
+        let jobs = query.active_jobs();
+        let mut candidates: Vec<_> = jobs.iter().filter(|j| j.pending(kind) > 0).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+
+        // Fair-share deficit ordering underneath (Tarazu builds on fair
+        // sharing; its contribution is *where* maps run, not inter-job
+        // priority).
+        let fair_share = query.total_slots() as f64 / jobs.len().max(1) as f64;
+        candidates.sort_by(|a, b| {
+            let da = fair_share - a.slots_occupied as f64;
+            let db = fair_share - b.slots_occupied as f64;
+            db.partial_cmp(&da)
+                .expect("finite")
+                .then(a.submitted_at.cmp(&b.submitted_at))
+                .then(a.id.cmp(&b.id))
+        });
+
+        if kind == SlotKind::Reduce {
+            // Reduce slots are never declined: Tarazu's communication-aware
+            // reduce placement (CAS) steers *which* machine serves which
+            // reduce, and in a job-selection interface withholding reduce
+            // slots only serializes the shuffle it is trying to smooth.
+            return Some(candidates[0].id);
+        }
+
+        // Map slot. First preference: node-local work, always accepted.
+        if let Some(local) = candidates.iter().find(|j| {
+            query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
+        }) {
+            return Some(local.id);
+        }
+
+        // Non-local map: suppress under congestion (CALB) and on machines
+        // already above their capability share — but stay work-conserving:
+        // a machine running nothing at all always accepts (idling a whole
+        // node to shape traffic would cost more than the traffic).
+        let idle = query
+            .fleet()
+            .machine(machine)
+            .map(|m| m.slots().used_map + m.slots().used_reduce == 0)
+            .unwrap_or(false);
+        if !idle {
+            if query.network_congestion() > self.config.congestion_threshold {
+                return None;
+            }
+            if self.over_share(query, machine) {
+                return None;
+            }
+        }
+        Some(candidates[0].id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::Fleet;
+    use hadoop_sim::{Engine, EngineConfig, NoiseConfig, RunResult};
+    use simcore::SimTime;
+    use workload::{Benchmark, JobSpec};
+
+    fn run(seed: u64) -> RunResult {
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            record_reports: true,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+        e.submit_jobs(vec![
+            JobSpec::new(JobId(0), Benchmark::terasort(), 96, 8, SimTime::ZERO),
+            JobSpec::new(JobId(1), Benchmark::wordcount(), 96, 8, SimTime::ZERO),
+        ]);
+        e.run(&mut TarazuScheduler::new(seed))
+    }
+
+    #[test]
+    fn drains_workload() {
+        let r = run(1);
+        assert!(r.drained);
+        assert_eq!(r.total_tasks, 208);
+    }
+
+    #[test]
+    fn skews_work_toward_fast_machines() {
+        let r = run(2);
+        let by_kind = r.tasks_by_profile_and_kind();
+        // Per-machine map counts: the 24-core T420 should beat the 4-core
+        // Atom decisively.
+        let t420 = by_kind["T420"].0 as f64 / 2.0;
+        let atom = by_kind["Atom"].0 as f64 / 1.0;
+        assert!(
+            t420 > 1.5 * atom,
+            "T420 {t420}/machine vs Atom {atom}/machine"
+        );
+    }
+
+    #[test]
+    fn locality_fraction_is_high() {
+        let r = run(3);
+        let maps: Vec<_> = r
+            .reports
+            .iter()
+            .filter(|t| t.kind == SlotKind::Map)
+            .collect();
+        let local = maps
+            .iter()
+            .filter(|t| t.locality == Some(Locality::NodeLocal))
+            .count();
+        let frac = local as f64 / maps.len() as f64;
+        assert!(frac > 0.5, "node-local fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(run(5).makespan, run(5).makespan);
+    }
+
+    #[test]
+    fn competitive_makespan_with_fair() {
+        // Tarazu must not be pathologically slower than Fair (the paper
+        // finds it *faster*).
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            ..EngineConfig::default()
+        };
+        let jobs = || {
+            vec![
+                JobSpec::new(JobId(0), Benchmark::terasort(), 192, 16, SimTime::ZERO),
+                JobSpec::new(JobId(1), Benchmark::wordcount(), 192, 16, SimTime::ZERO),
+            ]
+        };
+        let mut e1 = Engine::new(Fleet::paper_evaluation(), cfg.clone(), 4);
+        e1.submit_jobs(jobs());
+        let tarazu = e1.run(&mut TarazuScheduler::new(4));
+        let mut e2 = Engine::new(Fleet::paper_evaluation(), cfg, 4);
+        e2.submit_jobs(jobs());
+        let fair = e2.run(&mut crate::FairScheduler::new());
+        let ratio = tarazu.makespan.as_secs_f64() / fair.makespan.as_secs_f64();
+        assert!(ratio < 1.3, "Tarazu/Fair makespan ratio {ratio}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Eq. 2 energy-model benchmarks: per-task estimation and least-squares
+//! identification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cluster::{profiles, MachineId, SlotKind};
+use eant::EnergyModel;
+use hadoop_sim::{TaskReport, UtilizationSample};
+use simcore::{SimRng, SimTime};
+use workload::{JobId, TaskId, TaskIndex};
+
+fn report_with_samples(n: usize) -> TaskReport {
+    let mut rng = SimRng::seed_from(5);
+    TaskReport {
+        task: TaskId {
+            job: JobId(0),
+            task: TaskIndex {
+                kind: SlotKind::Map,
+                index: 0,
+            },
+        },
+        machine: MachineId(0),
+        kind: SlotKind::Map,
+        job_group: "Wordcount".into(),
+        started_at: SimTime::ZERO,
+        finished_at: SimTime::from_secs(3 * n as u64),
+        locality: None,
+        samples: (0..n)
+            .map(|_| UtilizationSample {
+                dt_secs: 3.0,
+                utilization: rng.uniform_range(0.0, 0.2),
+            })
+            .collect(),
+        shuffle_secs: 0.0,
+        true_energy_joules: 0.0,
+        straggled: false,
+        speculative: false,
+    }
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let model = EnergyModel::from_profile(&profiles::desktop());
+    let mut group = c.benchmark_group("eq2_estimate");
+    for &samples in &[5usize, 50, 500] {
+        let report = report_with_samples(samples);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(samples),
+            &report,
+            |b, report| b.iter(|| black_box(model.estimate(black_box(report)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_identify(c: &mut Criterion) {
+    let truth = profiles::xeon_e5().power();
+    let mut rng = SimRng::seed_from(9);
+    let samples: Vec<(f64, f64)> = (0..1000)
+        .map(|_| {
+            let u = rng.uniform_f64();
+            (u, truth.power(u) + rng.normal_clamped(0.0, 2.0, -6.0, 6.0))
+        })
+        .collect();
+    c.bench_function("least_squares_identify_1000", |b| {
+        b.iter(|| black_box(EnergyModel::identify(black_box(&samples), 6)))
+    });
+}
+
+criterion_group!(benches, bench_estimate, bench_identify);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! End-to-end figure-regeneration benchmarks: one MSD run per scheduler
+//! (the unit of work behind Fig. 8/9/10/12) plus the self-contained small
+//! figures. These measure how much simulation each figure costs, and—via
+//! the scheduler comparison—how much overhead E-Ant's optimizer adds over
+//! the baselines on an identical workload (the paper's §VI-D overhead
+//! discussion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use baselines::{FairScheduler, TarazuScheduler};
+use cluster::Fleet;
+use eant::{EAntConfig, EAntScheduler};
+use hadoop_sim::{Engine, EngineConfig, Scheduler};
+use simcore::{SimDuration, SimRng};
+use workload::msd::MsdConfig;
+
+fn msd_jobs(seed: u64) -> Vec<workload::JobSpec> {
+    MsdConfig {
+        num_jobs: 20,
+        task_scale: 96,
+        submission_window: SimDuration::from_mins(10),
+    }
+    .generate(&mut SimRng::seed_from(seed).fork("msd"))
+}
+
+fn run_msd(scheduler: &mut dyn Scheduler) -> hadoop_sim::RunResult {
+    let mut engine = Engine::new(Fleet::paper_evaluation(), EngineConfig::default(), 1);
+    engine.submit_jobs(msd_jobs(1));
+    engine.run(scheduler)
+}
+
+fn bench_msd_per_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_msd_run");
+    group.sample_size(10);
+    group.bench_function("fair", |b| {
+        b.iter(|| black_box(run_msd(&mut FairScheduler::new())))
+    });
+    group.bench_function("tarazu", |b| {
+        b.iter(|| black_box(run_msd(&mut TarazuScheduler::new(1))))
+    });
+    group.bench_function("eant", |b| {
+        b.iter(|| {
+            black_box(run_msd(&mut EAntScheduler::new(
+                EAntConfig::paper_default(),
+                1,
+            )))
+        })
+    });
+    group.finish();
+}
+
+fn bench_small_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_generation");
+    group.sample_size(10);
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(experiments::tables::table1()))
+    });
+    group.bench_function("fig1d", |b| {
+        b.iter(|| black_box(experiments::fig1::fig1d(true)))
+    });
+    group.bench_function("fig6", |b| {
+        b.iter(|| black_box(experiments::fig6::run(true)))
+    });
+    group.bench_function("fig7", |b| {
+        b.iter(|| black_box(experiments::fig7::run(true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_msd_per_scheduler, bench_small_figures);
+criterion_main!(benches);

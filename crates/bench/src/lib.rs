@@ -1,0 +1,14 @@
+//! Benchmark support crate.
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `aco` — the ACO optimizer's hot paths: pheromone updates, probability
+//!   normalization, per-slot job selection (the paper reports its optimizer
+//!   takes ~120 ms per control interval; these benches measure ours).
+//! * `energy_model` — Eq. 2 estimation and least-squares identification.
+//! * `simulator` — engine throughput: heartbeat-driven MSD runs, the
+//!   single-node open-loop simulator, and block placement.
+//! * `figures` — end-to-end costs of regenerating the paper's figures:
+//!   one full MSD run per scheduler plus representative small figures.
+
+#![warn(missing_docs)]

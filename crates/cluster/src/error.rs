@@ -1,0 +1,72 @@
+//! Error type for cluster construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or operating on a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A fleet must contain at least one machine.
+    EmptyFleet,
+    /// A machine id referenced a machine that does not exist.
+    UnknownMachine(usize),
+    /// A slot operation targeted a machine with no free slot of that kind.
+    NoFreeSlot {
+        /// The machine that was full.
+        machine: usize,
+        /// Human-readable slot kind ("map" or "reduce").
+        kind: &'static str,
+    },
+    /// A profile parameter was out of its valid range.
+    InvalidProfile(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyFleet => write!(f, "fleet must contain at least one machine"),
+            ClusterError::UnknownMachine(id) => write!(f, "unknown machine id {id}"),
+            ClusterError::NoFreeSlot { machine, kind } => {
+                write!(f, "machine {machine} has no free {kind} slot")
+            }
+            ClusterError::InvalidProfile(msg) => write!(f, "invalid machine profile: {msg}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ClusterError::EmptyFleet.to_string(),
+            "fleet must contain at least one machine"
+        );
+        assert_eq!(
+            ClusterError::UnknownMachine(3).to_string(),
+            "unknown machine id 3"
+        );
+        assert_eq!(
+            ClusterError::NoFreeSlot {
+                machine: 1,
+                kind: "map"
+            }
+            .to_string(),
+            "machine 1 has no free map slot"
+        );
+        assert!(ClusterError::InvalidProfile("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ClusterError>();
+    }
+}

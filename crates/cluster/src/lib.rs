@@ -1,0 +1,62 @@
+//! Heterogeneous cluster substrate for the E-Ant reproduction.
+//!
+//! The paper evaluates E-Ant on a physical 16-node cluster of six machine
+//! generations, metered with WattsUp power meters. This crate supplies the
+//! equivalent simulated substrate:
+//!
+//! * [`MachineProfile`] — a hardware generation: core count, relative CPU and
+//!   I/O service speeds, map/reduce slot counts, and a linear CPU
+//!   [`PowerModel`] (`P(u) = P_idle + α·u`, the model the paper identifies
+//!   with least squares in §IV-B).
+//! * [`profiles`] — the concrete profiles used by the paper: the Core-i7
+//!   desktop and Xeon E5 server of Table I, and the §V-B fleet (Atom, T110,
+//!   T420, T320, T620, Desktop). Parameters are calibrated so the published
+//!   qualitative behaviours re-emerge (see crate-level notes on calibration
+//!   below).
+//! * [`Machine`] — runtime state of one node: occupied slots, per-task CPU
+//!   utilization shares, an energy integrator that plays the role of the
+//!   paper's wall-socket power meter.
+//! * [`Fleet`] — the cluster: machines plus rack topology and homogeneous
+//!   sub-cluster grouping (the basis of E-Ant's machine-level exchange).
+//! * [`hdfs`] — block placement with replication and the node-local /
+//!   rack-local / remote locality levels that drive the paper's Fig. 6.
+//! * [`network`] — a shared-bandwidth shuffle/remote-read model.
+//!
+//! # Calibration
+//!
+//! Absolute watt numbers are simulator parameters, not measurements. They are
+//! chosen so that: the Xeon server idles high but has a shallow power slope,
+//! the desktop idles low with a steep slope (paper Fig. 1(b)), and the Atom
+//! is slow but frugal (paper §I: Wordcount on Atom takes ~2.8× longer than
+//! the desktop yet uses ~0.74× the energy).
+//!
+//! # Examples
+//!
+//! ```
+//! use cluster::{Fleet, profiles};
+//!
+//! let fleet = Fleet::builder()
+//!     .add(profiles::desktop(), 2)
+//!     .add(profiles::xeon_e5(), 1)
+//!     .build()
+//!     .expect("non-empty fleet");
+//! assert_eq!(fleet.len(), 3);
+//! assert_eq!(fleet.homogeneous_groups().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod fleet;
+pub mod hdfs;
+mod machine;
+pub mod network;
+mod power;
+pub mod profiles;
+
+pub use error::ClusterError;
+pub use fleet::{Fleet, FleetBuilder, HomogeneousGroup, RackId};
+pub use machine::{Machine, MachineId, SlotKind, SlotSnapshot};
+pub use power::{EnergyMeter, PowerModel};
+pub use profiles::MachineProfile;

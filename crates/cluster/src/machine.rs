@@ -1,0 +1,413 @@
+//! Runtime state of a single cluster node.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+use crate::{ClusterError, EnergyMeter, MachineProfile};
+
+/// Identifier of a machine within a [`Fleet`](crate::Fleet).
+///
+/// Machine ids are dense indices assigned by the fleet builder, so they can
+/// be used directly to index per-machine vectors (pheromone rows, metrics).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MachineId(pub usize);
+
+impl MachineId {
+    /// The dense index of this machine.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// The two slot kinds of Hadoop 1.x TaskTrackers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SlotKind {
+    /// A map slot.
+    Map,
+    /// A reduce slot.
+    Reduce,
+}
+
+impl SlotKind {
+    /// Lowercase human-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SlotKind::Map => "map",
+            SlotKind::Reduce => "reduce",
+        }
+    }
+}
+
+impl fmt::Display for SlotKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A point-in-time view of a machine's slot occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotSnapshot {
+    /// Free map slots.
+    pub free_map: usize,
+    /// Free reduce slots.
+    pub free_reduce: usize,
+    /// Occupied map slots.
+    pub used_map: usize,
+    /// Occupied reduce slots.
+    pub used_reduce: usize,
+}
+
+impl SlotSnapshot {
+    /// Free slots of the given kind.
+    pub fn free(&self, kind: SlotKind) -> usize {
+        match kind {
+            SlotKind::Map => self.free_map,
+            SlotKind::Reduce => self.free_reduce,
+        }
+    }
+}
+
+/// Runtime state of one node: slot occupancy, aggregate CPU load and the
+/// ground-truth energy meter.
+///
+/// The machine does not know about tasks; the Hadoop simulation layer tells
+/// it when a slot is occupied/released and how much core load the occupant
+/// contributes. Utilization is `busy_cores / cores`, which feeds both the
+/// ground-truth meter and the CPU-utilization statistics of Fig. 8(b).
+///
+/// # Examples
+///
+/// ```
+/// use cluster::{Machine, MachineId, SlotKind, profiles};
+/// use simcore::SimTime;
+///
+/// let mut m = Machine::new(MachineId(0), profiles::desktop());
+/// m.occupy(SimTime::ZERO, SlotKind::Map, 1.0)?;
+/// assert_eq!(m.utilization(), 1.0 / 8.0);
+/// m.release(SimTime::from_secs(60), SlotKind::Map, 1.0)?;
+/// assert!(m.meter().total_joules() > 0.0);
+/// # Ok::<(), cluster::ClusterError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    id: MachineId,
+    profile: MachineProfile,
+    used_map: usize,
+    used_reduce: usize,
+    busy_cores: f64,
+    meter: EnergyMeter,
+    util_time_product: f64,
+    util_last_time: SimTime,
+}
+
+impl Machine {
+    /// Creates an idle machine with the given identity and hardware profile.
+    pub fn new(id: MachineId, profile: MachineProfile) -> Self {
+        let meter = EnergyMeter::new(profile.power());
+        Machine {
+            id,
+            profile,
+            used_map: 0,
+            used_reduce: 0,
+            busy_cores: 0.0,
+            meter,
+            util_time_product: 0.0,
+            util_last_time: SimTime::ZERO,
+        }
+    }
+
+    /// This machine's id.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// This machine's hardware profile.
+    pub fn profile(&self) -> &MachineProfile {
+        &self.profile
+    }
+
+    /// Current machine-level CPU utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        (self.busy_cores / self.profile.cores() as f64).clamp(0.0, 1.0)
+    }
+
+    /// Time-weighted average utilization since the machine was created.
+    pub fn mean_utilization(&self, now: SimTime) -> f64 {
+        let span = now.saturating_since(SimTime::ZERO).as_secs_f64();
+        if span <= 0.0 {
+            return self.utilization();
+        }
+        let pending = self.utilization()
+            * now.saturating_since(self.util_last_time).as_secs_f64();
+        ((self.util_time_product + pending) / span).clamp(0.0, 1.0)
+    }
+
+    /// Snapshot of slot occupancy.
+    pub fn slots(&self) -> SlotSnapshot {
+        SlotSnapshot {
+            free_map: self.profile.map_slots() - self.used_map,
+            free_reduce: self.profile.reduce_slots() - self.used_reduce,
+            used_map: self.used_map,
+            used_reduce: self.used_reduce,
+        }
+    }
+
+    /// Whether a slot of `kind` is free.
+    pub fn has_free_slot(&self, kind: SlotKind) -> bool {
+        self.slots().free(kind) > 0
+    }
+
+    /// Occupies one slot of `kind` at time `now`, adding `core_load` busy
+    /// cores for the duration of the occupancy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoFreeSlot`] when all slots of that kind are
+    /// occupied.
+    pub fn occupy(
+        &mut self,
+        now: SimTime,
+        kind: SlotKind,
+        core_load: f64,
+    ) -> Result<(), ClusterError> {
+        if !self.has_free_slot(kind) {
+            return Err(ClusterError::NoFreeSlot {
+                machine: self.id.index(),
+                kind: kind.as_str(),
+            });
+        }
+        self.checkpoint(now);
+        match kind {
+            SlotKind::Map => self.used_map += 1,
+            SlotKind::Reduce => self.used_reduce += 1,
+        }
+        self.busy_cores += core_load.max(0.0);
+        self.meter.advance(now, self.utilization());
+        Ok(())
+    }
+
+    /// Releases one slot of `kind` at time `now`, removing `core_load` busy
+    /// cores. The `core_load` must match what was passed to
+    /// [`Machine::occupy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoFreeSlot`] (inverted sense) when no slot of
+    /// that kind is occupied.
+    pub fn release(
+        &mut self,
+        now: SimTime,
+        kind: SlotKind,
+        core_load: f64,
+    ) -> Result<(), ClusterError> {
+        let used = match kind {
+            SlotKind::Map => self.used_map,
+            SlotKind::Reduce => self.used_reduce,
+        };
+        if used == 0 {
+            return Err(ClusterError::NoFreeSlot {
+                machine: self.id.index(),
+                kind: kind.as_str(),
+            });
+        }
+        self.checkpoint(now);
+        match kind {
+            SlotKind::Map => self.used_map -= 1,
+            SlotKind::Reduce => self.used_reduce -= 1,
+        }
+        self.busy_cores = (self.busy_cores - core_load.max(0.0)).max(0.0);
+        self.meter.advance(now, self.utilization());
+        Ok(())
+    }
+
+    /// Advances the energy meter to `now` without changing load. Call this
+    /// at measurement boundaries (end of a control interval, end of run).
+    pub fn sync(&mut self, now: SimTime) {
+        self.checkpoint(now);
+        self.meter.advance(now, self.utilization());
+    }
+
+    /// The ground-truth energy meter.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Puts the machine into standby drawing `watts` (power-down
+    /// extension). Meters the elapsed span first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task is still running here.
+    pub fn power_down(&mut self, now: SimTime, watts: f64) {
+        assert!(
+            self.used_map == 0 && self.used_reduce == 0,
+            "cannot power down a machine with running tasks"
+        );
+        self.sync(now);
+        self.meter.set_standby(Some(watts));
+    }
+
+    /// Wakes the machine from standby. Meters the standby span first.
+    pub fn power_up(&mut self, now: SimTime) {
+        self.sync(now);
+        self.meter.set_standby(None);
+    }
+
+    /// Whether the machine is in standby.
+    pub fn is_standby(&self) -> bool {
+        self.meter.is_standby()
+    }
+
+    /// Sets the machine's DVFS frequency factor (1.0 = nominal). Meters the
+    /// elapsed span first; service speed and power of *future* work scale
+    /// accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn set_dvfs(&mut self, now: SimTime, factor: f64) {
+        self.sync(now);
+        self.meter.set_dvfs(factor);
+    }
+
+    /// The DVFS frequency factor currently in effect.
+    pub fn dvfs_factor(&self) -> f64 {
+        self.meter.dvfs_factor()
+    }
+
+    fn checkpoint(&mut self, now: SimTime) {
+        let span = now.saturating_since(self.util_last_time).as_secs_f64();
+        if span > 0.0 {
+            self.util_time_product += self.utilization() * span;
+            self.util_last_time = now;
+        } else {
+            self.util_last_time = self.util_last_time.max(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn machine() -> Machine {
+        Machine::new(MachineId(0), profiles::desktop())
+    }
+
+    #[test]
+    fn slot_accounting() {
+        let mut m = machine();
+        assert!(m.has_free_slot(SlotKind::Map));
+        for _ in 0..4 {
+            m.occupy(SimTime::ZERO, SlotKind::Map, 1.0).unwrap();
+        }
+        assert!(!m.has_free_slot(SlotKind::Map));
+        assert!(m.has_free_slot(SlotKind::Reduce));
+        let err = m.occupy(SimTime::ZERO, SlotKind::Map, 1.0).unwrap_err();
+        assert!(matches!(err, ClusterError::NoFreeSlot { kind: "map", .. }));
+        m.release(SimTime::from_secs(1), SlotKind::Map, 1.0).unwrap();
+        assert_eq!(m.slots().free_map, 1);
+        assert_eq!(m.slots().used_map, 3);
+    }
+
+    #[test]
+    fn release_without_occupy_errors() {
+        let mut m = machine();
+        assert!(m.release(SimTime::ZERO, SlotKind::Reduce, 0.5).is_err());
+    }
+
+    #[test]
+    fn utilization_tracks_core_load() {
+        let mut m = machine(); // 8 cores
+        assert_eq!(m.utilization(), 0.0);
+        m.occupy(SimTime::ZERO, SlotKind::Map, 2.0).unwrap();
+        assert_eq!(m.utilization(), 0.25);
+        m.occupy(SimTime::ZERO, SlotKind::Map, 2.0).unwrap();
+        assert_eq!(m.utilization(), 0.5);
+        m.release(SimTime::ZERO, SlotKind::Map, 2.0).unwrap();
+        assert_eq!(m.utilization(), 0.25);
+    }
+
+    #[test]
+    fn utilization_clamps_at_one() {
+        let mut m = Machine::new(MachineId(1), profiles::atom()); // 4 cores
+        m.occupy(SimTime::ZERO, SlotKind::Map, 10.0).unwrap();
+        assert_eq!(m.utilization(), 1.0);
+    }
+
+    #[test]
+    fn energy_integrates_over_occupancy() {
+        let mut m = machine();
+        m.occupy(SimTime::ZERO, SlotKind::Map, 8.0).unwrap(); // util 1.0
+        m.release(SimTime::from_secs(10), SlotKind::Map, 8.0).unwrap();
+        m.sync(SimTime::from_secs(20));
+        // 10 s at full power (160 W) + 10 s idle (40 W).
+        assert!((m.meter().total_joules() - (1600.0 + 400.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_utilization_time_weighted() {
+        let mut m = machine();
+        m.occupy(SimTime::ZERO, SlotKind::Map, 8.0).unwrap(); // util 1.0
+        m.release(SimTime::from_secs(10), SlotKind::Map, 8.0).unwrap();
+        // 10 s at 1.0, then 30 s at 0.0 → mean 0.25.
+        let mean = m.mean_utilization(SimTime::from_secs(40));
+        assert!((mean - 0.25).abs() < 1e-9, "mean = {mean}");
+    }
+
+    #[test]
+    fn negative_core_load_treated_as_zero() {
+        let mut m = machine();
+        m.occupy(SimTime::ZERO, SlotKind::Map, -5.0).unwrap();
+        assert_eq!(m.utilization(), 0.0);
+    }
+
+    #[test]
+    fn power_down_and_up_cycle() {
+        let mut m = machine(); // desktop: 40 W idle
+        m.power_down(SimTime::from_secs(10), 2.0);
+        assert!(m.is_standby());
+        m.power_up(SimTime::from_secs(110));
+        assert!(!m.is_standby());
+        m.sync(SimTime::from_secs(120));
+        // 10 s at 40 W + 100 s at 2 W + 10 s at 40 W.
+        assert!((m.meter().total_joules() - (400.0 + 200.0 + 400.0)).abs() < 1e-9);
+        // A woken machine accepts work again.
+        m.occupy(SimTime::from_secs(120), SlotKind::Map, 1.0).unwrap();
+        assert_eq!(m.slots().used_map, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot power down a machine with running tasks")]
+    fn power_down_rejects_busy_machine() {
+        let mut m = machine();
+        m.occupy(SimTime::ZERO, SlotKind::Map, 1.0).unwrap();
+        m.power_down(SimTime::from_secs(1), 2.0);
+    }
+
+    #[test]
+    fn display_types() {
+        assert_eq!(MachineId(3).to_string(), "m3");
+        assert_eq!(SlotKind::Map.to_string(), "map");
+        assert_eq!(SlotKind::Reduce.to_string(), "reduce");
+    }
+
+    #[test]
+    fn snapshot_free_by_kind() {
+        let m = machine();
+        let s = m.slots();
+        assert_eq!(s.free(SlotKind::Map), 4);
+        assert_eq!(s.free(SlotKind::Reduce), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Shared-bandwidth network model for shuffle traffic and remote reads.
+//!
+//! The paper's Tarazu baseline is "communication-aware": it wins over the
+//! Fair Scheduler by avoiding bursty shuffle traffic (§VI-A). To let that
+//! mechanism express itself, the simulator charges shuffle and remote-read
+//! transfers against per-machine NIC capacity with processor-sharing
+//! contention: `effective bandwidth = NIC / concurrent transfers`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::MachineId;
+
+/// Gigabit Ethernet payload bandwidth in MB/s (the paper's interconnect,
+/// §V-B), derated for protocol overhead.
+pub const GIGABIT_MBPS: f64 = 110.0;
+
+/// A processor-sharing network: each machine has one NIC whose capacity is
+/// divided evenly among its concurrently active transfers.
+///
+/// The model is intentionally coarse — it captures the first-order effect
+/// (more concurrent shuffles → each one slower) that communication-aware
+/// scheduling exploits, without simulating packets.
+///
+/// # Examples
+///
+/// ```
+/// use cluster::network::{Network, GIGABIT_MBPS};
+/// use cluster::MachineId;
+///
+/// let mut net = Network::new(4, GIGABIT_MBPS);
+/// let m = MachineId(2);
+/// assert_eq!(net.transfer_seconds(m, 110.0), 1.0);
+/// net.begin_transfer(m);
+/// net.begin_transfer(m);
+/// // Two active transfers share the NIC: a third would see a 3-way split.
+/// assert_eq!(net.transfer_seconds(m, 110.0), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    nic_mbps: f64,
+    active: Vec<u32>,
+}
+
+impl Network {
+    /// Creates a network for `machines` nodes with per-node NIC bandwidth
+    /// `nic_mbps` (MB/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` is zero or `nic_mbps` is not strictly positive.
+    pub fn new(machines: usize, nic_mbps: f64) -> Self {
+        assert!(machines > 0, "network needs at least one machine");
+        assert!(
+            nic_mbps.is_finite() && nic_mbps > 0.0,
+            "NIC bandwidth must be positive"
+        );
+        Network {
+            nic_mbps,
+            active: vec![0; machines],
+        }
+    }
+
+    /// Per-node NIC bandwidth in MB/s.
+    pub fn nic_mbps(&self) -> f64 {
+        self.nic_mbps
+    }
+
+    /// Number of transfers currently charged to `machine`'s NIC.
+    pub fn active_transfers(&self, machine: MachineId) -> u32 {
+        self.active.get(machine.index()).copied().unwrap_or(0)
+    }
+
+    /// Registers the start of a transfer terminating at `machine`.
+    ///
+    /// Out-of-range machines are ignored (the transfer is simply uncharged),
+    /// which keeps the model usable from property tests with arbitrary ids.
+    pub fn begin_transfer(&mut self, machine: MachineId) {
+        if let Some(a) = self.active.get_mut(machine.index()) {
+            *a += 1;
+        }
+    }
+
+    /// Registers the end of a transfer at `machine`. Saturates at zero.
+    pub fn end_transfer(&mut self, machine: MachineId) {
+        if let Some(a) = self.active.get_mut(machine.index()) {
+            *a = a.saturating_sub(1);
+        }
+    }
+
+    /// Estimated duration in seconds to move `data_mb` to `machine`,
+    /// assuming the transfer joins the currently active set (so an idle NIC
+    /// yields full bandwidth and `n` active transfers yield an `(n+1)`-way
+    /// split).
+    pub fn transfer_seconds(&self, machine: MachineId, data_mb: f64) -> f64 {
+        let data_mb = data_mb.max(0.0);
+        let share = self.nic_mbps / (self.active_transfers(machine) as f64 + 1.0);
+        data_mb / share
+    }
+
+    /// The cluster-wide mean number of active transfers per machine — a
+    /// cheap congestion indicator used by the Tarazu baseline.
+    pub fn mean_congestion(&self) -> f64 {
+        let total: u32 = self.active.iter().sum();
+        total as f64 / self.active.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_nic_gives_full_bandwidth() {
+        let net = Network::new(2, 100.0);
+        assert_eq!(net.transfer_seconds(MachineId(0), 200.0), 2.0);
+    }
+
+    #[test]
+    fn contention_divides_bandwidth() {
+        let mut net = Network::new(2, 100.0);
+        net.begin_transfer(MachineId(0));
+        net.begin_transfer(MachineId(0));
+        net.begin_transfer(MachineId(0));
+        assert_eq!(net.active_transfers(MachineId(0)), 3);
+        // Joining as the 4th transfer → quarter bandwidth.
+        assert_eq!(net.transfer_seconds(MachineId(0), 100.0), 4.0);
+        // Other machines unaffected.
+        assert_eq!(net.transfer_seconds(MachineId(1), 100.0), 1.0);
+    }
+
+    #[test]
+    fn end_transfer_saturates() {
+        let mut net = Network::new(1, 100.0);
+        net.end_transfer(MachineId(0));
+        assert_eq!(net.active_transfers(MachineId(0)), 0);
+        net.begin_transfer(MachineId(0));
+        net.end_transfer(MachineId(0));
+        net.end_transfer(MachineId(0));
+        assert_eq!(net.active_transfers(MachineId(0)), 0);
+    }
+
+    #[test]
+    fn out_of_range_machine_is_noop() {
+        let mut net = Network::new(1, 100.0);
+        net.begin_transfer(MachineId(9));
+        assert_eq!(net.active_transfers(MachineId(9)), 0);
+        assert_eq!(net.transfer_seconds(MachineId(9), 100.0), 1.0);
+    }
+
+    #[test]
+    fn zero_data_transfers_instantly() {
+        let net = Network::new(1, 100.0);
+        assert_eq!(net.transfer_seconds(MachineId(0), 0.0), 0.0);
+        assert_eq!(net.transfer_seconds(MachineId(0), -5.0), 0.0);
+    }
+
+    #[test]
+    fn mean_congestion() {
+        let mut net = Network::new(4, 100.0);
+        net.begin_transfer(MachineId(0));
+        net.begin_transfer(MachineId(0));
+        net.begin_transfer(MachineId(1));
+        assert!((net.mean_congestion() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "network needs at least one machine")]
+    fn rejects_empty_network() {
+        Network::new(0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NIC bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        Network::new(1, 0.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Linear CPU power model and ground-truth energy metering.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// The linear CPU power model used throughout the paper:
+///
+/// `P(u) = P_idle + α · u`, with machine utilization `u ∈ [0, 1]`.
+///
+/// The paper motivates this with the observation that CPU is the dominant
+/// power consumer in most clusters (§I, citing \[23\]) and identifies `α` per
+/// machine type with least squares (§IV-B). The same model is used both by
+/// the simulator's ground truth (standing in for the WattsUp meter) and by
+/// E-Ant's task-level estimator (Eq. 2) — the estimator's challenge is that
+/// it only sees noisy, sampled, per-process utilizations.
+///
+/// # Examples
+///
+/// ```
+/// use cluster::PowerModel;
+///
+/// let xeon = PowerModel::new(95.0, 45.0);
+/// assert_eq!(xeon.power(0.0), 95.0);
+/// assert_eq!(xeon.power(1.0), 140.0);
+/// // Eq. 2 divides idle power across slots: each of 6 slots carries 1/6th.
+/// assert!((xeon.idle_share_per_slot(6) - 95.0 / 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    idle_watts: f64,
+    alpha_watts: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model with the given idle draw and full-load increment
+    /// (both in watts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is negative or non-finite.
+    pub fn new(idle_watts: f64, alpha_watts: f64) -> Self {
+        assert!(
+            idle_watts.is_finite() && idle_watts >= 0.0,
+            "idle power must be non-negative"
+        );
+        assert!(
+            alpha_watts.is_finite() && alpha_watts >= 0.0,
+            "alpha must be non-negative"
+        );
+        PowerModel {
+            idle_watts,
+            alpha_watts,
+        }
+    }
+
+    /// Idle (zero-utilization) power draw in watts — `Power_idle_m` in Eq. 2.
+    pub fn idle_watts(&self) -> f64 {
+        self.idle_watts
+    }
+
+    /// Power increment from idle to full utilization, in watts — `α_m` in
+    /// Eq. 2.
+    pub fn alpha_watts(&self) -> f64 {
+        self.alpha_watts
+    }
+
+    /// Instantaneous power draw at machine utilization `u` (clamped to
+    /// `[0, 1]`).
+    pub fn power(&self, u: f64) -> f64 {
+        self.idle_watts + self.alpha_watts * u.clamp(0.0, 1.0)
+    }
+
+    /// The idle-power share attributed to one of `slots` task slots, per the
+    /// accounting in Eq. 2 (`Power_idle_m / m_slot`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn idle_share_per_slot(&self, slots: usize) -> f64 {
+        assert!(slots > 0, "slot count must be positive");
+        self.idle_watts / slots as f64
+    }
+
+    /// Energy in joules consumed over `duration_secs` at constant machine
+    /// utilization `u`.
+    pub fn energy_joules(&self, u: f64, duration_secs: f64) -> f64 {
+        assert!(
+            duration_secs.is_finite() && duration_secs >= 0.0,
+            "duration must be non-negative"
+        );
+        self.power(u) * duration_secs
+    }
+}
+
+/// Ground-truth energy integrator — the simulator's stand-in for the paper's
+/// WattsUp Pro wall-socket meter.
+///
+/// The meter is advanced with piecewise-constant machine utilization: call
+/// [`EnergyMeter::advance`] whenever utilization changes and the meter
+/// integrates the power model over the elapsed span (zero-order hold).
+///
+/// # Examples
+///
+/// ```
+/// use cluster::{EnergyMeter, PowerModel};
+/// use simcore::SimTime;
+///
+/// let mut meter = EnergyMeter::new(PowerModel::new(100.0, 50.0));
+/// meter.advance(SimTime::from_secs(10), 0.0);   // [0,10): u=0 → 1000 J
+/// meter.advance(SimTime::from_secs(20), 1.0);   // [10,20): u=0 → 1000 J, then u:=1
+/// meter.advance(SimTime::from_secs(30), 1.0);   // [20,30): u=1 → 1500 J
+/// assert!((meter.total_joules() - (1000.0 + 1000.0 + 1500.0)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    model: PowerModel,
+    last_time: SimTime,
+    current_utilization: f64,
+    standby_watts: Option<f64>,
+    dvfs_factor: f64,
+    total_joules: f64,
+    busy_joules: f64,
+    busy_seconds: f64,
+    total_seconds: f64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter starting at time zero with zero utilization.
+    pub fn new(model: PowerModel) -> Self {
+        EnergyMeter {
+            model,
+            last_time: SimTime::ZERO,
+            current_utilization: 0.0,
+            standby_watts: None,
+            dvfs_factor: 1.0,
+            total_joules: 0.0,
+            busy_joules: 0.0,
+            busy_seconds: 0.0,
+            total_seconds: 0.0,
+        }
+    }
+
+    /// Integrates up to `now` with the previously set utilization, then
+    /// switches to `utilization` for the span that follows.
+    ///
+    /// Calls with `now` earlier than the last call integrate nothing (time
+    /// never runs backwards) but still update the utilization.
+    pub fn advance(&mut self, now: SimTime, utilization: f64) {
+        let span = now.saturating_since(self.last_time).as_secs_f64();
+        if span > 0.0 {
+            let u = self.current_utilization;
+            match self.standby_watts {
+                Some(w) => {
+                    // Standby: a fixed low draw replaces the CPU model.
+                    self.total_joules += w * span;
+                }
+                None => {
+                    let f = self.dvfs_factor;
+                    // DVFS scaling: static power shrinks mildly with
+                    // frequency/voltage, dynamic power roughly with f²
+                    // (P_dyn ∝ f·V² and V tracks f).
+                    let idle = self.model.idle_watts() * (0.6 + 0.4 * f);
+                    let alpha = self.model.alpha_watts() * f * f;
+                    self.total_joules += (idle + alpha * u.clamp(0.0, 1.0)) * span;
+                    // The "workload" (above-idle) component, used by
+                    // Fig. 1(b)'s idle-vs-workload power breakdown.
+                    self.busy_joules += alpha * u.clamp(0.0, 1.0) * span;
+                    if u > 0.0 {
+                        self.busy_seconds += span;
+                    }
+                }
+            }
+            self.total_seconds += span;
+            self.last_time = now;
+        } else {
+            self.last_time = self.last_time.max(now);
+        }
+        self.current_utilization = utilization.clamp(0.0, 1.0);
+    }
+
+    /// Switches the meter between normal metering (`None`) and standby at a
+    /// fixed wattage (`Some(watts)`) — the power-down extension's
+    /// low-power state. Call [`EnergyMeter::advance`] up to the switch time
+    /// first; the new mode applies to the span that follows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or non-finite.
+    pub fn set_standby(&mut self, standby: Option<f64>) {
+        if let Some(w) = standby {
+            assert!(w.is_finite() && w >= 0.0, "standby power must be non-negative");
+        }
+        self.standby_watts = standby;
+    }
+
+    /// Whether the meter is currently in standby mode.
+    pub fn is_standby(&self) -> bool {
+        self.standby_watts.is_some()
+    }
+
+    /// Sets the DVFS frequency factor applied to spans metered from now on
+    /// (1.0 = nominal). Advance the meter to the switch time first.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn set_dvfs(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0 && factor.is_finite(),
+            "DVFS factor must be in (0, 1]"
+        );
+        self.dvfs_factor = factor;
+    }
+
+    /// The DVFS frequency factor currently in effect.
+    pub fn dvfs_factor(&self) -> f64 {
+        self.dvfs_factor
+    }
+
+    /// Total metered energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total_joules
+    }
+
+    /// The above-idle ("workload used") component of the metered energy, in
+    /// joules. `total - busy` is the "idle system used" component of
+    /// Fig. 1(b).
+    pub fn workload_joules(&self) -> f64 {
+        self.busy_joules
+    }
+
+    /// The idle-system component of the metered energy, in joules.
+    pub fn idle_joules(&self) -> f64 {
+        self.total_joules - self.busy_joules
+    }
+
+    /// Seconds metered with non-zero utilization.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+
+    /// Total seconds metered.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_seconds
+    }
+
+    /// Mean power over the metered span, in watts; idle power when nothing
+    /// has been metered yet.
+    pub fn mean_watts(&self) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.total_joules / self.total_seconds
+        } else {
+            self.model.idle_watts()
+        }
+    }
+
+    /// The power model this meter integrates.
+    pub fn model(&self) -> PowerModel {
+        self.model
+    }
+
+    /// The utilization currently in effect.
+    pub fn current_utilization(&self) -> f64 {
+        self.current_utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_linear_and_clamped() {
+        let m = PowerModel::new(40.0, 100.0);
+        assert_eq!(m.power(0.0), 40.0);
+        assert_eq!(m.power(0.5), 90.0);
+        assert_eq!(m.power(1.0), 140.0);
+        assert_eq!(m.power(-1.0), 40.0);
+        assert_eq!(m.power(2.0), 140.0);
+    }
+
+    #[test]
+    fn idle_share_divides_by_slots() {
+        let m = PowerModel::new(90.0, 10.0);
+        assert_eq!(m.idle_share_per_slot(6), 15.0);
+        assert_eq!(m.idle_share_per_slot(1), 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot count must be positive")]
+    fn idle_share_rejects_zero_slots() {
+        PowerModel::new(90.0, 10.0).idle_share_per_slot(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle power must be non-negative")]
+    fn rejects_negative_idle() {
+        PowerModel::new(-1.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be non-negative")]
+    fn rejects_nan_alpha() {
+        PowerModel::new(1.0, f64::NAN);
+    }
+
+    #[test]
+    fn meter_integrates_piecewise_constant() {
+        let mut meter = EnergyMeter::new(PowerModel::new(100.0, 50.0));
+        meter.advance(SimTime::from_secs(10), 0.5);
+        assert_eq!(meter.total_joules(), 1000.0); // 10 s at idle
+        meter.advance(SimTime::from_secs(20), 0.0);
+        assert_eq!(meter.total_joules(), 1000.0 + 1250.0); // 10 s at u=0.5
+        assert_eq!(meter.workload_joules(), 250.0);
+        assert_eq!(meter.idle_joules(), 2000.0);
+        assert_eq!(meter.busy_seconds(), 10.0);
+        assert_eq!(meter.total_seconds(), 20.0);
+        assert!((meter.mean_watts() - 2250.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_ignores_backwards_time() {
+        let mut meter = EnergyMeter::new(PowerModel::new(10.0, 0.0));
+        meter.advance(SimTime::from_secs(10), 1.0);
+        let total = meter.total_joules();
+        meter.advance(SimTime::from_secs(5), 0.0);
+        assert_eq!(meter.total_joules(), total);
+        assert_eq!(meter.current_utilization(), 0.0);
+        // Subsequent forward motion integrates from the later timestamp.
+        meter.advance(SimTime::from_secs(11), 0.0);
+        assert_eq!(meter.total_joules(), total + 10.0);
+    }
+
+    #[test]
+    fn standby_meters_fixed_draw() {
+        let mut meter = EnergyMeter::new(PowerModel::new(100.0, 50.0));
+        meter.advance(SimTime::from_secs(10), 0.0); // 10 s awake idle: 1000 J
+        meter.set_standby(Some(2.5));
+        meter.advance(SimTime::from_secs(110), 0.0); // 100 s standby: 250 J
+        assert!(meter.is_standby());
+        assert!((meter.total_joules() - 1250.0).abs() < 1e-9);
+        meter.set_standby(None);
+        meter.advance(SimTime::from_secs(120), 0.0); // 10 s awake idle again
+        assert!(!meter.is_standby());
+        assert!((meter.total_joules() - 2250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "standby power must be non-negative")]
+    fn negative_standby_rejected() {
+        EnergyMeter::new(PowerModel::new(10.0, 0.0)).set_standby(Some(-1.0));
+    }
+
+    #[test]
+    fn fresh_meter_reports_idle_power() {
+        let meter = EnergyMeter::new(PowerModel::new(42.0, 7.0));
+        assert_eq!(meter.mean_watts(), 42.0);
+        assert_eq!(meter.total_joules(), 0.0);
+        assert_eq!(meter.model().alpha_watts(), 7.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The task analyzer: per-interval aggregation of energy feedback.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use cluster::MachineId;
+use workload::JobId;
+
+use crate::ExchangeStrategy;
+
+/// One completed task's energy estimate, as recorded by the analyzer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskEnergyRecord {
+    /// The owning job (colony).
+    pub job: JobId,
+    /// Homogeneous-job-group key of the job.
+    pub job_group: String,
+    /// Executing machine.
+    pub machine: MachineId,
+    /// Eq. 2 energy estimate, in joules.
+    pub energy_joules: f64,
+}
+
+/// The analyzer's per-interval output: summed pheromone deposits per
+/// (job, machine) path, ready for
+/// [`PheromoneTable::apply_deposits`](crate::PheromoneTable::apply_deposits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalFeedback {
+    /// `deposits[j][m] = Σ_n Δτ_n(j, m)` after exchange averaging.
+    pub deposits: BTreeMap<JobId, Vec<f64>>,
+    /// Number of task records analyzed.
+    pub tasks_analyzed: usize,
+    /// Mean estimated task energy per job over the interval, in joules.
+    pub mean_energy_per_job: BTreeMap<JobId, f64>,
+}
+
+/// Collects per-task energy estimates during a control interval and turns
+/// them into Eq. 5 pheromone deposits, applying the §IV-D exchange
+/// strategies.
+///
+/// The Eq. 5 ratio for one task is
+/// `Δτ_n(j, m) = mean-energy(all of j's tasks this interval) / E(T_n(m))`,
+/// so tasks cheaper than their job's average deposit more than 1 and
+/// expensive tasks less. Machine-level exchange replaces each path's deposit
+/// with the average over its homogeneous machine group; job-level exchange
+/// averages over the homogeneous job group.
+///
+/// # Examples
+///
+/// ```
+/// use eant::{ExchangeStrategy, TaskAnalyzer, TaskEnergyRecord};
+/// use cluster::MachineId;
+/// use workload::JobId;
+///
+/// let mut analyzer = TaskAnalyzer::new(2);
+/// // Machine 0 runs the job's tasks at 2 KJ, machine 1 at 3 KJ.
+/// for (m, e) in [(0, 2000.0), (0, 2000.0), (1, 3000.0)] {
+///     analyzer.record(TaskEnergyRecord {
+///         job: JobId(0),
+///         job_group: "Wordcount".into(),
+///         machine: MachineId(m),
+///         energy_joules: e,
+///     });
+/// }
+/// let fb = analyzer.compute(&[0, 0], ExchangeStrategy::None);
+/// let d = &fb.deposits[&JobId(0)];
+/// assert!(d[0] > d[1], "the cheaper machine earns more pheromone");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskAnalyzer {
+    machines: usize,
+    records: Vec<TaskEnergyRecord>,
+}
+
+impl TaskAnalyzer {
+    /// Creates an analyzer for a cluster of `machines` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` is zero.
+    pub fn new(machines: usize) -> Self {
+        assert!(machines > 0, "analyzer needs at least one machine");
+        TaskAnalyzer {
+            machines,
+            records: Vec::new(),
+        }
+    }
+
+    /// Records one completed task's energy estimate.
+    ///
+    /// Records with non-positive or non-finite energy are dropped: they
+    /// carry no usable efficiency signal and would poison the Eq. 5 ratios.
+    pub fn record(&mut self, record: TaskEnergyRecord) {
+        if record.energy_joules.is_finite() && record.energy_joules > 0.0 {
+            self.records.push(record);
+        }
+    }
+
+    /// Number of records accumulated this interval.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records were accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Computes the interval's deposits and clears the record buffer.
+    ///
+    /// `machine_groups[m]` is the homogeneous-group index of machine `m`
+    /// (see [`Fleet::group_index`](cluster::Fleet::group_index)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine_groups` does not cover every machine.
+    pub fn compute(
+        &mut self,
+        machine_groups: &[usize],
+        exchange: ExchangeStrategy,
+    ) -> IntervalFeedback {
+        assert_eq!(
+            machine_groups.len(),
+            self.machines,
+            "machine_groups must cover every machine"
+        );
+        let records = std::mem::take(&mut self.records);
+
+        // Mean energy per job (Eq. 5 numerator).
+        let mut job_sum: BTreeMap<JobId, (f64, usize)> = BTreeMap::new();
+        let mut job_group: BTreeMap<JobId, String> = BTreeMap::new();
+        for r in &records {
+            let e = job_sum.entry(r.job).or_insert((0.0, 0));
+            e.0 += r.energy_joules;
+            e.1 += 1;
+            job_group
+                .entry(r.job)
+                .or_insert_with(|| r.job_group.clone());
+        }
+        let mean_energy_per_job: BTreeMap<JobId, f64> = job_sum
+            .iter()
+            .map(|(&j, &(sum, n))| (j, sum / n as f64))
+            .collect();
+
+        // Raw per-path deposits: Σ_n mean(j) / E_n.
+        let mut deposits: BTreeMap<JobId, Vec<f64>> = BTreeMap::new();
+        for r in &records {
+            let mean = mean_energy_per_job[&r.job];
+            let row = deposits
+                .entry(r.job)
+                .or_insert_with(|| vec![0.0; self.machines]);
+            row[r.machine.index()] += mean / r.energy_joules;
+        }
+
+        // Machine-level exchange: within each homogeneous machine group,
+        // every member path receives the group's average deposit.
+        if exchange.machine_level() {
+            let num_groups = machine_groups.iter().copied().max().map_or(0, |g| g + 1);
+            for row in deposits.values_mut() {
+                let mut sums = vec![0.0; num_groups];
+                let mut counts = vec![0usize; num_groups];
+                for (m, &v) in row.iter().enumerate() {
+                    sums[machine_groups[m]] += v;
+                    counts[machine_groups[m]] += 1;
+                }
+                for (m, v) in row.iter_mut().enumerate() {
+                    let g = machine_groups[m];
+                    *v = sums[g] / counts[g] as f64;
+                }
+            }
+        }
+
+        // Job-level exchange: every member job blends its own deposits
+        // with the group's column-wise average. Blending (rather than
+        // replacing) keeps the noise-reduction benefit without
+        // synchronizing all group members onto identical machine
+        // preferences, which would herd them into convoys (DESIGN.md).
+        if exchange.job_level() {
+            let mut group_rows: BTreeMap<&str, (Vec<f64>, usize)> = BTreeMap::new();
+            for (job, row) in &deposits {
+                let g = job_group[job].as_str();
+                let entry = group_rows
+                    .entry(g)
+                    .or_insert_with(|| (vec![0.0; self.machines], 0));
+                for (m, &v) in row.iter().enumerate() {
+                    entry.0[m] += v;
+                }
+                entry.1 += 1;
+            }
+            let averaged: BTreeMap<String, Vec<f64>> = group_rows
+                .into_iter()
+                .map(|(g, (sum, n))| {
+                    (
+                        g.to_owned(),
+                        sum.into_iter().map(|v| v / n as f64).collect(),
+                    )
+                })
+                .collect();
+            for (job, row) in &mut deposits {
+                let avg = &averaged[job_group[job].as_str()];
+                for (m, v) in row.iter_mut().enumerate() {
+                    *v = 0.5 * *v + 0.5 * avg[m];
+                }
+            }
+        }
+
+        IntervalFeedback {
+            deposits,
+            tasks_analyzed: records.len(),
+            mean_energy_per_job,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(job: u64, group: &str, machine: usize, energy: f64) -> TaskEnergyRecord {
+        TaskEnergyRecord {
+            job: JobId(job),
+            job_group: group.into(),
+            machine: MachineId(machine),
+            energy_joules: energy,
+        }
+    }
+
+    #[test]
+    fn paper_example_deposits() {
+        // §IV-C: two 2 KJ tasks on A, one 3 KJ on B; mean = 7/3.
+        let mut a = TaskAnalyzer::new(2);
+        a.record(rec(0, "wc", 0, 2000.0));
+        a.record(rec(0, "wc", 0, 2000.0));
+        a.record(rec(0, "wc", 1, 3000.0));
+        let fb = a.compute(&[0, 1], ExchangeStrategy::None);
+        let mean = 7000.0 / 3.0;
+        let d = &fb.deposits[&JobId(0)];
+        assert!((d[0] - 2.0 * mean / 2000.0).abs() < 1e-9);
+        assert!((d[1] - mean / 3000.0).abs() < 1e-9);
+        assert_eq!(fb.tasks_analyzed, 3);
+        assert!((fb.mean_energy_per_job[&JobId(0)] - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_clears_records() {
+        let mut a = TaskAnalyzer::new(1);
+        a.record(rec(0, "wc", 0, 1.0));
+        assert_eq!(a.len(), 1);
+        let _ = a.compute(&[0], ExchangeStrategy::None);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn invalid_energy_dropped() {
+        let mut a = TaskAnalyzer::new(1);
+        a.record(rec(0, "wc", 0, 0.0));
+        a.record(rec(0, "wc", 0, -5.0));
+        a.record(rec(0, "wc", 0, f64::NAN));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn machine_level_exchange_spreads_within_group() {
+        // Machines 0 and 1 are homogeneous; only machine 0 completed tasks.
+        let mut a = TaskAnalyzer::new(3);
+        a.record(rec(0, "wc", 0, 1000.0));
+        a.record(rec(0, "wc", 0, 1000.0));
+        let fb = a.compute(&[0, 0, 1], ExchangeStrategy::MachineLevel);
+        let d = &fb.deposits[&JobId(0)];
+        // The two group members share the group's average deposit.
+        assert!((d[0] - d[1]).abs() < 1e-12);
+        assert!(d[0] > 0.0);
+        // The foreign group is untouched.
+        assert_eq!(d[2], 0.0);
+    }
+
+    #[test]
+    fn job_level_exchange_averages_group_rows() {
+        let mut a = TaskAnalyzer::new(2);
+        // Two homogeneous jobs; job 0 found machine 0 efficient, job 1 has
+        // only machine 1 experience.
+        a.record(rec(0, "wc-S", 0, 1000.0));
+        a.record(rec(1, "wc-S", 1, 1000.0));
+        let fb = a.compute(&[0, 1], ExchangeStrategy::JobLevel);
+        // After job-level blending each job keeps half its own signal and
+        // gains half the group's: both rows now cover both machines.
+        assert!(fb.deposits[&JobId(0)][0] > fb.deposits[&JobId(0)][1]);
+        assert!(fb.deposits[&JobId(1)][1] > fb.deposits[&JobId(1)][0]);
+        assert!(fb.deposits[&JobId(0)][1] > 0.0);
+        assert!(fb.deposits[&JobId(1)][0] > 0.0);
+    }
+
+    #[test]
+    fn job_level_exchange_respects_group_boundaries() {
+        let mut a = TaskAnalyzer::new(1);
+        a.record(rec(0, "wc-S", 0, 1000.0));
+        a.record(rec(1, "grep-S", 0, 500.0));
+        let fb = a.compute(&[0], ExchangeStrategy::JobLevel);
+        // Different groups: rows must stay independent (each job's single
+        // task has ratio mean/E = 1, and a singleton group's average is
+        // itself).
+        assert!((fb.deposits[&JobId(0)][0] - 1.0).abs() < 1e-9);
+        assert!((fb.deposits[&JobId(1)][0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_exchange_composes() {
+        let mut a = TaskAnalyzer::new(2);
+        a.record(rec(0, "wc-S", 0, 1000.0));
+        a.record(rec(1, "wc-S", 0, 2000.0));
+        let fb = a.compute(&[0, 0], ExchangeStrategy::Both);
+        let d0 = &fb.deposits[&JobId(0)];
+        let d1 = &fb.deposits[&JobId(1)];
+        // Machine exchange spread each row over both machines equally, so
+        // blending preserves that flatness for both jobs.
+        assert!((d0[0] - d0[1]).abs() < 1e-12);
+        assert!((d1[0] - d1[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_produces_empty_feedback() {
+        let mut a = TaskAnalyzer::new(2);
+        let fb = a.compute(&[0, 0], ExchangeStrategy::Both);
+        assert!(fb.deposits.is_empty());
+        assert_eq!(fb.tasks_analyzed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine_groups must cover every machine")]
+    fn wrong_group_vector_rejected() {
+        TaskAnalyzer::new(3).compute(&[0, 0], ExchangeStrategy::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "analyzer needs at least one machine")]
+    fn zero_machines_rejected() {
+        TaskAnalyzer::new(0);
+    }
+}

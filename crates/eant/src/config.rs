@@ -1,0 +1,226 @@
+//! E-Ant tuning parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Which information-exchange strategies (§IV-D) are active.
+///
+/// Exchange averages pheromone updates across homogeneous machine groups
+/// and/or homogeneous job groups to make energy-efficiency judgments robust
+/// to transient system noise. Fig. 10 evaluates all four combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExchangeStrategy {
+    /// No exchange: every (job, machine) path learns only from its own
+    /// tasks.
+    None,
+    /// Average updates across machines of the same hardware profile.
+    MachineLevel,
+    /// Average updates across jobs of the same benchmark/size group (on
+    /// their own machines).
+    JobLevel,
+    /// Both machine-level and job-level exchange (the paper's default).
+    Both,
+}
+
+impl ExchangeStrategy {
+    /// Whether machine-level averaging is active.
+    pub fn machine_level(self) -> bool {
+        matches!(self, ExchangeStrategy::MachineLevel | ExchangeStrategy::Both)
+    }
+
+    /// Whether job-level averaging is active.
+    pub fn job_level(self) -> bool {
+        matches!(self, ExchangeStrategy::JobLevel | ExchangeStrategy::Both)
+    }
+
+    /// Display label used by the Fig. 10 experiment.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExchangeStrategy::None => "Non-exchange",
+            ExchangeStrategy::MachineLevel => "+Machine-level",
+            ExchangeStrategy::JobLevel => "+Job-level",
+            ExchangeStrategy::Both => "+Both",
+        }
+    }
+}
+
+/// E-Ant configuration. Defaults follow the paper where it states values
+/// (ρ = 0.5 in the §IV-C example) and standard ACO practice elsewhere.
+/// β defaults to 0.2 — this implementation's energy-optimal point of the
+/// Fig. 12(a) sweep (the paper's is 0.1; our fairness heuristic is
+/// slightly flatter, see DESIGN.md).
+///
+/// # Examples
+///
+/// ```
+/// use eant::{EAntConfig, ExchangeStrategy};
+///
+/// let cfg = EAntConfig {
+///     beta: 0.2,
+///     exchange: ExchangeStrategy::MachineLevel,
+///     ..EAntConfig::paper_default()
+/// };
+/// cfg.validate();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EAntConfig {
+    /// Pheromone evaporation coefficient ρ ∈ (0, 1] (Eq. 4).
+    pub rho: f64,
+    /// Heuristic weight β ≥ 0 (Eq. 8): 0 ignores locality/fairness
+    /// entirely; larger values favor fairness over energy.
+    pub beta: f64,
+    /// Initial pheromone on every fresh path (the paper's example uses 1).
+    pub tau_init: f64,
+    /// Lower pheromone bound; keeps probabilities positive despite negative
+    /// feedback.
+    pub tau_min: f64,
+    /// Upper pheromone bound; prevents unbounded accumulation on hot paths.
+    pub tau_max: f64,
+    /// Finite stand-in for the η = ∞ node-local branch of Eq. 7. Only
+    /// applied when `beta > 0` (matching the paper's observation that β = 0
+    /// disables locality awareness, Fig. 12(a)).
+    pub local_boost: f64,
+    /// Fair-share cap at the default β: while any other job wants the
+    /// slot, a job already holding `effective_share_cap(β) × S_min` slots
+    /// is excluded from sampling. This realizes Eq. 1's fairness
+    /// *constraint* (`P(j,m) = f(H)`) as a hard bound complementing the
+    /// soft η heuristic. The effective cap scales inversely with β — β is
+    /// the paper's single fairness knob (Fig. 12(a)) — and is disabled
+    /// entirely at β = 0. Set very large to disable at every β.
+    pub share_cap: f64,
+    /// Active information-exchange strategies.
+    pub exchange: ExchangeStrategy,
+    /// Whether cross-job negative feedback (Eq. 6) is applied. On by
+    /// default; exposed for the ablation benches.
+    pub negative_feedback: bool,
+}
+
+impl EAntConfig {
+    /// The configuration used for the paper's headline results.
+    pub fn paper_default() -> Self {
+        EAntConfig {
+            rho: 0.5,
+            beta: 0.2,
+            tau_init: 1.0,
+            tau_min: 0.05,
+            tau_max: 1.0e4,
+            local_boost: 1.0e3,
+            share_cap: 3.0,
+            exchange: ExchangeStrategy::Both,
+            negative_feedback: true,
+        }
+    }
+
+    /// The β-scaled fair-share cap: `share_cap × (β_default / β)`, with the
+    /// cap disabled (infinite) at β = 0. Larger β ⇒ tighter cap ⇒ fairer,
+    /// matching Fig. 12(a)'s single-knob tradeoff.
+    pub fn effective_share_cap(&self) -> f64 {
+        if self.beta <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.share_cap * (0.2 / self.beta)
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ρ ∉ (0, 1], β < 0, the τ bounds are not ordered
+    /// `0 < tau_min ≤ tau_init ≤ tau_max`, or `local_boost < 1`.
+    pub fn validate(&self) {
+        assert!(
+            self.rho > 0.0 && self.rho <= 1.0,
+            "rho must be in (0, 1]"
+        );
+        assert!(self.beta >= 0.0 && self.beta.is_finite(), "beta must be >= 0");
+        assert!(
+            self.tau_min > 0.0 && self.tau_min <= self.tau_init && self.tau_init <= self.tau_max,
+            "tau bounds must satisfy 0 < tau_min <= tau_init <= tau_max"
+        );
+        assert!(self.local_boost >= 1.0, "local_boost must be >= 1");
+        assert!(self.share_cap >= 1.0, "share_cap must be >= 1");
+    }
+}
+
+impl Default for EAntConfig {
+    fn default() -> Self {
+        EAntConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        EAntConfig::paper_default().validate();
+        assert_eq!(EAntConfig::default(), EAntConfig::paper_default());
+    }
+
+    #[test]
+    fn exchange_flags() {
+        assert!(!ExchangeStrategy::None.machine_level());
+        assert!(!ExchangeStrategy::None.job_level());
+        assert!(ExchangeStrategy::MachineLevel.machine_level());
+        assert!(!ExchangeStrategy::MachineLevel.job_level());
+        assert!(!ExchangeStrategy::JobLevel.machine_level());
+        assert!(ExchangeStrategy::JobLevel.job_level());
+        assert!(ExchangeStrategy::Both.machine_level());
+        assert!(ExchangeStrategy::Both.job_level());
+    }
+
+    #[test]
+    fn labels_match_fig10() {
+        assert_eq!(ExchangeStrategy::None.label(), "Non-exchange");
+        assert_eq!(ExchangeStrategy::Both.label(), "+Both");
+    }
+
+    #[test]
+    fn share_cap_scales_inversely_with_beta() {
+        let base = EAntConfig::paper_default();
+        assert!((base.effective_share_cap() - base.share_cap * 0.2 / base.beta).abs() < 1e-12);
+        let tight = EAntConfig {
+            beta: 0.4,
+            ..base
+        };
+        let loose = EAntConfig {
+            beta: 0.1,
+            ..base
+        };
+        assert!(tight.effective_share_cap() < base.effective_share_cap());
+        assert!(loose.effective_share_cap() > base.effective_share_cap());
+        let off = EAntConfig { beta: 0.0, ..base };
+        assert!(off.effective_share_cap().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in (0, 1]")]
+    fn zero_rho_rejected() {
+        EAntConfig {
+            rho: 0.0,
+            ..EAntConfig::paper_default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tau bounds")]
+    fn inverted_tau_bounds_rejected() {
+        EAntConfig {
+            tau_min: 2.0,
+            tau_init: 1.0,
+            ..EAntConfig::paper_default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be >= 0")]
+    fn negative_beta_rejected() {
+        EAntConfig {
+            beta: -0.1,
+            ..EAntConfig::paper_default()
+        }
+        .validate();
+    }
+}

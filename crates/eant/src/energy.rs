@@ -1,0 +1,243 @@
+//! The Eq. 2 task-level energy model.
+
+use serde::{Deserialize, Serialize};
+use simcore::stats::least_squares;
+
+use cluster::MachineProfile;
+use hadoop_sim::TaskReport;
+
+/// Per-machine-type energy model (paper Eq. 2):
+///
+/// ```text
+/// E(T_n^j(m)) = Σ_t ( P_idle_m / m_slot  +  α_m · u(T_n^j(m)) ) · Δt
+/// ```
+///
+/// The model is identified once per machine type — `P_idle` directly and
+/// `α` by least squares over (utilization, power) samples, the "standard
+/// system identification technique" of §IV-B — and then applied to the CPU
+/// utilization samples each TaskTracker reports for its completed tasks.
+///
+/// # Examples
+///
+/// ```
+/// use eant::EnergyModel;
+/// use cluster::profiles;
+///
+/// let model = EnergyModel::from_profile(&profiles::desktop());
+/// // Desktop: 40 W idle over 6 slots + 120 W slope.
+/// assert!((model.idle_share_watts() - 40.0 / 6.0).abs() < 1e-12);
+/// assert_eq!(model.alpha_watts(), 120.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    idle_watts: f64,
+    alpha_watts: f64,
+    slots: usize,
+}
+
+impl EnergyModel {
+    /// Builds the model from known machine parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative/non-finite or `slots` is zero.
+    pub fn new(idle_watts: f64, alpha_watts: f64, slots: usize) -> Self {
+        assert!(
+            idle_watts.is_finite() && idle_watts >= 0.0,
+            "idle power must be non-negative"
+        );
+        assert!(
+            alpha_watts.is_finite() && alpha_watts >= 0.0,
+            "alpha must be non-negative"
+        );
+        assert!(slots > 0, "slot count must be positive");
+        EnergyModel {
+            idle_watts,
+            alpha_watts,
+            slots,
+        }
+    }
+
+    /// Builds the model straight from a hardware profile (perfect
+    /// identification).
+    pub fn from_profile(profile: &MachineProfile) -> Self {
+        EnergyModel::new(
+            profile.power().idle_watts(),
+            profile.power().alpha_watts(),
+            profile.total_slots(),
+        )
+    }
+
+    /// Identifies the model from `(machine utilization, measured watts)`
+    /// samples with ordinary least squares — the §IV-B procedure. The
+    /// intercept becomes `P_idle` and the slope `α`.
+    ///
+    /// Returns `None` when the samples cannot support a fit (fewer than two
+    /// distinct utilizations) or the fit is unphysical (negative idle power
+    /// or slope).
+    pub fn identify(samples: &[(f64, f64)], slots: usize) -> Option<Self> {
+        let xs: Vec<f64> = samples.iter().map(|&(u, _)| u).collect();
+        let ys: Vec<f64> = samples.iter().map(|&(_, p)| p).collect();
+        let (idle, alpha) = least_squares(&xs, &ys)?;
+        if idle < 0.0 || alpha < 0.0 || slots == 0 {
+            return None;
+        }
+        Some(EnergyModel::new(idle, alpha, slots))
+    }
+
+    /// The idle-power share charged to one occupied slot, in watts.
+    pub fn idle_share_watts(&self) -> f64 {
+        self.idle_watts / self.slots as f64
+    }
+
+    /// Identified idle power of the machine type, in watts.
+    pub fn idle_watts(&self) -> f64 {
+        self.idle_watts
+    }
+
+    /// Identified power slope α of the machine type, in watts per unit
+    /// utilization.
+    pub fn alpha_watts(&self) -> f64 {
+        self.alpha_watts
+    }
+
+    /// Slot count used for idle-power division.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Estimates the energy of one completed task from its utilization
+    /// samples (Eq. 2), in joules.
+    pub fn estimate(&self, report: &TaskReport) -> f64 {
+        report
+            .samples
+            .iter()
+            .map(|s| {
+                (self.idle_share_watts() + self.alpha_watts * s.utilization.clamp(0.0, 1.0))
+                    * s.dt_secs.max(0.0)
+            })
+            .sum()
+    }
+
+    /// Estimates the energy of a task from its mean utilization and
+    /// duration — the closed form of Eq. 2 under constant utilization.
+    pub fn estimate_mean(&self, mean_utilization: f64, duration_secs: f64) -> f64 {
+        (self.idle_share_watts() + self.alpha_watts * mean_utilization.clamp(0.0, 1.0))
+            * duration_secs.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{profiles, MachineId, SlotKind};
+    use hadoop_sim::UtilizationSample;
+    use simcore::SimTime;
+    use workload::{JobId, TaskId, TaskIndex};
+
+    fn report_with(samples: Vec<UtilizationSample>) -> TaskReport {
+        TaskReport {
+            task: TaskId {
+                job: JobId(0),
+                task: TaskIndex {
+                    kind: SlotKind::Map,
+                    index: 0,
+                },
+            },
+            machine: MachineId(0),
+            kind: SlotKind::Map,
+            job_group: "Wordcount".into(),
+            started_at: SimTime::ZERO,
+            finished_at: SimTime::from_secs(10),
+            locality: None,
+            samples,
+            shuffle_secs: 0.0,
+            true_energy_joules: 0.0,
+            straggled: false,
+            speculative: false,
+        }
+    }
+
+    #[test]
+    fn estimate_sums_samples() {
+        let m = EnergyModel::new(60.0, 60.0, 6); // 10 W/slot idle share
+        let r = report_with(vec![
+            UtilizationSample {
+                dt_secs: 3.0,
+                utilization: 0.5,
+            },
+            UtilizationSample {
+                dt_secs: 1.0,
+                utilization: 0.0,
+            },
+        ]);
+        // 3·(10 + 30) + 1·(10 + 0) = 130 J.
+        assert!((m.estimate(&r) - 130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_clamps_bad_samples() {
+        let m = EnergyModel::new(60.0, 60.0, 6);
+        let r = report_with(vec![
+            UtilizationSample {
+                dt_secs: 1.0,
+                utilization: 5.0, // clamped to 1
+            },
+            UtilizationSample {
+                dt_secs: -2.0, // ignored
+                utilization: 0.5,
+            },
+        ]);
+        assert!((m.estimate(&r) - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_mean_matches_constant_samples() {
+        let m = EnergyModel::from_profile(&profiles::xeon_e5());
+        let r = report_with(vec![
+            UtilizationSample {
+                dt_secs: 5.0,
+                utilization: 0.2,
+            },
+            UtilizationSample {
+                dt_secs: 5.0,
+                utilization: 0.2,
+            },
+        ]);
+        assert!((m.estimate(&r) - m.estimate_mean(0.2, 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identify_recovers_model_from_clean_samples() {
+        let truth = profiles::desktop().power();
+        let samples: Vec<(f64, f64)> = (0..=10)
+            .map(|i| {
+                let u = i as f64 / 10.0;
+                (u, truth.power(u))
+            })
+            .collect();
+        let m = EnergyModel::identify(&samples, 6).unwrap();
+        assert!((m.idle_watts() - truth.idle_watts()).abs() < 1e-9);
+        assert!((m.alpha_watts() - truth.alpha_watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identify_rejects_degenerate_samples() {
+        assert!(EnergyModel::identify(&[(0.5, 100.0)], 6).is_none());
+        assert!(EnergyModel::identify(&[(0.5, 100.0), (0.5, 120.0)], 6).is_none());
+        // Negative slope (power decreasing with load) is unphysical.
+        assert!(EnergyModel::identify(&[(0.0, 100.0), (1.0, 50.0)], 6).is_none());
+    }
+
+    #[test]
+    fn from_profile_uses_total_slots() {
+        let m = EnergyModel::from_profile(&profiles::atom());
+        assert_eq!(m.slots(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot count must be positive")]
+    fn zero_slots_rejected() {
+        EnergyModel::new(10.0, 10.0, 0);
+    }
+}

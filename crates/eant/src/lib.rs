@@ -1,0 +1,70 @@
+//! # E-Ant: energy-aware adaptive task assignment
+//!
+//! Reproduction of the core contribution of *"Towards Energy Efficiency in
+//! Heterogeneous Hadoop Clusters by Adaptive Task Assignment"* (Cheng, Lama,
+//! Jiang & Zhou, ICDCS 2015).
+//!
+//! E-Ant treats every Hadoop job as an **ant colony** and every task as an
+//! **ant**; assigning a task of job *j* to machine *m* is a path whose
+//! goodness is the energy the task consumed there. The components map to the
+//! paper as follows:
+//!
+//! | Module | Paper element |
+//! |---|---|
+//! | [`EnergyModel`] | Eq. 2 task-level energy estimation + least-squares α identification (§IV-B) |
+//! | [`PheromoneTable`] | τ(j, m) state with evaporation, deposit (Eq. 4–5) and cross-job negative feedback (Eq. 6) |
+//! | [`TaskAnalyzer`] | the `taskAnalyzer` that aggregates TaskTracker reports per control interval |
+//! | [`heuristic`] | the locality/fairness heuristic η (Eq. 7) and its β exponent (Eq. 8) |
+//! | [`ExchangeStrategy`] | machine-level and job-level information exchange (§IV-D) |
+//! | [`EAntScheduler`] | the adaptive task assigner: probabilistic job selection per slot offer (Eq. 3/8) |
+//! | [`offline`] | Appendix A / Table II: classic offline ACO over the static construction graph, for bounding the online system |
+//!
+//! # Implementation notes (deviations documented in DESIGN.md)
+//!
+//! * Eq. 8's denominator in the paper omits η; we normalize the product
+//!   τ·η^β across candidates so selection probabilities form a
+//!   distribution.
+//! * The paper's η = ∞ branch for node-local data is realized as a large
+//!   finite boost ([`EAntConfig::local_boost`]) so that several local
+//!   candidates can still be compared by pheromone.
+//! * Negative feedback can drive τ below zero; τ is clamped to
+//!   [`EAntConfig::tau_min`] (standard MAX–MIN ant system practice).
+//!
+//! # Examples
+//!
+//! Run E-Ant against the paper's evaluation fleet:
+//!
+//! ```
+//! use eant::{EAntConfig, EAntScheduler};
+//! use hadoop_sim::{Engine, EngineConfig};
+//! use cluster::Fleet;
+//! use workload::{Benchmark, JobId, JobSpec};
+//! use simcore::SimTime;
+//!
+//! let fleet = Fleet::paper_evaluation();
+//! let mut engine = Engine::new(fleet, EngineConfig::default(), 1);
+//! engine.submit_jobs(vec![
+//!     JobSpec::new(JobId(0), Benchmark::wordcount(), 64, 8, SimTime::ZERO),
+//!     JobSpec::new(JobId(1), Benchmark::terasort(), 64, 8, SimTime::ZERO),
+//! ]);
+//! let mut eant = EAntScheduler::new(EAntConfig::paper_default(), 1);
+//! let result = engine.run(&mut eant);
+//! assert!(result.drained);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod analyzer;
+mod config;
+mod energy;
+pub mod heuristic;
+pub mod offline;
+mod pheromone;
+mod scheduler;
+
+pub use analyzer::{IntervalFeedback, TaskAnalyzer, TaskEnergyRecord};
+pub use config::{EAntConfig, ExchangeStrategy};
+pub use energy::EnergyModel;
+pub use pheromone::PheromoneTable;
+pub use scheduler::EAntScheduler;

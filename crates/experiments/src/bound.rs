@@ -1,0 +1,185 @@
+//! Offline bound: how close does online E-Ant get to an omniscient
+//! assigner?
+//!
+//! Builds the static Table II instance for a three-benchmark map workload
+//! on the paper fleet — per-(task, machine) energies predicted by the Eq. 2
+//! model from mean demands — and compares four assignments by predicted
+//! total energy:
+//!
+//! * random feasible placement,
+//! * E-Ant's *online* placement (measured from a simulated run),
+//! * the classic offline ACO of Appendix A,
+//! * the greedy transportation heuristic.
+//!
+//! E-Ant learns from noisy feedback with no prior knowledge, so it should
+//! land between random and the offline solvers.
+
+use cluster::{Fleet, MachineProfile};
+use eant::offline::{AcoParams, OfflineInstance};
+use eant::{EAntConfig, EAntScheduler, EnergyModel};
+use hadoop_sim::{Engine, EngineConfig, NoiseConfig};
+use metrics::report::Table;
+use simcore::{SimRng, SimTime};
+use workload::{Benchmark, BenchmarkKind, JobId, JobSpec};
+
+/// Predicted Eq. 2 energy of one map task of `bench` on `profile`
+/// (node-local read, mean demands, no contention).
+fn predicted_map_energy(bench: &Benchmark, profile: &MachineProfile) -> f64 {
+    let cpu = bench.map_cpu_secs() / profile.cpu_speed();
+    let io = bench.map_io_secs() / profile.io_speed();
+    let duration = cpu + io;
+    let cores = profile.cores() as f64;
+    let u_mean = (cpu * 1.0 + io * 0.15) / duration / cores;
+    EnergyModel::from_profile(profile).estimate_mean(u_mean, duration)
+}
+
+/// Runs the bound comparison.
+pub fn run(fast: bool) -> String {
+    let per_job = if fast { 150u32 } else { 500 };
+    let fleet = Fleet::paper_evaluation();
+
+    // The workload: one map-only job per benchmark.
+    let kinds = BenchmarkKind::ALL;
+    let jobs: Vec<JobSpec> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| JobSpec::new(JobId(i as u64), Benchmark::of(k), per_job, 0, SimTime::ZERO))
+        .collect();
+    let tasks = (per_job as usize) * kinds.len();
+
+    // Static instance: task t belongs to benchmark t / per_job; machine
+    // capacities proportional to map-slot share (plus slack so every
+    // instance is feasible).
+    let total_slots: usize = fleet.iter().map(|m| m.profile().map_slots()).sum();
+    let capacities: Vec<usize> = fleet
+        .iter()
+        .map(|m| {
+            (tasks as f64 * m.profile().map_slots() as f64 / total_slots as f64).ceil() as usize
+                + 1
+        })
+        .collect();
+    let energy: Vec<Vec<f64>> = (0..tasks)
+        .map(|t| {
+            let bench = Benchmark::of(kinds[t / per_job as usize]);
+            fleet
+                .iter()
+                .map(|m| predicted_map_energy(&bench, m.profile()))
+                .collect()
+        })
+        .collect();
+    let instance = OfflineInstance::new(energy, capacities).expect("feasible instance");
+
+    let mut rng = SimRng::seed_from(77);
+    let random_cost = instance
+        .total_energy(&instance.solve_random(&mut rng))
+        .expect("feasible") / 1000.0;
+    let greedy_cost = instance
+        .total_energy(&instance.solve_greedy())
+        .expect("feasible") / 1000.0;
+    let aco_cost = instance
+        .total_energy(&instance.solve_aco(&AcoParams::default(), &mut rng))
+        .expect("feasible") / 1000.0;
+
+    // E-Ant online: run the same workload, score its placement with the
+    // same predicted energies.
+    let cfg = EngineConfig {
+        noise: NoiseConfig::paper_default(),
+        // A shorter control interval than the 5-min default: this workload
+        // runs for minutes, and the online assigner needs several feedback
+        // rounds to have learned anything at all.
+        control_interval: simcore::SimDuration::from_secs(45),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(fleet.clone(), cfg, 77);
+    engine.submit_jobs(jobs);
+    let mut eant = EAntScheduler::new(EAntConfig::paper_default(), 77);
+    let result = engine.run(&mut eant);
+    assert!(result.drained);
+    let mut online_cost = 0.0;
+    for m in &result.machines {
+        let profile = fleet
+            .iter()
+            .find(|fm| fm.id() == m.machine)
+            .expect("machine exists")
+            .profile()
+            .clone();
+        for (bench_name, count) in &m.tasks_by_benchmark {
+            let kind = kinds
+                .iter()
+                .find(|k| k.as_str() == bench_name)
+                .expect("known benchmark");
+            online_cost += predicted_map_energy(&Benchmark::of(*kind), &profile)
+                * *count as f64
+                / 1000.0;
+        }
+    }
+
+    let mut t = Table::new(
+        format!("Offline bound (Appendix A / Table II) — {tasks} map tasks on the paper fleet"),
+        &["assigner", "predicted energy (kJ)", "vs random"],
+    );
+    for (name, cost) in [
+        ("random feasible", random_cost),
+        ("E-Ant (online, no prior knowledge)", online_cost),
+        ("classic ACO (offline, omniscient)", aco_cost),
+        ("greedy transport (offline, omniscient)", greedy_cost),
+    ] {
+        t.row(&[
+            name.to_owned(),
+            format!("{cost:.1}"),
+            format!("{:+.1}%", (random_cost - cost) / random_cost * 100.0),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "note: with the paper's uniform 4-map-slot configuration the static \
+         mix-placement headroom is only a few percent — most of E-Ant's \
+         measured savings (Fig. 8a) come from interval-level dynamics \
+         (completion-rate-weighted feedback and makespan), which this \
+         static metric deliberately excludes.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicted_energies_reflect_machine_strengths() {
+        // Wordcount (CPU-bound) must be cheaper on the T420 than on the
+        // desktop; Grep (I/O-bound) the other way.
+        let wc = Benchmark::wordcount();
+        let grep = Benchmark::grep();
+        let desktop = cluster::profiles::desktop();
+        let t420 = cluster::profiles::t420();
+        assert!(predicted_map_energy(&wc, &t420) < predicted_map_energy(&wc, &desktop));
+        assert!(predicted_map_energy(&grep, &desktop) < predicted_map_energy(&grep, &t420));
+    }
+
+    #[test]
+    fn online_lands_between_random_and_offline() {
+        let s = run(true);
+        let costs: Vec<f64> = s
+            .lines()
+            .skip(3)
+            .filter_map(|l| {
+                let mut parts = l.split_whitespace().rev();
+                let _pct = parts.next()?;
+                parts.next()?.parse().ok()
+            })
+            .collect();
+        assert_eq!(costs.len(), 4, "{s}");
+        let (random, online, aco, greedy) = (costs[0], costs[1], costs[2], costs[3]);
+        assert!(aco <= random, "offline ACO must beat random");
+        assert!(greedy <= random * 1.001);
+        assert!(
+            online <= random * 1.02,
+            "online E-Ant should not lose to random placement: {online} vs {random}"
+        );
+        assert!(
+            online >= aco * 0.98,
+            "online cannot beat the omniscient bound meaningfully"
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! Shared experiment machinery: scheduler factory, MSD scenarios, runs.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use baselines::{FairScheduler, FifoScheduler, TarazuScheduler};
+use cluster::Fleet;
+use eant::{EAntConfig, EAntScheduler};
+use hadoop_sim::{Engine, EngineConfig, RunResult, Scheduler};
+use simcore::{SimRng, SimTime};
+use workload::msd::MsdConfig;
+use workload::{JobId, JobSpec};
+
+/// Which scheduler a run uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerKind {
+    /// Default Hadoop FIFO — the paper's "heterogeneity-agnostic Hadoop".
+    Fifo,
+    /// Hadoop Fair Scheduler.
+    Fair,
+    /// Tarazu reimplementation.
+    Tarazu,
+    /// E-Ant with the given configuration.
+    EAnt(EAntConfig),
+}
+
+impl SchedulerKind {
+    /// Instantiates the scheduler with `seed`.
+    pub fn make(&self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
+            SchedulerKind::Fair => Box::new(FairScheduler::new()),
+            SchedulerKind::Tarazu => Box::new(TarazuScheduler::new(seed)),
+            SchedulerKind::EAnt(cfg) => Box::new(EAntScheduler::new(*cfg, seed)),
+        }
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "FIFO",
+            SchedulerKind::Fair => "Fair",
+            SchedulerKind::Tarazu => "Tarazu",
+            SchedulerKind::EAnt(_) => "E-Ant",
+        }
+    }
+}
+
+/// A complete experiment scenario: fleet, workload and engine settings.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Root seed shared by workload generation and the engine.
+    pub seed: u64,
+    /// MSD generator configuration.
+    pub msd: MsdConfig,
+    /// Engine configuration.
+    pub engine: EngineConfig,
+}
+
+impl Scenario {
+    /// The paper-scale scenario: 87 MSD jobs on the 16-node fleet with
+    /// system noise. The submission window is set for the same job
+    /// concurrency density as the validated fast scenario (~2.5 jobs/min),
+    /// which reproduces the paper's moderately loaded cluster; task counts
+    /// are scaled by 64 like the paper scaled its own workload down.
+    pub fn paper(seed: u64) -> Self {
+        Scenario {
+            seed,
+            msd: MsdConfig {
+                task_scale: 64,
+                num_jobs: 87,
+                submission_window: simcore::SimDuration::from_mins(35),
+            },
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// A reduced scenario for fast runs: fewer jobs at the same cluster
+    /// load level.
+    pub fn fast(seed: u64) -> Self {
+        Scenario {
+            seed,
+            msd: MsdConfig {
+                num_jobs: 30,
+                task_scale: 64,
+                submission_window: simcore::SimDuration::from_mins(12),
+            },
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// Picks paper or fast scale.
+    pub fn sized(fast: bool, seed: u64) -> Self {
+        if fast {
+            Scenario::fast(seed)
+        } else {
+            Scenario::paper(seed)
+        }
+    }
+
+    /// Generates this scenario's job mix.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        self.msd
+            .generate(&mut SimRng::seed_from(self.seed).fork("msd"))
+    }
+
+    /// Runs the MSD workload on the paper fleet under `scheduler`.
+    pub fn run(&self, scheduler: &SchedulerKind) -> RunResult {
+        self.run_on(Fleet::paper_evaluation(), scheduler)
+    }
+
+    /// Runs the MSD workload on an explicit fleet.
+    pub fn run_on(&self, fleet: Fleet, scheduler: &SchedulerKind) -> RunResult {
+        let mut engine = Engine::new(fleet, self.engine.clone(), self.seed);
+        engine.submit_jobs(self.jobs());
+        let mut sched = scheduler.make(self.seed);
+        let mut result = engine.run(sched.as_mut());
+        result.scheduler = sched.name().to_owned();
+        result
+    }
+}
+
+/// Runs independent closures concurrently on OS threads (one per item)
+/// and returns their results in order. Simulation runs are CPU-bound and
+/// independent, so seed sweeps scale nearly linearly.
+pub fn parallel_runs<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .map(|task| scope.spawn(move |_| task()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation thread panicked"))
+            .collect()
+    })
+    .expect("thread scope")
+}
+
+/// Merges several same-fleet runs of one scheduler into a single result
+/// for figure rendering: machine energies and task counts are averaged
+/// across runs, job outcomes are concatenated (the label-keyed completion
+/// averages then pool all repetitions), and time-series data is taken from
+/// the first run.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or fleets differ in size.
+pub fn merge_runs(mut runs: Vec<RunResult>) -> RunResult {
+    assert!(!runs.is_empty(), "need at least one run to merge");
+    let n = runs.len() as f64;
+    let mut base = runs.remove(0);
+    for other in &runs {
+        assert_eq!(
+            base.machines.len(),
+            other.machines.len(),
+            "fleet size mismatch"
+        );
+        for (m, o) in base.machines.iter_mut().zip(&other.machines) {
+            m.energy_joules += o.energy_joules;
+            m.idle_joules += o.idle_joules;
+            m.workload_joules += o.workload_joules;
+            m.mean_utilization += o.mean_utilization;
+            m.map_tasks += o.map_tasks;
+            m.reduce_tasks += o.reduce_tasks;
+            for (bench, c) in &o.tasks_by_benchmark {
+                *m.tasks_by_benchmark.entry(bench.clone()).or_insert(0) += c;
+            }
+        }
+        base.jobs.extend(other.jobs.iter().cloned());
+        base.total_tasks += other.total_tasks;
+        base.drained &= other.drained;
+    }
+    for m in &mut base.machines {
+        m.energy_joules /= n;
+        m.idle_joules /= n;
+        m.workload_joules /= n;
+        m.mean_utilization /= n;
+        // Task counts stay averaged too so per-machine rates are per-run.
+        m.map_tasks = (m.map_tasks as f64 / n).round() as u64;
+        m.reduce_tasks = (m.reduce_tasks as f64 / n).round() as u64;
+        for c in m.tasks_by_benchmark.values_mut() {
+            *c = (*c as f64 / n).round() as u64;
+        }
+    }
+    base
+}
+
+/// Seeds used for the repeated headline comparison.
+pub const COMPARISON_SEEDS: [u64; 5] = [2015, 7, 99, 42, 1234];
+
+/// The three-way comparison every Fig. 8 / Fig. 9 panel draws from: the
+/// same MSD workloads under Fair, Tarazu and E-Ant, averaged over
+/// [`COMPARISON_SEEDS`]. Cached per scale so `experiments all` computes it
+/// once.
+pub fn msd_comparison(fast: bool) -> Arc<Vec<RunResult>> {
+    static CACHE: OnceLock<Mutex<HashMap<bool, Arc<Vec<RunResult>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("cache lock").get(&fast) {
+        return Arc::clone(hit);
+    }
+    // All (scheduler × seed) runs are independent: fan them out.
+    let kinds = [
+        SchedulerKind::Fair,
+        SchedulerKind::Tarazu,
+        SchedulerKind::EAnt(EAntConfig::paper_default()),
+    ];
+    let tasks: Vec<_> = kinds
+        .iter()
+        .flat_map(|kind| {
+            COMPARISON_SEEDS.iter().map(move |&seed| {
+                let kind = kind.clone();
+                move || Scenario::sized(fast, seed).run(&kind)
+            })
+        })
+        .collect();
+    let mut flat = parallel_runs(tasks);
+    let runs: Vec<RunResult> = kinds
+        .iter()
+        .map(|_| merge_runs(flat.drain(..COMPARISON_SEEDS.len()).collect()))
+        .collect();
+    let arc = Arc::new(runs);
+    cache
+        .lock()
+        .expect("cache lock")
+        .insert(fast, Arc::clone(&arc));
+    arc
+}
+
+/// Standalone completion time of each job (seconds): every job is run
+/// alone on an idle copy of the fleet under FIFO — the "standalone
+/// execution time" of the paper's slowdown metric \[18\].
+pub fn standalone_times(scenario: &Scenario) -> BTreeMap<JobId, f64> {
+    let mut out = BTreeMap::new();
+    for spec in scenario.jobs() {
+        let solo = JobSpec::new(
+            JobId(0),
+            spec.benchmark().clone(),
+            spec.num_maps(),
+            spec.num_reduces(),
+            SimTime::ZERO,
+        );
+        let mut engine = Engine::new(
+            Fleet::paper_evaluation(),
+            scenario.engine.clone(),
+            scenario.seed,
+        );
+        engine.submit_jobs(vec![solo]);
+        let mut fifo = FifoScheduler::new();
+        let result = engine.run(&mut fifo);
+        if let Some(ct) = result.jobs[0].completion_time() {
+            out.insert(spec.id(), ct.as_secs_f64());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_factory_labels() {
+        assert_eq!(SchedulerKind::Fifo.label(), "FIFO");
+        assert_eq!(SchedulerKind::Fair.label(), "Fair");
+        assert_eq!(SchedulerKind::Tarazu.label(), "Tarazu");
+        assert_eq!(
+            SchedulerKind::EAnt(EAntConfig::paper_default()).label(),
+            "E-Ant"
+        );
+        assert_eq!(SchedulerKind::Fair.make(0).name(), "Fair");
+    }
+
+    #[test]
+    fn fast_scenario_runs_all_schedulers() {
+        let scenario = Scenario::fast(1);
+        for kind in [
+            SchedulerKind::Fifo,
+            SchedulerKind::Fair,
+            SchedulerKind::Tarazu,
+            SchedulerKind::EAnt(EAntConfig::paper_default()),
+        ] {
+            let r = scenario.run(&kind);
+            assert!(r.drained, "{} failed to drain", kind.label());
+            assert_eq!(r.scheduler, kind.label());
+        }
+    }
+
+    #[test]
+    fn scenario_jobs_deterministic() {
+        let s = Scenario::fast(5);
+        assert_eq!(s.jobs(), s.jobs());
+    }
+}

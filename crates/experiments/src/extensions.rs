@@ -1,0 +1,246 @@
+//! Extension experiment: E-Ant + idle power-down (the paper's §VIII
+//! future work — "integration of E-Ant with cluster resource provisioning
+//! and server consolidation techniques").
+//!
+//! The engine's optional [`PowerDownConfig`] suspends machines during
+//! cluster-wide work droughts. This experiment measures the additional
+//! savings it brings on top of E-Ant for a bursty MSD arrival pattern
+//! (long inter-burst gaps are where consolidation pays).
+
+use eant::EAntConfig;
+use hadoop_sim::{
+    DvfsConfig, Engine, EngineConfig, NoiseConfig, PowerDownConfig, RunResult, SpeculationPolicy,
+};
+use metrics::report::Table;
+use simcore::{SimDuration, SimRng, SimTime};
+use workload::msd::MsdConfig;
+use workload::JobSpec;
+
+use crate::common::SchedulerKind;
+
+/// A bursty submission plan: the MSD jobs arrive in three bursts separated
+/// by long idle gaps.
+fn bursty_jobs(seed: u64, fast: bool) -> Vec<JobSpec> {
+    let cfg = MsdConfig {
+        num_jobs: if fast { 18 } else { 30 },
+        task_scale: 96,
+        submission_window: SimDuration::from_mins(6),
+    };
+    let base = cfg.generate(&mut SimRng::seed_from(seed).fork("msd"));
+    // Re-time into three bursts 20 minutes apart.
+    base.into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let burst = (i % 3) as u64;
+            let offset = SimDuration::from_mins(20 * burst)
+                + SimDuration::from_secs(10 * (i as u64 / 3));
+            JobSpec::new(
+                spec.id(),
+                spec.benchmark().clone(),
+                spec.num_maps(),
+                spec.num_reduces(),
+                SimTime::ZERO + offset,
+            )
+        })
+        .collect()
+}
+
+fn run(seed: u64, fast: bool, power_down: Option<PowerDownConfig>) -> RunResult {
+    let cfg = EngineConfig {
+        power_down,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(cluster::Fleet::paper_evaluation(), cfg, seed);
+    engine.submit_jobs(bursty_jobs(seed, fast));
+    let kind = SchedulerKind::EAnt(EAntConfig::paper_default());
+    let mut sched = kind.make(seed);
+    let mut result = engine.run(sched.as_mut());
+    result.scheduler = sched.name().to_owned();
+    result
+}
+
+/// Runs the consolidation extension study.
+pub fn powerdown(fast: bool) -> String {
+    let seeds: &[u64] = if fast { &[1, 2] } else { &[1, 2, 3, 4] };
+    let mut on = (0.0, 0.0);
+    let mut off = (0.0, 0.0);
+    for &seed in seeds {
+        let plain = run(seed, fast, None);
+        off.0 += plain.total_energy_joules() / 1000.0;
+        off.1 += plain.makespan.as_mins_f64();
+        let saver = run(seed, fast, Some(PowerDownConfig::suspend_to_ram()));
+        assert!(saver.drained, "power-down must not strand work");
+        on.0 += saver.total_energy_joules() / 1000.0;
+        on.1 += saver.makespan.as_mins_f64();
+    }
+    let n = seeds.len() as f64;
+    let mut t = Table::new(
+        "Extension (§VIII future work) — E-Ant with idle power-down, bursty MSD",
+        &["configuration", "energy (kJ)", "makespan (min)"],
+    );
+    t.num_row("E-Ant, always-on fleet", &[off.0 / n, off.1 / n], 1);
+    t.num_row("E-Ant + suspend-to-RAM", &[on.0 / n, on.1 / n], 1);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "additional saving from consolidation: {:.1}% (bursty arrivals; \
+         storage availability not modeled — see DESIGN.md)\n",
+        (off.0 - on.0) / off.0 * 100.0
+    ));
+    out
+}
+
+/// Extension: speculative execution (Hadoop backup tasks and LATE,
+/// Zaharia et al. OSDI'08 — the §VII related-work line). Under strong
+/// straggler noise on the heterogeneous fleet, backups cut the tail at the
+/// cost of wasted attempts; LATE wastes less by restricting backups to
+/// fast machines.
+pub fn speculation(fast: bool) -> String {
+    let seeds: &[u64] = if fast { &[1, 2] } else { &[1, 2, 3, 4, 5, 6] };
+    let policies = [
+        ("Off", SpeculationPolicy::Off),
+        ("Hadoop", SpeculationPolicy::Hadoop),
+        ("LATE", SpeculationPolicy::Late),
+    ];
+    let mut t = Table::new(
+        "Extension — speculative execution under straggler noise (E-Ant)",
+        &["policy", "makespan (min)", "energy (kJ)", "backups", "wasted"],
+    );
+    for (name, policy) in policies {
+        let mut makespan = 0.0;
+        let mut energy = 0.0;
+        let mut backups = 0u64;
+        let mut wasted = 0u64;
+        for &seed in seeds {
+            let cfg = EngineConfig {
+                noise: NoiseConfig {
+                    straggler_prob: 0.12,
+                    straggler_slowdown: (3.0, 6.0),
+                    utilization_jitter: 0.12,
+                },
+                speculation: policy,
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(cluster::Fleet::paper_evaluation(), cfg, seed);
+            engine.submit_jobs(
+                MsdConfig {
+                    num_jobs: if fast { 12 } else { 20 },
+                    task_scale: 96,
+                    submission_window: SimDuration::from_mins(8),
+                }
+                .generate(&mut SimRng::seed_from(seed).fork("msd")),
+            );
+            let kind = SchedulerKind::EAnt(EAntConfig::paper_default());
+            let mut sched = kind.make(seed);
+            let r = engine.run(sched.as_mut());
+            assert!(r.drained);
+            makespan += r.makespan.as_mins_f64() / seeds.len() as f64;
+            energy += r.total_energy_joules() / 1000.0 / seeds.len() as f64;
+            backups += r.speculative_attempts;
+            wasted += r.wasted_attempts;
+        }
+        t.row(&[
+            name.to_owned(),
+            format!("{makespan:.1}"),
+            format!("{energy:.1}"),
+            (backups / seeds.len() as u64).to_string(),
+            (wasted / seeds.len() as u64).to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Extension: DVFS ("slow down or sleep", the paper's reference \[16\]).
+/// Machines shift to a lower frequency when lightly utilized, trading a
+/// service-time stretch for lower power. Run under the deterministic Fair
+/// Scheduler so the energy delta is attributable to DVFS alone rather than
+/// to E-Ant's stochastic assignment trajectory.
+///
+/// The experiment answers the reference's question concretely at two load
+/// levels — and, like the reference's measurements on modern hardware, the
+/// answer is *sleep*: with idle-dominated power models and
+/// drain-to-completion accounting, the stretched critical path re-buys
+/// more fleet idle energy than the lower frequency saves at every load, so
+/// suspending (ext_powerdown) is the profitable lever while DVFS is not.
+pub fn dvfs(fast: bool) -> String {
+    let seeds: &[u64] = if fast { &[1, 2] } else { &[1, 2, 3, 4, 5, 6] };
+    let mut t = Table::new(
+        "Extension — DVFS under the Fair Scheduler (eco frequency 0.7 below 20% utilization)",
+        &["load regime", "configuration", "energy (kJ)", "makespan (min)"],
+    );
+    for (regime, num_jobs, window_mins) in [
+        ("light", if fast { 6 } else { 10 }, 20u64),
+        ("moderate", if fast { 12 } else { 24 }, 10),
+    ] {
+        for (name, dvfs) in [
+            ("nominal frequency", None),
+            ("DVFS conservative", Some(DvfsConfig::conservative())),
+        ] {
+            let mut energy = 0.0;
+            let mut makespan = 0.0;
+            for &seed in seeds {
+                let cfg = EngineConfig {
+                    dvfs,
+                    ..EngineConfig::default()
+                };
+                let mut engine = Engine::new(cluster::Fleet::paper_evaluation(), cfg, seed);
+                engine.submit_jobs(
+                    MsdConfig {
+                        num_jobs,
+                        task_scale: 96,
+                        submission_window: SimDuration::from_mins(window_mins),
+                    }
+                    .generate(&mut SimRng::seed_from(seed).fork("msd")),
+                );
+                let mut sched = SchedulerKind::Fair.make(seed);
+                let r = engine.run(sched.as_mut());
+                assert!(r.drained);
+                energy += r.total_energy_joules() / 1000.0 / seeds.len() as f64;
+                makespan += r.makespan.as_mins_f64() / seeds.len() as f64;
+            }
+            t.row(&[
+                regime.to_owned(),
+                name.to_owned(),
+                format!("{energy:.1}"),
+                format!("{makespan:.1}"),
+            ]);
+        }
+    }
+    let mut out = t.render();
+    out.push_str(
+        "conclusion: 'slow down or sleep?' — sleep. DVFS stretches the \
+         critical path and re-buys fleet idle energy; see ext_powerdown \
+         for the winning lever.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dvfs_report_covers_both_modes() {
+        let s = dvfs(true);
+        assert!(s.contains("nominal frequency"));
+        assert!(s.contains("DVFS conservative"));
+    }
+
+    #[test]
+    fn speculation_report_covers_policies() {
+        let s = speculation(true);
+        for p in ["Off", "Hadoop", "LATE"] {
+            assert!(s.contains(p), "missing {p}");
+        }
+    }
+
+    #[test]
+    fn powerdown_saves_energy_on_bursty_arrivals() {
+        let s = powerdown(true);
+        let saving: f64 = s
+            .lines()
+            .find(|l| l.starts_with("additional saving"))
+            .and_then(|l| l.split(&[' ', '%'][..]).nth(4)?.parse().ok())
+            .expect("saving line parses");
+        assert!(saving > 5.0, "expected real consolidation savings, got {saving}%:\n{s}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Fig. 1: the motivation study.
+//!
+//! (a) throughput-per-watt vs task arrival rate on heterogeneous platforms;
+//! (b) idle vs workload power under light/heavy load;
+//! (c) throughput-per-watt per benchmark on the Xeon server;
+//! (d) normalized map/shuffle/reduce completion-time breakdown.
+
+use cluster::{profiles, Fleet, SlotKind};
+use hadoop_sim::single_node::{run as single_run, SingleNodeConfig};
+use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig};
+use metrics::report::{render_series, Table};
+use simcore::{SimDuration, SimTime};
+use workload::{Benchmark, BenchmarkKind, JobId, JobSpec};
+
+fn horizon(fast: bool) -> SimDuration {
+    if fast {
+        SimDuration::from_mins(30)
+    } else {
+        SimDuration::from_mins(120)
+    }
+}
+
+/// Fig. 1(a): Wordcount stream on the Table I desktop vs Xeon E5, each at
+/// its own capacity slot configuration, sweeping arrival rate.
+pub fn fig1a(fast: bool) -> String {
+    let rates = [5.0, 8.0, 10.0, 12.0, 15.0, 20.0, 25.0];
+    let mut desktop = Vec::new();
+    let mut xeon = Vec::new();
+    for &rate in &rates {
+        for (profile, out) in [
+            (profiles::desktop(), &mut desktop),
+            (profiles::xeon_e5(), &mut xeon),
+        ] {
+            let cfg = SingleNodeConfig {
+                horizon: horizon(fast),
+                ..SingleNodeConfig::new(
+                    profile.with_capacity_slots(),
+                    Benchmark::wordcount(),
+                    rate,
+                )
+            };
+            out.push(single_run(&cfg).throughput_per_watt() * 1000.0);
+        }
+    }
+    let mut s = render_series(
+        "Fig. 1(a) — throughput/watt vs arrival rate (Wordcount), heterogeneous platforms",
+        "rate (task/min)",
+        &rates,
+        &[
+            ("Core i7 (×1e-3 t/s/W)", desktop.clone()),
+            ("Xeon E5 (×1e-3 t/s/W)", xeon.clone()),
+        ],
+        4,
+    );
+    // Locate the crossover (the paper reports ≈ 12 task/min).
+    let crossover = rates
+        .iter()
+        .zip(desktop.iter().zip(&xeon))
+        .find(|(_, (d, x))| x > d)
+        .map(|(r, _)| *r);
+    s.push_str(&match crossover {
+        Some(r) => format!("crossover: Xeon overtakes i7 at ~{r} task/min (paper: ~12)\n"),
+        None => "crossover: not reached in sweep\n".to_owned(),
+    });
+    s
+}
+
+/// Fig. 1(b): power breakdown (idle system vs workload) at light
+/// (10 task/min) and heavy (20 task/min) load on both platforms.
+pub fn fig1b(fast: bool) -> String {
+    let mut t = Table::new(
+        "Fig. 1(b) — power consumption breakdown (Wordcount)",
+        &["scenario", "machine", "idle system (W)", "workload (W)", "total (W)"],
+    );
+    for (label, rate) in [("light (10/min)", 10.0), ("heavy (20/min)", 20.0)] {
+        for profile in [profiles::desktop(), profiles::xeon_e5()] {
+            let name = profile.name().to_owned();
+            let cfg = SingleNodeConfig {
+                horizon: horizon(fast),
+                ..SingleNodeConfig::new(profile.with_capacity_slots(), Benchmark::wordcount(), rate)
+            };
+            let r = single_run(&cfg);
+            let idle_w = r.idle_joules / r.horizon_secs;
+            let work_w = r.workload_joules / r.horizon_secs;
+            t.row(&[
+                label.to_owned(),
+                name,
+                format!("{idle_w:.1}"),
+                format!("{work_w:.1}"),
+                format!("{:.1}", r.mean_power_watts),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// Fig. 1(c): throughput-per-watt per benchmark on the Xeon E5 in the
+/// paper's standard 4-map-slot configuration, demonstrating each workload
+/// saturates (and therefore peaks in efficiency) at a different arrival
+/// rate.
+pub fn fig1c(fast: bool) -> String {
+    let rates = [10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 50.0];
+    let mut series = Vec::new();
+    for kind in BenchmarkKind::ALL {
+        let ys: Vec<f64> = rates
+            .iter()
+            .map(|&rate| {
+                let cfg = SingleNodeConfig {
+                    horizon: horizon(fast),
+                    ..SingleNodeConfig::new(profiles::xeon_e5(), Benchmark::of(kind), rate)
+                };
+                single_run(&cfg).throughput_per_watt() * 1000.0
+            })
+            .collect();
+        series.push((kind.as_str(), ys));
+    }
+    let named: Vec<(&str, Vec<f64>)> = series;
+    let mut s = render_series(
+        "Fig. 1(c) — throughput/watt vs arrival rate per benchmark (Xeon E5)",
+        "rate (task/min)",
+        &rates,
+        &named,
+        4,
+    );
+    for (name, ys) in &named {
+        // Report the earliest rate achieving ≥99 % of the best efficiency:
+        // beyond saturation the curve plateaus, and the plateau's onset is
+        // the machine's peak-efficiency operating point.
+        let best = ys.iter().copied().fold(f64::MIN, f64::max);
+        let peak = rates
+            .iter()
+            .zip(ys)
+            .find(|(_, &y)| y >= 0.99 * best)
+            .map(|(r, _)| *r)
+            .unwrap();
+        s.push_str(&format!("peak efficiency for {name}: ~{peak} task/min\n"));
+    }
+    s
+}
+
+/// Fig. 1(d): normalized map/shuffle/reduce completion-time breakdown per
+/// benchmark, from full job runs on a homogeneous Xeon sub-cluster.
+pub fn fig1d(fast: bool) -> String {
+    let maps = if fast { 48 } else { 192 };
+    let mut t = Table::new(
+        "Fig. 1(d) — normalized breakdown of job completion time",
+        &["benchmark", "map", "shuffle", "reduce"],
+    );
+    for kind in BenchmarkKind::ALL {
+        let fleet = Fleet::builder().add(profiles::xeon_e5(), 4).build().unwrap();
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            record_reports: true,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(fleet, cfg, 17);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::of(kind),
+            maps,
+            maps / 4,
+            SimTime::ZERO,
+        )]);
+        let r = engine.run(&mut GreedyScheduler::new());
+        // Hadoop's "shuffle" phase covers both the network fetch and the
+        // fetch-side disk I/O (merge spills); attribute the reduce's I/O
+        // share accordingly, leaving the compute share as "reduce".
+        let bench = Benchmark::of(kind);
+        let io_share = bench.reduce_io_per_mb()
+            / (bench.reduce_io_per_mb() + bench.reduce_cpu_per_mb());
+        let mut map_secs = 0.0;
+        let mut shuffle_secs = 0.0;
+        let mut reduce_secs = 0.0;
+        for rep in &r.reports {
+            let dur = rep.execution_time().as_secs_f64();
+            match rep.kind {
+                SlotKind::Map => map_secs += dur,
+                SlotKind::Reduce => {
+                    let service = dur - rep.shuffle_secs;
+                    shuffle_secs += rep.shuffle_secs + service * io_share;
+                    reduce_secs += service * (1.0 - io_share);
+                }
+            }
+        }
+        let total = (map_secs + shuffle_secs + reduce_secs).max(1e-9);
+        t.num_row(
+            kind.as_str(),
+            &[
+                map_secs / total,
+                shuffle_secs / total,
+                reduce_secs / total,
+            ],
+            3,
+        );
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_shows_crossover_shape() {
+        let s = fig1a(true);
+        assert!(s.contains("crossover: Xeon overtakes i7"), "{s}");
+    }
+
+    #[test]
+    fn fig1d_wordcount_is_map_dominated() {
+        let s = fig1d(true);
+        let line = s
+            .lines()
+            .find(|l| l.starts_with("Wordcount"))
+            .expect("wordcount row");
+        let cells: Vec<f64> = line
+            .split_whitespace()
+            .skip(1)
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert!(
+            cells[0] > 0.5,
+            "map fraction should dominate Wordcount: {cells:?}"
+        );
+        // Terasort: shuffle+reduce dominate.
+        let ts = s.lines().find(|l| l.starts_with("Terasort")).unwrap();
+        let tcells: Vec<f64> = ts
+            .split_whitespace()
+            .skip(1)
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert!(
+            tcells[1] + tcells[2] > 0.4,
+            "shuffle+reduce should be substantial for Terasort: {tcells:?}"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Fig. 4: estimation accuracy of the Eq. 2 energy model.
+//!
+//! For each benchmark and machine type, staggered jobs keep a single
+//! metered machine's slots occupied with system noise enabled. The
+//! "recorded value" is the wall-socket meter (the simulator's ground-truth
+//! integrator); the "estimated value" is the sum of per-task Eq. 2
+//! estimates computed from the noisy utilization samples the TaskTracker
+//! reported. Accuracy is the NRMSE over per-interval energy samples
+//! (estimates prorated over the intervals each task spans), as the paper
+//! reports: Wordcount 7.9 %, Terasort 10.5 %, Grep 11.6 %.
+
+use cluster::{Fleet, MachineProfile};
+use eant::EnergyModel;
+use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig};
+use metrics::report::Table;
+use simcore::stats::nrmse_mean;
+use simcore::{SimDuration, SimTime};
+use workload::{Benchmark, BenchmarkKind, JobId, JobSpec};
+
+struct Accuracy {
+    recorded_kj: f64,
+    estimated_kj: f64,
+    nrmse_pct: Option<f64>,
+}
+
+fn measure(profile: MachineProfile, kind: BenchmarkKind, maps: u32, seed: u64) -> Accuracy {
+    // All six slots carry map work so every slot's idle share is
+    // attributable — matching the paper's measurement condition of a node
+    // saturated by the job under test. Eq. 2 charges `P_idle / m_slot` per
+    // *occupied* slot, so an empty slot's idle power is invisible to the
+    // estimator by construction; isolating model accuracy requires a busy
+    // machine.
+    let profile = profile.with_slots(6, 0);
+    let fleet = Fleet::builder().add(profile.clone(), 1).build().unwrap();
+    let cfg = EngineConfig {
+        noise: NoiseConfig::paper_default(),
+        record_reports: true,
+        control_interval: SimDuration::from_secs(60),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(fleet, cfg, seed);
+    // Staggered map-only waves of the same application keep the machine
+    // loaded end to end.
+    engine.submit_jobs(
+        (0..3)
+            .map(|i| {
+                JobSpec::new(
+                    JobId(i),
+                    Benchmark::of(kind),
+                    maps,
+                    0,
+                    SimTime::from_secs(i * 30),
+                )
+            })
+            .collect(),
+    );
+    let result = engine.run(&mut GreedyScheduler::new());
+
+    let model = EnergyModel::from_profile(&profile);
+    let estimated: f64 = result.reports.iter().map(|r| model.estimate(r)).sum();
+    let recorded = result.total_energy_joules();
+
+    // Per-interval samples: metered interval energy vs estimated interval
+    // energy, with each task's estimate prorated over the intervals its
+    // execution spans.
+    let n = result.intervals.len();
+    let mut estimated_samples = vec![0.0; n];
+    let mut bounds = Vec::with_capacity(n + 1);
+    bounds.push(SimTime::ZERO);
+    bounds.extend(result.intervals.iter().map(|s| s.at));
+    for r in &result.reports {
+        let total = r.execution_time().as_secs_f64().max(1e-9);
+        let e = model.estimate(r);
+        for i in 0..n {
+            let lo = bounds[i].max(r.started_at);
+            let hi = bounds[i + 1].min(r.finished_at);
+            let overlap = hi.saturating_since(lo).as_secs_f64();
+            if overlap > 0.0 {
+                estimated_samples[i] += e * overlap / total;
+            }
+        }
+    }
+    let mut recorded_samples = Vec::with_capacity(n);
+    let mut prev = 0.0;
+    for snap in &result.intervals {
+        recorded_samples.push(snap.cumulative_energy_joules - prev);
+        prev = snap.cumulative_energy_joules;
+    }
+
+    Accuracy {
+        recorded_kj: recorded / 1000.0,
+        estimated_kj: estimated / 1000.0,
+        nrmse_pct: nrmse_mean(&recorded_samples, &estimated_samples).map(|v| v * 100.0),
+    }
+}
+
+/// Runs the accuracy experiment on both Table I machines.
+pub fn run(fast: bool) -> String {
+    let maps = if fast { 48 } else { 160 };
+    let mut out = String::new();
+    for (fig, profile) in [
+        ("Fig. 4(a) — Dell desktop", cluster::profiles::desktop()),
+        ("Fig. 4(b) — PowerEdge server", cluster::profiles::xeon_e5()),
+    ] {
+        let mut t = Table::new(
+            format!("{fig}: recorded vs estimated task energy"),
+            &["workload", "recorded (kJ)", "estimated (kJ)", "NRMSE (%)"],
+        );
+        for kind in BenchmarkKind::ALL {
+            let acc = measure(profile.clone(), kind, maps, 21);
+            t.row(&[
+                kind.as_str().to_owned(),
+                format!("{:.1}", acc.recorded_kj),
+                format!("{:.1}", acc.estimated_kj),
+                acc.nrmse_pct
+                    .map_or("n/a".to_owned(), |v| format!("{v:.1}")),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_track_recorded_energy() {
+        let acc = measure(cluster::profiles::desktop(), BenchmarkKind::Wordcount, 48, 3);
+        assert!(acc.recorded_kj > 0.0);
+        assert!(acc.estimated_kj > 0.0);
+        // The estimate must track the meter closely (the paper's NRMSE is
+        // ~8-12 %).
+        let rel = (acc.recorded_kj - acc.estimated_kj).abs() / acc.recorded_kj;
+        assert!(rel < 0.15, "relative gap {rel}");
+    }
+
+    #[test]
+    fn report_contains_all_benchmarks() {
+        let s = run(true);
+        for b in ["Wordcount", "Grep", "Terasort"] {
+            assert!(s.contains(b));
+        }
+        assert!(s.contains("Fig. 4(a)"));
+        assert!(s.contains("Fig. 4(b)"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig. 6: impact of data locality on job completion time.
+//!
+//! Wordcount jobs with identical input sizes run under block placements
+//! engineered for different local-data fractions: a fraction `p` of blocks
+//! is replicated on every machine (always node-local), while the rest live
+//! on a single machine so almost every read is rack-local or remote. The
+//! paper observes completion time falling as locality rises (10 % → 80 %).
+
+use cluster::hdfs::{Block, BlockId};
+use cluster::{Fleet, MachineId};
+use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig};
+use metrics::report::Table;
+use simcore::SimTime;
+use workload::{Benchmark, JobId, JobSpec};
+
+/// Builds a placement with roughly `local_pct` node-local assignments: that
+/// share of blocks is replicated everywhere, the remainder is pinned to
+/// machine 0.
+fn placement(fleet: &Fleet, num_maps: u32, local_pct: f64) -> Vec<Block> {
+    let everywhere: Vec<MachineId> = fleet.ids().collect();
+    (0..num_maps)
+        .map(|i| {
+            let frac = i as f64 / num_maps as f64;
+            let replicas = if frac < local_pct / 100.0 {
+                everywhere.clone()
+            } else {
+                vec![MachineId(0)]
+            };
+            Block {
+                id: BlockId(i as u64),
+                replicas,
+            }
+        })
+        .collect()
+}
+
+fn completion_minutes(local_pct: f64, maps: u32, seed: u64) -> f64 {
+    let fleet = Fleet::paper_evaluation();
+    let cfg = EngineConfig {
+        noise: NoiseConfig::none(),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(fleet, cfg, seed);
+    let spec = JobSpec::new(JobId(0), Benchmark::wordcount(), maps, maps / 8, SimTime::ZERO);
+    let blocks = placement(engine.fleet_ref(), maps, local_pct);
+    engine.submit_job_with_blocks(spec, blocks);
+    let result = engine.run(&mut GreedyScheduler::new());
+    result.jobs[0]
+        .completion_time()
+        .expect("job drains")
+        .as_mins_f64()
+}
+
+/// Runs the locality sweep (10 / 40 / 80 % local data).
+pub fn run(fast: bool) -> String {
+    let maps = if fast { 128 } else { 512 };
+    let mut t = Table::new(
+        "Fig. 6 — impact of data locality on Wordcount completion time",
+        &["% local data", "completion time (min)"],
+    );
+    for pct in [10.0, 40.0, 80.0] {
+        t.row(&[
+            format!("{pct:.0}"),
+            format!("{:.1}", completion_minutes(pct, maps, 29)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_locality_is_faster() {
+        let low = completion_minutes(10.0, 96, 1);
+        let high = completion_minutes(80.0, 96, 1);
+        assert!(
+            high < low,
+            "80% local ({high:.2} min) should beat 10% local ({low:.2} min)"
+        );
+    }
+
+    #[test]
+    fn placement_fraction_respected() {
+        let fleet = Fleet::paper_evaluation();
+        let blocks = placement(&fleet, 100, 40.0);
+        let wide = blocks.iter().filter(|b| b.replicas.len() == 16).count();
+        assert_eq!(wide, 40);
+        assert!(blocks
+            .iter()
+            .filter(|b| b.replicas.len() == 1)
+            .all(|b| b.replicas[0] == MachineId(0)));
+    }
+}

@@ -1,0 +1,40 @@
+//! Command-line entry point: regenerate any (or every) table/figure.
+//!
+//! ```text
+//! experiments <id>|all [--fast]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if ids.is_empty() {
+        eprintln!("usage: experiments <id>|all [--fast]");
+        eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(", "));
+        return ExitCode::FAILURE;
+    }
+
+    let selected: Vec<&str> = if ids == ["all"] {
+        experiments::ALL_EXPERIMENTS.to_vec()
+    } else {
+        ids
+    };
+
+    for id in selected {
+        match experiments::run_experiment(id, fast) {
+            Ok(report) => println!("{report}"),
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,344 @@
+//! Engine and noise configuration.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Injection parameters for the transient *system noise* of §IV-D: data
+/// skew and network contention manifest as straggling tasks and fluctuating
+/// CPU-utilization readings.
+///
+/// # Examples
+///
+/// ```
+/// use hadoop_sim::NoiseConfig;
+///
+/// let quiet = NoiseConfig::none();
+/// assert_eq!(quiet.straggler_prob, 0.0);
+/// let noisy = NoiseConfig::default();
+/// assert!(noisy.straggler_prob > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Probability that a task straggles (runs slower than its expected
+    /// speed on that machine type).
+    pub straggler_prob: f64,
+    /// Straggler slowdown factor range (uniform draw), e.g. `(1.5, 3.0)`.
+    pub straggler_slowdown: (f64, f64),
+    /// Standard deviation of the multiplicative jitter applied to each
+    /// *reported* CPU-utilization sample. Jitter corrupts what the
+    /// TaskTracker reports (and hence Eq. 2 estimates) without changing the
+    /// machine's true power draw — exactly the estimation hazard Fig. 7
+    /// illustrates.
+    pub utilization_jitter: f64,
+}
+
+impl NoiseConfig {
+    /// No noise at all: reported samples equal ground truth.
+    pub fn none() -> Self {
+        NoiseConfig {
+            straggler_prob: 0.0,
+            straggler_slowdown: (1.0, 1.0),
+            utilization_jitter: 0.0,
+        }
+    }
+
+    /// The paper-shaped default: occasional stragglers plus moderate
+    /// reading jitter (enough to reproduce the Fig. 7 scatter).
+    pub fn paper_default() -> Self {
+        NoiseConfig {
+            straggler_prob: 0.05,
+            straggler_slowdown: (1.5, 3.0),
+            utilization_jitter: 0.12,
+        }
+    }
+
+    /// Whether any noise source is active.
+    pub fn is_enabled(&self) -> bool {
+        self.straggler_prob > 0.0 || self.utilization_jitter > 0.0
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are outside `[0, 1]`, the slowdown range is
+    /// inverted or below 1, or the jitter is negative.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.straggler_prob),
+            "straggler_prob must be in [0, 1]"
+        );
+        let (lo, hi) = self.straggler_slowdown;
+        assert!(
+            lo >= 1.0 && hi >= lo,
+            "straggler_slowdown must satisfy 1 <= lo <= hi"
+        );
+        assert!(
+            self.utilization_jitter >= 0.0,
+            "utilization_jitter must be non-negative"
+        );
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig::paper_default()
+    }
+}
+
+/// Idle power-down policy — the paper's *future work* extension ("we will
+/// explore the integration of E-Ant with cluster resource provisioning and
+/// server consolidation techniques", §VIII), implemented here as an
+/// optional engine feature.
+///
+/// A machine with no running tasks while the whole cluster has no pending
+/// work for longer than `idle_timeout` drops to `standby_watts`; it wakes
+/// (paying `wake_latency`) when work appears. Note the paper's own caveat:
+/// real consolidation conflicts with HDFS replica availability — this model
+/// ignores storage availability, powering machines down only when the
+/// cluster is drained of runnable work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerDownConfig {
+    /// Cluster-wide work drought needed before machines drop to standby.
+    pub idle_timeout: SimDuration,
+    /// Standby draw in watts (ACPI S3-style suspend).
+    pub standby_watts: f64,
+    /// Delay before a woken machine can run its first task.
+    pub wake_latency: SimDuration,
+}
+
+impl PowerDownConfig {
+    /// A conventional policy: suspend after 30 s of cluster-wide idleness
+    /// at 2.5 W, waking in 10 s.
+    pub fn suspend_to_ram() -> Self {
+        PowerDownConfig {
+            idle_timeout: SimDuration::from_secs(30),
+            standby_watts: 2.5,
+            wake_latency: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative/non-finite standby power.
+    pub fn validate(&self) {
+        assert!(
+            self.standby_watts.is_finite() && self.standby_watts >= 0.0,
+            "standby power must be non-negative"
+        );
+    }
+}
+
+/// DVFS policy — the second future-work lever the paper cites ("slow down
+/// or sleep", Le Sueur & Heiser, HotPower'11 reference \[16\]): machines drop
+/// to a lower frequency when lightly utilized and return to nominal under
+/// load. Service speed scales with the factor; power scales statically with
+/// `0.6 + 0.4·f` and dynamically with `f²`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsConfig {
+    /// The eco-mode frequency factor in `(0, 1]`.
+    pub eco_factor: f64,
+    /// Below this machine utilization the machine shifts to eco mode.
+    pub low_utilization: f64,
+    /// Above this machine utilization the machine returns to nominal.
+    pub high_utilization: f64,
+}
+
+impl DvfsConfig {
+    /// A conventional policy: 70 % frequency below 20 % utilization, back
+    /// to nominal above 50 %.
+    pub fn conservative() -> Self {
+        DvfsConfig {
+            eco_factor: 0.7,
+            low_utilization: 0.2,
+            high_utilization: 0.5,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eco_factor <= 1` and
+    /// `0 <= low_utilization < high_utilization <= 1`.
+    pub fn validate(&self) {
+        assert!(
+            self.eco_factor > 0.0 && self.eco_factor <= 1.0,
+            "eco_factor must be in (0, 1]"
+        );
+        assert!(
+            0.0 <= self.low_utilization
+                && self.low_utilization < self.high_utilization
+                && self.high_utilization <= 1.0,
+            "utilization thresholds must satisfy 0 <= low < high <= 1"
+        );
+    }
+}
+
+/// Speculative-execution policy (Hadoop's backup tasks; §VII cites LATE,
+/// Zaharia et al. OSDI'08, as the heterogeneity-aware refinement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpeculationPolicy {
+    /// No backup tasks (the configuration the paper evaluates E-Ant under).
+    Off,
+    /// Stock Hadoop speculation: when slots are free and no pending work
+    /// remains, clone any running task whose elapsed time exceeds the
+    /// straggler threshold, onto any machine.
+    Hadoop,
+    /// LATE: additionally restrict backup copies to fast machines (fleet
+    /// speed at or above the median) and prefer the longest-running
+    /// straggler — the heterogeneity-aware refinement.
+    Late,
+}
+
+/// Configuration of the Hadoop engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// TaskTracker heartbeat period. Hadoop's (and the paper's Δt in Eq. 2)
+    /// default is 3 s.
+    pub heartbeat: SimDuration,
+    /// Control interval at which adaptive schedulers re-derive their
+    /// policy. The paper uses 5 minutes (§V-B) and sweeps 2–8 minutes in
+    /// Fig. 12(b).
+    pub control_interval: SimDuration,
+    /// Fraction of a job's map tasks that must complete before its reduce
+    /// tasks become eligible (Hadoop's reduce slow-start,
+    /// `mapred.reduce.slowstart.completed.maps`). Stock Hadoop defaults to
+    /// 0.05; the engine defaults to 0.3 — enough overlap to hide the
+    /// shuffle behind the map phase without the start-of-job reduce burst
+    /// that the coarse one-shot transfer model would otherwise overcharge.
+    pub reduce_slowstart: f64,
+    /// System-noise injection parameters.
+    pub noise: NoiseConfig,
+    /// Optional idle power-down policy (future-work extension; `None`
+    /// keeps every machine powered like the paper's testbed).
+    pub power_down: Option<PowerDownConfig>,
+    /// Speculative-execution policy.
+    pub speculation: SpeculationPolicy,
+    /// Optional DVFS policy (future-work extension; `None` runs every
+    /// machine at nominal frequency like the paper's testbed).
+    pub dvfs: Option<DvfsConfig>,
+    /// A running attempt becomes a speculation candidate once its elapsed
+    /// time exceeds this multiple of its job's mean completed task
+    /// duration (per task kind).
+    pub speculation_threshold: f64,
+    /// Whether to retain every [`TaskReport`](crate::TaskReport) in the run
+    /// result. Enable only for small runs (Fig. 4 / Fig. 7 experiments);
+    /// large MSD runs produce hundreds of thousands of reports.
+    pub record_reports: bool,
+    /// Hard wall on simulated time; the run aborts (with whatever has
+    /// completed) if the workload has not drained by then.
+    pub max_sim_time: SimDuration,
+}
+
+impl EngineConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero heartbeat or control interval, a slow-start outside
+    /// `(0, 1]`, or invalid noise parameters.
+    pub fn validate(&self) {
+        assert!(!self.heartbeat.is_zero(), "heartbeat must be positive");
+        assert!(
+            !self.control_interval.is_zero(),
+            "control interval must be positive"
+        );
+        assert!(
+            self.reduce_slowstart > 0.0 && self.reduce_slowstart <= 1.0,
+            "reduce_slowstart must be in (0, 1]"
+        );
+        assert!(!self.max_sim_time.is_zero(), "max_sim_time must be positive");
+        self.noise.validate();
+        if let Some(pd) = &self.power_down {
+            pd.validate();
+        }
+        assert!(
+            self.speculation_threshold >= 1.0,
+            "speculation threshold must be >= 1"
+        );
+        if let Some(dvfs) = &self.dvfs {
+            dvfs.validate();
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            heartbeat: SimDuration::from_secs(3),
+            control_interval: SimDuration::from_mins(5),
+            reduce_slowstart: 0.3,
+            noise: NoiseConfig::paper_default(),
+            power_down: None,
+            speculation: SpeculationPolicy::Off,
+            dvfs: None,
+            speculation_threshold: 1.5,
+            record_reports: false,
+            max_sim_time: SimDuration::from_mins(60 * 24 * 7),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.heartbeat, SimDuration::from_secs(3));
+        assert_eq!(cfg.control_interval, SimDuration::from_mins(5));
+        cfg.validate();
+    }
+
+    #[test]
+    fn none_noise_is_disabled() {
+        assert!(!NoiseConfig::none().is_enabled());
+        assert!(NoiseConfig::paper_default().is_enabled());
+        NoiseConfig::none().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler_prob must be in [0, 1]")]
+    fn invalid_straggler_prob() {
+        NoiseConfig {
+            straggler_prob: 1.5,
+            ..NoiseConfig::none()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler_slowdown must satisfy")]
+    fn invalid_slowdown_range() {
+        NoiseConfig {
+            straggler_slowdown: (3.0, 1.5),
+            straggler_prob: 0.1,
+            utilization_jitter: 0.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat must be positive")]
+    fn zero_heartbeat_rejected() {
+        EngineConfig {
+            heartbeat: SimDuration::ZERO,
+            ..EngineConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reduce_slowstart must be in (0, 1]")]
+    fn invalid_slowstart() {
+        EngineConfig {
+            reduce_slowstart: 0.0,
+            ..EngineConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,1326 @@
+//! The heartbeat-driven JobTracker/TaskTracker engine.
+
+use std::collections::BTreeMap;
+
+use simcore::series::TimeSeries;
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+use cluster::hdfs::{BlockPlacer, Locality, DEFAULT_REPLICATION};
+use cluster::network::{Network, GIGABIT_MBPS};
+use cluster::{Fleet, MachineId, SlotKind};
+use workload::{JobId, JobSpec, TaskDemand, TaskId, TaskIndex};
+
+use crate::job_state::JobState;
+use crate::report::{TaskReport, UtilizationSample};
+use crate::result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult};
+use crate::scheduler::{ClusterQuery, JobSummary, Scheduler};
+use crate::EngineConfig;
+
+/// A task attempt in flight; carried inside its completion event so no
+/// side-table lookup is needed.
+#[derive(Debug, Clone)]
+struct RunningTask {
+    task: TaskId,
+    machine: MachineId,
+    kind: SlotKind,
+    started_at: SimTime,
+    /// CPU-phase seconds on this machine (after speed scaling, before
+    /// contention/straggle stretch).
+    cpu_secs: f64,
+    /// Non-CPU seconds (I/O + shuffle) on this machine.
+    other_secs: f64,
+    /// Total stretched duration in seconds.
+    duration_secs: f64,
+    /// Cores this attempt keeps busy on average.
+    core_load: f64,
+    locality: Option<Locality>,
+    straggled: bool,
+    /// Whether this attempt is a speculative (backup) copy.
+    speculative: bool,
+    /// Seconds spent fetching shuffle data (reduces only).
+    shuffle_secs: f64,
+    /// Whether a shuffle transfer was charged to the machine's NIC.
+    shuffle_charged: bool,
+}
+
+#[derive(Debug)]
+enum Event {
+    JobArrival(usize),
+    Heartbeat(MachineId),
+    TaskDone(Box<RunningTask>),
+    ControlTick,
+}
+
+/// The Hadoop engine: owns the fleet, the network, the job table and the
+/// event loop; drives a pluggable [`Scheduler`].
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Engine {
+    fleet: Fleet,
+    network: Network,
+    config: EngineConfig,
+    jobs: Vec<JobState>,
+    submitted: Vec<bool>,
+    now: SimTime,
+    rng_demand: SimRng,
+    rng_noise: SimRng,
+    rng_place: SimRng,
+    placer: BlockPlacer,
+    // Per-machine counters.
+    map_counts: Vec<u64>,
+    reduce_counts: Vec<u64>,
+    bench_counts: Vec<BTreeMap<String, u64>>,
+    // Per-interval assignment bookkeeping.
+    interval_assignments: BTreeMap<JobId, Vec<u64>>,
+    // Power-down bookkeeping: wake-up completion time per standby machine
+    // and the time the cluster last had runnable work.
+    waking_until: Vec<Option<SimTime>>,
+    last_work_at: SimTime,
+    // Speculation bookkeeping: in-flight attempts per task, completed-
+    // duration statistics per (job, kind), and attempt counters.
+    attempts: BTreeMap<TaskId, Vec<(MachineId, SimTime)>>,
+    duration_stats: BTreeMap<(usize, SlotKind), (f64, u64)>,
+    speculative_launched: u64,
+    wasted_attempts: u64,
+    intervals: Vec<IntervalSnapshot>,
+    energy_series: TimeSeries,
+    reports: Vec<TaskReport>,
+    total_tasks: u64,
+}
+
+impl Engine {
+    /// Creates an engine over `fleet` with the given configuration and root
+    /// RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`EngineConfig::validate`]).
+    pub fn new(fleet: Fleet, config: EngineConfig, seed: u64) -> Self {
+        config.validate();
+        let root = SimRng::seed_from(seed);
+        let n = fleet.len();
+        let network = Network::new(n, GIGABIT_MBPS);
+        Engine {
+            network,
+            config,
+            jobs: Vec::new(),
+            submitted: Vec::new(),
+            now: SimTime::ZERO,
+            rng_demand: root.fork("demand"),
+            rng_noise: root.fork("noise"),
+            rng_place: root.fork("placement"),
+            placer: BlockPlacer::new(DEFAULT_REPLICATION),
+            map_counts: vec![0; n],
+            reduce_counts: vec![0; n],
+            bench_counts: vec![BTreeMap::new(); n],
+            interval_assignments: BTreeMap::new(),
+            waking_until: vec![None; n],
+            last_work_at: SimTime::ZERO,
+            attempts: BTreeMap::new(),
+            duration_stats: BTreeMap::new(),
+            speculative_launched: 0,
+            wasted_attempts: 0,
+            intervals: Vec::new(),
+            energy_series: TimeSeries::new("cumulative_energy_joules"),
+            reports: Vec::new(),
+            total_tasks: 0,
+            fleet,
+        }
+    }
+
+    /// Registers jobs to be submitted at their `submit_at` times. Input
+    /// blocks are placed (rack-aware, 3-way replicated) immediately so the
+    /// layout is deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job's id does not match its position among all submitted
+    /// jobs (ids must be dense, starting at 0).
+    pub fn submit_jobs(&mut self, specs: Vec<JobSpec>) {
+        for spec in specs {
+            assert_eq!(
+                spec.id().index(),
+                self.jobs.len(),
+                "job ids must be dense and in submission order"
+            );
+            let blocks =
+                self.placer
+                    .place(&self.fleet, spec.num_maps() as usize, &mut self.rng_place);
+            self.jobs.push(JobState::new(spec, blocks));
+            self.submitted.push(false);
+        }
+    }
+
+    /// Registers one job with an explicit block placement instead of the
+    /// default rack-aware placer. Used by experiments that control data
+    /// locality directly (the paper's Fig. 6 varies the fraction of local
+    /// data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job id is not dense or the block count does not match
+    /// the job's map count.
+    pub fn submit_job_with_blocks(&mut self, spec: JobSpec, blocks: Vec<cluster::hdfs::Block>) {
+        assert_eq!(
+            spec.id().index(),
+            self.jobs.len(),
+            "job ids must be dense and in submission order"
+        );
+        assert_eq!(
+            blocks.len(),
+            spec.num_maps() as usize,
+            "one block per map task required"
+        );
+        self.jobs.push(JobState::new(spec, blocks));
+        self.submitted.push(false);
+    }
+
+    /// The engine's fleet.
+    pub fn fleet_ref(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Runs the workload to completion (or the configured time limit) under
+    /// `scheduler`, consuming per-run state and producing a [`RunResult`].
+    pub fn run(&mut self, scheduler: &mut dyn Scheduler) -> RunResult {
+        let mut queue: EventQueue<Event> = EventQueue::new();
+
+        for (i, job) in self.jobs.iter().enumerate() {
+            queue.schedule(job.spec.submit_at(), Event::JobArrival(i));
+        }
+        // Stagger heartbeats so trackers don't all report at the same tick.
+        let n = self.fleet.len() as u64;
+        for id in self.fleet.ids().collect::<Vec<_>>() {
+            let offset =
+                SimDuration::from_millis(self.config.heartbeat.as_millis() * id.index() as u64 / n);
+            queue.schedule(SimTime::ZERO + offset, Event::Heartbeat(id));
+        }
+        queue.schedule(SimTime::ZERO + self.config.control_interval, Event::ControlTick);
+
+        let deadline = SimTime::ZERO + self.config.max_sim_time;
+        let mut drained = true;
+
+        while let Some((at, event)) = queue.pop() {
+            if at > deadline {
+                drained = !self.jobs.iter().any(|j| !j.is_complete());
+                break;
+            }
+            self.now = at;
+            match event {
+                Event::JobArrival(i) => {
+                    self.submitted[i] = true;
+                    let spec = self.jobs[i].spec.clone();
+                    scheduler.on_job_submitted(&*self, &spec);
+                }
+                Event::Heartbeat(machine) => {
+                    self.heartbeat(machine, scheduler, &mut queue);
+                    if !self.all_done() {
+                        queue.schedule(at + self.config.heartbeat, Event::Heartbeat(machine));
+                    }
+                }
+                Event::TaskDone(rt) => {
+                    self.complete_task(*rt, scheduler);
+                }
+                Event::ControlTick => {
+                    self.control_tick(scheduler);
+                    if !self.all_done() {
+                        queue.schedule(at + self.config.control_interval, Event::ControlTick);
+                    }
+                }
+            }
+            if self.all_done() {
+                // Drain remaining TaskDone events (there are none once all
+                // jobs are complete) and stop.
+                break;
+            }
+        }
+
+        self.finish(scheduler.name().to_owned(), drained)
+    }
+
+    fn all_done(&self) -> bool {
+        !self.jobs.is_empty() && self.jobs.iter().all(|j| j.is_complete())
+    }
+
+    /// Power-down policy applied at each heartbeat: sleep when the cluster
+    /// has been droughted of runnable work, wake (with latency) when work
+    /// reappears. Returns false while the machine cannot accept tasks.
+    fn manage_power(&mut self, machine: MachineId) -> bool {
+        let Some(policy) = self.config.power_down else {
+            return true;
+        };
+        let has_work = self.any_pending(SlotKind::Map, machine)
+            || self.any_pending(SlotKind::Reduce, machine)
+            || self.jobs.iter().any(|j| j.running_tasks > 0);
+        if has_work {
+            self.last_work_at = self.now;
+        }
+        let idx = machine.index();
+        let asleep = self
+            .fleet
+            .machine(machine)
+            .map(|m| m.is_standby())
+            .unwrap_or(false);
+        if asleep {
+            if !has_work {
+                return false;
+            }
+            // Wake up: start (or continue) the boot delay.
+            match self.waking_until[idx] {
+                Some(ready) if self.now >= ready => {
+                    self.waking_until[idx] = None;
+                    let now = self.now;
+                    if let Ok(m) = self.fleet.machine_mut(machine) {
+                        m.power_up(now);
+                    }
+                    true
+                }
+                Some(_) => false,
+                None => {
+                    self.waking_until[idx] = Some(self.now + policy.wake_latency);
+                    false
+                }
+            }
+        } else {
+            let idle_machine = self
+                .fleet
+                .machine(machine)
+                .map(|m| m.slots().used_map + m.slots().used_reduce == 0)
+                .unwrap_or(false);
+            let drought = self.now.saturating_since(self.last_work_at) >= policy.idle_timeout;
+            if idle_machine && !has_work && drought {
+                let now = self.now;
+                if let Ok(m) = self.fleet.machine_mut(machine) {
+                    m.power_down(now, policy.standby_watts);
+                }
+                return false;
+            }
+            true
+        }
+    }
+
+    /// DVFS policy applied at each heartbeat: shift to eco frequency when
+    /// lightly utilized, back to nominal under load (hysteresis between the
+    /// two thresholds).
+    fn manage_dvfs(&mut self, machine: MachineId) {
+        let Some(policy) = self.config.dvfs else { return };
+        let now = self.now;
+        let Ok(m) = self.fleet.machine_mut(machine) else { return };
+        let util = m.utilization();
+        let current = m.dvfs_factor();
+        if util < policy.low_utilization && (current - 1.0).abs() < f64::EPSILON {
+            m.set_dvfs(now, policy.eco_factor);
+        } else if util > policy.high_utilization && current < 1.0 {
+            m.set_dvfs(now, 1.0);
+        }
+    }
+
+    /// Offers each free slot of `machine` to the scheduler.
+    fn heartbeat(
+        &mut self,
+        machine: MachineId,
+        scheduler: &mut dyn Scheduler,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if !self.manage_power(machine) {
+            return;
+        }
+        self.manage_dvfs(machine);
+        for kind in [SlotKind::Map, SlotKind::Reduce] {
+            loop {
+                let has_slot = self
+                    .fleet
+                    .machine(machine)
+                    .map(|m| m.has_free_slot(kind))
+                    .unwrap_or(false);
+                if !has_slot || !self.any_pending(kind, machine) {
+                    break;
+                }
+                let Some(job) = scheduler.select_job(&*self, machine, kind) else {
+                    break;
+                };
+                if !self.start_task(job, machine, kind, queue) {
+                    // Scheduler picked a job with nothing to run; treat as a
+                    // decline to avoid livelock.
+                    break;
+                }
+            }
+            // Backup tasks: with a still-free slot and no fresh work, clone
+            // a straggling attempt from elsewhere.
+            if self.config.speculation != crate::SpeculationPolicy::Off {
+                self.try_speculate(machine, kind, queue);
+            }
+        }
+    }
+
+    /// Launches at most one speculative copy of a straggling task of `kind`
+    /// on `machine`, per the configured policy.
+    fn try_speculate(
+        &mut self,
+        machine: MachineId,
+        kind: SlotKind,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let has_slot = self
+            .fleet
+            .machine(machine)
+            .map(|m| m.has_free_slot(kind))
+            .unwrap_or(false);
+        if !has_slot || self.any_pending(kind, machine) {
+            return;
+        }
+        // LATE only backs up onto fast machines (>= median fleet speed).
+        if self.config.speculation == crate::SpeculationPolicy::Late {
+            let mut speeds: Vec<f64> = self
+                .fleet
+                .iter()
+                .map(|m| m.profile().cores() as f64 * m.profile().cpu_speed())
+                .collect();
+            speeds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = speeds[speeds.len() / 2];
+            let mine = self
+                .fleet
+                .machine(machine)
+                .map(|m| m.profile().cores() as f64 * m.profile().cpu_speed())
+                .unwrap_or(0.0);
+            if mine < median {
+                return;
+            }
+        }
+
+        // Find the longest-elapsed single-attempt straggler of this kind.
+        let threshold = self.config.speculation_threshold;
+        let mut best: Option<(TaskId, f64)> = None;
+        for (&task, attempts) in &self.attempts {
+            if task.task.kind != kind || attempts.len() != 1 {
+                continue;
+            }
+            let (running_on, started) = attempts[0];
+            if running_on == machine {
+                continue;
+            }
+            let ji = task.job.index();
+            if self.jobs[ji].is_task_finished(kind, task.task.index) {
+                continue;
+            }
+            let Some(&(sum, n)) = self.duration_stats.get(&(ji, kind)) else {
+                continue;
+            };
+            if n == 0 {
+                continue;
+            }
+            let mean = sum / n as f64;
+            let elapsed = self.now.saturating_since(started).as_secs_f64();
+            if elapsed > threshold * mean {
+                if best.map_or(true, |(_, e)| elapsed > e) {
+                    best = Some((task, elapsed));
+                }
+            }
+        }
+        let Some((task, _)) = best else { return };
+
+        // Clone the attempt onto this machine with a fresh demand sample.
+        let ji = task.job.index();
+        let (locality, demand) = match kind {
+            SlotKind::Map => {
+                let block = self.jobs[ji].blocks[task.task.index as usize].clone();
+                let loc = cluster::hdfs::locality(&self.fleet, &block, machine);
+                (Some(loc), self.jobs[ji].spec.map_demand(&mut self.rng_demand))
+            }
+            SlotKind::Reduce => (None, self.jobs[ji].spec.reduce_demand(&mut self.rng_demand)),
+        };
+        let rt = self.make_running_task(
+            task.job,
+            task.task.index,
+            machine,
+            kind,
+            locality,
+            demand,
+            true,
+        );
+        let occupy = self
+            .fleet
+            .machine_mut(machine)
+            .and_then(|m| m.occupy(self.now, kind, rt.core_load));
+        if occupy.is_err() {
+            return;
+        }
+        if rt.shuffle_charged {
+            self.network.begin_transfer(machine);
+        }
+        self.jobs[ji].note_task_started(self.now);
+        self.attempts
+            .entry(task)
+            .or_default()
+            .push((machine, self.now));
+        self.speculative_launched += 1;
+        let done_at = self.now + SimDuration::from_secs_f64(rt.duration_secs);
+        queue.schedule(done_at, Event::TaskDone(Box::new(rt)));
+    }
+
+    fn any_pending(&self, kind: SlotKind, _machine: MachineId) -> bool {
+        self.jobs.iter().enumerate().any(|(i, j)| {
+            self.submitted[i]
+                && !j.is_complete()
+                && match kind {
+                    SlotKind::Map => j.pending_maps() > 0,
+                    SlotKind::Reduce => j.pending_reduces(self.config.reduce_slowstart) > 0,
+                }
+        })
+    }
+
+    /// Starts the best pending task of `job` on `machine`. Returns false if
+    /// the job had no eligible task of that kind.
+    fn start_task(
+        &mut self,
+        job: JobId,
+        machine: MachineId,
+        kind: SlotKind,
+        queue: &mut EventQueue<Event>,
+    ) -> bool {
+        let ji = job.index();
+        if ji >= self.jobs.len() || !self.submitted[ji] {
+            return false;
+        }
+
+        // Take a concrete task from the job.
+        let (index, locality, demand) = {
+            let slowstart = self.config.reduce_slowstart;
+            let state = &mut self.jobs[ji];
+            match kind {
+                SlotKind::Map => {
+                    let Some((idx, loc)) = state.take_map_for(&self.fleet, machine) else {
+                        return false;
+                    };
+                    let demand = state.spec.map_demand(&mut self.rng_demand);
+                    (idx, Some(loc), demand)
+                }
+                SlotKind::Reduce => {
+                    let Some(idx) = state.take_reduce(slowstart) else {
+                        return false;
+                    };
+                    let demand = state.spec.reduce_demand(&mut self.rng_demand);
+                    (idx, None, demand)
+                }
+            }
+        };
+
+        let rt = self.make_running_task(job, index, machine, kind, locality, demand, false);
+
+        // Occupy the slot; on the (impossible) race of a full machine,
+        // return the task to the queue.
+        let occupy = self
+            .fleet
+            .machine_mut(machine)
+            .and_then(|m| m.occupy(self.now, kind, rt.core_load));
+        if occupy.is_err() {
+            match kind {
+                SlotKind::Map => self.jobs[ji].return_map(index),
+                SlotKind::Reduce => self.jobs[ji].return_reduce(index),
+            }
+            return false;
+        }
+        if rt.shuffle_charged {
+            self.network.begin_transfer(machine);
+        }
+        self.jobs[ji].note_task_started(self.now);
+        self.attempts
+            .entry(rt.task)
+            .or_default()
+            .push((machine, self.now));
+
+        // Interval assignment bookkeeping (convergence analysis).
+        let counts = self
+            .interval_assignments
+            .entry(job)
+            .or_insert_with(|| vec![0; self.fleet.len()]);
+        counts[machine.index()] += 1;
+
+        let done_at = self.now + SimDuration::from_secs_f64(rt.duration_secs);
+        queue.schedule(done_at, Event::TaskDone(Box::new(rt)));
+        true
+    }
+
+    /// Computes service time, core load and noise for a new attempt.
+    #[allow(clippy::too_many_arguments)]
+    fn make_running_task(
+        &mut self,
+        job: JobId,
+        index: u32,
+        machine: MachineId,
+        kind: SlotKind,
+        locality: Option<Locality>,
+        demand: TaskDemand,
+        speculative: bool,
+    ) -> RunningTask {
+        let m = self.fleet.machine(machine).expect("machine exists");
+        let prof = m.profile();
+
+        // DVFS slows the CPU phase of work started while in eco mode.
+        let cpu_secs = demand.cpu_secs / (prof.cpu_speed() * m.dvfs_factor());
+        let (io_secs, shuffle_secs, shuffle_charged): (f64, f64, bool) = match kind {
+            SlotKind::Map => {
+                let mult = locality.map_or(1.0, Locality::read_cost_multiplier);
+                (demand.io_secs * mult / prof.io_speed(), 0.0, false)
+            }
+            SlotKind::Reduce => {
+                let shuffle = self.network.transfer_seconds(machine, demand.input_mb);
+                (demand.io_secs / prof.io_speed(), shuffle, demand.input_mb > 0.0)
+            }
+        };
+        let other_secs = io_secs + shuffle_secs;
+        let base = (cpu_secs + other_secs).max(0.001);
+
+        // Oversubscription: when average busy cores would exceed the core
+        // count, everything on the machine slows proportionally. Applied to
+        // this attempt only (an approximation that avoids rescheduling).
+        let core_load = ((cpu_secs + 0.15 * other_secs) / base).clamp(0.0, 1.0);
+        let busy_after = m.utilization() * prof.cores() as f64 + core_load;
+        let contention = (busy_after / prof.cores() as f64).max(1.0);
+
+        // Straggler injection (system noise, §IV-D).
+        let noise = &self.config.noise;
+        let straggled = noise.straggler_prob > 0.0 && self.rng_noise.chance(noise.straggler_prob);
+        let straggle = if straggled {
+            let (lo, hi) = noise.straggler_slowdown;
+            if hi > lo {
+                self.rng_noise.uniform_range(lo, hi)
+            } else {
+                lo
+            }
+        } else {
+            1.0
+        };
+
+        let duration_secs = base * contention * straggle;
+        RunningTask {
+            task: TaskId {
+                job,
+                task: TaskIndex { kind, index },
+            },
+            machine,
+            kind,
+            started_at: self.now,
+            cpu_secs,
+            other_secs,
+            duration_secs,
+            core_load,
+            locality,
+            straggled,
+            speculative,
+            shuffle_secs,
+            shuffle_charged,
+        }
+    }
+
+    fn complete_task(&mut self, rt: RunningTask, scheduler: &mut dyn Scheduler) {
+        let ji = rt.task.job.index();
+
+        if rt.shuffle_charged {
+            self.network.end_transfer(rt.machine);
+        }
+        self.fleet
+            .machine_mut(rt.machine)
+            .expect("machine exists")
+            .release(self.now, rt.kind, rt.core_load)
+            .expect("slot was occupied");
+
+        let won = self.jobs[ji].note_task_completed(self.now, rt.kind, rt.task.task.index);
+        if won {
+            // Record the completed duration for speculation thresholds.
+            let entry = self
+                .duration_stats
+                .entry((ji, rt.kind))
+                .or_insert((0.0, 0));
+            entry.0 += rt.duration_secs;
+            entry.1 += 1;
+            // Drop the attempt registry entry; any remaining attempt of
+            // this task will arrive later as a loser.
+            if let Some(list) = self.attempts.get_mut(&rt.task) {
+                list.retain(|&(m, _)| m != rt.machine);
+                if list.is_empty() {
+                    self.attempts.remove(&rt.task);
+                }
+            }
+        } else {
+            // A speculative loser: its work is discarded.
+            self.wasted_attempts += 1;
+            if let Some(list) = self.attempts.get_mut(&rt.task) {
+                list.retain(|&(m, _)| m != rt.machine);
+                if list.is_empty() {
+                    self.attempts.remove(&rt.task);
+                }
+            }
+            return;
+        }
+
+        // Counters.
+        match rt.kind {
+            SlotKind::Map => self.map_counts[rt.machine.index()] += 1,
+            SlotKind::Reduce => self.reduce_counts[rt.machine.index()] += 1,
+        }
+        let bench = self.jobs[ji].spec.benchmark().kind().to_string();
+        *self.bench_counts[rt.machine.index()]
+            .entry(bench)
+            .or_insert(0) += 1;
+        self.total_tasks += 1;
+
+        let report = self.build_report(&rt);
+        scheduler.on_task_completed(&*self, &report);
+        if self.config.record_reports {
+            self.reports.push(report);
+        }
+        if self.jobs[ji].is_complete() {
+            scheduler.on_job_completed(&*self, rt.task.job);
+        }
+    }
+
+    /// Synthesizes the heartbeat-granularity utilization samples a
+    /// TaskTracker would have reported for this attempt.
+    fn build_report(&mut self, rt: &RunningTask) -> TaskReport {
+        let prof = self
+            .fleet
+            .machine(rt.machine)
+            .expect("machine exists")
+            .profile();
+        let cores = prof.cores() as f64;
+        let hb = self.config.heartbeat.as_secs_f64();
+        let duration = rt.duration_secs;
+        // True per-phase process utilization as a fraction of the machine.
+        let u_cpu = 1.0 / cores;
+        let u_io = 0.15 / cores;
+        // The CPU phase occupies the front of the (stretched) attempt.
+        let cpu_span = if rt.cpu_secs + rt.other_secs > 0.0 {
+            duration * rt.cpu_secs / (rt.cpu_secs + rt.other_secs)
+        } else {
+            0.0
+        };
+
+        let jitter = self.config.noise.utilization_jitter;
+        let mut samples = Vec::new();
+        let mut t = 0.0;
+        while t < duration {
+            let dt = hb.min(duration - t);
+            // Phase-weighted true utilization over [t, t+dt): samples that
+            // straddle the CPU→I/O boundary blend the two levels.
+            let cpu_part = (cpu_span - t).clamp(0.0, dt);
+            let u_true = (cpu_part * u_cpu + (dt - cpu_part) * u_io) / dt;
+            let factor = if jitter > 0.0 {
+                self.rng_noise.normal_clamped(1.0, jitter, 0.3, 3.0)
+            } else {
+                1.0
+            };
+            samples.push(UtilizationSample {
+                dt_secs: dt,
+                utilization: (u_true * factor).clamp(0.0, 1.0),
+            });
+            t += dt;
+        }
+
+        // Ground-truth Eq. 2 attribution (noise-free).
+        let u_mean_true = (cpu_span * u_cpu + (duration - cpu_span) * u_io) / duration.max(1e-9);
+        let power = prof.power();
+        let true_energy = (power.idle_share_per_slot(prof.total_slots())
+            + power.alpha_watts() * u_mean_true)
+            * duration;
+
+        TaskReport {
+            task: rt.task,
+            machine: rt.machine,
+            kind: rt.kind,
+            job_group: self.jobs[rt.task.job.index()].spec.group_key(),
+            started_at: rt.started_at,
+            finished_at: self.now,
+            locality: rt.locality,
+            samples,
+            shuffle_secs: rt.shuffle_secs,
+            true_energy_joules: true_energy,
+            straggled: rt.straggled,
+            speculative: rt.speculative,
+        }
+    }
+
+    fn control_tick(&mut self, scheduler: &mut dyn Scheduler) {
+        self.fleet.sync_all(self.now);
+        let energy = self.fleet.total_energy_joules();
+        self.energy_series.record(self.now, energy);
+        self.intervals.push(IntervalSnapshot {
+            at: self.now,
+            cumulative_energy_joules: energy,
+            assignments: std::mem::take(&mut self.interval_assignments),
+        });
+        scheduler.on_control_interval(&*self);
+    }
+
+    fn finish(&mut self, scheduler_name: String, drained: bool) -> RunResult {
+        self.fleet.sync_all(self.now);
+        // Final sample so the energy series always ends at the run total,
+        // plus a partial-interval snapshot when anything was assigned since
+        // the last control tick (or no tick ever fired).
+        let energy = self.fleet.total_energy_joules();
+        self.energy_series.record(self.now, energy);
+        if !self.interval_assignments.is_empty() || self.intervals.is_empty() {
+            self.intervals.push(IntervalSnapshot {
+                at: self.now,
+                cumulative_energy_joules: energy,
+                assignments: std::mem::take(&mut self.interval_assignments),
+            });
+        }
+
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| JobOutcome {
+                id: j.spec.id(),
+                label: j.spec.class_label(),
+                benchmark: j.spec.benchmark().kind().to_string(),
+                size_class: j.spec.size_class(),
+                submitted_at: j.spec.submit_at(),
+                phase: j.phase(),
+                finished_at: j.finished_at,
+                total_tasks: j.spec.num_tasks(),
+                reference_work_secs: j.spec.reference_work_secs(),
+            })
+            .collect();
+
+        let machines = self
+            .fleet
+            .iter()
+            .map(|m| {
+                let id = m.id();
+                MachineOutcome {
+                    machine: id,
+                    profile: m.profile().name().to_owned(),
+                    energy_joules: m.meter().total_joules(),
+                    idle_joules: m.meter().idle_joules(),
+                    workload_joules: m.meter().workload_joules(),
+                    mean_utilization: m.mean_utilization(self.now),
+                    map_tasks: self.map_counts[id.index()],
+                    reduce_tasks: self.reduce_counts[id.index()],
+                    tasks_by_benchmark: self.bench_counts[id.index()].clone(),
+                }
+            })
+            .collect();
+
+        RunResult {
+            scheduler: scheduler_name,
+            makespan: self.now - SimTime::ZERO,
+            drained,
+            jobs,
+            machines,
+            intervals: std::mem::take(&mut self.intervals),
+            energy_series: std::mem::replace(
+                &mut self.energy_series,
+                TimeSeries::new("cumulative_energy_joules"),
+            ),
+            reports: std::mem::take(&mut self.reports),
+            total_tasks: self.total_tasks,
+            speculative_attempts: self.speculative_launched,
+            wasted_attempts: self.wasted_attempts,
+        }
+    }
+}
+
+impl ClusterQuery for Engine {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    fn active_jobs(&self) -> Vec<JobSummary> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, j)| self.submitted[*i] && !j.is_complete())
+            .map(|(_, j)| JobSummary {
+                id: j.spec.id(),
+                group: j.spec.group_key(),
+                pending_maps: j.pending_maps(),
+                pending_reduces: j.pending_reduces(self.config.reduce_slowstart),
+                slots_occupied: j.running_tasks,
+                completed_tasks: j.completed_tasks(),
+                total_tasks: j.spec.num_tasks(),
+                submitted_at: j.spec.submit_at(),
+            })
+            .collect()
+    }
+
+    fn job_spec(&self, job: JobId) -> Option<&JobSpec> {
+        self.jobs.get(job.index()).map(|j| &j.spec)
+    }
+
+    fn best_map_locality(&self, job: JobId, machine: MachineId) -> Option<Locality> {
+        self.jobs
+            .get(job.index())
+            .and_then(|j| j.best_map_locality(&self.fleet, machine))
+    }
+
+    fn total_slots(&self) -> usize {
+        self.fleet.total_slots()
+    }
+
+    fn network_congestion(&self) -> f64 {
+        self.network.mean_congestion()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::GreedyScheduler;
+    use crate::NoiseConfig;
+    use cluster::profiles;
+    use workload::Benchmark;
+
+    fn small_fleet() -> Fleet {
+        Fleet::builder()
+            .add(profiles::desktop(), 2)
+            .add(profiles::xeon_e5(), 1)
+            .build()
+            .unwrap()
+    }
+
+    fn quiet_config() -> EngineConfig {
+        EngineConfig {
+            noise: NoiseConfig::none(),
+            record_reports: true,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn run_one(num_maps: u32, num_reduces: u32) -> RunResult {
+        let mut engine = Engine::new(small_fleet(), quiet_config(), 7);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::wordcount(),
+            num_maps,
+            num_reduces,
+            SimTime::ZERO,
+        )]);
+        engine.run(&mut GreedyScheduler::new())
+    }
+
+    #[test]
+    fn single_job_drains() {
+        let r = run_one(16, 2);
+        assert!(r.drained);
+        assert_eq!(r.total_tasks, 18);
+        assert_eq!(r.jobs.len(), 1);
+        assert!(r.jobs[0].finished_at.is_some());
+        assert!(r.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn all_tasks_reported_once() {
+        let r = run_one(16, 2);
+        assert_eq!(r.reports.len(), 18);
+        let maps = r.reports.iter().filter(|t| t.kind == SlotKind::Map).count();
+        assert_eq!(maps, 16);
+        // Every map report carries a locality; reduces never do.
+        for rep in &r.reports {
+            match rep.kind {
+                SlotKind::Map => assert!(rep.locality.is_some()),
+                SlotKind::Reduce => assert!(rep.locality.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn machine_counters_sum_to_total() {
+        let r = run_one(32, 4);
+        let by_machine: u64 = r.machines.iter().map(MachineOutcome::total_tasks).sum();
+        assert_eq!(by_machine, r.total_tasks);
+        let by_bench: u64 = r
+            .machines
+            .iter()
+            .flat_map(|m| m.tasks_by_benchmark.values())
+            .sum();
+        assert_eq!(by_bench, r.total_tasks);
+    }
+
+    #[test]
+    fn energy_is_positive_and_split_consistent() {
+        let r = run_one(16, 2);
+        for m in &r.machines {
+            assert!(m.energy_joules > 0.0, "machine must at least idle");
+            assert!(
+                (m.idle_joules + m.workload_joules - m.energy_joules).abs() < 1e-6,
+                "idle + workload must equal total"
+            );
+        }
+    }
+
+    #[test]
+    fn reduces_start_after_slowstart() {
+        let cfg = EngineConfig {
+            reduce_slowstart: 0.8,
+            ..quiet_config()
+        };
+        let mut engine = Engine::new(small_fleet(), cfg, 7);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::wordcount(),
+            20,
+            4,
+            SimTime::ZERO,
+        )]);
+        let r = engine.run(&mut GreedyScheduler::new());
+        let first_reduce_start = r
+            .reports
+            .iter()
+            .filter(|t| t.kind == SlotKind::Reduce)
+            .map(|t| t.started_at)
+            .min()
+            .unwrap();
+        let map_finishes: Vec<SimTime> = {
+            let mut v: Vec<SimTime> = r
+                .reports
+                .iter()
+                .filter(|t| t.kind == SlotKind::Map)
+                .map(|t| t.finished_at)
+                .collect();
+            v.sort();
+            v
+        };
+        // 80% slow-start of 20 maps → 16 maps must have finished first.
+        assert!(first_reduce_start >= map_finishes[15]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut engine = Engine::new(small_fleet(), quiet_config(), seed);
+            engine.submit_jobs(vec![JobSpec::new(
+                JobId(0),
+                Benchmark::terasort(),
+                24,
+                4,
+                SimTime::ZERO,
+            )]);
+            engine.run(&mut GreedyScheduler::new()).makespan
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn noise_injects_stragglers() {
+        let cfg = EngineConfig {
+            noise: NoiseConfig {
+                straggler_prob: 0.5,
+                straggler_slowdown: (2.0, 3.0),
+                utilization_jitter: 0.2,
+            },
+            record_reports: true,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(small_fleet(), cfg, 11);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::grep(),
+            40,
+            4,
+            SimTime::ZERO,
+        )]);
+        let r = engine.run(&mut GreedyScheduler::new());
+        let stragglers = r.reports.iter().filter(|t| t.straggled).count();
+        assert!(stragglers > 5, "expected stragglers, got {stragglers}");
+    }
+
+    #[test]
+    fn multi_job_run_completes_all() {
+        let mut engine = Engine::new(small_fleet(), quiet_config(), 5);
+        engine.submit_jobs(vec![
+            JobSpec::new(JobId(0), Benchmark::wordcount(), 12, 2, SimTime::ZERO),
+            JobSpec::new(JobId(1), Benchmark::grep(), 12, 2, SimTime::from_secs(30)),
+            JobSpec::new(JobId(2), Benchmark::terasort(), 12, 2, SimTime::from_secs(60)),
+        ]);
+        let r = engine.run(&mut GreedyScheduler::new());
+        assert!(r.drained);
+        assert!(r.jobs.iter().all(|j| j.finished_at.is_some()));
+        assert_eq!(r.total_tasks, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "job ids must be dense")]
+    fn non_dense_job_ids_rejected() {
+        let mut engine = Engine::new(small_fleet(), quiet_config(), 0);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(5),
+            Benchmark::grep(),
+            1,
+            0,
+            SimTime::ZERO,
+        )]);
+    }
+
+    #[test]
+    fn time_limit_aborts_run() {
+        let cfg = EngineConfig {
+            max_sim_time: SimDuration::from_secs(5),
+            noise: NoiseConfig::none(),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(small_fleet(), cfg, 2);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::terasort(),
+            500,
+            16,
+            SimTime::ZERO,
+        )]);
+        let r = engine.run(&mut GreedyScheduler::new());
+        assert!(!r.drained);
+        assert!(r.jobs[0].finished_at.is_none());
+    }
+
+    #[test]
+    fn speculation_launches_backups_and_conserves_tasks() {
+        use crate::SpeculationPolicy;
+        let cfg = EngineConfig {
+            noise: NoiseConfig {
+                straggler_prob: 0.2,
+                straggler_slowdown: (3.0, 5.0),
+                utilization_jitter: 0.0,
+            },
+            speculation: SpeculationPolicy::Hadoop,
+            record_reports: true,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(small_fleet(), cfg, 21);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::wordcount(),
+            60,
+            4,
+            SimTime::ZERO,
+        )]);
+        let r = engine.run(&mut GreedyScheduler::new());
+        assert!(r.drained);
+        // Every task counted exactly once despite backup copies.
+        assert_eq!(r.total_tasks, 64);
+        assert!(
+            r.speculative_attempts > 0,
+            "heavy stragglers must trigger backups"
+        );
+        assert_eq!(
+            r.reports.len() as u64,
+            r.total_tasks,
+            "losers must not produce completion reports"
+        );
+        assert!(r.wasted_attempts <= r.speculative_attempts);
+    }
+
+    #[test]
+    fn speculation_off_launches_nothing() {
+        let cfg = EngineConfig {
+            noise: NoiseConfig::paper_default(),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(small_fleet(), cfg, 22);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::grep(),
+            60,
+            4,
+            SimTime::ZERO,
+        )]);
+        let r = engine.run(&mut GreedyScheduler::new());
+        assert_eq!(r.speculative_attempts, 0);
+        assert_eq!(r.wasted_attempts, 0);
+    }
+
+    #[test]
+    fn speculation_cuts_straggler_tail() {
+        use crate::SpeculationPolicy;
+        // A fleet with one crawling machine and strong stragglers: backup
+        // tasks should shorten the tail on average.
+        let fleet = || {
+            Fleet::builder()
+                .add(cluster::profiles::desktop(), 2)
+                .add(cluster::profiles::atom(), 1)
+                .build()
+                .unwrap()
+        };
+        let run = |policy: SpeculationPolicy, seed: u64| {
+            let cfg = EngineConfig {
+                noise: NoiseConfig {
+                    straggler_prob: 0.15,
+                    straggler_slowdown: (4.0, 8.0),
+                    utilization_jitter: 0.0,
+                },
+                speculation: policy,
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(fleet(), cfg, seed);
+            engine.submit_jobs(vec![JobSpec::new(
+                JobId(0),
+                Benchmark::wordcount(),
+                48,
+                4,
+                SimTime::ZERO,
+            )]);
+            engine.run(&mut GreedyScheduler::new()).makespan.as_secs_f64()
+        };
+        let mean = |policy: SpeculationPolicy| {
+            (1u64..=5).map(|s| run(policy, s)).sum::<f64>() / 5.0
+        };
+        let off = mean(SpeculationPolicy::Off);
+        let late = mean(SpeculationPolicy::Late);
+        assert!(
+            late < off,
+            "LATE should shorten the straggler tail: {late:.0}s vs {off:.0}s"
+        );
+    }
+
+    #[test]
+    fn dvfs_lowers_mean_power_with_bounded_slowdown() {
+        use crate::DvfsConfig;
+        // DVFS trades service speed for draw. Whether *total* energy drops
+        // depends on how much static power the stretched makespan re-buys
+        // (the race-to-idle effect — "slow down or sleep"); the invariants
+        // are lower mean power and a slowdown bounded by the frequency
+        // factor.
+        let jobs = || {
+            vec![JobSpec::new(
+                JobId(0),
+                Benchmark::wordcount(),
+                24,
+                2,
+                SimTime::ZERO,
+            )]
+        };
+        let base_cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            ..EngineConfig::default()
+        };
+        let mut plain = Engine::new(small_fleet(), base_cfg.clone(), 8);
+        plain.submit_jobs(jobs());
+        let nominal = plain.run(&mut GreedyScheduler::new());
+
+        let dvfs_cfg = EngineConfig {
+            dvfs: Some(DvfsConfig::conservative()),
+            ..base_cfg
+        };
+        let mut eco = Engine::new(small_fleet(), dvfs_cfg, 8);
+        eco.submit_jobs(jobs());
+        let scaled = eco.run(&mut GreedyScheduler::new());
+
+        assert!(scaled.drained && nominal.drained);
+        let mean_w = |r: &RunResult| r.total_energy_joules() / r.makespan.as_secs_f64();
+        assert!(
+            mean_w(&scaled) < mean_w(&nominal),
+            "eco mode must lower mean power: {:.1} vs {:.1} W",
+            mean_w(&scaled),
+            mean_w(&nominal)
+        );
+        // The slowdown is bounded by the frequency factor.
+        assert!(
+            scaled.makespan.as_secs_f64() < nominal.makespan.as_secs_f64() / 0.6,
+            "eco slowdown out of bounds"
+        );
+    }
+
+    #[test]
+    fn power_down_saves_idle_energy_between_jobs() {
+        use crate::PowerDownConfig;
+        // Two jobs separated by a long work drought; with power-down the
+        // gap is spent in standby.
+        let jobs = || {
+            vec![
+                JobSpec::new(JobId(0), Benchmark::wordcount(), 8, 0, SimTime::ZERO),
+                JobSpec::new(
+                    JobId(1),
+                    Benchmark::wordcount(),
+                    8,
+                    0,
+                    SimTime::from_secs(900),
+                ),
+            ]
+        };
+        let base_cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            ..EngineConfig::default()
+        };
+        let mut plain = Engine::new(small_fleet(), base_cfg.clone(), 3);
+        plain.submit_jobs(jobs());
+        let without = plain.run(&mut GreedyScheduler::new());
+
+        let pd_cfg = EngineConfig {
+            power_down: Some(PowerDownConfig::suspend_to_ram()),
+            ..base_cfg
+        };
+        let mut saver = Engine::new(small_fleet(), pd_cfg, 3);
+        saver.submit_jobs(jobs());
+        let with = saver.run(&mut GreedyScheduler::new());
+
+        assert!(with.drained && without.drained);
+        assert!(
+            with.total_energy_joules() < 0.6 * without.total_energy_joules(),
+            "power-down should cut the idle gap: {} vs {}",
+            with.total_energy_joules(),
+            without.total_energy_joules()
+        );
+        // Wake-up latency may delay the second job slightly, never hugely.
+        let d_with = with.jobs[1].completion_time().unwrap().as_secs_f64();
+        let d_without = without.jobs[1].completion_time().unwrap().as_secs_f64();
+        assert!(d_with <= d_without + 30.0, "{d_with} vs {d_without}");
+    }
+
+    #[test]
+    fn power_down_never_sleeps_through_pending_work() {
+        use crate::PowerDownConfig;
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            power_down: Some(PowerDownConfig::suspend_to_ram()),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(small_fleet(), cfg, 5);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::terasort(),
+            120,
+            8,
+            SimTime::ZERO,
+        )]);
+        let r = engine.run(&mut GreedyScheduler::new());
+        assert!(r.drained, "work must never be stranded by sleeping machines");
+        assert_eq!(r.total_tasks, 128);
+    }
+
+    #[test]
+    fn interval_snapshots_record_assignments() {
+        let cfg = EngineConfig {
+            control_interval: SimDuration::from_secs(30),
+            noise: NoiseConfig::none(),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(small_fleet(), cfg, 9);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::wordcount(),
+            60,
+            4,
+            SimTime::ZERO,
+        )]);
+        let r = engine.run(&mut GreedyScheduler::new());
+        assert!(!r.intervals.is_empty());
+        let assigned: u64 = r
+            .intervals
+            .iter()
+            .flat_map(|s| s.assignments.values())
+            .flat_map(|v| v.iter())
+            .sum();
+        assert_eq!(assigned, r.total_tasks);
+        // Energy series is nondecreasing.
+        let mut last = 0.0;
+        for (_, e) in r.energy_series.iter() {
+            assert!(e >= last);
+            last = e;
+        }
+    }
+}

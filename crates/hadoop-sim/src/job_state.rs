@@ -1,0 +1,323 @@
+//! Internal per-job bookkeeping for the JobTracker.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+use cluster::hdfs::{locality, Block, Locality};
+use cluster::{Fleet, MachineId, SlotKind};
+use workload::JobSpec;
+
+/// Lifecycle phase of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Submitted; no task has started yet.
+    Waiting,
+    /// At least one task started; not all tasks finished.
+    Running,
+    /// All tasks finished.
+    Completed,
+}
+
+/// JobTracker-side state of one submitted job.
+#[derive(Debug, Clone)]
+pub(crate) struct JobState {
+    pub spec: JobSpec,
+    /// Input block of each map task (index-aligned).
+    pub blocks: Vec<Block>,
+    pending_maps: Vec<u32>,
+    pending_reduces: VecDeque<u32>,
+    finished: BTreeSet<crate::TaskIndexKey>,
+    pub running_tasks: u32,
+    pub completed_maps: u32,
+    pub completed_reduces: u32,
+    pub first_task_at: Option<SimTime>,
+    pub finished_at: Option<SimTime>,
+}
+
+impl JobState {
+    pub fn new(spec: JobSpec, blocks: Vec<Block>) -> Self {
+        debug_assert_eq!(blocks.len(), spec.num_maps() as usize);
+        let pending_maps = (0..spec.num_maps()).collect();
+        let pending_reduces = (0..spec.num_reduces()).collect();
+        JobState {
+            spec,
+            blocks,
+            pending_maps,
+            pending_reduces,
+            finished: BTreeSet::new(),
+            running_tasks: 0,
+            completed_maps: 0,
+            completed_reduces: 0,
+            first_task_at: None,
+            finished_at: None,
+        }
+    }
+
+    pub fn phase(&self) -> JobPhase {
+        if self.is_complete() {
+            JobPhase::Completed
+        } else if self.first_task_at.is_some() {
+            JobPhase::Running
+        } else {
+            JobPhase::Waiting
+        }
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.completed_maps == self.spec.num_maps()
+            && self.completed_reduces == self.spec.num_reduces()
+    }
+
+    pub fn completed_tasks(&self) -> u32 {
+        self.completed_maps + self.completed_reduces
+    }
+
+    pub fn pending_maps(&self) -> u32 {
+        self.pending_maps.len() as u32
+    }
+
+    /// Reduce tasks become eligible once `slowstart` of the maps finished.
+    pub fn reduces_eligible(&self, slowstart: f64) -> bool {
+        if self.spec.num_reduces() == 0 {
+            return false;
+        }
+        self.completed_maps as f64 >= slowstart * self.spec.num_maps() as f64
+    }
+
+    pub fn pending_reduces(&self, slowstart: f64) -> u32 {
+        if self.reduces_eligible(slowstart) {
+            self.pending_reduces.len() as u32
+        } else {
+            0
+        }
+    }
+
+    /// The best locality any pending map task would have on `machine`.
+    pub fn best_map_locality(&self, fleet: &Fleet, machine: MachineId) -> Option<Locality> {
+        let mut best: Option<Locality> = None;
+        for &idx in &self.pending_maps {
+            let loc = locality(fleet, &self.blocks[idx as usize], machine);
+            best = Some(match (best, loc) {
+                (None, l) => l,
+                (Some(Locality::NodeLocal), _) => Locality::NodeLocal,
+                (Some(_), Locality::NodeLocal) => Locality::NodeLocal,
+                (Some(Locality::RackLocal), _) => Locality::RackLocal,
+                (Some(_), Locality::RackLocal) => Locality::RackLocal,
+                (Some(b), _) => b,
+            });
+            if best == Some(Locality::NodeLocal) {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Removes and returns the pending map task with the best locality on
+    /// `machine`, together with its locality level.
+    pub fn take_map_for(
+        &mut self,
+        fleet: &Fleet,
+        machine: MachineId,
+    ) -> Option<(u32, Locality)> {
+        if self.pending_maps.is_empty() {
+            return None;
+        }
+        let mut best_pos = 0usize;
+        let mut best_loc = locality(fleet, &self.blocks[self.pending_maps[0] as usize], machine);
+        for (pos, &idx) in self.pending_maps.iter().enumerate().skip(1) {
+            if best_loc == Locality::NodeLocal {
+                break;
+            }
+            let loc = locality(fleet, &self.blocks[idx as usize], machine);
+            let better = matches!(
+                (best_loc, loc),
+                (Locality::Remote, Locality::RackLocal)
+                    | (Locality::Remote, Locality::NodeLocal)
+                    | (Locality::RackLocal, Locality::NodeLocal)
+            );
+            if better {
+                best_pos = pos;
+                best_loc = loc;
+            }
+        }
+        let idx = self.pending_maps.swap_remove(best_pos);
+        Some((idx, best_loc))
+    }
+
+    /// Removes and returns the next pending reduce task, if eligible.
+    pub fn take_reduce(&mut self, slowstart: f64) -> Option<u32> {
+        if !self.reduces_eligible(slowstart) {
+            return None;
+        }
+        self.pending_reduces.pop_front()
+    }
+
+    /// Returns a map task to the pending queue (assignment failed).
+    pub fn return_map(&mut self, index: u32) {
+        self.pending_maps.push(index);
+    }
+
+    /// Returns a reduce task to the pending queue (assignment failed).
+    pub fn return_reduce(&mut self, index: u32) {
+        self.pending_reduces.push_front(index);
+    }
+
+    pub fn note_task_started(&mut self, now: SimTime) {
+        self.running_tasks += 1;
+        if self.first_task_at.is_none() {
+            self.first_task_at = Some(now);
+        }
+    }
+
+    /// Marks an attempt of `(kind, index)` finished. Returns `true` for
+    /// the winning (first) attempt; later (speculative-loser) attempts
+    /// return `false` and only release their running-slot count.
+    pub fn note_task_completed(&mut self, now: SimTime, kind: SlotKind, index: u32) -> bool {
+        debug_assert!(self.running_tasks > 0);
+        self.running_tasks -= 1;
+        if !self.finished.insert((kind, index)) {
+            return false;
+        }
+        match kind {
+            SlotKind::Map => self.completed_maps += 1,
+            SlotKind::Reduce => self.completed_reduces += 1,
+        }
+        if self.is_complete() {
+            self.finished_at = Some(now);
+        }
+        true
+    }
+
+    /// Whether `(kind, index)` has already been completed by some attempt.
+    pub fn is_task_finished(&self, kind: SlotKind, index: u32) -> bool {
+        self.finished.contains(&(kind, index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::hdfs::BlockId;
+    use cluster::profiles;
+    use workload::{Benchmark, JobId};
+
+    fn fleet() -> Fleet {
+        Fleet::builder()
+            .add(profiles::desktop(), 8)
+            .rack_size(4)
+            .build()
+            .unwrap()
+    }
+
+    fn job(num_maps: u32, num_reduces: u32) -> JobState {
+        let spec = JobSpec::new(
+            JobId(0),
+            Benchmark::wordcount(),
+            num_maps,
+            num_reduces,
+            SimTime::ZERO,
+        );
+        // Map i's block lives on machine i % 8.
+        let blocks = (0..num_maps)
+            .map(|i| Block {
+                id: BlockId(i as u64),
+                replicas: vec![MachineId(i as usize % 8)],
+            })
+            .collect();
+        JobState::new(spec, blocks)
+    }
+
+    #[test]
+    fn phases_progress() {
+        let mut j = job(2, 1);
+        assert_eq!(j.phase(), JobPhase::Waiting);
+        j.note_task_started(SimTime::ZERO);
+        assert_eq!(j.phase(), JobPhase::Running);
+        j.note_task_completed(SimTime::from_secs(1), SlotKind::Map, 0);
+        j.note_task_started(SimTime::from_secs(1));
+        j.note_task_completed(SimTime::from_secs(2), SlotKind::Map, 1);
+        j.note_task_started(SimTime::from_secs(2));
+        j.note_task_completed(SimTime::from_secs(3), SlotKind::Reduce, 0);
+        assert_eq!(j.phase(), JobPhase::Completed);
+        assert_eq!(j.finished_at, Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn slowstart_gates_reduces() {
+        let mut j = job(10, 2);
+        assert!(!j.reduces_eligible(0.8));
+        assert_eq!(j.pending_reduces(0.8), 0);
+        assert!(j.take_reduce(0.8).is_none());
+        for i in 0..8 {
+            j.note_task_started(SimTime::ZERO);
+            j.note_task_completed(SimTime::from_secs(i), SlotKind::Map, i as u32);
+        }
+        assert!(j.reduces_eligible(0.8));
+        assert_eq!(j.pending_reduces(0.8), 2);
+        assert_eq!(j.take_reduce(0.8), Some(0));
+    }
+
+    #[test]
+    fn map_only_job_has_no_eligible_reduces() {
+        let j = job(4, 0);
+        assert!(!j.reduces_eligible(0.1));
+    }
+
+    #[test]
+    fn take_map_prefers_local() {
+        let f = fleet();
+        let mut j = job(8, 0);
+        // Machine 3's block is map index 3.
+        let (idx, loc) = j.take_map_for(&f, MachineId(3)).unwrap();
+        assert_eq!(idx, 3);
+        assert_eq!(loc, Locality::NodeLocal);
+        assert_eq!(j.pending_maps(), 7);
+        // Taking again for machine 3: block gone, next best is rack-local
+        // (machines 0..3 are rack 0).
+        let (_, loc) = j.take_map_for(&f, MachineId(3)).unwrap();
+        assert_eq!(loc, Locality::RackLocal);
+    }
+
+    #[test]
+    fn best_map_locality_matches_take() {
+        let f = fleet();
+        let j = job(8, 0);
+        assert_eq!(
+            j.best_map_locality(&f, MachineId(5)),
+            Some(Locality::NodeLocal)
+        );
+        let empty = job(1, 0);
+        // Machine 7 is in rack 1; block 0 lives on machine 0 (rack 0).
+        assert_eq!(
+            empty.best_map_locality(&f, MachineId(7)),
+            Some(Locality::Remote)
+        );
+    }
+
+    #[test]
+    fn returned_tasks_are_reassignable() {
+        let f = fleet();
+        let mut j = job(2, 1);
+        let (idx, _) = j.take_map_for(&f, MachineId(0)).unwrap();
+        j.return_map(idx);
+        assert_eq!(j.pending_maps(), 2);
+        for i in 0..2 {
+            j.note_task_started(SimTime::ZERO);
+            j.note_task_completed(SimTime::from_secs(i), SlotKind::Map, i as u32);
+        }
+        let r = j.take_reduce(1.0).unwrap();
+        j.return_reduce(r);
+        assert_eq!(j.pending_reduces(1.0), 1);
+    }
+
+    #[test]
+    fn exhausted_maps_return_none() {
+        let f = fleet();
+        let mut j = job(1, 0);
+        assert!(j.take_map_for(&f, MachineId(0)).is_some());
+        assert!(j.take_map_for(&f, MachineId(0)).is_none());
+        assert_eq!(j.best_map_locality(&f, MachineId(0)), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-task completion reports — the simulator's `TaskReport` +
+//! `TaskCounter` equivalent.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+use cluster::hdfs::Locality;
+use cluster::{MachineId, SlotKind};
+use workload::{JobId, TaskId};
+
+/// One heartbeat-granularity CPU-utilization reading for a task's execution
+/// process, as a TaskTracker would report it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Length of the sampling window in seconds (Δt in Eq. 2; the last
+    /// window of a task may be shorter than the heartbeat).
+    pub dt_secs: f64,
+    /// Reported process-level CPU utilization as a fraction of the whole
+    /// machine's CPU, in `[0, 1]`. Subject to measurement jitter when noise
+    /// is enabled.
+    pub utilization: f64,
+}
+
+/// Everything the JobTracker learns about a completed task attempt.
+///
+/// This is the feedback channel of the whole system: E-Ant's task analyzer
+/// consumes these reports to estimate per-task energy (Eq. 2) and lay
+/// pheromone (Eq. 4–5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskReport {
+    /// The completed task.
+    pub task: TaskId,
+    /// The machine that executed it.
+    pub machine: MachineId,
+    /// Map or reduce.
+    pub kind: SlotKind,
+    /// The homogeneous-job-group key of the owning job (benchmark + size
+    /// class), used by job-level exchange.
+    pub job_group: String,
+    /// When the attempt started.
+    pub started_at: SimTime,
+    /// When the attempt finished.
+    pub finished_at: SimTime,
+    /// Input locality (maps only).
+    pub locality: Option<Locality>,
+    /// Heartbeat-granularity utilization readings over the attempt.
+    pub samples: Vec<UtilizationSample>,
+    /// Seconds this attempt spent fetching shuffle data (reduces only;
+    /// zero for maps). Feeds the Fig. 1(d) phase breakdown.
+    pub shuffle_secs: f64,
+    /// Noise-free energy attribution of this task under the Eq. 2
+    /// accounting, in joules. This is *ground truth* — schedulers must not
+    /// read it (they only see `samples`); it exists for the estimation-
+    /// accuracy experiments (Fig. 4).
+    pub true_energy_joules: f64,
+    /// Whether noise injection made this attempt straggle.
+    pub straggled: bool,
+    /// Whether this was a speculative (backup) attempt.
+    pub speculative: bool,
+}
+
+impl TaskReport {
+    /// The owning job.
+    pub fn job(&self) -> JobId {
+        self.task.job
+    }
+
+    /// Execution time of the attempt.
+    pub fn execution_time(&self) -> SimDuration {
+        self.finished_at - self.started_at
+    }
+
+    /// Mean reported utilization, weighted by sample length.
+    pub fn mean_utilization(&self) -> f64 {
+        let total: f64 = self.samples.iter().map(|s| s.dt_secs).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .map(|s| s.utilization * s.dt_secs)
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::TaskIndex;
+
+    fn report() -> TaskReport {
+        TaskReport {
+            task: TaskId {
+                job: JobId(1),
+                task: TaskIndex {
+                    kind: SlotKind::Map,
+                    index: 0,
+                },
+            },
+            machine: MachineId(2),
+            kind: SlotKind::Map,
+            job_group: "Wordcount-S".into(),
+            started_at: SimTime::from_secs(10),
+            finished_at: SimTime::from_secs(25),
+            locality: Some(Locality::NodeLocal),
+            samples: vec![
+                UtilizationSample {
+                    dt_secs: 3.0,
+                    utilization: 0.12,
+                },
+                UtilizationSample {
+                    dt_secs: 1.0,
+                    utilization: 0.04,
+                },
+            ],
+            shuffle_secs: 0.0,
+            true_energy_joules: 150.0,
+            straggled: false,
+            speculative: false,
+        }
+    }
+
+    #[test]
+    fn execution_time_is_finish_minus_start() {
+        assert_eq!(report().execution_time(), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn mean_utilization_is_duration_weighted() {
+        let r = report();
+        let expected = (0.12 * 3.0 + 0.04 * 1.0) / 4.0;
+        assert!((r.mean_utilization() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_samples_mean_zero() {
+        let mut r = report();
+        r.samples.clear();
+        assert_eq!(r.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn job_accessor() {
+        assert_eq!(report().job(), JobId(1));
+    }
+}

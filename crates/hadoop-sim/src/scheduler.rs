@@ -1,0 +1,187 @@
+//! The scheduler plug-in interface.
+
+use simcore::SimTime;
+
+use cluster::hdfs::Locality;
+use cluster::{Fleet, MachineId, SlotKind};
+use workload::{JobId, JobSpec};
+
+use crate::TaskReport;
+
+/// A compact, by-value view of one active job's state, produced for
+/// scheduler decision-making.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSummary {
+    /// The job id.
+    pub id: JobId,
+    /// Homogeneous-group key (benchmark + size class).
+    pub group: String,
+    /// Pending (unassigned) map tasks.
+    pub pending_maps: u32,
+    /// Pending *eligible* reduce tasks (gated by slow-start).
+    pub pending_reduces: u32,
+    /// Slots currently occupied by this job's running tasks (`S_occ` in
+    /// Eq. 7).
+    pub slots_occupied: u32,
+    /// Tasks completed so far.
+    pub completed_tasks: u32,
+    /// Total tasks in the job.
+    pub total_tasks: u32,
+    /// When the job was submitted.
+    pub submitted_at: SimTime,
+}
+
+impl JobSummary {
+    /// Pending tasks of `kind`.
+    pub fn pending(&self, kind: SlotKind) -> u32 {
+        match kind {
+            SlotKind::Map => self.pending_maps,
+            SlotKind::Reduce => self.pending_reduces,
+        }
+    }
+}
+
+/// Read-only view of cluster state offered to schedulers at every decision
+/// point. Implemented by the engine.
+///
+/// This corresponds to the information a real Hadoop scheduler obtains from
+/// the JobTracker's in-memory state plus TaskTracker heartbeats: job queues,
+/// slot occupancy, hardware identity and block locations.
+pub trait ClusterQuery {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// The cluster fleet (profiles, slots, racks).
+    fn fleet(&self) -> &Fleet;
+    /// Jobs that are submitted and not yet complete, in submission order.
+    fn active_jobs(&self) -> Vec<JobSummary>;
+    /// The spec of a job (active or finished).
+    fn job_spec(&self, job: JobId) -> Option<&JobSpec>;
+    /// Locality the *best* pending map task of `job` would have on
+    /// `machine`, or `None` when the job has no pending maps.
+    fn best_map_locality(&self, job: JobId, machine: MachineId) -> Option<Locality>;
+    /// Total slots in the cluster (`S_pool` in Eq. 7 for a single-user
+    /// system).
+    fn total_slots(&self) -> usize;
+    /// Cluster-wide mean number of active shuffle transfers per machine — a
+    /// congestion signal for communication-aware schedulers.
+    fn network_congestion(&self) -> f64;
+}
+
+/// A task-assignment policy plugged into the engine.
+///
+/// On every heartbeat the engine offers each free slot by calling
+/// [`Scheduler::select_job`]; the scheduler answers with the job whose task
+/// should occupy that slot (the engine then picks the job's best pending
+/// task, preferring locality for maps). Returning `None` leaves the slot
+/// idle until the next heartbeat.
+///
+/// The callbacks mirror what the paper's implementation wires into Hadoop:
+/// completed-task feedback (`taskAnalyzer` over `TaskReport`s) and periodic
+/// policy refresh (the `Optimizer` run each control interval).
+pub trait Scheduler {
+    /// Human-readable name for reports ("Fair", "Tarazu", "E-Ant", ...).
+    fn name(&self) -> &str;
+
+    /// Chooses which job's task should fill the free `kind` slot on
+    /// `machine`, or `None` to leave it idle.
+    fn select_job(
+        &mut self,
+        query: &dyn ClusterQuery,
+        machine: MachineId,
+        kind: SlotKind,
+    ) -> Option<JobId>;
+
+    /// Called when a job is submitted.
+    fn on_job_submitted(&mut self, _query: &dyn ClusterQuery, _job: &JobSpec) {}
+
+    /// Called when a job's last task completes.
+    fn on_job_completed(&mut self, _query: &dyn ClusterQuery, _job: JobId) {}
+
+    /// Called for every completed task attempt, with the TaskTracker's
+    /// report.
+    fn on_task_completed(&mut self, _query: &dyn ClusterQuery, _report: &TaskReport) {}
+
+    /// Called at every control-interval boundary (default 5 min).
+    fn on_control_interval(&mut self, _query: &dyn ClusterQuery) {}
+}
+
+/// A minimal reference scheduler: offers each slot to the first active job
+/// (in submission order) that has a pending task of the right kind,
+/// preferring jobs with node-local data for map slots.
+///
+/// `GreedyScheduler` approximates Hadoop's default FIFO behaviour and is
+/// what the engine's own tests run against. The richer baselines (Fair,
+/// Tarazu) live in the `baselines` crate.
+///
+/// # Examples
+///
+/// ```
+/// use hadoop_sim::{GreedyScheduler, Scheduler};
+///
+/// let s = GreedyScheduler::new();
+/// assert_eq!(s.name(), "FIFO-greedy");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GreedyScheduler {
+    _private: (),
+}
+
+impl GreedyScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        GreedyScheduler { _private: () }
+    }
+}
+
+impl Scheduler for GreedyScheduler {
+    fn name(&self) -> &str {
+        "FIFO-greedy"
+    }
+
+    fn select_job(
+        &mut self,
+        query: &dyn ClusterQuery,
+        machine: MachineId,
+        kind: SlotKind,
+    ) -> Option<JobId> {
+        let jobs = query.active_jobs();
+        if kind == SlotKind::Map {
+            // First pass: a job with node-local data here.
+            for j in &jobs {
+                if j.pending_maps > 0
+                    && query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
+                {
+                    return Some(j.id);
+                }
+            }
+        }
+        jobs.iter().find(|j| j.pending(kind) > 0).map(|j| j.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_summary_pending_by_kind() {
+        let s = JobSummary {
+            id: JobId(0),
+            group: "Grep-S".into(),
+            pending_maps: 3,
+            pending_reduces: 1,
+            slots_occupied: 2,
+            completed_tasks: 5,
+            total_tasks: 11,
+            submitted_at: SimTime::ZERO,
+        };
+        assert_eq!(s.pending(SlotKind::Map), 3);
+        assert_eq!(s.pending(SlotKind::Reduce), 1);
+    }
+
+    #[test]
+    fn greedy_scheduler_is_object_safe() {
+        fn takes_dyn(_s: &dyn Scheduler) {}
+        takes_dyn(&GreedyScheduler::new());
+    }
+}

@@ -1,0 +1,284 @@
+//! Open-loop single-machine simulation for the motivation study (Fig. 1).
+//!
+//! The paper's Fig. 1(a) and 1(c) drive one machine (or one homogeneous
+//! group) with a stream of independent tasks at a controlled *task arrival
+//! rate* and observe throughput-per-watt. This module reproduces that
+//! microbenchmark without the full JobTracker machinery: tasks arrive,
+//! queue for a map slot, execute with the machine's speed profile, and the
+//! wall-socket meter integrates power.
+
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+use cluster::{Machine, MachineId, MachineProfile, SlotKind};
+use workload::arrival::{ArrivalKind, ArrivalProcess};
+use workload::Benchmark;
+
+/// Configuration of an open-loop single-node run.
+#[derive(Debug, Clone)]
+pub struct SingleNodeConfig {
+    /// The machine under test.
+    pub profile: MachineProfile,
+    /// The benchmark whose map tasks make up the stream.
+    pub benchmark: Benchmark,
+    /// Task arrival rate in tasks/minute (the Fig. 1 x axis).
+    pub rate_per_min: f64,
+    /// Measurement horizon.
+    pub horizon: SimDuration,
+    /// Arrival process shape.
+    pub arrivals: ArrivalKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SingleNodeConfig {
+    /// A conventional configuration: Poisson arrivals over a 2-hour
+    /// horizon.
+    pub fn new(profile: MachineProfile, benchmark: Benchmark, rate_per_min: f64) -> Self {
+        SingleNodeConfig {
+            profile,
+            benchmark,
+            rate_per_min,
+            horizon: SimDuration::from_mins(120),
+            arrivals: ArrivalKind::Poisson,
+            seed: 42,
+        }
+    }
+}
+
+/// Measurements from an open-loop single-node run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleNodeResult {
+    /// Tasks completed within the horizon.
+    pub completed_tasks: u64,
+    /// Tasks still queued or running when the horizon closed.
+    pub backlog: u64,
+    /// Metered energy over the horizon, in joules.
+    pub energy_joules: f64,
+    /// Idle-system component of the energy (Fig. 1(b)).
+    pub idle_joules: f64,
+    /// Above-idle component of the energy (Fig. 1(b)).
+    pub workload_joules: f64,
+    /// Mean power over the horizon, in watts.
+    pub mean_power_watts: f64,
+    /// Measurement horizon in seconds.
+    pub horizon_secs: f64,
+}
+
+impl SingleNodeResult {
+    /// Completed tasks per second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        self.completed_tasks as f64 / self.horizon_secs
+    }
+
+    /// The paper's Fig. 1 metric: task throughput per watt
+    /// (tasks·s⁻¹·W⁻¹).
+    pub fn throughput_per_watt(&self) -> f64 {
+        if self.mean_power_watts <= 0.0 {
+            return 0.0;
+        }
+        self.throughput_per_sec() / self.mean_power_watts
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival,
+    Done { core_load: f64 },
+}
+
+/// Runs the open-loop experiment.
+///
+/// # Examples
+///
+/// ```
+/// use hadoop_sim::single_node::{run, SingleNodeConfig};
+/// use cluster::profiles;
+/// use workload::Benchmark;
+///
+/// let res = run(&SingleNodeConfig::new(
+///     profiles::desktop().with_capacity_slots(),
+///     Benchmark::wordcount(),
+///     10.0,
+/// ));
+/// assert!(res.completed_tasks > 0);
+/// assert!(res.throughput_per_watt() > 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the rate or horizon is non-positive.
+pub fn run(config: &SingleNodeConfig) -> SingleNodeResult {
+    assert!(
+        !config.horizon.is_zero(),
+        "measurement horizon must be positive"
+    );
+    let mut machine = Machine::new(MachineId(0), config.profile.clone());
+    let mut rng = SimRng::seed_from(config.seed);
+    let mut arrivals = ArrivalProcess::per_minute(config.rate_per_min, config.arrivals);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let horizon = SimTime::ZERO + config.horizon;
+
+    queue.schedule(arrivals.next_arrival(&mut rng), Event::Arrival);
+
+    let mut waiting: u64 = 0;
+    let mut running: u64 = 0;
+    let mut completed: u64 = 0;
+
+    // Starts the next queued task if a map slot is free.
+    fn try_start(
+        machine: &mut Machine,
+        config: &SingleNodeConfig,
+        rng: &mut SimRng,
+        queue: &mut EventQueue<Event>,
+        now: SimTime,
+        waiting: &mut u64,
+        running: &mut u64,
+    ) {
+        while *waiting > 0 && machine.has_free_slot(SlotKind::Map) {
+            let demand = config.benchmark.sample_map_demand(64.0, rng);
+            let prof = machine.profile();
+            let cpu = demand.cpu_secs / prof.cpu_speed();
+            let io = demand.io_secs / prof.io_speed();
+            let base = (cpu + io).max(0.001);
+            let core_load = ((cpu + 0.15 * io) / base).clamp(0.0, 1.0);
+            let busy_after = machine.utilization() * prof.cores() as f64 + core_load;
+            let contention = (busy_after / prof.cores() as f64).max(1.0);
+            let duration = base * contention;
+            machine
+                .occupy(now, SlotKind::Map, core_load)
+                .expect("slot checked free");
+            queue.schedule(
+                now + SimDuration::from_secs_f64(duration),
+                Event::Done { core_load },
+            );
+            *waiting -= 1;
+            *running += 1;
+        }
+    }
+
+    while let Some((at, event)) = queue.pop() {
+        if at > horizon {
+            break;
+        }
+        match event {
+            Event::Arrival => {
+                waiting += 1;
+                try_start(
+                    &mut machine,
+                    config,
+                    &mut rng,
+                    &mut queue,
+                    at,
+                    &mut waiting,
+                    &mut running,
+                );
+                let next = arrivals.next_arrival(&mut rng);
+                if next <= horizon {
+                    queue.schedule(next, Event::Arrival);
+                }
+            }
+            Event::Done { core_load } => {
+                machine
+                    .release(at, SlotKind::Map, core_load)
+                    .expect("task was running");
+                running -= 1;
+                completed += 1;
+                try_start(
+                    &mut machine,
+                    config,
+                    &mut rng,
+                    &mut queue,
+                    at,
+                    &mut waiting,
+                    &mut running,
+                );
+            }
+        }
+    }
+
+    machine.sync(horizon);
+    let meter = machine.meter();
+    SingleNodeResult {
+        completed_tasks: completed,
+        backlog: waiting + running,
+        energy_joules: meter.total_joules(),
+        idle_joules: meter.idle_joules(),
+        workload_joules: meter.workload_joules(),
+        mean_power_watts: meter.mean_watts(),
+        horizon_secs: config.horizon.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::profiles;
+
+    fn cfg(rate: f64) -> SingleNodeConfig {
+        SingleNodeConfig {
+            horizon: SimDuration::from_mins(60),
+            ..SingleNodeConfig::new(
+                profiles::desktop().with_capacity_slots(),
+                Benchmark::wordcount(),
+                rate,
+            )
+        }
+    }
+
+    #[test]
+    fn low_rate_completes_all_arrivals() {
+        let res = run(&cfg(2.0));
+        // ~120 arrivals over an hour; service time ≈ 15 s, capacity far
+        // higher, so nearly everything drains.
+        assert!(res.completed_tasks >= 100, "completed {}", res.completed_tasks);
+        assert!(res.backlog < 10);
+    }
+
+    #[test]
+    fn saturation_builds_backlog() {
+        // Desktop with 4 map slots and ≈14.5 s Wordcount maps caps near
+        // 4/14.5 ≈ 16.5 tasks/min; 60/min must overflow.
+        let res = run(&SingleNodeConfig {
+            horizon: SimDuration::from_mins(60),
+            ..SingleNodeConfig::new(profiles::desktop(), Benchmark::wordcount(), 60.0)
+        });
+        assert!(res.backlog > 100, "backlog {}", res.backlog);
+    }
+
+    #[test]
+    fn throughput_tracks_rate_below_capacity() {
+        let res = run(&cfg(8.0));
+        let per_min = res.throughput_per_sec() * 60.0;
+        assert!((per_min - 8.0).abs() < 1.0, "observed {per_min}/min");
+    }
+
+    #[test]
+    fn energy_split_is_consistent() {
+        let res = run(&cfg(5.0));
+        assert!((res.idle_joules + res.workload_joules - res.energy_joules).abs() < 1e-6);
+        assert!(res.mean_power_watts >= profiles::desktop().power().idle_watts() - 1e-9);
+    }
+
+    #[test]
+    fn higher_rate_uses_more_power() {
+        let low = run(&cfg(3.0));
+        let high = run(&cfg(15.0));
+        assert!(high.mean_power_watts > low.mean_power_watts);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(&cfg(10.0));
+        let b = run(&cfg(10.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement horizon must be positive")]
+    fn zero_horizon_rejected() {
+        run(&SingleNodeConfig {
+            horizon: SimDuration::ZERO,
+            ..cfg(1.0)
+        });
+    }
+}

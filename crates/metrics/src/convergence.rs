@@ -1,0 +1,124 @@
+//! Convergence-time measurement (§VI-C, Fig. 11).
+
+use hadoop_sim::RunResult;
+use workload::JobId;
+
+/// The paper's stability threshold: a task assignment is *stable* when more
+/// than 80 % of a job's tasks revisit the machines used in the previous
+/// control interval.
+pub const STABILITY_THRESHOLD: f64 = 0.8;
+
+/// Time (minutes from job submission) until `job`'s assignment first became
+/// stable in `run`, or `None` if it never did.
+///
+/// # Examples
+///
+/// Convergence is measured per-job from control-interval snapshots; see the
+/// Fig. 11 experiments for end-to-end use.
+pub fn convergence_minutes(run: &RunResult, job: JobId) -> Option<f64> {
+    let idx = run.convergence_interval(job, STABILITY_THRESHOLD)?;
+    let at = run.intervals.get(idx)?.at;
+    let submitted = run.jobs.get(job.index())?.submitted_at;
+    Some((at - submitted).as_mins_f64())
+}
+
+/// Mean convergence time over all jobs that converged, in minutes, plus
+/// the count of jobs that never converged.
+pub fn mean_convergence_minutes(run: &RunResult) -> (Option<f64>, usize) {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    let mut missed = 0usize;
+    for j in &run.jobs {
+        match convergence_minutes(run, j.id) {
+            Some(m) => {
+                sum += m;
+                n += 1;
+            }
+            None => missed += 1,
+        }
+    }
+    if n == 0 {
+        (None, missed)
+    } else {
+        (Some(sum / n as f64), missed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadoop_sim::{IntervalSnapshot, JobOutcome, JobPhase};
+    use simcore::series::TimeSeries;
+    use simcore::{SimDuration, SimTime};
+
+    fn run_with_intervals(assignments: Vec<Vec<u64>>) -> RunResult {
+        let intervals = assignments
+            .into_iter()
+            .enumerate()
+            .map(|(i, counts)| IntervalSnapshot {
+                at: SimTime::from_secs(300 * (i as u64 + 1)),
+                cumulative_energy_joules: 0.0,
+                assignments: [(JobId(0), counts)].into_iter().collect(),
+            })
+            .collect();
+        RunResult {
+            scheduler: "x".into(),
+            makespan: SimDuration::from_secs(1),
+            drained: true,
+            jobs: vec![JobOutcome {
+                id: JobId(0),
+                label: "Grep".into(),
+                benchmark: "Grep".into(),
+                size_class: None,
+                submitted_at: SimTime::ZERO,
+                phase: JobPhase::Completed,
+                finished_at: Some(SimTime::from_secs(2000)),
+                total_tasks: 10,
+                reference_work_secs: 1.0,
+            }],
+            machines: vec![],
+            intervals,
+            energy_series: TimeSeries::new("e"),
+            reports: vec![],
+            total_tasks: 0,
+            speculative_attempts: 0,
+            wasted_attempts: 0,
+        }
+    }
+
+    #[test]
+    fn detects_convergence_time() {
+        // Interval 1: machines {0}; interval 2: {0,1} (50% revisit);
+        // interval 3: {0,1} again (100% revisit → stable at 15 min).
+        let run = run_with_intervals(vec![
+            vec![10, 0],
+            vec![5, 5],
+            vec![6, 4],
+        ]);
+        assert_eq!(convergence_minutes(&run, JobId(0)), Some(15.0));
+        let (mean, missed) = mean_convergence_minutes(&run);
+        assert_eq!(mean, Some(15.0));
+        assert_eq!(missed, 0);
+    }
+
+    #[test]
+    fn never_stable_returns_none() {
+        // Assignment flips machines every interval.
+        let run = run_with_intervals(vec![
+            vec![10, 0],
+            vec![0, 10],
+            vec![10, 0],
+            vec![0, 10],
+        ]);
+        assert_eq!(convergence_minutes(&run, JobId(0)), None);
+        let (mean, missed) = mean_convergence_minutes(&run);
+        assert_eq!(mean, None);
+        assert_eq!(missed, 1);
+    }
+
+    #[test]
+    fn unknown_job_returns_none() {
+        let run = run_with_intervals(vec![vec![1, 0], vec![1, 0]]);
+        assert_eq!(convergence_minutes(&run, JobId(42)), None);
+    }
+}

@@ -1,0 +1,193 @@
+//! CSV export of run results, for external plotting tools.
+//!
+//! Plain `Display`-based CSV writing (no extra dependencies): fields are
+//! quoted only when they contain commas or quotes, per RFC 4180.
+
+use std::fmt::Write as _;
+
+use hadoop_sim::RunResult;
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+fn write_row(out: &mut String, fields: &[String]) {
+    let line = fields
+        .iter()
+        .map(|f| escape(f))
+        .collect::<Vec<_>>()
+        .join(",");
+    let _ = writeln!(out, "{line}");
+}
+
+/// Per-machine outcomes as CSV: one row per machine.
+///
+/// # Examples
+///
+/// ```no_run
+/// # let result: hadoop_sim::RunResult = unimplemented!();
+/// let csv = metrics::csv::machines_csv(&result);
+/// std::fs::write("machines.csv", csv)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn machines_csv(run: &RunResult) -> String {
+    let mut out = String::new();
+    write_row(
+        &mut out,
+        &[
+            "scheduler".into(),
+            "machine".into(),
+            "profile".into(),
+            "energy_joules".into(),
+            "idle_joules".into(),
+            "workload_joules".into(),
+            "mean_utilization".into(),
+            "map_tasks".into(),
+            "reduce_tasks".into(),
+        ],
+    );
+    for m in &run.machines {
+        write_row(
+            &mut out,
+            &[
+                run.scheduler.clone(),
+                m.machine.to_string(),
+                m.profile.clone(),
+                format!("{:.3}", m.energy_joules),
+                format!("{:.3}", m.idle_joules),
+                format!("{:.3}", m.workload_joules),
+                format!("{:.6}", m.mean_utilization),
+                m.map_tasks.to_string(),
+                m.reduce_tasks.to_string(),
+            ],
+        );
+    }
+    out
+}
+
+/// Per-job outcomes as CSV: one row per job.
+pub fn jobs_csv(run: &RunResult) -> String {
+    let mut out = String::new();
+    write_row(
+        &mut out,
+        &[
+            "scheduler".into(),
+            "job".into(),
+            "label".into(),
+            "benchmark".into(),
+            "submitted_secs".into(),
+            "completion_secs".into(),
+            "total_tasks".into(),
+        ],
+    );
+    for j in &run.jobs {
+        write_row(
+            &mut out,
+            &[
+                run.scheduler.clone(),
+                j.id.to_string(),
+                j.label.clone(),
+                j.benchmark.clone(),
+                format!("{:.3}", j.submitted_at.as_secs_f64()),
+                j.completion_time()
+                    .map_or(String::new(), |d| format!("{:.3}", d.as_secs_f64())),
+                j.total_tasks.to_string(),
+            ],
+        );
+    }
+    out
+}
+
+/// The cumulative energy time series as CSV: `(secs, joules)` rows.
+pub fn energy_series_csv(run: &RunResult) -> String {
+    let mut out = String::new();
+    write_row(&mut out, &["secs".into(), "cumulative_joules".into()]);
+    for (t, e) in run.energy_series.iter() {
+        write_row(&mut out, &[format!("{:.3}", t.as_secs_f64()), format!("{e:.3}")]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::MachineId;
+    use hadoop_sim::{JobOutcome, JobPhase, MachineOutcome};
+    use simcore::series::TimeSeries;
+    use simcore::{SimDuration, SimTime};
+    use workload::JobId;
+
+    fn sample_run() -> RunResult {
+        let mut series = TimeSeries::new("e");
+        series.record(SimTime::ZERO, 0.0);
+        series.record(SimTime::from_secs(10), 400.0);
+        RunResult {
+            scheduler: "E-Ant".into(),
+            makespan: SimDuration::from_secs(10),
+            drained: true,
+            jobs: vec![JobOutcome {
+                id: JobId(0),
+                label: "Grep, with comma".into(),
+                benchmark: "Grep".into(),
+                size_class: None,
+                submitted_at: SimTime::ZERO,
+                phase: JobPhase::Completed,
+                finished_at: Some(SimTime::from_secs(10)),
+                total_tasks: 4,
+                reference_work_secs: 1.0,
+            }],
+            machines: vec![MachineOutcome {
+                machine: MachineId(0),
+                profile: "Desktop".into(),
+                energy_joules: 400.0,
+                idle_joules: 390.0,
+                workload_joules: 10.0,
+                mean_utilization: 0.125,
+                map_tasks: 3,
+                reduce_tasks: 1,
+                tasks_by_benchmark: Default::default(),
+            }],
+            intervals: vec![],
+            energy_series: series,
+            reports: vec![],
+            total_tasks: 4,
+            speculative_attempts: 0,
+            wasted_attempts: 0,
+        }
+    }
+
+    #[test]
+    fn machines_csv_has_header_and_rows() {
+        let csv = machines_csv(&sample_run());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("scheduler,machine,profile"));
+        assert!(lines[1].starts_with("E-Ant,m0,Desktop,400.000"));
+    }
+
+    #[test]
+    fn jobs_csv_quotes_commas() {
+        let csv = jobs_csv(&sample_run());
+        assert!(csv.contains("\"Grep, with comma\""));
+        assert!(csv.contains("10.000"));
+    }
+
+    #[test]
+    fn energy_series_csv_rows() {
+        let csv = energy_series_csv(&sample_run());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2], "10.000,400.000");
+    }
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,168 @@
+//! Energy accounting across runs.
+
+use hadoop_sim::RunResult;
+
+/// Percentage energy saving of `candidate` relative to `baseline`:
+/// `(E_base − E_cand) / E_base × 100`. Positive means the candidate saves
+/// energy. The paper's headline numbers (17 % vs Fair, 12 % vs Tarazu,
+/// Fig. 8(a)) are this quantity over the MSD workload.
+///
+/// Returns `None` when the baseline consumed no energy.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::energy::percent_saving;
+///
+/// assert_eq!(percent_saving(100.0, 83.0), Some(17.0));
+/// assert_eq!(percent_saving(0.0, 10.0), None);
+/// ```
+pub fn percent_saving(baseline_joules: f64, candidate_joules: f64) -> Option<f64> {
+    if baseline_joules <= 0.0 || !baseline_joules.is_finite() {
+        return None;
+    }
+    Some((baseline_joules - candidate_joules) / baseline_joules * 100.0)
+}
+
+/// Per-profile energy comparison between runs over the same fleet: rows of
+/// `(profile, energy per scheduler)` in fleet profile order — the Fig. 8(a)
+/// grouped bars.
+///
+/// # Panics
+///
+/// Panics if the runs cover different profile sets.
+pub fn energy_by_profile_comparison(runs: &[&RunResult]) -> Vec<(String, Vec<f64>)> {
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for (i, run) in runs.iter().enumerate() {
+        for (profile, joules) in run.energy_by_profile() {
+            if i == 0 {
+                rows.push((profile, vec![joules]));
+            } else {
+                let row = rows
+                    .iter_mut()
+                    .find(|(p, _)| *p == profile)
+                    .expect("runs must cover the same profiles");
+                row.1.push(joules);
+            }
+        }
+    }
+    assert!(
+        rows.iter().all(|(_, v)| v.len() == runs.len()),
+        "runs must cover the same profiles"
+    );
+    rows
+}
+
+/// Energy (kJ) for display: joules / 1000.
+pub fn kj(joules: f64) -> f64 {
+    joules / 1000.0
+}
+
+/// Energy-saving time series of a candidate run against a baseline run:
+/// `(minutes, saving_kj)` samples at the candidate's interval boundaries
+/// (Fig. 10's y axis is cumulative energy saved over time).
+pub fn saving_over_time(baseline: &RunResult, candidate: &RunResult) -> Vec<(f64, f64)> {
+    candidate
+        .intervals
+        .iter()
+        .map(|snap| {
+            let base = baseline
+                .energy_series
+                .value_at(snap.at)
+                .unwrap_or(snap.cumulative_energy_joules);
+            (
+                snap.at.as_mins_f64(),
+                kj(base - snap.cumulative_energy_joules),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::MachineId;
+    use hadoop_sim::MachineOutcome;
+    use simcore::series::TimeSeries;
+    use simcore::{SimDuration, SimTime};
+
+    fn run_with_profiles(pairs: &[(&str, f64)]) -> RunResult {
+        let machines = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (p, e))| MachineOutcome {
+                machine: MachineId(i),
+                profile: (*p).to_owned(),
+                energy_joules: *e,
+                idle_joules: 0.0,
+                workload_joules: *e,
+                mean_utilization: 0.1,
+                map_tasks: 0,
+                reduce_tasks: 0,
+                tasks_by_benchmark: Default::default(),
+            })
+            .collect();
+        RunResult {
+            scheduler: "x".into(),
+            makespan: SimDuration::from_secs(1),
+            drained: true,
+            jobs: vec![],
+            machines,
+            intervals: vec![],
+            energy_series: TimeSeries::new("e"),
+            reports: vec![],
+            total_tasks: 0,
+            speculative_attempts: 0,
+            wasted_attempts: 0,
+        }
+    }
+
+    #[test]
+    fn saving_percentages() {
+        assert_eq!(percent_saving(200.0, 100.0), Some(50.0));
+        assert_eq!(percent_saving(100.0, 120.0), Some(-20.0));
+        assert_eq!(percent_saving(-5.0, 1.0), None);
+        assert_eq!(percent_saving(f64::NAN, 1.0), None);
+    }
+
+    #[test]
+    fn comparison_aligns_profiles() {
+        let a = run_with_profiles(&[("Desktop", 100.0), ("Atom", 10.0)]);
+        let b = run_with_profiles(&[("Desktop", 80.0), ("Atom", 12.0)]);
+        let rows = energy_by_profile_comparison(&[&a, &b]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], ("Desktop".to_owned(), vec![100.0, 80.0]));
+        assert_eq!(rows[1], ("Atom".to_owned(), vec![10.0, 12.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "runs must cover the same profiles")]
+    fn mismatched_profiles_rejected() {
+        let a = run_with_profiles(&[("Desktop", 100.0)]);
+        let b = run_with_profiles(&[("Atom", 12.0)]);
+        let _ = energy_by_profile_comparison(&[&a, &b]);
+    }
+
+    #[test]
+    fn kj_conversion() {
+        assert_eq!(kj(2500.0), 2.5);
+    }
+
+    #[test]
+    fn saving_over_time_uses_interval_boundaries() {
+        let mut base = run_with_profiles(&[("Desktop", 0.0)]);
+        base.energy_series.record(SimTime::ZERO, 0.0);
+        base.energy_series.record(SimTime::from_secs(600), 6000.0);
+        let mut cand = run_with_profiles(&[("Desktop", 0.0)]);
+        cand.intervals.push(hadoop_sim::IntervalSnapshot {
+            at: SimTime::from_secs(300),
+            cumulative_energy_joules: 2000.0,
+            assignments: Default::default(),
+        });
+        let series = saving_over_time(&base, &cand);
+        assert_eq!(series.len(), 1);
+        assert!((series[0].0 - 5.0).abs() < 1e-12);
+        // Baseline interpolates to 3000 J at t = 300 s → saving 1 kJ.
+        assert!((series[0].1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Slowdown and job-fairness metrics (§VI-D).
+
+use std::collections::BTreeMap;
+
+use hadoop_sim::RunResult;
+use simcore::stats::OnlineStats;
+
+/// Per-job slowdown: actual completion time divided by standalone
+/// completion time (the time the job takes running alone). The paper's
+/// definition from \[18\]; 1.0 means no interference.
+///
+/// Jobs that never finished, or whose standalone time is unknown or
+/// non-positive, are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::fairness::slowdowns;
+/// use std::collections::BTreeMap;
+/// # use workload::JobId;
+///
+/// let actual: BTreeMap<JobId, f64> = [(JobId(0), 200.0)].into_iter().collect();
+/// let standalone: BTreeMap<JobId, f64> = [(JobId(0), 100.0)].into_iter().collect();
+/// let s = slowdowns(&actual, &standalone);
+/// assert_eq!(s[&JobId(0)], 2.0);
+/// ```
+pub fn slowdowns(
+    actual_secs: &BTreeMap<workload::JobId, f64>,
+    standalone_secs: &BTreeMap<workload::JobId, f64>,
+) -> BTreeMap<workload::JobId, f64> {
+    actual_secs
+        .iter()
+        .filter_map(|(&job, &actual)| {
+            let standalone = standalone_secs.get(&job).copied()?;
+            if standalone <= 0.0 || !standalone.is_finite() || !actual.is_finite() {
+                return None;
+            }
+            Some((job, actual / standalone))
+        })
+        .collect()
+}
+
+/// The paper's fairness metric: the inverse of the variance of per-job
+/// slowdowns (§VI-D). Higher is fairer; a perfectly uniform slowdown gives
+/// `None` is returned for fewer than two slowdowns. Variance of exactly
+/// zero (all jobs slowed identically) maps to `f64::INFINITY` — perfectly
+/// fair.
+pub fn inverse_slowdown_variance(slowdowns: &BTreeMap<workload::JobId, f64>) -> Option<f64> {
+    if slowdowns.len() < 2 {
+        return None;
+    }
+    let mut stats = OnlineStats::new();
+    for &s in slowdowns.values() {
+        stats.push(s);
+    }
+    let var = stats.population_variance();
+    if var == 0.0 {
+        Some(f64::INFINITY)
+    } else {
+        Some(1.0 / var)
+    }
+}
+
+/// Extracts per-job actual completion times (seconds) from a run,
+/// skipping unfinished jobs.
+pub fn actual_completions(run: &RunResult) -> BTreeMap<workload::JobId, f64> {
+    run.jobs
+        .iter()
+        .filter_map(|j| Some((j.id, j.completion_time()?.as_secs_f64())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::JobId;
+
+    fn map(pairs: &[(u64, f64)]) -> BTreeMap<JobId, f64> {
+        pairs.iter().map(|&(j, v)| (JobId(j), v)).collect()
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        let s = slowdowns(&map(&[(0, 300.0), (1, 100.0)]), &map(&[(0, 100.0), (1, 100.0)]));
+        assert_eq!(s[&JobId(0)], 3.0);
+        assert_eq!(s[&JobId(1)], 1.0);
+    }
+
+    #[test]
+    fn missing_or_invalid_standalone_skipped() {
+        let s = slowdowns(
+            &map(&[(0, 300.0), (1, 100.0), (2, 50.0)]),
+            &map(&[(0, 0.0), (2, 25.0)]),
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[&JobId(2)], 2.0);
+    }
+
+    #[test]
+    fn uniform_slowdown_is_perfectly_fair() {
+        let s = map(&[(0, 2.0), (1, 2.0), (2, 2.0)]);
+        assert_eq!(inverse_slowdown_variance(&s), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn spread_slowdowns_reduce_fairness() {
+        let tight = inverse_slowdown_variance(&map(&[(0, 1.9), (1, 2.0), (2, 2.1)])).unwrap();
+        let wide = inverse_slowdown_variance(&map(&[(0, 1.0), (1, 2.0), (2, 3.0)])).unwrap();
+        assert!(tight > wide);
+    }
+
+    #[test]
+    fn too_few_jobs_yield_none() {
+        assert_eq!(inverse_slowdown_variance(&map(&[(0, 2.0)])), None);
+        assert_eq!(inverse_slowdown_variance(&map(&[])), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Fixed-width text rendering for tables and figure series.
+//!
+//! The experiment binaries print every paper table/figure as text: tables
+//! as aligned columns, curves as `(x, y...)` rows. Keeping rendering here
+//! means every figure looks the same and EXPERIMENTS.md can embed the
+//! output verbatim.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::report::Table;
+///
+/// let mut t = Table::new("Fig. X", &["machine", "energy (kJ)"]);
+/// t.row(&["Desktop".to_owned(), "12.3".to_owned()]);
+/// let s = t.render();
+/// assert!(s.contains("Fig. X"));
+/// assert!(s.contains("Desktop"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: appends a row of a label plus numeric cells rendered
+    /// with `precision` decimals.
+    pub fn num_row(&mut self, label: &str, values: &[f64], precision: usize) -> &mut Self {
+        let mut cells = vec![label.to_owned()];
+        cells.extend(values.iter().map(|v| format!("{v:.precision$}")));
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let render_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", render_row(&self.headers));
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule_len));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row).trim_end());
+        }
+        out
+    }
+}
+
+/// Renders an x/y multi-series ("figure") as a table of one x column plus
+/// one column per series — the text equivalent of the paper's line plots.
+///
+/// # Panics
+///
+/// Panics if any series length differs from `xs`.
+pub fn render_series(
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+    precision: usize,
+) -> String {
+    let mut headers = vec![x_label];
+    for (name, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series '{name}' length mismatch");
+        headers.push(name);
+    }
+    let mut table = Table::new(title, &headers);
+    for (i, &x) in xs.iter().enumerate() {
+        let mut cells = vec![format!("{x:.precision$}")];
+        for (_, ys) in series {
+            cells.push(format!("{v:.precision$}", v = ys[i]));
+        }
+        table.row(&cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["name", "v"]);
+        t.row(&["a".to_owned(), "1".to_owned()]);
+        t.row(&["longer".to_owned(), "22".to_owned()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== T ==");
+        assert!(lines[1].starts_with("name"));
+        // Both value cells start at the same column.
+        let col = lines[3].find('1').unwrap();
+        assert_eq!(lines[4].find("22").unwrap(), col);
+    }
+
+    #[test]
+    fn num_row_formats_precision() {
+        let mut t = Table::new("T", &["name", "v"]);
+        t.num_row("x", &[1.23456], 2);
+        assert!(t.render().contains("1.23"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match header width")]
+    fn row_width_checked() {
+        Table::new("T", &["a", "b"]).row(&["only-one".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "a table needs at least one column")]
+    fn empty_headers_rejected() {
+        Table::new("T", &[]);
+    }
+
+    #[test]
+    fn series_render() {
+        let s = render_series(
+            "Fig",
+            "rate",
+            &[1.0, 2.0],
+            &[("a", vec![0.1, 0.2]), ("b", vec![0.3, 0.4])],
+            1,
+        );
+        assert!(s.contains("rate"));
+        assert!(s.contains("0.4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_length_checked() {
+        let _ = render_series("F", "x", &[1.0], &[("a", vec![])], 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Deterministic, splittable random number generation.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seedable random number generator for simulation components.
+///
+/// `SimRng` wraps [`StdRng`] and adds two things the simulator needs:
+///
+/// * **stream forking** — [`SimRng::fork`] derives an independent child
+///   stream from a parent seed and a label, so each machine / job / noise
+///   source gets its own deterministic stream regardless of the order in
+///   which other components consume randomness;
+/// * **domain helpers** — exponential and bounded-normal draws used by
+///   arrival processes and service-time noise, implemented here once so
+///   distribution parameters are validated in a single place.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::SimRng;
+///
+/// let mut root = SimRng::seed_from(42);
+/// let mut a = root.fork("machine-0");
+/// let mut b = root.fork("machine-1");
+/// // Independent streams: the same draws differ across forks but are stable
+/// // across runs.
+/// assert_ne!(a.uniform_f64(), b.uniform_f64());
+/// let mut root2 = SimRng::seed_from(42);
+/// let mut a2 = root2.fork("machine-0");
+/// let _ = root2.fork("machine-1");
+/// // Skip one draw on `a` replays identically on `a2`.
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream identified by `label`.
+    ///
+    /// The child seed is a hash of the parent seed and the label, so forking
+    /// the same label from the same parent always yields the same stream,
+    /// independent of how much randomness the parent has already consumed.
+    pub fn fork(&self, label: &str) -> SimRng {
+        // FNV-1a over the label, mixed with the parent seed via splitmix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let child = splitmix64(self.seed ^ h);
+        SimRng::seed_from(child)
+    }
+
+    /// Derives an independent child stream identified by an index.
+    pub fn fork_index(&self, label: &str, index: usize) -> SimRng {
+        self.fork(&format!("{label}#{index}"))
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
+        lo + (hi - lo) * self.uniform_f64()
+    }
+
+    /// A uniform integer draw in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// An exponential draw with the given rate (events per unit time).
+    ///
+    /// Used for Poisson arrival processes. Returns the inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        let u = 1.0 - self.uniform_f64(); // in (0, 1]
+        -u.ln() / rate
+    }
+
+    /// A normal draw with mean `mean` and standard deviation `std_dev`,
+    /// clamped to `[lo, hi]`.
+    ///
+    /// Service-time and utilization noise must stay within physical bounds;
+    /// clamping (rather than rejection sampling) keeps the draw O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or `lo > hi`.
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        assert!(std_dev >= 0.0, "std_dev must be non-negative");
+        assert!(lo <= hi, "invalid clamp range");
+        if std_dev == 0.0 {
+            return mean.clamp(lo, hi);
+        }
+        // Box–Muller transform.
+        let u1 = 1.0 - self.uniform_f64();
+        let u2 = self.uniform_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + std_dev * z).clamp(lo, hi)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples an index from a slice of non-negative weights.
+    ///
+    /// Returns `None` if the slice is empty or the total weight is zero or
+    /// non-finite. This is the primitive behind the ACO probabilistic path
+    /// choice (paper Eq. 3 / Eq. 8).
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if weights.is_empty() || total <= 0.0 || !total.is_finite() {
+            return None;
+        }
+        let mut target = self.uniform_f64() * total;
+        let mut last_positive = None;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w <= 0.0 {
+                continue;
+            }
+            last_positive = Some(i);
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        // Floating-point slack: fall back to the last positive-weight entry.
+        last_positive
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_u64(0, i as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples from any `rand` distribution.
+    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
+        dist.sample(&mut self.inner)
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let root1 = SimRng::seed_from(11);
+        let mut root2 = SimRng::seed_from(11);
+        let _ = root2.next_u64(); // consume from root2 before forking
+        let mut f1 = root1.fork("x");
+        let mut f2 = root2.fork("x");
+        assert_eq!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let root = SimRng::seed_from(3);
+        let mut a = root.fork("a");
+        let mut b = root.fork("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fork_index_distinct() {
+        let root = SimRng::seed_from(3);
+        let mut a = root.fork_index("m", 0);
+        let mut b = root.fork_index("m", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut rng = SimRng::seed_from(5);
+        let rate = 4.0;
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(rate)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..1000 {
+            let v = rng.normal_clamped(0.5, 0.4, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_zero_std_returns_clamped_mean() {
+        let mut rng = SimRng::seed_from(9);
+        assert_eq!(rng.normal_clamped(5.0, 0.0, 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weights() {
+        let mut rng = SimRng::seed_from(1);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac2 = counts[2] as f64 / 10_000.0;
+        assert!((frac2 - 0.9).abs() < 0.02, "frac2 = {frac2}");
+    }
+
+    #[test]
+    fn weighted_index_handles_degenerate_inputs() {
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(rng.weighted_index(&[]), None);
+        assert_eq!(rng.weighted_index(&[0.0, 0.0]), None);
+        assert_eq!(rng.weighted_index(&[f64::NAN]), None);
+        assert_eq!(rng.weighted_index(&[0.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(2);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0)); // clamped
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        SimRng::seed_from(0).exponential(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn uniform_range_rejects_inverted_bounds() {
+        SimRng::seed_from(0).uniform_range(2.0, 1.0);
+    }
+}

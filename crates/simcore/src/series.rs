@@ -1,0 +1,221 @@
+//! Time-series recording for figure generation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimDuration, SimTime};
+
+/// An append-only series of `(time, value)` samples.
+///
+/// The experiment harness records quantities like cumulative energy or
+/// pheromone mass over simulated time, then resamples or integrates them when
+/// printing a figure.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::series::TimeSeries;
+/// use simcore::SimTime;
+///
+/// let mut ts = TimeSeries::new("power_w");
+/// ts.record(SimTime::ZERO, 100.0);
+/// ts.record(SimTime::from_secs(10), 140.0);
+/// assert_eq!(ts.len(), 2);
+/// // Trapezoidal integral over [0, 10] s = (100+140)/2 * 10 = 1200 J.
+/// assert!((ts.integrate() - 1200.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The descriptive name of the series.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample. Samples must be appended in nondecreasing time
+    /// order; out-of-order samples are clamped to the last recorded time so
+    /// the series stays monotone.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        let at = match self.samples.last() {
+            Some(&(last, _)) => at.max(last),
+            None => at,
+        };
+        self.samples.push((at, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over `(time, value)` samples in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// The most recent value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Linear interpolation of the series at `at`.
+    ///
+    /// Outside the recorded range the series is extended flat (first/last
+    /// value). Returns `None` when empty.
+    pub fn value_at(&self, at: SimTime) -> Option<f64> {
+        let first = self.samples.first()?;
+        if at <= first.0 {
+            return Some(first.1);
+        }
+        let last = self.samples.last()?;
+        if at >= last.0 {
+            return Some(last.1);
+        }
+        // Binary search for the surrounding pair.
+        let idx = self.samples.partition_point(|&(t, _)| t <= at);
+        let (t0, v0) = self.samples[idx - 1];
+        let (t1, v1) = self.samples[idx];
+        if t1 == t0 {
+            return Some(v1);
+        }
+        let frac = (at - t0).as_secs_f64() / (t1 - t0).as_secs_f64();
+        Some(v0 + (v1 - v0) * frac)
+    }
+
+    /// Trapezoidal integral of the series over its full recorded range, with
+    /// time in seconds. Integrating a power series in watts yields joules.
+    pub fn integrate(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| {
+                let (t0, v0) = w[0];
+                let (t1, v1) = w[1];
+                (v0 + v1) / 2.0 * (t1 - t0).as_secs_f64()
+            })
+            .sum()
+    }
+
+    /// Resamples the series at a fixed period, producing `(time, value)`
+    /// points from the first to the last sample inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn resample(&self, period: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!period.is_zero(), "resample period must be positive");
+        let (Some(&(start, _)), Some(&(end, _))) = (self.samples.first(), self.samples.last())
+        else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut t = start;
+        while t <= end {
+            if let Some(v) = self.value_at(t) {
+                out.push((t, v));
+            }
+            t += period;
+        }
+        if out.last().map(|&(t, _)| t) != Some(end) {
+            if let Some(v) = self.value_at(end) {
+                out.push((end, v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let mut ts = TimeSeries::new("test");
+        ts.record(SimTime::from_secs(0), 0.0);
+        ts.record(SimTime::from_secs(10), 10.0);
+        ts.record(SimTime::from_secs(20), 0.0);
+        ts
+    }
+
+    #[test]
+    fn name_and_len() {
+        let ts = series();
+        assert_eq!(ts.name(), "test");
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn interpolation_inside_and_outside() {
+        let ts = series();
+        assert_eq!(ts.value_at(SimTime::from_secs(5)), Some(5.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(15)), Some(5.0));
+        // Flat extension.
+        assert_eq!(ts.value_at(SimTime::from_secs(100)), Some(0.0));
+        assert_eq!(ts.value_at(SimTime::ZERO), Some(0.0));
+    }
+
+    #[test]
+    fn empty_series_interpolates_none() {
+        let ts = TimeSeries::new("empty");
+        assert_eq!(ts.value_at(SimTime::ZERO), None);
+        assert_eq!(ts.last_value(), None);
+        assert_eq!(ts.integrate(), 0.0);
+    }
+
+    #[test]
+    fn integral_is_trapezoidal() {
+        let ts = series();
+        // Triangle of height 10 over 20 s → area 100.
+        assert!((ts.integrate() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_record_clamps() {
+        let mut ts = TimeSeries::new("clamp");
+        ts.record(SimTime::from_secs(10), 1.0);
+        ts.record(SimTime::from_secs(5), 2.0);
+        let samples: Vec<_> = ts.iter().collect();
+        assert_eq!(samples[1].0, SimTime::from_secs(10));
+        assert_eq!(ts.last_value(), Some(2.0));
+    }
+
+    #[test]
+    fn resample_covers_range() {
+        let ts = series();
+        let pts = ts.resample(SimDuration::from_secs(5));
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], (SimTime::ZERO, 0.0));
+        assert_eq!(pts[4], (SimTime::from_secs(20), 0.0));
+    }
+
+    #[test]
+    fn resample_appends_final_point() {
+        let mut ts = TimeSeries::new("odd");
+        ts.record(SimTime::from_secs(0), 0.0);
+        ts.record(SimTime::from_secs(7), 7.0);
+        let pts = ts.resample(SimDuration::from_secs(5));
+        assert_eq!(pts.last().unwrap().0, SimTime::from_secs(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "resample period must be positive")]
+    fn resample_rejects_zero_period() {
+        series().resample(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,146 @@
+//! Arrival processes for tasks and jobs.
+//!
+//! The motivation study (Fig. 1) drives single machines with a stream of
+//! independent tasks at a controlled rate ("task arrival rate" on the
+//! figures' x axes). This module provides the Poisson and deterministic
+//! arrival generators behind those experiments.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// How inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalKind {
+    /// Exponential gaps (memoryless Poisson process).
+    Poisson,
+    /// Fixed gaps of exactly `1/rate`.
+    Deterministic,
+}
+
+/// A stream of arrival timestamps at a target rate.
+///
+/// # Examples
+///
+/// ```
+/// use workload::arrival::{ArrivalKind, ArrivalProcess};
+/// use simcore::{SimRng, SimTime, SimDuration};
+///
+/// // 12 tasks/min, deterministic: one arrival every 5 s.
+/// let mut arr = ArrivalProcess::per_minute(12.0, ArrivalKind::Deterministic);
+/// let mut rng = SimRng::seed_from(0);
+/// let t1 = arr.next_arrival(&mut rng);
+/// let t2 = arr.next_arrival(&mut rng);
+/// assert_eq!(t2 - t1, SimDuration::from_secs(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalProcess {
+    rate_per_sec: f64,
+    kind: ArrivalKind,
+    next_at: SimTime,
+}
+
+impl ArrivalProcess {
+    /// Creates a process with `rate_per_min` arrivals per minute — the unit
+    /// of the paper's Fig. 1 x axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn per_minute(rate_per_min: f64, kind: ArrivalKind) -> Self {
+        assert!(
+            rate_per_min.is_finite() && rate_per_min > 0.0,
+            "arrival rate must be positive"
+        );
+        ArrivalProcess {
+            rate_per_sec: rate_per_min / 60.0,
+            kind,
+            next_at: SimTime::ZERO,
+        }
+    }
+
+    /// Target rate in arrivals per minute.
+    pub fn rate_per_minute(&self) -> f64 {
+        self.rate_per_sec * 60.0
+    }
+
+    /// Draws the next arrival timestamp (strictly after the previous one).
+    pub fn next_arrival(&mut self, rng: &mut SimRng) -> SimTime {
+        let gap_secs = match self.kind {
+            ArrivalKind::Poisson => rng.exponential(self.rate_per_sec),
+            ArrivalKind::Deterministic => 1.0 / self.rate_per_sec,
+        };
+        self.next_at += SimDuration::from_secs_f64(gap_secs.max(0.001));
+        self.next_at
+    }
+
+    /// All arrivals up to `horizon`, from the current position.
+    pub fn arrivals_until(&mut self, horizon: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival(rng);
+            if t > horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_gaps_are_exact() {
+        let mut arr = ArrivalProcess::per_minute(60.0, ArrivalKind::Deterministic);
+        let mut rng = SimRng::seed_from(0);
+        let times: Vec<SimTime> = (0..3).map(|_| arr.next_arrival(&mut rng)).collect();
+        assert_eq!(times[0], SimTime::from_secs(1));
+        assert_eq!(times[1], SimTime::from_secs(2));
+        assert_eq!(times[2], SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_respected() {
+        let mut arr = ArrivalProcess::per_minute(30.0, ArrivalKind::Poisson);
+        let mut rng = SimRng::seed_from(11);
+        let horizon = SimTime::from_secs(60 * 200); // 200 minutes
+        let arrivals = arr.arrivals_until(horizon, &mut rng);
+        let rate = arrivals.len() as f64 / 200.0;
+        assert!((rate - 30.0).abs() < 1.5, "observed rate {rate}/min");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut arr = ArrivalProcess::per_minute(600.0, ArrivalKind::Poisson);
+        let mut rng = SimRng::seed_from(2);
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            let t = arr.next_arrival(&mut rng);
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn arrivals_until_respects_horizon() {
+        let mut arr = ArrivalProcess::per_minute(60.0, ArrivalKind::Deterministic);
+        let mut rng = SimRng::seed_from(0);
+        let arrivals = arr.arrivals_until(SimTime::from_secs(10), &mut rng);
+        assert_eq!(arrivals.len(), 10);
+        assert!(arrivals.iter().all(|&t| t <= SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn rate_accessor() {
+        let arr = ArrivalProcess::per_minute(25.0, ArrivalKind::Poisson);
+        assert!((arr.rate_per_minute() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::per_minute(0.0, ArrivalKind::Poisson);
+    }
+}

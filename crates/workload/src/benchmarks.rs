@@ -1,0 +1,291 @@
+//! PUMA benchmark resource-demand profiles.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+use crate::TaskDemand;
+
+/// The three PUMA applications used throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkKind {
+    /// `Wordcount`: map-intensive, CPU-bound (paper Fig. 1(d)).
+    Wordcount,
+    /// `Grep`: shuffle/reduce-intensive, I/O-bound (paper Fig. 1(d)).
+    Grep,
+    /// `Terasort`: shuffle/reduce-intensive, I/O-bound with full-volume
+    /// shuffle (paper Fig. 1(d)).
+    Terasort,
+}
+
+impl BenchmarkKind {
+    /// All kinds, in the paper's customary order.
+    pub const ALL: [BenchmarkKind; 3] = [
+        BenchmarkKind::Wordcount,
+        BenchmarkKind::Grep,
+        BenchmarkKind::Terasort,
+    ];
+
+    /// Human-readable name matching the paper's figures.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BenchmarkKind::Wordcount => "Wordcount",
+            BenchmarkKind::Grep => "Grep",
+            BenchmarkKind::Terasort => "Terasort",
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A benchmark's resource-demand profile.
+///
+/// All times are on the reference machine (the Table I desktop, speed 1.0);
+/// the simulator scales them by each machine's CPU/I/O speed. Map demands
+/// are per 64 MB input block; reduce demands are per MB of shuffle input.
+///
+/// # Calibration
+///
+/// The profiles are calibrated to the paper's published observations:
+///
+/// * Fig. 1(d): Wordcount's completion time is dominated by the map phase;
+///   Grep and Terasort by shuffle+reduce.
+/// * §I: Wordcount (50 GB) on the desktop takes ~63 min — with 800 blocks
+///   over 4 map slots this implies roughly 14–19 s per map task.
+/// * Fig. 1(c): the three benchmarks peak in throughput-per-watt at
+///   different task arrival rates (Wordcount lowest, Terasort highest),
+///   which emerges from their different service-time mixes.
+///
+/// # Examples
+///
+/// ```
+/// use workload::Benchmark;
+///
+/// let wc = Benchmark::wordcount();
+/// // Map-intensive: CPU dominates a Wordcount map task.
+/// assert!(wc.map_cpu_secs() > 2.0 * wc.map_io_secs());
+/// let ts = Benchmark::terasort();
+/// // Terasort shuffles its full input volume.
+/// assert_eq!(ts.map_selectivity(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    kind: BenchmarkKind,
+    map_cpu_secs: f64,
+    map_io_secs: f64,
+    map_selectivity: f64,
+    reduce_cpu_per_mb: f64,
+    reduce_io_per_mb: f64,
+    variability: f64,
+}
+
+impl Benchmark {
+    /// The Wordcount profile: CPU-heavy maps, low-volume shuffle.
+    pub fn wordcount() -> Self {
+        Benchmark {
+            kind: BenchmarkKind::Wordcount,
+            map_cpu_secs: 12.0,
+            map_io_secs: 2.5,
+            map_selectivity: 0.10,
+            reduce_cpu_per_mb: 0.06,
+            reduce_io_per_mb: 0.03,
+            variability: 0.15,
+        }
+    }
+
+    /// The Grep profile: scan-style maps, medium-volume shuffle and
+    /// I/O-heavy reduces.
+    pub fn grep() -> Self {
+        Benchmark {
+            kind: BenchmarkKind::Grep,
+            map_cpu_secs: 2.5,
+            map_io_secs: 4.5,
+            map_selectivity: 0.45,
+            reduce_cpu_per_mb: 0.035,
+            reduce_io_per_mb: 0.13,
+            variability: 0.20,
+        }
+    }
+
+    /// The Terasort profile: I/O-bound maps and a full-volume shuffle into
+    /// heavily I/O-bound reduces.
+    pub fn terasort() -> Self {
+        Benchmark {
+            kind: BenchmarkKind::Terasort,
+            map_cpu_secs: 2.0,
+            map_io_secs: 4.5,
+            map_selectivity: 1.0,
+            reduce_cpu_per_mb: 0.025,
+            reduce_io_per_mb: 0.10,
+            variability: 0.20,
+        }
+    }
+
+    /// The profile for `kind`.
+    pub fn of(kind: BenchmarkKind) -> Self {
+        match kind {
+            BenchmarkKind::Wordcount => Benchmark::wordcount(),
+            BenchmarkKind::Grep => Benchmark::grep(),
+            BenchmarkKind::Terasort => Benchmark::terasort(),
+        }
+    }
+
+    /// Which PUMA application this profile models.
+    pub fn kind(&self) -> BenchmarkKind {
+        self.kind
+    }
+
+    /// Mean CPU seconds of one map task (per 64 MB block, reference
+    /// machine).
+    pub fn map_cpu_secs(&self) -> f64 {
+        self.map_cpu_secs
+    }
+
+    /// Mean I/O seconds of one map task (local read; locality multiplies
+    /// this).
+    pub fn map_io_secs(&self) -> f64 {
+        self.map_io_secs
+    }
+
+    /// Ratio of map output volume to input volume.
+    pub fn map_selectivity(&self) -> f64 {
+        self.map_selectivity
+    }
+
+    /// CPU seconds per MB of shuffle input consumed by a reduce task.
+    pub fn reduce_cpu_per_mb(&self) -> f64 {
+        self.reduce_cpu_per_mb
+    }
+
+    /// I/O seconds per MB of shuffle input consumed by a reduce task.
+    pub fn reduce_io_per_mb(&self) -> f64 {
+        self.reduce_io_per_mb
+    }
+
+    /// Coefficient of task-to-task demand variation (data skew).
+    pub fn variability(&self) -> f64 {
+        self.variability
+    }
+
+    /// Samples the demand of one map task over a `block_mb` input block.
+    ///
+    /// Task-to-task variation models data skew: demands are multiplied by a
+    /// truncated-normal factor with the profile's coefficient of variation.
+    pub fn sample_map_demand(&self, block_mb: f64, rng: &mut SimRng) -> TaskDemand {
+        let scale = block_mb / 64.0;
+        let f = rng.normal_clamped(1.0, self.variability, 0.4, 2.5);
+        TaskDemand {
+            cpu_secs: self.map_cpu_secs * scale * f,
+            io_secs: self.map_io_secs * scale * f,
+            input_mb: block_mb,
+            output_mb: block_mb * self.map_selectivity,
+        }
+    }
+
+    /// Samples the demand of one reduce task consuming `shuffle_mb` of map
+    /// output.
+    pub fn sample_reduce_demand(&self, shuffle_mb: f64, rng: &mut SimRng) -> TaskDemand {
+        let f = rng.normal_clamped(1.0, self.variability, 0.4, 2.5);
+        TaskDemand {
+            cpu_secs: self.reduce_cpu_per_mb * shuffle_mb * f,
+            io_secs: self.reduce_io_per_mb * shuffle_mb * f,
+            input_mb: shuffle_mb,
+            output_mb: shuffle_mb,
+        }
+    }
+
+    /// Whether this benchmark is CPU-bound at the map phase (Wordcount) or
+    /// I/O-bound (Grep, Terasort) — the axis along which E-Ant's adaptivity
+    /// is evaluated in Fig. 9(a).
+    pub fn is_cpu_bound(&self) -> bool {
+        self.map_cpu_secs > self.map_io_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wordcount_is_cpu_bound_others_io_bound() {
+        assert!(Benchmark::wordcount().is_cpu_bound());
+        assert!(!Benchmark::grep().is_cpu_bound());
+        assert!(!Benchmark::terasort().is_cpu_bound());
+    }
+
+    #[test]
+    fn of_roundtrips_kind() {
+        for kind in BenchmarkKind::ALL {
+            assert_eq!(Benchmark::of(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn map_demand_scales_with_block_size() {
+        let wc = Benchmark::wordcount();
+        let mut rng = SimRng::seed_from(0);
+        // Use many samples to average out variability.
+        let n = 2000;
+        let (mut small, mut large) = (0.0, 0.0);
+        for _ in 0..n {
+            small += wc.sample_map_demand(64.0, &mut rng).cpu_secs;
+            large += wc.sample_map_demand(128.0, &mut rng).cpu_secs;
+        }
+        let ratio = large / small;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn map_output_follows_selectivity() {
+        let ts = Benchmark::terasort();
+        let mut rng = SimRng::seed_from(1);
+        let d = ts.sample_map_demand(64.0, &mut rng);
+        assert_eq!(d.output_mb, 64.0);
+        let wc = Benchmark::wordcount();
+        let d = wc.sample_map_demand(64.0, &mut rng);
+        assert!((d.output_mb - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_demand_scales_with_shuffle_volume() {
+        let g = Benchmark::grep();
+        let mut rng = SimRng::seed_from(2);
+        let n = 2000;
+        let (mut small, mut large) = (0.0, 0.0);
+        for _ in 0..n {
+            small += g.sample_reduce_demand(100.0, &mut rng).io_secs;
+            large += g.sample_reduce_demand(300.0, &mut rng).io_secs;
+        }
+        let ratio = large / small;
+        assert!((ratio - 3.0).abs() < 0.15, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn variability_stays_in_clamp_range() {
+        let ts = Benchmark::terasort();
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..500 {
+            let d = ts.sample_map_demand(64.0, &mut rng);
+            let factor = d.cpu_secs / ts.map_cpu_secs();
+            assert!((0.39..=2.51).contains(&factor), "factor = {factor}");
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(BenchmarkKind::Wordcount.to_string(), "Wordcount");
+        assert_eq!(BenchmarkKind::Grep.to_string(), "Grep");
+        assert_eq!(BenchmarkKind::Terasort.to_string(), "Terasort");
+    }
+
+    #[test]
+    fn demand_sampling_is_deterministic() {
+        let wc = Benchmark::wordcount();
+        let d1 = wc.sample_map_demand(64.0, &mut SimRng::seed_from(42));
+        let d2 = wc.sample_map_demand(64.0, &mut SimRng::seed_from(42));
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,374 @@
+//! Job and task specifications.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimRng, SimTime};
+
+use cluster::hdfs::BLOCK_SIZE_MB;
+use cluster::SlotKind;
+
+use crate::Benchmark;
+
+/// Identifier of a submitted job. In the paper's ACO framing, one job is one
+/// ant colony.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// Dense index of this job.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// Index of a task within its job, split by kind. In the paper's ACO
+/// framing, one task is one ant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskIndex {
+    /// Map or reduce.
+    pub kind: SlotKind,
+    /// Zero-based index among the job's tasks of that kind.
+    pub index: u32,
+}
+
+/// Fully-qualified task identifier (`T^j_n` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId {
+    /// The owning job (colony).
+    pub job: JobId,
+    /// The task's index within the job.
+    pub task: TaskIndex,
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}{}", self.job, self.task.kind, self.task.index)
+    }
+}
+
+/// Sampled resource demand of one task on the reference machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskDemand {
+    /// CPU core-seconds at reference speed.
+    pub cpu_secs: f64,
+    /// I/O seconds at reference speed (before locality multipliers).
+    pub io_secs: f64,
+    /// Input volume in MB.
+    pub input_mb: f64,
+    /// Output volume in MB (map output feeds the shuffle).
+    pub output_mb: f64,
+}
+
+impl TaskDemand {
+    /// Total service seconds on the reference machine (CPU + I/O phases run
+    /// back to back inside one task attempt).
+    pub fn reference_secs(&self) -> f64 {
+        self.cpu_secs + self.io_secs
+    }
+
+    /// The fraction of one core this task keeps busy over its lifetime on
+    /// the reference machine: full core during the CPU phase, a small
+    /// residual during I/O waits.
+    pub fn core_fraction(&self) -> f64 {
+        let total = self.reference_secs();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.cpu_secs * 1.0 + self.io_secs * 0.15) / total
+    }
+}
+
+/// Size classes of the MSD workload (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// 40 % of jobs; 1–100 GB input.
+    Small,
+    /// 20 % of jobs; 0.1–1 TB input.
+    Medium,
+    /// 10 % of jobs; 1–10 TB input.
+    Large,
+}
+
+impl SizeClass {
+    /// Single-letter suffix used by Fig. 8(c)'s job labels
+    /// (e.g. `Wordcount-S`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            SizeClass::Small => "S",
+            SizeClass::Medium => "M",
+            SizeClass::Large => "L",
+        }
+    }
+}
+
+impl fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// A concrete MapReduce job: benchmark profile, task counts and submit time.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{Benchmark, JobId, JobSpec};
+/// use simcore::SimTime;
+///
+/// let job = JobSpec::new(JobId(3), Benchmark::grep(), 100, 8, SimTime::ZERO);
+/// assert_eq!(job.num_maps(), 100);
+/// assert_eq!(job.num_reduces(), 8);
+/// // 100 blocks × 64 MB × 0.45 selectivity / 8 reducers of shuffle each:
+/// assert!((job.shuffle_mb_per_reduce() - 100.0 * 64.0 * 0.45 / 8.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    id: JobId,
+    benchmark: Benchmark,
+    num_maps: u32,
+    num_reduces: u32,
+    submit_at: SimTime,
+    size_class: Option<SizeClass>,
+}
+
+impl JobSpec {
+    /// Creates a job with explicit task counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_maps` is zero (a MapReduce job needs at least one map
+    /// task; zero reduces is legal and models map-only jobs).
+    pub fn new(
+        id: JobId,
+        benchmark: Benchmark,
+        num_maps: u32,
+        num_reduces: u32,
+        submit_at: SimTime,
+    ) -> Self {
+        assert!(num_maps > 0, "a job needs at least one map task");
+        JobSpec {
+            id,
+            benchmark,
+            num_maps,
+            num_reduces,
+            submit_at,
+            size_class: None,
+        }
+    }
+
+    /// Creates a job sized from its input volume: one map task per 64 MB
+    /// block (rounding up), like stock Hadoop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_gb` is not strictly positive.
+    pub fn from_input_gb(
+        id: JobId,
+        benchmark: Benchmark,
+        input_gb: f64,
+        num_reduces: u32,
+        submit_at: SimTime,
+    ) -> Self {
+        assert!(
+            input_gb.is_finite() && input_gb > 0.0,
+            "input size must be positive"
+        );
+        let blocks = ((input_gb * 1024.0) / BLOCK_SIZE_MB as f64).ceil() as u32;
+        JobSpec::new(id, benchmark, blocks.max(1), num_reduces, submit_at)
+    }
+
+    /// Tags the job with an MSD size class (builder-style).
+    pub fn with_size_class(mut self, class: SizeClass) -> Self {
+        self.size_class = Some(class);
+        self
+    }
+
+    /// The job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The benchmark profile this job runs.
+    pub fn benchmark(&self) -> &Benchmark {
+        &self.benchmark
+    }
+
+    /// Number of map tasks.
+    pub fn num_maps(&self) -> u32 {
+        self.num_maps
+    }
+
+    /// Number of reduce tasks.
+    pub fn num_reduces(&self) -> u32 {
+        self.num_reduces
+    }
+
+    /// Total tasks of both kinds.
+    pub fn num_tasks(&self) -> u32 {
+        self.num_maps + self.num_reduces
+    }
+
+    /// When the job enters the cluster.
+    pub fn submit_at(&self) -> SimTime {
+        self.submit_at
+    }
+
+    /// The MSD size class, when generated by the MSD generator.
+    pub fn size_class(&self) -> Option<SizeClass> {
+        self.size_class
+    }
+
+    /// Label used by Fig. 8(c): benchmark name plus size suffix, e.g.
+    /// `"Terasort-M"`; bare benchmark name for untagged jobs.
+    pub fn class_label(&self) -> String {
+        match self.size_class {
+            Some(c) => format!("{}-{}", self.benchmark.kind(), c),
+            None => self.benchmark.kind().to_string(),
+        }
+    }
+
+    /// Key identifying the *homogeneous job group* this job belongs to for
+    /// E-Ant's job-level exchange (§IV-D): jobs with the same benchmark and
+    /// size class have the same resource demands.
+    pub fn group_key(&self) -> String {
+        self.class_label()
+    }
+
+    /// Expected shuffle input per reduce task in MB (uniform partitioning of
+    /// total map output).
+    pub fn shuffle_mb_per_reduce(&self) -> f64 {
+        if self.num_reduces == 0 {
+            return 0.0;
+        }
+        let map_output = self.num_maps as f64 * BLOCK_SIZE_MB as f64
+            * self.benchmark.map_selectivity();
+        map_output / self.num_reduces as f64
+    }
+
+    /// Samples the demand of one of this job's map tasks.
+    pub fn map_demand(&self, rng: &mut SimRng) -> TaskDemand {
+        self.benchmark
+            .sample_map_demand(BLOCK_SIZE_MB as f64, rng)
+    }
+
+    /// Samples the demand of one of this job's reduce tasks.
+    pub fn reduce_demand(&self, rng: &mut SimRng) -> TaskDemand {
+        self.benchmark
+            .sample_reduce_demand(self.shuffle_mb_per_reduce(), rng)
+    }
+
+    /// An estimate of the job's serial work in reference-machine seconds —
+    /// used to compute standalone completion times for slowdown/fairness
+    /// metrics.
+    pub fn reference_work_secs(&self) -> f64 {
+        let map = self.num_maps as f64
+            * (self.benchmark.map_cpu_secs() + self.benchmark.map_io_secs());
+        let per_reduce = self.shuffle_mb_per_reduce()
+            * (self.benchmark.reduce_cpu_per_mb() + self.benchmark.reduce_io_per_mb());
+        map + self.num_reduces as f64 * per_reduce
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_input_gb_rounds_up_blocks() {
+        let j = JobSpec::from_input_gb(JobId(0), Benchmark::wordcount(), 1.0, 4, SimTime::ZERO);
+        assert_eq!(j.num_maps(), 16); // 1024/64
+        let j = JobSpec::from_input_gb(JobId(0), Benchmark::wordcount(), 0.01, 4, SimTime::ZERO);
+        assert_eq!(j.num_maps(), 1); // tiny input still gets one block
+    }
+
+    #[test]
+    #[should_panic(expected = "a job needs at least one map task")]
+    fn zero_maps_rejected() {
+        JobSpec::new(JobId(0), Benchmark::grep(), 0, 1, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "input size must be positive")]
+    fn negative_input_rejected() {
+        JobSpec::from_input_gb(JobId(0), Benchmark::grep(), -1.0, 1, SimTime::ZERO);
+    }
+
+    #[test]
+    fn map_only_job_has_zero_shuffle() {
+        let j = JobSpec::new(JobId(0), Benchmark::terasort(), 10, 0, SimTime::ZERO);
+        assert_eq!(j.shuffle_mb_per_reduce(), 0.0);
+        assert_eq!(j.num_tasks(), 10);
+    }
+
+    #[test]
+    fn class_labels() {
+        let j = JobSpec::new(JobId(0), Benchmark::grep(), 10, 2, SimTime::ZERO)
+            .with_size_class(SizeClass::Medium);
+        assert_eq!(j.class_label(), "Grep-M");
+        assert_eq!(j.group_key(), "Grep-M");
+        let bare = JobSpec::new(JobId(1), Benchmark::grep(), 10, 2, SimTime::ZERO);
+        assert_eq!(bare.class_label(), "Grep");
+        assert_eq!(bare.size_class(), None);
+    }
+
+    #[test]
+    fn core_fraction_between_zero_and_one() {
+        let d = TaskDemand {
+            cpu_secs: 10.0,
+            io_secs: 0.0,
+            input_mb: 64.0,
+            output_mb: 6.4,
+        };
+        assert_eq!(d.core_fraction(), 1.0);
+        let idle = TaskDemand {
+            cpu_secs: 0.0,
+            io_secs: 0.0,
+            input_mb: 0.0,
+            output_mb: 0.0,
+        };
+        assert_eq!(idle.core_fraction(), 0.0);
+        let mixed = TaskDemand {
+            cpu_secs: 5.0,
+            io_secs: 5.0,
+            input_mb: 64.0,
+            output_mb: 64.0,
+        };
+        assert!(mixed.core_fraction() > 0.5 && mixed.core_fraction() < 1.0);
+    }
+
+    #[test]
+    fn reference_work_positive_and_monotone_in_maps() {
+        let small = JobSpec::new(JobId(0), Benchmark::terasort(), 10, 4, SimTime::ZERO);
+        let large = JobSpec::new(JobId(1), Benchmark::terasort(), 100, 4, SimTime::ZERO);
+        assert!(small.reference_work_secs() > 0.0);
+        assert!(large.reference_work_secs() > small.reference_work_secs());
+    }
+
+    #[test]
+    fn task_id_display() {
+        let id = TaskId {
+            job: JobId(2),
+            task: TaskIndex {
+                kind: SlotKind::Map,
+                index: 7,
+            },
+        };
+        assert_eq!(id.to_string(), "j2/map7");
+    }
+
+    #[test]
+    fn size_class_suffixes() {
+        assert_eq!(SizeClass::Small.to_string(), "S");
+        assert_eq!(SizeClass::Medium.to_string(), "M");
+        assert_eq!(SizeClass::Large.to_string(), "L");
+    }
+}

@@ -1,0 +1,45 @@
+//! MapReduce workload models for the E-Ant reproduction.
+//!
+//! The paper drives its experiments with three PUMA benchmark applications —
+//! **Wordcount** (map/CPU-intensive), **Grep** and **Terasort** (both
+//! shuffle/reduce- i.e. I/O-intensive, per the paper's Fig. 1(d)) — and with
+//! **MSD**, a synthetic workload derived from a month of Microsoft
+//! production traces (Table III), scaled down to 87 jobs.
+//!
+//! This crate models those workloads at the granularity the scheduler sees:
+//!
+//! * [`Benchmark`] — per-benchmark resource demand profiles: CPU and I/O
+//!   seconds per map task (on the reference machine), map output
+//!   selectivity, per-MB reduce demands, and task-to-task variability.
+//! * [`JobSpec`] / [`TaskDemand`] — a concrete job (task counts, submit
+//!   time, size class) and per-task resource demands sampled from its
+//!   benchmark profile.
+//! * [`msd`] — the Table III generator.
+//! * [`arrival`] — Poisson and fixed-rate arrival processes for the
+//!   motivation-study experiments (Fig. 1) and the MSD submission schedule.
+//!
+//! # Examples
+//!
+//! ```
+//! use workload::{Benchmark, JobSpec, JobId, SizeClass};
+//! use simcore::{SimRng, SimTime};
+//!
+//! let job = JobSpec::from_input_gb(
+//!     JobId(0), Benchmark::wordcount(), 10.0, 16, SimTime::ZERO,
+//! );
+//! assert_eq!(job.num_maps(), 160); // 10 GB / 64 MB blocks
+//! let mut rng = SimRng::seed_from(1);
+//! let demand = job.map_demand(&mut rng);
+//! assert!(demand.cpu_secs > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrival;
+mod benchmarks;
+mod job;
+pub mod msd;
+
+pub use benchmarks::{Benchmark, BenchmarkKind};
+pub use job::{JobId, JobSpec, SizeClass, TaskDemand, TaskId, TaskIndex};

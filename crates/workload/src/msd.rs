@@ -1,0 +1,254 @@
+//! The Microsoft-derived (MSD) synthetic workload of Table III.
+//!
+//! The paper models a month of Microsoft production traffic (174,000 jobs,
+//! \[5\]) with three size classes, then scales the mix down to 87 jobs for its
+//! 16-node testbed by dropping the largest 10 % and smallest 20 % of jobs.
+//! Each generated job runs one of the three PUMA applications with an input
+//! size drawn log-uniformly from its class range.
+//!
+//! | Class  | % jobs | Input size | # Maps        | # Reduces |
+//! |--------|--------|-----------|----------------|-----------|
+//! | Small  | 40 %   | 1–100 GB  | 16–1,600       | 4–128     |
+//! | Medium | 20 %   | 0.1–1 TB  | 1,600–16,000   | 128–256   |
+//! | Large  | 10 %   | 1–10 TB   | 16,000–160,000 | 256–1,024 |
+//!
+//! The remaining 30 % (the dropped tail/head) does not appear in the scaled
+//! workload, so class shares are renormalized to 4:2:1.
+//!
+//! Because the simulation cluster — like the paper's testbed — is far
+//! smaller than a production datacenter, the generator exposes a
+//! `task_scale` divisor applied to per-job task counts (default 64). The
+//! *mix shape* (class ratios, relative job sizes, benchmark rotation) is
+//! preserved; only absolute task counts shrink.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimRng, SimTime};
+
+use crate::{Benchmark, BenchmarkKind, JobId, JobSpec, SizeClass};
+
+/// Table III class parameters: input range (GB) and reduce-count range.
+fn class_params(class: SizeClass) -> (f64, f64, u32, u32) {
+    match class {
+        SizeClass::Small => (1.0, 100.0, 4, 128),
+        SizeClass::Medium => (102.4, 1024.0, 128, 256),
+        SizeClass::Large => (1024.0, 10240.0, 256, 1024),
+    }
+}
+
+/// Renormalized class shares after dropping the largest 10 % and smallest
+/// 20 % of jobs (paper §V-C): Small : Medium : Large = 4 : 2 : 1.
+pub const CLASS_WEIGHTS: [(SizeClass, f64); 3] = [
+    (SizeClass::Small, 4.0),
+    (SizeClass::Medium, 2.0),
+    (SizeClass::Large, 1.0),
+];
+
+/// Configuration of the MSD generator.
+///
+/// # Examples
+///
+/// ```
+/// use workload::msd::MsdConfig;
+/// use simcore::SimRng;
+///
+/// let jobs = MsdConfig::paper_default().generate(&mut SimRng::seed_from(7));
+/// assert_eq!(jobs.len(), 87);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MsdConfig {
+    /// Number of jobs to generate (paper: 87).
+    pub num_jobs: usize,
+    /// Divisor applied to map/reduce counts so the workload fits a
+    /// testbed-scale cluster. 1 reproduces Table III's raw magnitudes.
+    pub task_scale: u32,
+    /// Window over which job submissions arrive (Poisson process).
+    pub submission_window: SimDuration,
+}
+
+impl MsdConfig {
+    /// The paper's configuration: 87 jobs, scaled for a 16-node cluster,
+    /// submitted over one hour.
+    pub fn paper_default() -> Self {
+        MsdConfig {
+            num_jobs: 87,
+            task_scale: 64,
+            submission_window: SimDuration::from_mins(60),
+        }
+    }
+
+    /// A miniature configuration for fast tests and examples.
+    pub fn mini(num_jobs: usize) -> Self {
+        MsdConfig {
+            num_jobs,
+            task_scale: 256,
+            submission_window: SimDuration::from_mins(10),
+        }
+    }
+
+    /// Generates the job mix.
+    ///
+    /// Jobs rotate through the three PUMA benchmarks so each class contains
+    /// all three applications (the paper runs Wordcount, Terasort and Grep
+    /// "with various input data sizes"). Submission times are sorted
+    /// arrivals of a Poisson process over [`MsdConfig::submission_window`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_jobs` is zero or `task_scale` is zero.
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<JobSpec> {
+        assert!(self.num_jobs > 0, "num_jobs must be positive");
+        assert!(self.task_scale > 0, "task_scale must be positive");
+
+        // Sorted Poisson arrivals over the window.
+        let window_secs = self.submission_window.as_secs_f64().max(1.0);
+        let rate = self.num_jobs as f64 / window_secs;
+        let mut arrivals = Vec::with_capacity(self.num_jobs);
+        let mut t = 0.0;
+        for _ in 0..self.num_jobs {
+            t += rng.exponential(rate);
+            arrivals.push(t.min(window_secs));
+        }
+
+        let weights: Vec<f64> = CLASS_WEIGHTS.iter().map(|&(_, w)| w).collect();
+        let kinds = BenchmarkKind::ALL;
+
+        (0..self.num_jobs)
+            .map(|i| {
+                let class = CLASS_WEIGHTS[rng
+                    .weighted_index(&weights)
+                    .expect("weights are positive")]
+                .0;
+                let (lo_gb, hi_gb, lo_red, hi_red) = class_params(class);
+                // Log-uniform input size within the class range.
+                let input_gb = (rng.uniform_range(lo_gb.ln(), hi_gb.ln())).exp();
+                let blocks = ((input_gb * 1024.0) / 64.0).ceil() as u32;
+                let maps = (blocks / self.task_scale).max(4);
+                let reduces_raw =
+                    (rng.uniform_range((lo_red as f64).ln(), (hi_red as f64).ln())).exp() as u32;
+                let reduces = (reduces_raw / self.task_scale).max(1);
+                let kind = kinds[i % kinds.len()];
+                let submit = SimTime::ZERO + SimDuration::from_secs_f64(arrivals[i]);
+                JobSpec::new(JobId(i as u64), Benchmark::of(kind), maps, reduces, submit)
+                    .with_size_class(class)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_jobs(seed: u64) -> Vec<JobSpec> {
+        MsdConfig::paper_default().generate(&mut SimRng::seed_from(seed))
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        assert_eq!(paper_jobs(1).len(), 87);
+        assert_eq!(MsdConfig::mini(5).generate(&mut SimRng::seed_from(0)).len(), 5);
+    }
+
+    #[test]
+    fn class_mix_close_to_4_2_1() {
+        // Aggregate over several seeds to smooth sampling noise.
+        let mut counts = [0usize; 3];
+        for seed in 0..10 {
+            for j in paper_jobs(seed) {
+                match j.size_class().unwrap() {
+                    SizeClass::Small => counts[0] += 1,
+                    SizeClass::Medium => counts[1] += 1,
+                    SizeClass::Large => counts[2] += 1,
+                }
+            }
+        }
+        let total = (counts[0] + counts[1] + counts[2]) as f64;
+        let small = counts[0] as f64 / total;
+        let medium = counts[1] as f64 / total;
+        let large = counts[2] as f64 / total;
+        assert!((small - 4.0 / 7.0).abs() < 0.05, "small share {small}");
+        assert!((medium - 2.0 / 7.0).abs() < 0.05, "medium share {medium}");
+        assert!((large - 1.0 / 7.0).abs() < 0.05, "large share {large}");
+    }
+
+    #[test]
+    fn larger_classes_have_more_tasks() {
+        let jobs = paper_jobs(3);
+        let mean_maps = |class: SizeClass| {
+            let v: Vec<f64> = jobs
+                .iter()
+                .filter(|j| j.size_class() == Some(class))
+                .map(|j| j.num_maps() as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(mean_maps(SizeClass::Small) < mean_maps(SizeClass::Medium));
+        assert!(mean_maps(SizeClass::Medium) < mean_maps(SizeClass::Large));
+    }
+
+    #[test]
+    fn all_three_benchmarks_present() {
+        let jobs = paper_jobs(4);
+        for kind in BenchmarkKind::ALL {
+            assert!(
+                jobs.iter().any(|j| j.benchmark().kind() == kind),
+                "missing {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn submissions_sorted_within_window() {
+        let cfg = MsdConfig::paper_default();
+        let jobs = cfg.generate(&mut SimRng::seed_from(5));
+        let window_end = SimTime::ZERO + cfg.submission_window;
+        let mut last = SimTime::ZERO;
+        for j in &jobs {
+            assert!(j.submit_at() >= last, "arrivals must be sorted");
+            assert!(j.submit_at() <= window_end);
+            last = j.submit_at();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(paper_jobs(9), paper_jobs(9));
+        assert_ne!(paper_jobs(9), paper_jobs(10));
+    }
+
+    #[test]
+    fn job_ids_are_dense() {
+        let jobs = paper_jobs(6);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id(), JobId(i as u64));
+        }
+    }
+
+    #[test]
+    fn every_job_has_tasks() {
+        for j in paper_jobs(7) {
+            assert!(j.num_maps() >= 4);
+            assert!(j.num_reduces() >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_jobs must be positive")]
+    fn zero_jobs_rejected() {
+        MsdConfig {
+            num_jobs: 0,
+            ..MsdConfig::paper_default()
+        }
+        .generate(&mut SimRng::seed_from(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "task_scale must be positive")]
+    fn zero_scale_rejected() {
+        MsdConfig {
+            task_scale: 0,
+            ..MsdConfig::paper_default()
+        }
+        .generate(&mut SimRng::seed_from(0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Explore the paper's Fig. 12(a) knob: the weighting parameter β trades
+//! energy savings against job fairness.
+//!
+//! ```text
+//! cargo run --release --example fairness_tradeoff
+//! ```
+
+use baselines::FairScheduler;
+use cluster::Fleet;
+use eant::{EAntConfig, EAntScheduler};
+use hadoop_sim::{Engine, EngineConfig, RunResult};
+use simcore::stats::OnlineStats;
+use simcore::SimRng;
+use workload::msd::MsdConfig;
+use workload::JobSpec;
+
+/// A production-shaped mix of short and long jobs — the situation where
+/// fairness matters. Reuses the Table III MSD generator.
+fn workload(seed: u64) -> Vec<JobSpec> {
+    MsdConfig {
+        num_jobs: 30,
+        task_scale: 64,
+        submission_window: simcore::SimDuration::from_mins(12),
+    }
+    .generate(&mut SimRng::seed_from(seed).fork("msd"))
+}
+
+const SEEDS: [u64; 4] = [2015, 7, 42, 1234];
+
+fn run_with_beta(beta: f64, seed: u64) -> RunResult {
+    let cfg = EAntConfig {
+        beta,
+        ..EAntConfig::paper_default()
+    };
+    let mut engine = Engine::new(Fleet::paper_evaluation(), EngineConfig::default(), seed);
+    engine.submit_jobs(workload(seed));
+    let mut eant = EAntScheduler::new(cfg, seed);
+    engine.run(&mut eant)
+}
+
+/// Spread of per-job slowdowns (completion / ideal serial share) — lower
+/// spread means fairer treatment.
+fn slowdown_spread(result: &RunResult) -> f64 {
+    let mut stats = OnlineStats::new();
+    for j in &result.jobs {
+        if let Some(ct) = j.completion_time() {
+            stats.push(ct.as_secs_f64() / j.reference_work_secs.max(1.0));
+        }
+    }
+    stats.std_dev() / stats.mean().max(1e-9)
+}
+
+fn main() {
+    let mut fair_energy = 0.0;
+    for &seed in &SEEDS {
+        let mut engine = Engine::new(Fleet::paper_evaluation(), EngineConfig::default(), seed);
+        engine.submit_jobs(workload(seed));
+        fair_energy += engine.run(&mut FairScheduler::new()).total_energy_joules()
+            / SEEDS.len() as f64;
+    }
+    println!(
+        "baseline (Fair Scheduler, {}-seed mean): {:.1} kJ\n",
+        SEEDS.len(),
+        fair_energy / 1000.0
+    );
+
+    println!(
+        "{:>5} {:>16} {:>18} {:>20}",
+        "beta", "energy (kJ)", "saving vs Fair", "slowdown spread"
+    );
+    for beta in [0.0, 0.1, 0.2, 0.3, 0.4] {
+        let mut energy = 0.0;
+        let mut spread = 0.0;
+        for &seed in &SEEDS {
+            let result = run_with_beta(beta, seed);
+            energy += result.total_energy_joules() / SEEDS.len() as f64;
+            spread += slowdown_spread(&result) / SEEDS.len() as f64;
+        }
+        let saving = (fair_energy - energy) / fair_energy * 100.0;
+        println!(
+            "{beta:>5.1} {:>16.1} {:>17.1}% {:>20.3}",
+            energy / 1000.0,
+            saving,
+            spread
+        );
+    }
+    println!("\nhigher beta = stronger fairness/locality heuristic (Eq. 8);");
+    println!("the paper's Fig. 12(a) shows energy savings peak at small beta");
+    println!("while fairness keeps improving with larger beta.");
+}

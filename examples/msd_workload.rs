@@ -1,0 +1,74 @@
+//! Generate the Microsoft-derived (MSD) workload of Table III, inspect its
+//! composition, and run it under all three schedulers.
+//!
+//! ```text
+//! cargo run --release --example msd_workload
+//! ```
+
+use baselines::{FairScheduler, TarazuScheduler};
+use cluster::Fleet;
+use eant::{EAntConfig, EAntScheduler};
+use hadoop_sim::{Engine, EngineConfig, Scheduler};
+use simcore::SimRng;
+use workload::msd::MsdConfig;
+use workload::SizeClass;
+
+fn main() {
+    // Generate a scaled-down MSD mix (fewer jobs than the paper's 87 so
+    // the example finishes instantly; use MsdConfig::paper_default() for
+    // the real thing).
+    let cfg = MsdConfig {
+        num_jobs: 30,
+        task_scale: 64,
+        submission_window: simcore::SimDuration::from_mins(12),
+    };
+    let jobs = cfg.generate(&mut SimRng::seed_from(2015).fork("msd"));
+
+    println!("generated {} jobs:", jobs.len());
+    for class in [SizeClass::Small, SizeClass::Medium, SizeClass::Large] {
+        let members: Vec<_> = jobs
+            .iter()
+            .filter(|j| j.size_class() == Some(class))
+            .collect();
+        let tasks: u32 = members.iter().map(|j| j.num_tasks()).sum();
+        println!(
+            "  {class:?}: {} jobs, {} tasks total",
+            members.len(),
+            tasks
+        );
+    }
+
+    // Run the same workload under each scheduler.
+    println!(
+        "\n{:<10} {:>12} {:>15} {:>12}",
+        "scheduler", "energy (kJ)", "makespan (min)", "tasks"
+    );
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(FairScheduler::new()),
+        Box::new(TarazuScheduler::new(2015)),
+        Box::new(EAntScheduler::new(EAntConfig::paper_default(), 2015)),
+    ];
+    let mut fair_energy = None;
+    for mut sched in schedulers {
+        let mut engine = Engine::new(Fleet::paper_evaluation(), EngineConfig::default(), 2015);
+        engine.submit_jobs(jobs.clone());
+        let result = engine.run(sched.as_mut());
+        println!(
+            "{:<10} {:>12.1} {:>15.1} {:>12}",
+            result.scheduler,
+            result.total_energy_joules() / 1000.0,
+            result.makespan.as_mins_f64(),
+            result.total_tasks
+        );
+        if result.scheduler == "Fair" {
+            fair_energy = Some(result.total_energy_joules());
+        } else if result.scheduler == "E-Ant" {
+            if let Some(fair) = fair_energy {
+                println!(
+                    "\nE-Ant energy saving vs Fair: {:.1}% (paper reports 17% at full scale)",
+                    (fair - result.total_energy_joules()) / fair * 100.0
+                );
+            }
+        }
+    }
+}

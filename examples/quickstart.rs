@@ -1,0 +1,54 @@
+//! Quickstart: run E-Ant on the paper's 16-node cluster and print what it
+//! did.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cluster::Fleet;
+use eant::{EAntConfig, EAntScheduler};
+use hadoop_sim::{Engine, EngineConfig};
+use simcore::SimTime;
+use workload::{Benchmark, JobId, JobSpec};
+
+fn main() {
+    // 1. The cluster: the paper's §V-B evaluation fleet — 8 desktops,
+    //    3 T110s, 2 T420s, a T320, a T620 and an Atom.
+    let fleet = Fleet::paper_evaluation();
+    println!(
+        "cluster: {} machines, {} map + {} reduce slots",
+        fleet.len(),
+        fleet.total_map_slots(),
+        fleet.total_reduce_slots()
+    );
+
+    // 2. A small mixed workload: one CPU-bound and one I/O-bound job.
+    let jobs = vec![
+        JobSpec::new(JobId(0), Benchmark::wordcount(), 128, 8, SimTime::ZERO),
+        JobSpec::new(JobId(1), Benchmark::terasort(), 128, 8, SimTime::ZERO),
+    ];
+
+    // 3. The engine (heartbeats, slots, shuffle, noise) plus E-Ant with the
+    //    paper's configuration.
+    let mut engine = Engine::new(fleet, EngineConfig::default(), 42);
+    engine.submit_jobs(jobs);
+    let mut eant = EAntScheduler::new(EAntConfig::paper_default(), 42);
+    let result = engine.run(&mut eant);
+
+    // 4. What happened.
+    println!(
+        "ran {} tasks in {:.1} simulated minutes ({} assignment decisions)",
+        result.total_tasks,
+        result.makespan.as_mins_f64(),
+        eant.decisions()
+    );
+    println!("total energy: {:.1} kJ", result.total_energy_joules() / 1000.0);
+    println!("\nenergy by machine type:");
+    for (profile, joules) in result.energy_by_profile() {
+        println!("  {profile:<8} {:>8.1} kJ", joules / 1000.0);
+    }
+    println!("\ntasks per machine type and benchmark:");
+    for ((profile, bench), count) in result.tasks_by_profile_and_benchmark() {
+        println!("  {profile:<8} {bench:<10} {count:>5}");
+    }
+}

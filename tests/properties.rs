@@ -1,0 +1,283 @@
+//! Property-based tests (proptest) over the core data structures and
+//! cross-crate invariants.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use cluster::hdfs::BlockPlacer;
+use cluster::{profiles, Fleet, MachineId};
+use eant::{heuristic, EnergyModel, ExchangeStrategy, PheromoneTable, TaskAnalyzer, TaskEnergyRecord};
+use hadoop_sim::{
+    Engine, EngineConfig, GreedyScheduler, NoiseConfig, PowerDownConfig, SpeculationPolicy,
+};
+use simcore::{EventQueue, SimRng, SimTime};
+use workload::{Benchmark, JobId, JobSpec};
+
+proptest! {
+    /// Pheromone values stay within [tau_min, tau_max] for any deposit
+    /// pattern, with or without negative feedback.
+    #[test]
+    fn pheromone_bounds_hold(
+        deposits in proptest::collection::vec(
+            proptest::collection::vec(-1.0e6f64..1.0e6, 4),
+            1..6,
+        ),
+        rho in 0.01f64..1.0,
+        negative in any::<bool>(),
+    ) {
+        let mut table = PheromoneTable::new(4, 1.0, 0.05, 100.0);
+        let map: BTreeMap<JobId, Vec<f64>> = deposits
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (JobId(i as u64), d))
+            .collect();
+        table.apply_deposits(&map, rho, negative);
+        for (&job, _) in &map {
+            for m in 0..4 {
+                let tau = table.get(job, MachineId(m));
+                prop_assert!((0.05..=100.0).contains(&tau), "tau = {tau}");
+            }
+        }
+    }
+
+    /// Eq. 3 probabilities always form a distribution.
+    #[test]
+    fn pheromone_probabilities_sum_to_one(
+        deposits in proptest::collection::vec(0.0f64..1.0e4, 8),
+        rho in 0.01f64..1.0,
+    ) {
+        let mut table = PheromoneTable::new(8, 1.0, 0.05, 1.0e4);
+        let mut map = BTreeMap::new();
+        map.insert(JobId(0), deposits);
+        table.apply_deposits(&map, rho, true);
+        let p = table.probabilities(JobId(0));
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        prop_assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    /// Events always pop in nondecreasing time order.
+    #[test]
+    fn event_queue_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+        }
+    }
+
+    /// The fairness heuristic is finite, positive, and monotone in the
+    /// deficit.
+    #[test]
+    fn fairness_heuristic_is_sane(
+        min_share in 0.0f64..200.0,
+        occupied in 0u32..500,
+        pool in 1usize..500,
+    ) {
+        let eta = heuristic::fairness(min_share, occupied, pool);
+        prop_assert!(eta.is_finite() && eta > 0.0, "eta = {eta}");
+        // One more occupied slot can never raise the priority.
+        let eta_more = heuristic::fairness(min_share, occupied + 1, pool);
+        prop_assert!(eta_more <= eta + 1e-12);
+    }
+
+    /// Eq. 2 estimates are non-negative and monotone in utilization.
+    #[test]
+    fn energy_model_is_monotone(
+        idle in 0.0f64..200.0,
+        alpha in 0.0f64..200.0,
+        slots in 1usize..12,
+        u1 in 0.0f64..1.0,
+        u2 in 0.0f64..1.0,
+        dur in 0.0f64..10_000.0,
+    ) {
+        let model = EnergyModel::new(idle, alpha, slots);
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let e_lo = model.estimate_mean(lo, dur);
+        let e_hi = model.estimate_mean(hi, dur);
+        prop_assert!(e_lo >= 0.0);
+        prop_assert!(e_hi >= e_lo - 1e-9);
+    }
+
+    /// Block placement never duplicates replicas and never exceeds the
+    /// fleet.
+    #[test]
+    fn block_placement_is_valid(seed in any::<u64>(), count in 1usize..50) {
+        let fleet = Fleet::paper_evaluation();
+        let mut placer = BlockPlacer::new(3);
+        let mut rng = SimRng::seed_from(seed);
+        for block in placer.place(&fleet, count, &mut rng) {
+            prop_assert!(!block.replicas.is_empty());
+            prop_assert!(block.replicas.len() <= 3);
+            let mut seen = block.replicas.clone();
+            seen.sort();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), block.replicas.len());
+            prop_assert!(block.replicas.iter().all(|m| m.index() < fleet.len()));
+        }
+    }
+
+    /// The analyzer's deposits are non-negative and only land on machines
+    /// that (transitively, via exchange groups) saw tasks.
+    #[test]
+    fn analyzer_deposits_are_nonnegative(
+        energies in proptest::collection::vec(1.0f64..10_000.0, 1..40),
+        exchange_idx in 0usize..4,
+    ) {
+        let exchange = [
+            ExchangeStrategy::None,
+            ExchangeStrategy::MachineLevel,
+            ExchangeStrategy::JobLevel,
+            ExchangeStrategy::Both,
+        ][exchange_idx];
+        let mut analyzer = TaskAnalyzer::new(4);
+        for (i, &e) in energies.iter().enumerate() {
+            analyzer.record(TaskEnergyRecord {
+                job: JobId((i % 3) as u64),
+                job_group: format!("g{}", i % 2),
+                machine: MachineId(i % 4),
+                energy_joules: e,
+            });
+        }
+        let fb = analyzer.compute(&[0, 0, 1, 1], exchange);
+        prop_assert_eq!(fb.tasks_analyzed, energies.len());
+        for row in fb.deposits.values() {
+            prop_assert!(row.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        }
+    }
+
+    /// Any small job mix drains on the paper fleet under the reference
+    /// scheduler, with tasks conserved.
+    #[test]
+    fn engine_drains_arbitrary_small_workloads(
+        seed in any::<u64>(),
+        maps in proptest::collection::vec(1u32..40, 1..5),
+    ) {
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+        let mut expected = 0u64;
+        let jobs = maps
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let reduces = m / 4;
+                expected += u64::from(m + reduces);
+                JobSpec::new(
+                    JobId(i as u64),
+                    Benchmark::of(
+                        [workload::BenchmarkKind::Wordcount,
+                         workload::BenchmarkKind::Grep,
+                         workload::BenchmarkKind::Terasort][i % 3],
+                    ),
+                    m,
+                    reduces,
+                    SimTime::from_secs(i as u64 * 10),
+                )
+            })
+            .collect();
+        engine.submit_jobs(jobs);
+        let result = engine.run(&mut GreedyScheduler::new());
+        prop_assert!(result.drained);
+        prop_assert_eq!(result.total_tasks, expected);
+    }
+
+    /// With any speculation policy and straggler noise, every workload
+    /// drains with exact task conservation — backups never double-count.
+    #[test]
+    fn speculation_conserves_tasks(
+        seed in any::<u64>(),
+        policy_idx in 0usize..3,
+        maps in 8u32..60,
+    ) {
+        let policy = [
+            SpeculationPolicy::Off,
+            SpeculationPolicy::Hadoop,
+            SpeculationPolicy::Late,
+        ][policy_idx];
+        let cfg = EngineConfig {
+            noise: NoiseConfig {
+                straggler_prob: 0.2,
+                straggler_slowdown: (2.0, 6.0),
+                utilization_jitter: 0.1,
+            },
+            speculation: policy,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+        let reduces = maps / 6;
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::wordcount(),
+            maps,
+            reduces,
+            SimTime::ZERO,
+        )]);
+        let result = engine.run(&mut GreedyScheduler::new());
+        prop_assert!(result.drained);
+        prop_assert_eq!(result.total_tasks, u64::from(maps + reduces));
+        prop_assert!(result.wasted_attempts <= result.speculative_attempts);
+        if policy == SpeculationPolicy::Off {
+            prop_assert_eq!(result.speculative_attempts, 0);
+        }
+    }
+
+    /// Power-down never strands work and never *increases* energy relative
+    /// to physical limits (total energy is at least the standby floor).
+    #[test]
+    fn power_down_is_safe(seed in any::<u64>(), gap_mins in 1u64..30) {
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            power_down: Some(PowerDownConfig::suspend_to_ram()),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+        engine.submit_jobs(vec![
+            JobSpec::new(JobId(0), Benchmark::grep(), 16, 2, SimTime::ZERO),
+            JobSpec::new(
+                JobId(1),
+                Benchmark::grep(),
+                16,
+                2,
+                SimTime::from_secs(gap_mins * 60),
+            ),
+        ]);
+        let result = engine.run(&mut GreedyScheduler::new());
+        prop_assert!(result.drained, "power-down must never strand work");
+        prop_assert_eq!(result.total_tasks, 36);
+        // Energy floor: every machine draws at least standby power for the
+        // whole run.
+        let floor = 2.5 * 16.0 * result.makespan.as_secs_f64();
+        prop_assert!(result.total_energy_joules() >= floor * 0.99);
+    }
+
+    /// Machine energy meters never decrease and never drop below idle
+    /// draw.
+    #[test]
+    fn meter_monotone_and_bounded_below(
+        spans in proptest::collection::vec((1u64..100, 0.0f64..1.5), 1..30),
+    ) {
+        let profile = profiles::desktop();
+        let mut machine = cluster::Machine::new(MachineId(0), profile.clone());
+        let mut now = SimTime::ZERO;
+        let mut last_energy = 0.0;
+        for (secs, _load) in spans {
+            now = now + simcore::SimDuration::from_secs(secs);
+            machine.sync(now);
+            let e = machine.meter().total_joules();
+            prop_assert!(e >= last_energy);
+            // Idle machine: exactly idle power integrated.
+            let idle_floor = profile.power().idle_watts()
+                * now.saturating_since(SimTime::ZERO).as_secs_f64();
+            prop_assert!(e >= idle_floor - 1e-6);
+            last_energy = e;
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-scheduler integration tests: the paper's headline claims, checked
+//! on multi-seed averages of the scaled MSD workload.
+
+use baselines::{FairScheduler, FifoScheduler, TarazuScheduler};
+use cluster::Fleet;
+use eant::{EAntConfig, EAntScheduler};
+use hadoop_sim::{Engine, EngineConfig, RunResult, Scheduler};
+use simcore::{SimDuration, SimRng};
+use workload::msd::MsdConfig;
+
+const SEEDS: [u64; 5] = [2015, 7, 99, 42, 1234];
+
+fn run(seed: u64, scheduler: &mut dyn Scheduler) -> RunResult {
+    let jobs = MsdConfig {
+        num_jobs: 30,
+        task_scale: 64,
+        submission_window: SimDuration::from_mins(12),
+    }
+    .generate(&mut SimRng::seed_from(seed).fork("msd"));
+    let mut engine = Engine::new(Fleet::paper_evaluation(), EngineConfig::default(), seed);
+    engine.submit_jobs(jobs);
+    engine.run(scheduler)
+}
+
+fn mean_energy(make: impl Fn(u64) -> Box<dyn Scheduler>) -> f64 {
+    SEEDS
+        .iter()
+        .map(|&s| run(s, make(s).as_mut()).total_energy_joules())
+        .sum::<f64>()
+        / SEEDS.len() as f64
+}
+
+#[test]
+fn eant_saves_energy_vs_fair_scheduler() {
+    // Headline claim (Fig. 8a): E-Ant beats the Fair Scheduler on total
+    // energy — the paper reports 17 % on one physical run; we require a
+    // ≥3 % margin on the multi-seed mean to stay robust to simulation
+    // variance (the 10-seed mean is ~10 %, see EXPERIMENTS.md).
+    let fair = mean_energy(|_| Box::new(FairScheduler::new()));
+    let eant = mean_energy(|s| Box::new(EAntScheduler::new(EAntConfig::paper_default(), s)));
+    let saving = (fair - eant) / fair * 100.0;
+    assert!(saving > 3.0, "E-Ant saving vs Fair was only {saving:.1}%");
+}
+
+#[test]
+fn eant_saves_energy_vs_tarazu() {
+    // Headline claim (Fig. 8a): E-Ant beats Tarazu too (paper: 12 %).
+    let tarazu = mean_energy(|s| Box::new(TarazuScheduler::new(s)));
+    let eant = mean_energy(|s| Box::new(EAntScheduler::new(EAntConfig::paper_default(), s)));
+    let saving = (tarazu - eant) / tarazu * 100.0;
+    assert!(saving > 0.5, "E-Ant saving vs Tarazu was only {saving:.1}%");
+}
+
+#[test]
+fn tarazu_beats_fair_on_energy() {
+    // §VI-A: "Tarazu is more energy efficient than Fair Scheduler since
+    // Tarazu could reduce job execution times".
+    let fair = mean_energy(|_| Box::new(FairScheduler::new()));
+    let tarazu = mean_energy(|s| Box::new(TarazuScheduler::new(s)));
+    assert!(
+        tarazu < fair,
+        "Tarazu ({tarazu:.0} J) should use less energy than Fair ({fair:.0} J)"
+    );
+}
+
+#[test]
+fn all_schedulers_complete_the_same_workload() {
+    for seed in [1u64, 2] {
+        let totals: Vec<u64> = [
+            Box::new(FifoScheduler::new()) as Box<dyn Scheduler>,
+            Box::new(FairScheduler::new()),
+            Box::new(TarazuScheduler::new(seed)),
+            Box::new(EAntScheduler::new(EAntConfig::paper_default(), seed)),
+        ]
+        .into_iter()
+        .map(|mut s| {
+            let r = run(seed, s.as_mut());
+            assert!(r.drained, "{} did not drain", r.scheduler);
+            r.total_tasks
+        })
+        .collect();
+        assert!(
+            totals.windows(2).all(|w| w[0] == w[1]),
+            "schedulers completed different task counts: {totals:?}"
+        );
+    }
+}
+
+#[test]
+fn eant_adapts_workload_mix_by_machine_type() {
+    // Fig. 9(a): aggregated over seeds, the compute-optimized T420 group
+    // hosts a larger share of CPU-bound (Wordcount) work than the Atom.
+    let mut t420 = (0.0, 0.0);
+    let mut atom = (0.0, 0.0);
+    for &seed in &SEEDS {
+        let r = run(
+            seed,
+            &mut EAntScheduler::new(EAntConfig::paper_default(), seed),
+        );
+        let by = r.tasks_by_profile_and_benchmark();
+        let get = |p: &str, b: &str| {
+            *by.get(&(p.to_owned(), b.to_owned())).unwrap_or(&0) as f64
+        };
+        t420.0 += get("T420", "Wordcount");
+        t420.1 += get("T420", "Grep") + get("T420", "Terasort");
+        atom.0 += get("Atom", "Wordcount");
+        atom.1 += get("Atom", "Grep") + get("Atom", "Terasort");
+    }
+    let t420_share = t420.0 / (t420.0 + t420.1);
+    let atom_share = atom.0 / (atom.0 + atom.1);
+    assert!(
+        t420_share > atom_share,
+        "Wordcount share: T420 {t420_share:.2} vs Atom {atom_share:.2}"
+    );
+}
+
+#[test]
+fn eant_completion_times_remain_competitive() {
+    // Fig. 8(c): E-Ant must not sacrifice job performance — its mean
+    // makespan stays within 25 % of Fair's on the multi-seed average.
+    let fair: f64 = SEEDS
+        .iter()
+        .map(|&s| run(s, &mut FairScheduler::new()).makespan.as_secs_f64())
+        .sum::<f64>()
+        / SEEDS.len() as f64;
+    let eant: f64 = SEEDS
+        .iter()
+        .map(|&s| {
+            run(s, &mut EAntScheduler::new(EAntConfig::paper_default(), s))
+                .makespan
+                .as_secs_f64()
+        })
+        .sum::<f64>()
+        / SEEDS.len() as f64;
+    assert!(
+        eant < fair * 1.25,
+        "E-Ant mean makespan {eant:.0}s vs Fair {fair:.0}s"
+    );
+}
