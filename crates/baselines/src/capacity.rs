@@ -39,7 +39,7 @@ impl CapacityScheduler {
         if capacities.is_empty() {
             return Err("at least one queue is required".into());
         }
-        if capacities.iter().any(|&c| !(c > 0.0) || !c.is_finite()) {
+        if capacities.iter().any(|&c| !c.is_finite() || c <= 0.0) {
             return Err("queue capacities must be positive".into());
         }
         let total: f64 = capacities.iter().sum();
@@ -71,8 +71,7 @@ impl Scheduler for CapacityScheduler {
         kind: SlotKind,
     ) -> Option<JobId> {
         let jobs = query.active_jobs();
-        let candidates: Vec<&JobSummary> =
-            jobs.iter().filter(|j| j.pending(kind) > 0).collect();
+        let candidates: Vec<&JobSummary> = jobs.iter().filter(|j| j.pending(kind) > 0).collect();
         if candidates.is_empty() {
             return None;
         }
@@ -88,10 +87,7 @@ impl Scheduler for CapacityScheduler {
         // guarantee) first — that ordering is also what grants elasticity:
         // an over-capacity queue still wins when it is the only one with
         // pending work.
-        let mut queue_order: Vec<usize> = candidates
-            .iter()
-            .map(|j| self.queue_of(j.id))
-            .collect();
+        let mut queue_order: Vec<usize> = candidates.iter().map(|j| self.queue_of(j.id)).collect();
         queue_order.sort_by(|&a, &b| {
             let ra = used[a] / (self.capacities[a] * pool);
             let rb = used[b] / (self.capacities[b] * pool);
@@ -106,9 +102,10 @@ impl Scheduler for CapacityScheduler {
                 .collect();
             members.sort_by_key(|j| (j.submitted_at, j.id));
             if kind == SlotKind::Map {
-                if let Some(local) = members.iter().find(|j| {
-                    query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
-                }) {
+                if let Some(local) = members
+                    .iter()
+                    .find(|j| query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal))
+                {
                     return Some(local.id);
                 }
             }
@@ -185,6 +182,9 @@ mod tests {
         let r = engine.run(&mut CapacityScheduler::two_queues());
         // The short job's queue guarantee shields it from the long job.
         let finish = |id: usize| r.jobs[id].finished_at.unwrap();
-        assert!(finish(1) < finish(0), "queue guarantee must protect the short job");
+        assert!(
+            finish(1) < finish(0),
+            "queue guarantee must protect the short job"
+        );
     }
 }

@@ -64,8 +64,7 @@ impl Scheduler for FairScheduler {
         kind: SlotKind,
     ) -> Option<JobId> {
         let jobs = query.active_jobs();
-        let candidates: Vec<&JobSummary> =
-            jobs.iter().filter(|j| j.pending(kind) > 0).collect();
+        let candidates: Vec<&JobSummary> = jobs.iter().filter(|j| j.pending(kind) > 0).collect();
         if candidates.is_empty() {
             return None;
         }
@@ -83,9 +82,7 @@ impl Scheduler for FairScheduler {
             if let Some(local) = candidates
                 .iter()
                 .filter(|j| Self::deficit(j, fair_share) >= max_deficit - tolerance)
-                .find(|j| {
-                    query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
-                })
+                .find(|j| query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal))
             {
                 return Some(local.id);
             }

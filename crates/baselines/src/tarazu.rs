@@ -144,9 +144,10 @@ impl Scheduler for TarazuScheduler {
         }
 
         // Map slot. First preference: node-local work, always accepted.
-        if let Some(local) = candidates.iter().find(|j| {
-            query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
-        }) {
+        if let Some(local) = candidates
+            .iter()
+            .find(|j| query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal))
+        {
             return Some(local.id);
         }
 

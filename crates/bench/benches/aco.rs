@@ -6,9 +6,7 @@
 
 use std::collections::BTreeMap;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use bench::{black_box, Harness};
 use cluster::MachineId;
 use eant::{ExchangeStrategy, PheromoneTable, TaskAnalyzer, TaskEnergyRecord};
 use simcore::SimRng;
@@ -20,68 +18,54 @@ fn deposits(jobs: usize, machines: usize, seed: u64) -> BTreeMap<JobId, Vec<f64>
         .map(|j| {
             (
                 JobId(j as u64),
-                (0..machines).map(|_| rng.uniform_range(0.0, 50.0)).collect(),
+                (0..machines)
+                    .map(|_| rng.uniform_range(0.0, 50.0))
+                    .collect(),
             )
         })
         .collect()
 }
 
-fn bench_pheromone_updates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pheromone_apply_deposits");
+fn main() {
+    let mut h = Harness::from_args();
+
     for &(jobs, machines) in &[(10usize, 16usize), (50, 16), (100, 100)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{jobs}jobs_{machines}machines")),
-            &(jobs, machines),
-            |b, &(jobs, machines)| {
-                let d = deposits(jobs, machines, 1);
-                b.iter(|| {
-                    let mut table = PheromoneTable::new(machines, 1.0, 0.05, 1.0e4);
-                    table.apply_deposits(black_box(&d), 0.5, true);
-                    black_box(table.get(JobId(0), MachineId(0)))
-                });
+        let d = deposits(jobs, machines, 1);
+        h.bench(
+            &format!("pheromone_apply_deposits/{jobs}jobs_{machines}machines"),
+            || {
+                let mut table = PheromoneTable::new(machines, 1.0, 0.05, 1.0e4);
+                table.apply_deposits(black_box(&d), 0.5, true);
+                black_box(table.get(JobId(0), MachineId(0)))
             },
         );
     }
-    group.finish();
-}
 
-fn bench_probabilities(c: &mut Criterion) {
     let mut table = PheromoneTable::new(16, 1.0, 0.05, 1.0e4);
     table.apply_deposits(&deposits(20, 16, 2), 0.5, true);
-    c.bench_function("pheromone_probabilities_16m", |b| {
-        b.iter(|| black_box(table.probabilities(black_box(JobId(7)))))
+    h.bench("pheromone_probabilities_16m", || {
+        black_box(table.probabilities(black_box(JobId(7))))
     });
-}
 
-fn bench_analyzer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analyzer_compute");
     for &records in &[100usize, 1000, 10_000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(records),
-            &records,
-            |b, &records| {
-                let mut rng = SimRng::seed_from(3);
-                let recs: Vec<TaskEnergyRecord> = (0..records)
-                    .map(|i| TaskEnergyRecord {
-                        job: JobId((i % 30) as u64),
-                        job_group: format!("g{}", i % 9),
-                        machine: MachineId(i % 16),
-                        energy_joules: rng.uniform_range(50.0, 500.0),
-                    })
-                    .collect();
-                let groups: Vec<usize> = (0..16).map(|m| m / 3).collect();
-                b.iter(|| {
-                    let mut analyzer = TaskAnalyzer::new(16);
-                    for r in &recs {
-                        analyzer.record(r.clone());
-                    }
-                    black_box(analyzer.compute(&groups, ExchangeStrategy::Both))
-                });
-            },
-        );
+        let mut rng = SimRng::seed_from(3);
+        let recs: Vec<TaskEnergyRecord> = (0..records)
+            .map(|i| TaskEnergyRecord {
+                job: JobId((i % 30) as u64),
+                job_group: format!("g{}", i % 9),
+                machine: MachineId(i % 16),
+                energy_joules: rng.uniform_range(50.0, 500.0),
+            })
+            .collect();
+        let groups: Vec<usize> = (0..16).map(|m| m / 3).collect();
+        h.bench(&format!("analyzer_compute/{records}"), || {
+            let mut analyzer = TaskAnalyzer::new(16);
+            for r in &recs {
+                analyzer.record(r.clone());
+            }
+            black_box(analyzer.compute(&groups, ExchangeStrategy::Both))
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_pheromone_updates, bench_probabilities, bench_analyzer);
-criterion_main!(benches);
+    h.finish();
+}

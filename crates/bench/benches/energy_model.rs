@@ -1,9 +1,7 @@
 //! Eq. 2 energy-model benchmarks: per-task estimation and least-squares
 //! identification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use bench::{black_box, Harness};
 use cluster::{profiles, MachineId, SlotKind};
 use eant::EnergyModel;
 use hadoop_sim::{TaskReport, UtilizationSample};
@@ -39,21 +37,17 @@ fn report_with_samples(n: usize) -> TaskReport {
     }
 }
 
-fn bench_estimate(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
+
     let model = EnergyModel::from_profile(&profiles::desktop());
-    let mut group = c.benchmark_group("eq2_estimate");
     for &samples in &[5usize, 50, 500] {
         let report = report_with_samples(samples);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(samples),
-            &report,
-            |b, report| b.iter(|| black_box(model.estimate(black_box(report)))),
-        );
+        h.bench(&format!("eq2_estimate/{samples}"), || {
+            black_box(model.estimate(black_box(&report)))
+        });
     }
-    group.finish();
-}
 
-fn bench_identify(c: &mut Criterion) {
     let truth = profiles::xeon_e5().power();
     let mut rng = SimRng::seed_from(9);
     let samples: Vec<(f64, f64)> = (0..1000)
@@ -62,10 +56,9 @@ fn bench_identify(c: &mut Criterion) {
             (u, truth.power(u) + rng.normal_clamped(0.0, 2.0, -6.0, 6.0))
         })
         .collect();
-    c.bench_function("least_squares_identify_1000", |b| {
-        b.iter(|| black_box(EnergyModel::identify(black_box(&samples), 6)))
+    h.bench("least_squares_identify_1000", || {
+        black_box(EnergyModel::identify(black_box(&samples), 6))
     });
-}
 
-criterion_group!(benches, bench_estimate, bench_identify);
-criterion_main!(benches);
+    h.finish();
+}

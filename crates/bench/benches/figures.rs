@@ -5,10 +5,8 @@
 //! the baselines on an identical workload (the paper's §VI-D overhead
 //! discussion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
 use baselines::{FairScheduler, TarazuScheduler};
+use bench::{black_box, Harness};
 use cluster::Fleet;
 use eant::{EAntConfig, EAntScheduler};
 use hadoop_sim::{Engine, EngineConfig, Scheduler};
@@ -30,43 +28,34 @@ fn run_msd(scheduler: &mut dyn Scheduler) -> hadoop_sim::RunResult {
     engine.run(scheduler)
 }
 
-fn bench_msd_per_scheduler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_msd_run");
-    group.sample_size(10);
-    group.bench_function("fair", |b| {
-        b.iter(|| black_box(run_msd(&mut FairScheduler::new())))
-    });
-    group.bench_function("tarazu", |b| {
-        b.iter(|| black_box(run_msd(&mut TarazuScheduler::new(1))))
-    });
-    group.bench_function("eant", |b| {
-        b.iter(|| {
-            black_box(run_msd(&mut EAntScheduler::new(
-                EAntConfig::paper_default(),
-                1,
-            )))
-        })
-    });
-    group.finish();
-}
+fn main() {
+    let mut h = Harness::from_args();
 
-fn bench_small_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure_generation");
-    group.sample_size(10);
-    group.bench_function("table1", |b| {
-        b.iter(|| black_box(experiments::tables::table1()))
+    h.bench("fig8_msd_run/fair", || {
+        black_box(run_msd(&mut FairScheduler::new()))
     });
-    group.bench_function("fig1d", |b| {
-        b.iter(|| black_box(experiments::fig1::fig1d(true)))
+    h.bench("fig8_msd_run/tarazu", || {
+        black_box(run_msd(&mut TarazuScheduler::new(1)))
     });
-    group.bench_function("fig6", |b| {
-        b.iter(|| black_box(experiments::fig6::run(true)))
+    h.bench("fig8_msd_run/eant", || {
+        black_box(run_msd(&mut EAntScheduler::new(
+            EAntConfig::paper_default(),
+            1,
+        )))
     });
-    group.bench_function("fig7", |b| {
-        b.iter(|| black_box(experiments::fig7::run(true)))
-    });
-    group.finish();
-}
 
-criterion_group!(benches, bench_msd_per_scheduler, bench_small_figures);
-criterion_main!(benches);
+    h.bench("figure_generation/table1", || {
+        black_box(experiments::tables::table1())
+    });
+    h.bench("figure_generation/fig1d", || {
+        black_box(experiments::fig1::fig1d(true))
+    });
+    h.bench("figure_generation/fig6", || {
+        black_box(experiments::fig6::run(true))
+    });
+    h.bench("figure_generation/fig7", || {
+        black_box(experiments::fig7::run(true))
+    });
+
+    h.finish();
+}

@@ -1,9 +1,7 @@
 //! Simulator throughput benchmarks: the heartbeat engine, the open-loop
 //! single-node model and block placement.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use bench::{black_box, Harness};
 use cluster::hdfs::BlockPlacer;
 use cluster::{profiles, Fleet};
 use hadoop_sim::single_node::{run as single_run, SingleNodeConfig};
@@ -11,57 +9,45 @@ use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig};
 use simcore::{SimDuration, SimRng, SimTime};
 use workload::{Benchmark, JobId, JobSpec};
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_run");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::from_args();
+
     for &maps in &[64u32, 256, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(maps), &maps, |b, &maps| {
-            b.iter(|| {
-                let cfg = EngineConfig {
-                    noise: NoiseConfig::none(),
-                    ..EngineConfig::default()
-                };
-                let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, 1);
-                engine.submit_jobs(vec![JobSpec::new(
-                    JobId(0),
-                    Benchmark::wordcount(),
-                    maps,
-                    maps / 8,
-                    SimTime::ZERO,
-                )]);
-                black_box(engine.run(&mut GreedyScheduler::new()))
-            });
+        h.bench(&format!("engine_run/{maps}"), || {
+            let cfg = EngineConfig {
+                noise: NoiseConfig::none(),
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, 1);
+            engine.submit_jobs(vec![JobSpec::new(
+                JobId(0),
+                Benchmark::wordcount(),
+                maps,
+                maps / 8,
+                SimTime::ZERO,
+            )]);
+            black_box(engine.run(&mut GreedyScheduler::new()))
         });
     }
-    group.finish();
-}
 
-fn bench_single_node(c: &mut Criterion) {
-    c.bench_function("single_node_1h_20tpm", |b| {
-        b.iter(|| {
-            let cfg = SingleNodeConfig {
-                horizon: SimDuration::from_mins(60),
-                ..SingleNodeConfig::new(
-                    profiles::xeon_e5().with_capacity_slots(),
-                    Benchmark::wordcount(),
-                    20.0,
-                )
-            };
-            black_box(single_run(&cfg))
-        });
+    h.bench("single_node_1h_20tpm", || {
+        let cfg = SingleNodeConfig {
+            horizon: SimDuration::from_mins(60),
+            ..SingleNodeConfig::new(
+                profiles::xeon_e5().with_capacity_slots(),
+                Benchmark::wordcount(),
+                20.0,
+            )
+        };
+        black_box(single_run(&cfg))
     });
-}
 
-fn bench_block_placement(c: &mut Criterion) {
     let fleet = Fleet::paper_evaluation();
-    c.bench_function("place_1000_blocks", |b| {
-        b.iter(|| {
-            let mut placer = BlockPlacer::new(3);
-            let mut rng = SimRng::seed_from(7);
-            black_box(placer.place(&fleet, 1000, &mut rng))
-        });
+    h.bench("place_1000_blocks", || {
+        let mut placer = BlockPlacer::new(3);
+        let mut rng = SimRng::seed_from(7);
+        black_box(placer.place(&fleet, 1000, &mut rng))
     });
-}
 
-criterion_group!(benches, bench_engine, bench_single_node, bench_block_placement);
-criterion_main!(benches);
+    h.finish();
+}

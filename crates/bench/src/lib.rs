@@ -10,5 +10,151 @@
 //!   single-node open-loop simulator, and block placement.
 //! * `figures` — end-to-end costs of regenerating the paper's figures:
 //!   one full MSD run per scheduler plus representative small figures.
+//!
+//! All four are `harness = false` binaries driven by the dependency-free
+//! [`Harness`] below (the workspace builds hermetically, so `criterion` is
+//! not available by default). The harness auto-scales iteration counts to
+//! the measured cost of one run, prints mean/min/max wall-clock per
+//! iteration, and supports the usual substring filter:
+//! `cargo bench --bench aco -- probabilities`.
 
 #![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches read like the familiar criterion style.
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent per benchmark after warm-up.
+const TARGET_TOTAL: Duration = Duration::from_millis(800);
+/// Iteration ceiling for very fast functions.
+const MAX_ITERS: u32 = 100_000;
+
+/// A tiny fixed-budget benchmark runner.
+///
+/// Not a statistics engine: it reports mean/min/max over an adaptively
+/// chosen number of iterations, which is enough to track order-of-magnitude
+/// regressions in the simulation hot paths without any external crates.
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments.
+    ///
+    /// The first argument that does not start with `-` is used as a
+    /// substring filter on benchmark names; cargo's own `--bench` flag and
+    /// friends are ignored.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Harness { filter, ran: 0 }
+    }
+
+    /// Times `f`, printing one line with the mean/min/max per iteration.
+    ///
+    /// The closure runs once for warm-up (also used to size the iteration
+    /// count so the whole benchmark stays near a fixed wall-clock budget),
+    /// then the measured iterations.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+        let warmup = Instant::now();
+        std_black_box(f());
+        let once = warmup.elapsed();
+
+        let iters = if once.is_zero() {
+            MAX_ITERS
+        } else {
+            let fit = TARGET_TOTAL.as_nanos() / once.as_nanos().max(1);
+            (fit as u32).clamp(1, MAX_ITERS)
+        };
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let start = Instant::now();
+            std_black_box(f());
+            let dt = start.elapsed();
+            min = min.min(dt);
+            max = max.max(dt);
+            total += dt;
+        }
+        let mean = total / iters;
+        println!(
+            "{name:<44} {:>12}/iter  (min {}, max {}, {iters} iters)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+        );
+    }
+
+    /// Prints a trailing summary; call once at the end of `main`.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            match self.filter {
+                Some(f) => println!("no benchmarks matched filter {f:?}"),
+                None => println!("no benchmarks ran"),
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.50 s");
+    }
+
+    #[test]
+    fn filtered_out_benchmarks_do_not_run() {
+        let mut h = Harness {
+            filter: Some("nomatch".into()),
+            ran: 0,
+        };
+        let mut calls = 0;
+        h.bench("something_else", || calls += 1);
+        assert_eq!(calls, 0);
+        assert_eq!(h.ran, 0);
+    }
+
+    #[test]
+    fn matching_benchmarks_run_at_least_once() {
+        let mut h = Harness {
+            filter: None,
+            ran: 0,
+        };
+        let mut calls = 0u32;
+        h.bench("counts_calls", || calls += 1);
+        assert!(calls >= 2, "warm-up plus at least one measured iteration");
+        assert_eq!(h.ran, 1);
+    }
+}

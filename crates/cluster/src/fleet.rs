@@ -3,7 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 
 use crate::{ClusterError, Machine, MachineId, MachineProfile};
@@ -13,9 +12,8 @@ use crate::{ClusterError, Machine, MachineId, MachineProfile};
 /// Racks matter only for data locality: a task reading a block from another
 /// machine in the same rack is "rack-local", anything else is "remote"
 /// (Hadoop's classic three-level locality).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RackId(pub usize);
 
 impl fmt::Display for RackId {
@@ -29,7 +27,8 @@ impl fmt::Display for RackId {
 /// E-Ant's machine-level exchange (§IV-D) averages pheromone updates across
 /// exactly these groups; the JobTracker learns the grouping from hardware
 /// information in TaskTracker heartbeats, which the fleet models directly.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HomogeneousGroup {
     /// The shared profile name.
     pub profile_name: String,
@@ -291,7 +290,10 @@ mod tests {
 
     #[test]
     fn empty_fleet_rejected() {
-        assert_eq!(Fleet::builder().build().unwrap_err(), ClusterError::EmptyFleet);
+        assert_eq!(
+            Fleet::builder().build().unwrap_err(),
+            ClusterError::EmptyFleet
+        );
     }
 
     #[test]
@@ -358,7 +360,10 @@ mod tests {
     #[test]
     fn energy_sums_over_machines() {
         use crate::SlotKind;
-        let mut fleet = Fleet::builder().add(profiles::desktop(), 2).build().unwrap();
+        let mut fleet = Fleet::builder()
+            .add(profiles::desktop(), 2)
+            .build()
+            .unwrap();
         fleet
             .machine_mut(MachineId(0))
             .unwrap()

@@ -6,7 +6,6 @@
 //! locality term (Eq. 7, Fig. 6). This module provides the placement policy
 //! (rack-aware, 3-way replication like stock HDFS) and the locality query.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimRng;
 
 use crate::{Fleet, MachineId};
@@ -18,13 +17,13 @@ pub const DEFAULT_REPLICATION: usize = 3;
 pub const BLOCK_SIZE_MB: u64 = 64;
 
 /// Identifier of an input block.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockId(pub u64);
 
 /// A replicated input block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Block {
     /// This block's id.
     pub id: BlockId,
@@ -33,7 +32,8 @@ pub struct Block {
 }
 
 /// The three locality levels of Hadoop task placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Locality {
     /// The block has a replica on the executing machine.
     NodeLocal,
@@ -140,7 +140,11 @@ impl BlockPlacer {
                 .filter(|&m| m != first && !fleet.same_rack(m, first))
                 .collect();
             let fallback: Vec<MachineId> = fleet.ids().filter(|&m| m != first).collect();
-            let pool = if candidates.is_empty() { &fallback } else { &candidates };
+            let pool = if candidates.is_empty() {
+                &fallback
+            } else {
+                &candidates
+            };
             if !pool.is_empty() {
                 let pick = pool[rng.uniform_u64(0, pool.len() as u64 - 1) as usize];
                 replicas.push(pick);
@@ -155,9 +159,12 @@ impl BlockPlacer {
                 .ids()
                 .filter(|&m| !replicas.contains(&m) && fleet.same_rack(m, anchor))
                 .collect();
-            let any: Vec<MachineId> =
-                fleet.ids().filter(|&m| !replicas.contains(&m)).collect();
-            let pool = if same_rack.is_empty() { &any } else { &same_rack };
+            let any: Vec<MachineId> = fleet.ids().filter(|&m| !replicas.contains(&m)).collect();
+            let pool = if same_rack.is_empty() {
+                &any
+            } else {
+                &same_rack
+            };
             if pool.is_empty() {
                 break;
             }
@@ -176,11 +183,7 @@ pub fn locality(fleet: &Fleet, block: &Block, machine: MachineId) -> Locality {
     if block.replicas.contains(&machine) {
         return Locality::NodeLocal;
     }
-    if block
-        .replicas
-        .iter()
-        .any(|&r| fleet.same_rack(r, machine))
-    {
+    if block.replicas.iter().any(|&r| fleet.same_rack(r, machine)) {
         return Locality::RackLocal;
     }
     Locality::Remote
@@ -287,8 +290,7 @@ mod tests {
     #[test]
     fn read_cost_ordering() {
         assert!(
-            Locality::NodeLocal.read_cost_multiplier()
-                < Locality::RackLocal.read_cost_multiplier()
+            Locality::NodeLocal.read_cost_multiplier() < Locality::RackLocal.read_cost_multiplier()
         );
         assert!(
             Locality::RackLocal.read_cost_multiplier() < Locality::Remote.read_cost_multiplier()

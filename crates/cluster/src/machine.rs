@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 
 use crate::{ClusterError, EnergyMeter, MachineProfile};
@@ -11,9 +10,8 @@ use crate::{ClusterError, EnergyMeter, MachineProfile};
 ///
 /// Machine ids are dense indices assigned by the fleet builder, so they can
 /// be used directly to index per-machine vectors (pheromone rows, metrics).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineId(pub usize);
 
 impl MachineId {
@@ -30,7 +28,8 @@ impl fmt::Display for MachineId {
 }
 
 /// The two slot kinds of Hadoop 1.x TaskTrackers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SlotKind {
     /// A map slot.
     Map,
@@ -55,7 +54,8 @@ impl fmt::Display for SlotKind {
 }
 
 /// A point-in-time view of a machine's slot occupancy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SlotSnapshot {
     /// Free map slots.
     pub free_map: usize,
@@ -147,8 +147,7 @@ impl Machine {
         if span <= 0.0 {
             return self.utilization();
         }
-        let pending = self.utilization()
-            * now.saturating_since(self.util_last_time).as_secs_f64();
+        let pending = self.utilization() * now.saturating_since(self.util_last_time).as_secs_f64();
         ((self.util_time_product + pending) / span).clamp(0.0, 1.0)
     }
 
@@ -316,7 +315,8 @@ mod tests {
         assert!(m.has_free_slot(SlotKind::Reduce));
         let err = m.occupy(SimTime::ZERO, SlotKind::Map, 1.0).unwrap_err();
         assert!(matches!(err, ClusterError::NoFreeSlot { kind: "map", .. }));
-        m.release(SimTime::from_secs(1), SlotKind::Map, 1.0).unwrap();
+        m.release(SimTime::from_secs(1), SlotKind::Map, 1.0)
+            .unwrap();
         assert_eq!(m.slots().free_map, 1);
         assert_eq!(m.slots().used_map, 3);
     }
@@ -350,7 +350,8 @@ mod tests {
     fn energy_integrates_over_occupancy() {
         let mut m = machine();
         m.occupy(SimTime::ZERO, SlotKind::Map, 8.0).unwrap(); // util 1.0
-        m.release(SimTime::from_secs(10), SlotKind::Map, 8.0).unwrap();
+        m.release(SimTime::from_secs(10), SlotKind::Map, 8.0)
+            .unwrap();
         m.sync(SimTime::from_secs(20));
         // 10 s at full power (160 W) + 10 s idle (40 W).
         assert!((m.meter().total_joules() - (1600.0 + 400.0)).abs() < 1e-9);
@@ -360,7 +361,8 @@ mod tests {
     fn mean_utilization_time_weighted() {
         let mut m = machine();
         m.occupy(SimTime::ZERO, SlotKind::Map, 8.0).unwrap(); // util 1.0
-        m.release(SimTime::from_secs(10), SlotKind::Map, 8.0).unwrap();
+        m.release(SimTime::from_secs(10), SlotKind::Map, 8.0)
+            .unwrap();
         // 10 s at 1.0, then 30 s at 0.0 → mean 0.25.
         let mean = m.mean_utilization(SimTime::from_secs(40));
         assert!((mean - 0.25).abs() < 1e-9, "mean = {mean}");
@@ -384,7 +386,8 @@ mod tests {
         // 10 s at 40 W + 100 s at 2 W + 10 s at 40 W.
         assert!((m.meter().total_joules() - (400.0 + 200.0 + 400.0)).abs() < 1e-9);
         // A woken machine accepts work again.
-        m.occupy(SimTime::from_secs(120), SlotKind::Map, 1.0).unwrap();
+        m.occupy(SimTime::from_secs(120), SlotKind::Map, 1.0)
+            .unwrap();
         assert_eq!(m.slots().used_map, 1);
     }
 

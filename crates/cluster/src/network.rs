@@ -6,8 +6,6 @@
 //! transfers against per-machine NIC capacity with processor-sharing
 //! contention: `effective bandwidth = NIC / concurrent transfers`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::MachineId;
 
 /// Gigabit Ethernet payload bandwidth in MB/s (the paper's interconnect,
@@ -35,7 +33,8 @@ pub const GIGABIT_MBPS: f64 = 110.0;
 /// // Two active transfers share the NIC: a third would see a 3-way split.
 /// assert_eq!(net.transfer_seconds(m, 110.0), 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Network {
     nic_mbps: f64,
     active: Vec<u32>,

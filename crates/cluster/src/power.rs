@@ -1,6 +1,5 @@
 //! Linear CPU power model and ground-truth energy metering.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 
 /// The linear CPU power model used throughout the paper:
@@ -25,7 +24,8 @@ use simcore::SimTime;
 /// // Eq. 2 divides idle power across slots: each of 6 slots carries 1/6th.
 /// assert!((xeon.idle_share_per_slot(6) - 95.0 / 6.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerModel {
     idle_watts: f64,
     alpha_watts: f64,
@@ -188,7 +188,10 @@ impl EnergyMeter {
     /// Panics if `watts` is negative or non-finite.
     pub fn set_standby(&mut self, standby: Option<f64>) {
         if let Some(w) = standby {
-            assert!(w.is_finite() && w >= 0.0, "standby power must be non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "standby power must be non-negative"
+            );
         }
         self.standby_watts = standby;
     }

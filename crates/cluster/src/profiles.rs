@@ -19,8 +19,6 @@
 //!
 //! Per-core speed is normalized to the desktop's 3.4 GHz i7 core (= 1.0).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{ClusterError, PowerModel};
 
 /// A hardware generation: capacity, speed and power characteristics shared by
@@ -41,7 +39,8 @@ use crate::{ClusterError, PowerModel};
 /// assert_eq!(custom.map_slots(), 6);
 /// # Ok::<(), cluster::ClusterError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineProfile {
     name: String,
     cores: usize,
@@ -75,7 +74,9 @@ impl MachineProfile {
     ) -> Result<Self, ClusterError> {
         let name = name.into();
         if name.is_empty() {
-            return Err(ClusterError::InvalidProfile("name must not be empty".into()));
+            return Err(ClusterError::InvalidProfile(
+                "name must not be empty".into(),
+            ));
         }
         if cores == 0 {
             return Err(ClusterError::InvalidProfile(format!(

@@ -2,15 +2,14 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use cluster::MachineId;
 use workload::JobId;
 
 use crate::ExchangeStrategy;
 
 /// One completed task's energy estimate, as recorded by the analyzer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskEnergyRecord {
     /// The owning job (colony).
     pub job: JobId,
@@ -25,7 +24,8 @@ pub struct TaskEnergyRecord {
 /// The analyzer's per-interval output: summed pheromone deposits per
 /// (job, machine) path, ready for
 /// [`PheromoneTable::apply_deposits`](crate::PheromoneTable::apply_deposits).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalFeedback {
     /// `deposits[j][m] = Σ_n Δτ_n(j, m)` after exchange averaging.
     pub deposits: BTreeMap<JobId, Vec<f64>>,

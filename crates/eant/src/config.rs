@@ -1,13 +1,12 @@
 //! E-Ant tuning parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Which information-exchange strategies (§IV-D) are active.
 ///
 /// Exchange averages pheromone updates across homogeneous machine groups
 /// and/or homogeneous job groups to make energy-efficiency judgments robust
 /// to transient system noise. Fig. 10 evaluates all four combinations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ExchangeStrategy {
     /// No exchange: every (job, machine) path learns only from its own
     /// tasks.
@@ -24,7 +23,10 @@ pub enum ExchangeStrategy {
 impl ExchangeStrategy {
     /// Whether machine-level averaging is active.
     pub fn machine_level(self) -> bool {
-        matches!(self, ExchangeStrategy::MachineLevel | ExchangeStrategy::Both)
+        matches!(
+            self,
+            ExchangeStrategy::MachineLevel | ExchangeStrategy::Both
+        )
     }
 
     /// Whether job-level averaging is active.
@@ -61,7 +63,8 @@ impl ExchangeStrategy {
 /// };
 /// cfg.validate();
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EAntConfig {
     /// Pheromone evaporation coefficient ρ ∈ (0, 1] (Eq. 4).
     pub rho: f64,
@@ -127,11 +130,11 @@ impl EAntConfig {
     /// Panics if ρ ∉ (0, 1], β < 0, the τ bounds are not ordered
     /// `0 < tau_min ≤ tau_init ≤ tau_max`, or `local_boost < 1`.
     pub fn validate(&self) {
+        assert!(self.rho > 0.0 && self.rho <= 1.0, "rho must be in (0, 1]");
         assert!(
-            self.rho > 0.0 && self.rho <= 1.0,
-            "rho must be in (0, 1]"
+            self.beta >= 0.0 && self.beta.is_finite(),
+            "beta must be >= 0"
         );
-        assert!(self.beta >= 0.0 && self.beta.is_finite(), "beta must be >= 0");
         assert!(
             self.tau_min > 0.0 && self.tau_min <= self.tau_init && self.tau_init <= self.tau_max,
             "tau bounds must satisfy 0 < tau_min <= tau_init <= tau_max"
@@ -179,14 +182,8 @@ mod tests {
     fn share_cap_scales_inversely_with_beta() {
         let base = EAntConfig::paper_default();
         assert!((base.effective_share_cap() - base.share_cap * 0.2 / base.beta).abs() < 1e-12);
-        let tight = EAntConfig {
-            beta: 0.4,
-            ..base
-        };
-        let loose = EAntConfig {
-            beta: 0.1,
-            ..base
-        };
+        let tight = EAntConfig { beta: 0.4, ..base };
+        let loose = EAntConfig { beta: 0.1, ..base };
         assert!(tight.effective_share_cap() < base.effective_share_cap());
         assert!(loose.effective_share_cap() > base.effective_share_cap());
         let off = EAntConfig { beta: 0.0, ..base };

@@ -1,6 +1,5 @@
 //! The Eq. 2 task-level energy model.
 
-use serde::{Deserialize, Serialize};
 use simcore::stats::least_squares;
 
 use cluster::MachineProfile;
@@ -28,7 +27,8 @@ use hadoop_sim::TaskReport;
 /// assert!((model.idle_share_watts() - 40.0 / 6.0).abs() < 1e-12);
 /// assert_eq!(model.alpha_watts(), 120.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnergyModel {
     idle_watts: f64,
     alpha_watts: f64,

@@ -92,7 +92,7 @@ impl OfflineInstance {
                     row.len()
                 ));
             }
-            if row.iter().any(|&e| !(e > 0.0) || !e.is_finite()) {
+            if row.iter().any(|&e| !e.is_finite() || e <= 0.0) {
                 return Err(format!("task {t} has a non-positive energy"));
             }
         }
@@ -201,13 +201,13 @@ impl OfflineInstance {
             for _ in 0..params.ants.max(1) {
                 let mut remaining = self.slots.clone();
                 let mut tour = Vec::with_capacity(tasks);
-                for t in 0..tasks {
+                for (tau_row, energy_row) in tau.iter().zip(&self.energy) {
                     let weights: Vec<f64> = (0..machines)
                         .map(|m| {
                             if remaining[m] == 0 {
                                 0.0
                             } else {
-                                tau[t][m] * (1.0 / self.energy[t][m]).powf(params.beta)
+                                tau_row[m] * (1.0 / energy_row[m]).powf(params.beta)
                             }
                         })
                         .collect();
@@ -216,7 +216,7 @@ impl OfflineInstance {
                     tour.push(m);
                 }
                 let cost = self.total_energy(&tour).expect("tour is feasible");
-                if iter_best.as_ref().map_or(true, |(c, _)| cost < *c) {
+                if iter_best.as_ref().is_none_or(|(c, _)| cost < *c) {
                     iter_best = Some((cost, tour));
                 }
             }
@@ -231,7 +231,7 @@ impl OfflineInstance {
             for (t, &m) in tour.iter().enumerate() {
                 tau[t][m] += params.rho * deposit * self.tasks() as f64;
             }
-            if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
                 best = Some((cost, tour));
             }
         }
@@ -307,9 +307,7 @@ mod tests {
             })
             .collect();
         let inst = OfflineInstance::new(energy, vec![10, 10, 10, 10]).unwrap();
-        let random_cost = inst
-            .total_energy(&inst.solve_random(&mut rng))
-            .unwrap();
+        let random_cost = inst.total_energy(&inst.solve_random(&mut rng)).unwrap();
         let aco_cost = inst
             .total_energy(&inst.solve_aco(&AcoParams::default(), &mut rng))
             .unwrap();
@@ -338,8 +336,7 @@ mod tests {
     #[test]
     fn tight_capacity_instances_solve() {
         // Exactly as many slots as tasks, all on one machine.
-        let inst =
-            OfflineInstance::new(vec![vec![2.0], vec![3.0]], vec![2]).unwrap();
+        let inst = OfflineInstance::new(vec![vec![2.0], vec![3.0]], vec![2]).unwrap();
         let mut rng = SimRng::seed_from(1);
         assert_eq!(inst.solve_greedy(), vec![0, 0]);
         assert_eq!(inst.solve_aco(&AcoParams::default(), &mut rng), vec![0, 0]);

@@ -2,8 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use cluster::MachineId;
 use workload::JobId;
 
@@ -37,7 +35,8 @@ use workload::JobId;
 /// assert!((tau_a - 1.666).abs() < 0.01);
 /// assert!((tau_b - 0.888).abs() < 0.01);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PheromoneTable {
     machines: usize,
     tau_init: f64,

@@ -9,8 +9,8 @@ use cluster::{MachineId, SlotKind};
 use hadoop_sim::{ClusterQuery, Scheduler, TaskReport};
 use workload::{JobId, JobSpec};
 
-use crate::{EAntConfig, EnergyModel, PheromoneTable, TaskAnalyzer, TaskEnergyRecord};
 use crate::heuristic::weight_factor;
+use crate::{EAntConfig, EnergyModel, PheromoneTable, TaskAnalyzer, TaskEnergyRecord};
 
 /// E-Ant's adaptive task assigner (§III–§IV).
 ///
@@ -397,10 +397,7 @@ mod tests {
     fn share_cap_excludes_hogs_when_others_wait() {
         // Twenty active jobs → fair share 4.8 slots, β-scaled cap ≈ 14.4.
         // Job 0 hogs 90 slots; only jobs 0 and 1 have pending maps.
-        let mut jobs = vec![
-            MockQuery::summary(0, 5, 90),
-            MockQuery::summary(1, 5, 0),
-        ];
+        let mut jobs = vec![MockQuery::summary(0, 5, 90), MockQuery::summary(1, 5, 0)];
         for id in 2..20 {
             jobs.push(MockQuery::summary(id, 0, 0));
         }

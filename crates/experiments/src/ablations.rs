@@ -58,7 +58,10 @@ pub fn run(fast: bool) -> String {
         ),
         (
             "no heuristic (beta = 0: locality + fairness off)",
-            EAntConfig { beta: 0.0, ..default },
+            EAntConfig {
+                beta: 0.0,
+                ..default
+            },
         ),
         (
             "no share cap",
@@ -69,11 +72,17 @@ pub fn run(fast: bool) -> String {
         ),
         (
             "slow evaporation (rho = 0.1)",
-            EAntConfig { rho: 0.1, ..default },
+            EAntConfig {
+                rho: 0.1,
+                ..default
+            },
         ),
         (
             "full evaporation (rho = 1.0)",
-            EAntConfig { rho: 1.0, ..default },
+            EAntConfig {
+                rho: 1.0,
+                ..default
+            },
         ),
         (
             "tight tau bounds (ratio 50)",

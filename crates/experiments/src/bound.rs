@@ -54,8 +54,7 @@ pub fn run(fast: bool) -> String {
     let capacities: Vec<usize> = fleet
         .iter()
         .map(|m| {
-            (tasks as f64 * m.profile().map_slots() as f64 / total_slots as f64).ceil() as usize
-                + 1
+            (tasks as f64 * m.profile().map_slots() as f64 / total_slots as f64).ceil() as usize + 1
         })
         .collect();
     let energy: Vec<Vec<f64>> = (0..tasks)
@@ -72,13 +71,16 @@ pub fn run(fast: bool) -> String {
     let mut rng = SimRng::seed_from(77);
     let random_cost = instance
         .total_energy(&instance.solve_random(&mut rng))
-        .expect("feasible") / 1000.0;
+        .expect("feasible")
+        / 1000.0;
     let greedy_cost = instance
         .total_energy(&instance.solve_greedy())
-        .expect("feasible") / 1000.0;
+        .expect("feasible")
+        / 1000.0;
     let aco_cost = instance
         .total_energy(&instance.solve_aco(&AcoParams::default(), &mut rng))
-        .expect("feasible") / 1000.0;
+        .expect("feasible")
+        / 1000.0;
 
     // E-Ant online: run the same workload, score its placement with the
     // same predicted energies.
@@ -108,9 +110,8 @@ pub fn run(fast: bool) -> String {
                 .iter()
                 .find(|k| k.as_str() == bench_name)
                 .expect("known benchmark");
-            online_cost += predicted_map_energy(&Benchmark::of(*kind), &profile)
-                * *count as f64
-                / 1000.0;
+            online_cost +=
+                predicted_map_energy(&Benchmark::of(*kind), &profile) * *count as f64 / 1000.0;
         }
     }
 

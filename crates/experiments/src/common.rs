@@ -1,6 +1,7 @@
 //! Shared experiment machinery: scheduler factory, MSD scenarios, runs.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use baselines::{FairScheduler, FifoScheduler, TarazuScheduler};
@@ -120,25 +121,84 @@ impl Scenario {
     }
 }
 
-/// Runs independent closures concurrently on OS threads (one per item)
+/// Default worker count for [`parallel_runs`]: the machine's available
+/// parallelism, overridable via the `EANT_THREADS` environment variable
+/// (useful for benchmarking scaling and for forcing single-threaded runs).
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("EANT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs independent closures concurrently on a bounded pool of OS threads
 /// and returns their results in order. Simulation runs are CPU-bound and
-/// independent, so seed sweeps scale nearly linearly.
+/// independent, so seed sweeps scale nearly linearly up to the core count.
 pub fn parallel_runs<T, F>(tasks: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = tasks
-            .into_iter()
-            .map(|task| scope.spawn(move |_| task()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation thread panicked"))
-            .collect()
-    })
-    .expect("thread scope")
+    parallel_runs_with_workers(default_workers(), tasks)
+}
+
+/// Runs independent closures on exactly `workers` scoped OS threads.
+///
+/// Results are returned in task order and are **identical for every worker
+/// count**: each closure owns its state (per-run RNG streams are derived
+/// from the run's own seed, never from a shared generator), so the only
+/// thing the pool decides is *when* a task runs, never *what* it computes.
+/// The determinism suite (`tests/determinism.rs`) locks this in by
+/// comparing serialized results across worker counts.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or any task panics.
+pub fn parallel_runs_with_workers<T, F>(workers: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    assert!(workers > 0, "need at least one worker");
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Each slot hands exactly one task to exactly one worker: workers claim
+    // indices from a shared counter, so no task is ever run twice and the
+    // result lands in its input position.
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i]
+                    .lock()
+                    .expect("task slot lock")
+                    .take()
+                    .expect("task already taken");
+                let out = task();
+                *results[i].lock().expect("result slot lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot lock")
+                .expect("simulation thread panicked")
+        })
+        .collect()
 }
 
 /// Merges several same-fleet runs of one scheduler into a single result

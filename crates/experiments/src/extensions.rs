@@ -32,8 +32,8 @@ fn bursty_jobs(seed: u64, fast: bool) -> Vec<JobSpec> {
         .enumerate()
         .map(|(i, spec)| {
             let burst = (i % 3) as u64;
-            let offset = SimDuration::from_mins(20 * burst)
-                + SimDuration::from_secs(10 * (i as u64 / 3));
+            let offset =
+                SimDuration::from_mins(20 * burst) + SimDuration::from_secs(10 * (i as u64 / 3));
             JobSpec::new(
                 spec.id(),
                 spec.benchmark().clone(),
@@ -103,7 +103,13 @@ pub fn speculation(fast: bool) -> String {
     ];
     let mut t = Table::new(
         "Extension — speculative execution under straggler noise (E-Ant)",
-        &["policy", "makespan (min)", "energy (kJ)", "backups", "wasted"],
+        &[
+            "policy",
+            "makespan (min)",
+            "energy (kJ)",
+            "backups",
+            "wasted",
+        ],
     );
     for (name, policy) in policies {
         let mut makespan = 0.0;
@@ -165,7 +171,12 @@ pub fn dvfs(fast: bool) -> String {
     let seeds: &[u64] = if fast { &[1, 2] } else { &[1, 2, 3, 4, 5, 6] };
     let mut t = Table::new(
         "Extension — DVFS under the Fair Scheduler (eco frequency 0.7 below 20% utilization)",
-        &["load regime", "configuration", "energy (kJ)", "makespan (min)"],
+        &[
+            "load regime",
+            "configuration",
+            "energy (kJ)",
+            "makespan (min)",
+        ],
     );
     for (regime, num_jobs, window_mins) in [
         ("light", if fast { 6 } else { 10 }, 20u64),
@@ -241,6 +252,9 @@ mod tests {
             .find(|l| l.starts_with("additional saving"))
             .and_then(|l| l.split(&[' ', '%'][..]).nth(4)?.parse().ok())
             .expect("saving line parses");
-        assert!(saving > 5.0, "expected real consolidation savings, got {saving}%:\n{s}");
+        assert!(
+            saving > 5.0,
+            "expected real consolidation savings, got {saving}%:\n{s}"
+        );
     }
 }

@@ -33,11 +33,7 @@ pub fn fig1a(fast: bool) -> String {
         ] {
             let cfg = SingleNodeConfig {
                 horizon: horizon(fast),
-                ..SingleNodeConfig::new(
-                    profile.with_capacity_slots(),
-                    Benchmark::wordcount(),
-                    rate,
-                )
+                ..SingleNodeConfig::new(profile.with_capacity_slots(), Benchmark::wordcount(), rate)
             };
             out.push(single_run(&cfg).throughput_per_watt() * 1000.0);
         }
@@ -70,7 +66,13 @@ pub fn fig1a(fast: bool) -> String {
 pub fn fig1b(fast: bool) -> String {
     let mut t = Table::new(
         "Fig. 1(b) — power consumption breakdown (Wordcount)",
-        &["scenario", "machine", "idle system (W)", "workload (W)", "total (W)"],
+        &[
+            "scenario",
+            "machine",
+            "idle system (W)",
+            "workload (W)",
+            "total (W)",
+        ],
     );
     for (label, rate) in [("light (10/min)", 10.0), ("heavy (20/min)", 20.0)] {
         for profile in [profiles::desktop(), profiles::xeon_e5()] {
@@ -147,7 +149,10 @@ pub fn fig1d(fast: bool) -> String {
         &["benchmark", "map", "shuffle", "reduce"],
     );
     for kind in BenchmarkKind::ALL {
-        let fleet = Fleet::builder().add(profiles::xeon_e5(), 4).build().unwrap();
+        let fleet = Fleet::builder()
+            .add(profiles::xeon_e5(), 4)
+            .build()
+            .unwrap();
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
             record_reports: true,
@@ -166,8 +171,8 @@ pub fn fig1d(fast: bool) -> String {
         // fetch-side disk I/O (merge spills); attribute the reduce's I/O
         // share accordingly, leaving the compute share as "reduce".
         let bench = Benchmark::of(kind);
-        let io_share = bench.reduce_io_per_mb()
-            / (bench.reduce_io_per_mb() + bench.reduce_cpu_per_mb());
+        let io_share =
+            bench.reduce_io_per_mb() / (bench.reduce_io_per_mb() + bench.reduce_cpu_per_mb());
         let mut map_secs = 0.0;
         let mut shuffle_secs = 0.0;
         let mut reduce_secs = 0.0;
@@ -185,11 +190,7 @@ pub fn fig1d(fast: bool) -> String {
         let total = (map_secs + shuffle_secs + reduce_secs).max(1e-9);
         t.num_row(
             kind.as_str(),
-            &[
-                map_secs / total,
-                shuffle_secs / total,
-                reduce_secs / total,
-            ],
+            &[map_secs / total, shuffle_secs / total, reduce_secs / total],
             3,
         );
     }

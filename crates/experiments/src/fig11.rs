@@ -90,7 +90,11 @@ fn fleet_with_homogeneity(k: usize) -> Fleet {
 /// Fig. 11(a): convergence time vs number of homogeneous (Desktop)
 /// machines in a fixed-size (8-node) cluster.
 pub fn fig11a(fast: bool) -> String {
-    let seeds: &[u64] = if fast { &[1, 2, 3] } else { &[1, 2, 3, 4, 5, 6, 7, 8] };
+    let seeds: &[u64] = if fast {
+        &[1, 2, 3]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
     let maps = if fast { 1200 } else { 3000 };
     let mut t = Table::new(
         "Fig. 11(a) — convergence time vs homogeneous machines",
@@ -114,7 +118,11 @@ pub fn fig11a(fast: bool) -> String {
 /// Fig. 11(b): convergence time vs number of homogeneous (identical Grep)
 /// jobs sharing the cluster.
 pub fn fig11b(fast: bool) -> String {
-    let seeds: &[u64] = if fast { &[1, 2, 3] } else { &[1, 2, 3, 4, 5, 6, 7, 8] };
+    let seeds: &[u64] = if fast {
+        &[1, 2, 3]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
     let maps = if fast { 150 } else { 300 };
     let mut t = Table::new(
         "Fig. 11(b) — convergence time vs homogeneous jobs",
@@ -123,19 +131,17 @@ pub fn fig11b(fast: bool) -> String {
     for n in [10usize, 20, 30, 40] {
         let jobs: Vec<JobSpec> = (0..n)
             .map(|i| {
-                JobSpec::new(
-                    JobId(i as u64),
-                    Benchmark::grep(),
-                    maps,
-                    4,
-                    SimTime::ZERO,
-                )
-                .with_size_class(workload::SizeClass::Small)
+                JobSpec::new(JobId(i as u64), Benchmark::grep(), maps, 4, SimTime::ZERO)
+                    .with_size_class(workload::SizeClass::Small)
             })
             .collect();
         t.num_row(
             &n.to_string(),
-            &[convergence_for_fleet(Fleet::paper_evaluation(), jobs, seeds)],
+            &[convergence_for_fleet(
+                Fleet::paper_evaluation(),
+                jobs,
+                seeds,
+            )],
             1,
         );
     }

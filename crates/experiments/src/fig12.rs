@@ -38,20 +38,18 @@ pub fn fig12a(fast: bool) -> String {
         let baseline = scenario.run(&SchedulerKind::Fifo);
         let fair = scenario.run(&SchedulerKind::Fair);
         let standalone = standalone_times(&scenario);
-        let fair_fairness = inverse_slowdown_variance(&slowdowns(
-            &actual_completions(&fair),
-            &standalone,
-        ))
-        .unwrap_or(1.0)
-        .max(1e-9);
+        let fair_fairness =
+            inverse_slowdown_variance(&slowdowns(&actual_completions(&fair), &standalone))
+                .unwrap_or(1.0)
+                .max(1e-9);
         for (i, &beta) in betas.iter().enumerate() {
             let cfg = EAntConfig {
                 beta,
                 ..EAntConfig::paper_default()
             };
             let run = scenario.run(&SchedulerKind::EAnt(cfg));
-            savings[i] += kj(baseline.total_energy_joules() - run.total_energy_joules())
-                / seeds.len() as f64;
+            savings[i] +=
+                kj(baseline.total_energy_joules() - run.total_energy_joules()) / seeds.len() as f64;
             let slow = slowdowns(&actual_completions(&run), &standalone);
             let fairness = inverse_slowdown_variance(&slow).unwrap_or(0.0);
             fairnesses[i] += (fairness / fair_fairness) / seeds.len() as f64;
@@ -87,8 +85,8 @@ pub fn fig12b(fast: bool) -> String {
                 ..s.engine
             };
             let run = s.run(&SchedulerKind::EAnt(EAntConfig::paper_default()));
-            savings[i] += kj(baseline.total_energy_joules() - run.total_energy_joules())
-                / seeds.len() as f64;
+            savings[i] +=
+                kj(baseline.total_energy_joules() - run.total_energy_joules()) / seeds.len() as f64;
         }
     }
     let mut t = Table::new(

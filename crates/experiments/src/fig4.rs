@@ -128,7 +128,12 @@ mod tests {
 
     #[test]
     fn estimates_track_recorded_energy() {
-        let acc = measure(cluster::profiles::desktop(), BenchmarkKind::Wordcount, 48, 3);
+        let acc = measure(
+            cluster::profiles::desktop(),
+            BenchmarkKind::Wordcount,
+            48,
+            3,
+        );
         assert!(acc.recorded_kj > 0.0);
         assert!(acc.estimated_kj > 0.0);
         // The estimate must track the meter closely (the paper's NRMSE is

@@ -41,7 +41,13 @@ fn completion_minutes(local_pct: f64, maps: u32, seed: u64) -> f64 {
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(fleet, cfg, seed);
-    let spec = JobSpec::new(JobId(0), Benchmark::wordcount(), maps, maps / 8, SimTime::ZERO);
+    let spec = JobSpec::new(
+        JobId(0),
+        Benchmark::wordcount(),
+        maps,
+        maps / 8,
+        SimTime::ZERO,
+    );
     let blocks = placement(engine.fleet_ref(), maps, local_pct);
     engine.submit_job_with_blocks(spec, blocks);
     let result = engine.run(&mut GreedyScheduler::new());

@@ -19,7 +19,11 @@ pub fn fig8a(fast: bool) -> String {
         t.num_row(&profile, &cells, 1);
     }
     let totals: Vec<f64> = runs.iter().map(|r| r.total_energy_joules()).collect();
-    t.num_row("TOTAL", &totals.iter().map(|&v| kj(v)).collect::<Vec<_>>(), 1);
+    t.num_row(
+        "TOTAL",
+        &totals.iter().map(|&v| kj(v)).collect::<Vec<_>>(),
+        1,
+    );
     let mut out = t.render();
     let vs_fair = percent_saving(totals[0], totals[2]).unwrap_or(f64::NAN);
     let vs_tarazu = percent_saving(totals[1], totals[2]).unwrap_or(f64::NAN);

@@ -22,7 +22,13 @@ pub fn fig9a(fast: bool) -> String {
     let by_pb = eant.tasks_by_profile_and_benchmark();
     let mut t = Table::new(
         "Fig. 9(a) — E-Ant tasks per machine by workload type",
-        &["machine type", "Wordcount", "Grep", "Terasort", "Wordcount share"],
+        &[
+            "machine type",
+            "Wordcount",
+            "Grep",
+            "Terasort",
+            "Wordcount share",
+        ],
     );
     for profile in PROFILES {
         let count = |bench: &str| {

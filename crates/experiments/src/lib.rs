@@ -41,9 +41,31 @@ pub mod tables;
 /// All experiment ids: the paper's tables/figures in paper order, then the
 /// repository's own ablation and extension studies.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "intro", "fig1a", "fig1b", "fig1c", "fig1d", "fig4", "fig6", "fig7", "table3", "fig8a",
-    "fig8b", "fig8c", "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
-    "ablations", "bound", "ext_powerdown", "ext_speculation", "ext_dvfs",
+    "table1",
+    "intro",
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig1d",
+    "fig4",
+    "fig6",
+    "fig7",
+    "table3",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11a",
+    "fig11b",
+    "fig12a",
+    "fig12b",
+    "ablations",
+    "bound",
+    "ext_powerdown",
+    "ext_speculation",
+    "ext_dvfs",
 ];
 
 /// Runs one experiment by id, returning its report.

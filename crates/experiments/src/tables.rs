@@ -12,7 +12,13 @@ pub fn table1() -> String {
     let mut t = Table::new(
         "Table I / §V-B — machine types in the cluster",
         &[
-            "model", "cores", "mem (GB)", "idle (W)", "alpha (W)", "cpu speed", "io speed",
+            "model",
+            "cores",
+            "mem (GB)",
+            "idle (W)",
+            "alpha (W)",
+            "cpu speed",
+            "io speed",
             "slots (map+red)",
         ],
     );
@@ -46,7 +52,13 @@ pub fn table3(fast: bool) -> String {
             "Table III — MSD workload characteristics ({} jobs, task_scale {})",
             cfg.num_jobs, cfg.task_scale
         ),
-        &["class", "% jobs", "#jobs", "maps (min-max)", "reduces (min-max)"],
+        &[
+            "class",
+            "% jobs",
+            "#jobs",
+            "maps (min-max)",
+            "reduces (min-max)",
+        ],
     );
     for class in [SizeClass::Small, SizeClass::Medium, SizeClass::Large] {
         let members: Vec<_> = jobs
@@ -96,7 +108,10 @@ pub fn intro_anecdote(fast: bool) -> String {
 
     let input_gb = if fast { 6.25 } else { 50.0 };
     let run = |profile: MachineProfile| {
-        let fleet = Fleet::builder().add(profile, 1).build().expect("one machine");
+        let fleet = Fleet::builder()
+            .add(profile, 1)
+            .build()
+            .expect("one machine");
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
             ..EngineConfig::default()
@@ -149,17 +164,17 @@ mod tests {
         // The Atom must be slower AND cheaper — the paper's motivating
         // counter-intuition.
         let s = intro_anecdote(true);
-        let ratios = s
-            .lines()
-            .last()
-            .expect("ratio line");
+        let ratios = s.lines().last().expect("ratio line");
         let nums: Vec<f64> = ratios
             .split(&[' ', 'x', ':'][..])
             .filter_map(|w| w.parse().ok())
             .collect();
         let (time_ratio, energy_ratio) = (nums[0], nums[2]);
         assert!(time_ratio > 1.5, "Atom should be much slower: {time_ratio}");
-        assert!(energy_ratio < 0.95, "Atom should be cheaper: {energy_ratio}");
+        assert!(
+            energy_ratio < 0.95,
+            "Atom should be cheaper: {energy_ratio}"
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Engine and noise configuration.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// Injection parameters for the transient *system noise* of §IV-D: data
@@ -17,7 +16,8 @@ use simcore::SimDuration;
 /// let noisy = NoiseConfig::default();
 /// assert!(noisy.straggler_prob > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseConfig {
     /// Probability that a task straggles (runs slower than its expected
     /// speed on that machine type).
@@ -97,7 +97,8 @@ impl Default for NoiseConfig {
 /// real consolidation conflicts with HDFS replica availability — this model
 /// ignores storage availability, powering machines down only when the
 /// cluster is drained of runnable work.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerDownConfig {
     /// Cluster-wide work drought needed before machines drop to standby.
     pub idle_timeout: SimDuration,
@@ -136,7 +137,8 @@ impl PowerDownConfig {
 /// to a lower frequency when lightly utilized and return to nominal under
 /// load. Service speed scales with the factor; power scales statically with
 /// `0.6 + 0.4·f` and dynamically with `f²`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DvfsConfig {
     /// The eco-mode frequency factor in `(0, 1]`.
     pub eco_factor: f64,
@@ -179,7 +181,8 @@ impl DvfsConfig {
 
 /// Speculative-execution policy (Hadoop's backup tasks; §VII cites LATE,
 /// Zaharia et al. OSDI'08, as the heterogeneity-aware refinement).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SpeculationPolicy {
     /// No backup tasks (the configuration the paper evaluates E-Ant under).
     Off,
@@ -194,7 +197,8 @@ pub enum SpeculationPolicy {
 }
 
 /// Configuration of the Hadoop engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EngineConfig {
     /// TaskTracker heartbeat period. Hadoop's (and the paper's Δt in Eq. 2)
     /// default is 3 s.
@@ -250,7 +254,10 @@ impl EngineConfig {
             self.reduce_slowstart > 0.0 && self.reduce_slowstart <= 1.0,
             "reduce_slowstart must be in (0, 1]"
         );
-        assert!(!self.max_sim_time.is_zero(), "max_sim_time must be positive");
+        assert!(
+            !self.max_sim_time.is_zero(),
+            "max_sim_time must be positive"
+        );
         self.noise.validate();
         if let Some(pd) = &self.power_down {
             pd.validate();

@@ -197,7 +197,10 @@ impl Engine {
                 SimDuration::from_millis(self.config.heartbeat.as_millis() * id.index() as u64 / n);
             queue.schedule(SimTime::ZERO + offset, Event::Heartbeat(id));
         }
-        queue.schedule(SimTime::ZERO + self.config.control_interval, Event::ControlTick);
+        queue.schedule(
+            SimTime::ZERO + self.config.control_interval,
+            Event::ControlTick,
+        );
 
         let deadline = SimTime::ZERO + self.config.max_sim_time;
         let mut drained = true;
@@ -305,9 +308,13 @@ impl Engine {
     /// lightly utilized, back to nominal under load (hysteresis between the
     /// two thresholds).
     fn manage_dvfs(&mut self, machine: MachineId) {
-        let Some(policy) = self.config.dvfs else { return };
+        let Some(policy) = self.config.dvfs else {
+            return;
+        };
         let now = self.now;
-        let Ok(m) = self.fleet.machine_mut(machine) else { return };
+        let Ok(m) = self.fleet.machine_mut(machine) else {
+            return;
+        };
         let util = m.utilization();
         let current = m.dvfs_factor();
         if util < policy.low_utilization && (current - 1.0).abs() < f64::EPSILON {
@@ -357,12 +364,7 @@ impl Engine {
 
     /// Launches at most one speculative copy of a straggling task of `kind`
     /// on `machine`, per the configured policy.
-    fn try_speculate(
-        &mut self,
-        machine: MachineId,
-        kind: SlotKind,
-        queue: &mut EventQueue<Event>,
-    ) {
+    fn try_speculate(&mut self, machine: MachineId, kind: SlotKind, queue: &mut EventQueue<Event>) {
         let has_slot = self
             .fleet
             .machine(machine)
@@ -413,10 +415,8 @@ impl Engine {
             }
             let mean = sum / n as f64;
             let elapsed = self.now.saturating_since(started).as_secs_f64();
-            if elapsed > threshold * mean {
-                if best.map_or(true, |(_, e)| elapsed > e) {
-                    best = Some((task, elapsed));
-                }
+            if elapsed > threshold * mean && best.is_none_or(|(_, e)| elapsed > e) {
+                best = Some((task, elapsed));
             }
         }
         let Some((task, _)) = best else { return };
@@ -427,7 +427,10 @@ impl Engine {
             SlotKind::Map => {
                 let block = self.jobs[ji].blocks[task.task.index as usize].clone();
                 let loc = cluster::hdfs::locality(&self.fleet, &block, machine);
-                (Some(loc), self.jobs[ji].spec.map_demand(&mut self.rng_demand))
+                (
+                    Some(loc),
+                    self.jobs[ji].spec.map_demand(&mut self.rng_demand),
+                )
             }
             SlotKind::Reduce => (None, self.jobs[ji].spec.reduce_demand(&mut self.rng_demand)),
         };
@@ -567,7 +570,11 @@ impl Engine {
             }
             SlotKind::Reduce => {
                 let shuffle = self.network.transfer_seconds(machine, demand.input_mb);
-                (demand.io_secs / prof.io_speed(), shuffle, demand.input_mb > 0.0)
+                (
+                    demand.io_secs / prof.io_speed(),
+                    shuffle,
+                    demand.input_mb > 0.0,
+                )
             }
         };
         let other_secs = io_secs + shuffle_secs;
@@ -630,10 +637,7 @@ impl Engine {
         let won = self.jobs[ji].note_task_completed(self.now, rt.kind, rt.task.task.index);
         if won {
             // Record the completed duration for speculation thresholds.
-            let entry = self
-                .duration_stats
-                .entry((ji, rt.kind))
-                .or_insert((0.0, 0));
+            let entry = self.duration_stats.entry((ji, rt.kind)).or_insert((0.0, 0));
             entry.0 += rt.duration_secs;
             entry.1 += 1;
             // Drop the attempt registry entry; any remaining attempt of
@@ -1037,7 +1041,13 @@ mod tests {
         engine.submit_jobs(vec![
             JobSpec::new(JobId(0), Benchmark::wordcount(), 12, 2, SimTime::ZERO),
             JobSpec::new(JobId(1), Benchmark::grep(), 12, 2, SimTime::from_secs(30)),
-            JobSpec::new(JobId(2), Benchmark::terasort(), 12, 2, SimTime::from_secs(60)),
+            JobSpec::new(
+                JobId(2),
+                Benchmark::terasort(),
+                12,
+                2,
+                SimTime::from_secs(60),
+            ),
         ]);
         let r = engine.run(&mut GreedyScheduler::new());
         assert!(r.drained);
@@ -1164,11 +1174,13 @@ mod tests {
                 4,
                 SimTime::ZERO,
             )]);
-            engine.run(&mut GreedyScheduler::new()).makespan.as_secs_f64()
+            engine
+                .run(&mut GreedyScheduler::new())
+                .makespan
+                .as_secs_f64()
         };
-        let mean = |policy: SpeculationPolicy| {
-            (1u64..=5).map(|s| run(policy, s)).sum::<f64>() / 5.0
-        };
+        let mean =
+            |policy: SpeculationPolicy| (1u64..=5).map(|s| run(policy, s)).sum::<f64>() / 5.0;
         let off = mean(SpeculationPolicy::Off);
         let late = mean(SpeculationPolicy::Late);
         assert!(
@@ -1288,7 +1300,10 @@ mod tests {
             SimTime::ZERO,
         )]);
         let r = engine.run(&mut GreedyScheduler::new());
-        assert!(r.drained, "work must never be stranded by sleeping machines");
+        assert!(
+            r.drained,
+            "work must never be stranded by sleeping machines"
+        );
         assert_eq!(r.total_tasks, 128);
     }
 

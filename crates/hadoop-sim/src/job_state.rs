@@ -2,7 +2,6 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 
 use cluster::hdfs::{locality, Block, Locality};
@@ -10,7 +9,8 @@ use cluster::{Fleet, MachineId, SlotKind};
 use workload::JobSpec;
 
 /// Lifecycle phase of a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum JobPhase {
     /// Submitted; no task has started yet.
     Waiting,
@@ -116,11 +116,7 @@ impl JobState {
 
     /// Removes and returns the pending map task with the best locality on
     /// `machine`, together with its locality level.
-    pub fn take_map_for(
-        &mut self,
-        fleet: &Fleet,
-        machine: MachineId,
-    ) -> Option<(u32, Locality)> {
+    pub fn take_map_for(&mut self, fleet: &Fleet, machine: MachineId) -> Option<(u32, Locality)> {
         if self.pending_maps.is_empty() {
             return None;
         }

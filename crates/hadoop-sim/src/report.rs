@@ -1,7 +1,6 @@
 //! Per-task completion reports — the simulator's `TaskReport` +
 //! `TaskCounter` equivalent.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 use cluster::hdfs::Locality;
@@ -10,7 +9,8 @@ use workload::{JobId, TaskId};
 
 /// One heartbeat-granularity CPU-utilization reading for a task's execution
 /// process, as a TaskTracker would report it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UtilizationSample {
     /// Length of the sampling window in seconds (Δt in Eq. 2; the last
     /// window of a task may be shorter than the heartbeat).
@@ -26,7 +26,8 @@ pub struct UtilizationSample {
 /// This is the feedback channel of the whole system: E-Ant's task analyzer
 /// consumes these reports to estimate per-task energy (Eq. 2) and lay
 /// pheromone (Eq. 4–5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskReport {
     /// The completed task.
     pub task: TaskId,

@@ -2,7 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use simcore::series::TimeSeries;
 use simcore::{SimDuration, SimTime};
 
@@ -12,7 +11,8 @@ use workload::{JobId, SizeClass};
 use crate::{JobPhase, TaskReport};
 
 /// Outcome of one job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobOutcome {
     /// The job id.
     pub id: JobId,
@@ -43,7 +43,8 @@ impl JobOutcome {
 }
 
 /// Outcome of one machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineOutcome {
     /// The machine id.
     pub machine: MachineId,
@@ -74,7 +75,8 @@ impl MachineOutcome {
 
 /// Per-control-interval snapshot used by convergence analysis (Fig. 11) and
 /// the energy-over-time curves (Fig. 10).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalSnapshot {
     /// End time of the interval.
     pub at: SimTime,
@@ -118,7 +120,8 @@ impl IntervalSnapshot {
 }
 
 /// Everything measured over one simulated run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunResult {
     /// Scheduler name the run used.
     pub scheduler: String,
@@ -199,7 +202,9 @@ impl RunResult {
         let mut order: Vec<String> = Vec::new();
         let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
         for j in &self.jobs {
-            let Some(ct) = j.completion_time() else { continue };
+            let Some(ct) = j.completion_time() else {
+                continue;
+            };
             if !sums.contains_key(&j.label) {
                 order.push(j.label.clone());
             }
@@ -245,11 +250,7 @@ impl RunResult {
         for w in self.intervals.windows(2) {
             if let Some(frac) = w[1].revisit_fraction(&w[0], job) {
                 if frac >= threshold {
-                    return self
-                        .intervals
-                        .iter()
-                        .position(|s| std::ptr::eq(s, &w[1]))
-                        .map(|i| i);
+                    return self.intervals.iter().position(|s| std::ptr::eq(s, &w[1]));
                 }
             }
         }
@@ -381,7 +382,11 @@ mod tests {
             benchmark: "Grep".into(),
             size_class: None,
             submitted_at: SimTime::ZERO,
-            phase: if fin.is_some() { JobPhase::Completed } else { JobPhase::Running },
+            phase: if fin.is_some() {
+                JobPhase::Completed
+            } else {
+                JobPhase::Running
+            },
             finished_at: fin.map(SimTime::from_secs),
             total_tasks: 1,
             reference_work_secs: 1.0,

@@ -230,7 +230,11 @@ mod tests {
         let res = run(&cfg(2.0));
         // ~120 arrivals over an hour; service time ≈ 15 s, capacity far
         // higher, so nearly everything drains.
-        assert!(res.completed_tasks >= 100, "completed {}", res.completed_tasks);
+        assert!(
+            res.completed_tasks >= 100,
+            "completed {}",
+            res.completed_tasks
+        );
         assert!(res.backlog < 10);
     }
 

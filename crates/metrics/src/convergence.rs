@@ -90,11 +90,7 @@ mod tests {
     fn detects_convergence_time() {
         // Interval 1: machines {0}; interval 2: {0,1} (50% revisit);
         // interval 3: {0,1} again (100% revisit → stable at 15 min).
-        let run = run_with_intervals(vec![
-            vec![10, 0],
-            vec![5, 5],
-            vec![6, 4],
-        ]);
+        let run = run_with_intervals(vec![vec![10, 0], vec![5, 5], vec![6, 4]]);
         assert_eq!(convergence_minutes(&run, JobId(0)), Some(15.0));
         let (mean, missed) = mean_convergence_minutes(&run);
         assert_eq!(mean, Some(15.0));
@@ -104,12 +100,7 @@ mod tests {
     #[test]
     fn never_stable_returns_none() {
         // Assignment flips machines every interval.
-        let run = run_with_intervals(vec![
-            vec![10, 0],
-            vec![0, 10],
-            vec![10, 0],
-            vec![0, 10],
-        ]);
+        let run = run_with_intervals(vec![vec![10, 0], vec![0, 10], vec![10, 0], vec![0, 10]]);
         assert_eq!(convergence_minutes(&run, JobId(0)), None);
         let (mean, missed) = mean_convergence_minutes(&run);
         assert_eq!(mean, None);

@@ -107,7 +107,10 @@ pub fn energy_series_csv(run: &RunResult) -> String {
     let mut out = String::new();
     write_row(&mut out, &["secs".into(), "cumulative_joules".into()]);
     for (t, e) in run.energy_series.iter() {
-        write_row(&mut out, &[format!("{:.3}", t.as_secs_f64()), format!("{e:.3}")]);
+        write_row(
+            &mut out,
+            &[format!("{:.3}", t.as_secs_f64()), format!("{e:.3}")],
+        );
     }
     out
 }

@@ -1,0 +1,491 @@
+//! Dependency-free JSON serialization of run results.
+//!
+//! The workspace builds hermetically (no external crates in the default
+//! feature set), so report serialization is hand-rolled here instead of
+//! derived through `serde`. Only *emission* is needed — results flow out of
+//! the simulator into files and diffs, never back in — which keeps the
+//! surface small: a [`JsonValue`] tree, a renderer, and [`ToJson`]
+//! implementations for the [`RunResult`] type family.
+//!
+//! The rendering is **canonical**: object keys are emitted in the fixed
+//! order the implementations choose, floats use Rust's shortest
+//! round-trip formatting (identical for identical bits on every platform),
+//! and map-typed fields iterate `BTreeMap`s (sorted keys). Byte-identical
+//! output therefore means semantically identical results, which is what
+//! the determinism suite (`tests/determinism.rs`) and the golden-value
+//! regression tests rely on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cluster::hdfs::Locality;
+use cluster::{MachineId, SlotKind};
+use hadoop_sim::{
+    IntervalSnapshot, JobOutcome, JobPhase, MachineOutcome, RunResult, TaskReport,
+    UtilizationSample,
+};
+use simcore::series::TimeSeries;
+use simcore::{SimDuration, SimTime};
+use workload::{JobId, SizeClass, TaskId};
+
+/// A JSON document tree.
+///
+/// Objects preserve insertion order (they are association lists, not maps),
+/// so emitters control key order and the output is reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, emitted without a decimal point.
+    UInt(u64),
+    /// A finite float, emitted with shortest round-trip formatting.
+    /// Non-finite values render as `null` (JSON has no NaN/Inf).
+    Num(f64),
+    /// A string, escaped per RFC 8259.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object as an ordered association list.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Renders the tree as a compact JSON string (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`JsonValue`] tree.
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> JsonValue;
+}
+
+/// Builds an object from `(key, value)` pairs, preserving order.
+pub fn object(fields: impl IntoIterator<Item = (&'static str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+impl ToJson for SimTime {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::UInt(self.as_millis())
+    }
+}
+
+impl ToJson for SimDuration {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::UInt(self.as_millis())
+    }
+}
+
+impl ToJson for JobId {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::UInt(self.0)
+    }
+}
+
+impl ToJson for MachineId {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::UInt(self.0 as u64)
+    }
+}
+
+impl ToJson for SlotKind {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(
+            match self {
+                SlotKind::Map => "map",
+                SlotKind::Reduce => "reduce",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl ToJson for Locality {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(
+            match self {
+                Locality::NodeLocal => "node_local",
+                Locality::RackLocal => "rack_local",
+                Locality::Remote => "remote",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl ToJson for SizeClass {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(
+            match self {
+                SizeClass::Small => "small",
+                SizeClass::Medium => "medium",
+                SizeClass::Large => "large",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl ToJson for JobPhase {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(
+            match self {
+                JobPhase::Waiting => "waiting",
+                JobPhase::Running => "running",
+                JobPhase::Completed => "completed",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl ToJson for TaskId {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("job", self.job.to_json()),
+            ("kind", self.task.kind.to_json()),
+            ("index", JsonValue::UInt(u64::from(self.task.index))),
+        ])
+    }
+}
+
+impl ToJson for TimeSeries {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("name", JsonValue::Str(self.name().to_owned())),
+            (
+                "samples",
+                JsonValue::Array(
+                    self.iter()
+                        .map(|(t, v)| JsonValue::Array(vec![t.to_json(), JsonValue::Num(v)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for UtilizationSample {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("dt_secs", JsonValue::Num(self.dt_secs)),
+            ("utilization", JsonValue::Num(self.utilization)),
+        ])
+    }
+}
+
+impl ToJson for TaskReport {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("task", self.task.to_json()),
+            ("machine", self.machine.to_json()),
+            ("kind", self.kind.to_json()),
+            ("job_group", JsonValue::Str(self.job_group.clone())),
+            ("started_at", self.started_at.to_json()),
+            ("finished_at", self.finished_at.to_json()),
+            (
+                "locality",
+                self.locality.map_or(JsonValue::Null, |l| l.to_json()),
+            ),
+            (
+                "samples",
+                JsonValue::Array(self.samples.iter().map(ToJson::to_json).collect()),
+            ),
+            ("shuffle_secs", JsonValue::Num(self.shuffle_secs)),
+            (
+                "true_energy_joules",
+                JsonValue::Num(self.true_energy_joules),
+            ),
+            ("straggled", JsonValue::Bool(self.straggled)),
+            ("speculative", JsonValue::Bool(self.speculative)),
+        ])
+    }
+}
+
+impl ToJson for JobOutcome {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("id", self.id.to_json()),
+            ("label", JsonValue::Str(self.label.clone())),
+            ("benchmark", JsonValue::Str(self.benchmark.clone())),
+            (
+                "size_class",
+                self.size_class.map_or(JsonValue::Null, |c| c.to_json()),
+            ),
+            ("submitted_at", self.submitted_at.to_json()),
+            ("phase", self.phase.to_json()),
+            (
+                "finished_at",
+                self.finished_at.map_or(JsonValue::Null, |t| t.to_json()),
+            ),
+            ("total_tasks", JsonValue::UInt(u64::from(self.total_tasks))),
+            (
+                "reference_work_secs",
+                JsonValue::Num(self.reference_work_secs),
+            ),
+        ])
+    }
+}
+
+impl ToJson for MachineOutcome {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("machine", self.machine.to_json()),
+            ("profile", JsonValue::Str(self.profile.clone())),
+            ("energy_joules", JsonValue::Num(self.energy_joules)),
+            ("idle_joules", JsonValue::Num(self.idle_joules)),
+            ("workload_joules", JsonValue::Num(self.workload_joules)),
+            ("mean_utilization", JsonValue::Num(self.mean_utilization)),
+            ("map_tasks", JsonValue::UInt(self.map_tasks)),
+            ("reduce_tasks", JsonValue::UInt(self.reduce_tasks)),
+            (
+                "tasks_by_benchmark",
+                string_map(&self.tasks_by_benchmark, |&n| JsonValue::UInt(n)),
+            ),
+        ])
+    }
+}
+
+impl ToJson for IntervalSnapshot {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("at", self.at.to_json()),
+            (
+                "cumulative_energy_joules",
+                JsonValue::Num(self.cumulative_energy_joules),
+            ),
+            (
+                "assignments",
+                JsonValue::Object(
+                    self.assignments
+                        .iter()
+                        .map(|(job, per_machine)| {
+                            (
+                                job.0.to_string(),
+                                JsonValue::Array(
+                                    per_machine.iter().map(|&n| JsonValue::UInt(n)).collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for RunResult {
+    fn to_json(&self) -> JsonValue {
+        object([
+            ("scheduler", JsonValue::Str(self.scheduler.clone())),
+            ("makespan", self.makespan.to_json()),
+            ("drained", JsonValue::Bool(self.drained)),
+            (
+                "jobs",
+                JsonValue::Array(self.jobs.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "machines",
+                JsonValue::Array(self.machines.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "intervals",
+                JsonValue::Array(self.intervals.iter().map(ToJson::to_json).collect()),
+            ),
+            ("energy_series", self.energy_series.to_json()),
+            (
+                "reports",
+                JsonValue::Array(self.reports.iter().map(ToJson::to_json).collect()),
+            ),
+            ("total_tasks", JsonValue::UInt(self.total_tasks)),
+            (
+                "speculative_attempts",
+                JsonValue::UInt(self.speculative_attempts),
+            ),
+            ("wasted_attempts", JsonValue::UInt(self.wasted_attempts)),
+        ])
+    }
+}
+
+fn string_map<V>(map: &BTreeMap<String, V>, value: impl Fn(&V) -> JsonValue) -> JsonValue {
+    JsonValue::Object(map.iter().map(|(k, v)| (k.clone(), value(v))).collect())
+}
+
+/// Canonical JSON serialization of a full [`RunResult`].
+///
+/// Byte-identical strings ⇔ identical results; this is the comparison key
+/// used by the determinism tests.
+pub fn run_result_json(run: &RunResult) -> String {
+    run.to_json().render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::UInt(42).render(), "42");
+        assert_eq!(JsonValue::Num(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_round_trip() {
+        assert_eq!(JsonValue::Num(0.1).render(), "0.1");
+        assert_eq!(JsonValue::Num(1.0).render(), "1");
+        assert_eq!(JsonValue::Num(1.0 / 3.0).render(), "0.3333333333333333");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\nd".into()).render(),
+            r#""a\"b\\c\nd""#
+        );
+        assert_eq!(JsonValue::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_render_in_order() {
+        let v = object([
+            ("b", JsonValue::UInt(1)),
+            (
+                "a",
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(false)]),
+            ),
+        ]);
+        assert_eq!(v.render(), r#"{"b":1,"a":[null,false]}"#);
+    }
+
+    #[test]
+    fn enums_render_as_strings() {
+        assert_eq!(SlotKind::Map.to_json().render(), r#""map""#);
+        assert_eq!(Locality::RackLocal.to_json().render(), r#""rack_local""#);
+        assert_eq!(SizeClass::Large.to_json().render(), r#""large""#);
+        assert_eq!(JobPhase::Completed.to_json().render(), r#""completed""#);
+    }
+
+    #[test]
+    fn time_series_round_trips_millis() {
+        let mut ts = TimeSeries::new("e");
+        ts.record(SimTime::from_millis(1500), 2.5);
+        assert_eq!(
+            ts.to_json().render(),
+            r#"{"name":"e","samples":[[1500,2.5]]}"#
+        );
+    }
+
+    #[test]
+    fn run_result_serializes_every_field() {
+        let mut series = TimeSeries::new("energy");
+        series.record(SimTime::ZERO, 0.0);
+        let run = RunResult {
+            scheduler: "E-Ant".into(),
+            makespan: SimDuration::from_secs(10),
+            drained: true,
+            jobs: vec![],
+            machines: vec![],
+            intervals: vec![IntervalSnapshot {
+                at: SimTime::from_secs(5),
+                cumulative_energy_joules: 12.5,
+                assignments: [(JobId(3), vec![1, 0, 2])].into_iter().collect(),
+            }],
+            energy_series: series,
+            reports: vec![],
+            total_tasks: 3,
+            speculative_attempts: 0,
+            wasted_attempts: 0,
+        };
+        let json = run_result_json(&run);
+        assert!(json.starts_with(r#"{"scheduler":"E-Ant","makespan":10000,"drained":true"#));
+        assert!(json.contains(r#""assignments":{"3":[1,0,2]}"#));
+        assert!(json.ends_with(r#""total_tasks":3,"speculative_attempts":0,"wasted_attempts":0}"#));
+    }
+
+    #[test]
+    fn identical_results_serialize_identically() {
+        let make = || RunResult {
+            scheduler: "Fair".into(),
+            makespan: SimDuration::from_secs(1),
+            drained: true,
+            jobs: vec![],
+            machines: vec![],
+            intervals: vec![],
+            energy_series: TimeSeries::new("energy"),
+            reports: vec![],
+            total_tasks: 0,
+            speculative_attempts: 0,
+            wasted_attempts: 0,
+        };
+        assert_eq!(run_result_json(&make()), run_result_json(&make()));
+    }
+}

@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn slowdown_ratio() {
-        let s = slowdowns(&map(&[(0, 300.0), (1, 100.0)]), &map(&[(0, 100.0), (1, 100.0)]));
+        let s = slowdowns(
+            &map(&[(0, 300.0), (1, 100.0)]),
+            &map(&[(0, 100.0), (1, 100.0)]),
+        );
         assert_eq!(s[&JobId(0)], 3.0);
         assert_eq!(s[&JobId(1)], 1.0);
     }

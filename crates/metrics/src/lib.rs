@@ -12,12 +12,16 @@
 //! * [`report`] — fixed-width text tables and ASCII series used by the
 //!   experiment binaries to print every figure/table.
 //! * [`csv`] — CSV export of run results for external plotting.
+//! * [`emit`] — dependency-free canonical JSON serialization of
+//!   [`hadoop_sim::RunResult`], the comparison key of the determinism and
+//!   golden-value regression tests.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod convergence;
 pub mod csv;
+pub mod emit;
 pub mod energy;
 pub mod fairness;
 pub mod report;

@@ -1,7 +1,5 @@
 //! Time-series recording for figure generation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{SimDuration, SimTime};
 
 /// An append-only series of `(time, value)` samples.
@@ -23,7 +21,8 @@ use crate::{SimDuration, SimTime};
 /// // Trapezoidal integral over [0, 10] s = (100+140)/2 * 10 = 1200 J.
 /// assert!((ts.integrate() - 1200.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeSeries {
     name: String,
     samples: Vec<(SimTime, f64)>,

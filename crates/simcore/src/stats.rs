@@ -5,8 +5,6 @@
 //! per-job slowdown* (§VI-D). Both live here, alongside a Welford-style
 //! online accumulator used by metrics collection.
 
-use serde::{Deserialize, Serialize};
-
 /// Incremental mean/variance accumulator (Welford's algorithm).
 ///
 /// # Examples
@@ -21,7 +19,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OnlineStats {
     count: u64,
     mean: f64,

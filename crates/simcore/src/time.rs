@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, measured in whole milliseconds since the start
 /// of the simulation.
 ///
@@ -23,9 +21,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_millis(), 90_000);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_secs(90));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in whole milliseconds.
@@ -39,9 +36,8 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_secs_f64(), 300.0);
 /// assert_eq!(d * 2, SimDuration::from_mins(10));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -295,7 +291,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs(3),
             SimTime::ZERO,
             SimTime::from_millis(1),

@@ -5,11 +5,11 @@
 //! figures' x axes). This module provides the Poisson and deterministic
 //! arrival generators behind those experiments.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimRng, SimTime};
 
 /// How inter-arrival gaps are drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ArrivalKind {
     /// Exponential gaps (memoryless Poisson process).
     Poisson,
@@ -32,7 +32,8 @@ pub enum ArrivalKind {
 /// let t2 = arr.next_arrival(&mut rng);
 /// assert_eq!(t2 - t1, SimDuration::from_secs(5));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArrivalProcess {
     rate_per_sec: f64,
     kind: ArrivalKind,

@@ -1,12 +1,12 @@
 //! PUMA benchmark resource-demand profiles.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimRng;
 
 use crate::TaskDemand;
 
 /// The three PUMA applications used throughout the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BenchmarkKind {
     /// `Wordcount`: map-intensive, CPU-bound (paper Fig. 1(d)).
     Wordcount,
@@ -71,7 +71,8 @@ impl std::fmt::Display for BenchmarkKind {
 /// // Terasort shuffles its full input volume.
 /// assert_eq!(ts.map_selectivity(), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Benchmark {
     kind: BenchmarkKind,
     map_cpu_secs: f64,

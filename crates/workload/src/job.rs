@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimRng, SimTime};
 
 use cluster::hdfs::BLOCK_SIZE_MB;
@@ -12,9 +11,8 @@ use crate::Benchmark;
 
 /// Identifier of a submitted job. In the paper's ACO framing, one job is one
 /// ant colony.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobId(pub u64);
 
 impl JobId {
@@ -32,7 +30,8 @@ impl fmt::Display for JobId {
 
 /// Index of a task within its job, split by kind. In the paper's ACO
 /// framing, one task is one ant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskIndex {
     /// Map or reduce.
     pub kind: SlotKind,
@@ -41,7 +40,8 @@ pub struct TaskIndex {
 }
 
 /// Fully-qualified task identifier (`T^j_n` in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskId {
     /// The owning job (colony).
     pub job: JobId,
@@ -56,7 +56,8 @@ impl fmt::Display for TaskId {
 }
 
 /// Sampled resource demand of one task on the reference machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskDemand {
     /// CPU core-seconds at reference speed.
     pub cpu_secs: f64,
@@ -88,7 +89,8 @@ impl TaskDemand {
 }
 
 /// Size classes of the MSD workload (Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SizeClass {
     /// 40 % of jobs; 1–100 GB input.
     Small,
@@ -130,7 +132,8 @@ impl fmt::Display for SizeClass {
 /// // 100 blocks × 64 MB × 0.45 selectivity / 8 reducers of shuffle each:
 /// assert!((job.shuffle_mb_per_reduce() - 100.0 * 64.0 * 0.45 / 8.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobSpec {
     id: JobId,
     benchmark: Benchmark,
@@ -249,15 +252,14 @@ impl JobSpec {
         if self.num_reduces == 0 {
             return 0.0;
         }
-        let map_output = self.num_maps as f64 * BLOCK_SIZE_MB as f64
-            * self.benchmark.map_selectivity();
+        let map_output =
+            self.num_maps as f64 * BLOCK_SIZE_MB as f64 * self.benchmark.map_selectivity();
         map_output / self.num_reduces as f64
     }
 
     /// Samples the demand of one of this job's map tasks.
     pub fn map_demand(&self, rng: &mut SimRng) -> TaskDemand {
-        self.benchmark
-            .sample_map_demand(BLOCK_SIZE_MB as f64, rng)
+        self.benchmark.sample_map_demand(BLOCK_SIZE_MB as f64, rng)
     }
 
     /// Samples the demand of one of this job's reduce tasks.
@@ -270,8 +272,8 @@ impl JobSpec {
     /// used to compute standalone completion times for slowdown/fairness
     /// metrics.
     pub fn reference_work_secs(&self) -> f64 {
-        let map = self.num_maps as f64
-            * (self.benchmark.map_cpu_secs() + self.benchmark.map_io_secs());
+        let map =
+            self.num_maps as f64 * (self.benchmark.map_cpu_secs() + self.benchmark.map_io_secs());
         let per_reduce = self.shuffle_mb_per_reduce()
             * (self.benchmark.reduce_cpu_per_mb() + self.benchmark.reduce_io_per_mb());
         map + self.num_reduces as f64 * per_reduce

@@ -21,7 +21,6 @@
 //! *mix shape* (class ratios, relative job sizes, benchmark rotation) is
 //! preserved; only absolute task counts shrink.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimRng, SimTime};
 
 use crate::{Benchmark, BenchmarkKind, JobId, JobSpec, SizeClass};
@@ -54,7 +53,8 @@ pub const CLASS_WEIGHTS: [(SizeClass, f64); 3] = [
 /// let jobs = MsdConfig::paper_default().generate(&mut SimRng::seed_from(7));
 /// assert_eq!(jobs.len(), 87);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MsdConfig {
     /// Number of jobs to generate (paper: 87).
     pub num_jobs: usize,
@@ -114,10 +114,8 @@ impl MsdConfig {
 
         (0..self.num_jobs)
             .map(|i| {
-                let class = CLASS_WEIGHTS[rng
-                    .weighted_index(&weights)
-                    .expect("weights are positive")]
-                .0;
+                let class =
+                    CLASS_WEIGHTS[rng.weighted_index(&weights).expect("weights are positive")].0;
                 let (lo_gb, hi_gb, lo_red, hi_red) = class_params(class);
                 // Log-uniform input size within the class range.
                 let input_gb = (rng.uniform_range(lo_gb.ln(), hi_gb.ln())).exp();
@@ -146,7 +144,10 @@ mod tests {
     #[test]
     fn generates_requested_count() {
         assert_eq!(paper_jobs(1).len(), 87);
-        assert_eq!(MsdConfig::mini(5).generate(&mut SimRng::seed_from(0)).len(), 5);
+        assert_eq!(
+            MsdConfig::mini(5).generate(&mut SimRng::seed_from(0)).len(),
+            5
+        );
     }
 
     #[test]

@@ -55,8 +55,8 @@ fn main() {
     for &seed in &SEEDS {
         let mut engine = Engine::new(Fleet::paper_evaluation(), EngineConfig::default(), seed);
         engine.submit_jobs(workload(seed));
-        fair_energy += engine.run(&mut FairScheduler::new()).total_energy_joules()
-            / SEEDS.len() as f64;
+        fair_energy +=
+            engine.run(&mut FairScheduler::new()).total_energy_joules() / SEEDS.len() as f64;
     }
     println!(
         "baseline (Fair Scheduler, {}-seed mean): {:.1} kJ\n",

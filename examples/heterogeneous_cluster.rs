@@ -85,5 +85,8 @@ fn main() {
     }
     let saving =
         (fair.total_energy_joules() - eant.total_energy_joules()) / fair.total_energy_joules();
-    println!("\nE-Ant saves {:.1}% vs Fair on this cluster", saving * 100.0);
+    println!(
+        "\nE-Ant saves {:.1}% vs Fair on this cluster",
+        saving * 100.0
+    );
 }

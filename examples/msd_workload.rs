@@ -31,11 +31,7 @@ fn main() {
             .filter(|j| j.size_class() == Some(class))
             .collect();
         let tasks: u32 = members.iter().map(|j| j.num_tasks()).sum();
-        println!(
-            "  {class:?}: {} jobs, {} tasks total",
-            members.len(),
-            tasks
-        );
+        println!("  {class:?}: {} jobs, {} tasks total", members.len(), tasks);
     }
 
     // Run the same workload under each scheduler.

@@ -42,7 +42,10 @@ fn main() {
         result.makespan.as_mins_f64(),
         eant.decisions()
     );
-    println!("total energy: {:.1} kJ", result.total_energy_joules() / 1000.0);
+    println!(
+        "total energy: {:.1} kJ",
+        result.total_energy_joules() / 1000.0
+    );
     println!("\nenergy by machine type:");
     for (profile, joules) in result.energy_by_profile() {
         println!("  {profile:<8} {:>8.1} kJ", joules / 1000.0);

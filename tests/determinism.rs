@@ -1,0 +1,94 @@
+//! Determinism of the experiment sweep layer: the same seed must produce
+//! an *identical* serialized [`RunResult`] regardless of how many worker
+//! threads execute the sweep, and across consecutive runs in one process.
+//!
+//! Identity is checked on the canonical JSON from
+//! [`metrics::emit::run_result_json`], which serializes every field of the
+//! result (per-task reports included when recorded), so any hidden
+//! nondeterminism — iteration-order leaks, shared RNG state, float
+//! accumulation order — shows up as a byte difference.
+//!
+//! [`RunResult`]: hadoop_sim::RunResult
+
+use eant::EAntConfig;
+use experiments::common::{parallel_runs_with_workers, Scenario, SchedulerKind};
+use metrics::emit::run_result_json;
+use simcore::SimDuration;
+use workload::msd::MsdConfig;
+
+/// A deliberately small scenario so the 3-sweep matrix stays fast.
+fn small_scenario(seed: u64) -> Scenario {
+    let mut s = Scenario::fast(seed);
+    s.msd = MsdConfig {
+        num_jobs: 6,
+        task_scale: 32,
+        submission_window: SimDuration::from_mins(4),
+    };
+    s.engine.record_reports = true;
+    s
+}
+
+/// Runs the (scheduler × seed) sweep on `workers` threads and serializes
+/// every result.
+fn sweep(workers: usize) -> Vec<String> {
+    let kinds = [
+        SchedulerKind::Fair,
+        SchedulerKind::Tarazu,
+        SchedulerKind::EAnt(EAntConfig::paper_default()),
+    ];
+    let seeds = [11u64, 29];
+    let tasks: Vec<_> = kinds
+        .iter()
+        .flat_map(|kind| {
+            seeds.iter().map(move |&seed| {
+                let kind = kind.clone();
+                move || small_scenario(seed).run(&kind)
+            })
+        })
+        .collect();
+    parallel_runs_with_workers(workers, tasks)
+        .iter()
+        .map(run_result_json)
+        .collect()
+}
+
+/// One worker and four workers must produce byte-identical results in the
+/// same order: the pool decides only *when* a task runs, never *what* it
+/// computes.
+#[test]
+fn sweep_is_thread_count_invariant() {
+    let single = sweep(1);
+    let multi = sweep(4);
+    assert_eq!(single.len(), multi.len());
+    for (i, (a, b)) in single.iter().zip(&multi).enumerate() {
+        assert_eq!(a, b, "run {i} differs between 1-thread and 4-thread sweeps");
+    }
+}
+
+/// Two consecutive sweeps in one process agree: no global mutable state
+/// leaks between runs.
+#[test]
+fn consecutive_sweeps_agree() {
+    let first = sweep(2);
+    let second = sweep(2);
+    assert_eq!(first, second);
+}
+
+/// Serialization itself is a faithful witness: distinct seeds give
+/// distinct bytes (guards against an emitter that collapses fields).
+#[test]
+fn distinct_seeds_serialize_distinctly() {
+    let kind = SchedulerKind::Fair;
+    let a = run_result_json(&small_scenario(11).run(&kind));
+    let b = run_result_json(&small_scenario(12).run(&kind));
+    assert_ne!(a, b);
+}
+
+/// An empty sweep and a worker surplus are both fine.
+#[test]
+fn pool_edge_cases() {
+    let none: Vec<fn() -> u32> = Vec::new();
+    assert!(parallel_runs_with_workers(3, none).is_empty());
+    let tasks: Vec<_> = (0..3u32).map(|i| move || i * 2).collect();
+    assert_eq!(parallel_runs_with_workers(8, tasks), vec![0, 2, 4]);
+}

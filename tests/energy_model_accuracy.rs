@@ -23,7 +23,13 @@ fn saturated_run(kind: BenchmarkKind, noise: NoiseConfig, seed: u64) -> (RunResu
     engine.submit_jobs(
         (0..3)
             .map(|i| {
-                JobSpec::new(JobId(i), Benchmark::of(kind), 48, 0, SimTime::from_secs(i * 30))
+                JobSpec::new(
+                    JobId(i),
+                    Benchmark::of(kind),
+                    48,
+                    0,
+                    SimTime::from_secs(i * 30),
+                )
             })
             .collect(),
     );

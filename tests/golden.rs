@@ -1,0 +1,103 @@
+//! Golden-value regression tests: summary metrics of one fixed-seed fast
+//! MSD run under Fair, Tarazu and E-Ant, pinned with explicit tolerances.
+//!
+//! The run is bit-deterministic on one toolchain (see
+//! `tests/determinism.rs`), so these goldens catch *behavioral* drift — a
+//! changed scheduler decision, energy-model constant, or RNG stream — while
+//! the tolerances absorb benign float-reassociation differences across
+//! compiler versions. If a deliberate change shifts the numbers, re-derive
+//! them by running this test with `--nocapture` (each assertion failure
+//! prints the observed value) and update the table.
+
+use eant::EAntConfig;
+use experiments::common::{Scenario, SchedulerKind};
+use hadoop_sim::RunResult;
+
+/// Relative tolerance on pinned energy and makespan values.
+const REL_TOL: f64 = 0.005;
+/// Absolute tolerance, in percentage points, on pinned savings values.
+const SAVINGS_TOL_PP: f64 = 1.0;
+
+/// One golden row: scheduler, expected total energy (MJ), expected
+/// makespan (s).
+struct Golden {
+    kind: SchedulerKind,
+    energy_mj: f64,
+    makespan_s: f64,
+}
+
+fn goldens() -> Vec<Golden> {
+    vec![
+        Golden {
+            kind: SchedulerKind::Fair,
+            energy_mj: 3.558079,
+            makespan_s: 3858.492,
+        },
+        Golden {
+            kind: SchedulerKind::Tarazu,
+            energy_mj: 2.201803,
+            makespan_s: 2308.866,
+        },
+        Golden {
+            kind: SchedulerKind::EAnt(EAntConfig::paper_default()),
+            energy_mj: 2.065391,
+            makespan_s: 2148.477,
+        },
+    ]
+}
+
+fn run(kind: &SchedulerKind) -> RunResult {
+    Scenario::fast(2015).run(kind)
+}
+
+fn assert_close(what: &str, observed: f64, expected: f64, rel_tol: f64) {
+    let rel = (observed - expected).abs() / expected.abs();
+    assert!(
+        rel <= rel_tol,
+        "{what}: observed {observed:.6}, pinned {expected:.6} \
+         (rel err {rel:.2e} > tol {rel_tol:.0e})"
+    );
+}
+
+/// Total energy and makespan of each scheduler match the pinned values.
+#[test]
+fn summary_metrics_match_goldens() {
+    for g in goldens() {
+        let r = run(&g.kind);
+        let label = g.kind.label();
+        assert!(r.drained, "{label} failed to drain");
+        assert_close(
+            &format!("{label} total energy (MJ)"),
+            r.total_energy_joules() / 1.0e6,
+            g.energy_mj,
+            REL_TOL,
+        );
+        assert_close(
+            &format!("{label} makespan (s)"),
+            r.makespan.as_secs_f64(),
+            g.makespan_s,
+            REL_TOL,
+        );
+    }
+}
+
+/// E-Ant's energy savings over each baseline match the pinned
+/// percentages: 41.95% vs Fair and 6.20% vs Tarazu on this seed.
+#[test]
+fn eant_savings_match_goldens() {
+    let eant = SchedulerKind::EAnt(EAntConfig::paper_default());
+    let e_eant = run(&eant).total_energy_joules();
+    let e_fair = run(&SchedulerKind::Fair).total_energy_joules();
+    let e_tarazu = run(&SchedulerKind::Tarazu).total_energy_joules();
+
+    let vs_fair = (1.0 - e_eant / e_fair) * 100.0;
+    let vs_tarazu = (1.0 - e_eant / e_tarazu) * 100.0;
+    assert!(
+        (vs_fair - 41.95).abs() <= SAVINGS_TOL_PP,
+        "savings vs Fair: observed {vs_fair:.2}%, pinned 41.95% ± {SAVINGS_TOL_PP}pp"
+    );
+    assert!(
+        (vs_tarazu - 6.20).abs() <= SAVINGS_TOL_PP,
+        "savings vs Tarazu: observed {vs_tarazu:.2}%, pinned 6.20% ± {SAVINGS_TOL_PP}pp"
+    );
+}

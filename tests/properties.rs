@@ -1,31 +1,60 @@
-//! Property-based tests (proptest) over the core data structures and
-//! cross-crate invariants.
+//! Property-based tests over the core data structures and cross-crate
+//! invariants, driven by in-repo [`SimRng`] generators.
+//!
+//! The workspace builds hermetically (no registry access), so instead of
+//! `proptest` each property runs a fixed number of generated cases from a
+//! deterministic seed tree: case `i` of property `p` draws from
+//! `SimRng::seed_from(PROPERTY_SEED).fork_index(p, i)`. Failures therefore
+//! reproduce exactly — the panic message names the property and case index,
+//! and re-running the test replays the identical inputs.
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
-
 use cluster::hdfs::BlockPlacer;
 use cluster::{profiles, Fleet, MachineId};
-use eant::{heuristic, EnergyModel, ExchangeStrategy, PheromoneTable, TaskAnalyzer, TaskEnergyRecord};
+use eant::{
+    heuristic, EnergyModel, ExchangeStrategy, PheromoneTable, TaskAnalyzer, TaskEnergyRecord,
+};
 use hadoop_sim::{
     Engine, EngineConfig, GreedyScheduler, NoiseConfig, PowerDownConfig, SpeculationPolicy,
 };
 use simcore::{EventQueue, SimRng, SimTime};
-use workload::{Benchmark, JobId, JobSpec};
+use workload::{Benchmark, BenchmarkKind, JobId, JobSpec};
 
-proptest! {
-    /// Pheromone values stay within [tau_min, tau_max] for any deposit
-    /// pattern, with or without negative feedback.
-    #[test]
-    fn pheromone_bounds_hold(
-        deposits in proptest::collection::vec(
-            proptest::collection::vec(-1.0e6f64..1.0e6, 4),
-            1..6,
-        ),
-        rho in 0.01f64..1.0,
-        negative in any::<bool>(),
-    ) {
+/// Root seed of every property's case tree. Changing it reshuffles all
+/// generated inputs at once.
+const PROPERTY_SEED: u64 = 0xE0A7;
+
+/// Runs `cases` generated cases of a property, replaying deterministically
+/// and naming the failing case.
+fn check(name: &str, cases: usize, case: impl Fn(&mut SimRng)) {
+    for i in 0..cases {
+        let mut rng = SimRng::seed_from(PROPERTY_SEED).fork_index(name, i);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            panic!("property `{name}` failed on case {i}/{cases}: {msg}");
+        }
+    }
+}
+
+fn f64_vec(rng: &mut SimRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.uniform_range(lo, hi)).collect()
+}
+
+/// Pheromone values stay within [tau_min, tau_max] for any deposit
+/// pattern, with or without negative feedback.
+#[test]
+fn pheromone_bounds_hold() {
+    check("pheromone_bounds_hold", 256, |rng| {
+        let jobs = rng.uniform_u64(1, 5) as usize;
+        let deposits: Vec<Vec<f64>> = (0..jobs).map(|_| f64_vec(rng, 4, -1.0e6, 1.0e6)).collect();
+        let rho = rng.uniform_range(0.01, 1.0);
+        let negative = rng.chance(0.5);
         let mut table = PheromoneTable::new(4, 1.0, 0.05, 100.0);
         let map: BTreeMap<JobId, Vec<f64>> = deposits
             .into_iter()
@@ -33,108 +62,120 @@ proptest! {
             .map(|(i, d)| (JobId(i as u64), d))
             .collect();
         table.apply_deposits(&map, rho, negative);
-        for (&job, _) in &map {
+        for &job in map.keys() {
             for m in 0..4 {
                 let tau = table.get(job, MachineId(m));
-                prop_assert!((0.05..=100.0).contains(&tau), "tau = {tau}");
+                assert!((0.05..=100.0).contains(&tau), "tau = {tau}");
             }
         }
-    }
+    });
+}
 
-    /// Eq. 3 probabilities always form a distribution.
-    #[test]
-    fn pheromone_probabilities_sum_to_one(
-        deposits in proptest::collection::vec(0.0f64..1.0e4, 8),
-        rho in 0.01f64..1.0,
-    ) {
+/// Eq. 3 probabilities always form a distribution.
+#[test]
+fn pheromone_probabilities_sum_to_one() {
+    check("pheromone_probabilities_sum_to_one", 256, |rng| {
+        let deposits = f64_vec(rng, 8, 0.0, 1.0e4);
+        let rho = rng.uniform_range(0.01, 1.0);
         let mut table = PheromoneTable::new(8, 1.0, 0.05, 1.0e4);
         let mut map = BTreeMap::new();
         map.insert(JobId(0), deposits);
         table.apply_deposits(&map, rho, true);
         let p = table.probabilities(JobId(0));
         let total: f64 = p.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
-        prop_assert!(p.iter().all(|&x| x > 0.0));
-    }
+        assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        assert!(p.iter().all(|&x| x > 0.0));
+    });
+}
 
-    /// Events always pop in nondecreasing time order.
-    #[test]
-    fn event_queue_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+/// Events always pop in nondecreasing time order.
+#[test]
+fn event_queue_is_monotone() {
+    check("event_queue_is_monotone", 256, |rng| {
+        let n = rng.uniform_u64(1, 99) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 999_999)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_millis(t), i);
         }
         let mut last = SimTime::ZERO;
         while let Some((at, _)) = q.pop() {
-            prop_assert!(at >= last);
+            assert!(at >= last);
             last = at;
         }
-    }
+    });
+}
 
-    /// The fairness heuristic is finite, positive, and monotone in the
-    /// deficit.
-    #[test]
-    fn fairness_heuristic_is_sane(
-        min_share in 0.0f64..200.0,
-        occupied in 0u32..500,
-        pool in 1usize..500,
-    ) {
+/// The fairness heuristic is finite, positive, and monotone in the
+/// deficit.
+#[test]
+fn fairness_heuristic_is_sane() {
+    check("fairness_heuristic_is_sane", 256, |rng| {
+        let min_share = rng.uniform_range(0.0, 200.0);
+        let occupied = rng.uniform_u64(0, 499) as u32;
+        let pool = rng.uniform_u64(1, 499) as usize;
         let eta = heuristic::fairness(min_share, occupied, pool);
-        prop_assert!(eta.is_finite() && eta > 0.0, "eta = {eta}");
+        assert!(eta.is_finite() && eta > 0.0, "eta = {eta}");
         // One more occupied slot can never raise the priority.
         let eta_more = heuristic::fairness(min_share, occupied + 1, pool);
-        prop_assert!(eta_more <= eta + 1e-12);
-    }
+        assert!(eta_more <= eta + 1e-12);
+    });
+}
 
-    /// Eq. 2 estimates are non-negative and monotone in utilization.
-    #[test]
-    fn energy_model_is_monotone(
-        idle in 0.0f64..200.0,
-        alpha in 0.0f64..200.0,
-        slots in 1usize..12,
-        u1 in 0.0f64..1.0,
-        u2 in 0.0f64..1.0,
-        dur in 0.0f64..10_000.0,
-    ) {
+/// Eq. 2 estimates are non-negative and monotone in utilization.
+#[test]
+fn energy_model_is_monotone() {
+    check("energy_model_is_monotone", 256, |rng| {
+        let idle = rng.uniform_range(0.0, 200.0);
+        let alpha = rng.uniform_range(0.0, 200.0);
+        let slots = rng.uniform_u64(1, 11) as usize;
+        let u1 = rng.uniform_f64();
+        let u2 = rng.uniform_f64();
+        let dur = rng.uniform_range(0.0, 10_000.0);
         let model = EnergyModel::new(idle, alpha, slots);
         let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
         let e_lo = model.estimate_mean(lo, dur);
         let e_hi = model.estimate_mean(hi, dur);
-        prop_assert!(e_lo >= 0.0);
-        prop_assert!(e_hi >= e_lo - 1e-9);
-    }
+        assert!(e_lo >= 0.0);
+        assert!(e_hi >= e_lo - 1e-9);
+    });
+}
 
-    /// Block placement never duplicates replicas and never exceeds the
-    /// fleet.
-    #[test]
-    fn block_placement_is_valid(seed in any::<u64>(), count in 1usize..50) {
+/// Block placement never duplicates replicas and never exceeds the
+/// fleet.
+#[test]
+fn block_placement_is_valid() {
+    check("block_placement_is_valid", 128, |rng| {
+        let seed = rng.next_u64();
+        let count = rng.uniform_u64(1, 49) as usize;
         let fleet = Fleet::paper_evaluation();
         let mut placer = BlockPlacer::new(3);
-        let mut rng = SimRng::seed_from(seed);
-        for block in placer.place(&fleet, count, &mut rng) {
-            prop_assert!(!block.replicas.is_empty());
-            prop_assert!(block.replicas.len() <= 3);
+        let mut block_rng = SimRng::seed_from(seed);
+        for block in placer.place(&fleet, count, &mut block_rng) {
+            assert!(!block.replicas.is_empty());
+            assert!(block.replicas.len() <= 3);
             let mut seen = block.replicas.clone();
             seen.sort();
             seen.dedup();
-            prop_assert_eq!(seen.len(), block.replicas.len());
-            prop_assert!(block.replicas.iter().all(|m| m.index() < fleet.len()));
+            assert_eq!(seen.len(), block.replicas.len());
+            assert!(block.replicas.iter().all(|m| m.index() < fleet.len()));
         }
-    }
+    });
+}
 
-    /// The analyzer's deposits are non-negative and only land on machines
-    /// that (transitively, via exchange groups) saw tasks.
-    #[test]
-    fn analyzer_deposits_are_nonnegative(
-        energies in proptest::collection::vec(1.0f64..10_000.0, 1..40),
-        exchange_idx in 0usize..4,
-    ) {
+/// The analyzer's deposits are non-negative and only land on machines
+/// that (transitively, via exchange groups) saw tasks.
+#[test]
+fn analyzer_deposits_are_nonnegative() {
+    check("analyzer_deposits_are_nonnegative", 256, |rng| {
+        let n = rng.uniform_u64(1, 39) as usize;
+        let energies = f64_vec(rng, n, 1.0, 10_000.0);
         let exchange = [
             ExchangeStrategy::None,
             ExchangeStrategy::MachineLevel,
             ExchangeStrategy::JobLevel,
             ExchangeStrategy::Both,
-        ][exchange_idx];
+        ][rng.uniform_u64(0, 3) as usize];
         let mut analyzer = TaskAnalyzer::new(4);
         for (i, &e) in energies.iter().enumerate() {
             analyzer.record(TaskEnergyRecord {
@@ -145,19 +186,21 @@ proptest! {
             });
         }
         let fb = analyzer.compute(&[0, 0, 1, 1], exchange);
-        prop_assert_eq!(fb.tasks_analyzed, energies.len());
+        assert_eq!(fb.tasks_analyzed, energies.len());
         for row in fb.deposits.values() {
-            prop_assert!(row.iter().all(|&v| v >= 0.0 && v.is_finite()));
+            assert!(row.iter().all(|&v| v >= 0.0 && v.is_finite()));
         }
-    }
+    });
+}
 
-    /// Any small job mix drains on the paper fleet under the reference
-    /// scheduler, with tasks conserved.
-    #[test]
-    fn engine_drains_arbitrary_small_workloads(
-        seed in any::<u64>(),
-        maps in proptest::collection::vec(1u32..40, 1..5),
-    ) {
+/// Any small job mix drains on the paper fleet under the reference
+/// scheduler, with tasks conserved.
+#[test]
+fn engine_drains_arbitrary_small_workloads() {
+    check("engine_drains_arbitrary_small_workloads", 24, |rng| {
+        let seed = rng.next_u64();
+        let jobs_n = rng.uniform_u64(1, 4) as usize;
+        let maps: Vec<u32> = (0..jobs_n).map(|_| rng.uniform_u64(1, 39) as u32).collect();
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
             ..EngineConfig::default()
@@ -173,9 +216,11 @@ proptest! {
                 JobSpec::new(
                     JobId(i as u64),
                     Benchmark::of(
-                        [workload::BenchmarkKind::Wordcount,
-                         workload::BenchmarkKind::Grep,
-                         workload::BenchmarkKind::Terasort][i % 3],
+                        [
+                            BenchmarkKind::Wordcount,
+                            BenchmarkKind::Grep,
+                            BenchmarkKind::Terasort,
+                        ][i % 3],
                     ),
                     m,
                     reduces,
@@ -185,23 +230,23 @@ proptest! {
             .collect();
         engine.submit_jobs(jobs);
         let result = engine.run(&mut GreedyScheduler::new());
-        prop_assert!(result.drained);
-        prop_assert_eq!(result.total_tasks, expected);
-    }
+        assert!(result.drained);
+        assert_eq!(result.total_tasks, expected);
+    });
+}
 
-    /// With any speculation policy and straggler noise, every workload
-    /// drains with exact task conservation — backups never double-count.
-    #[test]
-    fn speculation_conserves_tasks(
-        seed in any::<u64>(),
-        policy_idx in 0usize..3,
-        maps in 8u32..60,
-    ) {
+/// With any speculation policy and straggler noise, every workload
+/// drains with exact task conservation — backups never double-count.
+#[test]
+fn speculation_conserves_tasks() {
+    check("speculation_conserves_tasks", 24, |rng| {
+        let seed = rng.next_u64();
         let policy = [
             SpeculationPolicy::Off,
             SpeculationPolicy::Hadoop,
             SpeculationPolicy::Late,
-        ][policy_idx];
+        ][rng.uniform_u64(0, 2) as usize];
+        let maps = rng.uniform_u64(8, 59) as u32;
         let cfg = EngineConfig {
             noise: NoiseConfig {
                 straggler_prob: 0.2,
@@ -221,18 +266,22 @@ proptest! {
             SimTime::ZERO,
         )]);
         let result = engine.run(&mut GreedyScheduler::new());
-        prop_assert!(result.drained);
-        prop_assert_eq!(result.total_tasks, u64::from(maps + reduces));
-        prop_assert!(result.wasted_attempts <= result.speculative_attempts);
+        assert!(result.drained);
+        assert_eq!(result.total_tasks, u64::from(maps + reduces));
+        assert!(result.wasted_attempts <= result.speculative_attempts);
         if policy == SpeculationPolicy::Off {
-            prop_assert_eq!(result.speculative_attempts, 0);
+            assert_eq!(result.speculative_attempts, 0);
         }
-    }
+    });
+}
 
-    /// Power-down never strands work and never *increases* energy relative
-    /// to physical limits (total energy is at least the standby floor).
-    #[test]
-    fn power_down_is_safe(seed in any::<u64>(), gap_mins in 1u64..30) {
+/// Power-down never strands work and never *increases* energy relative
+/// to physical limits (total energy is at least the standby floor).
+#[test]
+fn power_down_is_safe() {
+    check("power_down_is_safe", 16, |rng| {
+        let seed = rng.next_u64();
+        let gap_mins = rng.uniform_u64(1, 29);
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
             power_down: Some(PowerDownConfig::suspend_to_ram()),
@@ -250,34 +299,49 @@ proptest! {
             ),
         ]);
         let result = engine.run(&mut GreedyScheduler::new());
-        prop_assert!(result.drained, "power-down must never strand work");
-        prop_assert_eq!(result.total_tasks, 36);
+        assert!(result.drained, "power-down must never strand work");
+        assert_eq!(result.total_tasks, 36);
         // Energy floor: every machine draws at least standby power for the
         // whole run.
         let floor = 2.5 * 16.0 * result.makespan.as_secs_f64();
-        prop_assert!(result.total_energy_joules() >= floor * 0.99);
-    }
+        assert!(result.total_energy_joules() >= floor * 0.99);
+    });
+}
 
-    /// Machine energy meters never decrease and never drop below idle
-    /// draw.
-    #[test]
-    fn meter_monotone_and_bounded_below(
-        spans in proptest::collection::vec((1u64..100, 0.0f64..1.5), 1..30),
-    ) {
+/// Machine energy meters never decrease and never drop below idle
+/// draw.
+#[test]
+fn meter_monotone_and_bounded_below() {
+    check("meter_monotone_and_bounded_below", 256, |rng| {
+        let spans_n = rng.uniform_u64(1, 29) as usize;
+        let spans: Vec<u64> = (0..spans_n).map(|_| rng.uniform_u64(1, 99)).collect();
         let profile = profiles::desktop();
         let mut machine = cluster::Machine::new(MachineId(0), profile.clone());
         let mut now = SimTime::ZERO;
         let mut last_energy = 0.0;
-        for (secs, _load) in spans {
-            now = now + simcore::SimDuration::from_secs(secs);
+        for secs in spans {
+            now += simcore::SimDuration::from_secs(secs);
             machine.sync(now);
             let e = machine.meter().total_joules();
-            prop_assert!(e >= last_energy);
+            assert!(e >= last_energy);
             // Idle machine: exactly idle power integrated.
-            let idle_floor = profile.power().idle_watts()
-                * now.saturating_since(SimTime::ZERO).as_secs_f64();
-            prop_assert!(e >= idle_floor - 1e-6);
+            let idle_floor =
+                profile.power().idle_watts() * now.saturating_since(SimTime::ZERO).as_secs_f64();
+            assert!(e >= idle_floor - 1e-6);
             last_energy = e;
         }
-    }
+    });
+}
+
+/// The in-repo case generator itself is deterministic: the same property
+/// name and case index always see the same stream.
+#[test]
+fn case_generation_is_deterministic() {
+    let draw = |name: &str, case: usize| {
+        let mut rng = SimRng::seed_from(PROPERTY_SEED).fork_index(name, case);
+        (rng.next_u64(), rng.uniform_f64())
+    };
+    assert_eq!(draw("p", 0), draw("p", 0));
+    assert_ne!(draw("p", 0), draw("p", 1));
+    assert_ne!(draw("p", 0), draw("q", 0));
 }

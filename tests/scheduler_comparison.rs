@@ -98,9 +98,7 @@ fn eant_adapts_workload_mix_by_machine_type() {
             &mut EAntScheduler::new(EAntConfig::paper_default(), seed),
         );
         let by = r.tasks_by_profile_and_benchmark();
-        let get = |p: &str, b: &str| {
-            *by.get(&(p.to_owned(), b.to_owned())).unwrap_or(&0) as f64
-        };
+        let get = |p: &str, b: &str| *by.get(&(p.to_owned(), b.to_owned())).unwrap_or(&0) as f64;
         t420.0 += get("T420", "Wordcount");
         t420.1 += get("T420", "Grep") + get("T420", "Terasort");
         atom.0 += get("Atom", "Wordcount");
