@@ -3,7 +3,7 @@
 
 use cluster::hdfs::Locality;
 use cluster::{MachineId, SlotKind};
-use hadoop_sim::{ClusterQuery, JobSummary, Scheduler};
+use hadoop_sim::{ClusterQuery, JobEntry, Scheduler};
 use workload::JobId;
 
 /// The Hadoop Capacity Scheduler: jobs are partitioned into queues, each
@@ -70,8 +70,8 @@ impl Scheduler for CapacityScheduler {
         machine: MachineId,
         kind: SlotKind,
     ) -> Option<JobId> {
-        let jobs = query.active_jobs();
-        let candidates: Vec<&JobSummary> = jobs.iter().filter(|j| j.pending(kind) > 0).collect();
+        let state = query.state();
+        let candidates: Vec<&JobEntry> = state.active().filter(|j| j.pending(kind) > 0).collect();
         if candidates.is_empty() {
             return None;
         }
@@ -79,7 +79,7 @@ impl Scheduler for CapacityScheduler {
 
         // Occupancy per queue.
         let mut used = vec![0.0; self.capacities.len()];
-        for j in &jobs {
+        for j in state.active() {
             used[self.queue_of(j.id)] += j.slots_occupied as f64;
         }
 
@@ -96,7 +96,7 @@ impl Scheduler for CapacityScheduler {
         queue_order.dedup();
 
         for queue in queue_order {
-            let mut members: Vec<&&JobSummary> = candidates
+            let mut members: Vec<&&JobEntry> = candidates
                 .iter()
                 .filter(|j| self.queue_of(j.id) == queue)
                 .collect();

@@ -2,7 +2,7 @@
 
 use cluster::hdfs::Locality;
 use cluster::{MachineId, SlotKind};
-use hadoop_sim::{ClusterQuery, JobSummary, Scheduler};
+use hadoop_sim::{ClusterQuery, JobEntry, Scheduler};
 use workload::JobId;
 
 /// The Hadoop Fair Scheduler with equal per-job minimum shares.
@@ -41,7 +41,7 @@ impl FairScheduler {
 
     /// Deficit of a job: fair share minus occupied slots (positive =
     /// underserved).
-    fn deficit(job: &JobSummary, fair_share: f64) -> f64 {
+    fn deficit(job: &JobEntry, fair_share: f64) -> f64 {
         fair_share - job.slots_occupied as f64
     }
 }
@@ -63,12 +63,12 @@ impl Scheduler for FairScheduler {
         machine: MachineId,
         kind: SlotKind,
     ) -> Option<JobId> {
-        let jobs = query.active_jobs();
-        let candidates: Vec<&JobSummary> = jobs.iter().filter(|j| j.pending(kind) > 0).collect();
+        let state = query.state();
+        let candidates: Vec<&JobEntry> = state.active().filter(|j| j.pending(kind) > 0).collect();
         if candidates.is_empty() {
             return None;
         }
-        let fair_share = query.total_slots() as f64 / jobs.len().max(1) as f64;
+        let fair_share = query.total_slots() as f64 / state.num_active().max(1) as f64;
 
         let max_deficit = candidates
             .iter()
@@ -106,35 +106,41 @@ impl Scheduler for FairScheduler {
 mod tests {
     use super::*;
     use cluster::Fleet;
-    use hadoop_sim::{ClusterQuery, Engine, EngineConfig, NoiseConfig};
+    use hadoop_sim::{ClusterQuery, ClusterState, Engine, EngineConfig, NoiseConfig};
     use simcore::{SimDuration, SimTime};
-    use workload::{Benchmark, JobSpec};
+    use workload::{Benchmark, GroupId, JobSpec};
 
     struct MockQuery {
         fleet: Fleet,
-        jobs: Vec<JobSummary>,
+        state: ClusterState,
         local: Vec<(JobId, MachineId)>,
     }
 
     impl MockQuery {
-        fn new(jobs: Vec<JobSummary>) -> Self {
+        fn new(jobs: Vec<JobEntry>) -> Self {
+            let mut state = ClusterState::new();
+            for entry in jobs {
+                state.insert(entry);
+            }
             MockQuery {
                 fleet: Fleet::paper_evaluation(),
-                jobs,
+                state,
                 local: Vec::new(),
             }
         }
 
-        fn summary(id: u64, pending_maps: u32, slots_occupied: u32) -> JobSummary {
-            JobSummary {
+        fn entry(id: u64, pending_maps: u32, slots_occupied: u32) -> JobEntry {
+            JobEntry {
                 id: JobId(id),
-                group: String::new(),
+                group: GroupId(0),
                 pending_maps,
                 pending_reduces: 0,
                 slots_occupied,
                 completed_tasks: 0,
                 total_tasks: pending_maps + slots_occupied,
                 submitted_at: SimTime::ZERO,
+                submitted: true,
+                finished: false,
             }
         }
     }
@@ -146,8 +152,8 @@ mod tests {
         fn fleet(&self) -> &Fleet {
             &self.fleet
         }
-        fn active_jobs(&self) -> Vec<JobSummary> {
-            self.jobs.clone()
+        fn state(&self) -> &ClusterState {
+            &self.state
         }
         fn job_spec(&self, _job: JobId) -> Option<&workload::JobSpec> {
             None
@@ -174,9 +180,9 @@ mod tests {
     #[test]
     fn picks_the_most_deficit_job() {
         let query = MockQuery::new(vec![
-            MockQuery::summary(0, 5, 40),
-            MockQuery::summary(1, 5, 2),
-            MockQuery::summary(2, 5, 10),
+            MockQuery::entry(0, 5, 40),
+            MockQuery::entry(1, 5, 2),
+            MockQuery::entry(2, 5, 10),
         ]);
         let mut s = FairScheduler::new();
         assert_eq!(
@@ -189,9 +195,9 @@ mod tests {
     fn prefers_local_job_within_tolerance() {
         // Jobs 1 and 2 have near-equal deficits; job 2 has local data.
         let mut query = MockQuery::new(vec![
-            MockQuery::summary(0, 5, 40),
-            MockQuery::summary(1, 5, 2),
-            MockQuery::summary(2, 5, 4),
+            MockQuery::entry(0, 5, 40),
+            MockQuery::entry(1, 5, 2),
+            MockQuery::entry(2, 5, 4),
         ]);
         query.local.push((JobId(2), MachineId(3)));
         let mut s = FairScheduler::new();
@@ -209,7 +215,7 @@ mod tests {
 
     #[test]
     fn returns_none_when_nothing_pending() {
-        let query = MockQuery::new(vec![MockQuery::summary(0, 0, 10)]);
+        let query = MockQuery::new(vec![MockQuery::entry(0, 0, 10)]);
         let mut s = FairScheduler::new();
         assert_eq!(s.select_job(&query, MachineId(0), SlotKind::Map), None);
         assert_eq!(s.select_job(&query, MachineId(0), SlotKind::Reduce), None);
@@ -283,17 +289,7 @@ mod tests {
 
     #[test]
     fn deficit_math() {
-        use simcore::SimTime;
-        let job = JobSummary {
-            id: JobId(0),
-            group: "x".into(),
-            pending_maps: 5,
-            pending_reduces: 0,
-            slots_occupied: 3,
-            completed_tasks: 0,
-            total_tasks: 8,
-            submitted_at: SimTime::ZERO,
-        };
+        let job = MockQuery::entry(0, 5, 3);
         assert_eq!(FairScheduler::deficit(&job, 10.0), 7.0);
         assert_eq!(FairScheduler::deficit(&job, 2.0), -1.0);
     }

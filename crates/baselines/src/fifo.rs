@@ -2,7 +2,7 @@
 
 use cluster::hdfs::Locality;
 use cluster::{MachineId, SlotKind};
-use hadoop_sim::{ClusterQuery, Scheduler};
+use hadoop_sim::{ClusterQuery, JobEntry, Scheduler};
 use workload::JobId;
 
 /// Hadoop's default FIFO queue: the earliest-submitted job with pending
@@ -45,7 +45,7 @@ impl Scheduler for FifoScheduler {
         machine: MachineId,
         kind: SlotKind,
     ) -> Option<JobId> {
-        let mut jobs = query.active_jobs();
+        let mut jobs: Vec<&JobEntry> = query.state().active().collect();
         jobs.sort_by_key(|j| (j.submitted_at, j.id));
         if kind == SlotKind::Map {
             // Node-local work from the frontmost jobs first.

@@ -116,8 +116,8 @@ impl Scheduler for TarazuScheduler {
         kind: SlotKind,
     ) -> Option<JobId> {
         self.ensure_speeds(query);
-        let jobs = query.active_jobs();
-        let mut candidates: Vec<_> = jobs.iter().filter(|j| j.pending(kind) > 0).collect();
+        let state = query.state();
+        let mut candidates: Vec<_> = state.active().filter(|j| j.pending(kind) > 0).collect();
         if candidates.is_empty() {
             return None;
         }
@@ -125,7 +125,7 @@ impl Scheduler for TarazuScheduler {
         // Fair-share deficit ordering underneath (Tarazu builds on fair
         // sharing; its contribution is *where* maps run, not inter-job
         // priority).
-        let fair_share = query.total_slots() as f64 / jobs.len().max(1) as f64;
+        let fair_share = query.total_slots() as f64 / state.num_active().max(1) as f64;
         candidates.sort_by(|a, b| {
             let da = fair_share - a.slots_occupied as f64;
             let db = fair_share - b.slots_occupied as f64;

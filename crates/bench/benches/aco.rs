@@ -10,7 +10,7 @@ use bench::{black_box, Harness};
 use cluster::MachineId;
 use eant::{ExchangeStrategy, PheromoneTable, TaskAnalyzer, TaskEnergyRecord};
 use simcore::SimRng;
-use workload::JobId;
+use workload::{GroupId, JobId};
 
 fn deposits(jobs: usize, machines: usize, seed: u64) -> BTreeMap<JobId, Vec<f64>> {
     let mut rng = SimRng::seed_from(seed);
@@ -52,7 +52,7 @@ fn main() {
         let recs: Vec<TaskEnergyRecord> = (0..records)
             .map(|i| TaskEnergyRecord {
                 job: JobId((i % 30) as u64),
-                job_group: format!("g{}", i % 9),
+                group: GroupId((i % 9) as u32),
                 machine: MachineId(i % 16),
                 energy_joules: rng.uniform_range(50.0, 500.0),
             })

@@ -6,7 +6,7 @@ use cluster::{profiles, MachineId, SlotKind};
 use eant::EnergyModel;
 use hadoop_sim::{TaskReport, UtilizationSample};
 use simcore::{SimRng, SimTime};
-use workload::{JobId, TaskId, TaskIndex};
+use workload::{GroupId, JobId, TaskId, TaskIndex};
 
 fn report_with_samples(n: usize) -> TaskReport {
     let mut rng = SimRng::seed_from(5);
@@ -20,7 +20,7 @@ fn report_with_samples(n: usize) -> TaskReport {
         },
         machine: MachineId(0),
         kind: SlotKind::Map,
-        job_group: "Wordcount".into(),
+        group: GroupId(0),
         started_at: SimTime::ZERO,
         finished_at: SimTime::from_secs(3 * n as u64),
         locality: None,

@@ -1,0 +1,147 @@
+//! Assignment-path benchmarks: the per-heartbeat scheduler decision cost.
+//!
+//! Two layers are measured:
+//!
+//! * `select_job/*` — one slot-offer decision against a cluster view with
+//!   dozens of active jobs, per scheduler. This is the innermost loop of
+//!   every heartbeat and the path the ClusterState scoreboard exists to
+//!   keep allocation-free.
+//! * `heartbeat_path/*` — a complete small MSD run per scheduler: the
+//!   end-to-end engine cost including every heartbeat, slot offer and
+//!   completion event.
+//!
+//! CI runs this bench at a reduced budget (`BENCH_BUDGET_MS`) and archives
+//! the canonical-JSON records (`BENCH_JSON`) as the `BENCH_scoreboard.json`
+//! artifact.
+
+use baselines::{FairScheduler, FifoScheduler};
+use bench::{black_box, Harness};
+use cluster::{Fleet, MachineId, SlotKind};
+use eant::{EAntConfig, EAntScheduler};
+use hadoop_sim::{
+    ClusterQuery, ClusterState, Engine, EngineConfig, JobEntry, NoiseConfig, Scheduler,
+};
+use simcore::{SimDuration, SimRng, SimTime};
+use workload::msd::MsdConfig;
+use workload::{JobId, JobSpec};
+
+/// A standalone cluster view with `jobs` active jobs, mimicking the
+/// engine's mid-run state so a single `select_job` call can be timed in
+/// isolation.
+struct BenchQuery {
+    fleet: Fleet,
+    state: ClusterState,
+}
+
+impl BenchQuery {
+    fn new(jobs: usize) -> Self {
+        let mut rng = SimRng::seed_from(2015).fork("bench-scoreboard");
+        let mut state = ClusterState::new();
+        for g in 0..9 {
+            state.intern_group(&format!("Benchmark-{g}"));
+        }
+        for i in 0..jobs {
+            let pending_maps = rng.uniform_u64(0, 40) as u32;
+            let slots_occupied = rng.uniform_u64(0, 6) as u32;
+            let completed = rng.uniform_u64(0, 30) as u32;
+            state.insert(JobEntry {
+                id: JobId(i as u64),
+                group: workload::GroupId((i % 9) as u32),
+                pending_maps,
+                pending_reduces: rng.uniform_u64(0, 4) as u32,
+                slots_occupied,
+                completed_tasks: completed,
+                total_tasks: pending_maps + slots_occupied + completed,
+                submitted_at: SimTime::from_secs(i as u64),
+                submitted: true,
+                finished: false,
+            });
+        }
+        BenchQuery {
+            fleet: Fleet::paper_evaluation(),
+            state,
+        }
+    }
+}
+
+impl ClusterQuery for BenchQuery {
+    fn now(&self) -> SimTime {
+        SimTime::from_secs(600)
+    }
+    fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+    fn state(&self) -> &ClusterState {
+        &self.state
+    }
+    fn job_spec(&self, _job: JobId) -> Option<&JobSpec> {
+        None
+    }
+    fn best_map_locality(&self, job: JobId, machine: MachineId) -> Option<cluster::hdfs::Locality> {
+        // Deterministic mix of localities, like a real block layout.
+        if (job.index() + machine.index()).is_multiple_of(5) {
+            Some(cluster::hdfs::Locality::NodeLocal)
+        } else {
+            Some(cluster::hdfs::Locality::Remote)
+        }
+    }
+    fn total_slots(&self) -> usize {
+        self.fleet.total_slots()
+    }
+    fn network_congestion(&self) -> f64 {
+        0.4
+    }
+}
+
+fn select_job_bench(h: &mut Harness, name: &str, jobs: usize, scheduler: &mut dyn Scheduler) {
+    let query = BenchQuery::new(jobs);
+    let machines: Vec<MachineId> = query.fleet.ids().collect();
+    let mut i = 0usize;
+    h.bench(&format!("select_job/{name}_{jobs}jobs"), || {
+        let machine = machines[i % machines.len()];
+        let kind = if i.is_multiple_of(3) {
+            SlotKind::Reduce
+        } else {
+            SlotKind::Map
+        };
+        i += 1;
+        black_box(scheduler.select_job(black_box(&query), machine, kind))
+    });
+}
+
+fn msd_run(scheduler: &mut dyn Scheduler, seed: u64) -> hadoop_sim::RunResult {
+    let msd = MsdConfig {
+        num_jobs: 12,
+        task_scale: 64,
+        submission_window: SimDuration::from_mins(5),
+    };
+    let jobs = msd.generate(&mut SimRng::seed_from(seed).fork("msd"));
+    let cfg = EngineConfig {
+        noise: NoiseConfig::none(),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+    engine.submit_jobs(jobs);
+    engine.run(scheduler)
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+
+    for &jobs in &[16usize, 48] {
+        select_job_bench(&mut h, "fifo", jobs, &mut FifoScheduler::new());
+        select_job_bench(&mut h, "fair", jobs, &mut FairScheduler::new());
+        let mut eant = EAntScheduler::new(EAntConfig::paper_default(), 7);
+        select_job_bench(&mut h, "eant", jobs, &mut eant);
+    }
+
+    h.bench("heartbeat_path/msd12_fair", || {
+        black_box(msd_run(&mut FairScheduler::new(), 11))
+    });
+    h.bench("heartbeat_path/msd12_eant", || {
+        let mut s = EAntScheduler::new(EAntConfig::paper_default(), 11);
+        black_box(msd_run(&mut s, 11))
+    });
+
+    h.finish();
+}

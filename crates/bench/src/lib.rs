@@ -26,19 +26,44 @@ use std::time::{Duration, Instant};
 /// Re-export so benches read like the familiar criterion style.
 pub use std::hint::black_box;
 
-/// Wall-clock budget spent per benchmark after warm-up.
+/// Wall-clock budget spent per benchmark after warm-up. Overridable via
+/// the `BENCH_BUDGET_MS` environment variable (CI smoke runs use a small
+/// budget so a bench invocation finishes in seconds).
 const TARGET_TOTAL: Duration = Duration::from_millis(800);
 /// Iteration ceiling for very fast functions.
 const MAX_ITERS: u32 = 100_000;
+
+/// One benchmark's measured timings, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name as passed to [`Harness::bench`].
+    pub name: String,
+    /// Mean wall-clock per iteration.
+    pub mean_ns: u128,
+    /// Fastest iteration.
+    pub min_ns: u128,
+    /// Slowest iteration.
+    pub max_ns: u128,
+    /// Measured iteration count (excludes the warm-up run).
+    pub iters: u32,
+}
 
 /// A tiny fixed-budget benchmark runner.
 ///
 /// Not a statistics engine: it reports mean/min/max over an adaptively
 /// chosen number of iterations, which is enough to track order-of-magnitude
 /// regressions in the simulation hot paths without any external crates.
+///
+/// When the `BENCH_JSON` environment variable names a file, [`finish`]
+/// additionally writes every record as canonical JSON (fixed key order,
+/// integer nanoseconds) so CI can archive bench output as an artifact.
+///
+/// [`finish`]: Harness::finish
 #[derive(Debug)]
 pub struct Harness {
     filter: Option<String>,
+    budget: Duration,
+    records: Vec<BenchRecord>,
     ran: usize,
 }
 
@@ -53,7 +78,17 @@ impl Harness {
             .skip(1)
             .find(|a| !a.starts_with('-'))
             .filter(|a| !a.is_empty());
-        Harness { filter, ran: 0 }
+        let budget = std::env::var("BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map_or(TARGET_TOTAL, Duration::from_millis);
+        Harness {
+            filter,
+            budget,
+            records: Vec::new(),
+            ran: 0,
+        }
     }
 
     /// Times `f`, printing one line with the mean/min/max per iteration.
@@ -75,7 +110,7 @@ impl Harness {
         let iters = if once.is_zero() {
             MAX_ITERS
         } else {
-            let fit = TARGET_TOTAL.as_nanos() / once.as_nanos().max(1);
+            let fit = self.budget.as_nanos() / once.as_nanos().max(1);
             (fit as u32).clamp(1, MAX_ITERS)
         };
 
@@ -97,9 +132,25 @@ impl Harness {
             fmt_duration(min),
             fmt_duration(max),
         );
+        self.records.push(BenchRecord {
+            name: name.to_owned(),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+            iters,
+        });
+    }
+
+    /// The records measured so far, in run order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
     }
 
     /// Prints a trailing summary; call once at the end of `main`.
+    ///
+    /// When `BENCH_JSON` is set, also writes the records as canonical JSON
+    /// to that path (best-effort: a write failure is reported on stderr but
+    /// does not fail the bench).
     pub fn finish(self) {
         if self.ran == 0 {
             match self.filter {
@@ -107,7 +158,40 @@ impl Harness {
                 None => println!("no benchmarks ran"),
             }
         }
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                let json = records_json(&self.records);
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                } else {
+                    println!("wrote {} records to {path}", self.records.len());
+                }
+            }
+        }
     }
+}
+
+/// Renders bench records as canonical JSON: one object per record with a
+/// fixed key order and integer nanoseconds, so byte-identical output means
+/// identical measurements (modulo timing noise itself).
+pub fn records_json(records: &[BenchRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Bench names are ASCII identifiers with `/` separators; escape the
+        // two JSON-critical characters anyway for safety.
+        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"iters\":{}}}",
+            r.mean_ns, r.min_ns, r.max_ns, r.iters
+        );
+    }
+    out.push(']');
+    out
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -134,27 +218,59 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.50 s");
     }
 
+    fn harness(filter: Option<&str>) -> Harness {
+        Harness {
+            filter: filter.map(str::to_owned),
+            budget: Duration::from_millis(1),
+            records: Vec::new(),
+            ran: 0,
+        }
+    }
+
     #[test]
     fn filtered_out_benchmarks_do_not_run() {
-        let mut h = Harness {
-            filter: Some("nomatch".into()),
-            ran: 0,
-        };
+        let mut h = harness(Some("nomatch"));
         let mut calls = 0;
         h.bench("something_else", || calls += 1);
         assert_eq!(calls, 0);
         assert_eq!(h.ran, 0);
+        assert!(h.records().is_empty());
     }
 
     #[test]
     fn matching_benchmarks_run_at_least_once() {
-        let mut h = Harness {
-            filter: None,
-            ran: 0,
-        };
+        let mut h = harness(None);
         let mut calls = 0u32;
         h.bench("counts_calls", || calls += 1);
         assert!(calls >= 2, "warm-up plus at least one measured iteration");
         assert_eq!(h.ran, 1);
+        assert_eq!(h.records().len(), 1);
+        assert_eq!(h.records()[0].name, "counts_calls");
+    }
+
+    #[test]
+    fn records_render_as_canonical_json() {
+        let records = vec![
+            BenchRecord {
+                name: "a/b".into(),
+                mean_ns: 10,
+                min_ns: 5,
+                max_ns: 20,
+                iters: 3,
+            },
+            BenchRecord {
+                name: "c\"d".into(),
+                mean_ns: 1,
+                min_ns: 1,
+                max_ns: 1,
+                iters: 1,
+            },
+        ];
+        assert_eq!(
+            records_json(&records),
+            "[{\"name\":\"a/b\",\"mean_ns\":10,\"min_ns\":5,\"max_ns\":20,\"iters\":3},\
+             {\"name\":\"c\\\"d\",\"mean_ns\":1,\"min_ns\":1,\"max_ns\":1,\"iters\":1}]"
+        );
+        assert_eq!(records_json(&[]), "[]");
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use cluster::MachineId;
-use workload::JobId;
+use workload::{GroupId, JobId};
 
 use crate::ExchangeStrategy;
 
@@ -13,8 +13,8 @@ use crate::ExchangeStrategy;
 pub struct TaskEnergyRecord {
     /// The owning job (colony).
     pub job: JobId,
-    /// Homogeneous-job-group key of the job.
-    pub job_group: String,
+    /// Interned homogeneous-job-group symbol of the job.
+    pub group: GroupId,
     /// Executing machine.
     pub machine: MachineId,
     /// Eq. 2 energy estimate, in joules.
@@ -58,7 +58,7 @@ pub struct IntervalFeedback {
 /// for (m, e) in [(0, 2000.0), (0, 2000.0), (1, 3000.0)] {
 ///     analyzer.record(TaskEnergyRecord {
 ///         job: JobId(0),
-///         job_group: "Wordcount".into(),
+///         group: workload::GroupId(0),
 ///         machine: MachineId(m),
 ///         energy_joules: e,
 ///     });
@@ -129,14 +129,12 @@ impl TaskAnalyzer {
 
         // Mean energy per job (Eq. 5 numerator).
         let mut job_sum: BTreeMap<JobId, (f64, usize)> = BTreeMap::new();
-        let mut job_group: BTreeMap<JobId, String> = BTreeMap::new();
+        let mut job_group: BTreeMap<JobId, GroupId> = BTreeMap::new();
         for r in &records {
             let e = job_sum.entry(r.job).or_insert((0.0, 0));
             e.0 += r.energy_joules;
             e.1 += 1;
-            job_group
-                .entry(r.job)
-                .or_insert_with(|| r.job_group.clone());
+            job_group.entry(r.job).or_insert(r.group);
         }
         let mean_energy_per_job: BTreeMap<JobId, f64> = job_sum
             .iter()
@@ -177,28 +175,22 @@ impl TaskAnalyzer {
         // synchronizing all group members onto identical machine
         // preferences, which would herd them into convoys (DESIGN.md).
         if exchange.job_level() {
-            let mut group_rows: BTreeMap<&str, (Vec<f64>, usize)> = BTreeMap::new();
+            let mut group_rows: BTreeMap<GroupId, (Vec<f64>, usize)> = BTreeMap::new();
             for (job, row) in &deposits {
-                let g = job_group[job].as_str();
                 let entry = group_rows
-                    .entry(g)
+                    .entry(job_group[job])
                     .or_insert_with(|| (vec![0.0; self.machines], 0));
                 for (m, &v) in row.iter().enumerate() {
                     entry.0[m] += v;
                 }
                 entry.1 += 1;
             }
-            let averaged: BTreeMap<String, Vec<f64>> = group_rows
+            let averaged: BTreeMap<GroupId, Vec<f64>> = group_rows
                 .into_iter()
-                .map(|(g, (sum, n))| {
-                    (
-                        g.to_owned(),
-                        sum.into_iter().map(|v| v / n as f64).collect(),
-                    )
-                })
+                .map(|(g, (sum, n))| (g, sum.into_iter().map(|v| v / n as f64).collect()))
                 .collect();
             for (job, row) in &mut deposits {
-                let avg = &averaged[job_group[job].as_str()];
+                let avg = &averaged[&job_group[job]];
                 for (m, v) in row.iter_mut().enumerate() {
                     *v = 0.5 * *v + 0.5 * avg[m];
                 }
@@ -217,10 +209,10 @@ impl TaskAnalyzer {
 mod tests {
     use super::*;
 
-    fn rec(job: u64, group: &str, machine: usize, energy: f64) -> TaskEnergyRecord {
+    fn rec(job: u64, group: u32, machine: usize, energy: f64) -> TaskEnergyRecord {
         TaskEnergyRecord {
             job: JobId(job),
-            job_group: group.into(),
+            group: GroupId(group),
             machine: MachineId(machine),
             energy_joules: energy,
         }
@@ -230,9 +222,9 @@ mod tests {
     fn paper_example_deposits() {
         // §IV-C: two 2 KJ tasks on A, one 3 KJ on B; mean = 7/3.
         let mut a = TaskAnalyzer::new(2);
-        a.record(rec(0, "wc", 0, 2000.0));
-        a.record(rec(0, "wc", 0, 2000.0));
-        a.record(rec(0, "wc", 1, 3000.0));
+        a.record(rec(0, 0, 0, 2000.0));
+        a.record(rec(0, 0, 0, 2000.0));
+        a.record(rec(0, 0, 1, 3000.0));
         let fb = a.compute(&[0, 1], ExchangeStrategy::None);
         let mean = 7000.0 / 3.0;
         let d = &fb.deposits[&JobId(0)];
@@ -245,7 +237,7 @@ mod tests {
     #[test]
     fn compute_clears_records() {
         let mut a = TaskAnalyzer::new(1);
-        a.record(rec(0, "wc", 0, 1.0));
+        a.record(rec(0, 0, 0, 1.0));
         assert_eq!(a.len(), 1);
         let _ = a.compute(&[0], ExchangeStrategy::None);
         assert!(a.is_empty());
@@ -254,9 +246,9 @@ mod tests {
     #[test]
     fn invalid_energy_dropped() {
         let mut a = TaskAnalyzer::new(1);
-        a.record(rec(0, "wc", 0, 0.0));
-        a.record(rec(0, "wc", 0, -5.0));
-        a.record(rec(0, "wc", 0, f64::NAN));
+        a.record(rec(0, 0, 0, 0.0));
+        a.record(rec(0, 0, 0, -5.0));
+        a.record(rec(0, 0, 0, f64::NAN));
         assert!(a.is_empty());
     }
 
@@ -264,8 +256,8 @@ mod tests {
     fn machine_level_exchange_spreads_within_group() {
         // Machines 0 and 1 are homogeneous; only machine 0 completed tasks.
         let mut a = TaskAnalyzer::new(3);
-        a.record(rec(0, "wc", 0, 1000.0));
-        a.record(rec(0, "wc", 0, 1000.0));
+        a.record(rec(0, 0, 0, 1000.0));
+        a.record(rec(0, 0, 0, 1000.0));
         let fb = a.compute(&[0, 0, 1], ExchangeStrategy::MachineLevel);
         let d = &fb.deposits[&JobId(0)];
         // The two group members share the group's average deposit.
@@ -280,8 +272,8 @@ mod tests {
         let mut a = TaskAnalyzer::new(2);
         // Two homogeneous jobs; job 0 found machine 0 efficient, job 1 has
         // only machine 1 experience.
-        a.record(rec(0, "wc-S", 0, 1000.0));
-        a.record(rec(1, "wc-S", 1, 1000.0));
+        a.record(rec(0, 0, 0, 1000.0));
+        a.record(rec(1, 0, 1, 1000.0));
         let fb = a.compute(&[0, 1], ExchangeStrategy::JobLevel);
         // After job-level blending each job keeps half its own signal and
         // gains half the group's: both rows now cover both machines.
@@ -294,8 +286,8 @@ mod tests {
     #[test]
     fn job_level_exchange_respects_group_boundaries() {
         let mut a = TaskAnalyzer::new(1);
-        a.record(rec(0, "wc-S", 0, 1000.0));
-        a.record(rec(1, "grep-S", 0, 500.0));
+        a.record(rec(0, 0, 0, 1000.0));
+        a.record(rec(1, 1, 0, 500.0));
         let fb = a.compute(&[0], ExchangeStrategy::JobLevel);
         // Different groups: rows must stay independent (each job's single
         // task has ratio mean/E = 1, and a singleton group's average is
@@ -307,8 +299,8 @@ mod tests {
     #[test]
     fn both_exchange_composes() {
         let mut a = TaskAnalyzer::new(2);
-        a.record(rec(0, "wc-S", 0, 1000.0));
-        a.record(rec(1, "wc-S", 0, 2000.0));
+        a.record(rec(0, 0, 0, 1000.0));
+        a.record(rec(1, 0, 0, 2000.0));
         let fb = a.compute(&[0, 0], ExchangeStrategy::Both);
         let d0 = &fb.deposits[&JobId(0)];
         let d1 = &fb.deposits[&JobId(1)];

@@ -133,7 +133,7 @@ mod tests {
     use cluster::{profiles, MachineId, SlotKind};
     use hadoop_sim::UtilizationSample;
     use simcore::SimTime;
-    use workload::{JobId, TaskId, TaskIndex};
+    use workload::{GroupId, JobId, TaskId, TaskIndex};
 
     fn report_with(samples: Vec<UtilizationSample>) -> TaskReport {
         TaskReport {
@@ -146,7 +146,7 @@ mod tests {
             },
             machine: MachineId(0),
             kind: SlotKind::Map,
-            job_group: "Wordcount".into(),
+            group: GroupId(0),
             started_at: SimTime::ZERO,
             finished_at: SimTime::from_secs(10),
             locality: None,

@@ -136,8 +136,8 @@ impl EAntScheduler {
     fn snapshot_policy(&mut self, query: &dyn ClusterQuery) {
         let pheromones = self.pheromones.as_ref().expect("initialized");
         let snapshot: BTreeMap<JobId, Vec<f64>> = query
-            .active_jobs()
-            .into_iter()
+            .state()
+            .active()
             .map(|j| (j.id, pheromones.probabilities(j.id)))
             .collect();
         self.policy_history.push((query.now(), snapshot));
@@ -156,8 +156,8 @@ impl Scheduler for EAntScheduler {
         kind: SlotKind,
     ) -> Option<JobId> {
         self.ensure_initialized(query);
-        let jobs = query.active_jobs();
-        let candidates: Vec<_> = jobs.iter().filter(|j| j.pending(kind) > 0).collect();
+        let state = query.state();
+        let candidates: Vec<_> = state.active().filter(|j| j.pending(kind) > 0).collect();
         if candidates.is_empty() {
             return None;
         }
@@ -169,7 +169,7 @@ impl Scheduler for EAntScheduler {
         // Fair share: equal split of the pool among active jobs
         // (Σ_j S_min = S_pool, single-user system as in §IV-C.4).
         let pool = query.total_slots();
-        let min_share = pool as f64 / jobs.len().max(1) as f64;
+        let min_share = pool as f64 / state.num_active().max(1) as f64;
 
         // Eq. 1's fairness constraint, enforced as a hard share cap: a job
         // already holding its β-scaled multiple of the fair share steps
@@ -243,7 +243,7 @@ impl Scheduler for EAntScheduler {
             .expect("initialized")
             .record(TaskEnergyRecord {
                 job: report.job(),
-                job_group: report.job_group.clone(),
+                group: report.group,
                 machine: report.machine,
                 energy_joules: energy,
             });
@@ -268,12 +268,11 @@ impl Scheduler for EAntScheduler {
         // Deposits can resurrect rows of jobs that completed mid-interval;
         // prune anything no longer active so finished colonies release
         // their state.
-        let active: std::collections::BTreeSet<JobId> =
-            query.active_jobs().into_iter().map(|j| j.id).collect();
+        let state = query.state();
         let stale: Vec<JobId> = feedback
             .deposits
             .keys()
-            .filter(|j| !active.contains(j))
+            .filter(|j| !state.job(**j).is_active())
             .copied()
             .collect();
         for job in stale {
@@ -287,36 +286,43 @@ impl Scheduler for EAntScheduler {
 mod tests {
     use super::*;
     use cluster::Fleet;
-    use hadoop_sim::{ClusterQuery, Engine, EngineConfig, JobSummary, NoiseConfig};
+    use hadoop_sim::{ClusterQuery, ClusterState, Engine, EngineConfig, JobEntry, NoiseConfig};
     use simcore::{SimDuration, SimTime};
     use workload::Benchmark;
 
     /// A hand-rolled ClusterQuery for deterministic selection tests.
     struct MockQuery {
         fleet: Fleet,
-        jobs: Vec<JobSummary>,
+        state: ClusterState,
         local: Vec<(JobId, MachineId)>,
     }
 
     impl MockQuery {
-        fn new(jobs: Vec<JobSummary>) -> Self {
+        fn new(jobs: Vec<JobEntry>) -> Self {
+            let mut state = ClusterState::new();
+            for entry in jobs {
+                state.intern_group(&format!("g{}", entry.id));
+                state.insert(entry);
+            }
             MockQuery {
                 fleet: Fleet::paper_evaluation(),
-                jobs,
+                state,
                 local: Vec::new(),
             }
         }
 
-        fn summary(id: u64, pending_maps: u32, slots_occupied: u32) -> JobSummary {
-            JobSummary {
+        fn entry(id: u64, pending_maps: u32, slots_occupied: u32) -> JobEntry {
+            JobEntry {
                 id: JobId(id),
-                group: format!("g{id}"),
+                group: workload::GroupId(id as u32),
                 pending_maps,
                 pending_reduces: 0,
                 slots_occupied,
                 completed_tasks: 0,
                 total_tasks: pending_maps + slots_occupied,
                 submitted_at: SimTime::ZERO,
+                submitted: true,
+                finished: false,
             }
         }
     }
@@ -328,8 +334,8 @@ mod tests {
         fn fleet(&self) -> &Fleet {
             &self.fleet
         }
-        fn active_jobs(&self) -> Vec<JobSummary> {
-            self.jobs.clone()
+        fn state(&self) -> &ClusterState {
+            &self.state
         }
         fn job_spec(&self, _job: JobId) -> Option<&JobSpec> {
             None
@@ -355,17 +361,14 @@ mod tests {
 
     #[test]
     fn select_returns_none_without_candidates() {
-        let query = MockQuery::new(vec![MockQuery::summary(0, 0, 3)]);
+        let query = MockQuery::new(vec![MockQuery::entry(0, 0, 3)]);
         let mut s = EAntScheduler::new(EAntConfig::paper_default(), 1);
         assert_eq!(s.select_job(&query, MachineId(0), SlotKind::Map), None);
     }
 
     #[test]
     fn select_returns_the_only_candidate() {
-        let query = MockQuery::new(vec![
-            MockQuery::summary(0, 0, 3),
-            MockQuery::summary(1, 5, 0),
-        ]);
+        let query = MockQuery::new(vec![MockQuery::entry(0, 0, 3), MockQuery::entry(1, 5, 0)]);
         let mut s = EAntScheduler::new(EAntConfig::paper_default(), 1);
         for _ in 0..20 {
             assert_eq!(
@@ -377,10 +380,7 @@ mod tests {
 
     #[test]
     fn local_data_dominates_selection() {
-        let mut query = MockQuery::new(vec![
-            MockQuery::summary(0, 5, 1),
-            MockQuery::summary(1, 5, 1),
-        ]);
+        let mut query = MockQuery::new(vec![MockQuery::entry(0, 5, 1), MockQuery::entry(1, 5, 1)]);
         query.local.push((JobId(1), MachineId(2)));
         let mut s = EAntScheduler::new(EAntConfig::paper_default(), 3);
         let mut picks_local = 0;
@@ -397,9 +397,9 @@ mod tests {
     fn share_cap_excludes_hogs_when_others_wait() {
         // Twenty active jobs → fair share 4.8 slots, β-scaled cap ≈ 14.4.
         // Job 0 hogs 90 slots; only jobs 0 and 1 have pending maps.
-        let mut jobs = vec![MockQuery::summary(0, 5, 90), MockQuery::summary(1, 5, 0)];
+        let mut jobs = vec![MockQuery::entry(0, 5, 90), MockQuery::entry(1, 5, 0)];
         for id in 2..20 {
-            jobs.push(MockQuery::summary(id, 0, 0));
+            jobs.push(MockQuery::entry(id, 0, 0));
         }
         let query = MockQuery::new(jobs);
         let mut s = EAntScheduler::new(EAntConfig::paper_default(), 5);
@@ -415,9 +415,9 @@ mod tests {
     #[test]
     fn capped_job_still_runs_when_alone() {
         // Same hog, but no competitor has pending work: it still runs.
-        let mut jobs = vec![MockQuery::summary(0, 5, 90)];
+        let mut jobs = vec![MockQuery::entry(0, 5, 90)];
         for id in 1..20 {
-            jobs.push(MockQuery::summary(id, 0, 0));
+            jobs.push(MockQuery::entry(id, 0, 0));
         }
         let query = MockQuery::new(jobs);
         let mut s = EAntScheduler::new(EAntConfig::paper_default(), 5);

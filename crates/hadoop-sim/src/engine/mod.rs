@@ -1,4 +1,25 @@
 //! The heartbeat-driven JobTracker/TaskTracker engine.
+//!
+//! The engine is split along its event paths, all wired to the
+//! incrementally maintained [`ClusterState`] scoreboard:
+//!
+//! * [`heartbeat`] — slot offers, task start/completion, the assignment
+//!   hot path;
+//! * [`speculation`] — backup-task (straggler mitigation) policies;
+//! * [`power`] — power-down and DVFS management at heartbeat granularity;
+//! * [`report`] — TaskTracker report synthesis, control-interval
+//!   snapshots and end-of-run result assembly.
+//!
+//! This module owns the engine state, the event loop, and the
+//! [`ClusterQuery`] implementation schedulers see. Every event that
+//! changes a job's queue lengths, slot occupancy or lifecycle calls
+//! [`Engine::refresh_job`] (or marks submission), so the scoreboard is
+//! always current and querying it never rebuilds anything.
+
+mod heartbeat;
+mod power;
+mod report;
+mod speculation;
 
 use std::collections::BTreeMap;
 
@@ -8,12 +29,13 @@ use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use cluster::hdfs::{BlockPlacer, Locality, DEFAULT_REPLICATION};
 use cluster::network::{Network, GIGABIT_MBPS};
 use cluster::{Fleet, MachineId, SlotKind};
-use workload::{JobId, JobSpec, TaskDemand, TaskId, TaskIndex};
+use workload::{JobId, JobSpec, TaskId};
 
+use crate::cluster_state::{ClusterState, JobEntry};
 use crate::job_state::JobState;
-use crate::report::{TaskReport, UtilizationSample};
-use crate::result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult};
-use crate::scheduler::{ClusterQuery, JobSummary, Scheduler};
+use crate::report::TaskReport;
+use crate::result::{IntervalSnapshot, RunResult};
+use crate::scheduler::{ClusterQuery, Scheduler};
 use crate::EngineConfig;
 
 /// A task attempt in flight; carried inside its completion event so no
@@ -62,6 +84,9 @@ pub struct Engine {
     config: EngineConfig,
     jobs: Vec<JobState>,
     submitted: Vec<bool>,
+    /// The scheduler-facing scoreboard, updated at every state-changing
+    /// event and borrowed (never rebuilt) at decision time.
+    state: ClusterState,
     now: SimTime,
     rng_demand: SimRng,
     rng_noise: SimRng,
@@ -107,6 +132,7 @@ impl Engine {
             config,
             jobs: Vec::new(),
             submitted: Vec::new(),
+            state: ClusterState::new(),
             now: SimTime::ZERO,
             rng_demand: root.fork("demand"),
             rng_noise: root.fork("noise"),
@@ -148,6 +174,7 @@ impl Engine {
             let blocks =
                 self.placer
                     .place(&self.fleet, spec.num_maps() as usize, &mut self.rng_place);
+            self.state.register(&spec);
             self.jobs.push(JobState::new(spec, blocks));
             self.submitted.push(false);
         }
@@ -173,6 +200,7 @@ impl Engine {
             spec.num_maps() as usize,
             "one block per map task required"
         );
+        self.state.register(&spec);
         self.jobs.push(JobState::new(spec, blocks));
         self.submitted.push(false);
     }
@@ -214,6 +242,7 @@ impl Engine {
             match event {
                 Event::JobArrival(i) => {
                     self.submitted[i] = true;
+                    self.state.update(JobId(i as u64), |e| e.submitted = true);
                     let spec = self.jobs[i].spec.clone();
                     scheduler.on_job_submitted(&*self, &spec);
                 }
@@ -247,583 +276,23 @@ impl Engine {
         !self.jobs.is_empty() && self.jobs.iter().all(|j| j.is_complete())
     }
 
-    /// Power-down policy applied at each heartbeat: sleep when the cluster
-    /// has been droughted of runnable work, wake (with latency) when work
-    /// reappears. Returns false while the machine cannot accept tasks.
-    fn manage_power(&mut self, machine: MachineId) -> bool {
-        let Some(policy) = self.config.power_down else {
-            return true;
-        };
-        let has_work = self.any_pending(SlotKind::Map, machine)
-            || self.any_pending(SlotKind::Reduce, machine)
-            || self.jobs.iter().any(|j| j.running_tasks > 0);
-        if has_work {
-            self.last_work_at = self.now;
-        }
-        let idx = machine.index();
-        let asleep = self
-            .fleet
-            .machine(machine)
-            .map(|m| m.is_standby())
-            .unwrap_or(false);
-        if asleep {
-            if !has_work {
-                return false;
-            }
-            // Wake up: start (or continue) the boot delay.
-            match self.waking_until[idx] {
-                Some(ready) if self.now >= ready => {
-                    self.waking_until[idx] = None;
-                    let now = self.now;
-                    if let Ok(m) = self.fleet.machine_mut(machine) {
-                        m.power_up(now);
-                    }
-                    true
-                }
-                Some(_) => false,
-                None => {
-                    self.waking_until[idx] = Some(self.now + policy.wake_latency);
-                    false
-                }
-            }
-        } else {
-            let idle_machine = self
-                .fleet
-                .machine(machine)
-                .map(|m| m.slots().used_map + m.slots().used_reduce == 0)
-                .unwrap_or(false);
-            let drought = self.now.saturating_since(self.last_work_at) >= policy.idle_timeout;
-            if idle_machine && !has_work && drought {
-                let now = self.now;
-                if let Ok(m) = self.fleet.machine_mut(machine) {
-                    m.power_down(now, policy.standby_watts);
-                }
-                return false;
-            }
-            true
-        }
-    }
-
-    /// DVFS policy applied at each heartbeat: shift to eco frequency when
-    /// lightly utilized, back to nominal under load (hysteresis between the
-    /// two thresholds).
-    fn manage_dvfs(&mut self, machine: MachineId) {
-        let Some(policy) = self.config.dvfs else {
-            return;
-        };
-        let now = self.now;
-        let Ok(m) = self.fleet.machine_mut(machine) else {
-            return;
-        };
-        let util = m.utilization();
-        let current = m.dvfs_factor();
-        if util < policy.low_utilization && (current - 1.0).abs() < f64::EPSILON {
-            m.set_dvfs(now, policy.eco_factor);
-        } else if util > policy.high_utilization && current < 1.0 {
-            m.set_dvfs(now, 1.0);
-        }
-    }
-
-    /// Offers each free slot of `machine` to the scheduler.
-    fn heartbeat(
-        &mut self,
-        machine: MachineId,
-        scheduler: &mut dyn Scheduler,
-        queue: &mut EventQueue<Event>,
-    ) {
-        if !self.manage_power(machine) {
-            return;
-        }
-        self.manage_dvfs(machine);
-        for kind in [SlotKind::Map, SlotKind::Reduce] {
-            loop {
-                let has_slot = self
-                    .fleet
-                    .machine(machine)
-                    .map(|m| m.has_free_slot(kind))
-                    .unwrap_or(false);
-                if !has_slot || !self.any_pending(kind, machine) {
-                    break;
-                }
-                let Some(job) = scheduler.select_job(&*self, machine, kind) else {
-                    break;
-                };
-                if !self.start_task(job, machine, kind, queue) {
-                    // Scheduler picked a job with nothing to run; treat as a
-                    // decline to avoid livelock.
-                    break;
-                }
-            }
-            // Backup tasks: with a still-free slot and no fresh work, clone
-            // a straggling attempt from elsewhere.
-            if self.config.speculation != crate::SpeculationPolicy::Off {
-                self.try_speculate(machine, kind, queue);
-            }
-        }
-    }
-
-    /// Launches at most one speculative copy of a straggling task of `kind`
-    /// on `machine`, per the configured policy.
-    fn try_speculate(&mut self, machine: MachineId, kind: SlotKind, queue: &mut EventQueue<Event>) {
-        let has_slot = self
-            .fleet
-            .machine(machine)
-            .map(|m| m.has_free_slot(kind))
-            .unwrap_or(false);
-        if !has_slot || self.any_pending(kind, machine) {
-            return;
-        }
-        // LATE only backs up onto fast machines (>= median fleet speed).
-        if self.config.speculation == crate::SpeculationPolicy::Late {
-            let mut speeds: Vec<f64> = self
-                .fleet
-                .iter()
-                .map(|m| m.profile().cores() as f64 * m.profile().cpu_speed())
-                .collect();
-            speeds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let median = speeds[speeds.len() / 2];
-            let mine = self
-                .fleet
-                .machine(machine)
-                .map(|m| m.profile().cores() as f64 * m.profile().cpu_speed())
-                .unwrap_or(0.0);
-            if mine < median {
-                return;
-            }
-        }
-
-        // Find the longest-elapsed single-attempt straggler of this kind.
-        let threshold = self.config.speculation_threshold;
-        let mut best: Option<(TaskId, f64)> = None;
-        for (&task, attempts) in &self.attempts {
-            if task.task.kind != kind || attempts.len() != 1 {
-                continue;
-            }
-            let (running_on, started) = attempts[0];
-            if running_on == machine {
-                continue;
-            }
-            let ji = task.job.index();
-            if self.jobs[ji].is_task_finished(kind, task.task.index) {
-                continue;
-            }
-            let Some(&(sum, n)) = self.duration_stats.get(&(ji, kind)) else {
-                continue;
-            };
-            if n == 0 {
-                continue;
-            }
-            let mean = sum / n as f64;
-            let elapsed = self.now.saturating_since(started).as_secs_f64();
-            if elapsed > threshold * mean && best.is_none_or(|(_, e)| elapsed > e) {
-                best = Some((task, elapsed));
-            }
-        }
-        let Some((task, _)) = best else { return };
-
-        // Clone the attempt onto this machine with a fresh demand sample.
-        let ji = task.job.index();
-        let (locality, demand) = match kind {
-            SlotKind::Map => {
-                let block = self.jobs[ji].blocks[task.task.index as usize].clone();
-                let loc = cluster::hdfs::locality(&self.fleet, &block, machine);
-                (
-                    Some(loc),
-                    self.jobs[ji].spec.map_demand(&mut self.rng_demand),
-                )
-            }
-            SlotKind::Reduce => (None, self.jobs[ji].spec.reduce_demand(&mut self.rng_demand)),
-        };
-        let rt = self.make_running_task(
-            task.job,
-            task.task.index,
-            machine,
-            kind,
-            locality,
-            demand,
-            true,
-        );
-        let occupy = self
-            .fleet
-            .machine_mut(machine)
-            .and_then(|m| m.occupy(self.now, kind, rt.core_load));
-        if occupy.is_err() {
-            return;
-        }
-        if rt.shuffle_charged {
-            self.network.begin_transfer(machine);
-        }
-        self.jobs[ji].note_task_started(self.now);
-        self.attempts
-            .entry(task)
-            .or_default()
-            .push((machine, self.now));
-        self.speculative_launched += 1;
-        let done_at = self.now + SimDuration::from_secs_f64(rt.duration_secs);
-        queue.schedule(done_at, Event::TaskDone(Box::new(rt)));
-    }
-
-    fn any_pending(&self, kind: SlotKind, _machine: MachineId) -> bool {
-        self.jobs.iter().enumerate().any(|(i, j)| {
-            self.submitted[i]
-                && !j.is_complete()
-                && match kind {
-                    SlotKind::Map => j.pending_maps() > 0,
-                    SlotKind::Reduce => j.pending_reduces(self.config.reduce_slowstart) > 0,
-                }
-        })
-    }
-
-    /// Starts the best pending task of `job` on `machine`. Returns false if
-    /// the job had no eligible task of that kind.
-    fn start_task(
-        &mut self,
-        job: JobId,
-        machine: MachineId,
-        kind: SlotKind,
-        queue: &mut EventQueue<Event>,
-    ) -> bool {
-        let ji = job.index();
-        if ji >= self.jobs.len() || !self.submitted[ji] {
-            return false;
-        }
-
-        // Take a concrete task from the job.
-        let (index, locality, demand) = {
-            let slowstart = self.config.reduce_slowstart;
-            let state = &mut self.jobs[ji];
-            match kind {
-                SlotKind::Map => {
-                    let Some((idx, loc)) = state.take_map_for(&self.fleet, machine) else {
-                        return false;
-                    };
-                    let demand = state.spec.map_demand(&mut self.rng_demand);
-                    (idx, Some(loc), demand)
-                }
-                SlotKind::Reduce => {
-                    let Some(idx) = state.take_reduce(slowstart) else {
-                        return false;
-                    };
-                    let demand = state.spec.reduce_demand(&mut self.rng_demand);
-                    (idx, None, demand)
-                }
-            }
-        };
-
-        let rt = self.make_running_task(job, index, machine, kind, locality, demand, false);
-
-        // Occupy the slot; on the (impossible) race of a full machine,
-        // return the task to the queue.
-        let occupy = self
-            .fleet
-            .machine_mut(machine)
-            .and_then(|m| m.occupy(self.now, kind, rt.core_load));
-        if occupy.is_err() {
-            match kind {
-                SlotKind::Map => self.jobs[ji].return_map(index),
-                SlotKind::Reduce => self.jobs[ji].return_reduce(index),
-            }
-            return false;
-        }
-        if rt.shuffle_charged {
-            self.network.begin_transfer(machine);
-        }
-        self.jobs[ji].note_task_started(self.now);
-        self.attempts
-            .entry(rt.task)
-            .or_default()
-            .push((machine, self.now));
-
-        // Interval assignment bookkeeping (convergence analysis).
-        let counts = self
-            .interval_assignments
-            .entry(job)
-            .or_insert_with(|| vec![0; self.fleet.len()]);
-        counts[machine.index()] += 1;
-
-        let done_at = self.now + SimDuration::from_secs_f64(rt.duration_secs);
-        queue.schedule(done_at, Event::TaskDone(Box::new(rt)));
-        true
-    }
-
-    /// Computes service time, core load and noise for a new attempt.
-    #[allow(clippy::too_many_arguments)]
-    fn make_running_task(
-        &mut self,
-        job: JobId,
-        index: u32,
-        machine: MachineId,
-        kind: SlotKind,
-        locality: Option<Locality>,
-        demand: TaskDemand,
-        speculative: bool,
-    ) -> RunningTask {
-        let m = self.fleet.machine(machine).expect("machine exists");
-        let prof = m.profile();
-
-        // DVFS slows the CPU phase of work started while in eco mode.
-        let cpu_secs = demand.cpu_secs / (prof.cpu_speed() * m.dvfs_factor());
-        let (io_secs, shuffle_secs, shuffle_charged): (f64, f64, bool) = match kind {
-            SlotKind::Map => {
-                let mult = locality.map_or(1.0, Locality::read_cost_multiplier);
-                (demand.io_secs * mult / prof.io_speed(), 0.0, false)
-            }
-            SlotKind::Reduce => {
-                let shuffle = self.network.transfer_seconds(machine, demand.input_mb);
-                (
-                    demand.io_secs / prof.io_speed(),
-                    shuffle,
-                    demand.input_mb > 0.0,
-                )
-            }
-        };
-        let other_secs = io_secs + shuffle_secs;
-        let base = (cpu_secs + other_secs).max(0.001);
-
-        // Oversubscription: when average busy cores would exceed the core
-        // count, everything on the machine slows proportionally. Applied to
-        // this attempt only (an approximation that avoids rescheduling).
-        let core_load = ((cpu_secs + 0.15 * other_secs) / base).clamp(0.0, 1.0);
-        let busy_after = m.utilization() * prof.cores() as f64 + core_load;
-        let contention = (busy_after / prof.cores() as f64).max(1.0);
-
-        // Straggler injection (system noise, §IV-D).
-        let noise = &self.config.noise;
-        let straggled = noise.straggler_prob > 0.0 && self.rng_noise.chance(noise.straggler_prob);
-        let straggle = if straggled {
-            let (lo, hi) = noise.straggler_slowdown;
-            if hi > lo {
-                self.rng_noise.uniform_range(lo, hi)
-            } else {
-                lo
-            }
-        } else {
-            1.0
-        };
-
-        let duration_secs = base * contention * straggle;
-        RunningTask {
-            task: TaskId {
-                job,
-                task: TaskIndex { kind, index },
-            },
-            machine,
-            kind,
-            started_at: self.now,
-            cpu_secs,
-            other_secs,
-            duration_secs,
-            core_load,
-            locality,
-            straggled,
-            speculative,
-            shuffle_secs,
-            shuffle_charged,
-        }
-    }
-
-    fn complete_task(&mut self, rt: RunningTask, scheduler: &mut dyn Scheduler) {
-        let ji = rt.task.job.index();
-
-        if rt.shuffle_charged {
-            self.network.end_transfer(rt.machine);
-        }
-        self.fleet
-            .machine_mut(rt.machine)
-            .expect("machine exists")
-            .release(self.now, rt.kind, rt.core_load)
-            .expect("slot was occupied");
-
-        let won = self.jobs[ji].note_task_completed(self.now, rt.kind, rt.task.task.index);
-        if won {
-            // Record the completed duration for speculation thresholds.
-            let entry = self.duration_stats.entry((ji, rt.kind)).or_insert((0.0, 0));
-            entry.0 += rt.duration_secs;
-            entry.1 += 1;
-            // Drop the attempt registry entry; any remaining attempt of
-            // this task will arrive later as a loser.
-            if let Some(list) = self.attempts.get_mut(&rt.task) {
-                list.retain(|&(m, _)| m != rt.machine);
-                if list.is_empty() {
-                    self.attempts.remove(&rt.task);
-                }
-            }
-        } else {
-            // A speculative loser: its work is discarded.
-            self.wasted_attempts += 1;
-            if let Some(list) = self.attempts.get_mut(&rt.task) {
-                list.retain(|&(m, _)| m != rt.machine);
-                if list.is_empty() {
-                    self.attempts.remove(&rt.task);
-                }
-            }
-            return;
-        }
-
-        // Counters.
-        match rt.kind {
-            SlotKind::Map => self.map_counts[rt.machine.index()] += 1,
-            SlotKind::Reduce => self.reduce_counts[rt.machine.index()] += 1,
-        }
-        let bench = self.jobs[ji].spec.benchmark().kind().to_string();
-        *self.bench_counts[rt.machine.index()]
-            .entry(bench)
-            .or_insert(0) += 1;
-        self.total_tasks += 1;
-
-        let report = self.build_report(&rt);
-        scheduler.on_task_completed(&*self, &report);
-        if self.config.record_reports {
-            self.reports.push(report);
-        }
-        if self.jobs[ji].is_complete() {
-            scheduler.on_job_completed(&*self, rt.task.job);
-        }
-    }
-
-    /// Synthesizes the heartbeat-granularity utilization samples a
-    /// TaskTracker would have reported for this attempt.
-    fn build_report(&mut self, rt: &RunningTask) -> TaskReport {
-        let prof = self
-            .fleet
-            .machine(rt.machine)
-            .expect("machine exists")
-            .profile();
-        let cores = prof.cores() as f64;
-        let hb = self.config.heartbeat.as_secs_f64();
-        let duration = rt.duration_secs;
-        // True per-phase process utilization as a fraction of the machine.
-        let u_cpu = 1.0 / cores;
-        let u_io = 0.15 / cores;
-        // The CPU phase occupies the front of the (stretched) attempt.
-        let cpu_span = if rt.cpu_secs + rt.other_secs > 0.0 {
-            duration * rt.cpu_secs / (rt.cpu_secs + rt.other_secs)
-        } else {
-            0.0
-        };
-
-        let jitter = self.config.noise.utilization_jitter;
-        let mut samples = Vec::new();
-        let mut t = 0.0;
-        while t < duration {
-            let dt = hb.min(duration - t);
-            // Phase-weighted true utilization over [t, t+dt): samples that
-            // straddle the CPU→I/O boundary blend the two levels.
-            let cpu_part = (cpu_span - t).clamp(0.0, dt);
-            let u_true = (cpu_part * u_cpu + (dt - cpu_part) * u_io) / dt;
-            let factor = if jitter > 0.0 {
-                self.rng_noise.normal_clamped(1.0, jitter, 0.3, 3.0)
-            } else {
-                1.0
-            };
-            samples.push(UtilizationSample {
-                dt_secs: dt,
-                utilization: (u_true * factor).clamp(0.0, 1.0),
-            });
-            t += dt;
-        }
-
-        // Ground-truth Eq. 2 attribution (noise-free).
-        let u_mean_true = (cpu_span * u_cpu + (duration - cpu_span) * u_io) / duration.max(1e-9);
-        let power = prof.power();
-        let true_energy = (power.idle_share_per_slot(prof.total_slots())
-            + power.alpha_watts() * u_mean_true)
-            * duration;
-
-        TaskReport {
-            task: rt.task,
-            machine: rt.machine,
-            kind: rt.kind,
-            job_group: self.jobs[rt.task.job.index()].spec.group_key(),
-            started_at: rt.started_at,
-            finished_at: self.now,
-            locality: rt.locality,
-            samples,
-            shuffle_secs: rt.shuffle_secs,
-            true_energy_joules: true_energy,
-            straggled: rt.straggled,
-            speculative: rt.speculative,
-        }
-    }
-
-    fn control_tick(&mut self, scheduler: &mut dyn Scheduler) {
-        self.fleet.sync_all(self.now);
-        let energy = self.fleet.total_energy_joules();
-        self.energy_series.record(self.now, energy);
-        self.intervals.push(IntervalSnapshot {
-            at: self.now,
-            cumulative_energy_joules: energy,
-            assignments: std::mem::take(&mut self.interval_assignments),
+    /// Re-derives a job's scoreboard row from its authoritative
+    /// [`JobState`]. Called after every task start/completion that touches
+    /// the job; cost is O(1) plus at most one active-index edit.
+    fn refresh_job(&mut self, ji: usize) {
+        let j = &self.jobs[ji];
+        let pending_maps = j.pending_maps();
+        let pending_reduces = j.pending_reduces(self.config.reduce_slowstart);
+        let slots_occupied = j.running_tasks;
+        let completed_tasks = j.completed_tasks();
+        let finished = j.is_complete();
+        self.state.update(JobId(ji as u64), |e| {
+            e.pending_maps = pending_maps;
+            e.pending_reduces = pending_reduces;
+            e.slots_occupied = slots_occupied;
+            e.completed_tasks = completed_tasks;
+            e.finished = finished;
         });
-        scheduler.on_control_interval(&*self);
-    }
-
-    fn finish(&mut self, scheduler_name: String, drained: bool) -> RunResult {
-        self.fleet.sync_all(self.now);
-        // Final sample so the energy series always ends at the run total,
-        // plus a partial-interval snapshot when anything was assigned since
-        // the last control tick (or no tick ever fired).
-        let energy = self.fleet.total_energy_joules();
-        self.energy_series.record(self.now, energy);
-        if !self.interval_assignments.is_empty() || self.intervals.is_empty() {
-            self.intervals.push(IntervalSnapshot {
-                at: self.now,
-                cumulative_energy_joules: energy,
-                assignments: std::mem::take(&mut self.interval_assignments),
-            });
-        }
-
-        let jobs = self
-            .jobs
-            .iter()
-            .map(|j| JobOutcome {
-                id: j.spec.id(),
-                label: j.spec.class_label(),
-                benchmark: j.spec.benchmark().kind().to_string(),
-                size_class: j.spec.size_class(),
-                submitted_at: j.spec.submit_at(),
-                phase: j.phase(),
-                finished_at: j.finished_at,
-                total_tasks: j.spec.num_tasks(),
-                reference_work_secs: j.spec.reference_work_secs(),
-            })
-            .collect();
-
-        let machines = self
-            .fleet
-            .iter()
-            .map(|m| {
-                let id = m.id();
-                MachineOutcome {
-                    machine: id,
-                    profile: m.profile().name().to_owned(),
-                    energy_joules: m.meter().total_joules(),
-                    idle_joules: m.meter().idle_joules(),
-                    workload_joules: m.meter().workload_joules(),
-                    mean_utilization: m.mean_utilization(self.now),
-                    map_tasks: self.map_counts[id.index()],
-                    reduce_tasks: self.reduce_counts[id.index()],
-                    tasks_by_benchmark: self.bench_counts[id.index()].clone(),
-                }
-            })
-            .collect();
-
-        RunResult {
-            scheduler: scheduler_name,
-            makespan: self.now - SimTime::ZERO,
-            drained,
-            jobs,
-            machines,
-            intervals: std::mem::take(&mut self.intervals),
-            energy_series: std::mem::replace(
-                &mut self.energy_series,
-                TimeSeries::new("cumulative_energy_joules"),
-            ),
-            reports: std::mem::take(&mut self.reports),
-            total_tasks: self.total_tasks,
-            speculative_attempts: self.speculative_launched,
-            wasted_attempts: self.wasted_attempts,
-        }
     }
 }
 
@@ -836,22 +305,8 @@ impl ClusterQuery for Engine {
         &self.fleet
     }
 
-    fn active_jobs(&self) -> Vec<JobSummary> {
-        self.jobs
-            .iter()
-            .enumerate()
-            .filter(|(i, j)| self.submitted[*i] && !j.is_complete())
-            .map(|(_, j)| JobSummary {
-                id: j.spec.id(),
-                group: j.spec.group_key(),
-                pending_maps: j.pending_maps(),
-                pending_reduces: j.pending_reduces(self.config.reduce_slowstart),
-                slots_occupied: j.running_tasks,
-                completed_tasks: j.completed_tasks(),
-                total_tasks: j.spec.num_tasks(),
-                submitted_at: j.spec.submit_at(),
-            })
-            .collect()
+    fn state(&self) -> &ClusterState {
+        &self.state
     }
 
     fn job_spec(&self, job: JobId) -> Option<&JobSpec> {
@@ -871,11 +326,38 @@ impl ClusterQuery for Engine {
     fn network_congestion(&self) -> f64 {
         self.network.mean_congestion()
     }
+
+    /// Oracle for the property suite: rebuilds the scoreboard by full scan
+    /// of the authoritative per-job task queues, sharing none of the
+    /// incremental bookkeeping.
+    fn rebuild_state(&self) -> ClusterState {
+        let slowstart = self.config.reduce_slowstart;
+        let labels: Vec<String> = self.jobs.iter().map(|j| j.spec.class_label()).collect();
+        let entries = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| JobEntry {
+                id: j.spec.id(),
+                group: self.state.job(j.spec.id()).group,
+                pending_maps: j.pending_maps(),
+                pending_reduces: j.pending_reduces(slowstart),
+                slots_occupied: j.running_tasks,
+                completed_tasks: j.completed_tasks(),
+                total_tasks: j.spec.num_tasks(),
+                submitted_at: j.spec.submit_at(),
+                submitted: self.submitted[i],
+                finished: j.is_complete(),
+            })
+            .collect();
+        ClusterState::rebuild_from_scratch(entries, &labels)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::result::MachineOutcome;
     use crate::scheduler::GreedyScheduler;
     use crate::NoiseConfig;
     use cluster::profiles;
@@ -957,6 +439,36 @@ mod tests {
                 "idle + workload must equal total"
             );
         }
+    }
+
+    #[test]
+    fn scoreboard_tracks_run_lifecycle() {
+        let mut engine = Engine::new(small_fleet(), quiet_config(), 7);
+        engine.submit_jobs(vec![JobSpec::new(
+            JobId(0),
+            Benchmark::wordcount(),
+            16,
+            2,
+            SimTime::ZERO,
+        )]);
+        // Registered but not yet submitted: present, inactive.
+        assert_eq!(engine.state().jobs().len(), 1);
+        assert_eq!(engine.state().num_active(), 0);
+        assert_eq!(
+            engine
+                .state()
+                .groups()
+                .name(engine.state().job(JobId(0)).group),
+            "Wordcount"
+        );
+        engine.run(&mut GreedyScheduler::new());
+        // Drained: no active jobs, nothing pending or running; the
+        // incremental board agrees with a from-scratch rebuild.
+        assert_eq!(engine.state().num_active(), 0);
+        assert_eq!(engine.state().pending_total(SlotKind::Map), 0);
+        assert_eq!(engine.state().running_total(), 0);
+        assert_eq!(engine.state().job(JobId(0)).completed_tasks, 18);
+        assert_eq!(*engine.state(), engine.rebuild_state());
     }
 
     #[test]

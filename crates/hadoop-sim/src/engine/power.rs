@@ -1,0 +1,85 @@
+//! Power management applied at heartbeat granularity: machine power-down
+//! with wake latency, and two-threshold DVFS.
+
+use cluster::{MachineId, SlotKind};
+
+use super::Engine;
+
+impl Engine {
+    /// Power-down policy applied at each heartbeat: sleep when the cluster
+    /// has been droughted of runnable work, wake (with latency) when work
+    /// reappears. Returns false while the machine cannot accept tasks.
+    pub(super) fn manage_power(&mut self, machine: MachineId) -> bool {
+        let Some(policy) = self.config.power_down else {
+            return true;
+        };
+        let has_work = self.any_pending(SlotKind::Map)
+            || self.any_pending(SlotKind::Reduce)
+            || self.state.running_total() > 0;
+        if has_work {
+            self.last_work_at = self.now;
+        }
+        let idx = machine.index();
+        let asleep = self
+            .fleet
+            .machine(machine)
+            .map(|m| m.is_standby())
+            .unwrap_or(false);
+        if asleep {
+            if !has_work {
+                return false;
+            }
+            // Wake up: start (or continue) the boot delay.
+            match self.waking_until[idx] {
+                Some(ready) if self.now >= ready => {
+                    self.waking_until[idx] = None;
+                    let now = self.now;
+                    if let Ok(m) = self.fleet.machine_mut(machine) {
+                        m.power_up(now);
+                    }
+                    true
+                }
+                Some(_) => false,
+                None => {
+                    self.waking_until[idx] = Some(self.now + policy.wake_latency);
+                    false
+                }
+            }
+        } else {
+            let idle_machine = self
+                .fleet
+                .machine(machine)
+                .map(|m| m.slots().used_map + m.slots().used_reduce == 0)
+                .unwrap_or(false);
+            let drought = self.now.saturating_since(self.last_work_at) >= policy.idle_timeout;
+            if idle_machine && !has_work && drought {
+                let now = self.now;
+                if let Ok(m) = self.fleet.machine_mut(machine) {
+                    m.power_down(now, policy.standby_watts);
+                }
+                return false;
+            }
+            true
+        }
+    }
+
+    /// DVFS policy applied at each heartbeat: shift to eco frequency when
+    /// lightly utilized, back to nominal under load (hysteresis between the
+    /// two thresholds).
+    pub(super) fn manage_dvfs(&mut self, machine: MachineId) {
+        let Some(policy) = self.config.dvfs else {
+            return;
+        };
+        let now = self.now;
+        let Ok(m) = self.fleet.machine_mut(machine) else {
+            return;
+        };
+        let util = m.utilization();
+        let current = m.dvfs_factor();
+        if util < policy.low_utilization && (current - 1.0).abs() < f64::EPSILON {
+            m.set_dvfs(now, policy.eco_factor);
+        } else if util > policy.high_utilization && current < 1.0 {
+            m.set_dvfs(now, 1.0);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! TaskTracker report synthesis, control-interval snapshots and
+//! end-of-run result assembly.
+
+use simcore::series::TimeSeries;
+use simcore::SimTime;
+
+use crate::report::{TaskReport, UtilizationSample};
+use crate::result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult};
+use crate::scheduler::Scheduler;
+
+use super::{Engine, RunningTask};
+
+impl Engine {
+    /// Synthesizes the heartbeat-granularity utilization samples a
+    /// TaskTracker would have reported for this attempt.
+    pub(super) fn build_report(&mut self, rt: &RunningTask) -> TaskReport {
+        let prof = self
+            .fleet
+            .machine(rt.machine)
+            .expect("machine exists")
+            .profile();
+        let cores = prof.cores() as f64;
+        let hb = self.config.heartbeat.as_secs_f64();
+        let duration = rt.duration_secs;
+        // True per-phase process utilization as a fraction of the machine.
+        let u_cpu = 1.0 / cores;
+        let u_io = 0.15 / cores;
+        // The CPU phase occupies the front of the (stretched) attempt.
+        let cpu_span = if rt.cpu_secs + rt.other_secs > 0.0 {
+            duration * rt.cpu_secs / (rt.cpu_secs + rt.other_secs)
+        } else {
+            0.0
+        };
+
+        let jitter = self.config.noise.utilization_jitter;
+        let mut samples = Vec::new();
+        let mut t = 0.0;
+        while t < duration {
+            let dt = hb.min(duration - t);
+            // Phase-weighted true utilization over [t, t+dt): samples that
+            // straddle the CPU→I/O boundary blend the two levels.
+            let cpu_part = (cpu_span - t).clamp(0.0, dt);
+            let u_true = (cpu_part * u_cpu + (dt - cpu_part) * u_io) / dt;
+            let factor = if jitter > 0.0 {
+                self.rng_noise.normal_clamped(1.0, jitter, 0.3, 3.0)
+            } else {
+                1.0
+            };
+            samples.push(UtilizationSample {
+                dt_secs: dt,
+                utilization: (u_true * factor).clamp(0.0, 1.0),
+            });
+            t += dt;
+        }
+
+        // Ground-truth Eq. 2 attribution (noise-free).
+        let u_mean_true = (cpu_span * u_cpu + (duration - cpu_span) * u_io) / duration.max(1e-9);
+        let power = prof.power();
+        let true_energy = (power.idle_share_per_slot(prof.total_slots())
+            + power.alpha_watts() * u_mean_true)
+            * duration;
+
+        TaskReport {
+            task: rt.task,
+            machine: rt.machine,
+            kind: rt.kind,
+            group: self.state.job(rt.task.job).group,
+            started_at: rt.started_at,
+            finished_at: self.now,
+            locality: rt.locality,
+            samples,
+            shuffle_secs: rt.shuffle_secs,
+            true_energy_joules: true_energy,
+            straggled: rt.straggled,
+            speculative: rt.speculative,
+        }
+    }
+
+    pub(super) fn control_tick(&mut self, scheduler: &mut dyn Scheduler) {
+        self.fleet.sync_all(self.now);
+        let energy = self.fleet.total_energy_joules();
+        self.energy_series.record(self.now, energy);
+        self.intervals.push(IntervalSnapshot {
+            at: self.now,
+            cumulative_energy_joules: energy,
+            assignments: std::mem::take(&mut self.interval_assignments),
+        });
+        scheduler.on_control_interval(&*self);
+    }
+
+    pub(super) fn finish(&mut self, scheduler_name: String, drained: bool) -> RunResult {
+        self.fleet.sync_all(self.now);
+        // Final sample so the energy series always ends at the run total,
+        // plus a partial-interval snapshot when anything was assigned since
+        // the last control tick (or no tick ever fired).
+        let energy = self.fleet.total_energy_joules();
+        self.energy_series.record(self.now, energy);
+        if !self.interval_assignments.is_empty() || self.intervals.is_empty() {
+            self.intervals.push(IntervalSnapshot {
+                at: self.now,
+                cumulative_energy_joules: energy,
+                assignments: std::mem::take(&mut self.interval_assignments),
+            });
+        }
+
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| JobOutcome {
+                id: j.spec.id(),
+                label: j.spec.class_label(),
+                benchmark: j.spec.benchmark().kind().to_string(),
+                size_class: j.spec.size_class(),
+                submitted_at: j.spec.submit_at(),
+                phase: j.phase(),
+                finished_at: j.finished_at,
+                total_tasks: j.spec.num_tasks(),
+                reference_work_secs: j.spec.reference_work_secs(),
+            })
+            .collect();
+
+        let machines = self
+            .fleet
+            .iter()
+            .map(|m| {
+                let id = m.id();
+                MachineOutcome {
+                    machine: id,
+                    profile: m.profile().name().to_owned(),
+                    energy_joules: m.meter().total_joules(),
+                    idle_joules: m.meter().idle_joules(),
+                    workload_joules: m.meter().workload_joules(),
+                    mean_utilization: m.mean_utilization(self.now),
+                    map_tasks: self.map_counts[id.index()],
+                    reduce_tasks: self.reduce_counts[id.index()],
+                    tasks_by_benchmark: self.bench_counts[id.index()].clone(),
+                }
+            })
+            .collect();
+
+        RunResult {
+            scheduler: scheduler_name,
+            makespan: self.now - SimTime::ZERO,
+            drained,
+            groups: self.state.groups().names().to_vec(),
+            jobs,
+            machines,
+            intervals: std::mem::take(&mut self.intervals),
+            energy_series: std::mem::replace(
+                &mut self.energy_series,
+                TimeSeries::new("cumulative_energy_joules"),
+            ),
+            reports: std::mem::take(&mut self.reports),
+            total_tasks: self.total_tasks,
+            speculative_attempts: self.speculative_launched,
+            wasted_attempts: self.wasted_attempts,
+        }
+    }
+}

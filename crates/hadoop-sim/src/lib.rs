@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cluster_state;
 mod config;
 mod engine;
 mod job_state;
@@ -56,12 +57,13 @@ mod result;
 mod scheduler;
 pub mod single_node;
 
+pub use cluster_state::{ClusterState, JobEntry};
 pub use config::{DvfsConfig, EngineConfig, NoiseConfig, PowerDownConfig, SpeculationPolicy};
 pub use engine::Engine;
 pub use job_state::JobPhase;
 pub use report::{TaskReport, UtilizationSample};
 pub use result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult};
-pub use scheduler::{ClusterQuery, GreedyScheduler, JobSummary, Scheduler};
+pub use scheduler::{ClusterQuery, GreedyScheduler, Scheduler};
 
 /// Internal key identifying a task within a job: (kind, index).
 pub(crate) type TaskIndexKey = (cluster::SlotKind, u32);

@@ -5,7 +5,7 @@ use simcore::{SimDuration, SimTime};
 
 use cluster::hdfs::Locality;
 use cluster::{MachineId, SlotKind};
-use workload::{JobId, TaskId};
+use workload::{GroupId, JobId, TaskId};
 
 /// One heartbeat-granularity CPU-utilization reading for a task's execution
 /// process, as a TaskTracker would report it.
@@ -35,9 +35,13 @@ pub struct TaskReport {
     pub machine: MachineId,
     /// Map or reduce.
     pub kind: SlotKind,
-    /// The homogeneous-job-group key of the owning job (benchmark + size
-    /// class), used by job-level exchange.
-    pub job_group: String,
+    /// Interned homogeneous-job-group symbol of the owning job
+    /// (benchmark plus size class), used by job-level exchange.
+    /// Resolvable to its label via the run's group table
+    /// ([`RunResult::groups`]).
+    ///
+    /// [`RunResult::groups`]: crate::RunResult::groups
+    pub group: GroupId,
     /// When the attempt started.
     pub started_at: SimTime,
     /// When the attempt finished.
@@ -101,7 +105,7 @@ mod tests {
             },
             machine: MachineId(2),
             kind: SlotKind::Map,
-            job_group: "Wordcount-S".into(),
+            group: GroupId(0),
             started_at: SimTime::from_secs(10),
             finished_at: SimTime::from_secs(25),
             locality: Some(Locality::NodeLocal),

@@ -129,6 +129,10 @@ pub struct RunResult {
     pub makespan: SimDuration,
     /// Whether the run drained all jobs before the time limit.
     pub drained: bool,
+    /// Group labels interned over the run, in [`workload::GroupId`] order:
+    /// `groups[g.index()]` resolves a [`TaskReport::group`] symbol back to
+    /// its label (e.g. `"Terasort-M"`).
+    pub groups: Vec<String>,
     /// Per-job outcomes, in submission order.
     pub jobs: Vec<JobOutcome>,
     /// Per-machine outcomes, in machine order.
@@ -315,6 +319,7 @@ mod tests {
             scheduler: "test".into(),
             makespan: SimDuration::from_secs(100),
             drained: true,
+            groups: Vec::new(),
             jobs,
             machines,
             intervals: Vec::new(),

@@ -6,54 +6,24 @@ use cluster::hdfs::Locality;
 use cluster::{Fleet, MachineId, SlotKind};
 use workload::{JobId, JobSpec};
 
-use crate::TaskReport;
-
-/// A compact, by-value view of one active job's state, produced for
-/// scheduler decision-making.
-#[derive(Debug, Clone, PartialEq)]
-pub struct JobSummary {
-    /// The job id.
-    pub id: JobId,
-    /// Homogeneous-group key (benchmark + size class).
-    pub group: String,
-    /// Pending (unassigned) map tasks.
-    pub pending_maps: u32,
-    /// Pending *eligible* reduce tasks (gated by slow-start).
-    pub pending_reduces: u32,
-    /// Slots currently occupied by this job's running tasks (`S_occ` in
-    /// Eq. 7).
-    pub slots_occupied: u32,
-    /// Tasks completed so far.
-    pub completed_tasks: u32,
-    /// Total tasks in the job.
-    pub total_tasks: u32,
-    /// When the job was submitted.
-    pub submitted_at: SimTime,
-}
-
-impl JobSummary {
-    /// Pending tasks of `kind`.
-    pub fn pending(&self, kind: SlotKind) -> u32 {
-        match kind {
-            SlotKind::Map => self.pending_maps,
-            SlotKind::Reduce => self.pending_reduces,
-        }
-    }
-}
+use crate::{ClusterState, TaskReport};
 
 /// Read-only view of cluster state offered to schedulers at every decision
 /// point. Implemented by the engine.
 ///
 /// This corresponds to the information a real Hadoop scheduler obtains from
 /// the JobTracker's in-memory state plus TaskTracker heartbeats: job queues,
-/// slot occupancy, hardware identity and block locations.
+/// slot occupancy, hardware identity and block locations. Job queues and
+/// occupancy arrive as a *borrowed* [`ClusterState`] scoreboard the engine
+/// maintains incrementally — querying allocates nothing.
 pub trait ClusterQuery {
     /// Current simulated time.
     fn now(&self) -> SimTime;
     /// The cluster fleet (profiles, slots, racks).
     fn fleet(&self) -> &Fleet;
-    /// Jobs that are submitted and not yet complete, in submission order.
-    fn active_jobs(&self) -> Vec<JobSummary>;
+    /// The job/group scoreboard: dense entries, id-sorted active index,
+    /// aggregate totals.
+    fn state(&self) -> &ClusterState;
     /// The spec of a job (active or finished).
     fn job_spec(&self, job: JobId) -> Option<&JobSpec>;
     /// Locality the *best* pending map task of `job` would have on
@@ -65,6 +35,16 @@ pub trait ClusterQuery {
     /// Cluster-wide mean number of active shuffle transfers per machine — a
     /// congestion signal for communication-aware schedulers.
     fn network_congestion(&self) -> f64;
+    /// Test-support oracle: reconstructs the scoreboard from authoritative
+    /// ground truth by full scan. The engine derives it from its per-job
+    /// task queues; the property suite asserts it equals [`state`] after
+    /// every event. The default (for mock queries whose scoreboard *is* the
+    /// ground truth) returns a copy of [`state`].
+    ///
+    /// [`state`]: ClusterQuery::state
+    fn rebuild_state(&self) -> ClusterState {
+        self.state().clone()
+    }
 }
 
 /// A task-assignment policy plugged into the engine.
@@ -106,8 +86,8 @@ pub trait Scheduler {
 }
 
 /// A minimal reference scheduler: offers each slot to the first active job
-/// (in submission order) that has a pending task of the right kind,
-/// preferring jobs with node-local data for map slots.
+/// (in id order) that has a pending task of the right kind, preferring jobs
+/// with node-local data for map slots.
 ///
 /// `GreedyScheduler` approximates Hadoop's default FIFO behaviour and is
 /// what the engine's own tests run against. The richer baselines (Fair,
@@ -144,10 +124,10 @@ impl Scheduler for GreedyScheduler {
         machine: MachineId,
         kind: SlotKind,
     ) -> Option<JobId> {
-        let jobs = query.active_jobs();
+        let state = query.state();
         if kind == SlotKind::Map {
             // First pass: a job with node-local data here.
-            for j in &jobs {
+            for j in state.active() {
                 if j.pending_maps > 0
                     && query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
                 {
@@ -155,29 +135,13 @@ impl Scheduler for GreedyScheduler {
                 }
             }
         }
-        jobs.iter().find(|j| j.pending(kind) > 0).map(|j| j.id)
+        state.active().find(|j| j.pending(kind) > 0).map(|j| j.id)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn job_summary_pending_by_kind() {
-        let s = JobSummary {
-            id: JobId(0),
-            group: "Grep-S".into(),
-            pending_maps: 3,
-            pending_reduces: 1,
-            slots_occupied: 2,
-            completed_tasks: 5,
-            total_tasks: 11,
-            submitted_at: SimTime::ZERO,
-        };
-        assert_eq!(s.pending(SlotKind::Map), 3);
-        assert_eq!(s.pending(SlotKind::Reduce), 1);
-    }
 
     #[test]
     fn greedy_scheduler_is_object_safe() {

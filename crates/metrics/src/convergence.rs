@@ -65,6 +65,7 @@ mod tests {
             scheduler: "x".into(),
             makespan: SimDuration::from_secs(1),
             drained: true,
+            groups: vec![],
             jobs: vec![JobOutcome {
                 id: JobId(0),
                 label: "Grep".into(),

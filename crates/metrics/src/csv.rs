@@ -132,6 +132,7 @@ mod tests {
             scheduler: "E-Ant".into(),
             makespan: SimDuration::from_secs(10),
             drained: true,
+            groups: vec![],
             jobs: vec![JobOutcome {
                 id: JobId(0),
                 label: "Grep, with comma".into(),

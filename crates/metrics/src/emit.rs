@@ -245,7 +245,7 @@ impl ToJson for TaskReport {
             ("task", self.task.to_json()),
             ("machine", self.machine.to_json()),
             ("kind", self.kind.to_json()),
-            ("job_group", JsonValue::Str(self.job_group.clone())),
+            ("group", JsonValue::UInt(u64::from(self.group.0))),
             ("started_at", self.started_at.to_json()),
             ("finished_at", self.finished_at.to_json()),
             (
@@ -345,6 +345,15 @@ impl ToJson for RunResult {
             ("scheduler", JsonValue::Str(self.scheduler.clone())),
             ("makespan", self.makespan.to_json()),
             ("drained", JsonValue::Bool(self.drained)),
+            (
+                "groups",
+                JsonValue::Array(
+                    self.groups
+                        .iter()
+                        .map(|g| JsonValue::Str(g.clone()))
+                        .collect(),
+                ),
+            ),
             (
                 "jobs",
                 JsonValue::Array(self.jobs.iter().map(ToJson::to_json).collect()),
@@ -452,6 +461,7 @@ mod tests {
             scheduler: "E-Ant".into(),
             makespan: SimDuration::from_secs(10),
             drained: true,
+            groups: vec!["Wordcount-S".into()],
             jobs: vec![],
             machines: vec![],
             intervals: vec![IntervalSnapshot {
@@ -467,6 +477,7 @@ mod tests {
         };
         let json = run_result_json(&run);
         assert!(json.starts_with(r#"{"scheduler":"E-Ant","makespan":10000,"drained":true"#));
+        assert!(json.contains(r#""groups":["Wordcount-S"]"#));
         assert!(json.contains(r#""assignments":{"3":[1,0,2]}"#));
         assert!(json.ends_with(r#""total_tasks":3,"speculative_attempts":0,"wasted_attempts":0}"#));
     }
@@ -477,6 +488,7 @@ mod tests {
             scheduler: "Fair".into(),
             makespan: SimDuration::from_secs(1),
             drained: true,
+            groups: vec![],
             jobs: vec![],
             machines: vec![],
             intervals: vec![],

@@ -106,6 +106,7 @@ mod tests {
             scheduler: "x".into(),
             makespan: SimDuration::from_secs(1),
             drained: true,
+            groups: vec![],
             jobs: vec![],
             machines,
             intervals: vec![],

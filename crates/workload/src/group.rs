@@ -1,0 +1,156 @@
+//! Interned job-group symbols.
+//!
+//! E-Ant's job-level exchange (§IV-D) groups jobs into *homogeneous job
+//! groups*: jobs running the same benchmark at the same MSD size class have
+//! the same resource demands, so their pheromone rows can be blended. The
+//! scheduler decision path compares and indexes by group on every control
+//! interval, so groups are interned once at job registration into dense
+//! [`GroupId`] symbols instead of being re-derived as `String` keys per
+//! query.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Dense identifier of a homogeneous job group, assigned by a
+/// [`GroupTable`] in first-intern order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Dense index of this group, valid for `Vec`-per-group tables sized
+    /// with [`GroupTable::len`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Bidirectional intern table mapping group labels (e.g. `"Wordcount-S"`)
+/// to dense [`GroupId`]s.
+///
+/// Ids are assigned in first-intern order, so two tables fed the same label
+/// sequence assign identical ids — re-interning a run's jobs in submission
+/// order reproduces the live table exactly, which the scoreboard oracle
+/// rebuild relies on.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{GroupId, GroupTable};
+///
+/// let mut groups = GroupTable::new();
+/// let wc = groups.intern("Wordcount-S");
+/// let gr = groups.intern("Grep-M");
+/// assert_eq!(groups.intern("Wordcount-S"), wc); // idempotent
+/// assert_eq!(wc, GroupId(0));
+/// assert_eq!(gr, GroupId(1));
+/// assert_eq!(groups.name(wc), "Wordcount-S");
+/// assert_eq!(groups.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupTable {
+    names: Vec<String>,
+    ids: BTreeMap<String, GroupId>,
+}
+
+impl GroupTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        GroupTable::default()
+    }
+
+    /// Returns the id for `label`, allocating the next dense id on first
+    /// sight.
+    pub fn intern(&mut self, label: &str) -> GroupId {
+        if let Some(&id) = self.ids.get(label) {
+            return id;
+        }
+        let id = GroupId(u32::try_from(self.names.len()).expect("more than u32::MAX groups"));
+        self.names.push(label.to_owned());
+        self.ids.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label without allocating.
+    pub fn get(&self, label: &str) -> Option<GroupId> {
+        self.ids.get(label).copied()
+    }
+
+    /// The label interned as `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: GroupId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// All interned labels in id order (index == `GroupId::index`).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of distinct groups interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no group has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_first_seen_order() {
+        let mut t = GroupTable::new();
+        assert_eq!(t.intern("b"), GroupId(0));
+        assert_eq!(t.intern("a"), GroupId(1));
+        assert_eq!(t.intern("b"), GroupId(0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.names(), &["b".to_owned(), "a".to_owned()]);
+    }
+
+    #[test]
+    fn get_does_not_allocate_new_ids() {
+        let mut t = GroupTable::new();
+        assert_eq!(t.get("x"), None);
+        let id = t.intern("x");
+        assert_eq!(t.get("x"), Some(id));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn replaying_labels_reproduces_ids() {
+        let labels = ["Grep-M", "Wordcount-S", "Grep-M", "Terasort-L"];
+        let mut live = GroupTable::new();
+        let live_ids: Vec<GroupId> = labels.iter().map(|l| live.intern(l)).collect();
+        let mut rebuilt = GroupTable::new();
+        let rebuilt_ids: Vec<GroupId> = labels.iter().map(|l| rebuilt.intern(l)).collect();
+        assert_eq!(live, rebuilt);
+        assert_eq!(live_ids, rebuilt_ids);
+    }
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(GroupId(3).to_string(), "g3");
+        assert_eq!(GroupId(3).index(), 3);
+        assert!(GroupTable::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn name_of_unknown_id_panics() {
+        GroupTable::new().name(GroupId(0));
+    }
+}

@@ -232,18 +232,17 @@ impl JobSpec {
 
     /// Label used by Fig. 8(c): benchmark name plus size suffix, e.g.
     /// `"Terasort-M"`; bare benchmark name for untagged jobs.
+    ///
+    /// This label also names the *homogeneous job group* the job belongs to
+    /// for E-Ant's job-level exchange (§IV-D) — jobs with the same benchmark
+    /// and size class have the same resource demands. The engine interns it
+    /// into a dense [`crate::GroupId`] at registration; the scheduler
+    /// decision path never touches the `String` form.
     pub fn class_label(&self) -> String {
         match self.size_class {
             Some(c) => format!("{}-{}", self.benchmark.kind(), c),
             None => self.benchmark.kind().to_string(),
         }
-    }
-
-    /// Key identifying the *homogeneous job group* this job belongs to for
-    /// E-Ant's job-level exchange (§IV-D): jobs with the same benchmark and
-    /// size class have the same resource demands.
-    pub fn group_key(&self) -> String {
-        self.class_label()
     }
 
     /// Expected shuffle input per reduce task in MB (uniform partitioning of
@@ -316,7 +315,6 @@ mod tests {
         let j = JobSpec::new(JobId(0), Benchmark::grep(), 10, 2, SimTime::ZERO)
             .with_size_class(SizeClass::Medium);
         assert_eq!(j.class_label(), "Grep-M");
-        assert_eq!(j.group_key(), "Grep-M");
         let bare = JobSpec::new(JobId(1), Benchmark::grep(), 10, 2, SimTime::ZERO);
         assert_eq!(bare.class_label(), "Grep");
         assert_eq!(bare.size_class(), None);

@@ -38,8 +38,10 @@
 
 pub mod arrival;
 mod benchmarks;
+mod group;
 mod job;
 pub mod msd;
 
 pub use benchmarks::{Benchmark, BenchmarkKind};
+pub use group::{GroupId, GroupTable};
 pub use job::{JobId, JobSpec, SizeClass, TaskDemand, TaskId, TaskIndex};

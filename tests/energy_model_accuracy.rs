@@ -7,7 +7,7 @@ use eant::{EnergyModel, ExchangeStrategy, TaskAnalyzer, TaskEnergyRecord};
 use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig, RunResult};
 use simcore::stats::OnlineStats;
 use simcore::SimTime;
-use workload::{Benchmark, BenchmarkKind, JobId, JobSpec};
+use workload::{Benchmark, BenchmarkKind, GroupId, JobId, JobSpec};
 
 /// Runs map-only waves of `kind` on one fully-map-slotted machine.
 fn saturated_run(kind: BenchmarkKind, noise: NoiseConfig, seed: u64) -> (RunResult, EnergyModel) {
@@ -107,7 +107,7 @@ fn machine_exchange_reduces_deposit_variance_across_homogeneous_machines() {
             for _ in 0..10 {
                 recs.push(TaskEnergyRecord {
                     job: JobId(0),
-                    job_group: "wc".into(),
+                    group: GroupId(0),
                     machine: cluster::MachineId(m),
                     energy_joules: rng.normal_clamped(250.0, 60.0, 50.0, 600.0),
                 });

@@ -101,3 +101,21 @@ fn eant_savings_match_goldens() {
         "savings vs Tarazu: observed {vs_tarazu:.2}%, pinned 6.20% ± {SAVINGS_TOL_PP}pp"
     );
 }
+
+/// Fixed-seed paper-scale E-Ant makespan, pinned. The 87-job realization
+/// saturates the fleet and E-Ant's energy-greedy placements stretch the
+/// makespan well past Fair's (the ROADMAP re-tuning item); this golden pins
+/// the *current* trajectory so scheduler or engine changes that shift the
+/// paper-scale behavior — intentionally or not — are caught at review time
+/// rather than showing up as silent EXPERIMENTS.md drift.
+#[test]
+fn paper_scale_eant_makespan_matches_golden() {
+    let r = Scenario::paper(1234).run(&SchedulerKind::EAnt(EAntConfig::paper_default()));
+    assert!(r.drained, "paper-scale E-Ant failed to drain");
+    assert_close(
+        "paper-scale E-Ant makespan (s)",
+        r.makespan.as_secs_f64(),
+        11470.165,
+        REL_TOL,
+    );
+}

@@ -19,7 +19,7 @@ use hadoop_sim::{
     Engine, EngineConfig, GreedyScheduler, NoiseConfig, PowerDownConfig, SpeculationPolicy,
 };
 use simcore::{EventQueue, SimRng, SimTime};
-use workload::{Benchmark, BenchmarkKind, JobId, JobSpec};
+use workload::{Benchmark, BenchmarkKind, GroupId, JobId, JobSpec};
 
 /// Root seed of every property's case tree. Changing it reshuffles all
 /// generated inputs at once.
@@ -180,7 +180,7 @@ fn analyzer_deposits_are_nonnegative() {
         for (i, &e) in energies.iter().enumerate() {
             analyzer.record(TaskEnergyRecord {
                 job: JobId((i % 3) as u64),
-                job_group: format!("g{}", i % 2),
+                group: GroupId((i % 2) as u32),
                 machine: MachineId(i % 4),
                 energy_joules: e,
             });
@@ -344,4 +344,108 @@ fn case_generation_is_deterministic() {
     assert_eq!(draw("p", 0), draw("p", 0));
     assert_ne!(draw("p", 0), draw("p", 1));
     assert_ne!(draw("p", 0), draw("q", 0));
+}
+
+/// After every engine event the incrementally maintained scoreboard equals
+/// a from-scratch rebuild — the tentpole invariant of the ClusterState
+/// refactor. A wrapper scheduler checks `state() == rebuild_state()` inside
+/// every callback of a seeded multi-job run with stragglers and speculation
+/// enabled, so the assertion fires between task starts, completions
+/// (including speculative losers draining after their job finished),
+/// submissions and control ticks.
+#[test]
+fn scoreboard_matches_oracle_rebuild() {
+    use cluster::SlotKind;
+    use hadoop_sim::{ClusterQuery, Scheduler, TaskReport};
+
+    struct OracleChecked<S> {
+        inner: S,
+        checks: u64,
+    }
+
+    impl<S> OracleChecked<S> {
+        fn verify(&mut self, query: &dyn ClusterQuery, site: &str) {
+            let incremental = query.state();
+            let oracle = query.rebuild_state();
+            assert_eq!(
+                *incremental,
+                oracle,
+                "scoreboard diverged from oracle at {site} (t={})",
+                query.now()
+            );
+            self.checks += 1;
+        }
+    }
+
+    impl<S: Scheduler> Scheduler for OracleChecked<S> {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn select_job(
+            &mut self,
+            query: &dyn ClusterQuery,
+            machine: MachineId,
+            kind: SlotKind,
+        ) -> Option<JobId> {
+            self.verify(query, "select_job");
+            self.inner.select_job(query, machine, kind)
+        }
+        fn on_job_submitted(&mut self, query: &dyn ClusterQuery, job: &JobSpec) {
+            self.verify(query, "on_job_submitted");
+            self.inner.on_job_submitted(query, job);
+        }
+        fn on_job_completed(&mut self, query: &dyn ClusterQuery, job: JobId) {
+            self.verify(query, "on_job_completed");
+            self.inner.on_job_completed(query, job);
+        }
+        fn on_task_completed(&mut self, query: &dyn ClusterQuery, report: &TaskReport) {
+            self.verify(query, "on_task_completed");
+            self.inner.on_task_completed(query, report);
+        }
+        fn on_control_interval(&mut self, query: &dyn ClusterQuery) {
+            self.verify(query, "on_control_interval");
+            self.inner.on_control_interval(query);
+        }
+    }
+
+    check("scoreboard_matches_oracle_rebuild", 8, |rng| {
+        let seed = rng.next_u64();
+        let jobs_n = rng.uniform_u64(2, 5) as usize;
+        let cfg = EngineConfig {
+            noise: NoiseConfig {
+                straggler_prob: 0.25,
+                straggler_slowdown: (2.0, 6.0),
+                utilization_jitter: 0.1,
+            },
+            speculation: SpeculationPolicy::Hadoop,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+        let jobs = (0..jobs_n)
+            .map(|i| {
+                let maps = rng.uniform_u64(6, 47) as u32;
+                JobSpec::new(
+                    JobId(i as u64),
+                    Benchmark::of(
+                        [
+                            BenchmarkKind::Wordcount,
+                            BenchmarkKind::Grep,
+                            BenchmarkKind::Terasort,
+                        ][i % 3],
+                    ),
+                    maps,
+                    maps / 5,
+                    SimTime::from_secs(i as u64 * 30),
+                )
+            })
+            .collect();
+        engine.submit_jobs(jobs);
+        let mut checked = OracleChecked {
+            inner: GreedyScheduler::new(),
+            checks: 0,
+        };
+        let result = engine.run(&mut checked);
+        assert!(result.drained);
+        assert!(checked.checks > 100, "too few oracle checks ran");
+    });
 }
