@@ -1,0 +1,83 @@
+//! Event-stream overhead benchmarks: the same end-to-end `heartbeat_path`
+//! MSD run as `scoreboard.rs`, with 0, 1 and 4 observers attached, plus a
+//! full-serialization variant that streams every event through the JSONL
+//! codec into memory.
+//!
+//! The zero-observer run is the headline number: emission sites guard on
+//! `ObserverSet::is_empty()` before constructing any event payload, so an
+//! untraced run must stay within noise (≤ 2 %) of the pre-refactor
+//! `heartbeat_path/msd12_*` baselines (DESIGN.md §3 records the measured
+//! numbers).
+
+use bench::{black_box, Harness};
+use cluster::Fleet;
+use eant::{EAntConfig, EAntScheduler};
+use hadoop_sim::trace::Observer;
+use hadoop_sim::{Engine, EngineConfig, NoiseConfig, Scheduler, SimEvent};
+use metrics::trace::JsonlTraceSink;
+use simcore::{SimDuration, SimRng, SimTime};
+use workload::msd::MsdConfig;
+
+/// The cheapest possible consumer: counts events without touching payloads.
+/// Isolates the pipeline's dispatch cost from any real consumer's work.
+struct CountingObserver(u64);
+
+impl Observer<SimEvent> for CountingObserver {
+    fn on_event(&mut self, _at: SimTime, _event: &SimEvent) {
+        self.0 += 1;
+    }
+}
+
+/// The `scoreboard.rs` `heartbeat_path` workload, with `observers` counting
+/// observers attached to the engine.
+fn msd_run(scheduler: &mut dyn Scheduler, seed: u64, observers: usize) -> hadoop_sim::RunResult {
+    let msd = MsdConfig {
+        num_jobs: 12,
+        task_scale: 64,
+        submission_window: SimDuration::from_mins(5),
+    };
+    let jobs = msd.generate(&mut SimRng::seed_from(seed).fork("msd"));
+    let cfg = EngineConfig {
+        noise: NoiseConfig::none(),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+    engine.submit_jobs(jobs);
+    for _ in 0..observers {
+        engine.attach_observer(Box::new(CountingObserver(0)));
+    }
+    engine.run(scheduler)
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+
+    for &observers in &[0usize, 1, 4] {
+        h.bench(&format!("heartbeat_path/msd12_eant_{observers}obs"), || {
+            let mut s = EAntScheduler::new(EAntConfig::paper_default(), 11);
+            black_box(msd_run(&mut s, 11, observers))
+        });
+    }
+
+    // Full cost of serializing every event to canonical JSONL in memory:
+    // the upper bound a `--trace` run adds on top of the raw pipeline.
+    h.bench("heartbeat_path/msd12_eant_jsonl", || {
+        let msd = MsdConfig {
+            num_jobs: 12,
+            task_scale: 64,
+            submission_window: SimDuration::from_mins(5),
+        };
+        let jobs = msd.generate(&mut SimRng::seed_from(11).fork("msd"));
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, 11);
+        engine.submit_jobs(jobs);
+        engine.attach_observer(Box::new(JsonlTraceSink::new(Vec::<u8>::new())));
+        let mut s = EAntScheduler::new(EAntConfig::paper_default(), 11);
+        black_box(engine.run(&mut s))
+    });
+
+    h.finish();
+}

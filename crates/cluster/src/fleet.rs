@@ -13,7 +13,6 @@ use crate::{ClusterError, Machine, MachineId, MachineProfile};
 /// machine in the same rack is "rack-local", anything else is "remote"
 /// (Hadoop's classic three-level locality).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RackId(pub usize);
 
 impl fmt::Display for RackId {
@@ -28,7 +27,6 @@ impl fmt::Display for RackId {
 /// exactly these groups; the JobTracker learns the grouping from hardware
 /// information in TaskTracker heartbeats, which the fleet models directly.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HomogeneousGroup {
     /// The shared profile name.
     pub profile_name: String,

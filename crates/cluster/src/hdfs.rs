@@ -18,12 +18,10 @@ pub const BLOCK_SIZE_MB: u64 = 64;
 
 /// Identifier of an input block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockId(pub u64);
 
 /// A replicated input block.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Block {
     /// This block's id.
     pub id: BlockId,
@@ -33,7 +31,6 @@ pub struct Block {
 
 /// The three locality levels of Hadoop task placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Locality {
     /// The block has a replica on the executing machine.
     NodeLocal,

@@ -11,7 +11,6 @@ use crate::{ClusterError, EnergyMeter, MachineProfile};
 /// Machine ids are dense indices assigned by the fleet builder, so they can
 /// be used directly to index per-machine vectors (pheromone rows, metrics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineId(pub usize);
 
 impl MachineId {
@@ -29,7 +28,6 @@ impl fmt::Display for MachineId {
 
 /// The two slot kinds of Hadoop 1.x TaskTrackers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SlotKind {
     /// A map slot.
     Map,
@@ -55,7 +53,6 @@ impl fmt::Display for SlotKind {
 
 /// A point-in-time view of a machine's slot occupancy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SlotSnapshot {
     /// Free map slots.
     pub free_map: usize,

@@ -34,7 +34,6 @@ pub const GIGABIT_MBPS: f64 = 110.0;
 /// assert_eq!(net.transfer_seconds(m, 110.0), 3.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Network {
     nic_mbps: f64,
     active: Vec<u32>,

@@ -25,7 +25,6 @@ use simcore::SimTime;
 /// assert!((xeon.idle_share_per_slot(6) - 95.0 / 6.0).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerModel {
     idle_watts: f64,
     alpha_watts: f64,

@@ -40,7 +40,6 @@ use crate::{ClusterError, PowerModel};
 /// # Ok::<(), cluster::ClusterError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineProfile {
     name: String,
     cores: usize,

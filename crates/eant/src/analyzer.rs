@@ -9,7 +9,6 @@ use crate::ExchangeStrategy;
 
 /// One completed task's energy estimate, as recorded by the analyzer.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskEnergyRecord {
     /// The owning job (colony).
     pub job: JobId,
@@ -25,7 +24,6 @@ pub struct TaskEnergyRecord {
 /// (job, machine) path, ready for
 /// [`PheromoneTable::apply_deposits`](crate::PheromoneTable::apply_deposits).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalFeedback {
     /// `deposits[j][m] = Σ_n Δτ_n(j, m)` after exchange averaging.
     pub deposits: BTreeMap<JobId, Vec<f64>>,

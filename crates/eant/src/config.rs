@@ -6,7 +6,6 @@
 /// and/or homogeneous job groups to make energy-efficiency judgments robust
 /// to transient system noise. Fig. 10 evaluates all four combinations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ExchangeStrategy {
     /// No exchange: every (job, machine) path learns only from its own
     /// tasks.
@@ -64,7 +63,6 @@ impl ExchangeStrategy {
 /// cfg.validate();
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EAntConfig {
     /// Pheromone evaporation coefficient ρ ∈ (0, 1] (Eq. 4).
     pub rho: f64,

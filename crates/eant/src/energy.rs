@@ -28,7 +28,6 @@ use hadoop_sim::TaskReport;
 /// assert_eq!(model.alpha_watts(), 120.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnergyModel {
     idle_watts: f64,
     alpha_watts: f64,

@@ -36,7 +36,6 @@ use workload::JobId;
 /// assert!((tau_b - 0.888).abs() < 0.01);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PheromoneTable {
     machines: usize,
     tau_init: f64,

@@ -6,7 +6,8 @@ use simcore::SimRng;
 
 use cluster::hdfs::Locality;
 use cluster::{MachineId, SlotKind};
-use hadoop_sim::{ClusterQuery, Scheduler, TaskReport};
+use hadoop_sim::trace::{Observer, ObserverSet};
+use hadoop_sim::{ClusterQuery, Scheduler, SimEvent, TaskReport};
 use workload::{JobId, JobSpec};
 
 use crate::heuristic::weight_factor;
@@ -34,6 +35,11 @@ pub struct EAntScheduler {
     decisions: u64,
     intervals: u64,
     policy_history: Vec<(simcore::SimTime, BTreeMap<JobId, Vec<f64>>)>,
+    /// Policy-level event stream: [`SimEvent::PheromoneUpdated`] per job
+    /// per control interval and [`SimEvent::EnergyModelRefit`] when a
+    /// profile's Eq. 2 model is identified. Empty unless a trace observer
+    /// is attached (see [`Scheduler::attach_observer`]).
+    trace: ObserverSet<SimEvent>,
 }
 
 impl EAntScheduler {
@@ -55,6 +61,7 @@ impl EAntScheduler {
             decisions: 0,
             intervals: 0,
             policy_history: Vec::new(),
+            trace: ObserverSet::new(),
         }
     }
 
@@ -124,15 +131,25 @@ impl EAntScheduler {
             .collect();
         for m in fleet.iter() {
             let name = m.profile().name().to_owned();
-            self.models
-                .entry(name)
-                .or_insert_with(|| EnergyModel::from_profile(m.profile()));
+            if self.models.contains_key(&name) {
+                continue;
+            }
+            let model = EnergyModel::from_profile(m.profile());
+            self.trace.emit(query.now(), || SimEvent::EnergyModelRefit {
+                profile: name.clone(),
+                idle_watts: model.idle_watts(),
+                alpha_watts: model.alpha_watts(),
+            });
+            self.models.insert(name, model);
         }
     }
 }
 
 impl EAntScheduler {
-    /// Records the current per-job policy vectors for convergence analysis.
+    /// Records the current per-job policy vectors for convergence analysis
+    /// and emits one [`SimEvent::PheromoneUpdated`] per active job with its
+    /// policy overlap against the previous interval — the live view of the
+    /// §VI-C stability criterion.
     fn snapshot_policy(&mut self, query: &dyn ClusterQuery) {
         let pheromones = self.pheromones.as_ref().expect("initialized");
         let snapshot: BTreeMap<JobId, Vec<f64>> = query
@@ -140,6 +157,22 @@ impl EAntScheduler {
             .active()
             .map(|j| (j.id, pheromones.probabilities(j.id)))
             .collect();
+        if !self.trace.is_empty() {
+            let prev = self.policy_history.last().map(|(_, p)| p);
+            for (job, row) in &snapshot {
+                let overlap = prev.and_then(|p| p.get(job)).map(|prev_row| {
+                    prev_row
+                        .iter()
+                        .zip(row)
+                        .map(|(a, b)| a.min(*b))
+                        .sum::<f64>()
+                });
+                self.trace.notify(
+                    query.now(),
+                    &SimEvent::PheromoneUpdated { job: *job, overlap },
+                );
+            }
+        }
         self.policy_history.push((query.now(), snapshot));
     }
 }
@@ -147,6 +180,10 @@ impl EAntScheduler {
 impl Scheduler for EAntScheduler {
     fn name(&self) -> &str {
         "E-Ant"
+    }
+
+    fn attach_observer(&mut self, observer: Box<dyn Observer<SimEvent>>) {
+        self.trace.attach(observer);
     }
 
     fn select_job(

@@ -112,9 +112,32 @@ impl Scenario {
 
     /// Runs the MSD workload on an explicit fleet.
     pub fn run_on(&self, fleet: Fleet, scheduler: &SchedulerKind) -> RunResult {
+        self.run_observed_on(fleet, scheduler, |_, _| {})
+    }
+
+    /// Runs the MSD workload on the paper fleet with observers: `configure`
+    /// receives the engine and scheduler just before the run starts, the
+    /// hook where event-stream observers are attached (see
+    /// `hadoop_sim::trace`).
+    pub fn run_observed(
+        &self,
+        scheduler: &SchedulerKind,
+        configure: impl FnOnce(&mut Engine, &mut dyn Scheduler),
+    ) -> RunResult {
+        self.run_observed_on(Fleet::paper_evaluation(), scheduler, configure)
+    }
+
+    /// Runs the MSD workload on an explicit fleet with observers.
+    pub fn run_observed_on(
+        &self,
+        fleet: Fleet,
+        scheduler: &SchedulerKind,
+        configure: impl FnOnce(&mut Engine, &mut dyn Scheduler),
+    ) -> RunResult {
         let mut engine = Engine::new(fleet, self.engine.clone(), self.seed);
         engine.submit_jobs(self.jobs());
         let mut sched = scheduler.make(self.seed);
+        configure(&mut engine, sched.as_mut());
         let mut result = engine.run(sched.as_mut());
         result.scheduler = sched.name().to_owned();
         result

@@ -20,6 +20,7 @@
 //! | [`ablations`] | design-choice ablation table (DESIGN.md §6) |
 //! | [`bound`] | Appendix A / Table II offline bound vs the online system |
 //! | [`extensions`] | §VIII future-work: E-Ant + idle power-down |
+//! | [`timeline`] | cluster load over time (saturation diagnostic) + `--trace`/`--replay` |
 
 #![warn(missing_docs)]
 
@@ -37,6 +38,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod tables;
+pub mod timeline;
 
 /// All experiment ids: the paper's tables/figures in paper order, then the
 /// repository's own ablation and extension studies.
@@ -66,6 +68,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ext_powerdown",
     "ext_speculation",
     "ext_dvfs",
+    "timeline",
 ];
 
 /// Runs one experiment by id, returning its report.
@@ -100,6 +103,7 @@ pub fn run_experiment(id: &str, fast: bool) -> Result<String, String> {
         "ext_powerdown" => Ok(extensions::powerdown(fast)),
         "ext_speculation" => Ok(extensions::speculation(fast)),
         "ext_dvfs" => Ok(extensions::dvfs(fast)),
+        "timeline" => Ok(timeline::run(fast)),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_EXPERIMENTS.join(", ")

@@ -1,24 +1,72 @@
-//! Command-line entry point: regenerate any (or every) table/figure.
+//! Command-line entry point: regenerate any (or every) table/figure, write
+//! a JSONL event trace, or validate one by replay.
 //!
 //! ```text
 //! experiments <id>|all [--fast]
+//! experiments --trace <path> [--fast]     # traced E-Ant run → JSONL
+//! experiments --replay <path>             # validate a JSONL trace
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut fast = false;
+    let mut trace: Option<PathBuf> = None;
+    let mut replay: Option<PathBuf> = None;
+    let mut ids: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--trace" | "--replay" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("error: {arg} needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                if arg == "--trace" {
+                    trace = Some(PathBuf::from(path));
+                } else {
+                    replay = Some(PathBuf::from(path));
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other),
+        }
+    }
 
-    if ids.is_empty() {
-        eprintln!("usage: experiments <id>|all [--fast]");
+    if ids.is_empty() && trace.is_none() && replay.is_none() {
+        eprintln!("usage: experiments <id>|all [--fast] [--trace <path>] [--replay <path>]");
         eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(", "));
         return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = replay {
+        match experiments::timeline::replay(&path) {
+            Ok(report) => println!("{report}"),
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = trace {
+        match experiments::timeline::write_trace(fast, &path) {
+            Ok(report) => println!("{report}"),
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if ids.is_empty() {
+        // A pure --trace/--replay invocation is complete at this point.
+        return ExitCode::SUCCESS;
     }
 
     let selected: Vec<&str> = if ids == ["all"] {

@@ -1,0 +1,412 @@
+//! Slot-occupancy / queue-depth timeline (repository diagnostic, not a
+//! paper figure), plus the `--trace` / `--replay` JSONL plumbing.
+//!
+//! The timeline folds the typed event stream into a bucketed table of
+//! cluster load over time — busy map/reduce slots, pending tasks, active
+//! jobs — for Fair vs E-Ant on the same workload. It exists to make
+//! saturation *visible*: the paper-scale MSD mix submits 87 jobs in a
+//! 35-minute window while the 16-node fleet drains them over hours, so the
+//! pending-task queue grows roughly linearly through the submission window
+//! and the cluster runs slot-saturated for most of the run (see
+//! EXPERIMENTS.md).
+
+use std::io::{BufRead, BufWriter};
+use std::path::Path;
+
+use cluster::Fleet;
+use eant::EAntConfig;
+use hadoop_sim::trace::{Observer, SharedObserver};
+use hadoop_sim::{PowerState, RunResult, SimEvent};
+use metrics::observers::StreamingRunStats;
+use metrics::report::Table;
+use metrics::trace::{parse_trace_line, JsonlTraceSink};
+use simcore::SimTime;
+
+use crate::common::{Scenario, SchedulerKind};
+
+/// One load sample, taken at each `HeartbeatDrained` event.
+#[derive(Debug, Clone, Copy)]
+struct LoadSample {
+    at: SimTime,
+    busy_map: u64,
+    busy_reduce: u64,
+    pending: u64,
+    active_jobs: u64,
+    standby: u64,
+}
+
+/// An [`Observer`] that samples cluster-wide load at heartbeat granularity:
+/// busy slots per kind (from `SlotOccupancyChanged`), queue depth (from
+/// `HeartbeatDrained`), active jobs and standby machine count.
+#[derive(Debug)]
+pub struct TimelineRecorder {
+    occupied_map: Vec<u64>,
+    occupied_reduce: Vec<u64>,
+    standby: Vec<bool>,
+    active_jobs: u64,
+    samples: Vec<LoadSample>,
+}
+
+impl TimelineRecorder {
+    /// Creates a recorder for a fleet of `num_machines` machines.
+    pub fn new(num_machines: usize) -> Self {
+        TimelineRecorder {
+            occupied_map: vec![0; num_machines],
+            occupied_reduce: vec![0; num_machines],
+            standby: vec![false; num_machines],
+            active_jobs: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of samples taken so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample was taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Renders the recorded samples as a bucketed table: `buckets` rows
+    /// covering `[0, makespan]`, each averaging the samples in its window.
+    pub fn render(&self, title: &str, buckets: usize) -> String {
+        assert!(buckets > 0, "need at least one bucket");
+        let Some(last) = self.samples.last() else {
+            return format!("{title}: no samples recorded\n");
+        };
+        let end = last.at.as_millis().max(1);
+        // Accumulate (sum, count) per bucket per column.
+        let mut acc = vec![[0u64; 5]; buckets];
+        let mut counts = vec![0u64; buckets];
+        for s in &self.samples {
+            let b =
+                ((s.at.as_millis().saturating_mul(buckets as u64) / end) as usize).min(buckets - 1);
+            counts[b] += 1;
+            acc[b][0] += s.busy_map;
+            acc[b][1] += s.busy_reduce;
+            acc[b][2] += s.pending;
+            acc[b][3] += s.active_jobs;
+            acc[b][4] += s.standby;
+        }
+        let mut table = Table::new(
+            title,
+            &[
+                "t (min)", "busy map", "busy red", "pending", "jobs", "standby",
+            ],
+        );
+        for (b, (sums, n)) in acc.iter().zip(&counts).enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let mid_ms = end as f64 * (b as f64 + 0.5) / buckets as f64;
+            let mean = |v: u64| v as f64 / *n as f64;
+            table.row(&[
+                format!("{:.1}", mid_ms / 60_000.0),
+                format!("{:.1}", mean(sums[0])),
+                format!("{:.1}", mean(sums[1])),
+                format!("{:.0}", mean(sums[2])),
+                format!("{:.1}", mean(sums[3])),
+                format!("{:.1}", mean(sums[4])),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Peak queue depth over the run and the minute it occurred.
+    pub fn peak_pending(&self) -> Option<(f64, u64)> {
+        self.samples
+            .iter()
+            .max_by_key(|s| s.pending)
+            .map(|s| (s.at.as_mins_f64(), s.pending))
+    }
+
+    /// First minute at which the queue drained to zero after its peak, if
+    /// it did.
+    pub fn drained_at_min(&self) -> Option<f64> {
+        let (peak_min, peak) = self.peak_pending()?;
+        if peak == 0 {
+            return Some(0.0);
+        }
+        self.samples
+            .iter()
+            .find(|s| s.at.as_mins_f64() > peak_min && s.pending == 0)
+            .map(|s| s.at.as_mins_f64())
+    }
+}
+
+impl Observer<SimEvent> for TimelineRecorder {
+    fn on_event(&mut self, at: SimTime, event: &SimEvent) {
+        match event {
+            SimEvent::JobSubmitted { .. } => self.active_jobs += 1,
+            SimEvent::JobCompleted { .. } => {
+                self.active_jobs = self.active_jobs.saturating_sub(1);
+            }
+            SimEvent::SlotOccupancyChanged {
+                machine,
+                kind,
+                occupied,
+                ..
+            } => {
+                let column = match kind {
+                    cluster::SlotKind::Map => &mut self.occupied_map,
+                    cluster::SlotKind::Reduce => &mut self.occupied_reduce,
+                };
+                if let Some(slot) = column.get_mut(machine.index()) {
+                    *slot = u64::from(*occupied);
+                }
+            }
+            SimEvent::PowerStateChanged { machine, state } => {
+                if let Some(flag) = self.standby.get_mut(machine.index()) {
+                    *flag = matches!(state, PowerState::Standby | PowerState::Waking);
+                }
+            }
+            SimEvent::HeartbeatDrained { pending_total, .. } => {
+                self.samples.push(LoadSample {
+                    at,
+                    busy_map: self.occupied_map.iter().sum(),
+                    busy_reduce: self.occupied_reduce.iter().sum(),
+                    pending: *pending_total,
+                    active_jobs: self.active_jobs,
+                    standby: self.standby.iter().filter(|&&s| s).count() as u64,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs the MSD scenario under a scheduler with a timeline recorder
+/// attached, returning the recorder and the run result.
+fn record_timeline(
+    scenario: &Scenario,
+    kind: &SchedulerKind,
+) -> (SharedObserver<TimelineRecorder>, RunResult) {
+    let fleet = Fleet::paper_evaluation();
+    let recorder = SharedObserver::new(TimelineRecorder::new(fleet.len()));
+    let handle = recorder.clone();
+    let result = scenario.run_observed(kind, move |engine, _| {
+        engine.attach_observer(Box::new(handle));
+    });
+    (recorder, result)
+}
+
+/// The timeline experiment: cluster load over time under Fair vs E-Ant,
+/// with the saturation summary the paper-scale Fig. 8(a) discussion relies
+/// on.
+pub fn run(fast: bool) -> String {
+    let scenario = Scenario::sized(fast, 2015);
+    let fleet = Fleet::paper_evaluation();
+    let (map_cap, reduce_cap) = fleet.iter().fold((0usize, 0usize), |(m, r), machine| {
+        (
+            m + machine.profile().map_slots(),
+            r + machine.profile().reduce_slots(),
+        )
+    });
+    let window_min = scenario.msd.submission_window.as_mins_f64();
+
+    let mut out = format!(
+        "Cluster load timeline — {} MSD jobs submitted over {:.0} min, \
+         {} map / {} reduce slots fleet-wide\n\n",
+        scenario.msd.num_jobs, window_min, map_cap, reduce_cap
+    );
+    for kind in [
+        SchedulerKind::Fair,
+        SchedulerKind::EAnt(EAntConfig::paper_default()),
+    ] {
+        let (recorder, result) = record_timeline(&scenario, &kind);
+        recorder.with(|r| {
+            out.push_str(&r.render(
+                &format!(
+                    "{} (makespan {:.0} s)",
+                    kind.label(),
+                    result.makespan.as_secs_f64()
+                ),
+                16,
+            ));
+            if let Some((peak_min, peak)) = r.peak_pending() {
+                out.push_str(&format!(
+                    "  peak queue: {peak} pending tasks at {peak_min:.1} min"
+                ));
+                match r.drained_at_min() {
+                    Some(m) => out.push_str(&format!(", drained at {m:.1} min\n\n")),
+                    None => out.push_str(", never drained during sampling\n\n"),
+                }
+            }
+        });
+    }
+    out.push_str(
+        "The queue peaks near the end of the submission window and the run\n\
+         spends most of its span slot-saturated: makespan is capacity-bound,\n\
+         which is why energy (not completion time) separates the schedulers\n\
+         at this load (see EXPERIMENTS.md, paper-scale notes).\n",
+    );
+    out
+}
+
+/// Runs the E-Ant scenario with a JSONL trace sink attached to both the
+/// engine and the scheduler streams, writing one canonical line per event
+/// to `path`. The streamed aggregates are verified against the post-hoc
+/// result before returning.
+///
+/// # Errors
+///
+/// Returns an error for I/O failures or a streaming/post-hoc mismatch.
+pub fn write_trace(fast: bool, path: &Path) -> Result<String, String> {
+    let scenario = Scenario::sized(fast, 2015);
+    let fleet = Fleet::paper_evaluation();
+    let file = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    let sink = SharedObserver::new(JsonlTraceSink::new(BufWriter::new(file)));
+    let stats = SharedObserver::new(StreamingRunStats::new(fleet.len()));
+
+    let kind = SchedulerKind::EAnt(EAntConfig::paper_default());
+    let sink_handle = sink.clone();
+    let stats_handle = stats.clone();
+    let result = scenario.run_observed(&kind, move |engine, scheduler| {
+        engine.attach_observer(Box::new(sink_handle.clone()));
+        engine.attach_observer(Box::new(stats_handle));
+        scheduler.attach_observer(Box::new(sink_handle));
+    });
+
+    stats
+        .with(|s| s.matches(&result))
+        .map_err(|e| format!("streaming aggregates diverged from RunResult: {e}"))?;
+    let lines = sink.with(|s| s.lines());
+    sink.try_into_inner()
+        .map_err(|_| "trace sink still shared after run".to_owned())?
+        .finish()
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+
+    Ok(format!(
+        "wrote {} trace events to {} (E-Ant, seed 2015, makespan {:.0} s, \
+         {:.3} MJ; streaming aggregates verified against RunResult)",
+        lines,
+        path.display(),
+        result.makespan.as_secs_f64(),
+        result.total_energy_joules() / 1e6,
+    ))
+}
+
+/// Replays a JSONL trace from `path` through the streaming consumers and
+/// validates it: every line must parse, timestamps must be nondecreasing,
+/// and the replayed aggregates must match the `run_finished` footer.
+///
+/// # Errors
+///
+/// Returns the first malformed line or aggregate mismatch.
+pub fn replay(path: &Path) -> Result<String, String> {
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let mut events = Vec::new();
+    let mut last_at = SimTime::ZERO;
+    let mut num_machines = 0usize;
+    for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+        if line.is_empty() {
+            continue;
+        }
+        let (at, event) = parse_trace_line(&line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if at < last_at {
+            return Err(format!("line {}: timestamp moved backwards", i + 1));
+        }
+        last_at = at;
+        if let SimEvent::TaskStarted { machine, .. }
+        | SimEvent::TaskCompleted { machine, .. }
+        | SimEvent::HeartbeatDrained { machine, .. }
+        | SimEvent::SlotOccupancyChanged { machine, .. }
+        | SimEvent::PowerStateChanged { machine, .. }
+        | SimEvent::SpeculationLaunched { machine, .. } = &event
+        {
+            num_machines = num_machines.max(machine.index() + 1);
+        }
+        events.push((at, event));
+    }
+    if events.is_empty() {
+        return Err("trace is empty".to_owned());
+    }
+
+    let mut stats = StreamingRunStats::new(num_machines);
+    for (at, event) in &events {
+        stats.on_event(*at, event);
+    }
+    let Some((
+        at,
+        SimEvent::RunFinished {
+            drained,
+            total_energy_joules,
+            total_tasks,
+        },
+    )) = events.last()
+    else {
+        return Err("trace does not end with a run_finished footer".to_owned());
+    };
+    if stats.makespan() != Some(*at - SimTime::ZERO) {
+        return Err("replayed makespan diverges from the footer".to_owned());
+    }
+    if stats.total_energy_joules().to_bits() != total_energy_joules.to_bits() {
+        return Err("replayed energy diverges from the footer".to_owned());
+    }
+    if stats.total_tasks() != *total_tasks {
+        return Err(format!(
+            "replayed task count {} diverges from the footer {}",
+            stats.total_tasks(),
+            total_tasks
+        ));
+    }
+    if stats.energy_series().last_value().map(f64::to_bits) != Some(total_energy_joules.to_bits()) {
+        return Err("replayed energy series does not end at the footer total".to_owned());
+    }
+    Ok(format!(
+        "replayed {} events from {}: {} machines, {} tasks, makespan {:.0} s, \
+         {:.3} MJ, drained={} — aggregates match the run_finished footer",
+        events.len(),
+        path.display(),
+        num_machines,
+        total_tasks,
+        at.as_secs_f64(),
+        total_energy_joules / 1e6,
+        drained,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_renders_for_fast_scenario() {
+        let out = run(true);
+        assert!(out.contains("Fair (makespan"));
+        assert!(out.contains("E-Ant (makespan"));
+        assert!(out.contains("peak queue:"));
+    }
+
+    #[test]
+    fn trace_round_trips_through_replay() {
+        let dir = std::env::temp_dir().join("eant-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        let written = write_trace(true, &path).unwrap();
+        assert!(written.contains("streaming aggregates verified"));
+        let replayed = replay(&path).unwrap();
+        assert!(
+            replayed.contains("aggregates match the run_finished footer"),
+            "{replayed}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_garbage() {
+        let dir = std::env::temp_dir().join("eant-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("garbage-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(replay(&path).is_err());
+        std::fs::write(&path, "").unwrap();
+        assert!(replay(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -17,7 +17,6 @@ use simcore::SimDuration;
 /// assert!(noisy.straggler_prob > 0.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseConfig {
     /// Probability that a task straggles (runs slower than its expected
     /// speed on that machine type).
@@ -98,7 +97,6 @@ impl Default for NoiseConfig {
 /// ignores storage availability, powering machines down only when the
 /// cluster is drained of runnable work.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerDownConfig {
     /// Cluster-wide work drought needed before machines drop to standby.
     pub idle_timeout: SimDuration,
@@ -138,7 +136,6 @@ impl PowerDownConfig {
 /// load. Service speed scales with the factor; power scales statically with
 /// `0.6 + 0.4·f` and dynamically with `f²`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DvfsConfig {
     /// The eco-mode frequency factor in `(0, 1]`.
     pub eco_factor: f64,
@@ -182,7 +179,6 @@ impl DvfsConfig {
 /// Speculative-execution policy (Hadoop's backup tasks; §VII cites LATE,
 /// Zaharia et al. OSDI'08, as the heterogeneity-aware refinement).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SpeculationPolicy {
     /// No backup tasks (the configuration the paper evaluates E-Ant under).
     Off,
@@ -198,7 +194,6 @@ pub enum SpeculationPolicy {
 
 /// Configuration of the Hadoop engine.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EngineConfig {
     /// TaskTracker heartbeat period. Hadoop's (and the paper's Δt in Eq. 2)
     /// default is 3 s.

@@ -7,6 +7,7 @@ use cluster::{MachineId, SlotKind};
 use workload::{JobId, TaskDemand, TaskId, TaskIndex};
 
 use crate::scheduler::Scheduler;
+use crate::trace::SimEvent;
 
 use super::{Engine, Event, RunningTask};
 
@@ -46,6 +47,27 @@ impl Engine {
             if self.config.speculation != crate::SpeculationPolicy::Off {
                 self.try_speculate(machine, kind, queue);
             }
+        }
+        if !self.trace.is_empty() {
+            let (free_map, free_reduce) = self
+                .fleet
+                .machine(machine)
+                .map(|m| {
+                    let s = m.slots();
+                    (s.free_map as u32, s.free_reduce as u32)
+                })
+                .unwrap_or((0, 0));
+            let pending_total = self.state.pending_total(SlotKind::Map)
+                + self.state.pending_total(SlotKind::Reduce);
+            self.trace.notify(
+                self.now,
+                &SimEvent::HeartbeatDrained {
+                    machine,
+                    free_map,
+                    free_reduce,
+                    pending_total,
+                },
+            );
         }
     }
 
@@ -128,6 +150,18 @@ impl Engine {
             .entry(job)
             .or_insert_with(|| vec![0; self.fleet.len()]);
         counts[machine.index()] += 1;
+
+        if !self.trace.is_empty() {
+            self.trace.notify(
+                self.now,
+                &SimEvent::TaskStarted {
+                    task: rt.task,
+                    machine,
+                    speculative: false,
+                },
+            );
+            self.emit_slot_occupancy(machine, kind);
+        }
 
         let done_at = self.now + SimDuration::from_secs_f64(rt.duration_secs);
         queue.schedule(done_at, Event::TaskDone(Box::new(rt)));
@@ -226,6 +260,19 @@ impl Engine {
         // Winner or speculative loser, the job's occupancy (and possibly
         // its completion counters and slow-start gate) changed.
         self.refresh_job(ji);
+        if !self.trace.is_empty() {
+            self.trace.notify(
+                self.now,
+                &SimEvent::TaskCompleted {
+                    task: rt.task,
+                    machine: rt.machine,
+                    won,
+                    straggled: rt.straggled,
+                    speculative: rt.speculative,
+                },
+            );
+            self.emit_slot_occupancy(rt.machine, rt.kind);
+        }
         if won {
             // Record the completed duration for speculation thresholds.
             let entry = self.duration_stats.entry((ji, rt.kind)).or_insert((0.0, 0));
@@ -268,6 +315,8 @@ impl Engine {
             self.reports.push(report);
         }
         if self.jobs[ji].is_complete() {
+            self.trace
+                .emit(self.now, || SimEvent::JobCompleted { job: rt.task.job });
             scheduler.on_job_completed(&*self, rt.task.job);
         }
     }

@@ -36,6 +36,7 @@ use crate::job_state::JobState;
 use crate::report::TaskReport;
 use crate::result::{IntervalSnapshot, RunResult};
 use crate::scheduler::{ClusterQuery, Scheduler};
+use crate::trace::{Observer, ObserverSet, SimEvent};
 use crate::EngineConfig;
 
 /// A task attempt in flight; carried inside its completion event so no
@@ -112,6 +113,11 @@ pub struct Engine {
     energy_series: TimeSeries,
     reports: Vec<TaskReport>,
     total_tasks: u64,
+    /// The typed event stream. Empty by default: every emission site
+    /// checks [`ObserverSet::is_empty`] (directly or through the lazy
+    /// [`ObserverSet::emit`]) before constructing an event, so an
+    /// unobserved run pays one branch per seam and nothing else.
+    trace: ObserverSet<SimEvent>,
 }
 
 impl Engine {
@@ -152,8 +158,17 @@ impl Engine {
             energy_series: TimeSeries::new("cumulative_energy_joules"),
             reports: Vec::new(),
             total_tasks: 0,
+            trace: ObserverSet::new(),
             fleet,
         }
+    }
+
+    /// Attaches a trace observer to the engine's event stream; it will see
+    /// every [`SimEvent`] the run emits, in emission order. Observers are
+    /// passive — attaching any number of them never changes the run's
+    /// results (the determinism suite locks this in).
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer<SimEvent>>) {
+        self.trace.attach(observer);
     }
 
     /// Registers jobs to be submitted at their `submit_at` times. Input
@@ -244,6 +259,10 @@ impl Engine {
                     self.submitted[i] = true;
                     self.state.update(JobId(i as u64), |e| e.submitted = true);
                     let spec = self.jobs[i].spec.clone();
+                    self.trace.emit(at, || SimEvent::JobSubmitted {
+                        job: spec.id(),
+                        tasks: spec.num_tasks(),
+                    });
                     scheduler.on_job_submitted(&*self, &spec);
                 }
                 Event::Heartbeat(machine) => {
@@ -274,6 +293,28 @@ impl Engine {
 
     fn all_done(&self) -> bool {
         !self.jobs.is_empty() && self.jobs.iter().all(|j| j.is_complete())
+    }
+
+    /// Emits the post-change slot occupancy of `machine` for one slot
+    /// pool. Only called from sites that already checked for observers.
+    pub(super) fn emit_slot_occupancy(&mut self, machine: MachineId, kind: SlotKind) {
+        let Ok(m) = self.fleet.machine(machine) else {
+            return;
+        };
+        let slots = m.slots();
+        let (occupied, capacity) = match kind {
+            SlotKind::Map => (slots.used_map, m.profile().map_slots()),
+            SlotKind::Reduce => (slots.used_reduce, m.profile().reduce_slots()),
+        };
+        self.trace.notify(
+            self.now,
+            &SimEvent::SlotOccupancyChanged {
+                machine,
+                kind,
+                occupied: occupied as u32,
+                capacity: capacity as u32,
+            },
+        );
     }
 
     /// Re-derives a job's scoreboard row from its authoritative

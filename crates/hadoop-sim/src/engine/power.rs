@@ -3,6 +3,8 @@
 
 use cluster::{MachineId, SlotKind};
 
+use crate::trace::{PowerState, SimEvent};
+
 use super::Engine;
 
 impl Engine {
@@ -37,11 +39,19 @@ impl Engine {
                     if let Ok(m) = self.fleet.machine_mut(machine) {
                         m.power_up(now);
                     }
+                    self.trace.emit(now, || SimEvent::PowerStateChanged {
+                        machine,
+                        state: PowerState::Nominal,
+                    });
                     true
                 }
                 Some(_) => false,
                 None => {
                     self.waking_until[idx] = Some(self.now + policy.wake_latency);
+                    self.trace.emit(self.now, || SimEvent::PowerStateChanged {
+                        machine,
+                        state: PowerState::Waking,
+                    });
                     false
                 }
             }
@@ -57,6 +67,10 @@ impl Engine {
                 if let Ok(m) = self.fleet.machine_mut(machine) {
                     m.power_down(now, policy.standby_watts);
                 }
+                self.trace.emit(now, || SimEvent::PowerStateChanged {
+                    machine,
+                    state: PowerState::Standby,
+                });
                 return false;
             }
             true
@@ -76,10 +90,18 @@ impl Engine {
         };
         let util = m.utilization();
         let current = m.dvfs_factor();
-        if util < policy.low_utilization && (current - 1.0).abs() < f64::EPSILON {
+        let shifted = if util < policy.low_utilization && (current - 1.0).abs() < f64::EPSILON {
             m.set_dvfs(now, policy.eco_factor);
+            Some(PowerState::Eco)
         } else if util > policy.high_utilization && current < 1.0 {
             m.set_dvfs(now, 1.0);
+            Some(PowerState::Nominal)
+        } else {
+            None
+        };
+        if let Some(state) = shifted {
+            self.trace
+                .emit(now, || SimEvent::PowerStateChanged { machine, state });
         }
     }
 }

@@ -7,6 +7,7 @@ use simcore::SimTime;
 use crate::report::{TaskReport, UtilizationSample};
 use crate::result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult};
 use crate::scheduler::Scheduler;
+use crate::trace::SimEvent;
 
 use super::{Engine, RunningTask};
 
@@ -80,11 +81,19 @@ impl Engine {
         self.fleet.sync_all(self.now);
         let energy = self.fleet.total_energy_joules();
         self.energy_series.record(self.now, energy);
+        let index = self.intervals.len() as u64;
         self.intervals.push(IntervalSnapshot {
             at: self.now,
             cumulative_energy_joules: energy,
             assignments: std::mem::take(&mut self.interval_assignments),
         });
+        // Fire before the scheduler callback so interval events precede
+        // any policy events the scheduler emits at the same instant.
+        self.trace
+            .emit(self.now, || SimEvent::ControlIntervalFired {
+                index,
+                cumulative_energy_joules: energy,
+            });
         scheduler.on_control_interval(&*self);
     }
 
@@ -102,6 +111,12 @@ impl Engine {
                 assignments: std::mem::take(&mut self.interval_assignments),
             });
         }
+        let total_tasks = self.total_tasks;
+        self.trace.emit(self.now, || SimEvent::RunFinished {
+            drained,
+            total_energy_joules: energy,
+            total_tasks,
+        });
 
         let jobs = self
             .jobs

@@ -5,6 +5,8 @@ use simcore::{EventQueue, SimDuration};
 use cluster::{MachineId, SlotKind};
 use workload::TaskId;
 
+use crate::trace::SimEvent;
+
 use super::{Engine, Event};
 
 impl Engine {
@@ -111,6 +113,19 @@ impl Engine {
             .or_default()
             .push((machine, self.now));
         self.speculative_launched += 1;
+        if !self.trace.is_empty() {
+            self.trace
+                .notify(self.now, &SimEvent::SpeculationLaunched { task, machine });
+            self.trace.notify(
+                self.now,
+                &SimEvent::TaskStarted {
+                    task,
+                    machine,
+                    speculative: true,
+                },
+            );
+            self.emit_slot_occupancy(machine, kind);
+        }
         let done_at = self.now + SimDuration::from_secs_f64(rt.duration_secs);
         queue.schedule(done_at, Event::TaskDone(Box::new(rt)));
     }

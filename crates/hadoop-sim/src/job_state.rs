@@ -10,7 +10,6 @@ use workload::JobSpec;
 
 /// Lifecycle phase of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum JobPhase {
     /// Submitted; no task has started yet.
     Waiting,

@@ -56,6 +56,7 @@ mod report;
 mod result;
 mod scheduler;
 pub mod single_node;
+pub mod trace;
 
 pub use cluster_state::{ClusterState, JobEntry};
 pub use config::{DvfsConfig, EngineConfig, NoiseConfig, PowerDownConfig, SpeculationPolicy};
@@ -64,6 +65,7 @@ pub use job_state::JobPhase;
 pub use report::{TaskReport, UtilizationSample};
 pub use result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult};
 pub use scheduler::{ClusterQuery, GreedyScheduler, Scheduler};
+pub use trace::{PowerState, SimEvent};
 
 /// Internal key identifying a task within a job: (kind, index).
 pub(crate) type TaskIndexKey = (cluster::SlotKind, u32);

@@ -10,7 +10,6 @@ use workload::{GroupId, JobId, TaskId};
 /// One heartbeat-granularity CPU-utilization reading for a task's execution
 /// process, as a TaskTracker would report it.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UtilizationSample {
     /// Length of the sampling window in seconds (Δt in Eq. 2; the last
     /// window of a task may be shorter than the heartbeat).
@@ -27,7 +26,6 @@ pub struct UtilizationSample {
 /// consumes these reports to estimate per-task energy (Eq. 2) and lay
 /// pheromone (Eq. 4–5).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskReport {
     /// The completed task.
     pub task: TaskId,

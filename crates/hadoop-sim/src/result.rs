@@ -12,7 +12,6 @@ use crate::{JobPhase, TaskReport};
 
 /// Outcome of one job.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobOutcome {
     /// The job id.
     pub id: JobId,
@@ -44,7 +43,6 @@ impl JobOutcome {
 
 /// Outcome of one machine.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineOutcome {
     /// The machine id.
     pub machine: MachineId,
@@ -76,7 +74,6 @@ impl MachineOutcome {
 /// Per-control-interval snapshot used by convergence analysis (Fig. 11) and
 /// the energy-over-time curves (Fig. 10).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalSnapshot {
     /// End time of the interval.
     pub at: SimTime,
@@ -121,7 +118,6 @@ impl IntervalSnapshot {
 
 /// Everything measured over one simulated run.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunResult {
     /// Scheduler name the run used.
     pub scheduler: String,

@@ -83,6 +83,13 @@ pub trait Scheduler {
 
     /// Called at every control-interval boundary (default 5 min).
     fn on_control_interval(&mut self, _query: &dyn ClusterQuery) {}
+
+    /// Attaches a trace observer to the scheduler's *own* event stream
+    /// (policy-level events such as [`crate::SimEvent::PheromoneUpdated`]).
+    /// Schedulers without internal events — the default — drop the
+    /// observer. To interleave scheduler events with the engine stream,
+    /// attach clones of one [`crate::trace::SharedObserver`] to both.
+    fn attach_observer(&mut self, _observer: Box<dyn crate::trace::Observer<crate::SimEvent>>) {}
 }
 
 /// A minimal reference scheduler: offers each slot to the first active job

@@ -1,0 +1,220 @@
+//! The concrete simulation event vocabulary.
+//!
+//! [`SimEvent`] is the typed stream the engine (and adaptive schedulers)
+//! emit through the generic [`simcore::trace`] plumbing. Each variant maps
+//! to a seam the engine already owns:
+//!
+//! | event | emitted from | when |
+//! |---|---|---|
+//! | [`SimEvent::JobSubmitted`] | event loop | a job's arrival event fires |
+//! | [`SimEvent::JobCompleted`] | completion path | a job's last task finishes |
+//! | [`SimEvent::TaskStarted`] | slot assignment | an attempt occupies a slot |
+//! | [`SimEvent::TaskCompleted`] | completion path | an attempt releases its slot |
+//! | [`SimEvent::HeartbeatDrained`] | heartbeat | a TaskTracker's slot offers are exhausted |
+//! | [`SimEvent::SlotOccupancyChanged`] | occupy/release | a machine's used-slot count changes |
+//! | [`SimEvent::PowerStateChanged`] | power management | standby/wake/DVFS transitions |
+//! | [`SimEvent::SpeculationLaunched`] | speculation | a backup attempt is cloned |
+//! | [`SimEvent::ControlIntervalFired`] | control tick | the periodic policy interval elapses |
+//! | [`SimEvent::PheromoneUpdated`] | E-Ant analyzer | a job's policy row is re-derived |
+//! | [`SimEvent::EnergyModelRefit`] | E-Ant analyzer | a per-profile Eq. 2 model is identified |
+//! | [`SimEvent::RunFinished`] | result assembly | the run drains or hits its time limit |
+//!
+//! Observers are passive (see [`simcore::trace::Observer`]): a run is
+//! bit-identical with or without them, which the determinism suite checks.
+//! Events carry enough payload that the streaming consumers in `metrics`
+//! can reproduce the end-of-run `RunResult` aggregates exactly — energy
+//! series, interval snapshots, per-job completion times and makespan.
+
+use cluster::{MachineId, SlotKind};
+use workload::{JobId, TaskId};
+
+pub use simcore::trace::{Observer, ObserverSet, RingRecorder, SharedObserver};
+
+/// Power/frequency state of one machine, carried by
+/// [`SimEvent::PowerStateChanged`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerState {
+    /// Powered on at nominal frequency.
+    Nominal,
+    /// Powered on at the DVFS eco frequency.
+    Eco,
+    /// Suspended (standby power draw only).
+    Standby,
+    /// Booting back up; not yet accepting tasks.
+    Waking,
+}
+
+/// One typed simulation event. All engine-side variants are `Copy`-cheap
+/// scalars so constructing them on the hot path costs nothing measurable;
+/// the E-Ant variants carry small per-interval payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// A job's arrival event fired; it is now visible to the scheduler.
+    JobSubmitted {
+        /// The arriving job.
+        job: JobId,
+        /// Its total task count (maps + reduces).
+        tasks: u32,
+    },
+    /// A job's last task completed.
+    JobCompleted {
+        /// The finished job.
+        job: JobId,
+    },
+    /// An attempt (fresh or speculative) occupied a slot and started.
+    TaskStarted {
+        /// The task being attempted.
+        task: TaskId,
+        /// The machine running the attempt.
+        machine: MachineId,
+        /// Whether this is a speculative (backup) copy.
+        speculative: bool,
+    },
+    /// An attempt finished and released its slot.
+    TaskCompleted {
+        /// The task attempted.
+        task: TaskId,
+        /// The machine that ran the attempt.
+        machine: MachineId,
+        /// Whether this attempt was the first to finish its task. Losers
+        /// (`false`) are discarded speculative copies.
+        won: bool,
+        /// Whether noise injection straggled this attempt.
+        straggled: bool,
+        /// Whether this was a speculative (backup) copy.
+        speculative: bool,
+    },
+    /// A TaskTracker heartbeat finished offering slots: the residual free
+    /// capacity on the machine and the cluster-wide queue depth.
+    HeartbeatDrained {
+        /// The reporting machine.
+        machine: MachineId,
+        /// Free map slots remaining after the offers.
+        free_map: u32,
+        /// Free reduce slots remaining after the offers.
+        free_reduce: u32,
+        /// Cluster-wide pending tasks (maps + eligible reduces).
+        pending_total: u64,
+    },
+    /// A machine's used-slot count changed (task start or completion).
+    SlotOccupancyChanged {
+        /// The machine whose occupancy changed.
+        machine: MachineId,
+        /// Which slot pool changed.
+        kind: SlotKind,
+        /// Used slots of that kind after the change.
+        occupied: u32,
+        /// Total slots of that kind on the machine.
+        capacity: u32,
+    },
+    /// A machine changed power or frequency state.
+    PowerStateChanged {
+        /// The machine that transitioned.
+        machine: MachineId,
+        /// Its new state.
+        state: PowerState,
+    },
+    /// A speculative backup attempt was cloned from a straggler. Always
+    /// followed by the matching [`SimEvent::TaskStarted`] with
+    /// `speculative: true`.
+    SpeculationLaunched {
+        /// The straggling task being backed up.
+        task: TaskId,
+        /// The machine receiving the backup copy.
+        machine: MachineId,
+    },
+    /// A control interval elapsed (adaptive schedulers re-derive policy
+    /// at this cadence).
+    ControlIntervalFired {
+        /// Zero-based interval index.
+        index: u64,
+        /// Fleet-wide metered energy up to this instant, in joules.
+        cumulative_energy_joules: f64,
+    },
+    /// E-Ant re-derived a job's pheromone row from the interval's energy
+    /// feedback (Eq. 4–6).
+    PheromoneUpdated {
+        /// The job whose policy row changed.
+        job: JobId,
+        /// Distributional overlap `Σ_m min(p_m, q_m)` between the new
+        /// Eq. 3 policy vector and the previous interval's, or `None` on
+        /// the first interval the job is seen. `1.0` means the policy is
+        /// fully stable (the §VI-C convergence criterion compares this
+        /// against 0.8).
+        overlap: Option<f64>,
+    },
+    /// E-Ant identified (or re-identified) the Eq. 2 energy model of one
+    /// machine profile.
+    EnergyModelRefit {
+        /// Profile name the model covers.
+        profile: String,
+        /// Identified idle power, in watts.
+        idle_watts: f64,
+        /// Identified power slope α, in watts per unit utilization.
+        alpha_watts: f64,
+    },
+    /// The run ended: final aggregates for streaming consumers.
+    RunFinished {
+        /// Whether every job completed (vs hitting the time limit).
+        drained: bool,
+        /// Final fleet-wide metered energy, in joules.
+        total_energy_joules: f64,
+        /// Total tasks completed (winners only).
+        total_tasks: u64,
+    },
+}
+
+impl SimEvent {
+    /// Stable snake_case tag identifying the variant — the `"type"` field
+    /// of the canonical JSONL trace encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::JobSubmitted { .. } => "job_submitted",
+            SimEvent::JobCompleted { .. } => "job_completed",
+            SimEvent::TaskStarted { .. } => "task_started",
+            SimEvent::TaskCompleted { .. } => "task_completed",
+            SimEvent::HeartbeatDrained { .. } => "heartbeat_drained",
+            SimEvent::SlotOccupancyChanged { .. } => "slot_occupancy_changed",
+            SimEvent::PowerStateChanged { .. } => "power_state_changed",
+            SimEvent::SpeculationLaunched { .. } => "speculation_launched",
+            SimEvent::ControlIntervalFired { .. } => "control_interval_fired",
+            SimEvent::PheromoneUpdated { .. } => "pheromone_updated",
+            SimEvent::EnergyModelRefit { .. } => "energy_model_refit",
+            SimEvent::RunFinished { .. } => "run_finished",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique() {
+        let kinds = [
+            SimEvent::JobSubmitted {
+                job: JobId(0),
+                tasks: 1,
+            }
+            .kind(),
+            SimEvent::JobCompleted { job: JobId(0) }.kind(),
+            SimEvent::HeartbeatDrained {
+                machine: MachineId(0),
+                free_map: 0,
+                free_reduce: 0,
+                pending_total: 0,
+            }
+            .kind(),
+            SimEvent::RunFinished {
+                drained: true,
+                total_energy_joules: 0.0,
+                total_tasks: 0,
+            }
+            .kind(),
+        ];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len());
+    }
+}

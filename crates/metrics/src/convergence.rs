@@ -1,12 +1,49 @@
 //! Convergence-time measurement (§VI-C, Fig. 11).
+//!
+//! The interval-window logic is shared between the post-hoc path (a
+//! [`RunResult`]'s recorded intervals) and the streaming path (the
+//! intervals a [`crate::observers::StreamingRunStats`] reconstructs live),
+//! via the slice-based [`convergence_interval_in`].
 
-use hadoop_sim::RunResult;
+use hadoop_sim::{IntervalSnapshot, RunResult};
+use simcore::SimTime;
 use workload::JobId;
 
 /// The paper's stability threshold: a task assignment is *stable* when more
 /// than 80 % of a job's tasks revisit the machines used in the previous
 /// control interval.
 pub const STABILITY_THRESHOLD: f64 = 0.8;
+
+/// The index into `intervals` at which `job`'s assignment first became
+/// stable (revisit fraction ≥ `threshold` against the previous interval),
+/// or `None` if it never did. Works on any interval sequence: a
+/// `RunResult`'s or a streaming reconstruction's.
+pub fn convergence_interval_in(
+    intervals: &[IntervalSnapshot],
+    job: JobId,
+    threshold: f64,
+) -> Option<usize> {
+    for (i, w) in intervals.windows(2).enumerate() {
+        if let Some(frac) = w[1].revisit_fraction(&w[0], job) {
+            if frac >= threshold {
+                return Some(i + 1);
+            }
+        }
+    }
+    None
+}
+
+/// Time (minutes from `submitted` to the stable interval's end) until the
+/// assignment of `job` first became stable over `intervals`, or `None` if
+/// it never did.
+pub fn convergence_minutes_in(
+    intervals: &[IntervalSnapshot],
+    submitted: SimTime,
+    job: JobId,
+) -> Option<f64> {
+    let idx = convergence_interval_in(intervals, job, STABILITY_THRESHOLD)?;
+    Some((intervals[idx].at - submitted).as_mins_f64())
+}
 
 /// Time (minutes from job submission) until `job`'s assignment first became
 /// stable in `run`, or `None` if it never did.
@@ -16,10 +53,8 @@ pub const STABILITY_THRESHOLD: f64 = 0.8;
 /// Convergence is measured per-job from control-interval snapshots; see the
 /// Fig. 11 experiments for end-to-end use.
 pub fn convergence_minutes(run: &RunResult, job: JobId) -> Option<f64> {
-    let idx = run.convergence_interval(job, STABILITY_THRESHOLD)?;
-    let at = run.intervals.get(idx)?.at;
     let submitted = run.jobs.get(job.index())?.submitted_at;
-    Some((at - submitted).as_mins_f64())
+    convergence_minutes_in(&run.intervals, submitted, job)
 }
 
 /// Mean convergence time over all jobs that converged, in minutes, plus

@@ -1,11 +1,11 @@
-//! Dependency-free JSON serialization of run results.
+//! Dependency-free JSON serialization of run results and event traces.
 //!
-//! The workspace builds hermetically (no external crates in the default
-//! feature set), so report serialization is hand-rolled here instead of
-//! derived through `serde`. Only *emission* is needed — results flow out of
-//! the simulator into files and diffs, never back in — which keeps the
-//! surface small: a [`JsonValue`] tree, a renderer, and [`ToJson`]
-//! implementations for the [`RunResult`] type family.
+//! The workspace builds hermetically (no external crates), so JSON
+//! handling is hand-rolled here instead of derived through `serde`: a
+//! [`JsonValue`] tree, a renderer, a recursive-descent parser
+//! ([`JsonValue::parse`], used by the JSONL trace replay path in
+//! [`crate::trace`]), and [`ToJson`] implementations for the
+//! [`RunResult`] type family.
 //!
 //! The rendering is **canonical**: object keys are emitted in the fixed
 //! order the implementations choose, floats use Rust's shortest
@@ -59,6 +59,84 @@ impl JsonValue {
         out
     }
 
+    /// Parses a JSON document, the inverse of [`JsonValue::render`].
+    ///
+    /// Numbers without a sign, fraction or exponent parse as
+    /// [`JsonValue::UInt`]; everything else numeric parses as
+    /// [`JsonValue::Num`]. Because [`JsonValue::render`] emits floats in
+    /// shortest round-trip form and `str::parse::<f64>` recovers the exact
+    /// bits, `parse(v.render())` reproduces `v` up to the UInt/Num split
+    /// for integral floats (readers that accept either, like the trace
+    /// replay in [`crate::trace`], see identical values).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use metrics::emit::JsonValue;
+    ///
+    /// let v = JsonValue::parse(r#"{"a":[1,2.5,null]}"#).unwrap();
+    /// assert_eq!(v.render(), r#"{"a":[1,2.5,null]}"#);
+    /// ```
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a key in an object. `None` for missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a float. Accepts both [`JsonValue::Num`] and
+    /// [`JsonValue::UInt`] (the parser classifies integral floats as UInt).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            JsonValue::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -97,6 +175,222 @@ impl JsonValue {
                 out.push('}');
             }
         }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err(format!("unexpected end of input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_owned())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: require the paired low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                } else {
+                                    return Err("unpaired surrogate".to_owned());
+                                }
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err("unpaired surrogate".to_owned());
+                                }
+                                let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(code).ok_or("invalid code point")?
+                            } else {
+                                char::from_u32(unit).ok_or("unpaired surrogate")?
+                            };
+                            out.push(c);
+                        }
+                        c => {
+                            return Err(format!("invalid escape '\\{}'", c as char));
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(format!("unescaped control byte at {}", self.pos));
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 character (input is a &str, so
+                    // char boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| "truncated \\u escape".to_owned())?;
+        let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|e| e.to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        let mut integral = true;
+        if self.peek() == Some(b'-') {
+            integral = false;
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number chars");
+        if integral {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
     }
 }
 
@@ -480,6 +774,91 @@ mod tests {
         assert!(json.contains(r#""groups":["Wordcount-S"]"#));
         assert!(json.contains(r#""assignments":{"3":[1,0,2]}"#));
         assert!(json.ends_with(r#""total_tasks":3,"speculative_attempts":0,"wasted_attempts":0}"#));
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let docs = [
+            "null",
+            "true",
+            "false",
+            "42",
+            "-1.5",
+            "0.1",
+            r#""a\"b\\c\nd""#,
+            r#"[1,[2,"x"],{}]"#,
+            r#"{"b":1,"a":[null,false],"c":{"d":0.3333333333333333}}"#,
+        ];
+        for doc in docs {
+            let v = JsonValue::parse(doc).unwrap();
+            assert_eq!(v.render(), doc, "round trip of {doc}");
+        }
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(JsonValue::parse("7").unwrap(), JsonValue::UInt(7));
+        assert_eq!(JsonValue::parse("7.0").unwrap(), JsonValue::Num(7.0));
+        assert_eq!(JsonValue::parse("-7").unwrap(), JsonValue::Num(-7.0));
+        assert_eq!(JsonValue::parse("7e0").unwrap(), JsonValue::Num(7.0));
+        assert_eq!(JsonValue::parse("1e300").unwrap(), JsonValue::Num(1e300));
+        // u64 overflow falls back to float.
+        assert!(matches!(
+            JsonValue::parse("99999999999999999999").unwrap(),
+            JsonValue::Num(_)
+        ));
+    }
+
+    #[test]
+    fn parse_handles_unicode_escapes() {
+        assert_eq!(
+            JsonValue::parse(r#""Aé""#).unwrap(),
+            JsonValue::Str("Aé".into())
+        );
+        // Surrogate pair → U+1F600, escaped and raw.
+        assert_eq!(
+            JsonValue::parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::Str("\u{1f600}".into())
+        );
+        assert_eq!(
+            JsonValue::parse("\"\u{1f600}\"").unwrap(),
+            JsonValue::Str("\u{1f600}".into())
+        );
+        assert!(JsonValue::parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.render(), r#"{"a":[1,2]}"#);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"\u{1}\"",
+            "nan",
+        ] {
+            assert!(JsonValue::parse(doc).is_err(), "accepted {doc:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_extract_scalars() {
+        let v = JsonValue::parse(r#"{"n":3,"x":1.5,"b":true,"s":"hi"}"#).unwrap();
+        assert_eq!(v.get("n").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(v.get("x").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(v.get("b").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("hi"));
+        assert!(v.get("missing").is_none());
+        assert!(JsonValue::Null.get("n").is_none());
     }
 
     #[test]

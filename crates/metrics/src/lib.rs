@@ -12,9 +12,15 @@
 //! * [`report`] — fixed-width text tables and ASCII series used by the
 //!   experiment binaries to print every figure/table.
 //! * [`csv`] — CSV export of run results for external plotting.
-//! * [`emit`] — dependency-free canonical JSON serialization of
-//!   [`hadoop_sim::RunResult`], the comparison key of the determinism and
-//!   golden-value regression tests.
+//! * [`emit`] — dependency-free canonical JSON serialization (and parsing)
+//!   of [`hadoop_sim::RunResult`] and trace documents, the comparison key
+//!   of the determinism and golden-value regression tests.
+//! * [`observers`] — streaming consumers of the typed event stream:
+//!   [`observers::StreamingRunStats`] reproduces the post-hoc aggregates
+//!   live, bit for bit.
+//! * [`trace`] — the canonical JSONL trace codec:
+//!   [`trace::JsonlTraceSink`] writes one line per event,
+//!   [`trace::parse_trace_line`] inverts it for replay validation.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -24,4 +30,6 @@ pub mod csv;
 pub mod emit;
 pub mod energy;
 pub mod fairness;
+pub mod observers;
 pub mod report;
+pub mod trace;

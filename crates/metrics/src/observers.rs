@@ -1,0 +1,379 @@
+//! Streaming metric consumers: observers that reproduce the end-of-run
+//! aggregates live from the typed event stream.
+//!
+//! [`StreamingRunStats`] subscribes to the engine's [`SimEvent`] stream and
+//! reconstructs, event by event, the same quantities `RunResult` assembles
+//! post hoc: the cumulative energy series, the per-interval assignment
+//! snapshots that drive convergence analysis, per-job completion times,
+//! makespan and total energy. The reconstruction is designed to be
+//! **bit-for-bit** equal to the post-hoc numbers — [`StreamingRunStats::matches`]
+//! asserts exactly that, and the property suite runs it for every scheduler
+//! under noise and speculation.
+
+use std::collections::BTreeMap;
+
+use hadoop_sim::trace::Observer;
+use hadoop_sim::{IntervalSnapshot, RunResult, SimEvent};
+use simcore::series::TimeSeries;
+use simcore::{SimDuration, SimTime};
+use workload::JobId;
+
+use crate::fairness;
+
+/// An [`Observer`] that folds the event stream into run-level statistics.
+///
+/// Create one per run sized to the fleet, attach it to the engine (directly
+/// or through a `SharedObserver`), and read the aggregates after the
+/// `RunFinished` event.
+#[derive(Debug, Clone)]
+pub struct StreamingRunStats {
+    num_machines: usize,
+    events_seen: u64,
+    submitted_at: BTreeMap<JobId, SimTime>,
+    completions: BTreeMap<JobId, f64>,
+    current_assignments: BTreeMap<JobId, Vec<u64>>,
+    intervals: Vec<IntervalSnapshot>,
+    energy_series: TimeSeries,
+    makespan: Option<SimDuration>,
+    total_energy_joules: f64,
+    total_tasks: u64,
+    drained: Option<bool>,
+    speculative_launched: u64,
+}
+
+impl StreamingRunStats {
+    /// Creates a consumer for a fleet of `num_machines` machines (needed to
+    /// size the dense per-machine assignment vectors the same way the
+    /// engine does).
+    pub fn new(num_machines: usize) -> Self {
+        StreamingRunStats {
+            num_machines,
+            events_seen: 0,
+            submitted_at: BTreeMap::new(),
+            completions: BTreeMap::new(),
+            current_assignments: BTreeMap::new(),
+            intervals: Vec::new(),
+            energy_series: TimeSeries::new("cumulative_energy_joules"),
+            makespan: None,
+            total_energy_joules: 0.0,
+            total_tasks: 0,
+            drained: None,
+            speculative_launched: 0,
+        }
+    }
+
+    /// Total events observed (of any kind).
+    pub fn event_count(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Whether the `RunFinished` event has arrived.
+    pub fn is_finished(&self) -> bool {
+        self.drained.is_some()
+    }
+
+    /// Makespan: the `RunFinished` timestamp. `None` before the run ends.
+    pub fn makespan(&self) -> Option<SimDuration> {
+        self.makespan
+    }
+
+    /// Final fleet-wide metered energy in joules (0 before the run ends).
+    pub fn total_energy_joules(&self) -> f64 {
+        self.total_energy_joules
+    }
+
+    /// Total completed tasks (winning attempts only).
+    pub fn total_tasks(&self) -> u64 {
+        self.total_tasks
+    }
+
+    /// Speculative (backup) attempts observed.
+    pub fn speculative_launched(&self) -> u64 {
+        self.speculative_launched
+    }
+
+    /// The reconstructed cumulative energy series (sampled at control
+    /// intervals plus the final instant, like `RunResult::energy_series`).
+    pub fn energy_series(&self) -> &TimeSeries {
+        &self.energy_series
+    }
+
+    /// The reconstructed control-interval snapshots, assignment bookkeeping
+    /// included (like `RunResult::intervals`).
+    pub fn intervals(&self) -> &[IntervalSnapshot] {
+        &self.intervals
+    }
+
+    /// Per-job actual completion times in seconds, for jobs that finished
+    /// (the input to the §VI-D slowdown/fairness metrics).
+    pub fn actual_completions(&self) -> &BTreeMap<JobId, f64> {
+        &self.completions
+    }
+
+    /// Submission time of each job observed so far.
+    pub fn submitted_at(&self, job: JobId) -> Option<SimTime> {
+        self.submitted_at.get(&job).copied()
+    }
+
+    /// Checks every streamed aggregate against the post-hoc `RunResult` of
+    /// the same run, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching aggregate.
+    pub fn matches(&self, run: &RunResult) -> Result<(), String> {
+        if self.drained != Some(run.drained) {
+            return Err(format!(
+                "drained: streamed {:?}, post-hoc {}",
+                self.drained, run.drained
+            ));
+        }
+        if self.makespan != Some(run.makespan) {
+            return Err(format!(
+                "makespan: streamed {:?}, post-hoc {:?}",
+                self.makespan, run.makespan
+            ));
+        }
+        let posthoc_energy = run.total_energy_joules();
+        if self.total_energy_joules.to_bits() != posthoc_energy.to_bits() {
+            return Err(format!(
+                "total energy: streamed {}, post-hoc {}",
+                self.total_energy_joules, posthoc_energy
+            ));
+        }
+        if self.total_tasks != run.total_tasks {
+            return Err(format!(
+                "total tasks: streamed {}, post-hoc {}",
+                self.total_tasks, run.total_tasks
+            ));
+        }
+        if self.speculative_launched != run.speculative_attempts {
+            return Err(format!(
+                "speculative attempts: streamed {}, post-hoc {}",
+                self.speculative_launched, run.speculative_attempts
+            ));
+        }
+        if self.energy_series != run.energy_series {
+            return Err(format!(
+                "energy series: streamed {} samples, post-hoc {}",
+                self.energy_series.len(),
+                run.energy_series.len()
+            ));
+        }
+        if self.intervals != run.intervals {
+            return Err(format!(
+                "intervals: streamed {} snapshots, post-hoc {}",
+                self.intervals.len(),
+                run.intervals.len()
+            ));
+        }
+        let posthoc = fairness::actual_completions(run);
+        if self.completions != posthoc {
+            return Err(format!(
+                "completions: streamed {} jobs, post-hoc {}",
+                self.completions.len(),
+                posthoc.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Closes the open partial interval, mirroring the engine's end-of-run
+    /// snapshot rule: push only when something was assigned since the last
+    /// control tick, or no tick ever fired.
+    fn close_partial_interval(&mut self, at: SimTime, cumulative_energy_joules: f64) {
+        if !self.current_assignments.is_empty() || self.intervals.is_empty() {
+            self.intervals.push(IntervalSnapshot {
+                at,
+                cumulative_energy_joules,
+                assignments: std::mem::take(&mut self.current_assignments),
+            });
+        }
+    }
+}
+
+impl Observer<SimEvent> for StreamingRunStats {
+    fn on_event(&mut self, at: SimTime, event: &SimEvent) {
+        self.events_seen += 1;
+        match event {
+            SimEvent::JobSubmitted { job, .. } => {
+                self.submitted_at.insert(*job, at);
+            }
+            SimEvent::JobCompleted { job } => {
+                if let Some(&submitted) = self.submitted_at.get(job) {
+                    self.completions
+                        .insert(*job, (at - submitted).as_secs_f64());
+                }
+            }
+            SimEvent::TaskStarted {
+                task,
+                machine,
+                speculative: false,
+            } => {
+                // Fresh attempts feed the interval assignment bookkeeping;
+                // speculative clones do not (the engine skips them too).
+                let counts = self
+                    .current_assignments
+                    .entry(task.job)
+                    .or_insert_with(|| vec![0; self.num_machines]);
+                counts[machine.index()] += 1;
+            }
+            SimEvent::TaskCompleted { won: true, .. } => {
+                self.total_tasks += 1;
+            }
+            SimEvent::SpeculationLaunched { .. } => {
+                self.speculative_launched += 1;
+            }
+            SimEvent::ControlIntervalFired {
+                cumulative_energy_joules,
+                ..
+            } => {
+                self.energy_series.record(at, *cumulative_energy_joules);
+                self.intervals.push(IntervalSnapshot {
+                    at,
+                    cumulative_energy_joules: *cumulative_energy_joules,
+                    assignments: std::mem::take(&mut self.current_assignments),
+                });
+            }
+            SimEvent::RunFinished {
+                drained,
+                total_energy_joules,
+                total_tasks,
+            } => {
+                self.energy_series.record(at, *total_energy_joules);
+                self.close_partial_interval(at, *total_energy_joules);
+                self.makespan = Some(at - SimTime::ZERO);
+                self.total_energy_joules = *total_energy_joules;
+                self.drained = Some(*drained);
+                // Keep the streamed count: `matches` then cross-checks it
+                // against both the footer and the post-hoc result.
+                debug_assert_eq!(self.total_tasks, *total_tasks);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{MachineId, SlotKind};
+    use workload::{TaskId, TaskIndex};
+
+    fn task(job: u64, index: u32) -> TaskId {
+        TaskId {
+            job: JobId(job),
+            task: TaskIndex {
+                kind: SlotKind::Map,
+                index,
+            },
+        }
+    }
+
+    #[test]
+    fn folds_a_minimal_run() {
+        let mut s = StreamingRunStats::new(2);
+        let t = SimTime::from_secs;
+        s.on_event(
+            t(0),
+            &SimEvent::JobSubmitted {
+                job: JobId(0),
+                tasks: 2,
+            },
+        );
+        s.on_event(
+            t(1),
+            &SimEvent::TaskStarted {
+                task: task(0, 0),
+                machine: MachineId(1),
+                speculative: false,
+            },
+        );
+        s.on_event(
+            t(300),
+            &SimEvent::ControlIntervalFired {
+                index: 0,
+                cumulative_energy_joules: 100.0,
+            },
+        );
+        s.on_event(
+            t(400),
+            &SimEvent::TaskCompleted {
+                task: task(0, 0),
+                machine: MachineId(1),
+                won: true,
+                straggled: false,
+                speculative: false,
+            },
+        );
+        s.on_event(t(400), &SimEvent::JobCompleted { job: JobId(0) });
+        s.on_event(
+            t(400),
+            &SimEvent::RunFinished {
+                drained: true,
+                total_energy_joules: 150.0,
+                total_tasks: 1,
+            },
+        );
+
+        assert!(s.is_finished());
+        assert_eq!(s.makespan(), Some(SimDuration::from_secs(400)));
+        assert_eq!(s.total_energy_joules(), 150.0);
+        assert_eq!(s.total_tasks(), 1);
+        assert_eq!(s.event_count(), 6);
+        assert_eq!(s.actual_completions()[&JobId(0)], 400.0);
+        assert_eq!(s.energy_series().len(), 2);
+        // One full interval with the assignment, no partial (nothing
+        // assigned after the control tick).
+        assert_eq!(s.intervals().len(), 1);
+        assert_eq!(s.intervals()[0].assignments[&JobId(0)], vec![0, 1]);
+    }
+
+    #[test]
+    fn speculative_starts_do_not_count_as_assignments() {
+        let mut s = StreamingRunStats::new(1);
+        s.on_event(
+            SimTime::from_secs(1),
+            &SimEvent::TaskStarted {
+                task: task(0, 0),
+                machine: MachineId(0),
+                speculative: true,
+            },
+        );
+        s.on_event(
+            SimTime::from_secs(2),
+            &SimEvent::SpeculationLaunched {
+                task: task(0, 0),
+                machine: MachineId(0),
+            },
+        );
+        s.on_event(
+            SimTime::from_secs(3),
+            &SimEvent::RunFinished {
+                drained: true,
+                total_energy_joules: 0.0,
+                total_tasks: 0,
+            },
+        );
+        assert_eq!(s.speculative_launched(), 1);
+        // The partial interval still closes (no tick fired) but is empty.
+        assert_eq!(s.intervals().len(), 1);
+        assert!(s.intervals()[0].assignments.is_empty());
+    }
+
+    #[test]
+    fn losing_attempts_do_not_count_toward_totals() {
+        let mut s = StreamingRunStats::new(1);
+        s.on_event(
+            SimTime::from_secs(1),
+            &SimEvent::TaskCompleted {
+                task: task(0, 0),
+                machine: MachineId(0),
+                won: false,
+                straggled: false,
+                speculative: true,
+            },
+        );
+        assert_eq!(s.total_tasks(), 0);
+    }
+}

@@ -1,0 +1,498 @@
+//! Canonical JSONL encoding of the simulation event stream.
+//!
+//! Each trace line is one compact JSON object: `{"at":<millis>,
+//! "type":"<kind>", ...payload}` with the payload keys in a fixed order, so
+//! byte-identical traces mean identical event streams (the golden trace
+//! digest test relies on this). [`JsonlTraceSink`] is the [`Observer`] that
+//! writes the stream; [`parse_trace_line`] is its inverse, used by the
+//! `--replay` validation path to re-drive streaming consumers from a file.
+
+use std::io;
+
+use cluster::{MachineId, SlotKind};
+use hadoop_sim::trace::Observer;
+use hadoop_sim::{PowerState, SimEvent};
+use simcore::SimTime;
+use workload::{JobId, TaskId, TaskIndex};
+
+use crate::emit::{object, JsonValue, ToJson};
+
+impl ToJson for PowerState {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(power_state_tag(*self).to_owned())
+    }
+}
+
+fn power_state_tag(state: PowerState) -> &'static str {
+    match state {
+        PowerState::Nominal => "nominal",
+        PowerState::Eco => "eco",
+        PowerState::Standby => "standby",
+        PowerState::Waking => "waking",
+    }
+}
+
+impl ToJson for SimEvent {
+    /// The payload object, without the `at`/`type` envelope (see
+    /// [`trace_line`] for the full line).
+    fn to_json(&self) -> JsonValue {
+        match self {
+            SimEvent::JobSubmitted { job, tasks } => object([
+                ("job", job.to_json()),
+                ("tasks", JsonValue::UInt(u64::from(*tasks))),
+            ]),
+            SimEvent::JobCompleted { job } => object([("job", job.to_json())]),
+            SimEvent::TaskStarted {
+                task,
+                machine,
+                speculative,
+            } => object([
+                ("task", task.to_json()),
+                ("machine", machine.to_json()),
+                ("speculative", JsonValue::Bool(*speculative)),
+            ]),
+            SimEvent::TaskCompleted {
+                task,
+                machine,
+                won,
+                straggled,
+                speculative,
+            } => object([
+                ("task", task.to_json()),
+                ("machine", machine.to_json()),
+                ("won", JsonValue::Bool(*won)),
+                ("straggled", JsonValue::Bool(*straggled)),
+                ("speculative", JsonValue::Bool(*speculative)),
+            ]),
+            SimEvent::HeartbeatDrained {
+                machine,
+                free_map,
+                free_reduce,
+                pending_total,
+            } => object([
+                ("machine", machine.to_json()),
+                ("free_map", JsonValue::UInt(u64::from(*free_map))),
+                ("free_reduce", JsonValue::UInt(u64::from(*free_reduce))),
+                ("pending_total", JsonValue::UInt(*pending_total)),
+            ]),
+            SimEvent::SlotOccupancyChanged {
+                machine,
+                kind,
+                occupied,
+                capacity,
+            } => object([
+                ("machine", machine.to_json()),
+                ("kind", kind.to_json()),
+                ("occupied", JsonValue::UInt(u64::from(*occupied))),
+                ("capacity", JsonValue::UInt(u64::from(*capacity))),
+            ]),
+            SimEvent::PowerStateChanged { machine, state } => {
+                object([("machine", machine.to_json()), ("state", state.to_json())])
+            }
+            SimEvent::SpeculationLaunched { task, machine } => {
+                object([("task", task.to_json()), ("machine", machine.to_json())])
+            }
+            SimEvent::ControlIntervalFired {
+                index,
+                cumulative_energy_joules,
+            } => object([
+                ("index", JsonValue::UInt(*index)),
+                (
+                    "cumulative_energy_joules",
+                    JsonValue::Num(*cumulative_energy_joules),
+                ),
+            ]),
+            SimEvent::PheromoneUpdated { job, overlap } => object([
+                ("job", job.to_json()),
+                ("overlap", overlap.map_or(JsonValue::Null, JsonValue::Num)),
+            ]),
+            SimEvent::EnergyModelRefit {
+                profile,
+                idle_watts,
+                alpha_watts,
+            } => object([
+                ("profile", JsonValue::Str(profile.clone())),
+                ("idle_watts", JsonValue::Num(*idle_watts)),
+                ("alpha_watts", JsonValue::Num(*alpha_watts)),
+            ]),
+            SimEvent::RunFinished {
+                drained,
+                total_energy_joules,
+                total_tasks,
+            } => object([
+                ("drained", JsonValue::Bool(*drained)),
+                ("total_energy_joules", JsonValue::Num(*total_energy_joules)),
+                ("total_tasks", JsonValue::UInt(*total_tasks)),
+            ]),
+        }
+    }
+}
+
+/// Renders one canonical trace line (no trailing newline):
+/// `{"at":<millis>,"type":"<kind>",...payload}`.
+pub fn trace_line(at: SimTime, event: &SimEvent) -> String {
+    let mut fields = vec![
+        ("at".to_owned(), at.to_json()),
+        ("type".to_owned(), JsonValue::Str(event.kind().to_owned())),
+    ];
+    match event.to_json() {
+        JsonValue::Object(payload) => fields.extend(payload),
+        other => fields.push(("payload".to_owned(), other)),
+    }
+    JsonValue::Object(fields).render()
+}
+
+/// Parses one trace line back into its timestamp and event — the inverse of
+/// [`trace_line`].
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field (or the JSON
+/// syntax error) on malformed lines.
+pub fn parse_trace_line(line: &str) -> Result<(SimTime, SimEvent), String> {
+    let doc = JsonValue::parse(line)?;
+    let at = SimTime::from_millis(field_u64(&doc, "at")?);
+    let kind = doc
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"type\"")?;
+    let event = match kind {
+        "job_submitted" => SimEvent::JobSubmitted {
+            job: field_job(&doc, "job")?,
+            tasks: field_u32(&doc, "tasks")?,
+        },
+        "job_completed" => SimEvent::JobCompleted {
+            job: field_job(&doc, "job")?,
+        },
+        "task_started" => SimEvent::TaskStarted {
+            task: field_task(&doc, "task")?,
+            machine: field_machine(&doc, "machine")?,
+            speculative: field_bool(&doc, "speculative")?,
+        },
+        "task_completed" => SimEvent::TaskCompleted {
+            task: field_task(&doc, "task")?,
+            machine: field_machine(&doc, "machine")?,
+            won: field_bool(&doc, "won")?,
+            straggled: field_bool(&doc, "straggled")?,
+            speculative: field_bool(&doc, "speculative")?,
+        },
+        "heartbeat_drained" => SimEvent::HeartbeatDrained {
+            machine: field_machine(&doc, "machine")?,
+            free_map: field_u32(&doc, "free_map")?,
+            free_reduce: field_u32(&doc, "free_reduce")?,
+            pending_total: field_u64(&doc, "pending_total")?,
+        },
+        "slot_occupancy_changed" => SimEvent::SlotOccupancyChanged {
+            machine: field_machine(&doc, "machine")?,
+            kind: field_slot_kind(&doc, "kind")?,
+            occupied: field_u32(&doc, "occupied")?,
+            capacity: field_u32(&doc, "capacity")?,
+        },
+        "power_state_changed" => SimEvent::PowerStateChanged {
+            machine: field_machine(&doc, "machine")?,
+            state: field_power_state(&doc, "state")?,
+        },
+        "speculation_launched" => SimEvent::SpeculationLaunched {
+            task: field_task(&doc, "task")?,
+            machine: field_machine(&doc, "machine")?,
+        },
+        "control_interval_fired" => SimEvent::ControlIntervalFired {
+            index: field_u64(&doc, "index")?,
+            cumulative_energy_joules: field_f64(&doc, "cumulative_energy_joules")?,
+        },
+        "pheromone_updated" => SimEvent::PheromoneUpdated {
+            job: field_job(&doc, "job")?,
+            overlap: match doc.get("overlap") {
+                None | Some(JsonValue::Null) => None,
+                Some(v) => Some(v.as_f64().ok_or("mistyped \"overlap\"")?),
+            },
+        },
+        "energy_model_refit" => SimEvent::EnergyModelRefit {
+            profile: doc
+                .get("profile")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing \"profile\"")?
+                .to_owned(),
+            idle_watts: field_f64(&doc, "idle_watts")?,
+            alpha_watts: field_f64(&doc, "alpha_watts")?,
+        },
+        "run_finished" => SimEvent::RunFinished {
+            drained: field_bool(&doc, "drained")?,
+            total_energy_joules: field_f64(&doc, "total_energy_joules")?,
+            total_tasks: field_u64(&doc, "total_tasks")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok((at, event))
+}
+
+fn field_u64(doc: &JsonValue, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or mistyped {key:?}"))
+}
+
+fn field_u32(doc: &JsonValue, key: &str) -> Result<u32, String> {
+    u32::try_from(field_u64(doc, key)?).map_err(|_| format!("{key:?} out of range"))
+}
+
+fn field_f64(doc: &JsonValue, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or mistyped {key:?}"))
+}
+
+fn field_bool(doc: &JsonValue, key: &str) -> Result<bool, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("missing or mistyped {key:?}"))
+}
+
+fn field_job(doc: &JsonValue, key: &str) -> Result<JobId, String> {
+    field_u64(doc, key).map(JobId)
+}
+
+fn field_machine(doc: &JsonValue, key: &str) -> Result<MachineId, String> {
+    let n = field_u64(doc, key)?;
+    usize::try_from(n)
+        .map(MachineId)
+        .map_err(|_| format!("{key:?} out of range"))
+}
+
+fn field_slot_kind(doc: &JsonValue, key: &str) -> Result<SlotKind, String> {
+    match doc.get(key).and_then(JsonValue::as_str) {
+        Some("map") => Ok(SlotKind::Map),
+        Some("reduce") => Ok(SlotKind::Reduce),
+        _ => Err(format!("missing or mistyped {key:?}")),
+    }
+}
+
+fn field_power_state(doc: &JsonValue, key: &str) -> Result<PowerState, String> {
+    match doc.get(key).and_then(JsonValue::as_str) {
+        Some("nominal") => Ok(PowerState::Nominal),
+        Some("eco") => Ok(PowerState::Eco),
+        Some("standby") => Ok(PowerState::Standby),
+        Some("waking") => Ok(PowerState::Waking),
+        _ => Err(format!("missing or mistyped {key:?}")),
+    }
+}
+
+fn field_task(doc: &JsonValue, key: &str) -> Result<TaskId, String> {
+    let obj = doc.get(key).ok_or_else(|| format!("missing {key:?}"))?;
+    Ok(TaskId {
+        job: field_job(obj, "job")?,
+        task: TaskIndex {
+            kind: field_slot_kind(obj, "kind")?,
+            index: field_u32(obj, "index")?,
+        },
+    })
+}
+
+/// An [`Observer`] that appends one canonical JSONL line per event to a
+/// writer.
+///
+/// I/O errors are sticky: the first failure is retained, later events are
+/// dropped, and [`JsonlTraceSink::finish`] surfaces the error. This keeps
+/// `on_event` infallible (observers cannot abort the simulation).
+pub struct JsonlTraceSink<W: io::Write> {
+    writer: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlTraceSink<W> {
+    /// Wraps a writer. Buffer it (`io::BufWriter`) for file targets — the
+    /// sink writes one line per event.
+    pub fn new(writer: W) -> Self {
+        JsonlTraceSink {
+            writer,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the writer, or the first I/O error encountered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the retained write error, or the flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: io::Write> std::fmt::Debug for JsonlTraceSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlTraceSink")
+            .field("lines", &self.lines)
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: io::Write> Observer<SimEvent> for JsonlTraceSink<W> {
+    fn on_event(&mut self, at: SimTime, event: &SimEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = trace_line(at, event);
+        match writeln!(self.writer, "{line}") {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SimEvent> {
+        let task = TaskId {
+            job: JobId(3),
+            task: TaskIndex {
+                kind: SlotKind::Reduce,
+                index: 7,
+            },
+        };
+        vec![
+            SimEvent::JobSubmitted {
+                job: JobId(3),
+                tasks: 12,
+            },
+            SimEvent::TaskStarted {
+                task,
+                machine: MachineId(5),
+                speculative: false,
+            },
+            SimEvent::HeartbeatDrained {
+                machine: MachineId(5),
+                free_map: 2,
+                free_reduce: 0,
+                pending_total: 40,
+            },
+            SimEvent::SlotOccupancyChanged {
+                machine: MachineId(5),
+                kind: SlotKind::Reduce,
+                occupied: 2,
+                capacity: 2,
+            },
+            SimEvent::PowerStateChanged {
+                machine: MachineId(1),
+                state: PowerState::Eco,
+            },
+            SimEvent::SpeculationLaunched {
+                task,
+                machine: MachineId(0),
+            },
+            SimEvent::TaskCompleted {
+                task,
+                machine: MachineId(5),
+                won: true,
+                straggled: true,
+                speculative: false,
+            },
+            SimEvent::ControlIntervalFired {
+                index: 4,
+                cumulative_energy_joules: 123.456,
+            },
+            SimEvent::PheromoneUpdated {
+                job: JobId(3),
+                overlap: Some(0.875),
+            },
+            SimEvent::PheromoneUpdated {
+                job: JobId(4),
+                overlap: None,
+            },
+            SimEvent::EnergyModelRefit {
+                profile: "Atom".into(),
+                idle_watts: 25.0,
+                alpha_watts: 11.5,
+            },
+            SimEvent::JobCompleted { job: JobId(3) },
+            SimEvent::RunFinished {
+                drained: true,
+                total_energy_joules: 999.125,
+                total_tasks: 12,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for (i, event) in sample_events().into_iter().enumerate() {
+            let at = SimTime::from_millis(1000 * i as u64 + 1);
+            let line = trace_line(at, &event);
+            let (at2, event2) = parse_trace_line(&line).unwrap_or_else(|e| {
+                panic!("parse failed for {line}: {e}");
+            });
+            assert_eq!(at2, at, "timestamp of {line}");
+            assert_eq!(event2, event, "payload of {line}");
+        }
+    }
+
+    #[test]
+    fn lines_have_the_canonical_envelope() {
+        let line = trace_line(
+            SimTime::from_millis(2500),
+            &SimEvent::JobCompleted { job: JobId(9) },
+        );
+        assert_eq!(line, r#"{"at":2500,"type":"job_completed","job":9}"#);
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_event_and_flushes() {
+        let mut sink = JsonlTraceSink::new(Vec::new());
+        for (i, event) in sample_events().into_iter().enumerate() {
+            sink.on_event(SimTime::from_secs(i as u64), &event);
+        }
+        assert_eq!(sink.lines(), 13);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 13);
+        for line in text.lines() {
+            parse_trace_line(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn sink_retains_the_first_io_error() {
+        struct Failing;
+        impl io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlTraceSink::new(Failing);
+        sink.on_event(SimTime::ZERO, &SimEvent::JobCompleted { job: JobId(0) });
+        sink.on_event(SimTime::ZERO, &SimEvent::JobCompleted { job: JobId(1) });
+        assert_eq!(sink.lines(), 0);
+        assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for line in [
+            "",
+            "{}",
+            r#"{"at":1}"#,
+            r#"{"at":1,"type":"no_such_event"}"#,
+            r#"{"at":1,"type":"job_completed"}"#,
+            r#"{"at":1,"type":"task_started","task":{"job":0,"kind":"walk","index":0},"machine":0,"speculative":false}"#,
+        ] {
+            assert!(parse_trace_line(line).is_err(), "accepted {line:?}");
+        }
+    }
+}

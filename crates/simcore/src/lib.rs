@@ -15,6 +15,9 @@
 //!   accuracy metric used by the paper's Figure 4), percentiles and
 //!   histograms.
 //! * [`series`] — time-series recording used by the figure generators.
+//! * [`trace`] — a typed event-stream layer: the [`trace::Observer`]
+//!   contract, [`trace::ObserverSet`] fan-out with a zero-cost empty path,
+//!   and a bounded [`trace::RingRecorder`].
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@ mod rng;
 pub mod series;
 pub mod stats;
 mod time;
+pub mod trace;
 
 pub use events::EventQueue;
 pub use rng::SimRng;

@@ -22,7 +22,6 @@ use crate::{SimDuration, SimTime};
 /// assert!((ts.integrate() - 1200.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeSeries {
     name: String,
     samples: Vec<(SimTime, f64)>,

@@ -22,7 +22,6 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_secs(90));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in whole milliseconds.
@@ -37,7 +36,6 @@ pub struct SimTime(u64);
 /// assert_eq!(d * 2, SimDuration::from_mins(10));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimDuration(u64);
 
 impl SimTime {

@@ -1,0 +1,308 @@
+//! Typed simulation event stream: observers, fan-out and recording.
+//!
+//! The engine layers above `simcore` each define their own concrete event
+//! vocabulary (an enum `E`); this module provides the generic plumbing to
+//! watch such a stream without coupling the producer to any consumer:
+//!
+//! * [`Observer`] — the consumer contract: one callback per event, with
+//!   the simulation timestamp. Observers are **passive**: they receive
+//!   shared references and must not influence the simulation (in
+//!   particular they own no RNG stream), so a run with observers attached
+//!   is bit-identical to one without.
+//! * [`ObserverSet`] — an ordered fan-out of boxed observers with a
+//!   statically-elidable fast path: [`ObserverSet::emit`] takes the event
+//!   as a *closure*, so when no observer is attached the event payload is
+//!   never even constructed and the whole call inlines down to one
+//!   `Vec::is_empty` branch.
+//! * [`RingRecorder`] — a bounded in-memory recorder keeping the last `N`
+//!   events (the "flight recorder" pattern for post-mortem debugging).
+//! * [`SharedObserver`] — a cheaply clonable `Rc<RefCell<T>>` handle so a
+//!   caller can attach an observer to one or more producers *and* keep
+//!   access to it after the run.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::trace::{Observer, ObserverSet, RingRecorder, SharedObserver};
+//! use simcore::SimTime;
+//!
+//! #[derive(Clone, Debug, PartialEq)]
+//! enum Ev { Tick(u32) }
+//!
+//! let recorder = SharedObserver::new(RingRecorder::new(8));
+//! let mut set: ObserverSet<Ev> = ObserverSet::new();
+//! set.attach(Box::new(recorder.clone()));
+//! set.emit(SimTime::from_secs(1), || Ev::Tick(7));
+//! recorder.with(|r| assert_eq!(r.events()[0], (SimTime::from_secs(1), Ev::Tick(7))));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::SimTime;
+
+/// A consumer of a typed event stream.
+///
+/// Implementations must be passive: `on_event` receives a shared reference
+/// and must not feed anything back into the producer, so attaching or
+/// detaching observers never changes what a deterministic simulation
+/// computes.
+pub trait Observer<E> {
+    /// Called once per emitted event, in emission order, with the
+    /// simulation time at which the event occurred.
+    fn on_event(&mut self, at: SimTime, event: &E);
+}
+
+/// An ordered fan-out of boxed [`Observer`]s over one event type.
+///
+/// The common case is an empty set: [`ObserverSet::emit`] takes the event
+/// as a closure and returns before constructing it when nobody listens,
+/// so producers can emit unconditionally on hot paths.
+pub struct ObserverSet<E> {
+    observers: Vec<Box<dyn Observer<E>>>,
+}
+
+impl<E> std::fmt::Debug for ObserverSet<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverSet")
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl<E> Default for ObserverSet<E> {
+    fn default() -> Self {
+        ObserverSet::new()
+    }
+}
+
+impl<E> ObserverSet<E> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ObserverSet {
+            observers: Vec::new(),
+        }
+    }
+
+    /// Attaches an observer; it will see every subsequent emission, after
+    /// all previously attached observers.
+    pub fn attach(&mut self, observer: Box<dyn Observer<E>>) {
+        self.observers.push(observer);
+    }
+
+    /// Whether no observer is attached (the fast-path condition).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+
+    /// Number of attached observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Emits one event, constructing it lazily: `event` is only invoked
+    /// when at least one observer is attached.
+    #[inline]
+    pub fn emit(&mut self, at: SimTime, event: impl FnOnce() -> E) {
+        if self.observers.is_empty() {
+            return;
+        }
+        self.notify(at, &event());
+    }
+
+    /// Delivers an already-constructed event to every observer in
+    /// attachment order. Use [`ObserverSet::emit`] on hot paths; this is
+    /// the cold half, kept out of line so the emit fast path stays small.
+    pub fn notify(&mut self, at: SimTime, event: &E) {
+        for obs in &mut self.observers {
+            obs.on_event(at, event);
+        }
+    }
+}
+
+/// A bounded in-memory event recorder: keeps the most recent `capacity`
+/// events and counts how many older ones were dropped.
+#[derive(Debug, Clone)]
+pub struct RingRecorder<E> {
+    capacity: usize,
+    events: VecDeque<(SimTime, E)>,
+    dropped: u64,
+}
+
+impl<E> RingRecorder<E> {
+    /// Creates a recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring recorder needs capacity > 0");
+        RingRecorder {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &VecDeque<(SimTime, E)> {
+        &self.events
+    }
+
+    /// Number of events evicted to honor the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events observed (retained + dropped).
+    pub fn seen(&self) -> u64 {
+        self.dropped + self.events.len() as u64
+    }
+
+    /// Consumes the recorder, returning the retained events oldest first.
+    pub fn into_events(self) -> Vec<(SimTime, E)> {
+        self.events.into_iter().collect()
+    }
+}
+
+impl<E: Clone> Observer<E> for RingRecorder<E> {
+    fn on_event(&mut self, at: SimTime, event: &E) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((at, event.clone()));
+    }
+}
+
+/// A shared, clonable handle around an observer, so the same instance can
+/// be attached to several producers (engine *and* scheduler, say) and
+/// inspected after the run.
+///
+/// Single-threaded by construction (`Rc<RefCell<..>>`): simulation runs
+/// own their observers; cross-run aggregation happens after the fact.
+#[derive(Debug, Default)]
+pub struct SharedObserver<T>(Rc<RefCell<T>>);
+
+impl<T> SharedObserver<T> {
+    /// Wraps `inner` in a shared handle.
+    pub fn new(inner: T) -> Self {
+        SharedObserver(Rc::new(RefCell::new(inner)))
+    }
+
+    /// Runs `f` with a shared borrow of the inner observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from within the observer itself.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Runs `f` with a mutable borrow of the inner observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from within the observer itself.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// Unwraps the inner observer if this is the last handle, or returns
+    /// `self` unchanged otherwise.
+    pub fn try_into_inner(self) -> Result<T, Self> {
+        Rc::try_unwrap(self.0)
+            .map(RefCell::into_inner)
+            .map_err(SharedObserver)
+    }
+}
+
+impl<T> Clone for SharedObserver<T> {
+    fn clone(&self) -> Self {
+        SharedObserver(Rc::clone(&self.0))
+    }
+}
+
+impl<E, T: Observer<E>> Observer<E> for SharedObserver<T> {
+    fn on_event(&mut self, at: SimTime, event: &E) {
+        self.0.borrow_mut().on_event(at, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ev(u32);
+
+    struct Counter(u64);
+    impl Observer<Ev> for Counter {
+        fn on_event(&mut self, _at: SimTime, _event: &Ev) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn emit_skips_construction_when_empty() {
+        let mut set: ObserverSet<Ev> = ObserverSet::new();
+        let mut built = false;
+        set.emit(SimTime::ZERO, || {
+            built = true;
+            Ev(1)
+        });
+        assert!(!built, "event must not be constructed without observers");
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+    }
+
+    #[test]
+    fn fan_out_preserves_attachment_order() {
+        struct Tagger(SharedObserver<Vec<u32>>, u32);
+        impl Observer<Ev> for Tagger {
+            fn on_event(&mut self, _at: SimTime, _event: &Ev) {
+                self.0.with_mut(|v| v.push(self.1));
+            }
+        }
+        let log = SharedObserver::new(Vec::new());
+        let mut set: ObserverSet<Ev> = ObserverSet::new();
+        set.attach(Box::new(Tagger(log.clone(), 1)));
+        set.attach(Box::new(Tagger(log.clone(), 2)));
+        set.emit(SimTime::ZERO, || Ev(0));
+        set.emit(SimTime::ZERO, || Ev(0));
+        log.with(|v| assert_eq!(v, &[1, 2, 1, 2]));
+    }
+
+    #[test]
+    fn ring_recorder_bounds_memory() {
+        let mut r: RingRecorder<Ev> = RingRecorder::new(3);
+        for i in 0..5 {
+            r.on_event(SimTime::from_secs(i), &Ev(i as u32));
+        }
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.seen(), 5);
+        let kept: Vec<u32> = r.into_events().into_iter().map(|(_, e)| e.0).collect();
+        assert_eq!(kept, [2, 3, 4]);
+    }
+
+    #[test]
+    fn shared_observer_attaches_to_many_sets() {
+        let counter = SharedObserver::new(Counter(0));
+        let mut a: ObserverSet<Ev> = ObserverSet::new();
+        let mut b: ObserverSet<Ev> = ObserverSet::new();
+        a.attach(Box::new(counter.clone()));
+        b.attach(Box::new(counter.clone()));
+        a.emit(SimTime::ZERO, || Ev(1));
+        b.emit(SimTime::ZERO, || Ev(2));
+        assert_eq!(counter.with(|c| c.0), 2);
+        assert!(counter.try_into_inner().is_err(), "set still holds handles");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity > 0")]
+    fn zero_capacity_rejected() {
+        let _ = RingRecorder::<Ev>::new(0);
+    }
+}

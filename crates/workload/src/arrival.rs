@@ -9,7 +9,6 @@ use simcore::{SimDuration, SimRng, SimTime};
 
 /// How inter-arrival gaps are drawn.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ArrivalKind {
     /// Exponential gaps (memoryless Poisson process).
     Poisson,
@@ -33,7 +32,6 @@ pub enum ArrivalKind {
 /// assert_eq!(t2 - t1, SimDuration::from_secs(5));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArrivalProcess {
     rate_per_sec: f64,
     kind: ArrivalKind,

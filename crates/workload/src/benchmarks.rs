@@ -6,7 +6,6 @@ use crate::TaskDemand;
 
 /// The three PUMA applications used throughout the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BenchmarkKind {
     /// `Wordcount`: map-intensive, CPU-bound (paper Fig. 1(d)).
     Wordcount,
@@ -72,7 +71,6 @@ impl std::fmt::Display for BenchmarkKind {
 /// assert_eq!(ts.map_selectivity(), 1.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Benchmark {
     kind: BenchmarkKind,
     map_cpu_secs: f64,

@@ -14,7 +14,6 @@ use std::fmt;
 /// Dense identifier of a homogeneous job group, assigned by a
 /// [`GroupTable`] in first-intern order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GroupId(pub u32);
 
 impl GroupId {

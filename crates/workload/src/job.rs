@@ -12,7 +12,6 @@ use crate::Benchmark;
 /// Identifier of a submitted job. In the paper's ACO framing, one job is one
 /// ant colony.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobId(pub u64);
 
 impl JobId {
@@ -31,7 +30,6 @@ impl fmt::Display for JobId {
 /// Index of a task within its job, split by kind. In the paper's ACO
 /// framing, one task is one ant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskIndex {
     /// Map or reduce.
     pub kind: SlotKind,
@@ -41,7 +39,6 @@ pub struct TaskIndex {
 
 /// Fully-qualified task identifier (`T^j_n` in the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskId {
     /// The owning job (colony).
     pub job: JobId,
@@ -57,7 +54,6 @@ impl fmt::Display for TaskId {
 
 /// Sampled resource demand of one task on the reference machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskDemand {
     /// CPU core-seconds at reference speed.
     pub cpu_secs: f64,
@@ -90,7 +86,6 @@ impl TaskDemand {
 
 /// Size classes of the MSD workload (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SizeClass {
     /// 40 % of jobs; 1–100 GB input.
     Small,
@@ -133,7 +128,6 @@ impl fmt::Display for SizeClass {
 /// assert!((job.shuffle_mb_per_reduce() - 100.0 * 64.0 * 0.45 / 8.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobSpec {
     id: JobId,
     benchmark: Benchmark,

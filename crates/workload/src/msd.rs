@@ -54,7 +54,6 @@ pub const CLASS_WEIGHTS: [(SizeClass, f64); 3] = [
 /// assert_eq!(jobs.len(), 87);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MsdConfig {
     /// Number of jobs to generate (paper: 87).
     pub num_jobs: usize,

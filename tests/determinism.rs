@@ -92,3 +92,45 @@ fn pool_edge_cases() {
     let tasks: Vec<_> = (0..3u32).map(|i| move || i * 2).collect();
     assert_eq!(parallel_runs_with_workers(8, tasks), vec![0, 2, 4]);
 }
+
+/// Observers are passive: attaching trace sinks and streaming consumers to
+/// both engine and scheduler must leave the serialized result byte-identical
+/// to an untraced run. Guards against an observer ever feeding back into
+/// scheduling or RNG state.
+#[test]
+fn tracing_does_not_perturb_runs() {
+    use hadoop_sim::trace::SharedObserver;
+    use metrics::observers::StreamingRunStats;
+    use metrics::trace::JsonlTraceSink;
+
+    let kinds = [
+        SchedulerKind::Fair,
+        SchedulerKind::Tarazu,
+        SchedulerKind::EAnt(EAntConfig::paper_default()),
+    ];
+    for kind in kinds {
+        let scenario = small_scenario(11);
+        let plain = run_result_json(&scenario.run(&kind));
+
+        let sink = SharedObserver::new(JsonlTraceSink::new(Vec::<u8>::new()));
+        let stats = SharedObserver::new(StreamingRunStats::new(16));
+        let sink_engine = sink.clone();
+        let sink_scheduler = sink.clone();
+        let stats_handle = stats.clone();
+        let traced = scenario.run_observed(&kind, move |engine, scheduler| {
+            engine.attach_observer(Box::new(sink_engine));
+            engine.attach_observer(Box::new(stats_handle));
+            scheduler.attach_observer(Box::new(sink_scheduler));
+        });
+        assert_eq!(
+            plain,
+            run_result_json(&traced),
+            "{} run diverges under tracing",
+            kind.label()
+        );
+        assert!(sink.with(|s| s.lines()) > 0, "trace sink saw no events");
+        stats
+            .with(|s| s.matches(&traced))
+            .expect("streaming aggregates match the traced run");
+    }
+}

@@ -9,9 +9,15 @@
 //! them by running this test with `--nocapture` (each assertion failure
 //! prints the observed value) and update the table.
 
+use std::collections::BTreeSet;
+
 use eant::EAntConfig;
 use experiments::common::{Scenario, SchedulerKind};
-use hadoop_sim::RunResult;
+use hadoop_sim::trace::SharedObserver;
+use hadoop_sim::{DvfsConfig, PowerDownConfig, RunResult, SpeculationPolicy};
+use metrics::trace::{parse_trace_line, JsonlTraceSink};
+use simcore::SimDuration;
+use workload::msd::MsdConfig;
 
 /// Relative tolerance on pinned energy and makespan values.
 const REL_TOL: f64 = 0.005;
@@ -99,6 +105,95 @@ fn eant_savings_match_goldens() {
     assert!(
         (vs_tarazu - 6.20).abs() <= SAVINGS_TOL_PP,
         "savings vs Tarazu: observed {vs_tarazu:.2}%, pinned 6.20% ± {SAVINGS_TOL_PP}pp"
+    );
+}
+
+/// Pinned count and FNV-1a 64 digest of the canonical JSONL trace of one
+/// small fixed-seed E-Ant run with every engine feature lit up (LATE
+/// speculation, suspend-to-RAM power-down, conservative DVFS), so the
+/// stream exercises the full event vocabulary. The digest covers the exact
+/// serialized bytes, so it catches any drift in event ordering, payload
+/// contents, or the canonical JSON encoding itself. Re-derive with
+/// `--nocapture` after deliberate changes: the observed values print below.
+const TRACE_GOLDEN_EVENTS: u64 = 8796;
+const TRACE_GOLDEN_FNV1A: u64 = 0xe975ce6ddbe27729;
+
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn golden_trace_digest() {
+    let mut scenario = Scenario::fast(2015);
+    scenario.msd = MsdConfig {
+        num_jobs: 8,
+        task_scale: 32,
+        submission_window: SimDuration::from_mins(4),
+    };
+    scenario.engine.speculation = SpeculationPolicy::Late;
+    scenario.engine.power_down = Some(PowerDownConfig::suspend_to_ram());
+    scenario.engine.dvfs = Some(DvfsConfig::conservative());
+
+    let sink = SharedObserver::new(JsonlTraceSink::new(Vec::<u8>::new()));
+    let engine_sink = sink.clone();
+    let scheduler_sink = sink.clone();
+    let result = scenario.run_observed(
+        &SchedulerKind::EAnt(EAntConfig::paper_default()),
+        move |engine, scheduler| {
+            engine.attach_observer(Box::new(engine_sink));
+            scheduler.attach_observer(Box::new(scheduler_sink));
+        },
+    );
+    assert!(result.drained, "golden trace run failed to drain");
+
+    let bytes = sink
+        .try_into_inner()
+        .unwrap_or_else(|_| panic!("trace sink still shared after run"))
+        .finish()
+        .expect("Vec<u8> writes cannot fail");
+
+    // Every line must parse back, and the stream must exercise the full
+    // event vocabulary this configuration can produce.
+    let mut kinds = BTreeSet::new();
+    let mut events = 0u64;
+    for line in std::str::from_utf8(&bytes).expect("trace is UTF-8").lines() {
+        let (_, event) = parse_trace_line(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line: {e}\n{line}"));
+        kinds.insert(event.kind());
+        events += 1;
+    }
+    println!("observed kinds: {kinds:?}");
+    for kind in [
+        "job_submitted",
+        "job_completed",
+        "task_started",
+        "task_completed",
+        "heartbeat_drained",
+        "slot_occupancy_changed",
+        "power_state_changed",
+        "speculation_launched",
+        "control_interval_fired",
+        "pheromone_updated",
+        "energy_model_refit",
+        "run_finished",
+    ] {
+        assert!(kinds.contains(kind), "trace is missing `{kind}` events");
+    }
+
+    let digest = fnv1a_64(&bytes);
+    println!("observed events: {events}, digest: {digest:#018x}");
+    assert_eq!(
+        events, TRACE_GOLDEN_EVENTS,
+        "trace event count drifted (observed {events})"
+    );
+    assert_eq!(
+        digest, TRACE_GOLDEN_FNV1A,
+        "trace digest drifted (observed {digest:#018x})"
     );
 }
 

@@ -449,3 +449,56 @@ fn scoreboard_matches_oracle_rebuild() {
         assert!(checked.checks > 100, "too few oracle checks ran");
     });
 }
+
+/// Streaming observers reproduce the post-hoc [`hadoop_sim::RunResult`]
+/// aggregates bit for bit — makespan, total energy, energy series, interval
+/// snapshots, per-job completion times, speculation counts — for every
+/// scheduler, across random workloads, noise levels, speculation policies
+/// and power-management features.
+#[test]
+fn streaming_stats_match_posthoc() {
+    use eant::EAntConfig;
+    use experiments::common::{Scenario, SchedulerKind};
+    use hadoop_sim::trace::SharedObserver;
+    use hadoop_sim::DvfsConfig;
+    use metrics::observers::StreamingRunStats;
+    use simcore::SimDuration;
+    use workload::msd::MsdConfig;
+
+    check("streaming_stats_match_posthoc", 6, |rng| {
+        let seed = rng.next_u64();
+        let mut scenario = Scenario::fast(seed);
+        scenario.msd = MsdConfig {
+            num_jobs: rng.uniform_u64(3, 8) as usize,
+            task_scale: 32,
+            submission_window: SimDuration::from_mins(rng.uniform_u64(2, 6)),
+        };
+        scenario.engine.speculation = [
+            SpeculationPolicy::Off,
+            SpeculationPolicy::Hadoop,
+            SpeculationPolicy::Late,
+        ][rng.uniform_u64(0, 2) as usize];
+        if rng.chance(0.3) {
+            scenario.engine.power_down = Some(PowerDownConfig::suspend_to_ram());
+        }
+        if rng.chance(0.3) {
+            scenario.engine.dvfs = Some(DvfsConfig::conservative());
+        }
+        let num_machines = Fleet::paper_evaluation().len();
+        for kind in [
+            SchedulerKind::Fifo,
+            SchedulerKind::Fair,
+            SchedulerKind::Tarazu,
+            SchedulerKind::EAnt(EAntConfig::paper_default()),
+        ] {
+            let stats = SharedObserver::new(StreamingRunStats::new(num_machines));
+            let handle = stats.clone();
+            let result = scenario.run_observed(&kind, move |engine, _| {
+                engine.attach_observer(Box::new(handle));
+            });
+            stats
+                .with(|s| s.matches(&result))
+                .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}", kind.label()));
+        }
+    });
+}
