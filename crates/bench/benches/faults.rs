@@ -1,0 +1,73 @@
+//! Fault-layer overhead benchmarks.
+//!
+//! Two questions, one answer each:
+//!
+//! * `faults/off_*` vs the matching `faults/none_struct_*` — does carrying
+//!   a disabled [`FaultConfig`] through the heartbeat hot path cost
+//!   anything? The fault hook is a single `is_enabled()` branch per
+//!   heartbeat plus one per attempt start, so the two timings must be
+//!   indistinguishable (the zero-overhead claim recorded in DESIGN.md §3).
+//! * `faults/moderate_*` — what does *enabled* fault injection cost on the
+//!   same workload: crash-schedule draws, health bookkeeping, retries and
+//!   map-output re-execution all included. This one is allowed to be
+//!   slower; it re-runs real work.
+//!
+//! CI runs this bench at a reduced budget (`BENCH_BUDGET_MS`) and archives
+//! the canonical-JSON records (`BENCH_JSON`) as the `BENCH_faults.json`
+//! artifact.
+
+use baselines::FairScheduler;
+use bench::{black_box, Harness};
+use cluster::Fleet;
+use hadoop_sim::{Engine, EngineConfig, FaultConfig, NoiseConfig, Scheduler};
+use simcore::{SimDuration, SimRng};
+use workload::msd::MsdConfig;
+
+fn msd_run(scheduler: &mut dyn Scheduler, fault: FaultConfig, seed: u64) -> hadoop_sim::RunResult {
+    let msd = MsdConfig {
+        num_jobs: 12,
+        task_scale: 64,
+        submission_window: SimDuration::from_mins(5),
+    };
+    let jobs = msd.generate(&mut SimRng::seed_from(seed).fork("msd"));
+    let cfg = EngineConfig {
+        noise: NoiseConfig::none(),
+        fault,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+    engine.submit_jobs(jobs);
+    engine.run(scheduler)
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+
+    // Baseline: the default (disabled) fault configuration.
+    h.bench("faults/off_msd12_fair", || {
+        black_box(msd_run(&mut FairScheduler::new(), FaultConfig::none(), 11))
+    });
+    // Same disabled semantics via an explicit struct literal — must match
+    // `off` within noise; together they bound the hot-path overhead of the
+    // fault hook at one predictable branch.
+    h.bench("faults/none_struct_msd12_fair", || {
+        black_box(msd_run(
+            &mut FairScheduler::new(),
+            FaultConfig {
+                task_failure_prob: 0.0,
+                ..FaultConfig::none()
+            },
+            11,
+        ))
+    });
+    // Enabled: moderate crash + retry injection on the same workload.
+    h.bench("faults/moderate_msd12_fair", || {
+        black_box(msd_run(
+            &mut FairScheduler::new(),
+            FaultConfig::moderate(),
+            11,
+        ))
+    });
+
+    h.finish();
+}

@@ -105,6 +105,13 @@ impl TaskAnalyzer {
         self.records.is_empty()
     }
 
+    /// Drops every record from `machine` — called when a machine is
+    /// declared dead or blacklisted mid-interval, so its partial samples
+    /// neither earn pheromone nor skew the energy-model refit.
+    pub fn discard_machine(&mut self, machine: MachineId) {
+        self.records.retain(|r| r.machine != machine);
+    }
+
     /// Computes the interval's deposits and clears the record buffer.
     ///
     /// `machine_groups[m]` is the homogeneous-group index of machine `m`
@@ -239,6 +246,20 @@ mod tests {
         assert_eq!(a.len(), 1);
         let _ = a.compute(&[0], ExchangeStrategy::None);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn discard_machine_drops_only_its_records() {
+        let mut a = TaskAnalyzer::new(2);
+        a.record(rec(0, 0, 0, 1000.0));
+        a.record(rec(0, 0, 1, 2000.0));
+        a.record(rec(1, 0, 0, 3000.0));
+        a.discard_machine(MachineId(0));
+        assert_eq!(a.len(), 1);
+        let fb = a.compute(&[0, 1], ExchangeStrategy::None);
+        assert_eq!(fb.deposits[&JobId(0)][0], 0.0);
+        assert!(fb.deposits[&JobId(0)][1] > 0.0);
+        assert!(!fb.deposits.contains_key(&JobId(1)));
     }
 
     #[test]

@@ -189,6 +189,25 @@ impl PheromoneTable {
             }
         }
     }
+
+    /// Evaporates one machine's column across every tracked job — the
+    /// failure-aware decay applied to dead and blacklisted machines, so a
+    /// crashing node's trail fades even while its past deposits would
+    /// otherwise keep attracting ants. Out-of-range machines are a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ρ ∉ (0, 1].
+    pub fn evaporate_machine(&mut self, machine: MachineId, rho: f64) {
+        assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1]");
+        let m = machine.index();
+        if m >= self.machines {
+            return;
+        }
+        for row in self.rows.values_mut() {
+            row[m] = ((1.0 - rho) * row[m]).max(self.tau_min);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +296,25 @@ mod tests {
             t.evaporate(0.5);
         }
         assert_eq!(t.get(JobId(0), MachineId(0)), 0.05);
+    }
+
+    #[test]
+    fn machine_evaporation_decays_one_column_only() {
+        let mut t = table();
+        t.ensure_job(JobId(0));
+        t.ensure_job(JobId(1));
+        t.evaporate_machine(MachineId(1), 0.5);
+        for job in [JobId(0), JobId(1)] {
+            assert_eq!(t.get(job, MachineId(0)), 1.0);
+            assert_eq!(t.get(job, MachineId(1)), 0.5);
+            assert_eq!(t.get(job, MachineId(2)), 1.0);
+        }
+        // Repeated decay bottoms out at the floor; out-of-range is a no-op.
+        for _ in 0..20 {
+            t.evaporate_machine(MachineId(1), 0.5);
+        }
+        assert_eq!(t.get(JobId(0), MachineId(1)), 0.05);
+        t.evaporate_machine(MachineId(99), 0.5);
     }
 
     #[test]

@@ -291,6 +291,19 @@ impl Scheduler for EAntScheduler {
         self.intervals += 1;
         let analyzer = self.analyzer.as_mut().expect("initialized");
         let pheromones = self.pheromones.as_mut().expect("initialized");
+        // Failure awareness: dead and blacklisted machines contribute no
+        // energy feedback (their partial samples would poison Eq. 5), and
+        // their pheromone columns decay so the colony's ants stop routing
+        // toward paths that cannot currently run tasks.
+        let failed: Vec<MachineId> = query
+            .fleet()
+            .iter()
+            .map(|m| m.id())
+            .filter(|&m| query.is_machine_dead(m) || query.is_machine_blacklisted(m))
+            .collect();
+        for &m in &failed {
+            analyzer.discard_machine(m);
+        }
         if analyzer.is_empty() {
             pheromones.evaporate(self.config.rho);
             self.snapshot_policy(query);
@@ -302,6 +315,13 @@ impl Scheduler for EAntScheduler {
             self.config.rho,
             self.config.negative_feedback,
         );
+        // A failed machine's column deposits nothing this interval, but its
+        // trail from earlier intervals persists in τ; decay it explicitly
+        // so the policy forgets crashing machines faster than it learned
+        // them.
+        for &m in &failed {
+            pheromones.evaporate_machine(m, self.config.rho);
+        }
         // Deposits can resurrect rows of jobs that completed mid-interval;
         // prune anything no longer active so finished colonies release
         // their state.
@@ -332,6 +352,7 @@ mod tests {
         fleet: Fleet,
         state: ClusterState,
         local: Vec<(JobId, MachineId)>,
+        dead: Vec<MachineId>,
     }
 
     impl MockQuery {
@@ -345,6 +366,7 @@ mod tests {
                 fleet: Fleet::paper_evaluation(),
                 state,
                 local: Vec::new(),
+                dead: Vec::new(),
             }
         }
 
@@ -393,6 +415,9 @@ mod tests {
         }
         fn network_congestion(&self) -> f64 {
             0.0
+        }
+        fn is_machine_dead(&self, machine: MachineId) -> bool {
+            self.dead.contains(&machine)
         }
     }
 
@@ -462,6 +487,53 @@ mod tests {
             s.select_job(&query, MachineId(0), SlotKind::Map),
             Some(JobId(0))
         );
+    }
+
+    #[test]
+    fn dead_machine_feedback_is_discarded_and_its_trail_decays() {
+        use hadoop_sim::UtilizationSample;
+        use workload::{TaskId, TaskIndex};
+
+        let mut query = MockQuery::new(vec![MockQuery::entry(0, 5, 1)]);
+        let mut s = EAntScheduler::new(EAntConfig::paper_default(), 9);
+        let report = |machine: usize, index: u32| TaskReport {
+            task: TaskId {
+                job: JobId(0),
+                task: TaskIndex {
+                    kind: SlotKind::Map,
+                    index,
+                },
+            },
+            machine: MachineId(machine),
+            kind: SlotKind::Map,
+            group: workload::GroupId(0),
+            started_at: SimTime::ZERO,
+            finished_at: SimTime::from_secs(10),
+            locality: None,
+            samples: vec![UtilizationSample {
+                dt_secs: 10.0,
+                utilization: 0.5,
+            }],
+            shuffle_secs: 0.0,
+            true_energy_joules: 0.0,
+            straggled: false,
+            speculative: false,
+        };
+        // Identical feedback on machines 0 and 1, but machine 0 is dead at
+        // the interval boundary: its records must be discarded and its
+        // column must decay rather than earn pheromone.
+        s.on_task_completed(&query, &report(0, 0));
+        s.on_task_completed(&query, &report(1, 1));
+        query.dead.push(MachineId(0));
+        s.on_control_interval(&query);
+        let table = s.pheromone_table().unwrap();
+        let dead = table.get(JobId(0), MachineId(0));
+        let alive = table.get(JobId(0), MachineId(1));
+        assert!(
+            dead < alive,
+            "dead machine kept its trail: τ_dead = {dead}, τ_alive = {alive}"
+        );
+        assert!(dead < s.config().tau_init, "dead column must decay");
     }
 
     fn engine(seed: u64) -> Engine {

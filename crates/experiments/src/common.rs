@@ -257,6 +257,10 @@ pub fn merge_runs(mut runs: Vec<RunResult>) -> RunResult {
         base.jobs.extend(other.jobs.iter().cloned());
         base.total_tasks += other.total_tasks;
         base.drained &= other.drained;
+        base.task_failures += other.task_failures;
+        base.machine_failures += other.machine_failures;
+        base.map_outputs_lost += other.map_outputs_lost;
+        base.machines_blacklisted += other.machines_blacklisted;
     }
     for m in &mut base.machines {
         m.energy_joules /= n;

@@ -20,6 +20,7 @@
 //! | [`ablations`] | design-choice ablation table (DESIGN.md §6) |
 //! | [`bound`] | Appendix A / Table II offline bound vs the online system |
 //! | [`extensions`] | §VIII future-work: E-Ant + idle power-down |
+//! | [`faults`] | fault-injection sweep: scheduler degradation under crashes/retries |
 //! | [`timeline`] | cluster load over time (saturation diagnostic) + `--trace`/`--replay` |
 
 #![warn(missing_docs)]
@@ -28,6 +29,7 @@ pub mod ablations;
 pub mod bound;
 pub mod common;
 pub mod extensions;
+pub mod faults;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -68,6 +70,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ext_powerdown",
     "ext_speculation",
     "ext_dvfs",
+    "faults",
     "timeline",
 ];
 
@@ -103,6 +106,7 @@ pub fn run_experiment(id: &str, fast: bool) -> Result<String, String> {
         "ext_powerdown" => Ok(extensions::powerdown(fast)),
         "ext_speculation" => Ok(extensions::speculation(fast)),
         "ext_dvfs" => Ok(extensions::dvfs(fast)),
+        "faults" => Ok(faults::run(fast)),
         "timeline" => Ok(timeline::run(fast)),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",

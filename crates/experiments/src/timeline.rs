@@ -16,7 +16,7 @@ use std::path::Path;
 use cluster::Fleet;
 use eant::EAntConfig;
 use hadoop_sim::trace::{Observer, SharedObserver};
-use hadoop_sim::{PowerState, RunResult, SimEvent};
+use hadoop_sim::{FaultConfig, PowerState, RunResult, SimEvent};
 use metrics::observers::StreamingRunStats;
 use metrics::report::Table;
 use metrics::trace::{parse_trace_line, JsonlTraceSink};
@@ -250,11 +250,17 @@ pub fn run(fast: bool) -> String {
 /// to `path`. The streamed aggregates are verified against the post-hoc
 /// result before returning.
 ///
+/// The run injects [`FaultConfig::moderate`] faults so the trace exercises
+/// the full event vocabulary — crashes, retries, lost map outputs — and
+/// replay validates the failure-aware aggregate folds, not just the happy
+/// path.
+///
 /// # Errors
 ///
 /// Returns an error for I/O failures or a streaming/post-hoc mismatch.
 pub fn write_trace(fast: bool, path: &Path) -> Result<String, String> {
-    let scenario = Scenario::sized(fast, 2015);
+    let mut scenario = Scenario::sized(fast, 2015);
+    scenario.engine.fault = FaultConfig::moderate();
     let fleet = Fleet::paper_evaluation();
     let file = std::fs::File::create(path)
         .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
@@ -280,8 +286,9 @@ pub fn write_trace(fast: bool, path: &Path) -> Result<String, String> {
         .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
 
     Ok(format!(
-        "wrote {} trace events to {} (E-Ant, seed 2015, makespan {:.0} s, \
-         {:.3} MJ; streaming aggregates verified against RunResult)",
+        "wrote {} trace events to {} (E-Ant, seed 2015, moderate faults, \
+         makespan {:.0} s, {:.3} MJ; streaming aggregates verified against \
+         RunResult)",
         lines,
         path.display(),
         result.makespan.as_secs_f64(),
@@ -314,10 +321,15 @@ pub fn replay(path: &Path) -> Result<String, String> {
         last_at = at;
         if let SimEvent::TaskStarted { machine, .. }
         | SimEvent::TaskCompleted { machine, .. }
+        | SimEvent::TaskFailed { machine, .. }
         | SimEvent::HeartbeatDrained { machine, .. }
         | SimEvent::SlotOccupancyChanged { machine, .. }
         | SimEvent::PowerStateChanged { machine, .. }
-        | SimEvent::SpeculationLaunched { machine, .. } = &event
+        | SimEvent::SpeculationLaunched { machine, .. }
+        | SimEvent::MachineFailed { machine, .. }
+        | SimEvent::MachineRecovered { machine, .. }
+        | SimEvent::MapOutputLost { machine, .. }
+        | SimEvent::MachineBlacklisted { machine, .. } = &event
         {
             num_machines = num_machines.max(machine.index() + 1);
         }
@@ -390,6 +402,13 @@ mod tests {
         let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
         let written = write_trace(true, &path).unwrap();
         assert!(written.contains("streaming aggregates verified"));
+        let raw = std::fs::read_to_string(&path).unwrap();
+        for kind in ["task_failed", "machine_failed", "map_output_lost"] {
+            assert!(
+                raw.contains(&format!("\"type\":\"{kind}\"")),
+                "moderate-fault trace should contain {kind} events"
+            );
+        }
         let replayed = replay(&path).unwrap();
         assert!(
             replayed.contains("aggregates match the run_finished footer"),

@@ -85,6 +85,134 @@ impl Default for NoiseConfig {
     }
 }
 
+/// Fault-injection parameters: TaskTracker crashes with heartbeat-expiry
+/// death detection, random per-attempt task failures with a retry cap, and
+/// per-machine blacklisting — the failure semantics of the paper's real
+/// 16-node testbed that the simulator otherwise idealizes away.
+///
+/// Faults model the *TaskTracker process* dying, not the power supply: a
+/// crashed machine stops heartbeating (so the JobTracker declares it dead
+/// after [`FaultConfig::missed_heartbeats`] silent periods and re-executes
+/// its work, including completed map outputs), but keeps drawing idle power
+/// until the daemon restarts. All randomness comes from a dedicated RNG
+/// stream forked off the engine seed, so fault schedules are reproducible
+/// and — when the config is disabled — provably absent: no draw, no event,
+/// no bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use hadoop_sim::FaultConfig;
+///
+/// let quiet = FaultConfig::none();
+/// assert!(!quiet.is_enabled());
+/// let faulty = FaultConfig::moderate();
+/// assert!(faulty.is_enabled() && faulty.crash_enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Mean time between TaskTracker crashes per machine (exponential
+    /// inter-crash gaps). `SimDuration::ZERO` disables crashes.
+    pub crash_mtbf: SimDuration,
+    /// Mean downtime of a crashed TaskTracker before it rejoins. Clamped at
+    /// schedule-generation time to at least `(missed_heartbeats + 1)`
+    /// heartbeat periods so a machine is always *declared* dead (and its
+    /// work re-queued) before it recovers.
+    pub crash_downtime: SimDuration,
+    /// Probability that any single task attempt fails partway through.
+    pub task_failure_prob: f64,
+    /// Consecutive silent heartbeat periods after which the JobTracker
+    /// declares an unresponsive machine dead (Hadoop's
+    /// `mapred.tasktracker.expiry.interval` analogue).
+    pub missed_heartbeats: u32,
+    /// Once a task has failed this many times, its further attempts are
+    /// exempt from random failure (Hadoop's `mapred.map.max.attempts`
+    /// analogue, inverted into a liveness guarantee: every task eventually
+    /// succeeds).
+    pub max_task_retries: u32,
+    /// Random task failures on one machine after which it stops receiving
+    /// work for the rest of the run. `0` disables blacklisting; the engine
+    /// never blacklists the last operating machine.
+    pub blacklist_threshold: u32,
+}
+
+impl FaultConfig {
+    /// No faults at all — the default. The engine takes no fault branch,
+    /// draws no fault randomness and emits no fault event under this
+    /// config, so runs are byte-identical to a build without the layer.
+    pub fn none() -> Self {
+        FaultConfig {
+            crash_mtbf: SimDuration::ZERO,
+            crash_downtime: SimDuration::ZERO,
+            task_failure_prob: 0.0,
+            missed_heartbeats: 3,
+            max_task_retries: 4,
+            blacklist_threshold: 0,
+        }
+    }
+
+    /// A testbed-shaped mixed profile: roughly one crash per machine per
+    /// simulated hour with two-minute restarts, a 2 % attempt failure
+    /// rate, and Hadoop-default retry/blacklist knobs.
+    pub fn moderate() -> Self {
+        FaultConfig {
+            crash_mtbf: SimDuration::from_mins(60),
+            crash_downtime: SimDuration::from_mins(2),
+            task_failure_prob: 0.02,
+            missed_heartbeats: 3,
+            max_task_retries: 4,
+            blacklist_threshold: 12,
+        }
+    }
+
+    /// Whether any fault source is active.
+    pub fn is_enabled(&self) -> bool {
+        self.crash_enabled() || self.task_failure_prob > 0.0
+    }
+
+    /// Whether machine crashes are active.
+    pub fn crash_enabled(&self) -> bool {
+        !self.crash_mtbf.is_zero()
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the failure probability is outside `[0, 1]`, crashes are
+    /// enabled without a positive downtime or expiry threshold, or random
+    /// failures are enabled without a retry cap (which would forfeit the
+    /// liveness guarantee).
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.task_failure_prob),
+            "task_failure_prob must be in [0, 1]"
+        );
+        if self.crash_enabled() {
+            assert!(
+                !self.crash_downtime.is_zero(),
+                "crash_downtime must be positive when crashes are enabled"
+            );
+            assert!(
+                self.missed_heartbeats >= 1,
+                "missed_heartbeats must be >= 1 when crashes are enabled"
+            );
+        }
+        if self.task_failure_prob > 0.0 {
+            assert!(
+                self.max_task_retries >= 1,
+                "max_task_retries must be >= 1 when task failures are enabled"
+            );
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
 /// Idle power-down policy — the paper's *future work* extension ("we will
 /// explore the integration of E-Ant with cluster resource provisioning and
 /// server consolidation techniques", §VIII), implemented here as an
@@ -211,6 +339,10 @@ pub struct EngineConfig {
     pub reduce_slowstart: f64,
     /// System-noise injection parameters.
     pub noise: NoiseConfig,
+    /// Fault-injection parameters (crashes, task failures, blacklisting).
+    /// Defaults to [`FaultConfig::none`]: no failure semantics, like the
+    /// idealized simulator before this layer existed.
+    pub fault: FaultConfig,
     /// Optional idle power-down policy (future-work extension; `None`
     /// keeps every machine powered like the paper's testbed).
     pub power_down: Option<PowerDownConfig>,
@@ -254,6 +386,7 @@ impl EngineConfig {
             "max_sim_time must be positive"
         );
         self.noise.validate();
+        self.fault.validate();
         if let Some(pd) = &self.power_down {
             pd.validate();
         }
@@ -274,6 +407,7 @@ impl Default for EngineConfig {
             control_interval: SimDuration::from_mins(5),
             reduce_slowstart: 0.3,
             noise: NoiseConfig::paper_default(),
+            fault: FaultConfig::none(),
             power_down: None,
             speculation: SpeculationPolicy::Off,
             dvfs: None,
@@ -320,6 +454,46 @@ mod tests {
             straggler_slowdown: (3.0, 1.5),
             straggler_prob: 0.1,
             utilization_jitter: 0.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn none_fault_is_disabled() {
+        assert!(!FaultConfig::none().is_enabled());
+        assert!(FaultConfig::moderate().is_enabled());
+        FaultConfig::none().validate();
+        FaultConfig::moderate().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "task_failure_prob must be in [0, 1]")]
+    fn invalid_failure_prob() {
+        FaultConfig {
+            task_failure_prob: 1.5,
+            ..FaultConfig::none()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "crash_downtime must be positive")]
+    fn crash_without_downtime_rejected() {
+        FaultConfig {
+            crash_mtbf: SimDuration::from_mins(30),
+            crash_downtime: SimDuration::ZERO,
+            ..FaultConfig::none()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_task_retries must be >= 1")]
+    fn failures_without_retry_cap_rejected() {
+        FaultConfig {
+            task_failure_prob: 0.1,
+            max_task_retries: 0,
+            ..FaultConfig::none()
         }
         .validate();
     }

@@ -19,6 +19,12 @@ impl Engine {
         scheduler: &mut dyn Scheduler,
         queue: &mut EventQueue<Event>,
     ) {
+        // Fault state machine first: a crashed machine stops heartbeating
+        // (its events double as the JobTracker's expiry clock) and a
+        // blacklisted one is skipped for offers and speculation alike.
+        if !self.fault_heartbeat(machine) {
+            return;
+        }
         if !self.manage_power(machine) {
             return;
         }
@@ -163,6 +169,11 @@ impl Engine {
             self.emit_slot_occupancy(machine, kind);
         }
 
+        if self.config.fault.is_enabled() {
+            // Keep a copy for declaration-time cleanup if the machine dies
+            // while the attempt is in flight.
+            self.inflight[machine.index()].insert(rt.task, rt.clone());
+        }
         let done_at = self.now + SimDuration::from_secs_f64(rt.duration_secs);
         queue.schedule(done_at, Event::TaskDone(Box::new(rt)));
         true
@@ -223,12 +234,17 @@ impl Engine {
             1.0
         };
 
-        let duration_secs = base * contention * straggle;
+        // Fault injection: a failing attempt occupies its slot for a
+        // random fraction of the full duration, then releases it without
+        // producing output.
+        let task = TaskId {
+            job,
+            task: TaskIndex { kind, index },
+        };
+        let (will_fail, fail_fraction) = self.draw_attempt_failure(task);
+        let duration_secs = base * contention * straggle * fail_fraction;
         RunningTask {
-            task: TaskId {
-                job,
-                task: TaskIndex { kind, index },
-            },
+            task,
             machine,
             kind,
             started_at: self.now,
@@ -241,10 +257,26 @@ impl Engine {
             speculative,
             shuffle_secs,
             shuffle_charged,
+            epoch: self.machine_epoch[machine.index()],
+            will_fail,
         }
     }
 
     pub(super) fn complete_task(&mut self, rt: RunningTask, scheduler: &mut dyn Scheduler) {
+        // Fault layer: an attempt stamped with a stale machine epoch died
+        // with its machine and was cleaned up at declaration time; its
+        // queued completion event is dropped unprocessed. With faults off
+        // every epoch is 0 and this never fires.
+        if rt.epoch != self.machine_epoch[rt.machine.index()] {
+            return;
+        }
+        if self.config.fault.is_enabled() {
+            self.inflight[rt.machine.index()].remove(&rt.task);
+            if rt.will_fail {
+                self.fail_attempt(&rt);
+                return;
+            }
+        }
         let ji = rt.task.job.index();
 
         if rt.shuffle_charged {
@@ -285,6 +317,15 @@ impl Engine {
                 if list.is_empty() {
                     self.attempts.remove(&rt.task);
                 }
+            }
+            // Completed map outputs live on the winner's local disk; if
+            // that machine dies before the job finishes, they are lost and
+            // the map re-executes (see `fault.rs`).
+            if self.config.fault.crash_enabled() && rt.kind == SlotKind::Map {
+                self.map_outputs[rt.machine.index()]
+                    .entry(rt.task.job)
+                    .or_default()
+                    .push(rt.task.task.index);
             }
         } else {
             // A speculative loser: its work is discarded.

@@ -16,6 +16,7 @@
 //! [`Engine::refresh_job`] (or marks submission), so the scoreboard is
 //! always current and querying it never rebuilds anything.
 
+mod fault;
 mod heartbeat;
 mod power;
 mod report;
@@ -64,6 +65,15 @@ struct RunningTask {
     shuffle_secs: f64,
     /// Whether a shuffle transfer was charged to the machine's NIC.
     shuffle_charged: bool,
+    /// The machine's fault epoch at attempt start. A completion event whose
+    /// epoch no longer matches belongs to an attempt that died with its
+    /// machine (cleaned up at declaration time) and is dropped. Always 0
+    /// when fault injection is disabled.
+    epoch: u64,
+    /// Fault injection decided at start time that this attempt fails
+    /// partway: its completion event arrives early and releases the slot
+    /// without producing output.
+    will_fail: bool,
 }
 
 #[derive(Debug)]
@@ -109,6 +119,32 @@ pub struct Engine {
     duration_stats: BTreeMap<(usize, SlotKind), (f64, u64)>,
     speculative_launched: u64,
     wasted_attempts: u64,
+    // Fault-injection bookkeeping (see `fault.rs`). All side tables stay
+    // empty and all counters stay 0 when `config.fault` is disabled.
+    rng_fault: SimRng,
+    /// Precomputed per-machine `(crash_at, recover_at)` schedule; front is
+    /// the next crash. Empty when crashes are disabled.
+    crash_schedule: Vec<std::collections::VecDeque<(SimTime, SimTime)>>,
+    fault_health: Vec<fault::MachineHealth>,
+    /// Bumped when a machine crashes; invalidates queued completion events
+    /// of attempts that died with it.
+    machine_epoch: Vec<u64>,
+    /// In-flight attempts per machine, for declaration-time cleanup. The
+    /// `(machine, task)` pair is unique: speculation never duplicates a
+    /// task on its own machine.
+    inflight: Vec<BTreeMap<TaskId, RunningTask>>,
+    /// Completed map outputs held on each machine's local disk, lost (and
+    /// re-executed) if the machine dies before the job finishes.
+    map_outputs: Vec<BTreeMap<JobId, Vec<u32>>>,
+    /// Failed-attempt count per task (caps random failure injection).
+    task_attempt_failures: BTreeMap<TaskId, u32>,
+    /// Random task failures per machine (drives blacklisting).
+    machine_task_failures: Vec<u32>,
+    blacklisted: Vec<bool>,
+    task_failures: u64,
+    machine_failures: u64,
+    map_outputs_lost: u64,
+    machines_blacklisted: u64,
     intervals: Vec<IntervalSnapshot>,
     energy_series: TimeSeries,
     reports: Vec<TaskReport>,
@@ -133,6 +169,12 @@ impl Engine {
         let root = SimRng::seed_from(seed);
         let n = fleet.len();
         let network = Network::new(n, GIGABIT_MBPS);
+        // The fault stream is forked off the same root as the existing
+        // streams (forking never mutates the parent), so enabling faults
+        // perturbs no demand/noise/placement draw and disabling them is
+        // byte-identical to a build without the layer.
+        let rng_fault = root.fork("fault");
+        let crash_schedule = fault::crash_schedules(&config, n, &rng_fault);
         Engine {
             network,
             config,
@@ -154,6 +196,19 @@ impl Engine {
             duration_stats: BTreeMap::new(),
             speculative_launched: 0,
             wasted_attempts: 0,
+            rng_fault,
+            crash_schedule,
+            fault_health: vec![fault::MachineHealth::Healthy; n],
+            machine_epoch: vec![0; n],
+            inflight: vec![BTreeMap::new(); n],
+            map_outputs: vec![BTreeMap::new(); n],
+            task_attempt_failures: BTreeMap::new(),
+            machine_task_failures: vec![0; n],
+            blacklisted: vec![false; n],
+            task_failures: 0,
+            machine_failures: 0,
+            map_outputs_lost: 0,
+            machines_blacklisted: 0,
             intervals: Vec::new(),
             energy_series: TimeSeries::new("cumulative_energy_joules"),
             reports: Vec::new(),
@@ -366,6 +421,21 @@ impl ClusterQuery for Engine {
 
     fn network_congestion(&self) -> f64 {
         self.network.mean_congestion()
+    }
+
+    fn is_machine_dead(&self, machine: MachineId) -> bool {
+        matches!(
+            self.fault_health[machine.index()],
+            fault::MachineHealth::Dead { .. }
+        )
+    }
+
+    fn is_machine_blacklisted(&self, machine: MachineId) -> bool {
+        self.blacklisted[machine.index()]
+    }
+
+    fn task_failures_on(&self, machine: MachineId) -> u32 {
+        self.machine_task_failures[machine.index()]
     }
 
     /// Oracle for the property suite: rebuilds the scoreboard by full scan

@@ -169,6 +169,10 @@ impl Engine {
             total_tasks: self.total_tasks,
             speculative_attempts: self.speculative_launched,
             wasted_attempts: self.wasted_attempts,
+            task_failures: self.task_failures,
+            machine_failures: self.machine_failures,
+            map_outputs_lost: self.map_outputs_lost,
+            machines_blacklisted: self.machines_blacklisted,
         }
     }
 }

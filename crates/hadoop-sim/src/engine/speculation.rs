@@ -126,6 +126,10 @@ impl Engine {
             );
             self.emit_slot_occupancy(machine, kind);
         }
+        if self.config.fault.is_enabled() {
+            // Backup copies die with their machine too.
+            self.inflight[machine.index()].insert(rt.task, rt.clone());
+        }
         let done_at = self.now + SimDuration::from_secs_f64(rt.duration_secs);
         queue.schedule(done_at, Event::TaskDone(Box::new(rt)));
     }

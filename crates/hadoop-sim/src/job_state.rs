@@ -189,6 +189,30 @@ impl JobState {
     pub fn is_task_finished(&self, kind: SlotKind, index: u32) -> bool {
         self.finished.contains(&(kind, index))
     }
+
+    /// Releases the running-slot count of an attempt that failed without
+    /// finishing its task (random failure or machine crash). The task
+    /// itself is re-queued separately via [`JobState::return_map`] /
+    /// [`JobState::return_reduce`] when no other attempt remains.
+    pub fn note_task_failed(&mut self) {
+        debug_assert!(self.running_tasks > 0);
+        self.running_tasks -= 1;
+    }
+
+    /// Reverts a *completed* map task to pending after its output was lost
+    /// with a dead machine (Hadoop re-executes such maps: their output
+    /// lives on the TaskTracker's local disk, not in HDFS). When `requeue`
+    /// is false the task is only un-finished — a still-running duplicate
+    /// attempt will re-complete it.
+    pub fn lose_map_output(&mut self, index: u32, requeue: bool) {
+        let removed = self.finished.remove(&(SlotKind::Map, index));
+        debug_assert!(removed, "map output loss of an unfinished task");
+        debug_assert!(self.completed_maps > 0);
+        self.completed_maps -= 1;
+        if requeue {
+            self.pending_maps.push(index);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +329,37 @@ mod tests {
         let r = j.take_reduce(1.0).unwrap();
         j.return_reduce(r);
         assert_eq!(j.pending_reduces(1.0), 1);
+    }
+
+    #[test]
+    fn lost_map_outputs_revert_to_pending() {
+        let f = fleet();
+        let mut j = job(4, 2);
+        let (idx, _) = j.take_map_for(&f, MachineId(0)).unwrap();
+        j.note_task_started(SimTime::ZERO);
+        j.note_task_completed(SimTime::from_secs(1), SlotKind::Map, idx);
+        assert_eq!(j.completed_maps, 1);
+        j.lose_map_output(idx, true);
+        assert_eq!(j.completed_maps, 0);
+        assert_eq!(j.pending_maps(), 4);
+        assert!(!j.is_task_finished(SlotKind::Map, idx));
+        // Re-execution wins again.
+        j.note_task_started(SimTime::from_secs(2));
+        assert!(j.note_task_completed(SimTime::from_secs(3), SlotKind::Map, idx));
+    }
+
+    #[test]
+    fn failed_attempts_release_the_running_count() {
+        let f = fleet();
+        let mut j = job(2, 0);
+        let (idx, _) = j.take_map_for(&f, MachineId(0)).unwrap();
+        j.note_task_started(SimTime::ZERO);
+        assert_eq!(j.running_tasks, 1);
+        j.note_task_failed();
+        assert_eq!(j.running_tasks, 0);
+        j.return_map(idx);
+        assert_eq!(j.pending_maps(), 2);
+        assert_eq!(j.phase(), JobPhase::Running);
     }
 
     #[test]

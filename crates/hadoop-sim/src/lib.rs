@@ -17,7 +17,11 @@
 //! * control-interval callbacks (default 5 min, §V-B) at which adaptive
 //!   schedulers re-derive their policy;
 //! * system-noise injection (stragglers and utilization jitter) modelling
-//!   the data skew and network contention of §IV-D.
+//!   the data skew and network contention of §IV-D;
+//! * optional fault injection ([`FaultConfig`]): TaskTracker crashes with
+//!   heartbeat-expiry death detection, map-output loss and re-execution,
+//!   per-attempt task failures with a retry cap, and per-machine
+//!   blacklisting — real Hadoop failure semantics, off by default.
 //!
 //! Schedulers — E-Ant and the baselines alike — implement the [`Scheduler`]
 //! trait: at each offered slot they pick *which job* the slot goes to
@@ -59,7 +63,9 @@ pub mod single_node;
 pub mod trace;
 
 pub use cluster_state::{ClusterState, JobEntry};
-pub use config::{DvfsConfig, EngineConfig, NoiseConfig, PowerDownConfig, SpeculationPolicy};
+pub use config::{
+    DvfsConfig, EngineConfig, FaultConfig, NoiseConfig, PowerDownConfig, SpeculationPolicy,
+};
 pub use engine::Engine;
 pub use job_state::JobPhase;
 pub use report::{TaskReport, UtilizationSample};

@@ -147,6 +147,16 @@ pub struct RunResult {
     /// Attempts whose work was discarded because another attempt of the
     /// same task finished first.
     pub wasted_attempts: u64,
+    /// Attempts that failed (randomly or because their machine crashed)
+    /// and were retried.
+    pub task_failures: u64,
+    /// Machines declared dead by heartbeat expiry over the run (a machine
+    /// that crashes twice counts twice).
+    pub machine_failures: u64,
+    /// Completed map outputs lost to machine crashes and re-executed.
+    pub map_outputs_lost: u64,
+    /// Machines taken out of rotation after repeated task failures.
+    pub machines_blacklisted: u64,
 }
 
 impl RunResult {
@@ -324,6 +334,10 @@ mod tests {
             total_tasks: 0,
             speculative_attempts: 0,
             wasted_attempts: 0,
+            task_failures: 0,
+            machine_failures: 0,
+            map_outputs_lost: 0,
+            machines_blacklisted: 0,
         }
     }
 

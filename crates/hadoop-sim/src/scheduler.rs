@@ -45,6 +45,24 @@ pub trait ClusterQuery {
     fn rebuild_state(&self) -> ClusterState {
         self.state().clone()
     }
+    /// Whether the JobTracker currently considers `machine` dead (heartbeat
+    /// expiry after a crash; see [`crate::FaultConfig`]). Always `false`
+    /// with fault injection off — the default for mock queries.
+    fn is_machine_dead(&self, _machine: MachineId) -> bool {
+        false
+    }
+    /// Whether `machine` has been blacklisted for repeated task failures.
+    /// Always `false` with fault injection off — the default for mock
+    /// queries.
+    fn is_machine_blacklisted(&self, _machine: MachineId) -> bool {
+        false
+    }
+    /// Failed task attempts charged to `machine` so far (the blacklist
+    /// counter). Zero with fault injection off — the default for mock
+    /// queries.
+    fn task_failures_on(&self, _machine: MachineId) -> u32 {
+        0
+    }
 }
 
 /// A task-assignment policy plugged into the engine.

@@ -17,6 +17,11 @@
 //! | [`SimEvent::ControlIntervalFired`] | control tick | the periodic policy interval elapses |
 //! | [`SimEvent::PheromoneUpdated`] | E-Ant analyzer | a job's policy row is re-derived |
 //! | [`SimEvent::EnergyModelRefit`] | E-Ant analyzer | a per-profile Eq. 2 model is identified |
+//! | [`SimEvent::TaskFailed`] | fault layer | an attempt fails (randomly or by crash) |
+//! | [`SimEvent::MachineFailed`] | fault layer | heartbeat expiry declares a machine dead |
+//! | [`SimEvent::MapOutputLost`] | fault layer | a dead machine's completed map is re-queued |
+//! | [`SimEvent::MachineRecovered`] | fault layer | a crashed TaskTracker rejoins |
+//! | [`SimEvent::MachineBlacklisted`] | fault layer | a machine exceeds the failure threshold |
 //! | [`SimEvent::RunFinished`] | result assembly | the run drains or hits its time limit |
 //!
 //! Observers are passive (see [`simcore::trace::Observer`]): a run is
@@ -153,6 +158,51 @@ pub enum SimEvent {
         /// Identified power slope α, in watts per unit utilization.
         alpha_watts: f64,
     },
+    /// A task attempt failed and released its slot without producing
+    /// output. The engine re-queues the task (unless another live attempt
+    /// remains) with locality recomputed from scratch at the next offer.
+    TaskFailed {
+        /// The task whose attempt failed.
+        task: TaskId,
+        /// The machine the attempt was running on.
+        machine: MachineId,
+        /// `true` when the attempt died with its machine (heartbeat
+        /// expiry), `false` for a random per-attempt failure.
+        crash: bool,
+    },
+    /// Heartbeat expiry declared a machine dead: its running attempts
+    /// failed and its completed map outputs were lost. Preceded by the
+    /// per-attempt [`SimEvent::TaskFailed`] / [`SimEvent::MapOutputLost`]
+    /// events of the cleanup.
+    MachineFailed {
+        /// The machine declared dead.
+        machine: MachineId,
+        /// Running attempts that died with it.
+        attempts_lost: u32,
+    },
+    /// A completed map task's output was lost with its dead machine; the
+    /// task reverts to pending and will re-execute (real Hadoop semantics —
+    /// map outputs live on local disk, not HDFS).
+    MapOutputLost {
+        /// The map task whose output was lost.
+        task: TaskId,
+        /// The dead machine that held the output.
+        machine: MachineId,
+    },
+    /// A crashed TaskTracker restarted and rejoined the cluster; the
+    /// machine accepts work again from this heartbeat on.
+    MachineRecovered {
+        /// The machine that rejoined.
+        machine: MachineId,
+    },
+    /// A machine accumulated enough task failures to be excluded from
+    /// further assignment for the rest of the run.
+    MachineBlacklisted {
+        /// The machine taken out of rotation.
+        machine: MachineId,
+        /// Its task-failure count at the moment of blacklisting.
+        failures: u32,
+    },
     /// The run ended: final aggregates for streaming consumers.
     RunFinished {
         /// Whether every job completed (vs hitting the time limit).
@@ -180,6 +230,11 @@ impl SimEvent {
             SimEvent::ControlIntervalFired { .. } => "control_interval_fired",
             SimEvent::PheromoneUpdated { .. } => "pheromone_updated",
             SimEvent::EnergyModelRefit { .. } => "energy_model_refit",
+            SimEvent::TaskFailed { .. } => "task_failed",
+            SimEvent::MachineFailed { .. } => "machine_failed",
+            SimEvent::MapOutputLost { .. } => "map_output_lost",
+            SimEvent::MachineRecovered { .. } => "machine_recovered",
+            SimEvent::MachineBlacklisted { .. } => "machine_blacklisted",
             SimEvent::RunFinished { .. } => "run_finished",
         }
     }
@@ -209,6 +264,20 @@ mod tests {
                 drained: true,
                 total_energy_joules: 0.0,
                 total_tasks: 0,
+            }
+            .kind(),
+            SimEvent::MachineFailed {
+                machine: MachineId(0),
+                attempts_lost: 0,
+            }
+            .kind(),
+            SimEvent::MachineRecovered {
+                machine: MachineId(0),
+            }
+            .kind(),
+            SimEvent::MachineBlacklisted {
+                machine: MachineId(0),
+                failures: 0,
             }
             .kind(),
         ];

@@ -119,6 +119,10 @@ mod tests {
             total_tasks: 0,
             speculative_attempts: 0,
             wasted_attempts: 0,
+            task_failures: 0,
+            machine_failures: 0,
+            map_outputs_lost: 0,
+            machines_blacklisted: 0,
         }
     }
 

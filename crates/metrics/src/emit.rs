@@ -671,6 +671,13 @@ impl ToJson for RunResult {
                 JsonValue::UInt(self.speculative_attempts),
             ),
             ("wasted_attempts", JsonValue::UInt(self.wasted_attempts)),
+            ("task_failures", JsonValue::UInt(self.task_failures)),
+            ("machine_failures", JsonValue::UInt(self.machine_failures)),
+            ("map_outputs_lost", JsonValue::UInt(self.map_outputs_lost)),
+            (
+                "machines_blacklisted",
+                JsonValue::UInt(self.machines_blacklisted),
+            ),
         ])
     }
 }
@@ -768,12 +775,18 @@ mod tests {
             total_tasks: 3,
             speculative_attempts: 0,
             wasted_attempts: 0,
+            task_failures: 2,
+            machine_failures: 1,
+            map_outputs_lost: 0,
+            machines_blacklisted: 0,
         };
         let json = run_result_json(&run);
         assert!(json.starts_with(r#"{"scheduler":"E-Ant","makespan":10000,"drained":true"#));
         assert!(json.contains(r#""groups":["Wordcount-S"]"#));
         assert!(json.contains(r#""assignments":{"3":[1,0,2]}"#));
-        assert!(json.ends_with(r#""total_tasks":3,"speculative_attempts":0,"wasted_attempts":0}"#));
+        assert!(json.ends_with(
+            r#""task_failures":2,"machine_failures":1,"map_outputs_lost":0,"machines_blacklisted":0}"#
+        ));
     }
 
     #[test]
@@ -876,6 +889,10 @@ mod tests {
             total_tasks: 0,
             speculative_attempts: 0,
             wasted_attempts: 0,
+            task_failures: 0,
+            machine_failures: 0,
+            map_outputs_lost: 0,
+            machines_blacklisted: 0,
         };
         assert_eq!(run_result_json(&make()), run_result_json(&make()));
     }

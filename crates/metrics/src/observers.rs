@@ -39,6 +39,10 @@ pub struct StreamingRunStats {
     total_tasks: u64,
     drained: Option<bool>,
     speculative_launched: u64,
+    task_failures: u64,
+    machine_failures: u64,
+    map_outputs_lost: u64,
+    machines_blacklisted: u64,
 }
 
 impl StreamingRunStats {
@@ -59,6 +63,10 @@ impl StreamingRunStats {
             total_tasks: 0,
             drained: None,
             speculative_launched: 0,
+            task_failures: 0,
+            machine_failures: 0,
+            map_outputs_lost: 0,
+            machines_blacklisted: 0,
         }
     }
 
@@ -90,6 +98,26 @@ impl StreamingRunStats {
     /// Speculative (backup) attempts observed.
     pub fn speculative_launched(&self) -> u64 {
         self.speculative_launched
+    }
+
+    /// Failed task attempts observed (crash-killed and random).
+    pub fn task_failures(&self) -> u64 {
+        self.task_failures
+    }
+
+    /// Machines declared dead by heartbeat expiry.
+    pub fn machine_failures(&self) -> u64 {
+        self.machine_failures
+    }
+
+    /// Completed map outputs lost to crashes and re-executed.
+    pub fn map_outputs_lost(&self) -> u64 {
+        self.map_outputs_lost
+    }
+
+    /// Machines blacklisted for repeated task failures.
+    pub fn machines_blacklisted(&self) -> u64 {
+        self.machines_blacklisted
     }
 
     /// The reconstructed cumulative energy series (sampled at control
@@ -151,6 +179,30 @@ impl StreamingRunStats {
             return Err(format!(
                 "speculative attempts: streamed {}, post-hoc {}",
                 self.speculative_launched, run.speculative_attempts
+            ));
+        }
+        if self.task_failures != run.task_failures {
+            return Err(format!(
+                "task failures: streamed {}, post-hoc {}",
+                self.task_failures, run.task_failures
+            ));
+        }
+        if self.machine_failures != run.machine_failures {
+            return Err(format!(
+                "machine failures: streamed {}, post-hoc {}",
+                self.machine_failures, run.machine_failures
+            ));
+        }
+        if self.map_outputs_lost != run.map_outputs_lost {
+            return Err(format!(
+                "map outputs lost: streamed {}, post-hoc {}",
+                self.map_outputs_lost, run.map_outputs_lost
+            ));
+        }
+        if self.machines_blacklisted != run.machines_blacklisted {
+            return Err(format!(
+                "machines blacklisted: streamed {}, post-hoc {}",
+                self.machines_blacklisted, run.machines_blacklisted
             ));
         }
         if self.energy_series != run.energy_series {
@@ -223,6 +275,23 @@ impl Observer<SimEvent> for StreamingRunStats {
             }
             SimEvent::SpeculationLaunched { .. } => {
                 self.speculative_launched += 1;
+            }
+            SimEvent::TaskFailed { .. } => {
+                self.task_failures += 1;
+            }
+            SimEvent::MachineFailed { .. } => {
+                self.machine_failures += 1;
+            }
+            SimEvent::MapOutputLost { .. } => {
+                // The lost task's first win was already counted via its
+                // `TaskCompleted { won: true }`; the re-execution will count
+                // again. Mirror the engine's counter rollback so the net
+                // stays one per task.
+                self.map_outputs_lost += 1;
+                self.total_tasks -= 1;
+            }
+            SimEvent::MachineBlacklisted { .. } => {
+                self.machines_blacklisted += 1;
             }
             SimEvent::ControlIntervalFired {
                 cumulative_energy_joules,
@@ -359,6 +428,74 @@ mod tests {
         // The partial interval still closes (no tick fired) but is empty.
         assert_eq!(s.intervals().len(), 1);
         assert!(s.intervals()[0].assignments.is_empty());
+    }
+
+    #[test]
+    fn fault_events_fold_into_failure_counters() {
+        let mut s = StreamingRunStats::new(2);
+        let t = SimTime::from_secs;
+        // A map wins, then its machine dies: the output is lost and the
+        // task re-executes elsewhere — net one completion.
+        s.on_event(
+            t(10),
+            &SimEvent::TaskCompleted {
+                task: task(0, 0),
+                machine: MachineId(0),
+                won: true,
+                straggled: false,
+                speculative: false,
+            },
+        );
+        s.on_event(
+            t(20),
+            &SimEvent::TaskFailed {
+                task: task(0, 1),
+                machine: MachineId(0),
+                crash: true,
+            },
+        );
+        s.on_event(
+            t(20),
+            &SimEvent::MapOutputLost {
+                task: task(0, 0),
+                machine: MachineId(0),
+            },
+        );
+        s.on_event(
+            t(20),
+            &SimEvent::MachineFailed {
+                machine: MachineId(0),
+                attempts_lost: 1,
+            },
+        );
+        s.on_event(
+            t(30),
+            &SimEvent::MachineRecovered {
+                machine: MachineId(0),
+            },
+        );
+        s.on_event(
+            t(40),
+            &SimEvent::TaskCompleted {
+                task: task(0, 0),
+                machine: MachineId(1),
+                won: true,
+                straggled: false,
+                speculative: false,
+            },
+        );
+        s.on_event(
+            t(50),
+            &SimEvent::MachineBlacklisted {
+                machine: MachineId(0),
+                failures: 4,
+            },
+        );
+        assert_eq!(s.task_failures(), 1);
+        assert_eq!(s.machine_failures(), 1);
+        assert_eq!(s.map_outputs_lost(), 1);
+        assert_eq!(s.machines_blacklisted(), 1);
+        assert_eq!(s.total_tasks(), 1);
     }
 
     #[test]

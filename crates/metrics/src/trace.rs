@@ -115,6 +115,30 @@ impl ToJson for SimEvent {
                 ("idle_watts", JsonValue::Num(*idle_watts)),
                 ("alpha_watts", JsonValue::Num(*alpha_watts)),
             ]),
+            SimEvent::TaskFailed {
+                task,
+                machine,
+                crash,
+            } => object([
+                ("task", task.to_json()),
+                ("machine", machine.to_json()),
+                ("crash", JsonValue::Bool(*crash)),
+            ]),
+            SimEvent::MachineFailed {
+                machine,
+                attempts_lost,
+            } => object([
+                ("machine", machine.to_json()),
+                ("attempts_lost", JsonValue::UInt(u64::from(*attempts_lost))),
+            ]),
+            SimEvent::MapOutputLost { task, machine } => {
+                object([("task", task.to_json()), ("machine", machine.to_json())])
+            }
+            SimEvent::MachineRecovered { machine } => object([("machine", machine.to_json())]),
+            SimEvent::MachineBlacklisted { machine, failures } => object([
+                ("machine", machine.to_json()),
+                ("failures", JsonValue::UInt(u64::from(*failures))),
+            ]),
             SimEvent::RunFinished {
                 drained,
                 total_energy_joules,
@@ -215,6 +239,26 @@ pub fn parse_trace_line(line: &str) -> Result<(SimTime, SimEvent), String> {
                 .to_owned(),
             idle_watts: field_f64(&doc, "idle_watts")?,
             alpha_watts: field_f64(&doc, "alpha_watts")?,
+        },
+        "task_failed" => SimEvent::TaskFailed {
+            task: field_task(&doc, "task")?,
+            machine: field_machine(&doc, "machine")?,
+            crash: field_bool(&doc, "crash")?,
+        },
+        "machine_failed" => SimEvent::MachineFailed {
+            machine: field_machine(&doc, "machine")?,
+            attempts_lost: field_u32(&doc, "attempts_lost")?,
+        },
+        "map_output_lost" => SimEvent::MapOutputLost {
+            task: field_task(&doc, "task")?,
+            machine: field_machine(&doc, "machine")?,
+        },
+        "machine_recovered" => SimEvent::MachineRecovered {
+            machine: field_machine(&doc, "machine")?,
+        },
+        "machine_blacklisted" => SimEvent::MachineBlacklisted {
+            machine: field_machine(&doc, "machine")?,
+            failures: field_u32(&doc, "failures")?,
         },
         "run_finished" => SimEvent::RunFinished {
             drained: field_bool(&doc, "drained")?,
@@ -418,6 +462,26 @@ mod tests {
                 idle_watts: 25.0,
                 alpha_watts: 11.5,
             },
+            SimEvent::TaskFailed {
+                task,
+                machine: MachineId(5),
+                crash: false,
+            },
+            SimEvent::MachineFailed {
+                machine: MachineId(2),
+                attempts_lost: 3,
+            },
+            SimEvent::MapOutputLost {
+                task,
+                machine: MachineId(2),
+            },
+            SimEvent::MachineRecovered {
+                machine: MachineId(2),
+            },
+            SimEvent::MachineBlacklisted {
+                machine: MachineId(5),
+                failures: 12,
+            },
             SimEvent::JobCompleted { job: JobId(3) },
             SimEvent::RunFinished {
                 drained: true,
@@ -455,10 +519,10 @@ mod tests {
         for (i, event) in sample_events().into_iter().enumerate() {
             sink.on_event(SimTime::from_secs(i as u64), &event);
         }
-        assert_eq!(sink.lines(), 13);
+        assert_eq!(sink.lines(), 18);
         let bytes = sink.finish().unwrap();
         let text = String::from_utf8(bytes).unwrap();
-        assert_eq!(text.lines().count(), 13);
+        assert_eq!(text.lines().count(), 18);
         for line in text.lines() {
             parse_trace_line(line).unwrap();
         }

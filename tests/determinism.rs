@@ -134,3 +134,105 @@ fn tracing_does_not_perturb_runs() {
             .expect("streaming aggregates match the traced run");
     }
 }
+
+/// A faulted variant of the small scenario: crashes, retries and
+/// blacklisting all active.
+fn faulted_scenario(seed: u64) -> Scenario {
+    let mut s = small_scenario(seed);
+    s.engine.fault = hadoop_sim::FaultConfig {
+        crash_mtbf: SimDuration::from_mins(30),
+        crash_downtime: SimDuration::from_mins(1),
+        task_failure_prob: 0.05,
+        blacklist_threshold: 10,
+        ..hadoop_sim::FaultConfig::none()
+    };
+    s
+}
+
+/// Runs the faulted (scheduler × seed) sweep on `workers` threads. One
+/// seed keeps the 3× sweep matrix affordable: crashed runs take several
+/// times longer to drain than clean ones.
+fn faulted_sweep(workers: usize) -> Vec<String> {
+    let kinds = [
+        SchedulerKind::Fair,
+        SchedulerKind::Tarazu,
+        SchedulerKind::EAnt(EAntConfig::paper_default()),
+    ];
+    let seeds = [11u64];
+    let tasks: Vec<_> = kinds
+        .iter()
+        .flat_map(|kind| {
+            seeds.iter().map(move |&seed| {
+                let kind = kind.clone();
+                move || faulted_scenario(seed).run(&kind)
+            })
+        })
+        .collect();
+    parallel_runs_with_workers(workers, tasks)
+        .iter()
+        .map(run_result_json)
+        .collect()
+}
+
+/// Fault injection draws from its own forked RNG stream, so faulted runs
+/// are exactly as deterministic as clean ones: thread-count invariant and
+/// repeatable within a process.
+#[test]
+fn faulted_sweep_is_deterministic() {
+    let single = faulted_sweep(1);
+    let multi = faulted_sweep(4);
+    assert_eq!(single, multi, "faulted sweep differs across thread counts");
+    let again = faulted_sweep(4);
+    assert_eq!(
+        multi, again,
+        "faulted sweep differs across consecutive runs"
+    );
+    // The injected faults actually fired — otherwise this test proves
+    // nothing about the fault paths.
+    assert!(
+        single
+            .iter()
+            .any(|json| !json.contains("\"task_failures\":0,")),
+        "no run recorded any task failure"
+    );
+}
+
+/// A faulted trace round-trips through the JSONL codec: re-encoding every
+/// parsed line reproduces the original bytes, including the five fault
+/// event kinds.
+#[test]
+fn faulted_trace_round_trips_through_codec() {
+    use hadoop_sim::trace::SharedObserver;
+    use metrics::trace::{parse_trace_line, trace_line, JsonlTraceSink};
+
+    let scenario = faulted_scenario(11);
+    let kind = SchedulerKind::EAnt(EAntConfig::paper_default());
+    let sink = SharedObserver::new(JsonlTraceSink::new(Vec::<u8>::new()));
+    let handle = sink.clone();
+    let _ = scenario.run_observed(&kind, move |engine, _| {
+        engine.attach_observer(Box::new(handle));
+    });
+    let bytes = sink
+        .try_into_inner()
+        .expect("sink still shared")
+        .finish()
+        .expect("flush");
+    let text = String::from_utf8(bytes).expect("trace is UTF-8");
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let (at, event) = parse_trace_line(line).unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+        kinds_seen.insert(event.kind());
+        assert_eq!(
+            trace_line(at, &event),
+            line,
+            "line {} does not round-trip",
+            i + 1
+        );
+    }
+    for kind in ["task_failed", "machine_failed", "map_output_lost"] {
+        assert!(
+            kinds_seen.contains(kind),
+            "faulted trace never emitted {kind}; saw {kinds_seen:?}"
+        );
+    }
+}

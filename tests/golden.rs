@@ -115,6 +115,11 @@ fn eant_savings_match_goldens() {
 /// serialized bytes, so it catches any drift in event ordering, payload
 /// contents, or the canonical JSON encoding itself. Re-derive with
 /// `--nocapture` after deliberate changes: the observed values print below.
+///
+/// This run leaves [`hadoop_sim::FaultConfig`] at its disabled default, so
+/// together with the summary goldens above it also proves the fault layer
+/// is zero-perturbation when off: adding fault injection must not shift a
+/// single byte of this trace or any pinned metric.
 const TRACE_GOLDEN_EVENTS: u64 = 8796;
 const TRACE_GOLDEN_FNV1A: u64 = 0xe975ce6ddbe27729;
 
@@ -194,6 +199,79 @@ fn golden_trace_digest() {
     assert_eq!(
         digest, TRACE_GOLDEN_FNV1A,
         "trace digest drifted (observed {digest:#018x})"
+    );
+}
+
+/// Pinned event count and digest of the same golden scenario with
+/// [`hadoop_sim::FaultConfig::moderate`] faults injected: the faulted event
+/// stream (crashes, heartbeat-expiry deaths, retries, lost map outputs,
+/// recoveries) is bit-deterministic too. Re-derive with `--nocapture` as
+/// above.
+const FAULTED_TRACE_GOLDEN_EVENTS: u64 = 10436;
+const FAULTED_TRACE_GOLDEN_FNV1A: u64 = 0x2ac2cde2b757182e;
+
+#[test]
+fn golden_faulted_trace_digest() {
+    let mut scenario = Scenario::fast(2015);
+    scenario.msd = MsdConfig {
+        num_jobs: 8,
+        task_scale: 32,
+        submission_window: SimDuration::from_mins(4),
+    };
+    scenario.engine.speculation = SpeculationPolicy::Late;
+    scenario.engine.power_down = Some(PowerDownConfig::suspend_to_ram());
+    scenario.engine.dvfs = Some(DvfsConfig::conservative());
+    scenario.engine.fault = hadoop_sim::FaultConfig::moderate();
+
+    let sink = SharedObserver::new(JsonlTraceSink::new(Vec::<u8>::new()));
+    let engine_sink = sink.clone();
+    let scheduler_sink = sink.clone();
+    let result = scenario.run_observed(
+        &SchedulerKind::EAnt(EAntConfig::paper_default()),
+        move |engine, scheduler| {
+            engine.attach_observer(Box::new(engine_sink));
+            scheduler.attach_observer(Box::new(scheduler_sink));
+        },
+    );
+    assert!(result.drained, "faulted golden trace run failed to drain");
+    assert!(result.task_failures > 0, "faults never fired");
+
+    let bytes = sink
+        .try_into_inner()
+        .unwrap_or_else(|_| panic!("trace sink still shared after run"))
+        .finish()
+        .expect("Vec<u8> writes cannot fail");
+
+    let mut kinds = BTreeSet::new();
+    let mut events = 0u64;
+    for line in std::str::from_utf8(&bytes).expect("trace is UTF-8").lines() {
+        let (_, event) = parse_trace_line(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line: {e}\n{line}"));
+        kinds.insert(event.kind());
+        events += 1;
+    }
+    println!("observed kinds: {kinds:?}");
+    for kind in [
+        "task_failed",
+        "machine_failed",
+        "machine_recovered",
+        "map_output_lost",
+    ] {
+        assert!(
+            kinds.contains(kind),
+            "faulted trace is missing `{kind}` events"
+        );
+    }
+
+    let digest = fnv1a_64(&bytes);
+    println!("observed events: {events}, digest: {digest:#018x}");
+    assert_eq!(
+        events, FAULTED_TRACE_GOLDEN_EVENTS,
+        "faulted trace event count drifted (observed {events})"
+    );
+    assert_eq!(
+        digest, FAULTED_TRACE_GOLDEN_FNV1A,
+        "faulted trace digest drifted (observed {digest:#018x})"
     );
 }
 

@@ -502,3 +502,176 @@ fn streaming_stats_match_posthoc() {
         }
     });
 }
+
+/// The scoreboard/oracle equivalence survives fault injection: machine
+/// crashes, heartbeat-expiry deaths, task retries, map-output loss and
+/// blacklisting all mutate the incremental state through the same paths the
+/// oracle rebuilds from scratch.
+#[test]
+fn scoreboard_matches_oracle_under_faults() {
+    use cluster::SlotKind;
+    use hadoop_sim::{ClusterQuery, FaultConfig, Scheduler, TaskReport};
+    use simcore::SimDuration;
+
+    struct OracleChecked<S> {
+        inner: S,
+        checks: u64,
+    }
+
+    impl<S> OracleChecked<S> {
+        fn verify(&mut self, query: &dyn ClusterQuery, site: &str) {
+            let incremental = query.state();
+            let oracle = query.rebuild_state();
+            assert_eq!(
+                *incremental,
+                oracle,
+                "scoreboard diverged from oracle at {site} (t={})",
+                query.now()
+            );
+            self.checks += 1;
+        }
+    }
+
+    impl<S: Scheduler> Scheduler for OracleChecked<S> {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn select_job(
+            &mut self,
+            query: &dyn ClusterQuery,
+            machine: MachineId,
+            kind: SlotKind,
+        ) -> Option<JobId> {
+            self.verify(query, "select_job");
+            self.inner.select_job(query, machine, kind)
+        }
+        fn on_job_submitted(&mut self, query: &dyn ClusterQuery, job: &JobSpec) {
+            self.verify(query, "on_job_submitted");
+            self.inner.on_job_submitted(query, job);
+        }
+        fn on_job_completed(&mut self, query: &dyn ClusterQuery, job: JobId) {
+            self.verify(query, "on_job_completed");
+            self.inner.on_job_completed(query, job);
+        }
+        fn on_task_completed(&mut self, query: &dyn ClusterQuery, report: &TaskReport) {
+            self.verify(query, "on_task_completed");
+            self.inner.on_task_completed(query, report);
+        }
+        fn on_control_interval(&mut self, query: &dyn ClusterQuery) {
+            self.verify(query, "on_control_interval");
+            self.inner.on_control_interval(query);
+        }
+    }
+
+    check("scoreboard_matches_oracle_under_faults", 6, |rng| {
+        let seed = rng.next_u64();
+        let fault = FaultConfig {
+            crash_mtbf: SimDuration::from_mins(rng.uniform_u64(10, 40)),
+            crash_downtime: SimDuration::from_mins(rng.uniform_u64(1, 4)),
+            task_failure_prob: rng.uniform_range(0.0, 0.15),
+            blacklist_threshold: if rng.chance(0.5) { 8 } else { 0 },
+            ..FaultConfig::none()
+        };
+        let cfg = EngineConfig {
+            noise: NoiseConfig {
+                straggler_prob: 0.2,
+                straggler_slowdown: (2.0, 5.0),
+                utilization_jitter: 0.1,
+            },
+            speculation: SpeculationPolicy::Hadoop,
+            fault,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+        let jobs = (0..3)
+            .map(|i| {
+                let maps = rng.uniform_u64(8, 39) as u32;
+                JobSpec::new(
+                    JobId(i as u64),
+                    Benchmark::of(
+                        [
+                            BenchmarkKind::Wordcount,
+                            BenchmarkKind::Grep,
+                            BenchmarkKind::Terasort,
+                        ][i % 3],
+                    ),
+                    maps,
+                    maps / 5,
+                    SimTime::from_secs(i as u64 * 30),
+                )
+            })
+            .collect();
+        engine.submit_jobs(jobs);
+        let mut checked = OracleChecked {
+            inner: GreedyScheduler::new(),
+            checks: 0,
+        };
+        let result = engine.run(&mut checked);
+        assert!(result.drained, "faulted run failed to drain (seed {seed})");
+        assert!(checked.checks > 100, "too few oracle checks ran");
+    });
+}
+
+/// Conservation under faults: with recovery enabled, every task still
+/// completes exactly once — crashes, retries and lost map outputs never
+/// duplicate or strand work, so the completed-task count equals the
+/// submitted count for any fault schedule.
+#[test]
+fn faults_conserve_tasks() {
+    use hadoop_sim::FaultConfig;
+    use simcore::SimDuration;
+
+    check("faults_conserve_tasks", 16, |rng| {
+        let seed = rng.next_u64();
+        let fault = FaultConfig {
+            crash_mtbf: SimDuration::from_mins(rng.uniform_u64(8, 50)),
+            crash_downtime: SimDuration::from_mins(rng.uniform_u64(1, 5)),
+            task_failure_prob: rng.uniform_range(0.0, 0.2),
+            blacklist_threshold: [0, 6, 12][rng.uniform_u64(0, 2) as usize],
+            ..FaultConfig::none()
+        };
+        fault.validate();
+        let cfg = EngineConfig {
+            noise: NoiseConfig::none(),
+            fault,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+        let mut expected = 0u64;
+        let jobs = (0..rng.uniform_u64(1, 4) as usize)
+            .map(|i| {
+                let maps = rng.uniform_u64(4, 47) as u32;
+                let reduces = maps / 4;
+                expected += u64::from(maps + reduces);
+                JobSpec::new(
+                    JobId(i as u64),
+                    Benchmark::of(
+                        [
+                            BenchmarkKind::Wordcount,
+                            BenchmarkKind::Grep,
+                            BenchmarkKind::Terasort,
+                        ][i % 3],
+                    ),
+                    maps,
+                    reduces,
+                    SimTime::from_secs(i as u64 * 20),
+                )
+            })
+            .collect();
+        engine.submit_jobs(jobs);
+        let result = engine.run(&mut GreedyScheduler::new());
+        assert!(result.drained, "faulted run failed to drain (seed {seed})");
+        assert_eq!(
+            result.total_tasks, expected,
+            "task conservation violated under faults (seed {seed})"
+        );
+        // Failure counters are consistent: map outputs are only lost to
+        // machine deaths, and blacklisting is impossible when disabled.
+        if result.machine_failures == 0 {
+            assert_eq!(result.map_outputs_lost, 0);
+        }
+        if fault.blacklist_threshold == 0 {
+            assert_eq!(result.machines_blacklisted, 0);
+        }
+    });
+}
