@@ -162,9 +162,10 @@ mod tests {
 
     #[test]
     fn both_queues_progress_concurrently() {
+        // Per-job completion times come from the always-populated
+        // `RunResult::jobs` outcomes; no report buffering needed.
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
-            record_reports: true,
             ..EngineConfig::default()
         };
         let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, 9);

@@ -2,7 +2,7 @@
 
 use cluster::hdfs::Locality;
 use cluster::{MachineId, SlotKind};
-use hadoop_sim::{ClusterQuery, JobEntry, Scheduler};
+use hadoop_sim::{ClusterQuery, DecisionCandidate, JobEntry, Scheduler};
 use workload::JobId;
 
 /// The Hadoop Fair Scheduler with equal per-job minimum shares.
@@ -99,6 +99,34 @@ impl Scheduler for FairScheduler {
                     .then(b.id.cmp(&a.id))
             })
             .map(|j| j.id)
+    }
+
+    fn select_job_traced(
+        &mut self,
+        query: &dyn ClusterQuery,
+        machine: MachineId,
+        kind: SlotKind,
+    ) -> (Option<JobId>, Vec<DecisionCandidate>) {
+        let chosen = self.select_job(query, machine, kind);
+        let state = query.state();
+        let fair_share = query.total_slots() as f64 / state.num_active().max(1) as f64;
+        // The generic candidate set, annotated with the score this
+        // scheduler actually ranks by: each job's slot deficit, normalized
+        // by the fair share so traces are comparable across cluster sizes.
+        let candidates = state
+            .active()
+            .filter(|j| j.pending(kind) > 0)
+            .map(|j| DecisionCandidate {
+                job: j.id,
+                local: kind == SlotKind::Map
+                    && query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal),
+                tau: None,
+                eta_fairness: Some(Self::deficit(j, fair_share) / fair_share.max(1.0)),
+                eta_locality: None,
+                probability: if chosen == Some(j.id) { 1.0 } else { 0.0 },
+            })
+            .collect();
+        (chosen, candidates)
     }
 }
 
@@ -221,10 +249,9 @@ mod tests {
         assert_eq!(s.select_job(&query, MachineId(0), SlotKind::Reduce), None);
     }
 
-    fn run_two_jobs(seed: u64) -> hadoop_sim::RunResult {
+    fn two_jobs_engine(seed: u64) -> Engine {
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
-            record_reports: true,
             ..EngineConfig::default()
         };
         let mut e = Engine::new(Fleet::paper_evaluation(), cfg, seed);
@@ -238,7 +265,11 @@ mod tests {
                 SimTime::from_secs(10),
             ),
         ]);
-        e.run(&mut FairScheduler::new())
+        e
+    }
+
+    fn run_two_jobs(seed: u64) -> hadoop_sim::RunResult {
+        two_jobs_engine(seed).run(&mut FairScheduler::new())
     }
 
     #[test]
@@ -265,26 +296,74 @@ mod tests {
         );
     }
 
+    /// Streaming fold over the event stream: tracks when job 1 first
+    /// started a task and when job 0 last finished one, without buffering
+    /// reports.
+    #[derive(Default)]
+    struct ConcurrencyProbe {
+        job1_first_start: Option<SimTime>,
+        job0_last_finish: Option<SimTime>,
+    }
+
+    impl hadoop_sim::trace::Observer<hadoop_sim::SimEvent> for ConcurrencyProbe {
+        fn on_event(&mut self, at: SimTime, event: &hadoop_sim::SimEvent) {
+            match event {
+                hadoop_sim::SimEvent::TaskStarted { task, .. } if task.job == JobId(1) => {
+                    self.job1_first_start.get_or_insert(at);
+                }
+                hadoop_sim::SimEvent::TaskCompleted {
+                    task, won: true, ..
+                } if task.job == JobId(0) => {
+                    self.job0_last_finish = Some(at);
+                }
+                _ => {}
+            }
+        }
+    }
+
     #[test]
     fn both_jobs_run_concurrently() {
-        let r = run_two_jobs(3);
         // Find a moment where both jobs had tasks in flight: job 1 starts
         // while job 0 still has unfinished tasks.
-        let job1_first_start = r
-            .reports
-            .iter()
-            .filter(|t| t.job() == JobId(1))
-            .map(|t| t.started_at)
-            .min()
-            .unwrap();
-        let job0_last_finish = r
-            .reports
-            .iter()
-            .filter(|t| t.job() == JobId(0))
-            .map(|t| t.finished_at)
-            .max()
-            .unwrap();
+        let probe = hadoop_sim::trace::SharedObserver::new(ConcurrencyProbe::default());
+        let mut e = two_jobs_engine(3);
+        e.attach_observer(Box::new(probe.clone()));
+        let r = e.run(&mut FairScheduler::new());
+        assert!(r.drained);
+        let (job1_first_start, job0_last_finish) = probe.with(|p| {
+            (
+                p.job1_first_start.expect("job 1 started"),
+                p.job0_last_finish.expect("job 0 finished tasks"),
+            )
+        });
         assert!(job1_first_start < job0_last_finish);
+    }
+
+    #[test]
+    fn traced_selection_reports_deficit_scores() {
+        let query = MockQuery::new(vec![
+            MockQuery::entry(0, 5, 40),
+            MockQuery::entry(1, 5, 2),
+            MockQuery::entry(2, 5, 10),
+        ]);
+        let mut s = FairScheduler::new();
+        let (chosen, candidates) = s.select_job_traced(&query, MachineId(0), SlotKind::Map);
+        assert_eq!(
+            chosen,
+            Some(JobId(1)),
+            "traced path must pick like select_job"
+        );
+        assert_eq!(candidates.len(), 3);
+        let best = candidates.iter().find(|c| c.job == JobId(1)).unwrap();
+        assert_eq!(best.probability, 1.0);
+        for c in &candidates {
+            assert!(c.tau.is_none(), "Fair has no pheromone");
+            let score = c.eta_fairness.expect("Fair reports deficits");
+            assert!(
+                score <= best.eta_fairness.unwrap(),
+                "chosen job must have the max deficit"
+            );
+        }
     }
 
     #[test]

@@ -68,10 +68,9 @@ mod tests {
     use simcore::{SimDuration, SimTime};
     use workload::{Benchmark, JobSpec};
 
-    fn run_two_jobs() -> hadoop_sim::RunResult {
+    fn two_jobs_engine() -> Engine {
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
-            record_reports: true,
             ..EngineConfig::default()
         };
         let mut e = Engine::new(Fleet::paper_evaluation(), cfg, 1);
@@ -85,24 +84,37 @@ mod tests {
                 SimTime::from_secs(10),
             ),
         ]);
-        e.run(&mut FifoScheduler::new())
+        e
+    }
+
+    fn run_two_jobs() -> hadoop_sim::RunResult {
+        two_jobs_engine().run(&mut FifoScheduler::new())
+    }
+
+    /// Streaming fold: first task-start time per job, straight off the
+    /// event stream instead of a buffered report vector.
+    #[derive(Default)]
+    struct FirstStarts(std::collections::BTreeMap<JobId, SimTime>);
+
+    impl hadoop_sim::trace::Observer<hadoop_sim::SimEvent> for FirstStarts {
+        fn on_event(&mut self, at: SimTime, event: &hadoop_sim::SimEvent) {
+            if let hadoop_sim::SimEvent::TaskStarted { task, .. } = event {
+                self.0.entry(task.job).or_insert(at);
+            }
+        }
     }
 
     #[test]
     fn drains_and_respects_submission_order() {
-        let r = run_two_jobs();
+        let starts = hadoop_sim::trace::SharedObserver::new(FirstStarts::default());
+        let mut e = two_jobs_engine();
+        e.attach_observer(Box::new(starts.clone()));
+        let r = e.run(&mut FifoScheduler::new());
         assert!(r.drained);
         // The early long job's map work is scheduled before the late short
         // job gets substantial service: job 1's first task must start after
         // job 0's.
-        let first_start = |job: u64| {
-            r.reports
-                .iter()
-                .filter(|t| t.job() == JobId(job))
-                .map(|t| t.started_at)
-                .min()
-                .unwrap()
-        };
+        let first_start = |job: u64| starts.with(|s| s.0[&JobId(job)]);
         assert!(first_start(0) < first_start(1));
     }
 
@@ -114,7 +126,6 @@ mod tests {
         // exact block placement the RNG stream produces.
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
-            record_reports: true,
             ..EngineConfig::default()
         };
         let mut solo = Engine::new(Fleet::paper_evaluation(), cfg, 1);

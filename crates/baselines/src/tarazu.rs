@@ -180,10 +180,9 @@ mod tests {
     use simcore::SimTime;
     use workload::{Benchmark, JobSpec};
 
-    fn run(seed: u64) -> RunResult {
+    fn engine(seed: u64) -> Engine {
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
-            record_reports: true,
             ..EngineConfig::default()
         };
         let mut e = Engine::new(Fleet::paper_evaluation(), cfg, seed);
@@ -191,7 +190,11 @@ mod tests {
             JobSpec::new(JobId(0), Benchmark::terasort(), 96, 8, SimTime::ZERO),
             JobSpec::new(JobId(1), Benchmark::wordcount(), 96, 8, SimTime::ZERO),
         ]);
-        e.run(&mut TarazuScheduler::new(seed))
+        e
+    }
+
+    fn run(seed: u64) -> RunResult {
+        engine(seed).run(&mut TarazuScheduler::new(seed))
     }
 
     #[test]
@@ -215,19 +218,33 @@ mod tests {
         );
     }
 
+    /// Streaming fold over completed-task reports: counts map attempts and
+    /// how many ran node-local, without buffering the reports themselves.
+    #[derive(Default)]
+    struct LocalityCounter {
+        maps: u64,
+        local: u64,
+    }
+
+    impl hadoop_sim::trace::Observer<hadoop_sim::TaskReport> for LocalityCounter {
+        fn on_event(&mut self, _at: SimTime, report: &hadoop_sim::TaskReport) {
+            if report.kind == SlotKind::Map {
+                self.maps += 1;
+                if report.locality == Some(Locality::NodeLocal) {
+                    self.local += 1;
+                }
+            }
+        }
+    }
+
     #[test]
     fn locality_fraction_is_high() {
-        let r = run(3);
-        let maps: Vec<_> = r
-            .reports
-            .iter()
-            .filter(|t| t.kind == SlotKind::Map)
-            .collect();
-        let local = maps
-            .iter()
-            .filter(|t| t.locality == Some(Locality::NodeLocal))
-            .count();
-        let frac = local as f64 / maps.len() as f64;
+        let counter = hadoop_sim::trace::SharedObserver::new(LocalityCounter::default());
+        let mut e = engine(3);
+        e.attach_report_observer(Box::new(counter.clone()));
+        let r = e.run(&mut TarazuScheduler::new(3));
+        assert!(r.drained);
+        let frac = counter.with(|c| c.local as f64 / c.maps as f64);
         assert!(frac > 0.5, "node-local fraction {frac}");
     }
 

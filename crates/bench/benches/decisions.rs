@@ -1,0 +1,79 @@
+//! Decision-tracing overhead benchmarks: the same end-to-end
+//! `heartbeat_path` MSD run as `trace.rs`, comparing the default path
+//! (decision tracing off) against decision tracing with a counting
+//! observer and with full JSONL serialization.
+//!
+//! The headline number is `decisions_off`: the engine gates on
+//! `EngineConfig::trace_decisions` before calling the traced selection
+//! path, so a run with the flag off must stay within run-to-run noise
+//! (≤ 2 %) of the pre-refactor `heartbeat_path/msd12_eant_0obs` baseline —
+//! no candidate vector, τ/η decomposition or probability normalization is
+//! ever computed.
+
+use bench::{black_box, Harness};
+use cluster::Fleet;
+use eant::{EAntConfig, EAntScheduler};
+use hadoop_sim::trace::Observer;
+use hadoop_sim::{Engine, EngineConfig, NoiseConfig, SimEvent};
+use metrics::trace::JsonlTraceSink;
+use simcore::{SimDuration, SimRng, SimTime};
+use workload::msd::MsdConfig;
+
+/// Counts assignment-decision events without touching their payloads.
+struct DecisionCounter(u64);
+
+impl Observer<SimEvent> for DecisionCounter {
+    fn on_event(&mut self, _at: SimTime, event: &SimEvent) {
+        if matches!(event, SimEvent::AssignmentDecision { .. }) {
+            self.0 += 1;
+        }
+    }
+}
+
+/// The `scoreboard.rs` / `trace.rs` workload with decision tracing toggled.
+fn engine(seed: u64, decisions: bool) -> Engine {
+    let msd = MsdConfig {
+        num_jobs: 12,
+        task_scale: 64,
+        submission_window: SimDuration::from_mins(5),
+    };
+    let jobs = msd.generate(&mut SimRng::seed_from(seed).fork("msd"));
+    let cfg = EngineConfig {
+        noise: NoiseConfig::none(),
+        trace_decisions: decisions,
+        ..EngineConfig::default()
+    };
+    let mut e = Engine::new(Fleet::paper_evaluation(), cfg, seed);
+    e.submit_jobs(jobs);
+    e
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+
+    // Flag off: must match heartbeat_path/msd12_eant_0obs within noise.
+    h.bench("decision_path/msd12_eant_decisions_off", || {
+        let mut s = EAntScheduler::new(EAntConfig::paper_default(), 11);
+        black_box(engine(11, false).run(&mut s))
+    });
+
+    // Flag on with the cheapest consumer: the cost of building candidate
+    // vectors and the Eq. 8 decomposition at every placement.
+    h.bench("decision_path/msd12_eant_decisions_on", || {
+        let mut e = engine(11, true);
+        e.attach_observer(Box::new(DecisionCounter(0)));
+        let mut s = EAntScheduler::new(EAntConfig::paper_default(), 11);
+        black_box(e.run(&mut s))
+    });
+
+    // Flag on with full canonical-JSONL serialization into memory: the
+    // upper bound a `--trace --decisions` run adds.
+    h.bench("decision_path/msd12_eant_decisions_jsonl", || {
+        let mut e = engine(11, true);
+        e.attach_observer(Box::new(JsonlTraceSink::new(Vec::<u8>::new())));
+        let mut s = EAntScheduler::new(EAntConfig::paper_default(), 11);
+        black_box(e.run(&mut s))
+    });
+
+    h.finish();
+}

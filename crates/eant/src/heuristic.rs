@@ -85,16 +85,30 @@ pub fn weight_factor(
     beta: f64,
     local_boost: f64,
 ) -> f64 {
+    let (fairness, locality) =
+        weight_split(has_local_data, min_share, occupied, pool, beta, local_boost);
+    fairness * locality
+}
+
+/// The Eq. 8 weight factor split into its `(fairness, locality)` components:
+/// `fairness = η^β` and `locality` the node-local boost (1 without local
+/// data). Their product is exactly [`weight_factor`] — decision tracing
+/// reports the two factors separately so a trace reader can tell *why* a
+/// candidate was boosted.
+pub fn weight_split(
+    has_local_data: bool,
+    min_share: f64,
+    occupied: u32,
+    pool: usize,
+    beta: f64,
+    local_boost: f64,
+) -> (f64, f64) {
     if beta == 0.0 {
-        return 1.0;
+        return (1.0, 1.0);
     }
-    let eta = fairness(min_share, occupied, pool);
-    let base = eta.powf(beta);
-    if has_local_data {
-        base * local_boost
-    } else {
-        base
-    }
+    let base = fairness(min_share, occupied, pool).powf(beta);
+    let boost = if has_local_data { local_boost } else { 1.0 };
+    (base, boost)
 }
 
 #[cfg(test)]
@@ -148,6 +162,23 @@ mod tests {
         let starved_high = weight_factor(false, 16.0, 0, 96, 0.4, 1e3);
         assert!(starved_high > starved_low);
         assert!(starved_low > 1.0);
+    }
+
+    #[test]
+    fn split_product_equals_weight_factor() {
+        for local in [false, true] {
+            for occupied in [0u32, 8, 16, 40] {
+                for beta in [0.0, 0.1, 0.4] {
+                    let full = weight_factor(local, 16.0, occupied, 96, beta, 1e3);
+                    let (f, l) = weight_split(local, 16.0, occupied, 96, beta, 1e3);
+                    assert_eq!(
+                        full,
+                        f * l,
+                        "split diverged at local={local} occ={occupied} beta={beta}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,10 +7,10 @@ use simcore::SimRng;
 use cluster::hdfs::Locality;
 use cluster::{MachineId, SlotKind};
 use hadoop_sim::trace::{Observer, ObserverSet};
-use hadoop_sim::{ClusterQuery, Scheduler, SimEvent, TaskReport};
+use hadoop_sim::{ClusterQuery, DecisionCandidate, Scheduler, SimEvent, TaskReport};
 use workload::{JobId, JobSpec};
 
-use crate::heuristic::weight_factor;
+use crate::heuristic::{weight_factor, weight_split};
 use crate::{EAntConfig, EnergyModel, PheromoneTable, TaskAnalyzer, TaskEnergyRecord};
 
 /// E-Ant's adaptive task assigner (§III–§IV).
@@ -175,28 +175,27 @@ impl EAntScheduler {
         }
         self.policy_history.push((query.now(), snapshot));
     }
-}
 
-impl Scheduler for EAntScheduler {
-    fn name(&self) -> &str {
-        "E-Ant"
-    }
-
-    fn attach_observer(&mut self, observer: Box<dyn Observer<SimEvent>>) {
-        self.trace.attach(observer);
-    }
-
-    fn select_job(
+    /// The Eq. 8 decision core shared by the plain and traced selection
+    /// paths: both draw from the same RNG stream over the same weights, so
+    /// turning decision tracing on cannot change a single placement.
+    ///
+    /// With `explain` set, returns each weighed candidate's decomposition —
+    /// pheromone τ (the job's Eq. 3 policy entry for this machine), the η
+    /// fairness/locality split (see [`crate::heuristic::weight_split`]) and
+    /// the final normalized probability.
+    fn decide(
         &mut self,
         query: &dyn ClusterQuery,
         machine: MachineId,
         kind: SlotKind,
-    ) -> Option<JobId> {
+        explain: bool,
+    ) -> (Option<JobId>, Vec<DecisionCandidate>) {
         self.ensure_initialized(query);
         let state = query.state();
         let candidates: Vec<_> = state.active().filter(|j| j.pending(kind) > 0).collect();
         if candidates.is_empty() {
-            return None;
+            return (None, Vec::new());
         }
         let pheromones = self.pheromones.as_mut().expect("initialized");
         for c in &candidates {
@@ -231,6 +230,7 @@ impl Scheduler for EAntScheduler {
         // this machine — never by the raw cross-job deposit magnitude,
         // which scales with completion counts and would let short jobs
         // starve long ones outright.
+        let mut parts = Vec::with_capacity(if explain { candidates.len() } else { 0 });
         let weights: Vec<f64> = candidates
             .iter()
             .map(|c| {
@@ -245,13 +245,80 @@ impl Scheduler for EAntScheduler {
                     self.config.beta,
                     self.config.local_boost,
                 );
+                if explain {
+                    parts.push((p_row, local, c.slots_occupied));
+                }
                 p_row * eta
             })
             .collect();
 
-        let pick = self.rng.weighted_index(&weights)?;
-        self.decisions += 1;
-        Some(candidates[pick].id)
+        let pick = self.rng.weighted_index(&weights);
+        if pick.is_some() {
+            self.decisions += 1;
+        }
+        let chosen = pick.map(|i| candidates[i].id);
+
+        let explained = if explain {
+            let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+            candidates
+                .iter()
+                .zip(weights.iter().zip(&parts))
+                .map(|(c, (&w, &(tau, local, occupied)))| {
+                    let (eta_fairness, eta_locality) = weight_split(
+                        local,
+                        min_share,
+                        occupied,
+                        pool,
+                        self.config.beta,
+                        self.config.local_boost,
+                    );
+                    let probability = if total > 0.0 && w.is_finite() && w > 0.0 {
+                        w / total
+                    } else {
+                        0.0
+                    };
+                    DecisionCandidate {
+                        job: c.id,
+                        local,
+                        tau: Some(tau),
+                        eta_fairness: Some(eta_fairness),
+                        eta_locality: Some(eta_locality),
+                        probability,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        (chosen, explained)
+    }
+}
+
+impl Scheduler for EAntScheduler {
+    fn name(&self) -> &str {
+        "E-Ant"
+    }
+
+    fn attach_observer(&mut self, observer: Box<dyn Observer<SimEvent>>) {
+        self.trace.attach(observer);
+    }
+
+    fn select_job(
+        &mut self,
+        query: &dyn ClusterQuery,
+        machine: MachineId,
+        kind: SlotKind,
+    ) -> Option<JobId> {
+        self.decide(query, machine, kind, false).0
+    }
+
+    fn select_job_traced(
+        &mut self,
+        query: &dyn ClusterQuery,
+        machine: MachineId,
+        kind: SlotKind,
+    ) -> (Option<JobId>, Vec<DecisionCandidate>) {
+        self.decide(query, machine, kind, true)
     }
 
     fn on_job_submitted(&mut self, query: &dyn ClusterQuery, job: &JobSpec) {

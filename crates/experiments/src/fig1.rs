@@ -7,7 +7,8 @@
 
 use cluster::{profiles, Fleet, SlotKind};
 use hadoop_sim::single_node::{run as single_run, SingleNodeConfig};
-use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig};
+use hadoop_sim::trace::{Observer, SharedObserver};
+use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig, TaskReport};
 use metrics::report::{render_series, Table};
 use simcore::{SimDuration, SimTime};
 use workload::{Benchmark, BenchmarkKind, JobId, JobSpec};
@@ -140,6 +141,34 @@ pub fn fig1c(fast: bool) -> String {
     s
 }
 
+/// Streaming fold of completed-task reports into per-phase second totals —
+/// only the three aggregates survive, never the reports themselves.
+///
+/// Hadoop's "shuffle" phase covers both the network fetch and the
+/// fetch-side disk I/O (merge spills); `io_share` attributes the reduce's
+/// I/O share accordingly, leaving the compute share as "reduce".
+#[derive(Debug)]
+struct PhaseSeconds {
+    io_share: f64,
+    map_secs: f64,
+    shuffle_secs: f64,
+    reduce_secs: f64,
+}
+
+impl Observer<TaskReport> for PhaseSeconds {
+    fn on_event(&mut self, _at: SimTime, rep: &TaskReport) {
+        let dur = rep.execution_time().as_secs_f64();
+        match rep.kind {
+            SlotKind::Map => self.map_secs += dur,
+            SlotKind::Reduce => {
+                let service = dur - rep.shuffle_secs;
+                self.shuffle_secs += rep.shuffle_secs + service * self.io_share;
+                self.reduce_secs += service * (1.0 - self.io_share);
+            }
+        }
+    }
+}
+
 /// Fig. 1(d): normalized map/shuffle/reduce completion-time breakdown per
 /// benchmark, from full job runs on a homogeneous Xeon sub-cluster.
 pub fn fig1d(fast: bool) -> String {
@@ -155,7 +184,6 @@ pub fn fig1d(fast: bool) -> String {
             .unwrap();
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
-            record_reports: true,
             ..EngineConfig::default()
         };
         let mut engine = Engine::new(fleet, cfg, 17);
@@ -166,31 +194,28 @@ pub fn fig1d(fast: bool) -> String {
             maps / 4,
             SimTime::ZERO,
         )]);
-        let r = engine.run(&mut GreedyScheduler::new());
-        // Hadoop's "shuffle" phase covers both the network fetch and the
-        // fetch-side disk I/O (merge spills); attribute the reduce's I/O
-        // share accordingly, leaving the compute share as "reduce".
         let bench = Benchmark::of(kind);
-        let io_share =
-            bench.reduce_io_per_mb() / (bench.reduce_io_per_mb() + bench.reduce_cpu_per_mb());
-        let mut map_secs = 0.0;
-        let mut shuffle_secs = 0.0;
-        let mut reduce_secs = 0.0;
-        for rep in &r.reports {
-            let dur = rep.execution_time().as_secs_f64();
-            match rep.kind {
-                SlotKind::Map => map_secs += dur,
-                SlotKind::Reduce => {
-                    let service = dur - rep.shuffle_secs;
-                    shuffle_secs += rep.shuffle_secs + service * io_share;
-                    reduce_secs += service * (1.0 - io_share);
-                }
-            }
-        }
-        let total = (map_secs + shuffle_secs + reduce_secs).max(1e-9);
+        let phases = SharedObserver::new(PhaseSeconds {
+            io_share: bench.reduce_io_per_mb()
+                / (bench.reduce_io_per_mb() + bench.reduce_cpu_per_mb()),
+            map_secs: 0.0,
+            shuffle_secs: 0.0,
+            reduce_secs: 0.0,
+        });
+        engine.attach_report_observer(Box::new(phases.clone()));
+        engine.run(&mut GreedyScheduler::new());
+        drop(engine); // release the engine's clone of the observer
+        let p = phases
+            .try_into_inner()
+            .expect("report observer released after run");
+        let total = (p.map_secs + p.shuffle_secs + p.reduce_secs).max(1e-9);
         t.num_row(
             kind.as_str(),
-            &[map_secs / total, shuffle_secs / total, reduce_secs / total],
+            &[
+                p.map_secs / total,
+                p.shuffle_secs / total,
+                p.reduce_secs / total,
+            ],
             3,
         );
     }

@@ -11,7 +11,8 @@
 
 use cluster::{Fleet, MachineProfile};
 use eant::EnergyModel;
-use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig};
+use hadoop_sim::trace::{SharedObserver, VecRecorder};
+use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig, TaskReport};
 use metrics::report::Table;
 use simcore::stats::nrmse_mean;
 use simcore::{SimDuration, SimTime};
@@ -34,11 +35,15 @@ fn measure(profile: MachineProfile, kind: BenchmarkKind, maps: u32, seed: u64) -
     let fleet = Fleet::builder().add(profile.clone(), 1).build().unwrap();
     let cfg = EngineConfig {
         noise: NoiseConfig::paper_default(),
-        record_reports: true,
         control_interval: SimDuration::from_secs(60),
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(fleet, cfg, seed);
+    // The interval proration below genuinely needs every report against
+    // the post-run interval bounds, so buffer them off the report channel
+    // rather than flipping the engine-wide `record_reports` switch.
+    let reports = SharedObserver::new(VecRecorder::<TaskReport>::new());
+    engine.attach_report_observer(Box::new(reports.clone()));
     // Staggered map-only waves of the same application keep the machine
     // loaded end to end.
     engine.submit_jobs(
@@ -55,9 +60,17 @@ fn measure(profile: MachineProfile, kind: BenchmarkKind, maps: u32, seed: u64) -
             .collect(),
     );
     let result = engine.run(&mut GreedyScheduler::new());
+    drop(engine); // release the engine's clone of the report recorder
+    let reports: Vec<TaskReport> = reports
+        .try_into_inner()
+        .expect("report recorder released after run")
+        .into_events()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
 
     let model = EnergyModel::from_profile(&profile);
-    let estimated: f64 = result.reports.iter().map(|r| model.estimate(r)).sum();
+    let estimated: f64 = reports.iter().map(|r| model.estimate(r)).sum();
     let recorded = result.total_energy_joules();
 
     // Per-interval samples: metered interval energy vs estimated interval
@@ -68,7 +81,7 @@ fn measure(profile: MachineProfile, kind: BenchmarkKind, maps: u32, seed: u64) -
     let mut bounds = Vec::with_capacity(n + 1);
     bounds.push(SimTime::ZERO);
     bounds.extend(result.intervals.iter().map(|s| s.at));
-    for r in &result.reports {
+    for r in &reports {
         let total = r.execution_time().as_secs_f64().max(1e-9);
         let e = model.estimate(r);
         for i in 0..n {

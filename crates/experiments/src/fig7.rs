@@ -6,11 +6,40 @@
 
 use cluster::{profiles, Fleet};
 use eant::EnergyModel;
-use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig};
+use hadoop_sim::trace::{Observer, SharedObserver};
+use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig, TaskReport};
 use metrics::report::Table;
 use simcore::stats::OnlineStats;
 use simcore::SimTime;
 use workload::{Benchmark, JobId, JobSpec};
+
+/// How many per-task sample rows the Fig. 7 table prints.
+const SAMPLE_ROWS: usize = 30;
+
+/// Streaming fold over completed-task reports: Eq. 2 estimate statistics,
+/// the straggler count, and only the first [`SAMPLE_ROWS`] rows for the
+/// table — the report stream itself is never buffered.
+#[derive(Debug)]
+struct EstimateScatter {
+    model: EnergyModel,
+    stats: OnlineStats,
+    stragglers: usize,
+    samples: Vec<(u32, f64, bool)>,
+}
+
+impl Observer<TaskReport> for EstimateScatter {
+    fn on_event(&mut self, _at: SimTime, r: &TaskReport) {
+        let estimate_kj = self.model.estimate(r) / 1000.0;
+        self.stats.push(estimate_kj);
+        if r.straggled {
+            self.stragglers += 1;
+        }
+        if self.samples.len() < SAMPLE_ROWS {
+            self.samples
+                .push((r.task.task.index, estimate_kj, r.straggled));
+        }
+    }
+}
 
 /// Runs the noise-scatter experiment.
 pub fn run(fast: bool) -> String {
@@ -19,7 +48,6 @@ pub fn run(fast: bool) -> String {
     let fleet = Fleet::builder().add(profile.clone(), 1).build().unwrap();
     let cfg = EngineConfig {
         noise: NoiseConfig::paper_default(),
-        record_reports: true,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(fleet, cfg, 33);
@@ -30,26 +58,24 @@ pub fn run(fast: bool) -> String {
         maps / 10,
         SimTime::ZERO,
     )]);
-    let result = engine.run(&mut GreedyScheduler::new());
-
-    let model = EnergyModel::from_profile(&profile);
-    let estimates: Vec<(u32, f64, bool)> = result
-        .reports
-        .iter()
-        .map(|r| (r.task.task.index, model.estimate(r) / 1000.0, r.straggled))
-        .collect();
-
-    let mut stats = OnlineStats::new();
-    for &(_, e, _) in &estimates {
-        stats.push(e);
-    }
-    let stragglers = estimates.iter().filter(|&&(_, _, s)| s).count();
+    let scatter = SharedObserver::new(EstimateScatter {
+        model: EnergyModel::from_profile(&profile),
+        stats: OnlineStats::new(),
+        stragglers: 0,
+        samples: Vec::new(),
+    });
+    engine.attach_report_observer(Box::new(scatter.clone()));
+    engine.run(&mut GreedyScheduler::new());
+    drop(engine); // release the engine's clone of the observer
+    let scatter = scatter
+        .try_into_inner()
+        .expect("report observer released after run");
 
     let mut t = Table::new(
         "Fig. 7 — per-task energy estimates under system noise (Wordcount on T420)",
         &["task id", "estimated energy (kJ)", "straggler"],
     );
-    for &(id, e, straggled) in estimates.iter().take(30) {
+    for &(id, e, straggled) in &scatter.samples {
         t.row(&[
             id.to_string(),
             format!("{e:.3}"),
@@ -59,12 +85,12 @@ pub fn run(fast: bool) -> String {
     let mut out = t.render();
     out.push_str(&format!(
         "tasks: {}  mean: {:.3} kJ  std: {:.3} kJ  min: {:.3}  max: {:.3}  stragglers: {}\n",
-        stats.count(),
-        stats.mean(),
-        stats.std_dev(),
-        stats.min().unwrap_or(0.0),
-        stats.max().unwrap_or(0.0),
-        stragglers,
+        scatter.stats.count(),
+        scatter.stats.mean(),
+        scatter.stats.std_dev(),
+        scatter.stats.min().unwrap_or(0.0),
+        scatter.stats.max().unwrap_or(0.0),
+        scatter.stragglers,
     ));
     out
 }

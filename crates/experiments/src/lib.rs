@@ -22,6 +22,8 @@
 //! | [`extensions`] | §VIII future-work: E-Ant + idle power-down |
 //! | [`faults`] | fault-injection sweep: scheduler degradation under crashes/retries |
 //! | [`timeline`] | cluster load over time (saturation diagnostic) + `--trace`/`--replay` |
+//! | [`tracediff`] | `trace-diff`: first divergence + per-type deltas between two traces |
+//! | [`watch`] | `watch`: text dashboard replayed from a trace file |
 
 #![warn(missing_docs)]
 
@@ -41,6 +43,8 @@ pub mod fig8;
 pub mod fig9;
 pub mod tables;
 pub mod timeline;
+pub mod tracediff;
+pub mod watch;
 
 /// All experiment ids: the paper's tables/figures in paper order, then the
 /// repository's own ablation and extension studies.

@@ -1,18 +1,117 @@
 //! Command-line entry point: regenerate any (or every) table/figure, write
-//! a JSONL event trace, or validate one by replay.
+//! a JSONL event trace, validate one by replay, diff two traces, or watch
+//! one as a text dashboard.
 //!
 //! ```text
 //! experiments <id>|all [--fast]
-//! experiments --trace <path> [--fast]     # traced E-Ant run → JSONL
-//! experiments --replay <path>             # validate a JSONL trace
+//! experiments --trace <path> [--fast] [--seed <n>] [--decisions]
+//!                                          # traced E-Ant run → JSONL
+//! experiments --replay <path>              # validate a JSONL trace
+//! experiments trace-diff <a> <b> [--kind <type>]
+//!                                          # first divergence + deltas
+//! experiments watch <path> [--every <secs>]
+//!                                          # text dashboard from a trace
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use experiments::timeline::TraceOptions;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <id>|all [--fast]\n\
+         \x20      experiments --trace <path> [--fast] [--seed <n>] [--decisions]\n\
+         \x20      experiments --replay <path>\n\
+         \x20      experiments trace-diff <a.jsonl> <b.jsonl> [--kind <type>]\n\
+         \x20      experiments watch <trace.jsonl> [--every <secs>]"
+    );
+    eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(", "));
+    ExitCode::FAILURE
+}
+
+fn fail(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    ExitCode::FAILURE
+}
+
+/// `experiments trace-diff <a> <b> [--kind <type>]`
+fn cmd_trace_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut kind: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--kind" => {
+                let Some(k) = iter.next() else {
+                    return fail("--kind needs an event type");
+                };
+                kind = Some(k.clone());
+            }
+            other if other.starts_with("--") => {
+                return fail(&format!("unknown trace-diff flag {other}"));
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.len() != 2 {
+        return fail("trace-diff needs exactly two trace paths");
+    }
+    match experiments::tracediff::run(&paths[0], &paths[1], kind.as_deref()) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => fail(&err),
+    }
+}
+
+/// `experiments watch <trace> [--every <secs>]`
+fn cmd_watch(args: &[String]) -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut every = 0.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--every" => {
+                let Some(v) = iter.next() else {
+                    return fail("--every needs a number of seconds");
+                };
+                match v.parse::<f64>() {
+                    Ok(secs) if secs > 0.0 => every = secs,
+                    _ => return fail(&format!("--every: invalid seconds value '{v}'")),
+                }
+            }
+            other if other.starts_with("--") => {
+                return fail(&format!("unknown watch flag {other}"));
+            }
+            other if path.is_none() => path = Some(PathBuf::from(other)),
+            _ => return fail("watch takes exactly one trace path"),
+        }
+    }
+    let Some(path) = path else {
+        return fail("watch needs a trace path");
+    };
+    match experiments::watch::run(&path, every) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => fail(&err),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trace-diff") => return cmd_trace_diff(&args[1..]),
+        Some("watch") => return cmd_watch(&args[1..]),
+        _ => {}
+    }
+
     let mut fast = false;
+    let mut decisions = false;
+    let mut seed = 2015u64;
     let mut trace: Option<PathBuf> = None;
     let mut replay: Option<PathBuf> = None;
     let mut ids: Vec<&str> = Vec::new();
@@ -20,10 +119,19 @@ fn main() -> ExitCode {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--fast" => fast = true,
+            "--decisions" => decisions = true,
+            "--seed" => {
+                let Some(v) = iter.next() else {
+                    return fail("--seed needs a number");
+                };
+                match v.parse::<u64>() {
+                    Ok(s) => seed = s,
+                    Err(_) => return fail(&format!("--seed: invalid seed '{v}'")),
+                }
+            }
             "--trace" | "--replay" => {
                 let Some(path) = iter.next() else {
-                    eprintln!("error: {arg} needs a file path");
-                    return ExitCode::FAILURE;
+                    return fail(&format!("{arg} needs a file path"));
                 };
                 if arg == "--trace" {
                     trace = Some(PathBuf::from(path));
@@ -32,35 +140,34 @@ fn main() -> ExitCode {
                 }
             }
             other if other.starts_with("--") => {
-                eprintln!("error: unknown flag {other}");
-                return ExitCode::FAILURE;
+                return fail(&format!("unknown flag {other}"));
             }
             other => ids.push(other),
         }
     }
 
     if ids.is_empty() && trace.is_none() && replay.is_none() {
-        eprintln!("usage: experiments <id>|all [--fast] [--trace <path>] [--replay <path>]");
-        eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(", "));
-        return ExitCode::FAILURE;
+        return usage();
+    }
+    if (decisions || seed != 2015) && trace.is_none() {
+        return fail("--seed/--decisions only apply to --trace");
     }
 
     if let Some(path) = replay {
         match experiments::timeline::replay(&path) {
             Ok(report) => println!("{report}"),
-            Err(err) => {
-                eprintln!("error: {err}");
-                return ExitCode::FAILURE;
-            }
+            Err(err) => return fail(&err),
         }
     }
     if let Some(path) = trace {
-        match experiments::timeline::write_trace(fast, &path) {
+        let opts = TraceOptions {
+            fast,
+            seed,
+            decisions,
+        };
+        match experiments::timeline::write_trace_with(opts, &path) {
             Ok(report) => println!("{report}"),
-            Err(err) => {
-                eprintln!("error: {err}");
-                return ExitCode::FAILURE;
-            }
+            Err(err) => return fail(&err),
         }
     }
 
@@ -78,10 +185,7 @@ fn main() -> ExitCode {
     for id in selected {
         match experiments::run_experiment(id, fast) {
             Ok(report) => println!("{report}"),
-            Err(err) => {
-                eprintln!("error: {err}");
-                return ExitCode::FAILURE;
-            }
+            Err(err) => return fail(&err),
         }
     }
     ExitCode::SUCCESS

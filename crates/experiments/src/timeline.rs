@@ -10,16 +10,17 @@
 //! and the cluster runs slot-saturated for most of the run (see
 //! EXPERIMENTS.md).
 
-use std::io::{BufRead, BufWriter};
-use std::path::Path;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
 
-use cluster::Fleet;
+use cluster::{Fleet, SlotKind};
 use eant::EAntConfig;
 use hadoop_sim::trace::{Observer, SharedObserver};
 use hadoop_sim::{FaultConfig, PowerState, RunResult, SimEvent};
 use metrics::observers::StreamingRunStats;
+use metrics::registry::RegistryObserver;
 use metrics::report::Table;
-use metrics::trace::{parse_trace_line, JsonlTraceSink};
+use metrics::trace::{read_trace_lines, JsonlTraceSink};
 use simcore::SimTime;
 
 use crate::common::{Scenario, SchedulerKind};
@@ -245,35 +246,89 @@ pub fn run(fast: bool) -> String {
     out
 }
 
+/// Options for [`write_trace_with`]: which run to trace and how much to
+/// record.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOptions {
+    /// Fast (CI) vs paper-scale workload.
+    pub fast: bool,
+    /// Root seed for workload generation and the engine.
+    pub seed: u64,
+    /// Emit per-placement `assignment_decision` events (the Eq. 8
+    /// breakdown) alongside the lifecycle stream.
+    pub decisions: bool,
+}
+
+impl TraceOptions {
+    /// The historical `--trace` configuration: seed 2015, decisions off.
+    pub fn new(fast: bool) -> Self {
+        TraceOptions {
+            fast,
+            seed: 2015,
+            decisions: false,
+        }
+    }
+}
+
+/// Path of the registry snapshot written next to a trace: the trace path
+/// with `.registry.json` appended.
+pub fn registry_snapshot_path(trace_path: &Path) -> PathBuf {
+    let mut name = trace_path.as_os_str().to_owned();
+    name.push(".registry.json");
+    PathBuf::from(name)
+}
+
 /// Runs the E-Ant scenario with a JSONL trace sink attached to both the
 /// engine and the scheduler streams, writing one canonical line per event
 /// to `path`. The streamed aggregates are verified against the post-hoc
-/// result before returning.
-///
-/// The run injects [`FaultConfig::moderate`] faults so the trace exercises
-/// the full event vocabulary — crashes, retries, lost map outputs — and
-/// replay validates the failure-aware aggregate folds, not just the happy
-/// path.
+/// result before returning. Equivalent to [`write_trace_with`] at
+/// [`TraceOptions::new`].
 ///
 /// # Errors
 ///
 /// Returns an error for I/O failures or a streaming/post-hoc mismatch.
 pub fn write_trace(fast: bool, path: &Path) -> Result<String, String> {
-    let mut scenario = Scenario::sized(fast, 2015);
+    write_trace_with(TraceOptions::new(fast), path)
+}
+
+/// Runs the E-Ant scenario per `opts` with a JSONL trace sink attached to
+/// both the engine and the scheduler streams, writing one canonical line
+/// per event to `path`, and a [`metrics::registry`] snapshot (counters,
+/// gauges, histograms folded from the same stream) next to it at
+/// [`registry_snapshot_path`]. The streamed aggregates are verified against
+/// the post-hoc result before returning.
+///
+/// The run injects [`FaultConfig::moderate`] faults so the trace exercises
+/// the full event vocabulary — crashes, retries, lost map outputs — and
+/// replay validates the failure-aware aggregate folds, not just the happy
+/// path. With `opts.decisions` the trace additionally carries one
+/// `assignment_decision` line per placement (candidate set, τ/η split,
+/// Eq. 8 probability).
+///
+/// # Errors
+///
+/// Returns an error for I/O failures or a streaming/post-hoc mismatch.
+pub fn write_trace_with(opts: TraceOptions, path: &Path) -> Result<String, String> {
+    let mut scenario = Scenario::sized(opts.fast, opts.seed);
     scenario.engine.fault = FaultConfig::moderate();
+    scenario.engine.trace_decisions = opts.decisions;
     let fleet = Fleet::paper_evaluation();
     let file = std::fs::File::create(path)
         .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
     let sink = SharedObserver::new(JsonlTraceSink::new(BufWriter::new(file)));
     let stats = SharedObserver::new(StreamingRunStats::new(fleet.len()));
+    let registry = SharedObserver::new(RegistryObserver::new());
 
     let kind = SchedulerKind::EAnt(EAntConfig::paper_default());
     let sink_handle = sink.clone();
     let stats_handle = stats.clone();
+    let registry_handle = registry.clone();
     let result = scenario.run_observed(&kind, move |engine, scheduler| {
         engine.attach_observer(Box::new(sink_handle.clone()));
         engine.attach_observer(Box::new(stats_handle));
+        engine.attach_observer(Box::new(registry_handle.clone()));
         scheduler.attach_observer(Box::new(sink_handle));
+        scheduler.attach_observer(Box::new(registry_handle));
     });
 
     stats
@@ -285,14 +340,22 @@ pub fn write_trace(fast: bool, path: &Path) -> Result<String, String> {
         .finish()
         .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
 
+    let snapshot_path = registry_snapshot_path(path);
+    let snapshot = registry.with(|r| r.registry().snapshot().render());
+    std::fs::write(&snapshot_path, snapshot.as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", snapshot_path.display()))?;
+
     Ok(format!(
-        "wrote {} trace events to {} (E-Ant, seed 2015, moderate faults, \
-         makespan {:.0} s, {:.3} MJ; streaming aggregates verified against \
-         RunResult)",
+        "wrote {} trace events to {} (E-Ant, seed {}, moderate faults, \
+         decision tracing {}, makespan {:.0} s, {:.3} MJ; streaming \
+         aggregates verified against RunResult; registry snapshot at {})",
         lines,
         path.display(),
+        opts.seed,
+        if opts.decisions { "on" } else { "off" },
         result.makespan.as_secs_f64(),
         result.total_energy_joules() / 1e6,
+        snapshot_path.display(),
     ))
 }
 
@@ -306,17 +369,13 @@ pub fn write_trace(fast: bool, path: &Path) -> Result<String, String> {
 pub fn replay(path: &Path) -> Result<String, String> {
     let file =
         std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
-    let mut events = Vec::new();
+    let parsed = read_trace_lines(std::io::BufReader::new(file))?;
+    let mut events = Vec::with_capacity(parsed.len());
     let mut last_at = SimTime::ZERO;
     let mut num_machines = 0usize;
-    for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
-        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
-        if line.is_empty() {
-            continue;
-        }
-        let (at, event) = parse_trace_line(&line).map_err(|e| format!("line {}: {e}", i + 1))?;
+    for (n, at, event) in parsed {
         if at < last_at {
-            return Err(format!("line {}: timestamp moved backwards", i + 1));
+            return Err(format!("line {n}: timestamp moved backwards"));
         }
         last_at = at;
         if let SimEvent::TaskStarted { machine, .. }
@@ -329,7 +388,8 @@ pub fn replay(path: &Path) -> Result<String, String> {
         | SimEvent::MachineFailed { machine, .. }
         | SimEvent::MachineRecovered { machine, .. }
         | SimEvent::MapOutputLost { machine, .. }
-        | SimEvent::MachineBlacklisted { machine, .. } = &event
+        | SimEvent::MachineBlacklisted { machine, .. }
+        | SimEvent::AssignmentDecision { machine, .. } = &event
         {
             num_machines = num_machines.max(machine.index() + 1);
         }
@@ -370,7 +430,7 @@ pub fn replay(path: &Path) -> Result<String, String> {
     if stats.energy_series().last_value().map(f64::to_bits) != Some(total_energy_joules.to_bits()) {
         return Err("replayed energy series does not end at the footer total".to_owned());
     }
-    Ok(format!(
+    let mut out = format!(
         "replayed {} events from {}: {} machines, {} tasks, makespan {:.0} s, \
          {:.3} MJ, drained={} — aggregates match the run_finished footer",
         events.len(),
@@ -380,7 +440,71 @@ pub fn replay(path: &Path) -> Result<String, String> {
         at.as_secs_f64(),
         total_energy_joules / 1e6,
         drained,
-    ))
+    );
+    let breakdown = decision_breakdown(&events, SlotKind::Reduce, 3);
+    if !breakdown.is_empty() {
+        out.push_str("\n\n");
+        out.push_str(&breakdown);
+    }
+    Ok(out)
+}
+
+/// Renders the Eq. 8 probability decomposition of the last `last_n`
+/// assignment decisions of the given slot `kind` — for reduce slots, the
+/// reduce tail: the placements that decide where the final waves land and
+/// therefore when the run ends. Empty when the trace carries no decision
+/// events (decision tracing was off).
+pub fn decision_breakdown(events: &[(SimTime, SimEvent)], kind: SlotKind, last_n: usize) -> String {
+    let decisions: Vec<_> = events
+        .iter()
+        .filter_map(|(at, e)| match e {
+            SimEvent::AssignmentDecision {
+                machine,
+                kind: k,
+                chosen,
+                candidates,
+            } if *k == kind => Some((*at, *machine, *chosen, candidates)),
+            _ => None,
+        })
+        .collect();
+    if decisions.is_empty() {
+        return String::new();
+    }
+    let tag = match kind {
+        SlotKind::Map => "map",
+        SlotKind::Reduce => "reduce",
+    };
+    let shown = decisions.len().min(last_n);
+    let mut out = format!(
+        "Eq. 8 decision breakdown — last {shown} of {} {tag} placements \
+         (tau x eta -> draw probability):\n",
+        decisions.len()
+    );
+    let fmt_opt = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.4}"),
+        None => "-".to_owned(),
+    };
+    for (at, machine, chosen, candidates) in decisions.iter().rev().take(last_n).rev() {
+        out.push_str(&format!(
+            "  t={:.1} s  machine {:>2} <- job {}\n",
+            at.as_secs_f64(),
+            machine.index(),
+            chosen.index(),
+        ));
+        for c in candidates.iter() {
+            out.push_str(&format!(
+                "    job {:>3}{}  tau={}  eta_fair={}  eta_local={}  p={:.4}{}\n",
+                c.job.index(),
+                if c.local { " (local)" } else { "        " },
+                fmt_opt(c.tau),
+                fmt_opt(c.eta_fairness),
+                fmt_opt(c.eta_locality),
+                c.probability,
+                if c.job == *chosen { "  <- chosen" } else { "" },
+            ));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,304 @@
+//! `experiments watch`: fold a JSONL trace into a periodically-refreshed
+//! text dashboard — per-machine slot occupancy, power/fault state, queue
+//! depth and fleet energy rate.
+//!
+//! The consumer is a pure fold over the typed event stream: the same code
+//! could sit on a live engine observer, but driving it from a trace file
+//! keeps the renderer deterministic and testable (and a simulated hour
+//! replays in milliseconds anyway).
+
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::path::Path;
+
+use cluster::SlotKind;
+use hadoop_sim::{PowerState, SimEvent};
+use metrics::trace::read_trace_lines;
+use simcore::SimTime;
+
+/// Machine availability as seen from the fault events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Up,
+    Dead,
+    Blacklisted,
+}
+
+/// Per-machine dashboard row state.
+#[derive(Debug, Clone)]
+struct MachineRow {
+    used_map: u32,
+    cap_map: u32,
+    used_reduce: u32,
+    cap_reduce: u32,
+    power: PowerState,
+    health: Health,
+}
+
+impl MachineRow {
+    fn new() -> Self {
+        MachineRow {
+            used_map: 0,
+            cap_map: 0,
+            used_reduce: 0,
+            cap_reduce: 0,
+            power: PowerState::Nominal,
+            health: Health::Up,
+        }
+    }
+}
+
+/// The dashboard fold: cluster state reconstructed from the event stream.
+///
+/// Per-machine energy is not part of the event vocabulary (the trace
+/// carries only the fleet-cumulative meter on `control_interval_fired`),
+/// so the energy panel shows the *fleet* rate — the derivative of that
+/// meter across the last control interval.
+#[derive(Debug)]
+pub struct Dashboard {
+    machines: Vec<MachineRow>,
+    active_jobs: u64,
+    pending: u64,
+    /// (at, joules) of the last two control-interval meter readings.
+    energy_marks: [(SimTime, f64); 2],
+}
+
+impl Dashboard {
+    /// Creates an empty dashboard for `num_machines` machines.
+    pub fn new(num_machines: usize) -> Self {
+        Dashboard {
+            machines: vec![MachineRow::new(); num_machines],
+            active_jobs: 0,
+            pending: 0,
+            energy_marks: [(SimTime::ZERO, 0.0); 2],
+        }
+    }
+
+    /// Folds one event into the dashboard state.
+    pub fn apply(&mut self, at: SimTime, event: &SimEvent) {
+        match event {
+            SimEvent::JobSubmitted { .. } => self.active_jobs += 1,
+            SimEvent::JobCompleted { .. } => {
+                self.active_jobs = self.active_jobs.saturating_sub(1);
+            }
+            SimEvent::SlotOccupancyChanged {
+                machine,
+                kind,
+                occupied,
+                capacity,
+            } => {
+                if let Some(row) = self.machines.get_mut(machine.index()) {
+                    match kind {
+                        SlotKind::Map => {
+                            row.used_map = *occupied;
+                            row.cap_map = *capacity;
+                        }
+                        SlotKind::Reduce => {
+                            row.used_reduce = *occupied;
+                            row.cap_reduce = *capacity;
+                        }
+                    }
+                }
+            }
+            SimEvent::PowerStateChanged { machine, state } => {
+                if let Some(row) = self.machines.get_mut(machine.index()) {
+                    row.power = *state;
+                }
+            }
+            SimEvent::HeartbeatDrained { pending_total, .. } => self.pending = *pending_total,
+            SimEvent::ControlIntervalFired {
+                cumulative_energy_joules,
+                ..
+            } => {
+                self.energy_marks[0] = self.energy_marks[1];
+                self.energy_marks[1] = (at, *cumulative_energy_joules);
+            }
+            SimEvent::MachineFailed { machine, .. } => {
+                if let Some(row) = self.machines.get_mut(machine.index()) {
+                    row.health = Health::Dead;
+                    row.used_map = 0;
+                    row.used_reduce = 0;
+                }
+            }
+            SimEvent::MachineRecovered { machine } => {
+                if let Some(row) = self.machines.get_mut(machine.index()) {
+                    row.health = Health::Up;
+                }
+            }
+            SimEvent::MachineBlacklisted { machine, .. } => {
+                if let Some(row) = self.machines.get_mut(machine.index()) {
+                    row.health = Health::Blacklisted;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Fleet power draw over the last completed control interval, in watts.
+    pub fn energy_rate_watts(&self) -> f64 {
+        let [(t0, e0), (t1, e1)] = self.energy_marks;
+        let dt = (t1 - t0).as_secs_f64();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        (e1 - e0) / dt
+    }
+
+    /// Renders one dashboard frame at simulated time `at`.
+    pub fn render(&self, at: SimTime) -> String {
+        let busy_map: u32 = self.machines.iter().map(|m| m.used_map).sum();
+        let cap_map: u32 = self.machines.iter().map(|m| m.cap_map).sum();
+        let busy_reduce: u32 = self.machines.iter().map(|m| m.used_reduce).sum();
+        let cap_reduce: u32 = self.machines.iter().map(|m| m.cap_reduce).sum();
+        let mut out = format!(
+            "== t={:>7.1} s | jobs {:>3} | queue {:>5} | maps {:>3}/{:<3} | \
+             reduces {:>2}/{:<2} | fleet {:>6.0} W ==\n",
+            at.as_secs_f64(),
+            self.active_jobs,
+            self.pending,
+            busy_map,
+            cap_map,
+            busy_reduce,
+            cap_reduce,
+            self.energy_rate_watts(),
+        );
+        for (i, row) in self.machines.iter().enumerate() {
+            let state = match (row.health, row.power) {
+                (Health::Dead, _) => "DEAD",
+                (Health::Blacklisted, _) => "BLACKLISTED",
+                (Health::Up, PowerState::Standby) => "standby",
+                (Health::Up, PowerState::Waking) => "waking",
+                (Health::Up, PowerState::Eco) => "eco",
+                (Health::Up, PowerState::Nominal) => "up",
+            };
+            out.push_str(&format!(
+                "  m{:02}  map {} {:>2}/{:<2}  red {} {:>2}/{:<2}  {}\n",
+                i,
+                bar(row.used_map, row.cap_map),
+                row.used_map,
+                row.cap_map,
+                bar(row.used_reduce, row.cap_reduce),
+                row.used_reduce,
+                row.cap_reduce,
+                state,
+            ));
+        }
+        out
+    }
+}
+
+/// Fixed-width occupancy bar, e.g. `[####----]`.
+fn bar(used: u32, capacity: u32) -> String {
+    const WIDTH: usize = 8;
+    let filled = if capacity == 0 {
+        0
+    } else {
+        (used as usize * WIDTH)
+            .div_ceil(capacity as usize)
+            .min(WIDTH)
+    };
+    format!("[{}{}]", "#".repeat(filled), "-".repeat(WIDTH - filled))
+}
+
+/// Replays the trace at `path` through a [`Dashboard`], emitting one frame
+/// every `every_secs` of simulated time plus a final frame and footer at
+/// the end of the run. With `every_secs <= 0` a sensible default of 12
+/// frames across the run is used.
+///
+/// # Errors
+///
+/// Returns I/O or parse errors (with line numbers) from the trace.
+pub fn run(path: &Path, every_secs: f64) -> Result<String, String> {
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let events =
+        read_trace_lines(BufReader::new(file)).map_err(|e| format!("{}: {e}", path.display()))?;
+    let Some((_, end, _)) = events.last() else {
+        return Err("trace is empty".to_owned());
+    };
+    let every = if every_secs > 0.0 {
+        every_secs
+    } else {
+        (end.as_secs_f64() / 12.0).max(1.0)
+    };
+
+    let num_machines = events
+        .iter()
+        .filter_map(|(_, _, e)| match e {
+            SimEvent::SlotOccupancyChanged { machine, .. }
+            | SimEvent::HeartbeatDrained { machine, .. }
+            | SimEvent::PowerStateChanged { machine, .. } => Some(machine.index() + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+
+    let mut dash = Dashboard::new(num_machines);
+    let mut out = format!(
+        "watching {} — {} events, {} machines, one frame per {:.0} s simulated\n\n",
+        path.display(),
+        events.len(),
+        num_machines,
+        every,
+    );
+    let mut next_frame = every;
+    let mut frames = 0usize;
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (_, at, event) in &events {
+        // Frame boundaries are crossed *before* applying the event, so each
+        // frame shows the state as of its timestamp, not one event later.
+        while at.as_secs_f64() >= next_frame {
+            out.push_str(&dash.render(SimTime::from_millis((next_frame * 1e3) as u64)));
+            out.push('\n');
+            frames += 1;
+            next_frame += every;
+        }
+        *kinds.entry(event.kind()).or_default() += 1;
+        dash.apply(*at, event);
+    }
+    out.push_str(&dash.render(*end));
+    frames += 1;
+    out.push_str(&format!(
+        "\n{} frames rendered; event mix: {}\n",
+        frames,
+        kinds
+            .iter()
+            .map(|(k, n)| format!("{k} x{n}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::write_trace;
+
+    #[test]
+    fn occupancy_bar_shapes() {
+        assert_eq!(bar(0, 8), "[--------]");
+        assert_eq!(bar(8, 8), "[########]");
+        assert_eq!(bar(1, 8), "[#-------]");
+        assert_eq!(bar(0, 0), "[--------]");
+    }
+
+    #[test]
+    fn dashboard_renders_frames_from_trace() {
+        let dir = std::env::temp_dir().join("eant-watch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("watch-{}.jsonl", std::process::id()));
+        write_trace(true, &path).unwrap();
+        let out = run(&path, 0.0).unwrap();
+        assert!(out.contains("frames rendered"), "{out}");
+        assert!(out.contains("m00"), "{out}");
+        assert!(out.contains("fleet"), "{out}");
+        // The moderate-fault trace kills at least one machine at some point.
+        assert!(
+            out.contains("DEAD") || out.contains("machine_failed"),
+            "{out}"
+        );
+        std::fs::remove_file(crate::timeline::registry_snapshot_path(&path)).ok();
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -357,8 +357,19 @@ pub struct EngineConfig {
     pub speculation_threshold: f64,
     /// Whether to retain every [`TaskReport`](crate::TaskReport) in the run
     /// result. Enable only for small runs (Fig. 4 / Fig. 7 experiments);
-    /// large MSD runs produce hundreds of thousands of reports.
+    /// large MSD runs produce hundreds of thousands of reports. Prefer
+    /// [`Engine::attach_report_observer`](crate::Engine::attach_report_observer)
+    /// when a streaming consumer suffices.
     pub record_reports: bool,
+    /// Whether to emit a [`SimEvent::AssignmentDecision`](crate::SimEvent)
+    /// at every task placement, carrying the scheduler's candidate set and
+    /// (for schedulers that explain themselves, like E-Ant) the pheromone /
+    /// heuristic / probability decomposition behind the choice. Off by
+    /// default: the engine then calls the plain
+    /// [`Scheduler::select_job`](crate::Scheduler::select_job) path and no
+    /// decision payload is ever constructed, so traces and run results are
+    /// byte-identical to a build without this feature.
+    pub trace_decisions: bool,
     /// Hard wall on simulated time; the run aborts (with whatever has
     /// completed) if the workload has not drained by then.
     pub max_sim_time: SimDuration,
@@ -413,6 +424,7 @@ impl Default for EngineConfig {
             dvfs: None,
             speculation_threshold: 1.5,
             record_reports: false,
+            trace_decisions: false,
             max_sim_time: SimDuration::from_mins(60 * 24 * 7),
         }
     }

@@ -39,9 +39,29 @@ impl Engine {
                 if !has_slot || !self.any_pending(kind) {
                     break;
                 }
-                let Some(job) = scheduler.select_job(&*self, machine, kind) else {
+                // The traced path asks the scheduler to explain itself; the
+                // plain path never constructs a decision payload. Both make
+                // the identical choice (select_job_traced contract).
+                let (job, candidates) = if self.config.trace_decisions {
+                    let (job, candidates) = scheduler.select_job_traced(&*self, machine, kind);
+                    (job, Some(candidates))
+                } else {
+                    (scheduler.select_job(&*self, machine, kind), None)
+                };
+                let Some(job) = job else {
                     break;
                 };
+                if let Some(candidates) = candidates {
+                    self.trace.notify(
+                        self.now,
+                        &SimEvent::AssignmentDecision {
+                            machine,
+                            kind,
+                            chosen: job,
+                            candidates,
+                        },
+                    );
+                }
                 if !self.start_task(job, machine, kind, queue) {
                     // Scheduler picked a job with nothing to run; treat as a
                     // decline to avoid livelock.
@@ -352,6 +372,7 @@ impl Engine {
 
         let report = self.build_report(&rt);
         scheduler.on_task_completed(&*self, &report);
+        self.report_trace.notify(self.now, &report);
         if self.config.record_reports {
             self.reports.push(report);
         }

@@ -154,6 +154,12 @@ pub struct Engine {
     /// [`ObserverSet::emit`]) before constructing an event, so an
     /// unobserved run pays one branch per seam and nothing else.
     trace: ObserverSet<SimEvent>,
+    /// Streaming consumers of completed-task reports. The report is built
+    /// for every winning attempt regardless (the scheduler callback needs
+    /// it), so notifying this set is free when empty — the
+    /// observer-pipeline alternative to buffering via
+    /// [`EngineConfig::record_reports`].
+    report_trace: ObserverSet<TaskReport>,
 }
 
 impl Engine {
@@ -214,6 +220,7 @@ impl Engine {
             reports: Vec::new(),
             total_tasks: 0,
             trace: ObserverSet::new(),
+            report_trace: ObserverSet::new(),
             fleet,
         }
     }
@@ -224,6 +231,16 @@ impl Engine {
     /// results (the determinism suite locks this in).
     pub fn attach_observer(&mut self, observer: Box<dyn Observer<SimEvent>>) {
         self.trace.attach(observer);
+    }
+
+    /// Attaches a streaming consumer of completed-task [`TaskReport`]s; it
+    /// sees each winning attempt's report at completion time, in
+    /// completion order — exactly the reports
+    /// [`EngineConfig::record_reports`] would buffer. Prefer this channel
+    /// when the consumer only folds or filters: the engine buffers nothing
+    /// on its behalf.
+    pub fn attach_report_observer(&mut self, observer: Box<dyn Observer<TaskReport>>) {
+        self.report_trace.attach(observer);
     }
 
     /// Registers jobs to be submitted at their `submit_at` times. Input

@@ -70,8 +70,8 @@ pub use engine::Engine;
 pub use job_state::JobPhase;
 pub use report::{TaskReport, UtilizationSample};
 pub use result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult};
-pub use scheduler::{ClusterQuery, GreedyScheduler, Scheduler};
-pub use trace::{PowerState, SimEvent};
+pub use scheduler::{generic_candidates, ClusterQuery, GreedyScheduler, Scheduler};
+pub use trace::{DecisionCandidate, PowerState, SimEvent};
 
 /// Internal key identifying a task within a job: (kind, index).
 pub(crate) type TaskIndexKey = (cluster::SlotKind, u32);

@@ -6,6 +6,7 @@ use cluster::hdfs::Locality;
 use cluster::{Fleet, MachineId, SlotKind};
 use workload::{JobId, JobSpec};
 
+use crate::trace::DecisionCandidate;
 use crate::{ClusterState, TaskReport};
 
 /// Read-only view of cluster state offered to schedulers at every decision
@@ -89,6 +90,27 @@ pub trait Scheduler {
         kind: SlotKind,
     ) -> Option<JobId>;
 
+    /// Like [`Scheduler::select_job`], but also reports the candidate set
+    /// the decision weighed — called by the engine *instead of*
+    /// `select_job` when [`crate::EngineConfig::trace_decisions`] is on, so
+    /// implementations must make the same choice (and consume the same RNG
+    /// draws) as `select_job` would.
+    ///
+    /// The default reconstructs the generic candidate set — active jobs
+    /// with pending work of `kind`, with map locality flagged — around a
+    /// plain `select_job` call, marking the chosen job with probability 1.
+    /// Schedulers that score candidates (E-Ant) override this to expose
+    /// their pheromone/heuristic/probability decomposition.
+    fn select_job_traced(
+        &mut self,
+        query: &dyn ClusterQuery,
+        machine: MachineId,
+        kind: SlotKind,
+    ) -> (Option<JobId>, Vec<DecisionCandidate>) {
+        let chosen = self.select_job(query, machine, kind);
+        (chosen, generic_candidates(query, machine, kind, chosen))
+    }
+
     /// Called when a job is submitted.
     fn on_job_submitted(&mut self, _query: &dyn ClusterQuery, _job: &JobSpec) {}
 
@@ -108,6 +130,34 @@ pub trait Scheduler {
     /// observer. To interleave scheduler events with the engine stream,
     /// attach clones of one [`crate::trace::SharedObserver`] to both.
     fn attach_observer(&mut self, _observer: Box<dyn crate::trace::Observer<crate::SimEvent>>) {}
+}
+
+/// The candidate set every scheduler shares: active jobs with pending work
+/// of `kind`, in scoreboard (id) order, with node-local map data flagged.
+/// The chosen job (if any) gets probability 1 and the rest 0 — the honest
+/// description of a deterministic pick. Used by the default
+/// [`Scheduler::select_job_traced`] and available to schedulers that
+/// override it but keep the generic set.
+pub fn generic_candidates(
+    query: &dyn ClusterQuery,
+    machine: MachineId,
+    kind: SlotKind,
+    chosen: Option<JobId>,
+) -> Vec<DecisionCandidate> {
+    query
+        .state()
+        .active()
+        .filter(|j| j.pending(kind) > 0)
+        .map(|j| DecisionCandidate {
+            job: j.id,
+            local: kind == SlotKind::Map
+                && query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal),
+            tau: None,
+            eta_fairness: None,
+            eta_locality: None,
+            probability: if chosen == Some(j.id) { 1.0 } else { 0.0 },
+        })
+        .collect()
 }
 
 /// A minimal reference scheduler: offers each slot to the first active job

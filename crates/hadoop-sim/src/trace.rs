@@ -22,6 +22,7 @@
 //! | [`SimEvent::MapOutputLost`] | fault layer | a dead machine's completed map is re-queued |
 //! | [`SimEvent::MachineRecovered`] | fault layer | a crashed TaskTracker rejoins |
 //! | [`SimEvent::MachineBlacklisted`] | fault layer | a machine exceeds the failure threshold |
+//! | [`SimEvent::AssignmentDecision`] | slot assignment | a scheduler decision, with its candidate set (opt-in) |
 //! | [`SimEvent::RunFinished`] | result assembly | the run drains or hits its time limit |
 //!
 //! Observers are passive (see [`simcore::trace::Observer`]): a run is
@@ -33,7 +34,40 @@
 use cluster::{MachineId, SlotKind};
 use workload::{JobId, TaskId};
 
-pub use simcore::trace::{Observer, ObserverSet, RingRecorder, SharedObserver};
+pub use simcore::trace::{Observer, ObserverSet, RingRecorder, SharedObserver, VecRecorder};
+
+/// One job the scheduler weighed while filling a slot, carried by
+/// [`SimEvent::AssignmentDecision`].
+///
+/// Every scheduler reports the candidate set (the active jobs with pending
+/// work of the slot's kind) and which candidate won. Schedulers that score
+/// candidates — E-Ant's Eq. 8 draw — additionally expose the decomposition:
+/// the per-machine pheromone τ (the Eq. 3 policy entry for the offering
+/// machine), the heuristic η split into its fairness (`fairness^β`) and
+/// locality-boost factors, and the final normalized selection probability
+/// `τ·η / Σ τ·η`. Deterministic schedulers leave the decomposition `None`
+/// and mark the chosen candidate with probability 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionCandidate {
+    /// The candidate job.
+    pub job: JobId,
+    /// Whether the job has node-local input data on the offering machine
+    /// (always `false` for reduce slots, where locality is moot).
+    pub local: bool,
+    /// Pheromone: the job's Eq. 3 policy probability for this machine.
+    pub tau: Option<f64>,
+    /// Heuristic, fairness component. Scheduler-specific semantics:
+    /// `fairness^β` from Eq. 7 for E-Ant; the normalized slot deficit for
+    /// the Fair baseline.
+    pub eta_fairness: Option<f64>,
+    /// Heuristic, locality component: the local-data boost factor (1 when
+    /// the job has no local split here).
+    pub eta_locality: Option<f64>,
+    /// Final selection probability of this candidate (Eq. 8). Sums to 1
+    /// over the candidate set for probabilistic schedulers; an indicator
+    /// of the chosen job for deterministic ones.
+    pub probability: f64,
+}
 
 /// Power/frequency state of one machine, carried by
 /// [`SimEvent::PowerStateChanged`].
@@ -203,6 +237,21 @@ pub enum SimEvent {
         /// Its task-failure count at the moment of blacklisting.
         failures: u32,
     },
+    /// The scheduler filled a slot: the full candidate set it weighed and
+    /// the decomposition behind the winning draw. Emitted immediately
+    /// before the matching [`SimEvent::TaskStarted`], and only when
+    /// [`EngineConfig::trace_decisions`](crate::EngineConfig) is on — the
+    /// payload is never constructed otherwise.
+    AssignmentDecision {
+        /// The machine whose slot was being filled.
+        machine: MachineId,
+        /// Which slot pool was offered.
+        kind: SlotKind,
+        /// The job that won the slot.
+        chosen: JobId,
+        /// Every candidate the scheduler weighed, in scheduler order.
+        candidates: Vec<DecisionCandidate>,
+    },
     /// The run ended: final aggregates for streaming consumers.
     RunFinished {
         /// Whether every job completed (vs hitting the time limit).
@@ -235,6 +284,7 @@ impl SimEvent {
             SimEvent::MapOutputLost { .. } => "map_output_lost",
             SimEvent::MachineRecovered { .. } => "machine_recovered",
             SimEvent::MachineBlacklisted { .. } => "machine_blacklisted",
+            SimEvent::AssignmentDecision { .. } => "assignment_decision",
             SimEvent::RunFinished { .. } => "run_finished",
         }
     }
@@ -278,6 +328,13 @@ mod tests {
             SimEvent::MachineBlacklisted {
                 machine: MachineId(0),
                 failures: 0,
+            }
+            .kind(),
+            SimEvent::AssignmentDecision {
+                machine: MachineId(0),
+                kind: SlotKind::Map,
+                chosen: JobId(0),
+                candidates: Vec::new(),
             }
             .kind(),
         ];

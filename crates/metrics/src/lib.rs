@@ -18,9 +18,14 @@
 //! * [`observers`] — streaming consumers of the typed event stream:
 //!   [`observers::StreamingRunStats`] reproduces the post-hoc aggregates
 //!   live, bit for bit.
+//! * [`registry`] — deterministic counters/gauges/histograms with interned
+//!   label sets; [`registry::RegistryObserver`] folds the event stream into
+//!   a canonical, byte-stable JSON snapshot.
 //! * [`trace`] — the canonical JSONL trace codec:
 //!   [`trace::JsonlTraceSink`] writes one line per event,
-//!   [`trace::parse_trace_line`] inverts it for replay validation.
+//!   [`trace::parse_trace_line`] inverts it for replay validation and
+//!   [`trace::read_trace_lines`] reads whole files with line-precise
+//!   errors.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -31,5 +36,6 @@ pub mod emit;
 pub mod energy;
 pub mod fairness;
 pub mod observers;
+pub mod registry;
 pub mod report;
 pub mod trace;

@@ -11,7 +11,7 @@ use std::io;
 
 use cluster::{MachineId, SlotKind};
 use hadoop_sim::trace::Observer;
-use hadoop_sim::{PowerState, SimEvent};
+use hadoop_sim::{DecisionCandidate, PowerState, SimEvent};
 use simcore::SimTime;
 use workload::{JobId, TaskId, TaskIndex};
 
@@ -139,6 +139,20 @@ impl ToJson for SimEvent {
                 ("machine", machine.to_json()),
                 ("failures", JsonValue::UInt(u64::from(*failures))),
             ]),
+            SimEvent::AssignmentDecision {
+                machine,
+                kind,
+                chosen,
+                candidates,
+            } => object([
+                ("machine", machine.to_json()),
+                ("kind", kind.to_json()),
+                ("chosen", chosen.to_json()),
+                (
+                    "candidates",
+                    JsonValue::Array(candidates.iter().map(candidate_json).collect()),
+                ),
+            ]),
             SimEvent::RunFinished {
                 drained,
                 total_energy_joules,
@@ -150,6 +164,23 @@ impl ToJson for SimEvent {
             ]),
         }
     }
+}
+
+fn candidate_json(c: &DecisionCandidate) -> JsonValue {
+    object([
+        ("job", c.job.to_json()),
+        ("local", JsonValue::Bool(c.local)),
+        ("tau", c.tau.map_or(JsonValue::Null, JsonValue::Num)),
+        (
+            "eta_fairness",
+            c.eta_fairness.map_or(JsonValue::Null, JsonValue::Num),
+        ),
+        (
+            "eta_locality",
+            c.eta_locality.map_or(JsonValue::Null, JsonValue::Num),
+        ),
+        ("probability", JsonValue::Num(c.probability)),
+    ])
 }
 
 /// Renders one canonical trace line (no trailing newline):
@@ -260,6 +291,12 @@ pub fn parse_trace_line(line: &str) -> Result<(SimTime, SimEvent), String> {
             machine: field_machine(&doc, "machine")?,
             failures: field_u32(&doc, "failures")?,
         },
+        "assignment_decision" => SimEvent::AssignmentDecision {
+            machine: field_machine(&doc, "machine")?,
+            kind: field_slot_kind(&doc, "kind")?,
+            chosen: field_job(&doc, "chosen")?,
+            candidates: field_candidates(&doc, "candidates")?,
+        },
         "run_finished" => SimEvent::RunFinished {
             drained: field_bool(&doc, "drained")?,
             total_energy_joules: field_f64(&doc, "total_energy_joules")?,
@@ -319,6 +356,37 @@ fn field_power_state(doc: &JsonValue, key: &str) -> Result<PowerState, String> {
         Some("waking") => Ok(PowerState::Waking),
         _ => Err(format!("missing or mistyped {key:?}")),
     }
+}
+
+fn field_opt_f64(doc: &JsonValue, key: &str) -> Result<Option<f64>, String> {
+    match doc.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("mistyped {key:?}")),
+    }
+}
+
+fn field_candidates(doc: &JsonValue, key: &str) -> Result<Vec<DecisionCandidate>, String> {
+    let Some(JsonValue::Array(items)) = doc.get(key) else {
+        return Err(format!("missing or mistyped {key:?}"));
+    };
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let ctx = |e: String| format!("candidate {i}: {e}");
+            Ok(DecisionCandidate {
+                job: field_job(item, "job").map_err(ctx)?,
+                local: field_bool(item, "local").map_err(ctx)?,
+                tau: field_opt_f64(item, "tau").map_err(ctx)?,
+                eta_fairness: field_opt_f64(item, "eta_fairness").map_err(ctx)?,
+                eta_locality: field_opt_f64(item, "eta_locality").map_err(ctx)?,
+                probability: field_f64(item, "probability").map_err(ctx)?,
+            })
+        })
+        .collect()
 }
 
 fn field_task(doc: &JsonValue, key: &str) -> Result<TaskId, String> {
@@ -394,6 +462,45 @@ impl<W: io::Write> Observer<SimEvent> for JsonlTraceSink<W> {
             Err(e) => self.error = Some(e),
         }
     }
+}
+
+/// Parses a whole JSONL trace, keeping each event's 1-based line number.
+/// Blank lines are skipped (a partially-flushed trace may end in one).
+///
+/// # Errors
+///
+/// Stops at the first bad line with a message carrying the line number and
+/// the offending snippet — `line 7: missing "type"; offending line: {...}` —
+/// so a malformed or truncated trace points straight at the damage instead
+/// of failing opaquely.
+pub fn read_trace_lines<R: io::BufRead>(
+    reader: R,
+) -> Result<Vec<(usize, SimTime, SimEvent)>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let n = idx + 1;
+        let line = line.map_err(|e| format!("line {n}: read error: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (at, event) = parse_trace_line(&line)
+            .map_err(|e| format!("line {n}: {e}; offending line: {}", snippet(&line)))?;
+        out.push((n, at, event));
+    }
+    Ok(out)
+}
+
+/// Truncates a line for error messages, respecting UTF-8 boundaries.
+fn snippet(line: &str) -> String {
+    const MAX: usize = 120;
+    if line.len() <= MAX {
+        return line.to_owned();
+    }
+    let mut end = MAX;
+    while !line.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}... [{} bytes total]", &line[..end], line.len())
 }
 
 #[cfg(test)]
@@ -482,6 +589,29 @@ mod tests {
                 machine: MachineId(5),
                 failures: 12,
             },
+            SimEvent::AssignmentDecision {
+                machine: MachineId(5),
+                kind: SlotKind::Reduce,
+                chosen: JobId(3),
+                candidates: vec![
+                    DecisionCandidate {
+                        job: JobId(3),
+                        local: false,
+                        tau: Some(0.25),
+                        eta_fairness: Some(1.5),
+                        eta_locality: Some(1.0),
+                        probability: 0.75,
+                    },
+                    DecisionCandidate {
+                        job: JobId(4),
+                        local: true,
+                        tau: None,
+                        eta_fairness: None,
+                        eta_locality: None,
+                        probability: 0.25,
+                    },
+                ],
+            },
             SimEvent::JobCompleted { job: JobId(3) },
             SimEvent::RunFinished {
                 drained: true,
@@ -519,10 +649,10 @@ mod tests {
         for (i, event) in sample_events().into_iter().enumerate() {
             sink.on_event(SimTime::from_secs(i as u64), &event);
         }
-        assert_eq!(sink.lines(), 18);
+        assert_eq!(sink.lines(), 19);
         let bytes = sink.finish().unwrap();
         let text = String::from_utf8(bytes).unwrap();
-        assert_eq!(text.lines().count(), 18);
+        assert_eq!(text.lines().count(), 19);
         for line in text.lines() {
             parse_trace_line(line).unwrap();
         }
@@ -555,8 +685,49 @@ mod tests {
             r#"{"at":1,"type":"no_such_event"}"#,
             r#"{"at":1,"type":"job_completed"}"#,
             r#"{"at":1,"type":"task_started","task":{"job":0,"kind":"walk","index":0},"machine":0,"speculative":false}"#,
+            r#"{"at":1,"type":"assignment_decision","machine":0,"kind":"map","chosen":0,"candidates":7}"#,
+            r#"{"at":1,"type":"assignment_decision","machine":0,"kind":"map","chosen":0,"candidates":[{"job":0}]}"#,
         ] {
             assert!(parse_trace_line(line).is_err(), "accepted {line:?}");
         }
+    }
+
+    #[test]
+    fn reader_pinpoints_malformed_and_truncated_lines() {
+        let good = trace_line(
+            SimTime::from_secs(1),
+            &SimEvent::JobCompleted { job: JobId(0) },
+        );
+
+        // A field error mid-file: the message names the line and echoes it.
+        let text = format!("{good}\n\n{{\"at\":2,\"type\":\"job_completed\"}}\n");
+        let err = read_trace_lines(io::Cursor::new(text)).unwrap_err();
+        assert!(err.starts_with("line 3:"), "wrong location: {err}");
+        assert!(
+            err.contains("\"job\"") && err.contains("offending line:"),
+            "unhelpful error: {err}"
+        );
+
+        // A trace truncated mid-line (killed writer): same treatment, and
+        // an over-long snippet is bounded.
+        let truncated = format!("{good}\n{}", &good[..good.len() - 4]);
+        let err = read_trace_lines(io::Cursor::new(truncated)).unwrap_err();
+        assert!(err.starts_with("line 2:"), "wrong location: {err}");
+
+        let long = format!(
+            r#"{{"at":1,"type":"energy_model_refit","profile":"{}""#,
+            "x".repeat(500)
+        );
+        let err = read_trace_lines(io::Cursor::new(long)).unwrap_err();
+        assert!(
+            err.contains("[") && err.contains("bytes total]"),
+            "snippet unbounded: {err}"
+        );
+
+        // Blank lines and a trailing newline are fine.
+        let text = format!("\n{good}\n\n");
+        let parsed = read_trace_lines(io::Cursor::new(text)).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, 2, "line numbers must survive blank lines");
     }
 }

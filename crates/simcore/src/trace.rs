@@ -177,6 +177,38 @@ impl<E: Clone> Observer<E> for RingRecorder<E> {
     }
 }
 
+/// An unbounded in-memory event recorder: keeps every observed event, in
+/// order. The streaming counterpart to a producer-side accumulation flag —
+/// attach one only at call sites that genuinely need the full per-event
+/// history (use [`RingRecorder`] or a folding observer otherwise).
+#[derive(Debug, Clone, Default)]
+pub struct VecRecorder<E> {
+    events: Vec<(SimTime, E)>,
+}
+
+impl<E> VecRecorder<E> {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        VecRecorder { events: Vec::new() }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[(SimTime, E)] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning the events oldest first.
+    pub fn into_events(self) -> Vec<(SimTime, E)> {
+        self.events
+    }
+}
+
+impl<E: Clone> Observer<E> for VecRecorder<E> {
+    fn on_event(&mut self, at: SimTime, event: &E) {
+        self.events.push((at, event.clone()));
+    }
+}
+
 /// A shared, clonable handle around an observer, so the same instance can
 /// be attached to several producers (engine *and* scheduler, say) and
 /// inspected after the run.
@@ -285,6 +317,17 @@ mod tests {
         assert_eq!(r.seen(), 5);
         let kept: Vec<u32> = r.into_events().into_iter().map(|(_, e)| e.0).collect();
         assert_eq!(kept, [2, 3, 4]);
+    }
+
+    #[test]
+    fn vec_recorder_keeps_everything() {
+        let mut r: VecRecorder<Ev> = VecRecorder::new();
+        for i in 0..5 {
+            r.on_event(SimTime::from_secs(i), &Ev(i as u32));
+        }
+        assert_eq!(r.events().len(), 5);
+        let kept: Vec<u32> = r.into_events().into_iter().map(|(_, e)| e.0).collect();
+        assert_eq!(kept, [0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -197,6 +197,65 @@ fn faulted_sweep_is_deterministic() {
     );
 }
 
+/// Serializes a decision-traced run of the small scenario to canonical
+/// JSONL trace bytes (engine + scheduler streams).
+fn decision_trace_bytes(seed: u64, kind: &SchedulerKind) -> Vec<u8> {
+    use hadoop_sim::trace::SharedObserver;
+    use metrics::trace::JsonlTraceSink;
+
+    let mut scenario = small_scenario(seed);
+    scenario.engine.trace_decisions = true;
+    let sink = SharedObserver::new(JsonlTraceSink::new(Vec::<u8>::new()));
+    let sink_engine = sink.clone();
+    let sink_scheduler = sink.clone();
+    let _ = scenario.run_observed(kind, move |engine, scheduler| {
+        engine.attach_observer(Box::new(sink_engine));
+        scheduler.attach_observer(Box::new(sink_scheduler));
+    });
+    sink.try_into_inner()
+        .expect("sink still shared")
+        .finish()
+        .expect("Vec<u8> writes cannot fail")
+}
+
+/// Decision-traced runs are exactly as deterministic as plain ones: the
+/// full trace bytes — `assignment_decision` payloads included, with their
+/// float-valued τ/η/probability fields — are thread-count invariant and
+/// repeatable. This is the guarantee that makes `trace-diff` meaningful:
+/// any byte difference between two traces is behavioral, never scheduling
+/// jitter.
+#[test]
+fn decision_traces_are_thread_count_invariant() {
+    let kinds = [
+        SchedulerKind::Fair,
+        SchedulerKind::EAnt(EAntConfig::paper_default()),
+    ];
+    let sweep = |workers: usize| -> Vec<Vec<u8>> {
+        let tasks: Vec<_> = kinds
+            .iter()
+            .map(|kind| {
+                let kind = kind.clone();
+                move || decision_trace_bytes(11, &kind)
+            })
+            .collect();
+        parallel_runs_with_workers(workers, tasks)
+    };
+    let single = sweep(1);
+    let multi = sweep(4);
+    assert_eq!(
+        single, multi,
+        "decision traces differ between 1-thread and 4-thread sweeps"
+    );
+    for (kind, bytes) in kinds.iter().zip(&single) {
+        let text = std::str::from_utf8(bytes).expect("trace is UTF-8");
+        assert!(
+            text.contains("\"type\":\"assignment_decision\""),
+            "{} trace carries no decision events",
+            kind.label()
+        );
+    }
+}
+
 /// A faulted trace round-trips through the JSONL codec: re-encoding every
 /// parsed line reproduces the original bytes, including the five fault
 /// event kinds.

@@ -275,6 +275,86 @@ fn golden_faulted_trace_digest() {
     );
 }
 
+/// Pinned event count and digest of the golden scenario with
+/// [`hadoop_sim::EngineConfig::trace_decisions`] on: every placement emits
+/// an `assignment_decision` event carrying the scheduler's candidate set
+/// and the Eq. 8 τ/η/probability decomposition. The decision payload rides
+/// the same deterministic stream, so it digests just like the lifecycle
+/// events. Crucially, the *clean* digest above is produced with decision
+/// tracing off — together the two tests prove the flag is behaviorally
+/// inert: turning it on only inserts `assignment_decision` lines, and
+/// turning it off reproduces the original bytes exactly. Re-derive with
+/// `--nocapture` as above.
+const DECISION_TRACE_GOLDEN_EVENTS: u64 = 10331;
+const DECISION_TRACE_GOLDEN_FNV1A: u64 = 0x6162eb7b45f71ac0;
+
+#[test]
+fn golden_decision_trace_digest() {
+    let mut scenario = Scenario::fast(2015);
+    scenario.msd = MsdConfig {
+        num_jobs: 8,
+        task_scale: 32,
+        submission_window: SimDuration::from_mins(4),
+    };
+    scenario.engine.speculation = SpeculationPolicy::Late;
+    scenario.engine.power_down = Some(PowerDownConfig::suspend_to_ram());
+    scenario.engine.dvfs = Some(DvfsConfig::conservative());
+    scenario.engine.trace_decisions = true;
+
+    let sink = SharedObserver::new(JsonlTraceSink::new(Vec::<u8>::new()));
+    let engine_sink = sink.clone();
+    let scheduler_sink = sink.clone();
+    let result = scenario.run_observed(
+        &SchedulerKind::EAnt(EAntConfig::paper_default()),
+        move |engine, scheduler| {
+            engine.attach_observer(Box::new(engine_sink));
+            scheduler.attach_observer(Box::new(scheduler_sink));
+        },
+    );
+    assert!(result.drained, "decision-traced golden run failed to drain");
+
+    let bytes = sink
+        .try_into_inner()
+        .unwrap_or_else(|_| panic!("trace sink still shared after run"))
+        .finish()
+        .expect("Vec<u8> writes cannot fail");
+
+    let mut kinds = BTreeSet::new();
+    let mut events = 0u64;
+    let mut decisions = 0u64;
+    for line in std::str::from_utf8(&bytes).expect("trace is UTF-8").lines() {
+        let (_, event) = parse_trace_line(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line: {e}\n{line}"));
+        if event.kind() == "assignment_decision" {
+            decisions += 1;
+        }
+        kinds.insert(event.kind());
+        events += 1;
+    }
+    assert!(
+        kinds.contains("assignment_decision"),
+        "decision tracing produced no assignment_decision events"
+    );
+    // The flag only *inserts* decision lines: stripped of them, the stream
+    // has exactly as many events as the clean golden trace.
+    assert_eq!(
+        events - decisions,
+        TRACE_GOLDEN_EVENTS,
+        "decision tracing perturbed the underlying event stream"
+    );
+
+    let digest = fnv1a_64(&bytes);
+    println!("observed events: {events}, digest: {digest:#018x}");
+    assert_eq!(
+        events, DECISION_TRACE_GOLDEN_EVENTS,
+        "decision trace event count drifted (observed {events})"
+    );
+    assert_eq!(
+        digest, DECISION_TRACE_GOLDEN_FNV1A,
+        "decision trace digest drifted (observed {digest:#018x})"
+    );
+}
+
 /// Fixed-seed paper-scale E-Ant makespan, pinned. The 87-job realization
 /// saturates the fleet and E-Ant's energy-greedy placements stretch the
 /// makespan well past Fair's (the ROADMAP re-tuning item); this golden pins

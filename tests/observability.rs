@@ -1,0 +1,179 @@
+//! End-to-end observability pipeline tests: decision-traced runs flowing
+//! through the JSONL codec into `trace-diff`, the replay breakdown and the
+//! registry snapshot.
+
+use eant::EAntConfig;
+use experiments::common::{Scenario, SchedulerKind};
+use experiments::timeline::registry_snapshot_path;
+use hadoop_sim::trace::SharedObserver;
+use hadoop_sim::FaultConfig;
+use metrics::emit::JsonValue;
+use metrics::registry::RegistryObserver;
+use metrics::trace::JsonlTraceSink;
+use simcore::SimDuration;
+use std::path::PathBuf;
+use workload::msd::MsdConfig;
+
+/// A small fixed scenario shared by every test here.
+fn small_scenario(seed: u64) -> Scenario {
+    let mut s = Scenario::fast(seed);
+    s.msd = MsdConfig {
+        num_jobs: 6,
+        task_scale: 32,
+        submission_window: SimDuration::from_mins(4),
+    };
+    s
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("eant-observability-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.jsonl", std::process::id()))
+}
+
+/// Runs the scenario with a JSONL sink on the engine stream and writes the
+/// trace to `path`.
+fn write_scenario_trace(scenario: &Scenario, path: &PathBuf) {
+    let kind = SchedulerKind::EAnt(EAntConfig::paper_default());
+    let sink = SharedObserver::new(JsonlTraceSink::new(Vec::<u8>::new()));
+    let handle = sink.clone();
+    let _ = scenario.run_observed(&kind, move |engine, _| {
+        engine.attach_observer(Box::new(handle));
+    });
+    let bytes = sink
+        .try_into_inner()
+        .expect("sink still shared")
+        .finish()
+        .expect("Vec<u8> writes cannot fail");
+    std::fs::write(path, bytes).unwrap();
+}
+
+/// Diffing a faulted run against its clean same-seed twin pinpoints the
+/// fault: scoped to `machine_failed`, the clean side is empty and the
+/// report leads with the faulted trace's first machine death; unscoped,
+/// the traces share a prefix and the first divergence is where fault
+/// handling first changed the schedule.
+#[test]
+fn trace_diff_pinpoints_first_machine_failure() {
+    let clean_path = tmp("clean");
+    let faulted_path = tmp("faulted");
+    let clean = small_scenario(11);
+    let mut faulted = small_scenario(11);
+    faulted.engine.fault = FaultConfig {
+        crash_mtbf: SimDuration::from_mins(30),
+        crash_downtime: SimDuration::from_mins(1),
+        task_failure_prob: 0.05,
+        blacklist_threshold: 10,
+        ..FaultConfig::none()
+    };
+    write_scenario_trace(&clean, &clean_path);
+    write_scenario_trace(&faulted, &faulted_path);
+
+    let scoped =
+        experiments::tracediff::run(&clean_path, &faulted_path, Some("machine_failed")).unwrap();
+    assert!(
+        scoped.contains("b has") && scoped.contains("extra trailing event(s)"),
+        "clean trace must have zero machine_failed events:\n{scoped}"
+    );
+    assert!(
+        scoped.contains("\"type\":\"machine_failed\""),
+        "scoped diff must print the first machine_failed line:\n{scoped}"
+    );
+
+    let full = experiments::tracediff::run(&clean_path, &faulted_path, None).unwrap();
+    assert!(
+        full.contains("first divergence"),
+        "faulted run must diverge from its clean twin:\n{full}"
+    );
+    assert!(full.contains("machine_failed"), "{full}");
+
+    let identity = experiments::tracediff::run(&clean_path, &clean_path, None).unwrap();
+    assert!(identity.contains("traces are identical"), "{identity}");
+
+    for p in [clean_path, faulted_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// A decision-traced replay prints the Eq. 8 probability breakdown for the
+/// reduce tail, and the registry snapshot written next to the trace is
+/// valid canonical JSON carrying the decision counters.
+#[test]
+fn replay_prints_decision_breakdown_and_registry_snapshot() {
+    use experiments::timeline::{write_trace_with, TraceOptions};
+
+    let path = tmp("decisions");
+    let report = write_trace_with(
+        TraceOptions {
+            fast: true,
+            seed: 2015,
+            decisions: true,
+        },
+        &path,
+    )
+    .unwrap();
+    assert!(report.contains("decision tracing on"), "{report}");
+
+    let replayed = experiments::timeline::replay(&path).unwrap();
+    assert!(
+        replayed.contains("Eq. 8 decision breakdown"),
+        "replay must print the decision breakdown:\n{replayed}"
+    );
+    assert!(replayed.contains("tau="), "{replayed}");
+    assert!(replayed.contains("<- chosen"), "{replayed}");
+
+    let snapshot_path = registry_snapshot_path(&path);
+    let text = std::fs::read_to_string(&snapshot_path).unwrap();
+    let snap = JsonValue::parse(&text).expect("registry snapshot parses");
+    assert_eq!(snap.render(), text, "snapshot must be canonical");
+    assert!(
+        text.contains("assignment_decisions_total"),
+        "snapshot must carry the decision counters: {text}"
+    );
+    assert!(text.contains("task_duration_seconds"), "{text}");
+
+    std::fs::remove_file(snapshot_path).ok();
+    std::fs::remove_file(path).ok();
+}
+
+/// The registry observer attached to a live engine produces the same
+/// snapshot as one replayed from the trace of that run: the registry is a
+/// pure fold over the event stream.
+#[test]
+fn registry_snapshot_is_replay_invariant() {
+    use metrics::trace::read_trace_lines;
+
+    let mut scenario = small_scenario(7);
+    scenario.engine.trace_decisions = true;
+    let kind = SchedulerKind::EAnt(EAntConfig::paper_default());
+
+    // The registry must see the same stream the sink serializes: both get
+    // the engine and the scheduler events.
+    let sink = SharedObserver::new(JsonlTraceSink::new(Vec::<u8>::new()));
+    let live = SharedObserver::new(RegistryObserver::new());
+    let sink_handle = sink.clone();
+    let live_handle = live.clone();
+    let _ = scenario.run_observed(&kind, move |engine, scheduler| {
+        engine.attach_observer(Box::new(sink_handle.clone()));
+        engine.attach_observer(Box::new(live_handle.clone()));
+        scheduler.attach_observer(Box::new(sink_handle));
+        scheduler.attach_observer(Box::new(live_handle));
+    });
+    let live_snapshot = live.with(|r| r.registry().snapshot().render());
+
+    let bytes = sink
+        .try_into_inner()
+        .expect("sink still shared")
+        .finish()
+        .expect("Vec<u8> writes cannot fail");
+    let mut replayed = RegistryObserver::new();
+    for (_, at, event) in read_trace_lines(bytes.as_slice()).unwrap() {
+        use hadoop_sim::trace::Observer;
+        replayed.on_event(at, &event);
+    }
+    assert_eq!(
+        replayed.registry().snapshot().render(),
+        live_snapshot,
+        "replayed registry snapshot diverges from the live one"
+    );
+}
