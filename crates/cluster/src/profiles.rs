@@ -235,6 +235,22 @@ pub fn evaluation_profiles() -> Vec<MachineProfile> {
     vec![desktop(), t110(), t420(), t620(), t320(), atom()]
 }
 
+/// Looks up a shipped profile by its [`MachineProfile::name`] — the handle
+/// scenario files use to describe fleet compositions. Covers the six §V-B
+/// evaluation profiles plus the Table I Xeon E5.
+pub fn by_name(name: &str) -> Option<MachineProfile> {
+    match name {
+        "Desktop" => Some(desktop()),
+        "XeonE5" => Some(xeon_e5()),
+        "Atom" => Some(atom()),
+        "T110" => Some(t110()),
+        "T420" => Some(t420()),
+        "T320" => Some(t320()),
+        "T620" => Some(t620()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +323,16 @@ mod tests {
         // parity except on the low-power Atom platform.
         assert_eq!(p.io_speed(), 1.0);
         assert!(atom().io_speed() < 1.0);
+    }
+
+    #[test]
+    fn by_name_round_trips_every_shipped_profile() {
+        let mut all = evaluation_profiles();
+        all.push(xeon_e5());
+        for p in all {
+            assert_eq!(by_name(p.name()), Some(p.clone()), "{}", p.name());
+        }
+        assert_eq!(by_name("NoSuchBox"), None);
     }
 
     #[test]

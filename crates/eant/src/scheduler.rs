@@ -608,7 +608,6 @@ mod tests {
         let cfg = EngineConfig {
             noise: NoiseConfig::none(),
             control_interval: SimDuration::from_secs(60),
-            record_reports: true,
             ..EngineConfig::default()
         };
         Engine::new(fleet, cfg, seed)

@@ -21,6 +21,7 @@
 //! | [`bound`] | Appendix A / Table II offline bound vs the online system |
 //! | [`extensions`] | §VIII future-work: E-Ant + idle power-down |
 //! | [`faults`] | fault-injection sweep: scheduler degradation under crashes/retries |
+//! | [`scenario`] | data-driven scenario files, run database, regression gate |
 //! | [`timeline`] | cluster load over time (saturation diagnostic) + `--trace`/`--replay` |
 //! | [`tracediff`] | `trace-diff`: first divergence + per-type deltas between two traces |
 //! | [`watch`] | `watch`: text dashboard replayed from a trace file |
@@ -41,6 +42,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scenario;
 pub mod tables;
 pub mod timeline;
 pub mod tracediff;

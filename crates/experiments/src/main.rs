@@ -11,6 +11,10 @@
 //!                                          # first divergence + deltas
 //! experiments watch <path> [--every <secs>]
 //!                                          # text dashboard from a trace
+//! experiments scenario run <file> [--fast] [--db <path>]
+//! experiments scenario sweep <dir> [--fast] [--db <path>]
+//! experiments scenario compare <baseline.jsonl> <candidate.jsonl>
+//!                                          # run DB regression gate
 //! ```
 
 use std::path::PathBuf;
@@ -24,7 +28,10 @@ fn usage() -> ExitCode {
          \x20      experiments --trace <path> [--fast] [--seed <n>] [--decisions]\n\
          \x20      experiments --replay <path>\n\
          \x20      experiments trace-diff <a.jsonl> <b.jsonl> [--kind <type>]\n\
-         \x20      experiments watch <trace.jsonl> [--every <secs>]"
+         \x20      experiments watch <trace.jsonl> [--every <secs>]\n\
+         \x20      experiments scenario run <file.json> [--fast] [--db <path>]\n\
+         \x20      experiments scenario sweep <dir> [--fast] [--db <path>]\n\
+         \x20      experiments scenario compare <baseline.jsonl> <candidate.jsonl>"
     );
     eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(", "));
     ExitCode::FAILURE
@@ -101,11 +108,76 @@ fn cmd_watch(args: &[String]) -> ExitCode {
     }
 }
 
+/// `experiments scenario run|sweep|compare …`
+fn cmd_scenario(args: &[String]) -> ExitCode {
+    let Some(verb) = args.first().map(String::as_str) else {
+        return fail("scenario needs a subcommand: run, sweep or compare");
+    };
+    let mut fast = false;
+    let mut db: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--db" => {
+                let Some(p) = iter.next() else {
+                    return fail("--db needs a file path");
+                };
+                db = Some(PathBuf::from(p));
+            }
+            other if other.starts_with("--") => {
+                return fail(&format!("unknown scenario flag {other}"));
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    match verb {
+        "run" | "sweep" => {
+            if paths.len() != 1 {
+                return fail(&format!("scenario {verb} needs exactly one path"));
+            }
+            let result = if verb == "run" {
+                experiments::scenario::run_file(&paths[0], fast, db.as_deref())
+            } else {
+                experiments::scenario::sweep_dir(&paths[0], fast, db.as_deref())
+            };
+            match result {
+                Ok(report) => {
+                    println!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(err) => fail(&err),
+            }
+        }
+        "compare" => {
+            if fast || db.is_some() || paths.len() != 2 {
+                return fail("scenario compare takes exactly two run-DB paths");
+            }
+            match experiments::scenario::compare_files(&paths[0], &paths[1]) {
+                Ok((report, violations)) => {
+                    println!("{report}");
+                    if violations == 0 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(err) => fail(&err),
+            }
+        }
+        other => fail(&format!(
+            "unknown scenario subcommand '{other}' (run, sweep, compare)"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("trace-diff") => return cmd_trace_diff(&args[1..]),
         Some("watch") => return cmd_watch(&args[1..]),
+        Some("scenario") => return cmd_scenario(&args[1..]),
         _ => {}
     }
 

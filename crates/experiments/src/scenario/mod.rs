@@ -1,0 +1,215 @@
+//! Data-driven scenarios: JSON spec files, a scenario library, a
+//! manifest-keyed run database and the CI regression gate.
+//!
+//! A scenario file describes a complete experiment — workload mix, fleet
+//! composition, engine/fault/power knobs, scheduler grid, seeds and
+//! regression tolerances — in canonical JSON (see [`ScenarioSpec`]). The
+//! committed library under `scenarios/` covers regimes the hard-coded
+//! figure modules don't: diurnal double-peak arrivals, deadline batches,
+//! multi-tenant mixes, rack-locality skew, fleet refresh and crash-heavy
+//! churn. The commands:
+//!
+//! ```text
+//! experiments scenario run <file> [--fast] [--db <path>]
+//! experiments scenario sweep <dir> [--fast] [--db <path>]
+//! experiments scenario compare <baseline> <candidate>
+//! ```
+//!
+//! `run`/`sweep` execute every (scheduler × seed) cell through the same
+//! engine pipeline as the figure modules and, with `--db`, upsert each
+//! result into a [`RunDb`]. `compare` diffs two databases and exits
+//! non-zero when any delta exceeds its scenario's tolerance — the CI
+//! energy/perf regression gate.
+
+mod rundb;
+mod spec;
+
+pub use rundb::{compare, CompareReport, Delta, RunDb, RunRecord};
+pub use spec::{scheduler_to_json, FleetGroup, FleetSpec, ScenarioSpec, Tolerance, WorkloadSpec};
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::common::parallel_runs;
+
+/// The committed scenario library (`scenarios/` at the repository root).
+#[must_use]
+pub fn library_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+/// Loads and validates a scenario file.
+///
+/// # Errors
+///
+/// Returns an unreadable-file error or a `line N: …` parse/validation
+/// error prefixed with the path.
+pub fn load_spec(path: &Path) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    ScenarioSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Executes every (scheduler × seed) cell of `spec`, returning the report
+/// and the records (in scheduler-major order).
+#[must_use]
+pub fn execute_spec(spec: &ScenarioSpec, fast: bool) -> (String, Vec<RunRecord>) {
+    let cells: Vec<_> = spec
+        .schedulers
+        .iter()
+        .flat_map(|kind| spec.seeds.iter().map(move |&seed| (kind, seed)))
+        .collect();
+    let tasks: Vec<_> = cells
+        .iter()
+        .map(|&(kind, seed)| move || spec.execute(kind, seed, fast))
+        .collect();
+    let results = parallel_runs(tasks);
+
+    let records: Vec<RunRecord> = cells
+        .iter()
+        .zip(&results)
+        .map(|(&(kind, seed), result)| RunRecord::new(spec, kind, seed, fast, result))
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scenario {} ({} jobs x {} schedulers x {} seeds{})",
+        spec.name,
+        spec.jobs(spec.seeds[0], fast).len(),
+        spec.schedulers.len(),
+        spec.seeds.len(),
+        if fast { ", fast" } else { "" }
+    );
+    if !spec.description.is_empty() {
+        let _ = writeln!(out, "  {}", spec.description);
+    }
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:>12} {:>12} {:>8}  key",
+        "sched", "seed", "energy MJ", "makespan s", "drained"
+    );
+    for r in &records {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6} {:>12.3} {:>12.1} {:>8}  {}",
+            r.scheduler,
+            r.seed,
+            r.energy_joules / 1e6,
+            r.makespan_s,
+            if r.drained { "yes" } else { "NO" },
+            r.key
+        );
+    }
+    for line in savings_lines(&records) {
+        let _ = writeln!(out, "{line}");
+    }
+    (out, records)
+}
+
+/// Mean E-Ant energy savings vs each baseline present in the record set —
+/// the paper's headline metric, reported per scenario run.
+fn savings_lines(records: &[RunRecord]) -> Vec<String> {
+    let mean_energy = |label: &str| {
+        let runs: Vec<f64> = records
+            .iter()
+            .filter(|r| r.scheduler == label)
+            .map(|r| r.energy_joules)
+            .collect();
+        if runs.is_empty() {
+            None
+        } else {
+            Some(runs.iter().sum::<f64>() / runs.len() as f64)
+        }
+    };
+    let Some(eant) = mean_energy("E-Ant") else {
+        return Vec::new();
+    };
+    ["FIFO", "Fair", "Tarazu"]
+        .iter()
+        .filter_map(|&base| {
+            mean_energy(base).map(|b| {
+                format!(
+                    "  E-Ant saves {:.2}% energy vs {base}",
+                    (1.0 - eant / b) * 100.0
+                )
+            })
+        })
+        .collect()
+}
+
+/// `scenario run <file>`: executes one spec, optionally updating a run DB.
+///
+/// # Errors
+///
+/// Returns file, parse or database errors.
+pub fn run_file(path: &Path, fast: bool, db_path: Option<&Path>) -> Result<String, String> {
+    let spec = load_spec(path)?;
+    let (report, records) = execute_spec(&spec, fast);
+    update_db(db_path, records)?;
+    Ok(report)
+}
+
+/// `scenario sweep <dir>`: runs every `*.json` spec in `dir` (sorted), one
+/// shared run DB across all of them.
+///
+/// # Errors
+///
+/// Returns directory, file, parse or database errors.
+pub fn sweep_dir(dir: &Path, fast: bool, db_path: Option<&Path>) -> Result<String, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no scenario files (*.json) in {}", dir.display()));
+    }
+    let mut out = String::new();
+    let mut all_records = Vec::new();
+    for file in &files {
+        let spec = load_spec(file)?;
+        let (report, records) = execute_spec(&spec, fast);
+        out.push_str(&report);
+        out.push('\n');
+        all_records.extend(records);
+    }
+    let _ = writeln!(
+        out,
+        "swept {} scenario(s), {} run(s)",
+        files.len(),
+        all_records.len()
+    );
+    update_db(db_path, all_records)?;
+    Ok(out)
+}
+
+fn update_db(db_path: Option<&Path>, records: Vec<RunRecord>) -> Result<(), String> {
+    let Some(path) = db_path else {
+        return Ok(());
+    };
+    let mut db = if path.exists() {
+        RunDb::load(path)?
+    } else {
+        RunDb::new()
+    };
+    for record in records {
+        db.upsert(record);
+    }
+    db.save(path)
+}
+
+/// `scenario compare <baseline> <candidate>`: the regression gate.
+/// Returns the report and the number of violations (non-zero ⇒ the caller
+/// should exit with failure).
+///
+/// # Errors
+///
+/// Returns file or parse errors for either database.
+pub fn compare_files(baseline: &Path, candidate: &Path) -> Result<(String, usize), String> {
+    let base = RunDb::load(baseline)?;
+    let cand = RunDb::load(candidate)?;
+    let report = compare(&base, &cand);
+    Ok((report.render(), report.violations()))
+}

@@ -357,9 +357,11 @@ pub struct EngineConfig {
     pub speculation_threshold: f64,
     /// Whether to retain every [`TaskReport`](crate::TaskReport) in the run
     /// result. Enable only for small runs (Fig. 4 / Fig. 7 experiments);
-    /// large MSD runs produce hundreds of thousands of reports. Prefer
-    /// [`Engine::attach_report_observer`](crate::Engine::attach_report_observer)
-    /// when a streaming consumer suffices.
+    /// large MSD runs produce hundreds of thousands of reports.
+    #[deprecated(
+        note = "attach a streaming consumer via Engine::attach_report_observer instead; \
+                it sees the identical report sequence without buffering it in the result"
+    )]
     pub record_reports: bool,
     /// Whether to emit a [`SimEvent::AssignmentDecision`](crate::SimEvent)
     /// at every task placement, carrying the scheduler's candidate set and
@@ -412,6 +414,7 @@ impl EngineConfig {
 }
 
 impl Default for EngineConfig {
+    #[allow(deprecated)] // the Default impl must still initialize the field
     fn default() -> Self {
         EngineConfig {
             heartbeat: SimDuration::from_secs(3),

@@ -373,6 +373,7 @@ impl Engine {
         let report = self.build_report(&rt);
         scheduler.on_task_completed(&*self, &report);
         self.report_trace.notify(self.now, &report);
+        #[allow(deprecated)] // honored until the buffered switch is removed
         if self.config.record_reports {
             self.reports.push(report);
         }

@@ -502,9 +502,28 @@ mod tests {
     fn quiet_config() -> EngineConfig {
         EngineConfig {
             noise: NoiseConfig::none(),
-            record_reports: true,
             ..EngineConfig::default()
         }
+    }
+
+    /// Drives `engine` with a greedy scheduler while a streaming report
+    /// recorder is attached, stuffing the collected reports into the
+    /// result (`record_reports` is deprecated).
+    fn run_greedy_with_reports(mut engine: Engine) -> RunResult {
+        use crate::trace::{SharedObserver, VecRecorder};
+        let recorder: SharedObserver<VecRecorder<crate::TaskReport>> =
+            SharedObserver::new(VecRecorder::new());
+        engine.attach_report_observer(Box::new(recorder.clone()));
+        let mut result = engine.run(&mut GreedyScheduler::new());
+        drop(engine); // releases the engine's clone of the recorder
+        result.reports = recorder
+            .try_into_inner()
+            .unwrap_or_else(|_| panic!("engine dropped its observer handle"))
+            .into_events()
+            .into_iter()
+            .map(|(_, report)| report)
+            .collect();
+        result
     }
 
     fn run_one(num_maps: u32, num_reduces: u32) -> RunResult {
@@ -516,7 +535,7 @@ mod tests {
             num_reduces,
             SimTime::ZERO,
         )]);
-        engine.run(&mut GreedyScheduler::new())
+        run_greedy_with_reports(engine)
     }
 
     #[test]
@@ -613,7 +632,7 @@ mod tests {
             4,
             SimTime::ZERO,
         )]);
-        let r = engine.run(&mut GreedyScheduler::new());
+        let r = run_greedy_with_reports(engine);
         let first_reduce_start = r
             .reports
             .iter()
@@ -659,7 +678,6 @@ mod tests {
                 straggler_slowdown: (2.0, 3.0),
                 utilization_jitter: 0.2,
             },
-            record_reports: true,
             ..EngineConfig::default()
         };
         let mut engine = Engine::new(small_fleet(), cfg, 11);
@@ -670,7 +688,7 @@ mod tests {
             4,
             SimTime::ZERO,
         )]);
-        let r = engine.run(&mut GreedyScheduler::new());
+        let r = run_greedy_with_reports(engine);
         let stragglers = r.reports.iter().filter(|t| t.straggled).count();
         assert!(stragglers > 5, "expected stragglers, got {stragglers}");
     }
@@ -738,7 +756,6 @@ mod tests {
                 utilization_jitter: 0.0,
             },
             speculation: SpeculationPolicy::Hadoop,
-            record_reports: true,
             ..EngineConfig::default()
         };
         let mut engine = Engine::new(small_fleet(), cfg, 21);
@@ -749,7 +766,7 @@ mod tests {
             4,
             SimTime::ZERO,
         )]);
-        let r = engine.run(&mut GreedyScheduler::new());
+        let r = run_greedy_with_reports(engine);
         assert!(r.drained);
         // Every task counted exactly once despite backup copies.
         assert_eq!(r.total_tasks, 64);

@@ -281,7 +281,7 @@ impl Parser<'_> {
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".to_owned()),
+                None => return Err(format!("unterminated string at byte {}", self.pos)),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -290,7 +290,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     let esc = self
                         .peek()
-                        .ok_or_else(|| "unterminated escape".to_owned())?;
+                        .ok_or_else(|| format!("unterminated escape at byte {}", self.pos))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -309,21 +309,28 @@ impl Parser<'_> {
                                     self.pos += 1;
                                     self.expect(b'u')?;
                                 } else {
-                                    return Err("unpaired surrogate".to_owned());
+                                    return Err(format!("unpaired surrogate at byte {}", self.pos));
                                 }
                                 let low = self.hex4()?;
                                 if !(0xdc00..0xe000).contains(&low) {
-                                    return Err("unpaired surrogate".to_owned());
+                                    return Err(format!("unpaired surrogate at byte {}", self.pos));
                                 }
                                 let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
-                                char::from_u32(code).ok_or("invalid code point")?
+                                char::from_u32(code).ok_or_else(|| {
+                                    format!("invalid code point at byte {}", self.pos)
+                                })?
                             } else {
-                                char::from_u32(unit).ok_or("unpaired surrogate")?
+                                char::from_u32(unit).ok_or_else(|| {
+                                    format!("unpaired surrogate at byte {}", self.pos)
+                                })?
                             };
                             out.push(c);
                         }
                         c => {
-                            return Err(format!("invalid escape '\\{}'", c as char));
+                            return Err(format!(
+                                "invalid escape '\\{}' at byte {}",
+                                c as char, self.pos
+                            ));
                         }
                     }
                 }
@@ -348,7 +355,7 @@ impl Parser<'_> {
         let chunk = self
             .bytes
             .get(self.pos..end)
-            .ok_or_else(|| "truncated \\u escape".to_owned())?;
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
         let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
         let v = u32::from_str_radix(s, 16).map_err(|e| e.to_string())?;
         self.pos = end;

@@ -21,6 +21,10 @@
 //! * [`registry`] — deterministic counters/gauges/histograms with interned
 //!   label sets; [`registry::RegistryObserver`] folds the event stream into
 //!   a canonical, byte-stable JSON snapshot.
+//! * [`spec`] — shared decoding machinery for canonical-JSON *spec*
+//!   documents: [`spec::ObjectView`] typed accessors, [`spec::SpecError`]
+//!   dotted-path errors and the line/snippet context helpers that give
+//!   scenario files the same error ergonomics as trace replay.
 //! * [`trace`] — the canonical JSONL trace codec:
 //!   [`trace::JsonlTraceSink`] writes one line per event,
 //!   [`trace::parse_trace_line`] inverts it for replay validation and
@@ -38,4 +42,5 @@ pub mod fairness;
 pub mod observers;
 pub mod registry;
 pub mod report;
+pub mod spec;
 pub mod trace;

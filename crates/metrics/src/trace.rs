@@ -16,6 +16,7 @@ use simcore::SimTime;
 use workload::{JobId, TaskId, TaskIndex};
 
 use crate::emit::{object, JsonValue, ToJson};
+use crate::spec::snippet;
 
 impl ToJson for PowerState {
     fn to_json(&self) -> JsonValue {
@@ -488,19 +489,6 @@ pub fn read_trace_lines<R: io::BufRead>(
         out.push((n, at, event));
     }
     Ok(out)
-}
-
-/// Truncates a line for error messages, respecting UTF-8 boundaries.
-fn snippet(line: &str) -> String {
-    const MAX: usize = 120;
-    if line.len() <= MAX {
-        return line.to_owned();
-    }
-    let mut end = MAX;
-    while !line.is_char_boundary(end) {
-        end -= 1;
-    }
-    format!("{}... [{} bytes total]", &line[..end], line.len())
 }
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 //! The motivation study (Fig. 1) drives single machines with a stream of
 //! independent tasks at a controlled rate ("task arrival rate" on the
 //! figures' x axes). This module provides the Poisson and deterministic
-//! arrival generators behind those experiments.
+//! arrival generators behind those experiments, plus [`DiurnalProfile`]:
+//! a count-preserving nonhomogeneous sampler for scenario workloads with
+//! time-of-day load waves.
 
 use simcore::{SimDuration, SimRng, SimTime};
 
@@ -86,6 +88,115 @@ impl ArrivalProcess {
     }
 }
 
+/// One Gaussian bump of extra load on top of a [`DiurnalProfile`]'s base
+/// rate, centred at `center_s` with standard deviation `width_s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalPeak {
+    /// Centre of the peak, seconds since the start of the window.
+    pub center_s: f64,
+    /// Standard deviation of the bump, in seconds.
+    pub width_s: f64,
+    /// Extra arrivals per minute at the peak's centre.
+    pub extra_per_min: f64,
+}
+
+/// A time-varying arrival intensity: a constant base rate plus Gaussian
+/// peaks — the classic diurnal double-peak shape of production cluster
+/// traces (morning and evening load waves).
+///
+/// Unlike [`ArrivalProcess`], sampling is *count-preserving*: exactly `n`
+/// arrivals are placed over a window, distributed according to the
+/// intensity via rejection sampling. That keeps scenario workloads
+/// comparable across schedulers — every run sees the same number of jobs.
+///
+/// # Examples
+///
+/// ```
+/// use workload::arrival::{DiurnalPeak, DiurnalProfile};
+/// use simcore::{SimDuration, SimRng};
+///
+/// let profile = DiurnalProfile {
+///     base_per_min: 0.5,
+///     peaks: vec![DiurnalPeak { center_s: 300.0, width_s: 60.0, extra_per_min: 4.0 }],
+/// };
+/// let mut rng = SimRng::seed_from(7);
+/// let arrivals = profile.sample_arrivals(20, SimDuration::from_mins(10), &mut rng);
+/// assert_eq!(arrivals.len(), 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalProfile {
+    /// Background arrivals per minute, present at every instant.
+    pub base_per_min: f64,
+    /// Additive Gaussian load peaks.
+    pub peaks: Vec<DiurnalPeak>,
+}
+
+impl DiurnalProfile {
+    /// Arrival intensity (per minute) at `t_secs` into the window.
+    pub fn intensity_per_min(&self, t_secs: f64) -> f64 {
+        let mut rate = self.base_per_min;
+        for p in &self.peaks {
+            let z = (t_secs - p.center_s) / p.width_s;
+            rate += p.extra_per_min * (-0.5 * z * z).exp();
+        }
+        rate
+    }
+
+    /// Upper bound on the intensity (base plus every peak at full height).
+    pub fn max_per_min(&self) -> f64 {
+        self.base_per_min + self.peaks.iter().map(|p| p.extra_per_min).sum::<f64>()
+    }
+
+    /// Places exactly `count` arrivals over `[0, window]`, distributed
+    /// according to the intensity (thinning/rejection sampling), sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not positive, a peak width is not positive,
+    /// a rate is negative, or the profile's total intensity is zero.
+    pub fn sample_arrivals(
+        &self,
+        count: usize,
+        window: SimDuration,
+        rng: &mut SimRng,
+    ) -> Vec<SimTime> {
+        let window_secs = window.as_secs_f64();
+        assert!(
+            window_secs.is_finite() && window_secs > 0.0,
+            "diurnal window must be positive"
+        );
+        assert!(
+            self.base_per_min.is_finite() && self.base_per_min >= 0.0,
+            "base rate must be non-negative"
+        );
+        for p in &self.peaks {
+            assert!(
+                p.width_s.is_finite() && p.width_s > 0.0,
+                "peak width must be positive"
+            );
+            assert!(
+                p.extra_per_min.is_finite() && p.extra_per_min >= 0.0,
+                "peak rate must be non-negative"
+            );
+        }
+        let max = self.max_per_min();
+        assert!(max > 0.0, "diurnal profile must have positive intensity");
+
+        let mut times = Vec::with_capacity(count);
+        while times.len() < count {
+            let t = rng.uniform_range(0.0, window_secs);
+            if rng.chance(self.intensity_per_min(t) / max) {
+                times.push(t);
+            }
+        }
+        times.sort_by(f64::total_cmp);
+        times
+            .into_iter()
+            .map(|t| SimTime::ZERO + SimDuration::from_secs_f64(t))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +252,88 @@ mod tests {
     #[should_panic(expected = "arrival rate must be positive")]
     fn zero_rate_rejected() {
         ArrivalProcess::per_minute(0.0, ArrivalKind::Poisson);
+    }
+
+    fn double_peak() -> DiurnalProfile {
+        DiurnalProfile {
+            base_per_min: 0.5,
+            peaks: vec![
+                DiurnalPeak {
+                    center_s: 200.0,
+                    width_s: 40.0,
+                    extra_per_min: 6.0,
+                },
+                DiurnalPeak {
+                    center_s: 700.0,
+                    width_s: 40.0,
+                    extra_per_min: 6.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn diurnal_sampling_is_count_preserving_sorted_and_deterministic() {
+        let profile = double_peak();
+        let window = SimDuration::from_mins(15);
+        let a = profile.sample_arrivals(40, window, &mut SimRng::seed_from(3));
+        let b = profile.sample_arrivals(40, window, &mut SimRng::seed_from(3));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals must be sorted"
+        );
+        let end = SimTime::ZERO + window;
+        assert!(a.iter().all(|&t| t <= end));
+    }
+
+    #[test]
+    fn diurnal_mass_concentrates_at_peaks() {
+        let profile = double_peak();
+        let window = SimDuration::from_mins(15);
+        let arrivals = profile.sample_arrivals(300, window, &mut SimRng::seed_from(5));
+        let near_peak = arrivals
+            .iter()
+            .filter(|t| {
+                let s = t.as_secs_f64();
+                (s - 200.0).abs() < 100.0 || (s - 700.0).abs() < 100.0
+            })
+            .count();
+        // Peaks cover ~44 % of the window but carry most of the intensity.
+        assert!(
+            near_peak * 2 > arrivals.len(),
+            "only {near_peak}/{} arrivals near peaks",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_intensity_bounded_by_max() {
+        let profile = double_peak();
+        for i in 0..100 {
+            let t = f64::from(i) * 9.0;
+            assert!(profile.intensity_per_min(t) <= profile.max_per_min() + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "diurnal window must be positive")]
+    fn diurnal_zero_window_rejected() {
+        double_peak().sample_arrivals(1, SimDuration::ZERO, &mut SimRng::seed_from(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "peak width must be positive")]
+    fn diurnal_zero_width_rejected() {
+        let profile = DiurnalProfile {
+            base_per_min: 1.0,
+            peaks: vec![DiurnalPeak {
+                center_s: 10.0,
+                width_s: 0.0,
+                extra_per_min: 1.0,
+            }],
+        };
+        profile.sample_arrivals(1, SimDuration::from_secs(60), &mut SimRng::seed_from(0));
     }
 }

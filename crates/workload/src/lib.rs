@@ -15,8 +15,11 @@
 //!   time, size class) and per-task resource demands sampled from its
 //!   benchmark profile.
 //! * [`msd`] — the Table III generator.
+//! * [`mix`] — stream-structured workload composition for scenario files:
+//!   per-tenant job templates with Poisson/uniform/batch/diurnal arrivals.
 //! * [`arrival`] — Poisson and fixed-rate arrival processes for the
-//!   motivation-study experiments (Fig. 1) and the MSD submission schedule.
+//!   motivation-study experiments (Fig. 1) and the MSD submission schedule,
+//!   plus the diurnal intensity sampler.
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@ pub mod arrival;
 mod benchmarks;
 mod group;
 mod job;
+pub mod mix;
 pub mod msd;
 
 pub use benchmarks::{Benchmark, BenchmarkKind};

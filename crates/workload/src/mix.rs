@@ -1,0 +1,341 @@
+//! Stream-structured workload mixes for data-driven scenarios.
+//!
+//! The MSD generator ([`crate::msd`]) reproduces one fixed statistical mix;
+//! scenario files need to *compose* workloads — a batch of deadline jobs at
+//! 09:00 next to a trickle of ad-hoc queries, three tenants with different
+//! job shapes, a diurnal double-peak. This module models such a workload as
+//! a list of [`StreamSpec`]s: each stream owns a job template (benchmark,
+//! size class, task counts) and an arrival law, and [`generate`] merges the
+//! streams into one dense-`JobId` submission schedule.
+//!
+//! Determinism: each stream draws from its own fork of the workload RNG
+//! (`fork_index("stream", i)`), so editing one stream in a scenario file
+//! never perturbs the arrivals of another.
+
+use simcore::{SimDuration, SimRng, SimTime};
+
+use crate::arrival::DiurnalProfile;
+use crate::{Benchmark, BenchmarkKind, JobId, JobSpec, SizeClass};
+
+/// Which PUMA benchmark a stream's jobs run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchmarkChoice {
+    /// Every job in the stream runs this benchmark.
+    Fixed(BenchmarkKind),
+    /// Jobs rotate through Wordcount → Grep → Terasort, like the MSD mix.
+    Rotate,
+}
+
+/// When a stream's jobs arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamArrival {
+    /// Memoryless arrivals at `rate_per_min`, offset by `start_s`.
+    Poisson {
+        /// Mean arrivals per minute.
+        rate_per_min: f64,
+        /// Seconds before the first gap starts accruing.
+        start_s: f64,
+    },
+    /// One job every `period_s` seconds, starting at `start_s`.
+    Uniform {
+        /// Fixed gap between consecutive jobs, in seconds.
+        period_s: f64,
+        /// Submission time of the first job, in seconds.
+        start_s: f64,
+    },
+    /// Explicit submission instants; job `i` arrives at `at_s[i % len]`,
+    /// so a short list describes repeating batch waves.
+    Batches {
+        /// Batch submission times, in seconds.
+        at_s: Vec<f64>,
+    },
+    /// Count-preserving diurnal placement over `[0, window_s]`.
+    Diurnal {
+        /// The time-varying intensity shape.
+        profile: DiurnalProfile,
+        /// Length of the placement window, in seconds.
+        window_s: f64,
+    },
+}
+
+/// One stream of a composed workload: a job template plus an arrival law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpec {
+    /// Human-readable stream name (tenant, queue, batch, …).
+    pub label: String,
+    /// Benchmark selection for the stream's jobs.
+    pub benchmark: BenchmarkChoice,
+    /// Optional size class attached to every job (for fairness reports).
+    pub size_class: Option<SizeClass>,
+    /// Map tasks per job.
+    pub maps: u32,
+    /// Reduce tasks per job.
+    pub reduces: u32,
+    /// Number of jobs the stream submits.
+    pub count: usize,
+    /// When those jobs arrive.
+    pub arrival: StreamArrival,
+}
+
+impl StreamSpec {
+    /// Submission times for this stream's `count` jobs, unsorted for
+    /// batches, otherwise non-decreasing.
+    fn arrivals(&self, rng: &mut SimRng) -> Vec<SimTime> {
+        match &self.arrival {
+            StreamArrival::Poisson {
+                rate_per_min,
+                start_s,
+            } => {
+                assert!(
+                    rate_per_min.is_finite() && *rate_per_min > 0.0,
+                    "arrival rate must be positive"
+                );
+                assert!(
+                    start_s.is_finite() && *start_s >= 0.0,
+                    "stream start must be non-negative"
+                );
+                let rate_per_sec = rate_per_min / 60.0;
+                let mut t = *start_s;
+                (0..self.count)
+                    .map(|_| {
+                        t += rng.exponential(rate_per_sec);
+                        SimTime::ZERO + SimDuration::from_secs_f64(t)
+                    })
+                    .collect()
+            }
+            StreamArrival::Uniform { period_s, start_s } => {
+                assert!(
+                    period_s.is_finite() && *period_s > 0.0,
+                    "arrival period must be positive"
+                );
+                assert!(
+                    start_s.is_finite() && *start_s >= 0.0,
+                    "stream start must be non-negative"
+                );
+                (0..self.count)
+                    .map(|i| {
+                        SimTime::ZERO + SimDuration::from_secs_f64(start_s + i as f64 * period_s)
+                    })
+                    .collect()
+            }
+            StreamArrival::Batches { at_s } => {
+                assert!(!at_s.is_empty(), "batch arrivals must be non-empty");
+                for &t in at_s {
+                    assert!(t.is_finite() && t >= 0.0, "batch time must be non-negative");
+                }
+                (0..self.count)
+                    .map(|i| SimTime::ZERO + SimDuration::from_secs_f64(at_s[i % at_s.len()]))
+                    .collect()
+            }
+            StreamArrival::Diurnal { profile, window_s } => {
+                profile.sample_arrivals(self.count, SimDuration::from_secs_f64(*window_s), rng)
+            }
+        }
+    }
+}
+
+/// Merges the streams into one workload with dense [`JobId`]s, ordered by
+/// (submit time, stream index, intra-stream index).
+///
+/// # Panics
+///
+/// Panics if a stream has zero jobs or zero maps, or an arrival law has a
+/// non-positive rate/period/window (see [`StreamArrival`]).
+pub fn generate(streams: &[StreamSpec], rng: &mut SimRng) -> Vec<JobSpec> {
+    let kinds = BenchmarkKind::ALL;
+    let mut entries: Vec<(SimTime, usize, usize)> = Vec::new();
+    for (si, stream) in streams.iter().enumerate() {
+        assert!(stream.count > 0, "stream must submit at least one job");
+        assert!(stream.maps > 0, "stream jobs must have at least one map");
+        let mut stream_rng = rng.fork_index("stream", si);
+        for (j, t) in stream.arrivals(&mut stream_rng).into_iter().enumerate() {
+            entries.push((t, si, j));
+        }
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    entries
+        .into_iter()
+        .enumerate()
+        .map(|(id, (t, si, j))| {
+            let stream = &streams[si];
+            let kind = match stream.benchmark {
+                BenchmarkChoice::Fixed(kind) => kind,
+                BenchmarkChoice::Rotate => kinds[j % kinds.len()],
+            };
+            let mut spec = JobSpec::new(
+                JobId(id as u64),
+                Benchmark::of(kind),
+                stream.maps,
+                stream.reduces,
+                t,
+            );
+            if let Some(class) = stream.size_class {
+                spec = spec.with_size_class(class);
+            }
+            spec
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::DiurnalPeak;
+
+    fn batch_stream(label: &str, at_s: Vec<f64>, count: usize) -> StreamSpec {
+        StreamSpec {
+            label: label.to_owned(),
+            benchmark: BenchmarkChoice::Fixed(BenchmarkKind::Wordcount),
+            size_class: Some(SizeClass::Small),
+            maps: 8,
+            reduces: 2,
+            count,
+            arrival: StreamArrival::Batches { at_s },
+        }
+    }
+
+    #[test]
+    fn merged_ids_are_dense_and_sorted_by_time() {
+        let streams = [
+            batch_stream("a", vec![100.0, 300.0], 4),
+            StreamSpec {
+                label: "b".to_owned(),
+                benchmark: BenchmarkChoice::Rotate,
+                size_class: None,
+                maps: 4,
+                reduces: 1,
+                count: 5,
+                arrival: StreamArrival::Uniform {
+                    period_s: 90.0,
+                    start_s: 0.0,
+                },
+            },
+        ];
+        let jobs = generate(&streams, &mut SimRng::seed_from(1));
+        assert_eq!(jobs.len(), 9);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id(), JobId(i as u64));
+        }
+        assert!(jobs
+            .windows(2)
+            .all(|w| w[0].submit_at() <= w[1].submit_at()));
+    }
+
+    #[test]
+    fn batches_repeat_in_waves() {
+        let jobs = generate(&[batch_stream("a", vec![60.0, 600.0], 6)], &mut {
+            SimRng::seed_from(2)
+        });
+        let first_wave = jobs
+            .iter()
+            .filter(|j| j.submit_at() == SimTime::from_secs(60))
+            .count();
+        let second_wave = jobs
+            .iter()
+            .filter(|j| j.submit_at() == SimTime::from_secs(600))
+            .count();
+        assert_eq!(first_wave, 3);
+        assert_eq!(second_wave, 3);
+    }
+
+    #[test]
+    fn rotate_covers_all_benchmarks() {
+        let streams = [StreamSpec {
+            label: "mix".to_owned(),
+            benchmark: BenchmarkChoice::Rotate,
+            size_class: None,
+            maps: 4,
+            reduces: 1,
+            count: 6,
+            arrival: StreamArrival::Uniform {
+                period_s: 30.0,
+                start_s: 0.0,
+            },
+        }];
+        let jobs = generate(&streams, &mut SimRng::seed_from(3));
+        for kind in BenchmarkKind::ALL {
+            assert!(jobs.iter().any(|j| j.benchmark().kind() == kind));
+        }
+    }
+
+    #[test]
+    fn streams_are_independently_seeded() {
+        // Appending a stream must not change the arrivals of earlier ones.
+        let poisson = |label: &str| StreamSpec {
+            label: label.to_owned(),
+            benchmark: BenchmarkChoice::Rotate,
+            size_class: None,
+            maps: 4,
+            reduces: 1,
+            count: 5,
+            arrival: StreamArrival::Poisson {
+                rate_per_min: 2.0,
+                start_s: 0.0,
+            },
+        };
+        let solo = generate(&[poisson("a")], &mut SimRng::seed_from(4));
+        let both = generate(
+            &[poisson("a"), batch_stream("b", vec![1e6], 2)],
+            &mut SimRng::seed_from(4),
+        );
+        let solo_times: Vec<SimTime> = solo.iter().map(|j| j.submit_at()).collect();
+        let both_times: Vec<SimTime> = both.iter().take(5).map(|j| j.submit_at()).collect();
+        assert_eq!(solo_times, both_times);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let streams = [StreamSpec {
+            label: "d".to_owned(),
+            benchmark: BenchmarkChoice::Fixed(BenchmarkKind::Grep),
+            size_class: None,
+            maps: 6,
+            reduces: 2,
+            count: 12,
+            arrival: StreamArrival::Diurnal {
+                profile: DiurnalProfile {
+                    base_per_min: 0.5,
+                    peaks: vec![DiurnalPeak {
+                        center_s: 240.0,
+                        width_s: 60.0,
+                        extra_per_min: 4.0,
+                    }],
+                },
+                window_s: 600.0,
+            },
+        }];
+        let a = generate(&streams, &mut SimRng::seed_from(5));
+        let b = generate(&streams, &mut SimRng::seed_from(5));
+        assert_eq!(a, b);
+        let c = generate(&streams, &mut SimRng::seed_from(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream must submit at least one job")]
+    fn empty_stream_rejected() {
+        generate(
+            &[batch_stream("a", vec![0.0], 0)],
+            &mut SimRng::seed_from(0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival period must be positive")]
+    fn zero_period_rejected() {
+        let streams = [StreamSpec {
+            label: "u".to_owned(),
+            benchmark: BenchmarkChoice::Rotate,
+            size_class: None,
+            maps: 4,
+            reduces: 1,
+            count: 2,
+            arrival: StreamArrival::Uniform {
+                period_s: 0.0,
+                start_s: 0.0,
+            },
+        }];
+        generate(&streams, &mut SimRng::seed_from(0));
+    }
+}

@@ -4,7 +4,8 @@
 //!
 //! Identity is checked on the canonical JSON from
 //! [`metrics::emit::run_result_json`], which serializes every field of the
-//! result (per-task reports included when recorded), so any hidden
+//! result (per-task reports included, collected via a streaming report
+//! observer), so any hidden
 //! nondeterminism — iteration-order leaks, shared RNG state, float
 //! accumulation order — shows up as a byte difference.
 //!
@@ -12,6 +13,8 @@
 
 use eant::EAntConfig;
 use experiments::common::{parallel_runs_with_workers, Scenario, SchedulerKind};
+use hadoop_sim::trace::{SharedObserver, VecRecorder};
+use hadoop_sim::{RunResult, TaskReport};
 use metrics::emit::run_result_json;
 use simcore::SimDuration;
 use workload::msd::MsdConfig;
@@ -24,8 +27,28 @@ fn small_scenario(seed: u64) -> Scenario {
         task_scale: 32,
         submission_window: SimDuration::from_mins(4),
     };
-    s.engine.record_reports = true;
     s
+}
+
+/// Runs the scenario with a streaming report recorder attached and stuffs
+/// the collected reports into the result, so the serialized bytes still
+/// cover per-task reports now that `record_reports` is deprecated. The
+/// recorder is built inside the call, keeping closures over this function
+/// `Send` for the worker pool.
+fn run_with_reports(scenario: &Scenario, kind: &SchedulerKind) -> RunResult {
+    let recorder: SharedObserver<VecRecorder<TaskReport>> = SharedObserver::new(VecRecorder::new());
+    let handle = recorder.clone();
+    let mut result = scenario.run_observed(kind, move |engine, _| {
+        engine.attach_report_observer(Box::new(handle));
+    });
+    result.reports = recorder
+        .try_into_inner()
+        .unwrap_or_else(|_| panic!("engine dropped its observer handle"))
+        .into_events()
+        .into_iter()
+        .map(|(_, report)| report)
+        .collect();
+    result
 }
 
 /// Runs the (scheduler × seed) sweep on `workers` threads and serializes
@@ -42,7 +65,7 @@ fn sweep(workers: usize) -> Vec<String> {
         .flat_map(|kind| {
             seeds.iter().map(move |&seed| {
                 let kind = kind.clone();
-                move || small_scenario(seed).run(&kind)
+                move || run_with_reports(&small_scenario(seed), &kind)
             })
         })
         .collect();
@@ -79,8 +102,8 @@ fn consecutive_sweeps_agree() {
 #[test]
 fn distinct_seeds_serialize_distinctly() {
     let kind = SchedulerKind::Fair;
-    let a = run_result_json(&small_scenario(11).run(&kind));
-    let b = run_result_json(&small_scenario(12).run(&kind));
+    let a = run_result_json(&run_with_reports(&small_scenario(11), &kind));
+    let b = run_result_json(&run_with_reports(&small_scenario(12), &kind));
     assert_ne!(a, b);
 }
 
@@ -164,7 +187,7 @@ fn faulted_sweep(workers: usize) -> Vec<String> {
         .flat_map(|kind| {
             seeds.iter().map(move |&seed| {
                 let kind = kind.clone();
-                move || faulted_scenario(seed).run(&kind)
+                move || run_with_reports(&faulted_scenario(seed), &kind)
             })
         })
         .collect();

@@ -3,7 +3,8 @@
 
 use cluster::Fleet;
 use eant::{EAntConfig, EAntScheduler};
-use hadoop_sim::{Engine, EngineConfig, NoiseConfig, RunResult};
+use hadoop_sim::trace::{SharedObserver, VecRecorder};
+use hadoop_sim::{Engine, EngineConfig, NoiseConfig, RunResult, TaskReport};
 use simcore::{SimDuration, SimRng};
 use workload::msd::MsdConfig;
 
@@ -18,13 +19,24 @@ fn msd_run(seed: u64, noise: NoiseConfig) -> RunResult {
 
     let cfg = EngineConfig {
         noise,
-        record_reports: true,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
     engine.submit_jobs(jobs);
+    // Reports arrive through the streaming observer channel; the buffered
+    // `record_reports` switch is deprecated.
+    let recorder: SharedObserver<VecRecorder<TaskReport>> = SharedObserver::new(VecRecorder::new());
+    engine.attach_report_observer(Box::new(recorder.clone()));
     let mut eant = EAntScheduler::new(EAntConfig::paper_default(), seed);
-    let result = engine.run(&mut eant);
+    let mut result = engine.run(&mut eant);
+    drop(engine); // releases the engine's clone of the recorder
+    result.reports = recorder
+        .try_into_inner()
+        .unwrap_or_else(|_| panic!("engine dropped its observer handle"))
+        .into_events()
+        .into_iter()
+        .map(|(_, report)| report)
+        .collect();
     assert_eq!(result.total_tasks, u64::from(total_tasks));
     result
 }

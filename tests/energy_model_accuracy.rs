@@ -4,6 +4,7 @@
 
 use cluster::{profiles, Fleet, SlotKind};
 use eant::{EnergyModel, ExchangeStrategy, TaskAnalyzer, TaskEnergyRecord};
+use hadoop_sim::trace::{SharedObserver, VecRecorder};
 use hadoop_sim::{Engine, EngineConfig, GreedyScheduler, NoiseConfig, RunResult};
 use simcore::stats::OnlineStats;
 use simcore::SimTime;
@@ -16,10 +17,13 @@ fn saturated_run(kind: BenchmarkKind, noise: NoiseConfig, seed: u64) -> (RunResu
     let fleet = Fleet::builder().add(profile, 1).build().unwrap();
     let cfg = EngineConfig {
         noise,
-        record_reports: true,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(fleet, cfg, seed);
+    // Collect reports via the streaming observer channel; `record_reports`
+    // is deprecated.
+    let recorder = SharedObserver::new(VecRecorder::new());
+    engine.attach_report_observer(Box::new(recorder.clone()));
     engine.submit_jobs(
         (0..3)
             .map(|i| {
@@ -33,7 +37,15 @@ fn saturated_run(kind: BenchmarkKind, noise: NoiseConfig, seed: u64) -> (RunResu
             })
             .collect(),
     );
-    let result = engine.run(&mut GreedyScheduler::new());
+    let mut result = engine.run(&mut GreedyScheduler::new());
+    drop(engine); // releases the engine's clone of the recorder
+    result.reports = recorder
+        .try_into_inner()
+        .unwrap_or_else(|_| panic!("engine dropped its observer handle"))
+        .into_events()
+        .into_iter()
+        .map(|(_, report)| report)
+        .collect();
     (result, model)
 }
 

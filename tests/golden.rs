@@ -372,3 +372,112 @@ fn paper_scale_eant_makespan_matches_golden() {
         REL_TOL,
     );
 }
+
+/// Pinned fast-profile goldens for every committed scenario file: the
+/// first scheduler × first seed cell's total energy (MJ), makespan (s),
+/// and exact FNV-1a 64 digest of the canonical serialized
+/// [`hadoop_sim::RunResult`]. Energy and makespan carry the usual
+/// [`REL_TOL`] slack for cross-toolchain float reassociation; the digest
+/// pins this toolchain's exact bytes like the trace goldens above.
+/// Re-derive with `--nocapture`: each row's observed tuple prints below.
+#[test]
+fn scenario_library_matches_goldens() {
+    use experiments::scenario::{library_dir, load_spec};
+    use metrics::emit::run_result_json;
+
+    let table: &[(&str, f64, f64, u64)] = &[
+        ("crash-heavy-churn", 5.623288, 6046.415, 0x949640a6cd82c1b3),
+        ("deadline-batches", 0.771439, 856.220, 0xb7279a111805b513),
+        ("diurnal-double-peak", 0.745891, 830.783, 0xd155439375f4a65d),
+        ("fig8-msd", 3.558079, 3858.492, 0xefd50d75ad89bf0d),
+        ("fleet-refresh", 1.666999, 1775.056, 0x1d7bd4048464f914),
+        (
+            "multi-tenant-min-shares",
+            0.620810,
+            679.467,
+            0x5d8780bb2d1bd72b,
+        ),
+        ("rack-locality-skew", 0.552067, 1156.808, 0xa75889c27b8f0b31),
+    ];
+
+    // The table must cover the whole library: a new scenario file needs a
+    // golden row before it can ship.
+    let mut files: Vec<String> = std::fs::read_dir(library_dir())
+        .expect("scenarios/ exists")
+        .filter_map(|e| {
+            let name = e.expect("readable dir entry").file_name();
+            let name = name.to_string_lossy();
+            name.strip_suffix(".json").map(str::to_owned)
+        })
+        .collect();
+    files.sort();
+    let pinned: Vec<&str> = table.iter().map(|&(name, ..)| name).collect();
+    assert_eq!(files, pinned, "scenario library and golden table disagree");
+
+    // Two passes: run (and print) every row first so a drifted table can be
+    // re-derived wholesale from one `--nocapture` run, then assert.
+    let observed: Vec<(f64, f64, u64)> = table
+        .iter()
+        .map(|&(name, ..)| {
+            let spec = load_spec(&library_dir().join(format!("{name}.json")))
+                .unwrap_or_else(|e| panic!("{e}"));
+            let kind = spec.schedulers[0].clone();
+            let seed = spec.seeds[0];
+            let r = spec.execute(&kind, seed, true);
+            assert!(r.drained, "{name} failed to drain");
+            let digest = fnv1a_64(run_result_json(&r).as_bytes());
+            let energy = r.total_energy_joules() / 1.0e6;
+            let makespan = r.makespan.as_secs_f64();
+            println!("(\"{name}\", {energy:.6}, {makespan:.3}, {digest:#018x}),");
+            (energy, makespan, digest)
+        })
+        .collect();
+    for (&(name, energy_mj, makespan_s, digest), &(energy, makespan, observed)) in
+        table.iter().zip(&observed)
+    {
+        assert_close(
+            &format!("{name} total energy (MJ)"),
+            energy,
+            energy_mj,
+            REL_TOL,
+        );
+        assert_close(
+            &format!("{name} makespan (s)"),
+            makespan,
+            makespan_s,
+            REL_TOL,
+        );
+        assert_eq!(
+            observed, digest,
+            "{name} result digest drifted (observed {observed:#018x})"
+        );
+    }
+}
+
+/// The Fig. 8 grid reproduced *from the scenario file* is byte-identical
+/// to the hard-coded [`Scenario`] path: same canonical serialized result
+/// for every scheduler in the file, at two of its seeds. This is the
+/// contract that lets scenario files replace the figure modules without a
+/// re-baseline.
+#[test]
+fn fig8_scenario_file_reproduces_hardcoded_grid() {
+    use experiments::scenario::{library_dir, load_spec};
+    use metrics::emit::run_result_json;
+
+    let spec = load_spec(&library_dir().join("fig8-msd.json")).unwrap_or_else(|e| panic!("{e}"));
+    for seed in [2015u64, 1234] {
+        assert!(
+            spec.seeds.contains(&seed),
+            "fig8-msd.json dropped seed {seed}"
+        );
+        for kind in &spec.schedulers {
+            let from_spec = run_result_json(&spec.execute(kind, seed, true));
+            let hard_coded = run_result_json(&Scenario::fast(seed).run(kind));
+            assert!(
+                from_spec == hard_coded,
+                "{} seed {seed}: scenario-file run diverges from the hard-coded path",
+                kind.label()
+            );
+        }
+    }
+}

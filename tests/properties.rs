@@ -675,3 +675,233 @@ fn faults_conserve_tasks() {
         }
     });
 }
+
+/// The scenario codec's emitter and parser are exact inverses: any valid
+/// [`experiments::scenario::ScenarioSpec`] — random workload shape, fleet
+/// composition, scheduler grid, engine knobs — emits to canonical JSON that
+/// parses back to an equal spec and re-emits byte-identically. This is the
+/// contract that makes manifest keys (content hashes of the canonical form)
+/// stable across load/save cycles.
+#[test]
+fn scenario_spec_round_trips_byte_identically() {
+    use eant::EAntConfig;
+    use experiments::common::SchedulerKind;
+    use experiments::scenario::{FleetGroup, FleetSpec, ScenarioSpec, Tolerance, WorkloadSpec};
+    use hadoop_sim::{DvfsConfig, FaultConfig};
+    use simcore::SimDuration;
+    use workload::arrival::{DiurnalPeak, DiurnalProfile};
+    use workload::mix::{BenchmarkChoice, StreamArrival, StreamSpec};
+    use workload::msd::MsdConfig;
+    use workload::SizeClass;
+
+    fn ident(rng: &mut SimRng, prefix: &str) -> String {
+        format!("{prefix}-{:x}", rng.uniform_u64(0, 0xFFFF_FFFF))
+    }
+
+    fn gen_scheduler(rng: &mut SimRng) -> SchedulerKind {
+        match rng.uniform_u64(0, 3) {
+            0 => SchedulerKind::Fifo,
+            1 => SchedulerKind::Fair,
+            2 => SchedulerKind::Tarazu,
+            _ => {
+                let mut cfg = EAntConfig::paper_default();
+                cfg.rho = rng.uniform_range(0.05, 1.0);
+                cfg.beta = rng.uniform_range(0.0, 4.0);
+                cfg.tau_min = rng.uniform_range(0.01, 0.5);
+                cfg.tau_init = cfg.tau_min + rng.uniform_range(0.0, 5.0);
+                cfg.tau_max = cfg.tau_init + rng.uniform_range(0.0, 100.0);
+                cfg.local_boost = rng.uniform_range(1.0, 3.0);
+                cfg.share_cap = rng.uniform_range(1.0, 4.0);
+                cfg.exchange = [
+                    ExchangeStrategy::None,
+                    ExchangeStrategy::MachineLevel,
+                    ExchangeStrategy::JobLevel,
+                    ExchangeStrategy::Both,
+                ][rng.uniform_u64(0, 3) as usize];
+                cfg.negative_feedback = rng.chance(0.5);
+                SchedulerKind::EAnt(cfg)
+            }
+        }
+    }
+
+    fn gen_arrival(rng: &mut SimRng) -> StreamArrival {
+        match rng.uniform_u64(0, 3) {
+            0 => StreamArrival::Poisson {
+                rate_per_min: rng.uniform_range(0.2, 4.0),
+                start_s: rng.uniform_range(0.0, 300.0),
+            },
+            1 => StreamArrival::Uniform {
+                period_s: rng.uniform_range(10.0, 300.0),
+                start_s: rng.uniform_range(0.0, 120.0),
+            },
+            2 => StreamArrival::Batches {
+                at_s: (0..rng.uniform_u64(1, 3))
+                    .map(|_| rng.uniform_range(0.0, 3600.0))
+                    .collect(),
+            },
+            _ => StreamArrival::Diurnal {
+                profile: DiurnalProfile {
+                    base_per_min: rng.uniform_range(0.2, 2.0),
+                    peaks: (0..rng.uniform_u64(1, 2))
+                        .map(|_| DiurnalPeak {
+                            center_s: rng.uniform_range(0.0, 3600.0),
+                            width_s: rng.uniform_range(60.0, 600.0),
+                            extra_per_min: rng.uniform_range(0.5, 8.0),
+                        })
+                        .collect(),
+                },
+                window_s: rng.uniform_range(1200.0, 7200.0),
+            },
+        }
+    }
+
+    fn gen_workload(rng: &mut SimRng) -> WorkloadSpec {
+        if rng.chance(0.5) {
+            WorkloadSpec::Msd(MsdConfig {
+                num_jobs: rng.uniform_u64(1, 50) as usize,
+                task_scale: rng.uniform_u64(16, 128) as u32,
+                submission_window: SimDuration::from_secs(rng.uniform_u64(60, 3600)),
+            })
+        } else {
+            let streams = (0..rng.uniform_u64(1, 3))
+                .map(|_| StreamSpec {
+                    label: ident(rng, "stream"),
+                    benchmark: match rng.uniform_u64(0, 3) {
+                        0 => BenchmarkChoice::Fixed(BenchmarkKind::Wordcount),
+                        1 => BenchmarkChoice::Fixed(BenchmarkKind::Grep),
+                        2 => BenchmarkChoice::Fixed(BenchmarkKind::Terasort),
+                        _ => BenchmarkChoice::Rotate,
+                    },
+                    size_class: match rng.uniform_u64(0, 3) {
+                        0 => None,
+                        1 => Some(SizeClass::Small),
+                        2 => Some(SizeClass::Medium),
+                        _ => Some(SizeClass::Large),
+                    },
+                    maps: rng.uniform_u64(1, 200) as u32,
+                    reduces: rng.uniform_u64(0, 32) as u32,
+                    count: rng.uniform_u64(1, 20) as usize,
+                    arrival: gen_arrival(rng),
+                })
+                .collect();
+            WorkloadSpec::Streams(streams)
+        }
+    }
+
+    fn gen_fleet(rng: &mut SimRng) -> FleetSpec {
+        if rng.chance(0.4) {
+            FleetSpec::Paper
+        } else {
+            let names = ["Desktop", "XeonE5", "Atom", "T110", "T420", "T320", "T620"];
+            let groups = (0..rng.uniform_u64(1, 4))
+                .map(|_| FleetGroup {
+                    profile: names[rng.uniform_u64(0, names.len() as u64 - 1) as usize].to_owned(),
+                    count: rng.uniform_u64(1, 4) as usize,
+                    slots: if rng.chance(0.3) {
+                        Some((
+                            rng.uniform_u64(1, 6) as usize,
+                            rng.uniform_u64(0, 3) as usize,
+                        ))
+                    } else {
+                        None
+                    },
+                })
+                .collect();
+            FleetSpec::Custom {
+                groups,
+                rack_size: if rng.chance(0.5) {
+                    Some(rng.uniform_u64(2, 8) as usize)
+                } else {
+                    None
+                },
+            }
+        }
+    }
+
+    fn gen_engine(rng: &mut SimRng) -> EngineConfig {
+        EngineConfig {
+            heartbeat: SimDuration::from_secs(rng.uniform_u64(1, 10)),
+            control_interval: SimDuration::from_secs(rng.uniform_u64(60, 600)),
+            reduce_slowstart: rng.uniform_range(0.1, 1.0),
+            noise: if rng.chance(0.3) {
+                NoiseConfig::none()
+            } else {
+                let lo = rng.uniform_range(1.5, 3.0);
+                NoiseConfig {
+                    straggler_prob: rng.uniform_range(0.0, 0.5),
+                    straggler_slowdown: (lo, lo + rng.uniform_range(0.1, 3.0)),
+                    utilization_jitter: rng.uniform_range(0.0, 0.3),
+                }
+            },
+            fault: if rng.chance(0.5) {
+                hadoop_sim::FaultConfig::none()
+            } else {
+                FaultConfig {
+                    crash_mtbf: SimDuration::from_secs(rng.uniform_u64(600, 3600)),
+                    crash_downtime: SimDuration::from_secs(rng.uniform_u64(60, 300)),
+                    task_failure_prob: rng.uniform_range(0.0, 0.2),
+                    blacklist_threshold: [0, 6, 12][rng.uniform_u64(0, 2) as usize],
+                    ..FaultConfig::none()
+                }
+            },
+            power_down: if rng.chance(0.3) {
+                Some(PowerDownConfig {
+                    idle_timeout: SimDuration::from_secs(rng.uniform_u64(30, 600)),
+                    standby_watts: rng.uniform_range(1.0, 5.0),
+                    wake_latency: SimDuration::from_secs(rng.uniform_u64(1, 10)),
+                })
+            } else {
+                None
+            },
+            speculation: [
+                SpeculationPolicy::Off,
+                SpeculationPolicy::Hadoop,
+                SpeculationPolicy::Late,
+            ][rng.uniform_u64(0, 2) as usize],
+            dvfs: if rng.chance(0.3) {
+                Some(DvfsConfig {
+                    eco_factor: rng.uniform_range(0.5, 1.0),
+                    low_utilization: rng.uniform_range(0.1, 0.3),
+                    high_utilization: rng.uniform_range(0.6, 0.9),
+                })
+            } else {
+                None
+            },
+            speculation_threshold: rng.uniform_range(1.0, 3.0),
+            max_sim_time: SimDuration::from_secs(rng.uniform_u64(3600, 1_000_000)),
+            ..EngineConfig::default()
+        }
+    }
+
+    check("scenario_spec_round_trips_byte_identically", 64, |rng| {
+        let spec = ScenarioSpec {
+            name: ident(rng, "scenario"),
+            description: format!("prop \"case\" \\ {}", ident(rng, "desc")),
+            seeds: (0..rng.uniform_u64(1, 3)).map(|_| rng.next_u64()).collect(),
+            schedulers: (0..rng.uniform_u64(1, 4))
+                .map(|_| gen_scheduler(rng))
+                .collect(),
+            workload: gen_workload(rng),
+            fast_workload: if rng.chance(0.5) {
+                Some(gen_workload(rng))
+            } else {
+                None
+            },
+            fleet: gen_fleet(rng),
+            engine: gen_engine(rng),
+            tolerance: Tolerance {
+                energy_rel: rng.uniform_range(0.001, 0.1),
+                makespan_rel: rng.uniform_range(0.001, 0.1),
+            },
+        };
+        let first = spec.canonical();
+        let reparsed = ScenarioSpec::parse(&first)
+            .unwrap_or_else(|e| panic!("canonical form failed to parse: {e}\n{first}"));
+        assert_eq!(reparsed, spec, "parse is not the emitter's inverse");
+        assert_eq!(
+            reparsed.canonical(),
+            first,
+            "emit ∘ parse ∘ emit is not byte-stable"
+        );
+    });
+}
