@@ -71,7 +71,7 @@ impl Scheduler for CapacityScheduler {
         kind: SlotKind,
     ) -> Option<JobId> {
         let state = query.state();
-        let candidates: Vec<&JobEntry> = state.active().filter(|j| j.pending(kind) > 0).collect();
+        let candidates: Vec<&JobEntry> = state.candidates(kind).collect();
         if candidates.is_empty() {
             return None;
         }

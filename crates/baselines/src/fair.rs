@@ -64,7 +64,7 @@ impl Scheduler for FairScheduler {
         kind: SlotKind,
     ) -> Option<JobId> {
         let state = query.state();
-        let candidates: Vec<&JobEntry> = state.active().filter(|j| j.pending(kind) > 0).collect();
+        let candidates: Vec<&JobEntry> = state.candidates(kind).collect();
         if candidates.is_empty() {
             return None;
         }
@@ -114,8 +114,7 @@ impl Scheduler for FairScheduler {
         // scheduler actually ranks by: each job's slot deficit, normalized
         // by the fair share so traces are comparable across cluster sizes.
         let candidates = state
-            .active()
-            .filter(|j| j.pending(kind) > 0)
+            .candidates(kind)
             .map(|j| DecisionCandidate {
                 job: j.id,
                 local: kind == SlotKind::Map

@@ -45,18 +45,21 @@ impl Scheduler for FifoScheduler {
         machine: MachineId,
         kind: SlotKind,
     ) -> Option<JobId> {
-        let mut jobs: Vec<&JobEntry> = query.state().active().collect();
+        // The shared candidate slice arrives id-sorted; the stable sort
+        // re-ranks by submission order exactly as filtering the full active
+        // list after sorting used to.
+        let mut jobs: Vec<&JobEntry> = query.state().candidates(kind).collect();
         jobs.sort_by_key(|j| (j.submitted_at, j.id));
         if kind == SlotKind::Map {
             // Node-local work from the frontmost jobs first.
-            if let Some(j) = jobs.iter().find(|j| {
-                j.pending_maps > 0
-                    && query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
-            }) {
+            if let Some(j) = jobs
+                .iter()
+                .find(|j| query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal))
+            {
                 return Some(j.id);
             }
         }
-        jobs.iter().find(|j| j.pending(kind) > 0).map(|j| j.id)
+        jobs.first().map(|j| j.id)
     }
 }
 

@@ -117,7 +117,7 @@ impl Scheduler for TarazuScheduler {
     ) -> Option<JobId> {
         self.ensure_speeds(query);
         let state = query.state();
-        let mut candidates: Vec<_> = state.active().filter(|j| j.pending(kind) > 0).collect();
+        let mut candidates: Vec<_> = state.candidates(kind).collect();
         if candidates.is_empty() {
             return None;
         }

@@ -1,0 +1,93 @@
+//! Fleet-scale throughput benchmarks: end-to-end MSD runs on fleet × job
+//! grids from the paper's 16×87 testbed up to 1000 machines × 10 000 jobs.
+//!
+//! These are the numbers behind DESIGN.md §3's "scale-out engine core"
+//! table: the calendar event queue, the batched per-tick event loop, the
+//! dense task arena and the O(candidates) E-Ant decision path are all on
+//! this path. CI runs the bench with a reduced budget (`BENCH_BUDGET_MS`)
+//! and archives the records as `BENCH_scale.json`; the full grid is meant
+//! for a workstation run (`cargo bench -p bench --bench scale`).
+//!
+//! The largest grid points take seconds per iteration even post-refactor,
+//! so the harness's warm-up sizing naturally runs them only a handful of
+//! times. Filter to one point with e.g.
+//! `cargo bench --bench scale -- eant_100x1000`.
+
+use bench::{black_box, Harness};
+use cluster::{profiles, Fleet};
+use eant::{EAntConfig, EAntScheduler};
+use hadoop_sim::{Engine, EngineConfig, RunResult, Scheduler};
+use simcore::{SimDuration, SimRng};
+use workload::msd::MsdConfig;
+
+/// Builds an `n`-machine fleet with the paper testbed's 8:3:2:1:1:1
+/// Desktop/T110/T420/T320/T620/Atom mix, padding any rounding remainder
+/// with desktops so every size is exact.
+fn fleet(n: usize) -> Fleet {
+    if n == 16 {
+        return Fleet::paper_evaluation();
+    }
+    let t110 = n * 3 / 16;
+    let t420 = n * 2 / 16;
+    let t320 = n / 16;
+    let t620 = n / 16;
+    let atom = n / 16;
+    let desktop = n - t110 - t420 - t320 - t620 - atom;
+    Fleet::builder()
+        .add(profiles::desktop(), desktop)
+        .add(profiles::t110(), t110)
+        .add(profiles::t420(), t420)
+        .add(profiles::t320(), t320)
+        .add(profiles::t620(), t620)
+        .add(profiles::atom(), atom)
+        .build()
+        .expect("scale fleet composition is valid")
+}
+
+/// One end-to-end MSD run: generate the mix, drive the engine to drain.
+fn run(machines: usize, jobs: usize, window_mins: u64, sched: &mut dyn Scheduler) -> RunResult {
+    let msd = MsdConfig {
+        num_jobs: jobs,
+        task_scale: 64,
+        submission_window: SimDuration::from_mins(window_mins),
+    };
+    let mut engine = Engine::new(fleet(machines), EngineConfig::default(), 2015);
+    engine.submit_jobs(msd.generate(&mut SimRng::seed_from(2015).fork("msd")));
+    engine.run(sched)
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+
+    // (machines, jobs, submission window): job pressure per machine grows
+    // with the fleet, matching how the paper's 87-job/16-node density would
+    // extrapolate to production scale.
+    let grid: &[(usize, usize, u64)] = &[
+        (16, 87, 35),
+        (100, 1000, 60),
+        (250, 2500, 90),
+        (1000, 10_000, 240),
+    ];
+
+    for &(machines, jobs, window) in grid {
+        h.bench(&format!("scale/eant_{machines}x{jobs}"), || {
+            let mut sched = EAntScheduler::new(EAntConfig::paper_default(), 2015);
+            let r = run(machines, jobs, window, &mut sched);
+            assert!(r.drained, "eant {machines}x{jobs} failed to drain");
+            black_box(r.total_tasks)
+        });
+    }
+
+    // Fair isolates the engine (queue, batching, arena) from the E-Ant
+    // policy cost: its decision path was already O(candidates).
+    for &(machines, jobs, window) in &[(16usize, 87usize, 35u64), (1000, 10_000, 240)] {
+        h.bench(&format!("scale/fair_{machines}x{jobs}"), || {
+            let mut sched = baselines::FairScheduler::new();
+            let r = run(machines, jobs, window, &mut sched);
+            assert!(r.drained, "fair {machines}x{jobs} failed to drain");
+            black_box(r.total_tasks)
+        });
+    }
+
+    h.finish();
+}

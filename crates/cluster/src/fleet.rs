@@ -54,6 +54,10 @@ pub struct HomogeneousGroup {
 pub struct Fleet {
     machines: Vec<Machine>,
     racks: Vec<RackId>,
+    /// Slot capacities summed once at build time: profiles are fixed after
+    /// construction, and schedulers read the pool size on every decision.
+    map_slot_total: usize,
+    reduce_slot_total: usize,
 }
 
 impl Fleet {
@@ -136,6 +140,18 @@ impl Fleet {
             .ok_or(ClusterError::UnknownMachine(id.index()))
     }
 
+    /// The contiguous id range of the rack holding `id`. The builder
+    /// assigns racks in nondecreasing id order, so a rack is always one
+    /// dense span; out-of-range ids yield an empty range.
+    pub fn rack_span(&self, id: MachineId) -> std::ops::Range<usize> {
+        let Some(&r) = self.racks.get(id.index()) else {
+            return 0..0;
+        };
+        let start = self.racks.partition_point(|&x| x < r);
+        let end = self.racks.partition_point(|&x| x <= r);
+        start..end
+    }
+
     /// Whether two machines share a rack.
     pub fn same_rack(&self, a: MachineId, b: MachineId) -> bool {
         match (self.rack_of(a), self.rack_of(b)) {
@@ -180,15 +196,12 @@ impl Fleet {
 
     /// Total map slots across the fleet.
     pub fn total_map_slots(&self) -> usize {
-        self.machines.iter().map(|m| m.profile().map_slots()).sum()
+        self.map_slot_total
     }
 
     /// Total reduce slots across the fleet.
     pub fn total_reduce_slots(&self) -> usize {
-        self.machines
-            .iter()
-            .map(|m| m.profile().reduce_slots())
-            .sum()
+        self.reduce_slot_total
     }
 
     /// Total slots across the fleet (`S_pool` in the paper's Eq. 7 for a
@@ -266,7 +279,14 @@ impl FleetBuilder {
             .map(|(i, p)| Machine::new(MachineId(i), p))
             .collect();
         let racks = (0..machines.len()).map(|i| RackId(i / rack_size)).collect();
-        Ok(Fleet { machines, racks })
+        let map_slot_total = machines.iter().map(|m| m.profile().map_slots()).sum();
+        let reduce_slot_total = machines.iter().map(|m| m.profile().reduce_slots()).sum();
+        Ok(Fleet {
+            machines,
+            racks,
+            map_slot_total,
+            reduce_slot_total,
+        })
     }
 }
 

@@ -121,6 +121,15 @@ impl BlockPlacer {
     }
 
     /// Places a single block.
+    ///
+    /// Candidate pools are never materialized: racks occupy contiguous id
+    /// spans ([`Fleet::rack_span`]), so each pool's size and its k-th
+    /// member (in ascending id order, matching a filter over
+    /// [`Fleet::ids`]) are computed arithmetically. The RNG stream —
+    /// draw count, bounds and index-to-machine mapping — is exactly that
+    /// of the filter-and-collect formulation, so placements are
+    /// byte-identical to it; at fleet scale this path runs once per block
+    /// and the O(machines) vectors it replaced dominated job submission.
     pub fn place_one(&mut self, fleet: &Fleet, rng: &mut SimRng) -> Block {
         let n = fleet.len();
         let replication = self.replication.min(n);
@@ -130,42 +139,65 @@ impl BlockPlacer {
         let first = MachineId(rng.uniform_u64(0, n as u64 - 1) as usize);
         replicas.push(first);
 
-        // Second replica: prefer a different rack.
+        // Second replica: prefer a different rack. The off-rack pool is
+        // the ascending id sequence with `first`'s rack span cut out, so
+        // the k-th member is k shifted past the span.
         if replication >= 2 {
-            let candidates: Vec<MachineId> = fleet
-                .ids()
-                .filter(|&m| m != first && !fleet.same_rack(m, first))
-                .collect();
-            let fallback: Vec<MachineId> = fleet.ids().filter(|&m| m != first).collect();
-            let pool = if candidates.is_empty() {
-                &fallback
+            let span = fleet.rack_span(first);
+            let off_rack = n - span.len();
+            let pick = if off_rack > 0 {
+                let k = rng.uniform_u64(0, off_rack as u64 - 1) as usize;
+                if k < span.start {
+                    k
+                } else {
+                    k + span.len()
+                }
             } else {
-                &candidates
+                // Single-rack fleet: any node but `first` (n ≥ 2 here,
+                // since replication was clamped to n).
+                let k = rng.uniform_u64(0, n as u64 - 2) as usize;
+                if k < first.index() {
+                    k
+                } else {
+                    k + 1
+                }
             };
-            if !pool.is_empty() {
-                let pick = pool[rng.uniform_u64(0, pool.len() as u64 - 1) as usize];
-                replicas.push(pick);
-            }
+            replicas.push(MachineId(pick));
         }
 
         // Remaining replicas: same rack as the second when possible,
         // otherwise any unused node.
         while replicas.len() < replication {
             let anchor = replicas[1.min(replicas.len() - 1)];
-            let same_rack: Vec<MachineId> = fleet
-                .ids()
-                .filter(|&m| !replicas.contains(&m) && fleet.same_rack(m, anchor))
-                .collect();
-            let any: Vec<MachineId> = fleet.ids().filter(|&m| !replicas.contains(&m)).collect();
-            let pool = if same_rack.is_empty() {
-                &any
-            } else {
-                &same_rack
+            let span = fleet.rack_span(anchor);
+            let in_rack = || {
+                span.clone()
+                    .map(MachineId)
+                    .filter(|m| !replicas.contains(m))
             };
-            if pool.is_empty() {
-                break;
-            }
-            let pick = pool[rng.uniform_u64(0, pool.len() as u64 - 1) as usize];
+            let same_rack = in_rack().count();
+            let pick = if same_rack > 0 {
+                let k = rng.uniform_u64(0, same_rack as u64 - 1) as usize;
+                in_rack().nth(k).expect("k is in bounds")
+            } else {
+                // The anchor's whole rack is taken: any unused node. The
+                // pool is the ascending id sequence minus the (distinct)
+                // replicas, so the k-th member is k shifted past every
+                // replica at or below it, lowest first.
+                let unused = n - replicas.len();
+                if unused == 0 {
+                    break;
+                }
+                let mut k = rng.uniform_u64(0, unused as u64 - 1) as usize;
+                let mut taken: Vec<usize> = replicas.iter().map(|m| m.index()).collect();
+                taken.sort_unstable();
+                for t in taken {
+                    if t <= k {
+                        k += 1;
+                    }
+                }
+                MachineId(k)
+            };
             replicas.push(pick);
         }
 
@@ -255,6 +287,77 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let b = placer.place_one(&fleet, &mut rng);
         assert_eq!(b.replicas, vec![MachineId(0)]);
+    }
+
+    /// The span-arithmetic pools must reproduce the filter-and-collect
+    /// formulation draw for draw: same pool sizes, same ascending-id
+    /// indexing, so the same RNG stream yields the same placements.
+    #[test]
+    fn arithmetic_pools_match_filter_oracle() {
+        fn place_oracle(replication: usize, fleet: &Fleet, rng: &mut SimRng) -> Vec<MachineId> {
+            let n = fleet.len();
+            let replication = replication.min(n);
+            let mut replicas: Vec<MachineId> = Vec::with_capacity(replication);
+            let first = MachineId(rng.uniform_u64(0, n as u64 - 1) as usize);
+            replicas.push(first);
+            if replication >= 2 {
+                let candidates: Vec<MachineId> = fleet
+                    .ids()
+                    .filter(|&m| m != first && !fleet.same_rack(m, first))
+                    .collect();
+                let fallback: Vec<MachineId> = fleet.ids().filter(|&m| m != first).collect();
+                let pool = if candidates.is_empty() {
+                    &fallback
+                } else {
+                    &candidates
+                };
+                if !pool.is_empty() {
+                    replicas.push(pool[rng.uniform_u64(0, pool.len() as u64 - 1) as usize]);
+                }
+            }
+            while replicas.len() < replication {
+                let anchor = replicas[1.min(replicas.len() - 1)];
+                let same_rack: Vec<MachineId> = fleet
+                    .ids()
+                    .filter(|&m| !replicas.contains(&m) && fleet.same_rack(m, anchor))
+                    .collect();
+                let any: Vec<MachineId> = fleet.ids().filter(|&m| !replicas.contains(&m)).collect();
+                let pool = if same_rack.is_empty() {
+                    &any
+                } else {
+                    &same_rack
+                };
+                if pool.is_empty() {
+                    break;
+                }
+                replicas.push(pool[rng.uniform_u64(0, pool.len() as u64 - 1) as usize]);
+            }
+            replicas
+        }
+
+        // Rack sizes that divide the fleet, leave a remainder rack, put
+        // everything in one rack, and exceed the replication factor in a
+        // tiny fleet.
+        for (machines, rack_size, replication) in
+            [(16, 4, 3), (13, 5, 3), (6, 6, 3), (3, 2, 5), (9, 1, 2)]
+        {
+            let fleet = Fleet::builder()
+                .add(profiles::desktop(), machines)
+                .rack_size(rack_size)
+                .build()
+                .unwrap();
+            let mut placer = BlockPlacer::new(replication);
+            let mut rng = SimRng::seed_from(42);
+            let mut oracle_rng = SimRng::seed_from(42);
+            for i in 0..200 {
+                let block = placer.place_one(&fleet, &mut rng);
+                let want = place_oracle(replication, &fleet, &mut oracle_rng);
+                assert_eq!(
+                    block.replicas, want,
+                    "block {i} diverges ({machines} machines, rack {rack_size}, r {replication})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub struct IntervalFeedback {
 pub struct TaskAnalyzer {
     machines: usize,
     records: Vec<TaskEnergyRecord>,
+    /// Records currently buffered per machine, so the failure path's
+    /// [`TaskAnalyzer::discard_machine`] can skip the O(records) retain for
+    /// machines that completed nothing this interval — the common case when
+    /// a crashed node is re-discarded on every subsequent control tick.
+    counts_per_machine: Vec<u32>,
 }
 
 impl TaskAnalyzer {
@@ -82,6 +87,7 @@ impl TaskAnalyzer {
         TaskAnalyzer {
             machines,
             records: Vec::new(),
+            counts_per_machine: vec![0; machines],
         }
     }
 
@@ -91,6 +97,9 @@ impl TaskAnalyzer {
     /// carry no usable efficiency signal and would poison the Eq. 5 ratios.
     pub fn record(&mut self, record: TaskEnergyRecord) {
         if record.energy_joules.is_finite() && record.energy_joules > 0.0 {
+            if let Some(count) = self.counts_per_machine.get_mut(record.machine.index()) {
+                *count += 1;
+            }
             self.records.push(record);
         }
     }
@@ -109,7 +118,17 @@ impl TaskAnalyzer {
     /// declared dead or blacklisted mid-interval, so its partial samples
     /// neither earn pheromone nor skew the energy-model refit.
     pub fn discard_machine(&mut self, machine: MachineId) {
+        let has_records = self
+            .counts_per_machine
+            .get(machine.index())
+            .is_some_and(|&c| c > 0);
+        if !has_records {
+            // Retaining on a machine with no buffered records is the
+            // identity; skip the full-buffer scan.
+            return;
+        }
         self.records.retain(|r| r.machine != machine);
+        self.counts_per_machine[machine.index()] = 0;
     }
 
     /// Computes the interval's deposits and clears the record buffer.
@@ -131,6 +150,7 @@ impl TaskAnalyzer {
             "machine_groups must cover every machine"
         );
         let records = std::mem::take(&mut self.records);
+        self.counts_per_machine.fill(0);
 
         // Mean energy per job (Eq. 5 numerator).
         let mut job_sum: BTreeMap<JobId, (f64, usize)> = BTreeMap::new();
@@ -260,6 +280,24 @@ mod tests {
         assert_eq!(fb.deposits[&JobId(0)][0], 0.0);
         assert!(fb.deposits[&JobId(0)][1] > 0.0);
         assert!(!fb.deposits.contains_key(&JobId(1)));
+    }
+
+    #[test]
+    fn discard_after_compute_is_clean() {
+        // compute() drains the buffer; a later discard must neither scan
+        // stale counts nor drop fresh records from other machines.
+        let mut a = TaskAnalyzer::new(2);
+        a.record(rec(0, 0, 0, 1000.0));
+        let _ = a.compute(&[0, 1], ExchangeStrategy::None);
+        a.record(rec(0, 0, 1, 2000.0));
+        a.discard_machine(MachineId(0));
+        assert_eq!(a.len(), 1);
+        a.discard_machine(MachineId(1));
+        assert!(a.is_empty());
+        // Out-of-range machines are a no-op.
+        a.record(rec(0, 0, 0, 1000.0));
+        a.discard_machine(MachineId(99));
+        assert_eq!(a.len(), 1);
     }
 
     #[test]

@@ -41,7 +41,32 @@ pub struct PheromoneTable {
     tau_init: f64,
     tau_min: f64,
     tau_max: f64,
-    rows: BTreeMap<JobId, Vec<f64>>,
+    rows: BTreeMap<JobId, Row>,
+}
+
+/// One job's pheromone row with its cached sum, so the Eq. 3 normalizer
+/// `Σ_m' τ(j, m')` is not re-reduced on every per-candidate probability
+/// lookup in the decision hot path.
+///
+/// Invariant: `sum` is always `tau.iter().sum()` recomputed in full after
+/// any mutation of `tau` (never adjusted incrementally), so cached and
+/// freshly-computed normalizers are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    tau: Vec<f64>,
+    sum: f64,
+}
+
+impl Row {
+    fn new(tau: Vec<f64>) -> Self {
+        let sum = tau.iter().sum();
+        Row { tau, sum }
+    }
+
+    /// Recomputes the cached sum after the caller mutated `tau`.
+    fn rescore(&mut self) {
+        self.sum = self.tau.iter().sum();
+    }
 }
 
 impl PheromoneTable {
@@ -81,7 +106,7 @@ impl PheromoneTable {
     pub fn ensure_job(&mut self, job: JobId) {
         self.rows
             .entry(job)
-            .or_insert_with(|| vec![self.tau_init; self.machines]);
+            .or_insert_with(|| Row::new(vec![self.tau_init; self.machines]));
     }
 
     /// Drops the row of a finished job (its colony has no more ants).
@@ -93,25 +118,42 @@ impl PheromoneTable {
     /// jobs, `tau_min` for out-of-range machines.
     pub fn get(&self, job: JobId, machine: MachineId) -> f64 {
         match self.rows.get(&job) {
-            Some(row) => row.get(machine.index()).copied().unwrap_or(self.tau_min),
+            Some(row) => row
+                .tau
+                .get(machine.index())
+                .copied()
+                .unwrap_or(self.tau_min),
             None => self.tau_init,
         }
     }
 
     /// The full row of a tracked job.
     pub fn row(&self, job: JobId) -> Option<&[f64]> {
-        self.rows.get(&job).map(Vec::as_slice)
+        self.rows.get(&job).map(|r| r.tau.as_slice())
     }
 
     /// Eq. 3: the probability distribution over machines for `job`
     /// (pheromone row normalized to sum 1). Untracked jobs are uniform.
     pub fn probabilities(&self, job: JobId) -> Vec<f64> {
         match self.rows.get(&job) {
-            Some(row) => {
-                let total: f64 = row.iter().sum();
-                row.iter().map(|&t| t / total).collect()
-            }
+            Some(row) => row.tau.iter().map(|&t| t / row.sum).collect(),
             None => vec![1.0 / self.machines as f64; self.machines],
+        }
+    }
+
+    /// Eq. 3 for a single (job, machine) path: `τ(j, m) / Σ_m' τ(j, m')`,
+    /// O(1) against the row's cached sum instead of materializing the full
+    /// [`PheromoneTable::probabilities`] vector. Untracked jobs are uniform,
+    /// matching `probabilities`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range for a tracked job, exactly as
+    /// indexing the `probabilities` vector would.
+    pub fn probability(&self, job: JobId, machine: MachineId) -> f64 {
+        match self.rows.get(&job) {
+            Some(row) => row.tau[machine.index()] / row.sum,
+            None => 1.0 / self.machines as f64,
         }
     }
 
@@ -162,7 +204,7 @@ impl PheromoneTable {
         let zero = vec![0.0; self.machines];
         for (job, row) in &mut self.rows {
             let own = deposits.get(job).unwrap_or(&zero);
-            for (m, tau) in row.iter_mut().enumerate() {
+            for (m, tau) in row.tau.iter_mut().enumerate() {
                 let foreign = if negative_feedback {
                     let others = depositors[m] - u32::from(own[m] > 0.0);
                     if others > 0 {
@@ -176,6 +218,7 @@ impl PheromoneTable {
                 let delta = own[m] - foreign;
                 *tau = ((1.0 - rho) * *tau + rho * delta).clamp(self.tau_min, self.tau_max);
             }
+            row.rescore();
         }
     }
 
@@ -184,9 +227,10 @@ impl PheromoneTable {
     pub fn evaporate(&mut self, rho: f64) {
         assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1]");
         for row in self.rows.values_mut() {
-            for tau in row.iter_mut() {
+            for tau in row.tau.iter_mut() {
                 *tau = ((1.0 - rho) * *tau).max(self.tau_min);
             }
+            row.rescore();
         }
     }
 
@@ -205,7 +249,8 @@ impl PheromoneTable {
             return;
         }
         for row in self.rows.values_mut() {
-            row[m] = ((1.0 - rho) * row[m]).max(self.tau_min);
+            row.tau[m] = ((1.0 - rho) * row.tau[m]).max(self.tau_min);
+            row.rescore();
         }
     }
 }
@@ -336,6 +381,26 @@ mod tests {
         t.apply_deposits(&deposits, 0.5, true);
         assert_eq!(t.jobs(), 1);
         assert!(t.get(JobId(7), MachineId(2)) > t.get(JobId(7), MachineId(0)));
+    }
+
+    #[test]
+    fn single_path_probability_matches_full_vector() {
+        let mut t = table();
+        t.ensure_job(JobId(0));
+        t.ensure_job(JobId(1));
+        let mut deposits = BTreeMap::new();
+        deposits.insert(JobId(0), vec![4.0, 1.0, 0.5]);
+        t.apply_deposits(&deposits, 0.5, true);
+        t.evaporate_machine(MachineId(2), 0.3);
+        for job in [JobId(0), JobId(1), JobId(9)] {
+            let full = t.probabilities(job);
+            for (m, &p) in full.iter().enumerate().take(3) {
+                // Bit-identical, not merely close: the cached sum is
+                // recomputed by the same full reduction `probabilities`
+                // performs.
+                assert_eq!(t.probability(job, MachineId(m)), p);
+            }
+        }
     }
 
     #[test]

@@ -193,7 +193,7 @@ impl EAntScheduler {
     ) -> (Option<JobId>, Vec<DecisionCandidate>) {
         self.ensure_initialized(query);
         let state = query.state();
-        let candidates: Vec<_> = state.active().filter(|j| j.pending(kind) > 0).collect();
+        let candidates: Vec<_> = state.candidates(kind).collect();
         if candidates.is_empty() {
             return (None, Vec::new());
         }
@@ -234,7 +234,7 @@ impl EAntScheduler {
         let weights: Vec<f64> = candidates
             .iter()
             .map(|c| {
-                let p_row = pheromones.probabilities(c.id)[machine.index()];
+                let p_row = pheromones.probability(c.id, machine);
                 let local = kind == SlotKind::Map
                     && query.best_map_locality(c.id, machine) == Some(Locality::NodeLocal);
                 let eta = weight_factor(

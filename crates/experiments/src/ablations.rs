@@ -1,4 +1,4 @@
-//! Ablation study of E-Ant's design choices (DESIGN.md §6).
+//! Ablation study of E-Ant's design choices (DESIGN.md §7).
 //!
 //! Each row disables or perturbs one mechanism and reports the multi-seed
 //! mean energy saving against the Fair Scheduler on the moderate-concurrency

@@ -17,7 +17,7 @@
 //! | [`fig10`] | Fig. 10: exchange-strategy ablation over time |
 //! | [`fig11`] | Fig. 11(a–b): convergence vs homogeneity |
 //! | [`fig12`] | Fig. 12(a–b): β and control-interval sensitivity |
-//! | [`ablations`] | design-choice ablation table (DESIGN.md §6) |
+//! | [`ablations`] | design-choice ablation table (DESIGN.md §7) |
 //! | [`bound`] | Appendix A / Table II offline bound vs the online system |
 //! | [`extensions`] | §VIII future-work: E-Ant + idle power-down |
 //! | [`faults`] | fault-injection sweep: scheduler degradation under crashes/retries |

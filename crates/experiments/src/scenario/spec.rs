@@ -1162,8 +1162,8 @@ fn engine_from_json(view: &ObjectView<'_>) -> Result<EngineConfig, SpecError> {
 
     let max_sim_time = opt_duration(view, "max_sim_time_s", true)?.unwrap_or(base.max_sim_time);
 
-    // `..Default::default()` keeps the deprecated `record_reports` switch
-    // (and `trace_decisions`) at their off defaults without naming them.
+    // `..Default::default()` keeps `trace_decisions` at its off default
+    // without naming it.
     Ok(EngineConfig {
         heartbeat,
         control_interval,

@@ -144,6 +144,13 @@ impl Dashboard {
         (e1 - e0) / dt
     }
 
+    /// Above this fleet size, [`Dashboard::render`] collapses per-machine
+    /// rows into one aggregate row per contiguous same-capacity group: a
+    /// 1000-machine frame is unreadable (and unrenderable in a terminal)
+    /// machine-by-machine, but the paper-style fleet of a few hardware
+    /// groups compresses losslessly into a handful of rows.
+    const GROUP_THRESHOLD: usize = 64;
+
     /// Renders one dashboard frame at simulated time `at`.
     pub fn render(&self, at: SimTime) -> String {
         let busy_map: u32 = self.machines.iter().map(|m| m.used_map).sum();
@@ -162,28 +169,91 @@ impl Dashboard {
             cap_reduce,
             self.energy_rate_watts(),
         );
-        for (i, row) in self.machines.iter().enumerate() {
-            let state = match (row.health, row.power) {
-                (Health::Dead, _) => "DEAD",
-                (Health::Blacklisted, _) => "BLACKLISTED",
-                (Health::Up, PowerState::Standby) => "standby",
-                (Health::Up, PowerState::Waking) => "waking",
-                (Health::Up, PowerState::Eco) => "eco",
-                (Health::Up, PowerState::Nominal) => "up",
-            };
-            out.push_str(&format!(
-                "  m{:02}  map {} {:>2}/{:<2}  red {} {:>2}/{:<2}  {}\n",
-                i,
-                bar(row.used_map, row.cap_map),
-                row.used_map,
-                row.cap_map,
-                bar(row.used_reduce, row.cap_reduce),
-                row.used_reduce,
-                row.cap_reduce,
-                state,
-            ));
+        if self.machines.len() > Self::GROUP_THRESHOLD {
+            self.render_groups(&mut out);
+        } else {
+            for (i, row) in self.machines.iter().enumerate() {
+                let state = match (row.health, row.power) {
+                    (Health::Dead, _) => "DEAD",
+                    (Health::Blacklisted, _) => "BLACKLISTED",
+                    (Health::Up, PowerState::Standby) => "standby",
+                    (Health::Up, PowerState::Waking) => "waking",
+                    (Health::Up, PowerState::Eco) => "eco",
+                    (Health::Up, PowerState::Nominal) => "up",
+                };
+                out.push_str(&format!(
+                    "  m{:02}  map {} {:>2}/{:<2}  red {} {:>2}/{:<2}  {}\n",
+                    i,
+                    bar(row.used_map, row.cap_map),
+                    row.used_map,
+                    row.cap_map,
+                    bar(row.used_reduce, row.cap_reduce),
+                    row.used_reduce,
+                    row.cap_reduce,
+                    state,
+                ));
+            }
         }
         out
+    }
+
+    /// One aggregate row per contiguous run of machines sharing a
+    /// `(map, reduce)` slot capacity — the fleet builder lays hardware
+    /// groups out contiguously, so these runs are exactly the machine
+    /// groups. Bars show summed occupancy; the trailing status counts any
+    /// machines that are not nominally up.
+    fn render_groups(&self, out: &mut String) {
+        let mut start = 0;
+        while start < self.machines.len() {
+            let key = (
+                self.machines[start].cap_map,
+                self.machines[start].cap_reduce,
+            );
+            let mut end = start + 1;
+            while end < self.machines.len()
+                && (self.machines[end].cap_map, self.machines[end].cap_reduce) == key
+            {
+                end += 1;
+            }
+            let rows = &self.machines[start..end];
+            let used_map: u32 = rows.iter().map(|m| m.used_map).sum();
+            let cap_map: u32 = rows.iter().map(|m| m.cap_map).sum();
+            let used_reduce: u32 = rows.iter().map(|m| m.used_reduce).sum();
+            let cap_reduce: u32 = rows.iter().map(|m| m.cap_reduce).sum();
+            let dead = rows.iter().filter(|m| m.health == Health::Dead).count();
+            let blacklisted = rows
+                .iter()
+                .filter(|m| m.health == Health::Blacklisted)
+                .count();
+            let low_power = rows
+                .iter()
+                .filter(|m| m.health == Health::Up && m.power != PowerState::Nominal)
+                .count();
+            let mut state = format!("{} up", rows.len() - dead - blacklisted);
+            for (n, label) in [
+                (dead, "DEAD"),
+                (blacklisted, "BLACKLISTED"),
+                (low_power, "low-power"),
+            ] {
+                if n > 0 {
+                    state.push_str(&format!(", {n} {label}"));
+                }
+            }
+            out.push_str(&format!(
+                "  m{:04}-m{:04} ({:>4}x)  map {} {:>5}/{:<5}  red {} {:>4}/{:<4}  {}\n",
+                start,
+                end - 1,
+                rows.len(),
+                bar(used_map, cap_map),
+                used_map,
+                cap_map,
+                bar(used_reduce, cap_reduce),
+                used_reduce,
+                cap_reduce,
+                state,
+            ));
+            start = end;
+        }
     }
 }
 
@@ -300,5 +370,69 @@ mod tests {
         );
         std::fs::remove_file(crate::timeline::registry_snapshot_path(&path)).ok();
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn large_fleets_aggregate_rows_by_capacity_group() {
+        use cluster::MachineId;
+
+        // Two contiguous capacity groups: 80 machines with 2 map / 1 reduce
+        // slots, then 20 with 4 / 2 — past the per-machine threshold.
+        let mut dash = Dashboard::new(100);
+        for i in 0..100usize {
+            let (cap_map, cap_reduce) = if i < 80 { (2, 1) } else { (4, 2) };
+            dash.apply(
+                SimTime::ZERO,
+                &SimEvent::SlotOccupancyChanged {
+                    machine: MachineId(i),
+                    kind: SlotKind::Map,
+                    occupied: u32::from(i % 2 == 0),
+                    capacity: cap_map,
+                },
+            );
+            dash.apply(
+                SimTime::ZERO,
+                &SimEvent::SlotOccupancyChanged {
+                    machine: MachineId(i),
+                    kind: SlotKind::Reduce,
+                    occupied: 0,
+                    capacity: cap_reduce,
+                },
+            );
+        }
+        dash.apply(
+            SimTime::ZERO,
+            &SimEvent::MachineFailed {
+                machine: MachineId(2),
+                attempts_lost: 1,
+            },
+        );
+        let out = dash.render(SimTime::from_secs(60));
+        assert!(out.contains("m0000-m0079 (  80x)"), "{out}");
+        assert!(out.contains("m0080-m0099 (  20x)"), "{out}");
+        // 40 even-indexed machines held a map task; the dead one's count
+        // was cleared on failure.
+        assert!(out.contains("39/160"), "{out}");
+        assert!(out.contains("79 up, 1 DEAD"), "{out}");
+        // No per-machine rows at this scale.
+        assert!(!out.contains("m00  map"), "{out}");
+    }
+
+    #[test]
+    fn small_fleets_keep_per_machine_rows() {
+        let mut dash = Dashboard::new(3);
+        dash.apply(
+            SimTime::ZERO,
+            &SimEvent::SlotOccupancyChanged {
+                machine: cluster::MachineId(1),
+                kind: SlotKind::Map,
+                occupied: 2,
+                capacity: 4,
+            },
+        );
+        let out = dash.render(SimTime::from_secs(5));
+        assert!(out.contains("m00"), "{out}");
+        assert!(out.contains("m01"), "{out}");
+        assert!(out.contains("m02"), "{out}");
     }
 }

@@ -106,6 +106,12 @@ pub struct ClusterState {
     jobs: Vec<JobEntry>,
     /// Ids of active jobs, sorted ascending — scheduler candidate order.
     active: Vec<JobId>,
+    /// Ids of active jobs with pending map work, sorted ascending — the
+    /// map-slot candidate slice schedulers iterate without filtering.
+    candidate_maps: Vec<JobId>,
+    /// Ids of active jobs with pending *eligible* reduce work, sorted
+    /// ascending — the reduce-slot candidate slice.
+    candidate_reduces: Vec<JobId>,
     groups: GroupTable,
     /// Pending maps summed over *active* jobs.
     pending_map_total: u64,
@@ -166,8 +172,26 @@ impl ClusterState {
             self.pending_reduce_total += u64::from(entry.pending_reduces);
             self.active.push(entry.id); // dense insert keeps the sort
         }
+        for kind in [SlotKind::Map, SlotKind::Reduce] {
+            if Self::is_candidate(&entry, kind) {
+                self.candidate_index_mut(kind).push(entry.id);
+            }
+        }
         self.running_total += u64::from(entry.slots_occupied);
         self.jobs.push(entry);
+    }
+
+    /// Whether an entry belongs on the `kind` candidate slice: active with
+    /// pending work of that kind.
+    fn is_candidate(entry: &JobEntry, kind: SlotKind) -> bool {
+        entry.is_active() && entry.pending(kind) > 0
+    }
+
+    fn candidate_index_mut(&mut self, kind: SlotKind) -> &mut Vec<JobId> {
+        match kind {
+            SlotKind::Map => &mut self.candidate_maps,
+            SlotKind::Reduce => &mut self.candidate_reduces,
+        }
     }
 
     /// Applies `mutate` to the job's entry, keeping the active index and
@@ -181,6 +205,10 @@ impl ClusterState {
     pub fn update(&mut self, id: JobId, mutate: impl FnOnce(&mut JobEntry)) {
         let entry = &mut self.jobs[id.index()];
         let was_active = entry.is_active();
+        let was_candidate = [
+            Self::is_candidate(entry, SlotKind::Map),
+            Self::is_candidate(entry, SlotKind::Reduce),
+        ];
         if was_active {
             self.pending_map_total -= u64::from(entry.pending_maps);
             self.pending_reduce_total -= u64::from(entry.pending_reduces);
@@ -191,6 +219,10 @@ impl ClusterState {
         debug_assert_eq!(entry.id, id, "update must not change the job id");
 
         let now_active = entry.is_active();
+        let now_candidate = [
+            Self::is_candidate(entry, SlotKind::Map),
+            Self::is_candidate(entry, SlotKind::Reduce),
+        ];
         if now_active {
             self.pending_map_total += u64::from(entry.pending_maps);
             self.pending_reduce_total += u64::from(entry.pending_reduces);
@@ -210,6 +242,22 @@ impl ClusterState {
                 self.active.remove(pos);
             }
             _ => {}
+        }
+        for (i, kind) in [SlotKind::Map, SlotKind::Reduce].into_iter().enumerate() {
+            let index = self.candidate_index_mut(kind);
+            match (was_candidate[i], now_candidate[i]) {
+                (false, true) => {
+                    let pos = index.partition_point(|&a| a < id);
+                    index.insert(pos, id);
+                }
+                (true, false) => {
+                    let pos = index
+                        .binary_search(&id)
+                        .expect("candidate index out of sync");
+                    index.remove(pos);
+                }
+                _ => {}
+            }
         }
     }
 
@@ -241,6 +289,27 @@ impl ClusterState {
     /// Number of active jobs.
     pub fn num_active(&self) -> usize {
         self.active.len()
+    }
+
+    /// Ids of active jobs with pending work of `kind`, sorted ascending.
+    /// Equivalent to filtering [`active_ids`](ClusterState::active_ids) on
+    /// `pending(kind) > 0`, but maintained incrementally so decision paths
+    /// never scan jobs that have nothing to offer a `kind` slot.
+    pub fn candidate_ids(&self, kind: SlotKind) -> &[JobId] {
+        match kind {
+            SlotKind::Map => &self.candidate_maps,
+            SlotKind::Reduce => &self.candidate_reduces,
+        }
+    }
+
+    /// Entries of active jobs with pending work of `kind`, in ascending id
+    /// order — the shared candidate slice every scheduler iterates at a
+    /// `kind` slot offer, borrow-only. Identical membership and order to
+    /// `active().filter(|j| j.pending(kind) > 0)`.
+    pub fn candidates(&self, kind: SlotKind) -> impl Iterator<Item = &JobEntry> + '_ {
+        self.candidate_ids(kind)
+            .iter()
+            .map(move |&id| &self.jobs[id.index()])
     }
 
     /// Pending tasks of `kind` summed over active jobs.
@@ -300,6 +369,15 @@ impl ClusterState {
             .map(|e| e.id)
             .collect();
         debug_assert!(active.windows(2).all(|w| w[0] < w[1]));
+        let candidate = |kind: SlotKind| -> Vec<JobId> {
+            entries
+                .iter()
+                .filter(|e| Self::is_candidate(e, kind))
+                .map(|e| e.id)
+                .collect()
+        };
+        let candidate_maps = candidate(SlotKind::Map);
+        let candidate_reduces = candidate(SlotKind::Reduce);
         let pending_map_total = entries
             .iter()
             .filter(|e| e.is_active())
@@ -314,6 +392,8 @@ impl ClusterState {
         ClusterState {
             jobs: entries,
             active,
+            candidate_maps,
+            candidate_reduces,
             groups,
             pending_map_total,
             pending_reduce_total,
@@ -401,6 +481,40 @@ mod tests {
         // disturb the (empty) active index.
         s.update(JobId(0), |e| e.slots_occupied = 0);
         assert_eq!(s.running_total(), 0);
+    }
+
+    #[test]
+    fn candidate_slices_track_pending_work_per_kind() {
+        let mut s = two_job_state();
+        assert!(s.candidate_ids(SlotKind::Map).is_empty());
+        s.update(JobId(1), |e| e.submitted = true);
+        s.update(JobId(0), |e| e.submitted = true);
+        // Both have pending maps, neither has eligible reduces.
+        assert_eq!(s.candidate_ids(SlotKind::Map), &[JobId(0), JobId(1)]);
+        assert!(s.candidate_ids(SlotKind::Reduce).is_empty());
+        // Job 0 drains its maps and clears reduce slow-start.
+        s.update(JobId(0), |e| {
+            e.pending_maps = 0;
+            e.pending_reduces = 1;
+        });
+        assert_eq!(s.candidate_ids(SlotKind::Map), &[JobId(1)]);
+        assert_eq!(s.candidate_ids(SlotKind::Reduce), &[JobId(0)]);
+        // The slices agree with the filtered active view.
+        for kind in [SlotKind::Map, SlotKind::Reduce] {
+            let filtered: Vec<JobId> = s
+                .active()
+                .filter(|j| j.pending(kind) > 0)
+                .map(|j| j.id)
+                .collect();
+            let sliced: Vec<JobId> = s.candidates(kind).map(|j| j.id).collect();
+            assert_eq!(sliced, filtered);
+        }
+        // Finishing removes the job from every index.
+        s.update(JobId(0), |e| {
+            e.pending_reduces = 0;
+            e.finished = true;
+        });
+        assert!(s.candidate_ids(SlotKind::Reduce).is_empty());
     }
 
     #[test]

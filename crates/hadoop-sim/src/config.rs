@@ -355,14 +355,6 @@ pub struct EngineConfig {
     /// time exceeds this multiple of its job's mean completed task
     /// duration (per task kind).
     pub speculation_threshold: f64,
-    /// Whether to retain every [`TaskReport`](crate::TaskReport) in the run
-    /// result. Enable only for small runs (Fig. 4 / Fig. 7 experiments);
-    /// large MSD runs produce hundreds of thousands of reports.
-    #[deprecated(
-        note = "attach a streaming consumer via Engine::attach_report_observer instead; \
-                it sees the identical report sequence without buffering it in the result"
-    )]
-    pub record_reports: bool,
     /// Whether to emit a [`SimEvent::AssignmentDecision`](crate::SimEvent)
     /// at every task placement, carrying the scheduler's candidate set and
     /// (for schedulers that explain themselves, like E-Ant) the pheromone /
@@ -414,7 +406,6 @@ impl EngineConfig {
 }
 
 impl Default for EngineConfig {
-    #[allow(deprecated)] // the Default impl must still initialize the field
     fn default() -> Self {
         EngineConfig {
             heartbeat: SimDuration::from_secs(3),
@@ -426,7 +417,6 @@ impl Default for EngineConfig {
             speculation: SpeculationPolicy::Off,
             dvfs: None,
             speculation_threshold: 1.5,
-            record_reports: false,
             trace_decisions: false,
             max_sim_time: SimDuration::from_mins(60 * 24 * 7),
         }

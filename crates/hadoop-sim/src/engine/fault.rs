@@ -190,8 +190,8 @@ impl Engine {
                 };
                 // Re-queue unless a still-running duplicate attempt will
                 // re-complete the task on its own.
-                let live = self.attempts.get(&task).is_some_and(|v| !v.is_empty());
-                self.jobs[ji].lose_map_output(index, !live);
+                let live = self.arena.has_live_attempt(task);
+                self.jobs[ji].lose_map_output(&self.fleet, index, !live);
                 // The first win was counted; the re-execution will count
                 // again. Roll the counters back so the net total stays one
                 // per task (the conservation property).
@@ -239,21 +239,16 @@ impl Engine {
             .release(self.now, rt.kind, rt.core_load)
             .expect("slot was occupied");
         self.jobs[ji].note_task_failed();
-        if let Some(list) = self.attempts.get_mut(&rt.task) {
-            list.retain(|&(m, _)| m != rt.machine);
-            if list.is_empty() {
-                self.attempts.remove(&rt.task);
-            }
-        }
-        *self.task_attempt_failures.entry(rt.task).or_insert(0) += 1;
+        self.arena.remove_attempt(rt.task, rt.machine);
+        self.arena.record_failure(rt.task);
         self.task_failures += 1;
 
         let index = rt.task.task.index;
         let finished = self.jobs[ji].is_task_finished(rt.kind, index);
-        let live = self.attempts.get(&rt.task).is_some_and(|v| !v.is_empty());
+        let live = self.arena.has_live_attempt(rt.task);
         if !finished && !live {
             match rt.kind {
-                SlotKind::Map => self.jobs[ji].return_map(index),
+                SlotKind::Map => self.jobs[ji].return_map(&self.fleet, index),
                 SlotKind::Reduce => self.jobs[ji].return_reduce(index),
             }
         }
@@ -309,7 +304,7 @@ impl Engine {
         if fault.task_failure_prob == 0.0 {
             return (false, 1.0);
         }
-        let failures = self.task_attempt_failures.get(&task).copied().unwrap_or(0);
+        let failures = self.arena.failures(task);
         if failures >= fault.max_task_retries {
             return (false, 1.0);
         }

@@ -155,7 +155,7 @@ impl Engine {
             .and_then(|m| m.occupy(self.now, kind, rt.core_load));
         if occupy.is_err() {
             match kind {
-                SlotKind::Map => self.jobs[ji].return_map(index),
+                SlotKind::Map => self.jobs[ji].return_map(&self.fleet, index),
                 SlotKind::Reduce => self.jobs[ji].return_reduce(index),
             }
             return false;
@@ -165,10 +165,7 @@ impl Engine {
         }
         self.jobs[ji].note_task_started(self.now);
         self.refresh_job(ji);
-        self.attempts
-            .entry(rt.task)
-            .or_default()
-            .push((machine, self.now));
+        self.arena.push_attempt(rt.task, machine, self.now);
 
         // Interval assignment bookkeeping (convergence analysis).
         let counts = self
@@ -327,17 +324,12 @@ impl Engine {
         }
         if won {
             // Record the completed duration for speculation thresholds.
-            let entry = self.duration_stats.entry((ji, rt.kind)).or_insert((0.0, 0));
+            let entry = &mut self.duration_stats[ji][super::kind_ix(rt.kind)];
             entry.0 += rt.duration_secs;
             entry.1 += 1;
             // Drop the attempt registry entry; any remaining attempt of
             // this task will arrive later as a loser.
-            if let Some(list) = self.attempts.get_mut(&rt.task) {
-                list.retain(|&(m, _)| m != rt.machine);
-                if list.is_empty() {
-                    self.attempts.remove(&rt.task);
-                }
-            }
+            self.arena.remove_attempt(rt.task, rt.machine);
             // Completed map outputs live on the winner's local disk; if
             // that machine dies before the job finishes, they are lost and
             // the map re-executes (see `fault.rs`).
@@ -350,12 +342,7 @@ impl Engine {
         } else {
             // A speculative loser: its work is discarded.
             self.wasted_attempts += 1;
-            if let Some(list) = self.attempts.get_mut(&rt.task) {
-                list.retain(|&(m, _)| m != rt.machine);
-                if list.is_empty() {
-                    self.attempts.remove(&rt.task);
-                }
-            }
+            self.arena.remove_attempt(rt.task, rt.machine);
             return;
         }
 
@@ -373,11 +360,10 @@ impl Engine {
         let report = self.build_report(&rt);
         scheduler.on_task_completed(&*self, &report);
         self.report_trace.notify(self.now, &report);
-        #[allow(deprecated)] // honored until the buffered switch is removed
-        if self.config.record_reports {
-            self.reports.push(report);
-        }
         if self.jobs[ji].is_complete() {
+            // A job completes exactly once: this branch only fires on the
+            // winning attempt of its final task.
+            self.finished_jobs += 1;
             self.trace
                 .emit(self.now, || SimEvent::JobCompleted { job: rt.task.job });
             scheduler.on_job_completed(&*self, rt.task.job);

@@ -37,8 +37,17 @@ use crate::job_state::JobState;
 use crate::report::TaskReport;
 use crate::result::{IntervalSnapshot, RunResult};
 use crate::scheduler::{ClusterQuery, Scheduler};
+use crate::task_arena::TaskArena;
 use crate::trace::{Observer, ObserverSet, SimEvent};
-use crate::EngineConfig;
+use crate::{EngineConfig, SpeculationPolicy};
+
+/// Index of `kind` into per-job `[Map, Reduce]` stat arrays.
+pub(super) fn kind_ix(kind: SlotKind) -> usize {
+    match kind {
+        SlotKind::Map => 0,
+        SlotKind::Reduce => 1,
+    }
+}
 
 /// A task attempt in flight; carried inside its completion event so no
 /// side-table lookup is needed.
@@ -113,12 +122,18 @@ pub struct Engine {
     // and the time the cluster last had runnable work.
     waking_until: Vec<Option<SimTime>>,
     last_work_at: SimTime,
-    // Speculation bookkeeping: in-flight attempts per task, completed-
-    // duration statistics per (job, kind), and attempt counters.
-    attempts: BTreeMap<TaskId, Vec<(MachineId, SimTime)>>,
-    duration_stats: BTreeMap<(usize, SlotKind), (f64, u64)>,
+    // Speculation/fault bookkeeping: the dense per-task attempt registry
+    // (in-flight attempts and failure counts), completed-duration sums per
+    // job and kind (`[Map, Reduce]`), and attempt counters.
+    arena: TaskArena,
+    duration_stats: Vec<[(f64, u64); 2]>,
     speculative_launched: u64,
     wasted_attempts: u64,
+    // LATE speculation inputs, precomputed once: per-machine relative speed
+    // (cores × per-core speed) and the fleet median, so slot offers don't
+    // re-sort the fleet.
+    machine_speeds: Vec<f64>,
+    median_machine_speed: f64,
     // Fault-injection bookkeeping (see `fault.rs`). All side tables stay
     // empty and all counters stay 0 when `config.fault` is disabled.
     rng_fault: SimRng,
@@ -136,8 +151,6 @@ pub struct Engine {
     /// Completed map outputs held on each machine's local disk, lost (and
     /// re-executed) if the machine dies before the job finishes.
     map_outputs: Vec<BTreeMap<JobId, Vec<u32>>>,
-    /// Failed-attempt count per task (caps random failure injection).
-    task_attempt_failures: BTreeMap<TaskId, u32>,
     /// Random task failures per machine (drives blacklisting).
     machine_task_failures: Vec<u32>,
     blacklisted: Vec<bool>,
@@ -147,7 +160,11 @@ pub struct Engine {
     machines_blacklisted: u64,
     intervals: Vec<IntervalSnapshot>,
     energy_series: TimeSeries,
-    reports: Vec<TaskReport>,
+    /// Jobs whose last task has completed. Completion is monotone (the
+    /// fault path never requeues work for a complete job), so this counter
+    /// makes [`Engine::all_done`] O(1) instead of an all-jobs scan per
+    /// event.
+    finished_jobs: usize,
     total_tasks: u64,
     /// The typed event stream. Empty by default: every emission site
     /// checks [`ObserverSet::is_empty`] (directly or through the lazy
@@ -156,9 +173,8 @@ pub struct Engine {
     trace: ObserverSet<SimEvent>,
     /// Streaming consumers of completed-task reports. The report is built
     /// for every winning attempt regardless (the scheduler callback needs
-    /// it), so notifying this set is free when empty — the
-    /// observer-pipeline alternative to buffering via
-    /// [`EngineConfig::record_reports`].
+    /// it), so notifying this set is free when empty. This is the only
+    /// report channel — the engine never buffers reports itself.
     report_trace: ObserverSet<TaskReport>,
 }
 
@@ -181,6 +197,17 @@ impl Engine {
         // byte-identical to a build without the layer.
         let rng_fault = root.fork("fault");
         let crash_schedule = fault::crash_schedules(&config, n, &rng_fault);
+        // The in-flight scan set only has a consumer when speculation runs.
+        let track_inflight = config.speculation != SpeculationPolicy::Off;
+        let machine_speeds: Vec<f64> = fleet
+            .iter()
+            .map(|m| m.profile().cores() as f64 * m.profile().cpu_speed())
+            .collect();
+        let median_machine_speed = {
+            let mut sorted = machine_speeds.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            sorted[sorted.len() / 2]
+        };
         Engine {
             network,
             config,
@@ -198,17 +225,18 @@ impl Engine {
             interval_assignments: BTreeMap::new(),
             waking_until: vec![None; n],
             last_work_at: SimTime::ZERO,
-            attempts: BTreeMap::new(),
-            duration_stats: BTreeMap::new(),
+            arena: TaskArena::new(track_inflight),
+            duration_stats: Vec::new(),
             speculative_launched: 0,
             wasted_attempts: 0,
+            machine_speeds,
+            median_machine_speed,
             rng_fault,
             crash_schedule,
             fault_health: vec![fault::MachineHealth::Healthy; n],
             machine_epoch: vec![0; n],
             inflight: vec![BTreeMap::new(); n],
             map_outputs: vec![BTreeMap::new(); n],
-            task_attempt_failures: BTreeMap::new(),
             machine_task_failures: vec![0; n],
             blacklisted: vec![false; n],
             task_failures: 0,
@@ -217,7 +245,7 @@ impl Engine {
             machines_blacklisted: 0,
             intervals: Vec::new(),
             energy_series: TimeSeries::new("cumulative_energy_joules"),
-            reports: Vec::new(),
+            finished_jobs: 0,
             total_tasks: 0,
             trace: ObserverSet::new(),
             report_trace: ObserverSet::new(),
@@ -235,10 +263,8 @@ impl Engine {
 
     /// Attaches a streaming consumer of completed-task [`TaskReport`]s; it
     /// sees each winning attempt's report at completion time, in
-    /// completion order — exactly the reports
-    /// [`EngineConfig::record_reports`] would buffer. Prefer this channel
-    /// when the consumer only folds or filters: the engine buffers nothing
-    /// on its behalf.
+    /// completion order. The engine buffers nothing on the consumer's
+    /// behalf — fold or record as the use case requires.
     pub fn attach_report_observer(&mut self, observer: Box<dyn Observer<TaskReport>>) {
         self.report_trace.attach(observer);
     }
@@ -262,7 +288,9 @@ impl Engine {
                 self.placer
                     .place(&self.fleet, spec.num_maps() as usize, &mut self.rng_place);
             self.state.register(&spec);
-            self.jobs.push(JobState::new(spec, blocks));
+            self.arena.register_job(spec.num_maps(), spec.num_reduces());
+            self.duration_stats.push([(0.0, 0); 2]);
+            self.jobs.push(JobState::new(&self.fleet, spec, blocks));
             self.submitted.push(false);
         }
     }
@@ -288,7 +316,9 @@ impl Engine {
             "one block per map task required"
         );
         self.state.register(&spec);
-        self.jobs.push(JobState::new(spec, blocks));
+        self.arena.register_job(spec.num_maps(), spec.num_reduces());
+        self.duration_stats.push([(0.0, 0); 2]);
+        self.jobs.push(JobState::new(&self.fleet, spec, blocks));
         self.submitted.push(false);
     }
 
@@ -320,43 +350,57 @@ impl Engine {
         let deadline = SimTime::ZERO + self.config.max_sim_time;
         let mut drained = true;
 
-        while let Some((at, event)) = queue.pop() {
+        'run: while let Some((at, mut event)) = queue.pop() {
             if at > deadline {
                 drained = !self.jobs.iter().any(|j| !j.is_complete());
                 break;
             }
             self.now = at;
-            match event {
-                Event::JobArrival(i) => {
-                    self.submitted[i] = true;
-                    self.state.update(JobId(i as u64), |e| e.submitted = true);
-                    let spec = self.jobs[i].spec.clone();
-                    self.trace.emit(at, || SimEvent::JobSubmitted {
-                        job: spec.id(),
-                        tasks: spec.num_tasks(),
-                    });
-                    scheduler.on_job_submitted(&*self, &spec);
-                }
-                Event::Heartbeat(machine) => {
-                    self.heartbeat(machine, scheduler, &mut queue);
-                    if !self.all_done() {
-                        queue.schedule(at + self.config.heartbeat, Event::Heartbeat(machine));
+            // One simulated tick: process this event and then every other
+            // event already queued at the same timestamp as a batch —
+            // `peek_time` reads the wheel's current slot in O(1), so
+            // same-tick heartbeats (aligned in bulk on large fleets by the
+            // stagger formula) drain back-to-back without a queue descent
+            // between them. Batch order is exactly global (time, seq)
+            // order, and completion still breaks mid-batch, so the event
+            // sequence is identical to one-at-a-time popping.
+            loop {
+                match event {
+                    Event::JobArrival(i) => {
+                        self.submitted[i] = true;
+                        self.state.update(JobId(i as u64), |e| e.submitted = true);
+                        let spec = self.jobs[i].spec.clone();
+                        self.trace.emit(at, || SimEvent::JobSubmitted {
+                            job: spec.id(),
+                            tasks: spec.num_tasks(),
+                        });
+                        scheduler.on_job_submitted(&*self, &spec);
+                    }
+                    Event::Heartbeat(machine) => {
+                        self.heartbeat(machine, scheduler, &mut queue);
+                        if !self.all_done() {
+                            queue.schedule(at + self.config.heartbeat, Event::Heartbeat(machine));
+                        }
+                    }
+                    Event::TaskDone(rt) => {
+                        self.complete_task(*rt, scheduler);
+                    }
+                    Event::ControlTick => {
+                        self.control_tick(scheduler);
+                        if !self.all_done() {
+                            queue.schedule(at + self.config.control_interval, Event::ControlTick);
+                        }
                     }
                 }
-                Event::TaskDone(rt) => {
-                    self.complete_task(*rt, scheduler);
+                if self.all_done() {
+                    // Drain remaining TaskDone events (there are none once
+                    // all jobs are complete) and stop.
+                    break 'run;
                 }
-                Event::ControlTick => {
-                    self.control_tick(scheduler);
-                    if !self.all_done() {
-                        queue.schedule(at + self.config.control_interval, Event::ControlTick);
-                    }
+                if queue.peek_time() != Some(at) {
+                    break;
                 }
-            }
-            if self.all_done() {
-                // Drain remaining TaskDone events (there are none once all
-                // jobs are complete) and stop.
-                break;
+                event = queue.pop().expect("peeked event at this tick").1;
             }
         }
 
@@ -364,7 +408,7 @@ impl Engine {
     }
 
     fn all_done(&self) -> bool {
-        !self.jobs.is_empty() && self.jobs.iter().all(|j| j.is_complete())
+        !self.jobs.is_empty() && self.finished_jobs == self.jobs.len()
     }
 
     /// Emits the post-change slot occupancy of `machine` for one slot
@@ -507,26 +551,26 @@ mod tests {
     }
 
     /// Drives `engine` with a greedy scheduler while a streaming report
-    /// recorder is attached, stuffing the collected reports into the
-    /// result (`record_reports` is deprecated).
-    fn run_greedy_with_reports(mut engine: Engine) -> RunResult {
+    /// recorder is attached, returning the result and the collected
+    /// reports (results carry no report buffer of their own).
+    fn run_greedy_with_reports(mut engine: Engine) -> (RunResult, Vec<crate::TaskReport>) {
         use crate::trace::{SharedObserver, VecRecorder};
         let recorder: SharedObserver<VecRecorder<crate::TaskReport>> =
             SharedObserver::new(VecRecorder::new());
         engine.attach_report_observer(Box::new(recorder.clone()));
-        let mut result = engine.run(&mut GreedyScheduler::new());
+        let result = engine.run(&mut GreedyScheduler::new());
         drop(engine); // releases the engine's clone of the recorder
-        result.reports = recorder
+        let reports = recorder
             .try_into_inner()
             .unwrap_or_else(|_| panic!("engine dropped its observer handle"))
             .into_events()
             .into_iter()
             .map(|(_, report)| report)
             .collect();
-        result
+        (result, reports)
     }
 
-    fn run_one(num_maps: u32, num_reduces: u32) -> RunResult {
+    fn run_one(num_maps: u32, num_reduces: u32) -> (RunResult, Vec<crate::TaskReport>) {
         let mut engine = Engine::new(small_fleet(), quiet_config(), 7);
         engine.submit_jobs(vec![JobSpec::new(
             JobId(0),
@@ -540,7 +584,7 @@ mod tests {
 
     #[test]
     fn single_job_drains() {
-        let r = run_one(16, 2);
+        let (r, _) = run_one(16, 2);
         assert!(r.drained);
         assert_eq!(r.total_tasks, 18);
         assert_eq!(r.jobs.len(), 1);
@@ -550,12 +594,12 @@ mod tests {
 
     #[test]
     fn all_tasks_reported_once() {
-        let r = run_one(16, 2);
-        assert_eq!(r.reports.len(), 18);
-        let maps = r.reports.iter().filter(|t| t.kind == SlotKind::Map).count();
+        let (_, reports) = run_one(16, 2);
+        assert_eq!(reports.len(), 18);
+        let maps = reports.iter().filter(|t| t.kind == SlotKind::Map).count();
         assert_eq!(maps, 16);
         // Every map report carries a locality; reduces never do.
-        for rep in &r.reports {
+        for rep in &reports {
             match rep.kind {
                 SlotKind::Map => assert!(rep.locality.is_some()),
                 SlotKind::Reduce => assert!(rep.locality.is_none()),
@@ -565,7 +609,7 @@ mod tests {
 
     #[test]
     fn machine_counters_sum_to_total() {
-        let r = run_one(32, 4);
+        let (r, _) = run_one(32, 4);
         let by_machine: u64 = r.machines.iter().map(MachineOutcome::total_tasks).sum();
         assert_eq!(by_machine, r.total_tasks);
         let by_bench: u64 = r
@@ -578,7 +622,7 @@ mod tests {
 
     #[test]
     fn energy_is_positive_and_split_consistent() {
-        let r = run_one(16, 2);
+        let (r, _) = run_one(16, 2);
         for m in &r.machines {
             assert!(m.energy_joules > 0.0, "machine must at least idle");
             assert!(
@@ -632,17 +676,15 @@ mod tests {
             4,
             SimTime::ZERO,
         )]);
-        let r = run_greedy_with_reports(engine);
-        let first_reduce_start = r
-            .reports
+        let (_, reports) = run_greedy_with_reports(engine);
+        let first_reduce_start = reports
             .iter()
             .filter(|t| t.kind == SlotKind::Reduce)
             .map(|t| t.started_at)
             .min()
             .unwrap();
         let map_finishes: Vec<SimTime> = {
-            let mut v: Vec<SimTime> = r
-                .reports
+            let mut v: Vec<SimTime> = reports
                 .iter()
                 .filter(|t| t.kind == SlotKind::Map)
                 .map(|t| t.finished_at)
@@ -688,8 +730,8 @@ mod tests {
             4,
             SimTime::ZERO,
         )]);
-        let r = run_greedy_with_reports(engine);
-        let stragglers = r.reports.iter().filter(|t| t.straggled).count();
+        let (_, reports) = run_greedy_with_reports(engine);
+        let stragglers = reports.iter().filter(|t| t.straggled).count();
         assert!(stragglers > 5, "expected stragglers, got {stragglers}");
     }
 
@@ -766,7 +808,7 @@ mod tests {
             4,
             SimTime::ZERO,
         )]);
-        let r = run_greedy_with_reports(engine);
+        let (r, reports) = run_greedy_with_reports(engine);
         assert!(r.drained);
         // Every task counted exactly once despite backup copies.
         assert_eq!(r.total_tasks, 64);
@@ -775,7 +817,7 @@ mod tests {
             "heavy stragglers must trigger backups"
         );
         assert_eq!(
-            r.reports.len() as u64,
+            reports.len() as u64,
             r.total_tasks,
             "losers must not produce completion reports"
         );

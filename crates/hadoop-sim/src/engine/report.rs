@@ -165,7 +165,6 @@ impl Engine {
                 &mut self.energy_series,
                 TimeSeries::new("cumulative_energy_joules"),
             ),
-            reports: std::mem::take(&mut self.reports),
             total_tasks: self.total_tasks,
             speculative_attempts: self.speculative_launched,
             wasted_attempts: self.wasted_attempts,

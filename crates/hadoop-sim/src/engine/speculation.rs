@@ -27,28 +27,25 @@ impl Engine {
             return;
         }
         // LATE only backs up onto fast machines (>= median fleet speed).
+        // Speeds and their median are precomputed at engine construction.
         if self.config.speculation == crate::SpeculationPolicy::Late {
-            let mut speeds: Vec<f64> = self
-                .fleet
-                .iter()
-                .map(|m| m.profile().cores() as f64 * m.profile().cpu_speed())
-                .collect();
-            speeds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let median = speeds[speeds.len() / 2];
             let mine = self
-                .fleet
-                .machine(machine)
-                .map(|m| m.profile().cores() as f64 * m.profile().cpu_speed())
+                .machine_speeds
+                .get(machine.index())
+                .copied()
                 .unwrap_or(0.0);
-            if mine < median {
+            if mine < self.median_machine_speed {
                 return;
             }
         }
 
-        // Find the longest-elapsed single-attempt straggler of this kind.
+        // Find the longest-elapsed single-attempt straggler of this kind,
+        // scanning only tasks with an in-flight attempt (the arena's
+        // id-ordered tracking set).
         let threshold = self.config.speculation_threshold;
         let mut best: Option<(TaskId, f64)> = None;
-        for (&task, attempts) in &self.attempts {
+        for task in self.arena.inflight_tasks() {
+            let attempts = self.arena.attempts(task);
             if task.task.kind != kind || attempts.len() != 1 {
                 continue;
             }
@@ -60,9 +57,7 @@ impl Engine {
             if self.jobs[ji].is_task_finished(kind, task.task.index) {
                 continue;
             }
-            let Some(&(sum, n)) = self.duration_stats.get(&(ji, kind)) else {
-                continue;
-            };
+            let (sum, n) = self.duration_stats[ji][super::kind_ix(kind)];
             if n == 0 {
                 continue;
             }
@@ -108,10 +103,7 @@ impl Engine {
         }
         self.jobs[ji].note_task_started(self.now);
         self.refresh_job(ji);
-        self.attempts
-            .entry(task)
-            .or_default()
-            .push((machine, self.now));
+        self.arena.push_attempt(task, machine, self.now);
         self.speculative_launched += 1;
         if !self.trace.is_empty() {
             self.trace

@@ -1,6 +1,6 @@
 //! Internal per-job bookkeeping for the JobTracker.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use simcore::SimTime;
 
@@ -27,6 +27,15 @@ pub(crate) struct JobState {
     pub blocks: Vec<Block>,
     pending_maps: Vec<u32>,
     pending_reduces: VecDeque<u32>,
+    /// Pending map blocks with a replica on each machine (machine index →
+    /// block count, entries removed at zero). With its rack-level sibling
+    /// this makes [`JobState::best_map_locality`] two map probes instead of
+    /// a scan over every pending block — the dominant per-offer cost on
+    /// large fleets.
+    node_replicas: BTreeMap<usize, u32>,
+    /// Pending map blocks with a replica in each rack (rack index → block
+    /// count, racks deduplicated per block).
+    rack_replicas: BTreeMap<usize, u32>,
     finished: BTreeSet<crate::TaskIndexKey>,
     pub running_tasks: u32,
     pub completed_maps: u32,
@@ -36,21 +45,59 @@ pub(crate) struct JobState {
 }
 
 impl JobState {
-    pub fn new(spec: JobSpec, blocks: Vec<Block>) -> Self {
+    pub fn new(fleet: &Fleet, spec: JobSpec, blocks: Vec<Block>) -> Self {
         debug_assert_eq!(blocks.len(), spec.num_maps() as usize);
-        let pending_maps = (0..spec.num_maps()).collect();
+        let pending_maps: Vec<u32> = (0..spec.num_maps()).collect();
         let pending_reduces = (0..spec.num_reduces()).collect();
-        JobState {
+        let mut state = JobState {
             spec,
             blocks,
             pending_maps,
             pending_reduces,
+            node_replicas: BTreeMap::new(),
+            rack_replicas: BTreeMap::new(),
             finished: BTreeSet::new(),
             running_tasks: 0,
             completed_maps: 0,
             completed_reduces: 0,
             first_task_at: None,
             finished_at: None,
+        };
+        for idx in 0..state.blocks.len() as u32 {
+            state.track_block(fleet, idx, true);
+        }
+        state
+    }
+
+    /// Adds (`add`) or removes the replica counts of map `idx`'s block as
+    /// it enters or leaves the pending queue. Machines and racks are
+    /// deduplicated per block so a block counts each location once.
+    fn track_block(&mut self, fleet: &Fleet, idx: u32, add: bool) {
+        let block = &self.blocks[idx as usize];
+        let bump = |map: &mut BTreeMap<usize, u32>, key: usize| {
+            if add {
+                *map.entry(key).or_insert(0) += 1;
+            } else {
+                let count = map.get_mut(&key).expect("tracked replica count");
+                *count -= 1;
+                if *count == 0 {
+                    map.remove(&key);
+                }
+            }
+        };
+        for (i, &replica) in block.replicas.iter().enumerate() {
+            let prior = &block.replicas[..i];
+            if !prior.contains(&replica) {
+                bump(&mut self.node_replicas, replica.index());
+            }
+            if let Ok(rack) = fleet.rack_of(replica) {
+                if !prior
+                    .iter()
+                    .any(|&r| fleet.rack_of(r).is_ok_and(|x| x == rack))
+                {
+                    bump(&mut self.rack_replicas, rack.0);
+                }
+            }
         }
     }
 
@@ -93,51 +140,54 @@ impl JobState {
         }
     }
 
-    /// The best locality any pending map task would have on `machine`.
+    /// The best locality any pending map task would have on `machine` —
+    /// two replica-count probes instead of a pending-queue scan. The class
+    /// is exactly the scan's fold: NodeLocal beats RackLocal beats Remote,
+    /// and [`locality`] assigns NodeLocal iff a replica lives on `machine`
+    /// and RackLocal iff one shares its rack.
     pub fn best_map_locality(&self, fleet: &Fleet, machine: MachineId) -> Option<Locality> {
-        let mut best: Option<Locality> = None;
-        for &idx in &self.pending_maps {
-            let loc = locality(fleet, &self.blocks[idx as usize], machine);
-            best = Some(match (best, loc) {
-                (None, l) => l,
-                (Some(Locality::NodeLocal), _) => Locality::NodeLocal,
-                (Some(_), Locality::NodeLocal) => Locality::NodeLocal,
-                (Some(Locality::RackLocal), _) => Locality::RackLocal,
-                (Some(_), Locality::RackLocal) => Locality::RackLocal,
-                (Some(b), _) => b,
-            });
-            if best == Some(Locality::NodeLocal) {
-                break;
+        if self.pending_maps.is_empty() {
+            return None;
+        }
+        Some(self.best_locality_class(fleet, machine))
+    }
+
+    /// The locality class the replica counts prove for `machine`, assuming
+    /// pending maps exist.
+    fn best_locality_class(&self, fleet: &Fleet, machine: MachineId) -> Locality {
+        if self.node_replicas.contains_key(&machine.index()) {
+            return Locality::NodeLocal;
+        }
+        if let Ok(rack) = fleet.rack_of(machine) {
+            if self.rack_replicas.contains_key(&rack.0) {
+                return Locality::RackLocal;
             }
         }
-        best
+        Locality::Remote
     }
 
     /// Removes and returns the pending map task with the best locality on
     /// `machine`, together with its locality level.
+    ///
+    /// The replica counts name the best achievable class up front; the
+    /// queue scan then only needs the *first* pending block of that class —
+    /// the same block the strict-upgrade scan it replaces settled on — and
+    /// Remote picks position 0 without scanning at all.
     pub fn take_map_for(&mut self, fleet: &Fleet, machine: MachineId) -> Option<(u32, Locality)> {
         if self.pending_maps.is_empty() {
             return None;
         }
-        let mut best_pos = 0usize;
-        let mut best_loc = locality(fleet, &self.blocks[self.pending_maps[0] as usize], machine);
-        for (pos, &idx) in self.pending_maps.iter().enumerate().skip(1) {
-            if best_loc == Locality::NodeLocal {
-                break;
-            }
-            let loc = locality(fleet, &self.blocks[idx as usize], machine);
-            let better = matches!(
-                (best_loc, loc),
-                (Locality::Remote, Locality::RackLocal)
-                    | (Locality::Remote, Locality::NodeLocal)
-                    | (Locality::RackLocal, Locality::NodeLocal)
-            );
-            if better {
-                best_pos = pos;
-                best_loc = loc;
-            }
-        }
+        let best_loc = self.best_locality_class(fleet, machine);
+        let best_pos = match best_loc {
+            Locality::Remote => 0,
+            class => self
+                .pending_maps
+                .iter()
+                .position(|&idx| locality(fleet, &self.blocks[idx as usize], machine) == class)
+                .expect("replica counts name a pending block"),
+        };
         let idx = self.pending_maps.swap_remove(best_pos);
+        self.track_block(fleet, idx, false);
         Some((idx, best_loc))
     }
 
@@ -150,8 +200,9 @@ impl JobState {
     }
 
     /// Returns a map task to the pending queue (assignment failed).
-    pub fn return_map(&mut self, index: u32) {
+    pub fn return_map(&mut self, fleet: &Fleet, index: u32) {
         self.pending_maps.push(index);
+        self.track_block(fleet, index, true);
     }
 
     /// Returns a reduce task to the pending queue (assignment failed).
@@ -204,13 +255,14 @@ impl JobState {
     /// lives on the TaskTracker's local disk, not in HDFS). When `requeue`
     /// is false the task is only un-finished — a still-running duplicate
     /// attempt will re-complete it.
-    pub fn lose_map_output(&mut self, index: u32, requeue: bool) {
+    pub fn lose_map_output(&mut self, fleet: &Fleet, index: u32, requeue: bool) {
         let removed = self.finished.remove(&(SlotKind::Map, index));
         debug_assert!(removed, "map output loss of an unfinished task");
         debug_assert!(self.completed_maps > 0);
         self.completed_maps -= 1;
         if requeue {
             self.pending_maps.push(index);
+            self.track_block(fleet, index, true);
         }
     }
 }
@@ -245,7 +297,7 @@ mod tests {
                 replicas: vec![MachineId(i as usize % 8)],
             })
             .collect();
-        JobState::new(spec, blocks)
+        JobState::new(&fleet(), spec, blocks)
     }
 
     #[test]
@@ -316,11 +368,56 @@ mod tests {
     }
 
     #[test]
+    fn replica_counts_match_scan_under_churn() {
+        // Multi-replica blocks spanning racks, with takes and returns in
+        // between: the count-derived class must always equal the brute
+        // scan over pending blocks the counts replaced.
+        let f = fleet();
+        let spec = JobSpec::new(JobId(0), Benchmark::wordcount(), 6, 0, SimTime::ZERO);
+        let blocks: Vec<Block> = (0..6u64)
+            .map(|i| Block {
+                id: BlockId(i),
+                replicas: vec![
+                    MachineId(i as usize % 8),
+                    MachineId((i as usize + 1) % 8),
+                    MachineId((i as usize + 4) % 8),
+                ],
+            })
+            .collect();
+        let mut j = JobState::new(&f, spec, blocks);
+        let scan = |j: &JobState, machine: MachineId| {
+            j.pending_maps
+                .iter()
+                .map(|&idx| locality(&f, &j.blocks[idx as usize], machine))
+                .min_by_key(|l| match l {
+                    Locality::NodeLocal => 0,
+                    Locality::RackLocal => 1,
+                    Locality::Remote => 2,
+                })
+        };
+        let check_all = |j: &JobState| {
+            for m in 0..8 {
+                assert_eq!(j.best_map_locality(&f, MachineId(m)), scan(j, MachineId(m)));
+            }
+        };
+        check_all(&j);
+        let (taken, loc) = j.take_map_for(&f, MachineId(2)).unwrap();
+        assert_eq!(loc, Locality::NodeLocal);
+        check_all(&j);
+        j.return_map(&f, taken);
+        check_all(&j);
+        while j.take_map_for(&f, MachineId(0)).is_some() {
+            check_all(&j);
+        }
+        assert_eq!(j.best_map_locality(&f, MachineId(0)), None);
+    }
+
+    #[test]
     fn returned_tasks_are_reassignable() {
         let f = fleet();
         let mut j = job(2, 1);
         let (idx, _) = j.take_map_for(&f, MachineId(0)).unwrap();
-        j.return_map(idx);
+        j.return_map(&f, idx);
         assert_eq!(j.pending_maps(), 2);
         for i in 0..2 {
             j.note_task_started(SimTime::ZERO);
@@ -339,7 +436,7 @@ mod tests {
         j.note_task_started(SimTime::ZERO);
         j.note_task_completed(SimTime::from_secs(1), SlotKind::Map, idx);
         assert_eq!(j.completed_maps, 1);
-        j.lose_map_output(idx, true);
+        j.lose_map_output(&f, idx, true);
         assert_eq!(j.completed_maps, 0);
         assert_eq!(j.pending_maps(), 4);
         assert!(!j.is_task_finished(SlotKind::Map, idx));
@@ -357,7 +454,7 @@ mod tests {
         assert_eq!(j.running_tasks, 1);
         j.note_task_failed();
         assert_eq!(j.running_tasks, 0);
-        j.return_map(idx);
+        j.return_map(&f, idx);
         assert_eq!(j.pending_maps(), 2);
         assert_eq!(j.phase(), JobPhase::Running);
     }

@@ -60,6 +60,7 @@ mod report;
 mod result;
 mod scheduler;
 pub mod single_node;
+mod task_arena;
 pub mod trace;
 
 pub use cluster_state::{ClusterState, JobEntry};
@@ -71,6 +72,7 @@ pub use job_state::JobPhase;
 pub use report::{TaskReport, UtilizationSample};
 pub use result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult};
 pub use scheduler::{generic_candidates, ClusterQuery, GreedyScheduler, Scheduler};
+pub use task_arena::{TaskArena, TaskSlot, MAX_ATTEMPTS};
 pub use trace::{DecisionCandidate, PowerState, SimEvent};
 
 /// Internal key identifying a task within a job: (kind, index).

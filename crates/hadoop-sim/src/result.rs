@@ -8,7 +8,7 @@ use simcore::{SimDuration, SimTime};
 use cluster::MachineId;
 use workload::{JobId, SizeClass};
 
-use crate::{JobPhase, TaskReport};
+use crate::JobPhase;
 
 /// Outcome of one job.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,9 +137,6 @@ pub struct RunResult {
     pub intervals: Vec<IntervalSnapshot>,
     /// Cumulative fleet energy over time (sampled at control intervals).
     pub energy_series: TimeSeries,
-    /// Every task report, when `record_reports` was enabled; empty
-    /// otherwise.
-    pub reports: Vec<TaskReport>,
     /// Total completed tasks.
     pub total_tasks: u64,
     /// Speculative (backup) attempts launched, when speculation is on.
@@ -330,7 +327,6 @@ mod tests {
             machines,
             intervals: Vec::new(),
             energy_series: TimeSeries::new("energy"),
-            reports: Vec::new(),
             total_tasks: 0,
             speculative_attempts: 0,
             wasted_attempts: 0,

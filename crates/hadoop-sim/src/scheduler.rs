@@ -146,8 +146,7 @@ pub fn generic_candidates(
 ) -> Vec<DecisionCandidate> {
     query
         .state()
-        .active()
-        .filter(|j| j.pending(kind) > 0)
+        .candidates(kind)
         .map(|j| DecisionCandidate {
             job: j.id,
             local: kind == SlotKind::Map
@@ -202,15 +201,13 @@ impl Scheduler for GreedyScheduler {
         let state = query.state();
         if kind == SlotKind::Map {
             // First pass: a job with node-local data here.
-            for j in state.active() {
-                if j.pending_maps > 0
-                    && query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal)
-                {
+            for j in state.candidates(SlotKind::Map) {
+                if query.best_map_locality(j.id, machine) == Some(Locality::NodeLocal) {
                     return Some(j.id);
                 }
             }
         }
-        state.active().find(|j| j.pending(kind) > 0).map(|j| j.id)
+        state.candidates(kind).next().map(|j| j.id)
     }
 }
 

@@ -115,7 +115,6 @@ mod tests {
             machines: vec![],
             intervals,
             energy_series: TimeSeries::new("e"),
-            reports: vec![],
             total_tasks: 0,
             speculative_attempts: 0,
             wasted_attempts: 0,

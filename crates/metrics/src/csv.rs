@@ -157,7 +157,6 @@ mod tests {
             }],
             intervals: vec![],
             energy_series: series,
-            reports: vec![],
             total_tasks: 4,
             speculative_attempts: 0,
             wasted_attempts: 0,

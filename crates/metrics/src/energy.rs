@@ -111,7 +111,6 @@ mod tests {
             machines,
             intervals: vec![],
             energy_series: TimeSeries::new("e"),
-            reports: vec![],
             total_tasks: 0,
             speculative_attempts: 0,
             wasted_attempts: 0,

@@ -1,9 +1,27 @@
 //! Deterministic future-event list.
+//!
+//! Implemented as a calendar (bucket-wheel) queue: the near future is a
+//! ring of fixed-width time buckets drained in order, and everything past
+//! the wheel's horizon waits in a far-future binary heap until the wheel
+//! rotates under it. Scheduling into the wheel is O(1); popping sorts one
+//! bucket at a time, so the amortized cost per event is O(log bucket)
+//! instead of O(log queue) — at fleet scale the queue holds one pending
+//! heartbeat per machine plus every in-flight task, and the heap's global
+//! reordering was a measurable share of the event loop.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::SimTime;
+
+/// Width of one calendar bucket. 256 ms subdivides the 3 s default
+/// heartbeat ~12×, so a staggered heartbeat round spreads across buckets
+/// instead of piling into one.
+const BUCKET_WIDTH_MS: u64 = 256;
+/// Number of buckets on the wheel: a horizon of 4096 × 256 ms ≈ 17.5 min,
+/// which covers heartbeats, control intervals and all but the longest task
+/// completions; anything further out takes the overflow heap.
+const NUM_BUCKETS: usize = 4096;
 
 /// A deterministic priority queue of timestamped events.
 ///
@@ -26,7 +44,20 @@ use crate::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// The ring: slot `b % NUM_BUCKETS` holds bucket `b` for absolute
+    /// bucket indices in `[cursor, cursor + NUM_BUCKETS)`. Unsorted;
+    /// sorted once when the bucket is opened for draining.
+    wheel: Vec<Vec<Entry<E>>>,
+    /// Events pending on the wheel (excludes `current` and `overflow`).
+    wheel_len: usize,
+    /// Absolute index of the next bucket to open. All buckets below the
+    /// cursor are drained (except the one still draining via `current`).
+    cursor: u64,
+    /// The opened bucket, sorted by `(at, seq)` *descending* so draining is
+    /// `Vec::pop`. Same-instant reactions land here via sorted insert.
+    current: Vec<Entry<E>>,
+    /// Events beyond the wheel horizon, migrated in as the wheel rotates.
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     last_popped: SimTime,
 }
@@ -38,9 +69,15 @@ struct Entry<E> {
     event: E,
 }
 
+impl<E> Entry<E> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -51,15 +88,24 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key().cmp(&other.key())
     }
+}
+
+/// Absolute calendar bucket of a timestamp.
+fn bucket_of(at: SimTime) -> u64 {
+    at.as_millis() / BUCKET_WIDTH_MS
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: std::iter::repeat_with(Vec::new).take(NUM_BUCKETS).collect(),
+            wheel_len: 0,
+            cursor: 0,
+            current: Vec::new(),
+            overflow: BinaryHeap::new(),
             seq: 0,
             last_popped: SimTime::ZERO,
         }
@@ -67,40 +113,135 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` to fire at `at`.
     ///
-    /// Scheduling into the past (before the timestamp of the last popped
-    /// event) is tolerated: the event fires "now" relative to queue order,
-    /// preserving monotonic pops. This mirrors how heartbeat-driven
-    /// simulators deal with zero-latency reactions.
+    /// Scheduling at exactly the timestamp of the last popped event is the
+    /// documented "fires now" behaviour: the event joins the current
+    /// instant in FIFO order, which is how heartbeat-driven simulators
+    /// express zero-latency reactions. Scheduling *strictly before* the
+    /// last popped timestamp is a logic error in the caller — it would
+    /// silently reorder history — and debug-asserts; release builds keep
+    /// the old clamp-to-now tolerance.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.last_popped,
+            "scheduled an event at {at} strictly before the last popped \
+             timestamp {}; schedule at or after it",
+            self.last_popped
+        );
         let at = at.max(self.last_popped);
-        self.heap.push(Reverse(Entry {
+        let entry = Entry {
             at,
             seq: self.seq,
             event,
-        }));
+        };
         self.seq += 1;
+
+        let bucket = bucket_of(at);
+        if bucket < self.cursor {
+            // The event belongs to the bucket being drained (it cannot be
+            // older: `at >= last_popped`). Its seq is the largest yet, so
+            // among equal timestamps it sorts last — i.e. first from the
+            // back of the descending-sorted vec after everything earlier.
+            let idx = self.current.partition_point(|e| e.at > at);
+            self.current.insert(idx, entry);
+        } else if bucket - self.cursor < NUM_BUCKETS as u64 {
+            self.wheel[(bucket % NUM_BUCKETS as u64) as usize].push(entry);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
     }
 
     /// Removes and returns the earliest event together with its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(entry) = self.heap.pop()?;
+        if self.current.is_empty() {
+            self.open_next_bucket();
+        }
+        let entry = self.current.pop()?;
         self.last_popped = entry.at;
         Some((entry.at, entry.event))
     }
 
+    /// Rotates the wheel forward to the next non-empty bucket, migrating
+    /// overflow events that the new window now covers, and sorts that
+    /// bucket into `current` for draining.
+    fn open_next_bucket(&mut self) {
+        if self.wheel_len == 0 {
+            // Fast-forward an empty wheel straight to the overflow's first
+            // bucket so migration below can land it on the ring.
+            let Some(Reverse(first)) = self.overflow.peek() else {
+                return;
+            };
+            self.cursor = self.cursor.max(bucket_of(first.at));
+        }
+        self.migrate_overflow();
+        debug_assert!(self.wheel_len > 0, "migration must populate the wheel");
+        for _ in 0..NUM_BUCKETS {
+            let slot = (self.cursor % NUM_BUCKETS as u64) as usize;
+            if !self.wheel[slot].is_empty() {
+                self.current = std::mem::take(&mut self.wheel[slot]);
+                self.wheel_len -= self.current.len();
+                // Descending, so draining in (at, seq) order is Vec::pop.
+                self.current
+                    .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+                self.cursor += 1;
+                self.migrate_overflow();
+                return;
+            }
+            // Only advance (and widen the migration window) once the slot
+            // is known empty: migrating first could drop a bucket one
+            // horizon ahead into the very slot about to be opened.
+            self.cursor += 1;
+            self.migrate_overflow();
+        }
+        unreachable!("wheel_len > 0 but no bucket within the window is non-empty");
+    }
+
+    /// Moves overflow events whose bucket the window `[cursor,
+    /// cursor + NUM_BUCKETS)` now covers onto the wheel.
+    fn migrate_overflow(&mut self) {
+        while let Some(Reverse(first)) = self.overflow.peek() {
+            let bucket = bucket_of(first.at);
+            if bucket - self.cursor >= NUM_BUCKETS as u64 {
+                break;
+            }
+            let Some(Reverse(entry)) = self.overflow.pop() else {
+                unreachable!("peeked entry vanished");
+            };
+            self.wheel[(bucket % NUM_BUCKETS as u64) as usize].push(entry);
+            self.wheel_len += 1;
+        }
+    }
+
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        if let Some(e) = self.current.last() {
+            return Some(e.at);
+        }
+        // Scan the window in bucket order; the first non-empty bucket
+        // holds the minimum (buckets partition the time axis). The bucket
+        // itself is unsorted, so take its min key.
+        let mut remaining = self.wheel_len;
+        for k in 0..NUM_BUCKETS as u64 {
+            if remaining == 0 {
+                break;
+            }
+            let slot = &self.wheel[((self.cursor + k) % NUM_BUCKETS as u64) as usize];
+            if let Some(min) = slot.iter().map(|e| e.at).min() {
+                return Some(min);
+            }
+            remaining -= slot.len();
+        }
+        self.overflow.peek().map(|Reverse(e)| e.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.current.len() + self.wheel_len + self.overflow.len()
     }
 
     /// Whether the queue has no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// The timestamp of the most recently popped event — i.e. "now".
@@ -118,6 +259,7 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimDuration;
 
     #[test]
     fn pops_in_time_order() {
@@ -142,16 +284,37 @@ mod tests {
         }
     }
 
+    /// The documented "fires now" tolerance: scheduling at exactly the
+    /// last popped timestamp enqueues the event at the current instant —
+    /// it pops before any later-timestamped event, in FIFO order among
+    /// same-instant events.
     #[test]
-    fn past_scheduling_clamps_to_now() {
+    fn scheduling_at_now_fires_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "tick");
+        q.schedule(SimTime::from_secs(11), "later");
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(10), "tick"));
+        q.schedule(SimTime::from_secs(10), "reaction");
+        q.schedule(SimTime::from_secs(10), "second reaction");
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(10), "reaction"));
+        assert_eq!(
+            q.pop().unwrap(),
+            (SimTime::from_secs(10), "second reaction")
+        );
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(11), "later"));
+    }
+
+    /// Scheduling strictly before the last popped timestamp is a caller
+    /// bug, not a tolerated input: it trips the debug assertion instead of
+    /// silently reordering.
+    #[test]
+    #[should_panic(expected = "strictly before the last popped")]
+    #[cfg(debug_assertions)]
+    fn scheduling_strictly_in_the_past_debug_asserts() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(10), "late");
-        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(10));
-        // Scheduling before `now` fires at `now`, not in the past.
-        q.schedule(SimTime::from_secs(2), "clamped");
-        let (t, e) = q.pop().unwrap();
-        assert_eq!(t, SimTime::from_secs(10));
-        assert_eq!(e, "clamped");
+        q.pop();
+        q.schedule(SimTime::from_secs(2), "past");
     }
 
     #[test]
@@ -161,6 +324,22 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_sees_through_every_layer() {
+        let mut q = EventQueue::new();
+        // Overflow only.
+        let far = SimTime::from_millis(BUCKET_WIDTH_MS * (NUM_BUCKETS as u64 + 10));
+        q.schedule(far, "far");
+        assert_eq!(q.peek_time(), Some(far));
+        // Wheel beats overflow.
+        q.schedule(SimTime::from_secs(9), "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(9)));
+        // An opened bucket (current) beats the wheel.
+        assert_eq!(q.pop().unwrap().1, "near");
+        q.schedule(SimTime::from_secs(9), "same instant");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(9)));
     }
 
     #[test]
@@ -177,5 +356,43 @@ mod tests {
         let q: EventQueue<u8> = EventQueue::default();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    /// Events past the wheel horizon take the overflow heap and come back
+    /// in order as the wheel rotates under them — including several
+    /// horizon-lengths out, which forces repeated migration.
+    #[test]
+    fn overflow_events_migrate_back_in_order() {
+        let horizon = SimDuration::from_millis(BUCKET_WIDTH_MS * NUM_BUCKETS as u64);
+        let mut q = EventQueue::new();
+        let times: Vec<SimTime> = (0..6u64)
+            .map(|k| SimTime::ZERO + horizon * k + SimDuration::from_secs(k + 1))
+            .collect();
+        // Schedule far-to-near so every far event enters via the overflow.
+        for (i, &t) in times.iter().enumerate().rev() {
+            q.schedule(t, i);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(q.pop().unwrap(), (t, i));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    /// Same-instant events spread across the wheel/overflow boundary keep
+    /// global FIFO order by sequence number.
+    #[test]
+    fn overflow_ties_keep_fifo_with_wheel() {
+        let far = SimTime::from_millis(BUCKET_WIDTH_MS * (NUM_BUCKETS as u64 * 2));
+        let mut q = EventQueue::new();
+        q.schedule(far, 0u32); // overflow (beyond horizon from cursor 0)
+        q.schedule(SimTime::from_secs(1), 100);
+        q.schedule(far, 1); // still overflow
+        assert_eq!(q.pop().unwrap().1, 100);
+        // Still beyond the rotated wheel's horizon: joins the same bucket
+        // through the overflow with a later sequence number.
+        q.schedule(far, 2);
+        assert_eq!(q.pop().unwrap(), (far, 0));
+        assert_eq!(q.pop().unwrap(), (far, 1));
+        assert_eq!(q.pop().unwrap(), (far, 2));
     }
 }

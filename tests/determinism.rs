@@ -15,7 +15,7 @@ use eant::EAntConfig;
 use experiments::common::{parallel_runs_with_workers, Scenario, SchedulerKind};
 use hadoop_sim::trace::{SharedObserver, VecRecorder};
 use hadoop_sim::{RunResult, TaskReport};
-use metrics::emit::run_result_json;
+use metrics::emit::{run_result_json, ToJson};
 use simcore::SimDuration;
 use workload::msd::MsdConfig;
 
@@ -30,25 +30,36 @@ fn small_scenario(seed: u64) -> Scenario {
     s
 }
 
-/// Runs the scenario with a streaming report recorder attached and stuffs
-/// the collected reports into the result, so the serialized bytes still
-/// cover per-task reports now that `record_reports` is deprecated. The
-/// recorder is built inside the call, keeping closures over this function
-/// `Send` for the worker pool.
-fn run_with_reports(scenario: &Scenario, kind: &SchedulerKind) -> RunResult {
+/// Runs the scenario with a streaming report recorder attached, returning
+/// the result and the collected reports so the serialized bytes still
+/// cover per-task reports (the result carries no report buffer of its
+/// own). The recorder is built inside the call, keeping closures over this
+/// function `Send` for the worker pool.
+fn run_with_reports(scenario: &Scenario, kind: &SchedulerKind) -> (RunResult, Vec<TaskReport>) {
     let recorder: SharedObserver<VecRecorder<TaskReport>> = SharedObserver::new(VecRecorder::new());
     let handle = recorder.clone();
-    let mut result = scenario.run_observed(kind, move |engine, _| {
+    let result = scenario.run_observed(kind, move |engine, _| {
         engine.attach_report_observer(Box::new(handle));
     });
-    result.reports = recorder
+    let reports = recorder
         .try_into_inner()
         .unwrap_or_else(|_| panic!("engine dropped its observer handle"))
         .into_events()
         .into_iter()
         .map(|(_, report)| report)
         .collect();
-    result
+    (result, reports)
+}
+
+/// Canonical bytes of a run: the result JSON followed by one JSON line per
+/// streamed task report, so report-level nondeterminism is a witness too.
+fn run_bytes((result, reports): &(RunResult, Vec<TaskReport>)) -> String {
+    let mut out = run_result_json(result);
+    for report in reports {
+        out.push('\n');
+        out.push_str(&report.to_json().render());
+    }
+    out
 }
 
 /// Runs the (scheduler × seed) sweep on `workers` threads and serializes
@@ -71,7 +82,7 @@ fn sweep(workers: usize) -> Vec<String> {
         .collect();
     parallel_runs_with_workers(workers, tasks)
         .iter()
-        .map(run_result_json)
+        .map(run_bytes)
         .collect()
 }
 
@@ -102,8 +113,8 @@ fn consecutive_sweeps_agree() {
 #[test]
 fn distinct_seeds_serialize_distinctly() {
     let kind = SchedulerKind::Fair;
-    let a = run_result_json(&run_with_reports(&small_scenario(11), &kind));
-    let b = run_result_json(&run_with_reports(&small_scenario(12), &kind));
+    let a = run_bytes(&run_with_reports(&small_scenario(11), &kind));
+    let b = run_bytes(&run_with_reports(&small_scenario(12), &kind));
     assert_ne!(a, b);
 }
 
@@ -193,7 +204,7 @@ fn faulted_sweep(workers: usize) -> Vec<String> {
         .collect();
     parallel_runs_with_workers(workers, tasks)
         .iter()
-        .map(run_result_json)
+        .map(run_bytes)
         .collect()
 }
 

@@ -8,7 +8,7 @@ use hadoop_sim::{Engine, EngineConfig, NoiseConfig, RunResult, TaskReport};
 use simcore::{SimDuration, SimRng};
 use workload::msd::MsdConfig;
 
-fn msd_run(seed: u64, noise: NoiseConfig) -> RunResult {
+fn msd_run(seed: u64, noise: NoiseConfig) -> (RunResult, Vec<TaskReport>) {
     let jobs = MsdConfig {
         num_jobs: 20,
         task_scale: 96,
@@ -23,14 +23,14 @@ fn msd_run(seed: u64, noise: NoiseConfig) -> RunResult {
     };
     let mut engine = Engine::new(Fleet::paper_evaluation(), cfg, seed);
     engine.submit_jobs(jobs);
-    // Reports arrive through the streaming observer channel; the buffered
-    // `record_reports` switch is deprecated.
+    // Reports arrive through the streaming observer channel — the engine
+    // buffers none of its own.
     let recorder: SharedObserver<VecRecorder<TaskReport>> = SharedObserver::new(VecRecorder::new());
     engine.attach_report_observer(Box::new(recorder.clone()));
     let mut eant = EAntScheduler::new(EAntConfig::paper_default(), seed);
-    let mut result = engine.run(&mut eant);
+    let result = engine.run(&mut eant);
     drop(engine); // releases the engine's clone of the recorder
-    result.reports = recorder
+    let reports: Vec<TaskReport> = recorder
         .try_into_inner()
         .unwrap_or_else(|_| panic!("engine dropped its observer handle"))
         .into_events()
@@ -38,12 +38,12 @@ fn msd_run(seed: u64, noise: NoiseConfig) -> RunResult {
         .map(|(_, report)| report)
         .collect();
     assert_eq!(result.total_tasks, u64::from(total_tasks));
-    result
+    (result, reports)
 }
 
 #[test]
 fn msd_workload_drains_under_eant() {
-    let r = msd_run(1, NoiseConfig::paper_default());
+    let (r, _) = msd_run(1, NoiseConfig::paper_default());
     assert!(r.drained);
     assert!(r.jobs.iter().all(|j| j.finished_at.is_some()));
     assert!(r.makespan > SimDuration::ZERO);
@@ -51,11 +51,11 @@ fn msd_workload_drains_under_eant() {
 
 #[test]
 fn task_conservation_across_layers() {
-    let r = msd_run(2, NoiseConfig::none());
+    let (r, reports) = msd_run(2, NoiseConfig::none());
     // Engine counter == sum of per-machine counters == number of reports.
     let machine_total: u64 = r.machines.iter().map(|m| m.total_tasks()).sum();
     assert_eq!(machine_total, r.total_tasks);
-    assert_eq!(r.reports.len() as u64, r.total_tasks);
+    assert_eq!(reports.len() as u64, r.total_tasks);
     // Interval assignment counts also conserve tasks.
     let assigned: u64 = r
         .intervals
@@ -68,7 +68,7 @@ fn task_conservation_across_layers() {
 
 #[test]
 fn energy_accounting_is_consistent() {
-    let r = msd_run(3, NoiseConfig::none());
+    let (r, _) = msd_run(3, NoiseConfig::none());
     for m in &r.machines {
         assert!(m.energy_joules > 0.0);
         assert!(
@@ -86,8 +86,8 @@ fn energy_accounting_is_consistent() {
 
 #[test]
 fn reports_are_well_formed() {
-    let r = msd_run(4, NoiseConfig::paper_default());
-    for rep in &r.reports {
+    let (_, reports) = msd_run(4, NoiseConfig::paper_default());
+    for rep in &reports {
         assert!(rep.finished_at > rep.started_at, "{}", rep.task);
         assert!(!rep.samples.is_empty(), "{}", rep.task);
         let sampled: f64 = rep.samples.iter().map(|s| s.dt_secs).sum();
@@ -106,17 +106,17 @@ fn reports_are_well_formed() {
 
 #[test]
 fn identical_seeds_reproduce_identical_runs() {
-    let a = msd_run(5, NoiseConfig::paper_default());
-    let b = msd_run(5, NoiseConfig::paper_default());
+    let (a, a_reports) = msd_run(5, NoiseConfig::paper_default());
+    let (b, b_reports) = msd_run(5, NoiseConfig::paper_default());
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.total_energy_joules(), b.total_energy_joules());
-    assert_eq!(a.reports.len(), b.reports.len());
+    assert_eq!(a_reports.len(), b_reports.len());
 }
 
 #[test]
 fn different_seeds_differ() {
-    let a = msd_run(6, NoiseConfig::paper_default());
-    let b = msd_run(7, NoiseConfig::paper_default());
+    let (a, _) = msd_run(6, NoiseConfig::paper_default());
+    let (b, _) = msd_run(7, NoiseConfig::paper_default());
     assert_ne!(a.makespan, b.makespan);
 }
 

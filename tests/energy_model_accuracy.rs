@@ -10,8 +10,13 @@ use simcore::stats::OnlineStats;
 use simcore::SimTime;
 use workload::{Benchmark, BenchmarkKind, GroupId, JobId, JobSpec};
 
-/// Runs map-only waves of `kind` on one fully-map-slotted machine.
-fn saturated_run(kind: BenchmarkKind, noise: NoiseConfig, seed: u64) -> (RunResult, EnergyModel) {
+/// Runs map-only waves of `kind` on one fully-map-slotted machine,
+/// returning the result, the streamed task reports and the Eq. 2 model.
+fn saturated_run(
+    kind: BenchmarkKind,
+    noise: NoiseConfig,
+    seed: u64,
+) -> (RunResult, Vec<hadoop_sim::TaskReport>, EnergyModel) {
     let profile = profiles::desktop().with_slots(6, 0);
     let model = EnergyModel::from_profile(&profile);
     let fleet = Fleet::builder().add(profile, 1).build().unwrap();
@@ -20,8 +25,8 @@ fn saturated_run(kind: BenchmarkKind, noise: NoiseConfig, seed: u64) -> (RunResu
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(fleet, cfg, seed);
-    // Collect reports via the streaming observer channel; `record_reports`
-    // is deprecated.
+    // Collect reports via the streaming observer channel — the engine
+    // buffers none of its own.
     let recorder = SharedObserver::new(VecRecorder::new());
     engine.attach_report_observer(Box::new(recorder.clone()));
     engine.submit_jobs(
@@ -37,23 +42,23 @@ fn saturated_run(kind: BenchmarkKind, noise: NoiseConfig, seed: u64) -> (RunResu
             })
             .collect(),
     );
-    let mut result = engine.run(&mut GreedyScheduler::new());
+    let result = engine.run(&mut GreedyScheduler::new());
     drop(engine); // releases the engine's clone of the recorder
-    result.reports = recorder
+    let reports = recorder
         .try_into_inner()
         .unwrap_or_else(|_| panic!("engine dropped its observer handle"))
         .into_events()
         .into_iter()
         .map(|(_, report)| report)
         .collect();
-    (result, model)
+    (result, reports, model)
 }
 
 #[test]
 fn estimates_match_meter_without_noise() {
     for kind in BenchmarkKind::ALL {
-        let (result, model) = saturated_run(kind, NoiseConfig::none(), 11);
-        let estimated: f64 = result.reports.iter().map(|r| model.estimate(r)).sum();
+        let (result, reports, model) = saturated_run(kind, NoiseConfig::none(), 11);
+        let estimated: f64 = reports.iter().map(|r| model.estimate(r)).sum();
         let recorded = result.total_energy_joules();
         let rel = (recorded - estimated).abs() / recorded;
         // Noise-free: the residual is heartbeat-quantized slot idleness
@@ -68,8 +73,8 @@ fn estimates_match_meter_without_noise() {
 #[test]
 fn estimates_stay_close_under_paper_noise() {
     for kind in BenchmarkKind::ALL {
-        let (result, model) = saturated_run(kind, NoiseConfig::paper_default(), 13);
-        let estimated: f64 = result.reports.iter().map(|r| model.estimate(r)).sum();
+        let (result, reports, model) = saturated_run(kind, NoiseConfig::paper_default(), 13);
+        let estimated: f64 = reports.iter().map(|r| model.estimate(r)).sum();
         let recorded = result.total_energy_joules();
         let rel = (recorded - estimated).abs() / recorded;
         // The paper's NRMSE is 8–12 %; totals stay within 16 %.
@@ -79,8 +84,8 @@ fn estimates_stay_close_under_paper_noise() {
 
 #[test]
 fn per_task_estimates_track_ground_truth() {
-    let (result, model) = saturated_run(BenchmarkKind::Wordcount, NoiseConfig::none(), 17);
-    for rep in &result.reports {
+    let (_, reports, model) = saturated_run(BenchmarkKind::Wordcount, NoiseConfig::none(), 17);
+    for rep in &reports {
         assert_eq!(rep.kind, SlotKind::Map);
         let est = model.estimate(rep);
         let rel = (est - rep.true_energy_joules).abs() / rep.true_energy_joules;
@@ -92,9 +97,9 @@ fn per_task_estimates_track_ground_truth() {
 fn noise_widens_per_task_estimate_spread() {
     // Fig. 7's premise: with system noise the per-task estimates scatter.
     let spread = |noise: NoiseConfig, seed: u64| {
-        let (result, model) = saturated_run(BenchmarkKind::Wordcount, noise, seed);
+        let (_, reports, model) = saturated_run(BenchmarkKind::Wordcount, noise, seed);
         let mut stats = OnlineStats::new();
-        for rep in &result.reports {
+        for rep in &reports {
             stats.push(model.estimate(rep));
         }
         stats.std_dev() / stats.mean()

@@ -398,6 +398,7 @@ fn scenario_library_matches_goldens() {
             0x5d8780bb2d1bd72b,
         ),
         ("rack-locality-skew", 0.552067, 1156.808, 0xa75889c27b8f0b31),
+        ("scale-1000", 109.846479, 1990.655, 0x63339a02920fcc5e),
     ];
 
     // The table must cover the whole library: a new scenario file needs a

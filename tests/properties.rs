@@ -106,6 +106,190 @@ fn event_queue_is_monotone() {
     });
 }
 
+/// The calendar-wheel [`EventQueue`] pops the exact sequence the reference
+/// `BinaryHeap` future-event list would, for random interleavings of
+/// schedules and pops — including same-timestamp ties (FIFO stability),
+/// schedule-at-now reactions, and far-future events that cross the wheel's
+/// overflow horizon in both directions.
+#[test]
+fn calendar_queue_matches_heap_oracle() {
+    /// The pre-calendar implementation, kept as the ordering oracle:
+    /// a min-heap on (timestamp, global insertion sequence).
+    #[derive(Default)]
+    struct HeapOracle {
+        heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, usize)>>,
+        seq: u64,
+    }
+    impl HeapOracle {
+        fn schedule(&mut self, at: SimTime, event: usize) {
+            self.heap.push(std::cmp::Reverse((at, self.seq, event)));
+            self.seq += 1;
+        }
+        fn pop(&mut self) -> Option<(SimTime, usize)> {
+            let std::cmp::Reverse((at, _, event)) = self.heap.pop()?;
+            Some((at, event))
+        }
+    }
+
+    check("calendar_queue_matches_heap_oracle", 128, |rng| {
+        let mut q = EventQueue::new();
+        let mut oracle = HeapOracle::default();
+        let mut now = SimTime::ZERO;
+        let ops = rng.uniform_u64(1, 400) as usize;
+        for i in 0..ops {
+            if rng.chance(0.6) || q.is_empty() {
+                // Mix near-future (wheel), same-instant (fires now) and
+                // far-future (overflow heap) timestamps; never earlier
+                // than `now`, which the queue's contract forbids.
+                let offset = if rng.chance(0.05) {
+                    0
+                } else if rng.chance(0.15) {
+                    rng.uniform_u64(600_000, 7_200_000) // beyond the wheel horizon
+                } else {
+                    rng.uniform_u64(0, 30_000)
+                };
+                let at = now + simcore::SimDuration::from_millis(offset);
+                q.schedule(at, i);
+                oracle.schedule(at, i);
+            } else {
+                let got = q.pop();
+                let want = oracle.pop();
+                assert_eq!(got, want, "pop {i} diverged from the heap oracle");
+                if let Some((at, _)) = got {
+                    now = at;
+                }
+            }
+            assert_eq!(q.len(), oracle.heap.len());
+        }
+        let mut drained = 0u32;
+        loop {
+            let got = q.pop();
+            let want = oracle.pop();
+            assert_eq!(got, want, "drain pop {drained} diverged from the oracle");
+            if got.is_none() {
+                break;
+            }
+            drained += 1;
+        }
+    });
+}
+
+/// The dense [`TaskArena`] behaves exactly like the per-task `BTreeMap`
+/// registries it replaced — attempt slices in launch order, liveness,
+/// failure counters and id-ordered in-flight iteration — under random
+/// interleavings of attempt starts, single completions, failure bumps and
+/// crash-style bulk removals of every attempt on one machine (the
+/// `declare_dead` path).
+#[test]
+fn arena_task_state_matches_per_task_oracle() {
+    use cluster::SlotKind;
+    use hadoop_sim::{TaskArena, MAX_ATTEMPTS};
+    use workload::{TaskId, TaskIndex};
+
+    check("arena_task_state_matches_per_task_oracle", 128, |rng| {
+        let jobs = rng.uniform_u64(1, 6) as usize;
+        let mut arena = TaskArena::new(true);
+        let mut tasks: Vec<TaskId> = Vec::new();
+        for j in 0..jobs {
+            let maps = rng.uniform_u64(1, 8) as u32;
+            let reduces = rng.uniform_u64(0, 4) as u32;
+            arena.register_job(maps, reduces);
+            for index in 0..maps {
+                tasks.push(TaskId {
+                    job: JobId(j as u64),
+                    task: TaskIndex {
+                        kind: SlotKind::Map,
+                        index,
+                    },
+                });
+            }
+            for index in 0..reduces {
+                tasks.push(TaskId {
+                    job: JobId(j as u64),
+                    task: TaskIndex {
+                        kind: SlotKind::Reduce,
+                        index,
+                    },
+                });
+            }
+        }
+        let machines = 8u64;
+        // The engine structures the arena replaced: an attempt registry
+        // keyed by task with machine-match removal, and a separate
+        // failed-attempt counter map.
+        let mut attempts: BTreeMap<TaskId, Vec<(MachineId, SimTime)>> = BTreeMap::new();
+        let mut failures: BTreeMap<TaskId, u32> = BTreeMap::new();
+        let mut now = SimTime::ZERO;
+        let ops = rng.uniform_u64(1, 200) as usize;
+        for _ in 0..ops {
+            now += simcore::SimDuration::from_millis(rng.uniform_u64(0, 5_000));
+            let t = tasks[rng.uniform_u64(0, tasks.len() as u64 - 1) as usize];
+            let draw = rng.uniform_u64(0, 99);
+            if draw < 45 {
+                // Attempt start. The engine launches at most MAX_ATTEMPTS
+                // concurrent copies and never two on one machine
+                // (speculation skips the original's host).
+                let m = MachineId(rng.uniform_u64(0, machines - 1) as usize);
+                let list = attempts.entry(t).or_default();
+                if list.len() < MAX_ATTEMPTS && list.iter().all(|&(held, _)| held != m) {
+                    list.push((m, now));
+                    arena.push_attempt(t, m, now);
+                }
+                if list.is_empty() {
+                    attempts.remove(&t);
+                }
+            } else if draw < 75 {
+                // Completion or single failure: removal by machine match,
+                // tolerating machines that run nothing of this task.
+                let m = MachineId(rng.uniform_u64(0, machines - 1) as usize);
+                arena.remove_attempt(t, m);
+                if let Some(list) = attempts.get_mut(&t) {
+                    list.retain(|&(held, _)| held != m);
+                    if list.is_empty() {
+                        attempts.remove(&t);
+                    }
+                }
+            } else if draw < 90 {
+                arena.record_failure(t);
+                *failures.entry(t).or_insert(0) += 1;
+            } else {
+                // Crash: every attempt on one machine dies at once, like
+                // `declare_dead` draining a machine's in-flight registry.
+                let m = MachineId(rng.uniform_u64(0, machines - 1) as usize);
+                let doomed: Vec<TaskId> = attempts
+                    .iter()
+                    .filter(|(_, list)| list.iter().any(|&(held, _)| held == m))
+                    .map(|(&t, _)| t)
+                    .collect();
+                for t in doomed {
+                    arena.remove_attempt(t, m);
+                    arena.record_failure(t);
+                    *failures.entry(t).or_insert(0) += 1;
+                    let list = attempts.get_mut(&t).expect("doomed task tracked");
+                    list.retain(|&(held, _)| held != m);
+                    if list.is_empty() {
+                        attempts.remove(&t);
+                    }
+                }
+            }
+            // Full-state comparison after every op.
+            for &t in &tasks {
+                let want: &[(MachineId, SimTime)] =
+                    attempts.get(&t).map_or(&[], |list| list.as_slice());
+                assert_eq!(arena.attempts(t), want, "attempts of {t} diverged");
+                assert_eq!(arena.has_live_attempt(t), !want.is_empty());
+                assert_eq!(arena.failures(t), failures.get(&t).copied().unwrap_or(0));
+            }
+            let want_inflight: Vec<TaskId> = attempts.keys().copied().collect();
+            assert_eq!(
+                arena.inflight_tasks().collect::<Vec<_>>(),
+                want_inflight,
+                "in-flight iteration diverged from the BTreeMap key order"
+            );
+        }
+    });
+}
+
 /// The fairness heuristic is finite, positive, and monotone in the
 /// deficit.
 #[test]
