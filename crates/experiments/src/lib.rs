@@ -43,6 +43,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scenario;
+pub mod serve;
 pub mod tables;
 pub mod timeline;
 pub mod tracediff;

@@ -15,6 +15,8 @@
 //! experiments scenario sweep <dir> [--fast] [--db <path>]
 //! experiments scenario compare <baseline.jsonl> <candidate.jsonl>
 //!                                          # run DB regression gate
+//! experiments serve <scenario.json> [--fast] [--levels <l1,l2,..>] [--out <json>]
+//!                                          # service-mode utilization sweep
 //! ```
 
 use std::path::PathBuf;
@@ -31,7 +33,8 @@ fn usage() -> ExitCode {
          \x20      experiments watch <trace.jsonl> [--every <secs>]\n\
          \x20      experiments scenario run <file.json> [--fast] [--db <path>]\n\
          \x20      experiments scenario sweep <dir> [--fast] [--db <path>]\n\
-         \x20      experiments scenario compare <baseline.jsonl> <candidate.jsonl>"
+         \x20      experiments scenario compare <baseline.jsonl> <candidate.jsonl>\n\
+         \x20      experiments serve <scenario.json> [--fast] [--levels <l1,l2,..>] [--out <json>]"
     );
     eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(", "));
     ExitCode::FAILURE
@@ -172,12 +175,61 @@ fn cmd_scenario(args: &[String]) -> ExitCode {
     }
 }
 
+/// `experiments serve <scenario.json> [--fast] [--levels <l1,..>] [--out <json>]`
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut fast = false;
+    let mut levels: Vec<f64> = experiments::serve::DEFAULT_LEVELS.to_vec();
+    let mut out: Option<PathBuf> = None;
+    let mut path: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--levels" => {
+                let Some(v) = iter.next() else {
+                    return fail("--levels needs a comma-separated list of multipliers");
+                };
+                let parsed: Result<Vec<f64>, _> =
+                    v.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                match parsed {
+                    Ok(ls) if !ls.is_empty() && ls.iter().all(|&l| l > 0.0 && l.is_finite()) => {
+                        levels = ls;
+                    }
+                    _ => return fail(&format!("--levels: invalid multiplier list '{v}'")),
+                }
+            }
+            "--out" => {
+                let Some(p) = iter.next() else {
+                    return fail("--out needs a file path");
+                };
+                out = Some(PathBuf::from(p));
+            }
+            other if other.starts_with("--") => {
+                return fail(&format!("unknown serve flag {other}"));
+            }
+            other if path.is_none() => path = Some(PathBuf::from(other)),
+            _ => return fail("serve takes exactly one scenario path"),
+        }
+    }
+    let Some(path) = path else {
+        return fail("serve needs a scenario path");
+    };
+    match experiments::serve::run(&path, fast, &levels, out.as_deref()) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => fail(&err),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("trace-diff") => return cmd_trace_diff(&args[1..]),
         Some("watch") => return cmd_watch(&args[1..]),
         Some("scenario") => return cmd_scenario(&args[1..]),
+        Some("serve") => return cmd_serve(&args[1..]),
         _ => {}
     }
 

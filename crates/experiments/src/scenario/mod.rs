@@ -25,7 +25,10 @@ mod rundb;
 mod spec;
 
 pub use rundb::{compare, CompareReport, Delta, RunDb, RunRecord};
-pub use spec::{scheduler_to_json, FleetGroup, FleetSpec, ScenarioSpec, Tolerance, WorkloadSpec};
+pub use spec::{
+    scheduler_to_json, FleetGroup, FleetSpec, ScenarioSpec, ServeSpec, ServeTolerance, Tolerance,
+    WorkloadSpec,
+};
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -72,11 +75,22 @@ pub fn execute_spec(spec: &ScenarioSpec, fast: bool) -> (String, Vec<RunRecord>)
         .collect();
 
     let mut out = String::new();
+    let workload_desc = {
+        let active = match (&spec.fast_workload, fast) {
+            (Some(w), true) => w,
+            _ => &spec.workload,
+        };
+        match active {
+            WorkloadSpec::Open(stream) => {
+                format!("open stream ~{:.1} jobs/min", stream.mean_rate_per_min())
+            }
+            _ => format!("{} jobs", spec.jobs(spec.seeds[0], fast).len()),
+        }
+    };
     let _ = writeln!(
         out,
-        "scenario {} ({} jobs x {} schedulers x {} seeds{})",
+        "scenario {} ({workload_desc} x {} schedulers x {} seeds{})",
         spec.name,
-        spec.jobs(spec.seeds[0], fast).len(),
         spec.schedulers.len(),
         spec.seeds.len(),
         if fast { ", fast" } else { "" }
@@ -103,6 +117,16 @@ pub fn execute_spec(spec: &ScenarioSpec, fast: bool) -> (String, Vec<RunRecord>)
     }
     for line in savings_lines(&records) {
         let _ = writeln!(out, "{line}");
+    }
+    for r in records.iter().filter(|r| r.open_stream) {
+        let _ = writeln!(
+            out,
+            "  serve {} seed {}: p99 sojourn {:.1} s, {:.2} kJ/job",
+            r.scheduler,
+            r.seed,
+            r.p99_sojourn_s,
+            r.energy_per_job_j / 1e3
+        );
     }
     (out, records)
 }

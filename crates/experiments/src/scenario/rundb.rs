@@ -23,7 +23,7 @@ use hadoop_sim::RunResult;
 use metrics::emit::{object, JsonValue, ToJson};
 use metrics::spec::{snippet, ObjectView, SpecError};
 
-use super::spec::{ScenarioSpec, Tolerance};
+use super::spec::{ScenarioSpec, ServeTolerance, Tolerance};
 use crate::common::SchedulerKind;
 
 /// One executed (scenario, scheduler, seed, scale) cell with its result.
@@ -47,6 +47,17 @@ pub struct RunRecord {
     pub makespan_s: f64,
     /// Whether the workload drained before the simulation wall.
     pub drained: bool,
+    /// Whether this is an open-stream (service-mode) run. Open-stream runs
+    /// never drain by design, so the gate compares their steady-state
+    /// service metrics instead of the drain-run energy/makespan pair.
+    pub open_stream: bool,
+    /// Service-metric tolerances from the spec's `serve` section
+    /// (meaningful only when `open_stream`).
+    pub serve_tolerance: ServeTolerance,
+    /// Steady-state p99 job sojourn, seconds (open-stream runs only).
+    pub p99_sojourn_s: f64,
+    /// Steady-state energy per completed job, joules (open-stream only).
+    pub energy_per_job_j: f64,
     /// The full serialized [`RunResult`].
     pub result: JsonValue,
 }
@@ -60,6 +71,14 @@ impl RunRecord {
         fast: bool,
         result: &RunResult,
     ) -> Self {
+        let (open_stream, p99_sojourn_s, energy_per_job_j) = match &result.service {
+            Some(service) => (
+                true,
+                service.percentile(99).map_or(0.0, |d| d.as_secs_f64()),
+                service.energy_per_job,
+            ),
+            None => (false, 0.0, 0.0),
+        };
         RunRecord {
             key: spec.manifest_key(kind, seed, fast),
             scenario: spec.name.clone(),
@@ -70,6 +89,10 @@ impl RunRecord {
             energy_joules: result.total_energy_joules(),
             makespan_s: result.makespan.as_secs_f64(),
             drained: result.drained,
+            open_stream,
+            serve_tolerance: spec.serve.map(|s| s.tolerance).unwrap_or_default(),
+            p99_sojourn_s,
+            energy_per_job_j,
             result: result.to_json(),
         }
     }
@@ -84,9 +107,11 @@ impl RunRecord {
         )
     }
 
-    /// Canonical JSON for one JSONL line.
+    /// Canonical JSON for one JSONL line. The service-mode keys are
+    /// emitted only for open-stream records, so every pre-existing
+    /// drain-run line stays byte-identical.
     pub fn to_json(&self) -> JsonValue {
-        object([
+        let mut fields = Vec::from([
             ("key", JsonValue::Str(self.key.clone())),
             ("scenario", JsonValue::Str(self.scenario.clone())),
             ("scheduler", JsonValue::Str(self.scheduler.clone())),
@@ -102,8 +127,24 @@ impl RunRecord {
             ("energy_joules", JsonValue::Num(self.energy_joules)),
             ("makespan_s", JsonValue::Num(self.makespan_s)),
             ("drained", JsonValue::Bool(self.drained)),
-            ("result", self.result.clone()),
-        ])
+        ]);
+        if self.open_stream {
+            fields.push(("open_stream", JsonValue::Bool(true)));
+            fields.push((
+                "serve_tolerance",
+                object([
+                    ("p99_rel", JsonValue::Num(self.serve_tolerance.p99_rel)),
+                    (
+                        "energy_per_job_rel",
+                        JsonValue::Num(self.serve_tolerance.energy_per_job_rel),
+                    ),
+                ]),
+            ));
+            fields.push(("p99_sojourn_s", JsonValue::Num(self.p99_sojourn_s)));
+            fields.push(("energy_per_job_j", JsonValue::Num(self.energy_per_job_j)));
+        }
+        fields.push(("result", self.result.clone()));
+        object(fields)
     }
 
     fn from_json(doc: &JsonValue) -> Result<Self, SpecError> {
@@ -118,6 +159,10 @@ impl RunRecord {
             "energy_joules",
             "makespan_s",
             "drained",
+            "open_stream",
+            "serve_tolerance",
+            "p99_sojourn_s",
+            "energy_per_job_j",
             "result",
         ])?;
         let tol = view.obj("tolerance")?;
@@ -139,6 +184,26 @@ impl RunRecord {
                 ))
             }
         };
+        let open_stream = match view.get("open_stream") {
+            None => false,
+            Some(JsonValue::Bool(b)) => *b,
+            Some(_) => {
+                return Err(SpecError::new(
+                    view.child_path("open_stream"),
+                    "expected a boolean",
+                ))
+            }
+        };
+        let serve_tolerance = match view.opt_obj("serve_tolerance")? {
+            None => ServeTolerance::default(),
+            Some(st) => {
+                st.deny_unknown(&["p99_rel", "energy_per_job_rel"])?;
+                ServeTolerance {
+                    p99_rel: st.f64("p99_rel")?,
+                    energy_per_job_rel: st.f64("energy_per_job_rel")?,
+                }
+            }
+        };
         Ok(RunRecord {
             key: view.string("key")?.to_owned(),
             scenario: view.string("scenario")?.to_owned(),
@@ -152,6 +217,10 @@ impl RunRecord {
             energy_joules: view.f64("energy_joules")?,
             makespan_s: view.f64("makespan_s")?,
             drained,
+            open_stream,
+            serve_tolerance,
+            p99_sojourn_s: view.opt_f64("p99_sojourn_s")?.unwrap_or(0.0),
+            energy_per_job_j: view.opt_f64("energy_per_job_j")?.unwrap_or(0.0),
             result: view.required("result")?.clone(),
         })
     }
@@ -261,6 +330,17 @@ pub struct Delta {
     pub makespan_base: f64,
     /// Candidate makespan, seconds.
     pub makespan_cand: f64,
+    /// Whether both sides are open-stream (service-mode) records, gated on
+    /// p99 sojourn and energy/job instead of energy and makespan.
+    pub open_stream: bool,
+    /// Baseline steady-state p99 sojourn, seconds (open-stream only).
+    pub p99_base: f64,
+    /// Candidate steady-state p99 sojourn, seconds (open-stream only).
+    pub p99_cand: f64,
+    /// Baseline energy per completed job, joules (open-stream only).
+    pub energy_per_job_base: f64,
+    /// Candidate energy per completed job, joules (open-stream only).
+    pub energy_per_job_cand: f64,
     /// Whether the manifest key changed between the databases.
     pub key_changed: bool,
     /// Why this pair fails the gate, if it does.
@@ -276,6 +356,16 @@ impl Delta {
     /// Relative makespan delta (candidate vs baseline).
     pub fn makespan_rel(&self) -> f64 {
         rel_delta(self.makespan_base, self.makespan_cand)
+    }
+
+    /// Relative p99 sojourn delta (open-stream records).
+    pub fn p99_rel(&self) -> f64 {
+        rel_delta(self.p99_base, self.p99_cand)
+    }
+
+    /// Relative energy-per-job delta (open-stream records).
+    pub fn energy_per_job_rel(&self) -> f64 {
+        rel_delta(self.energy_per_job_base, self.energy_per_job_cand)
     }
 }
 
@@ -325,9 +415,20 @@ impl CompareReport {
                 Some(v) => format!("FAIL: {v}"),
                 None => "ok".to_owned(),
             };
+            // Open-stream rows additionally carry the gated SLO pair —
+            // the energy/makespan columns are informational for them.
+            let serve = if d.open_stream {
+                format!(
+                    " [serve p99 {:+.3}% e/job {:+.3}%]",
+                    d.p99_rel() * 100.0,
+                    d.energy_per_job_rel() * 100.0
+                )
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "{:<28} {:>8} {:>6} {:>10.3} {:>10.3} {:>+9.3} {:>+9.3}  {verdict}",
+                "{:<28} {:>8} {:>6} {:>10.3} {:>10.3} {:>+9.3} {:>+9.3} {serve} {verdict}",
                 d.scenario,
                 d.scheduler,
                 d.seed,
@@ -415,25 +516,51 @@ pub fn compare(baseline: &RunDb, candidate: &RunDb) -> CompareReport {
             energy_cand: c.energy_joules,
             makespan_base: b.makespan_s,
             makespan_cand: c.makespan_s,
+            open_stream: b.open_stream && c.open_stream,
+            p99_base: b.p99_sojourn_s,
+            p99_cand: c.p99_sojourn_s,
+            energy_per_job_base: b.energy_per_job_j,
+            energy_per_job_cand: c.energy_per_job_j,
             key_changed: b.key != c.key,
             violation: None,
         };
-        let tol = b.tolerance;
         delta.violation = if delta.key_changed {
             Some("manifest key changed; refresh the baseline".to_owned())
+        } else if b.open_stream != c.open_stream {
+            Some("open-stream flag changed; refresh the baseline".to_owned())
+        } else if delta.open_stream {
+            // Service-mode gate: an open-stream run never drains by
+            // design, so drain/makespan checks would reject every record.
+            // Its SLO pair is gated instead.
+            let tol = b.serve_tolerance;
+            if delta.p99_rel().abs() > tol.p99_rel {
+                Some(format!(
+                    "p99 sojourn drift {:+.3}% exceeds {:.3}%",
+                    delta.p99_rel() * 100.0,
+                    tol.p99_rel * 100.0
+                ))
+            } else if delta.energy_per_job_rel().abs() > tol.energy_per_job_rel {
+                Some(format!(
+                    "energy/job drift {:+.3}% exceeds {:.3}%",
+                    delta.energy_per_job_rel() * 100.0,
+                    tol.energy_per_job_rel * 100.0
+                ))
+            } else {
+                None
+            }
         } else if b.drained && !c.drained {
             Some("run no longer drains".to_owned())
-        } else if delta.energy_rel().abs() > tol.energy_rel {
+        } else if delta.energy_rel().abs() > b.tolerance.energy_rel {
             Some(format!(
                 "energy drift {:+.3}% exceeds {:.3}%",
                 delta.energy_rel() * 100.0,
-                tol.energy_rel * 100.0
+                b.tolerance.energy_rel * 100.0
             ))
-        } else if delta.makespan_rel().abs() > tol.makespan_rel {
+        } else if delta.makespan_rel().abs() > b.tolerance.makespan_rel {
             Some(format!(
                 "makespan drift {:+.3}% exceeds {:.3}%",
                 delta.makespan_rel() * 100.0,
-                tol.makespan_rel * 100.0
+                b.tolerance.makespan_rel * 100.0
             ))
         } else {
             None
@@ -483,7 +610,21 @@ mod tests {
             energy_joules: energy,
             makespan_s: 1000.0,
             drained: true,
+            open_stream: false,
+            serve_tolerance: ServeTolerance::default(),
+            p99_sojourn_s: 0.0,
+            energy_per_job_j: 0.0,
             result: JsonValue::Null,
+        }
+    }
+
+    fn serve_record(scenario: &str, scheduler: &str, seed: u64, p99: f64, epj: f64) -> RunRecord {
+        RunRecord {
+            drained: false,
+            open_stream: true,
+            p99_sojourn_s: p99,
+            energy_per_job_j: epj,
+            ..record(scenario, scheduler, seed, 5.0e6)
         }
     }
 
@@ -541,6 +682,75 @@ mod tests {
         let report = compare(&baseline, &stuck);
         assert_eq!(report.violations(), 1);
         assert!(report.render().contains("no longer drains"));
+    }
+
+    #[test]
+    fn open_stream_records_gate_on_service_metrics_not_drain() {
+        // An open-stream run never drains; identical databases must pass
+        // without tripping the "no longer drains" rule.
+        let baseline = db(vec![serve_record("serve", "E-Ant", 1, 420.0, 8.0e5)]);
+        let report = compare(&baseline, &baseline.clone());
+        assert_eq!(report.violations(), 0, "{}", report.render());
+        assert!(report
+            .render()
+            .contains("[serve p99 +0.000% e/job +0.000%]"));
+
+        // p99 sojourn drift beyond the serve tolerance fails...
+        let mut slow = baseline.clone();
+        slow.records[0].p99_sojourn_s *= 1.05;
+        let report = compare(&baseline, &slow);
+        assert_eq!(report.violations(), 1);
+        assert!(
+            report
+                .render()
+                .contains("FAIL: p99 sojourn drift +5.000% exceeds 2.000%"),
+            "{}",
+            report.render()
+        );
+
+        // ...as does energy-per-job drift; total energy/makespan drift on
+        // its own does not (those columns are informational here).
+        let mut hungry = baseline.clone();
+        hungry.records[0].energy_per_job_j *= 0.9;
+        assert_eq!(compare(&baseline, &hungry).violations(), 1);
+        let mut total_only = baseline.clone();
+        total_only.records[0].energy_joules *= 1.5;
+        total_only.records[0].makespan_s *= 1.5;
+        assert_eq!(compare(&baseline, &total_only).violations(), 0);
+    }
+
+    #[test]
+    fn open_stream_flag_flip_fails_the_gate() {
+        let baseline = db(vec![serve_record("serve", "Fair", 1, 400.0, 7.0e5)]);
+        let mut cand = baseline.clone();
+        cand.records[0].open_stream = false;
+        cand.records[0].drained = true;
+        let report = compare(&baseline, &cand);
+        assert_eq!(report.violations(), 1);
+        assert!(
+            report.render().contains("open-stream flag changed"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn open_stream_records_round_trip_and_plain_lines_are_unchanged() {
+        let a = db(vec![
+            record("alpha", "Fair", 1, 2.0e6),
+            serve_record("serve", "E-Ant", 1, 420.5, 8.25e5),
+        ]);
+        let text = a.render();
+        // Drain-run lines must not grow any service-mode keys.
+        let plain = text.lines().next().unwrap();
+        assert!(plain.contains("alpha"), "{text}");
+        assert!(!plain.contains("open_stream"), "{text}");
+        let serve_line = text.lines().nth(1).unwrap();
+        assert!(serve_line.contains("\"open_stream\":true"), "{text}");
+        assert!(serve_line.contains("\"p99_sojourn_s\":420.5"), "{text}");
+        let parsed = RunDb::parse(&text).expect("well-formed JSONL");
+        assert_eq!(parsed.records, a.records);
+        assert_eq!(parsed.render(), text);
     }
 
     #[test]

@@ -21,14 +21,15 @@ use cluster::{profiles, Fleet};
 use eant::{EAntConfig, ExchangeStrategy};
 use hadoop_sim::{
     DvfsConfig, Engine, EngineConfig, FaultConfig, NoiseConfig, PowerDownConfig, RunResult,
-    Scheduler, SpeculationPolicy,
+    Scheduler, SpeculationPolicy, StopCondition,
 };
 use metrics::emit::{object, JsonValue};
 use metrics::spec::{ensure, fnv1a_64, syntax_context, with_context, ObjectView, SpecError};
 use simcore::{SimDuration, SimRng};
-use workload::arrival::{DiurnalPeak, DiurnalProfile};
+use workload::arrival::{DiurnalPeak, DiurnalProfile, OpenArrival};
 use workload::mix::{self, BenchmarkChoice, StreamArrival, StreamSpec};
 use workload::msd::MsdConfig;
+use workload::open::{OpenJobTemplate, OpenStream, OpenStreamSpec};
 use workload::{BenchmarkKind, JobSpec, SizeClass};
 
 use crate::common::SchedulerKind;
@@ -58,6 +59,59 @@ pub enum WorkloadSpec {
     Msd(MsdConfig),
     /// A composed multi-stream workload ([`workload::mix`]).
     Streams(Vec<StreamSpec>),
+    /// An unbounded open job stream ([`workload::open`]); requires the
+    /// scenario's `serve` section (the horizon bounds the run, not the
+    /// job count).
+    Open(OpenStreamSpec),
+}
+
+/// Regression tolerances for open-stream (service-mode) records, compared
+/// by `scenario compare` instead of the drain-run energy/makespan pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeTolerance {
+    /// Maximum relative p99-sojourn delta before the gate fails.
+    pub p99_rel: f64,
+    /// Maximum relative energy-per-job delta before the gate fails.
+    pub energy_per_job_rel: f64,
+}
+
+impl Default for ServeTolerance {
+    fn default() -> Self {
+        ServeTolerance {
+            p99_rel: 0.02,
+            energy_per_job_rel: 0.02,
+        }
+    }
+}
+
+/// The service-mode section of a scenario: horizon timing (with optional
+/// `--fast` overrides) and service-metric tolerances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSpec {
+    /// Warm-up period excluded from steady-state accounting.
+    pub warmup: SimDuration,
+    /// Measurement-window length.
+    pub measure: SimDuration,
+    /// Shorter warm-up for `--fast` runs (falls back to `warmup`).
+    pub fast_warmup: Option<SimDuration>,
+    /// Shorter window for `--fast` runs (falls back to `measure`).
+    pub fast_measure: Option<SimDuration>,
+    /// Service-metric regression tolerances.
+    pub tolerance: ServeTolerance,
+}
+
+impl ServeSpec {
+    /// The `(warmup, measure)` horizon at the given scale.
+    pub fn horizon(&self, fast: bool) -> (SimDuration, SimDuration) {
+        if fast {
+            (
+                self.fast_warmup.unwrap_or(self.warmup),
+                self.fast_measure.unwrap_or(self.measure),
+            )
+        } else {
+            (self.warmup, self.measure)
+        }
+    }
 }
 
 /// One homogeneous group of a custom fleet.
@@ -109,6 +163,9 @@ pub struct ScenarioSpec {
     pub engine: EngineConfig,
     /// Regression-gate tolerances.
     pub tolerance: Tolerance,
+    /// Service-mode horizon and tolerances; present exactly when the
+    /// workload is [`WorkloadSpec::Open`].
+    pub serve: Option<ServeSpec>,
 }
 
 impl ScenarioSpec {
@@ -141,6 +198,7 @@ impl ScenarioSpec {
             "fleet",
             "engine",
             "tolerance",
+            "serve",
         ])?;
 
         let name = root.string("name")?.to_owned();
@@ -198,6 +256,33 @@ impl ScenarioSpec {
             Some(v) => tolerance_from_json(&v)?,
             None => Tolerance::default(),
         };
+        let serve = root
+            .opt_obj("serve")?
+            .map(|v| serve_from_json(&v))
+            .transpose()?;
+
+        // Open workloads and the serve section come as a pair: the horizon
+        // is what bounds an unbounded stream, and a drain workload has no
+        // steady-state window to measure.
+        let is_open = |w: &WorkloadSpec| matches!(w, WorkloadSpec::Open(_));
+        if serve.is_some() {
+            ensure(
+                is_open(&workload),
+                &root.child_path("workload"),
+                "a scenario with a `serve` section must use an open workload",
+            )?;
+            ensure(
+                fast_workload.as_ref().is_none_or(is_open),
+                &root.child_path("fast_workload"),
+                "the fast workload of a serve scenario must also be open",
+            )?;
+        } else {
+            ensure(
+                !is_open(&workload) && !fast_workload.as_ref().is_some_and(is_open),
+                &root.child_path("workload"),
+                "an open workload requires a `serve` section",
+            )?;
+        }
 
         Ok(ScenarioSpec {
             name,
@@ -209,12 +294,15 @@ impl ScenarioSpec {
             fleet,
             engine,
             tolerance,
+            serve,
         })
     }
 
-    /// Emits the full normal form (every field, fixed key order).
+    /// Emits the full normal form (every field in a fixed key order; the
+    /// `serve` key appears only on service scenarios, so pre-service-mode
+    /// scenario files — and therefore their manifest keys — are unchanged).
     pub fn to_json(&self) -> JsonValue {
-        object([
+        let mut fields = Vec::from([
             ("name", JsonValue::Str(self.name.clone())),
             ("description", JsonValue::Str(self.description.clone())),
             (
@@ -241,7 +329,11 @@ impl ScenarioSpec {
                     ("makespan_rel", JsonValue::Num(self.tolerance.makespan_rel)),
                 ]),
             ),
-        ])
+        ]);
+        if let Some(serve) = &self.serve {
+            fields.push(("serve", serve_to_json(serve)));
+        }
+        object(fields)
     }
 
     /// The compact canonical rendering of [`ScenarioSpec::to_json`].
@@ -267,6 +359,9 @@ impl ScenarioSpec {
             WorkloadSpec::Streams(streams) => {
                 mix::generate(streams, &mut SimRng::seed_from(seed).fork("mix"))
             }
+            // Open workloads materialize nothing up front — the engine
+            // pulls jobs from the stream during the run.
+            WorkloadSpec::Open(_) => Vec::new(),
         }
     }
 
@@ -312,8 +407,46 @@ impl ScenarioSpec {
         fast: bool,
         configure: impl FnOnce(&mut Engine, &mut dyn Scheduler),
     ) -> RunResult {
-        let mut engine = Engine::new(self.build_fleet(), self.engine.clone(), seed);
+        self.execute_scaled_observed(kind, seed, fast, 1.0, configure)
+    }
+
+    /// Runs one cell of a serve scenario with its arrival intensity
+    /// multiplied by `rate_scale` — the utilization knob of the
+    /// `experiments serve` sweep. Non-serve scenarios ignore the scale
+    /// (their workloads are fixed job lists).
+    pub fn execute_scaled(
+        &self,
+        kind: &SchedulerKind,
+        seed: u64,
+        fast: bool,
+        rate_scale: f64,
+    ) -> RunResult {
+        self.execute_scaled_observed(kind, seed, fast, rate_scale, |_, _| {})
+    }
+
+    fn execute_scaled_observed(
+        &self,
+        kind: &SchedulerKind,
+        seed: u64,
+        fast: bool,
+        rate_scale: f64,
+        configure: impl FnOnce(&mut Engine, &mut dyn Scheduler),
+    ) -> RunResult {
+        let mut engine_cfg = self.engine.clone();
+        if let Some(serve) = &self.serve {
+            let (warmup, measure) = serve.horizon(fast);
+            engine_cfg.stop = StopCondition::Horizon { warmup, measure };
+        }
+        let mut engine = Engine::new(self.build_fleet(), engine_cfg, seed);
         engine.submit_jobs(self.jobs(seed, fast));
+        if self.serve.is_some() {
+            if let WorkloadSpec::Open(stream) = self.workload_for(fast) {
+                // The stream draws from its own fork of the scenario seed,
+                // so serve runs share no randomness with batch paths.
+                let mut rng = SimRng::seed_from(seed).fork("serve");
+                engine.attach_open_stream(OpenStream::new(stream, rate_scale, &mut rng));
+            }
+        }
         let mut sched = kind.make(seed);
         configure(&mut engine, sched.as_mut());
         let mut result = engine.run(sched.as_mut());
@@ -527,7 +660,109 @@ fn workload_to_json(workload: &WorkloadSpec) -> JsonValue {
                 JsonValue::Array(streams.iter().map(stream_to_json).collect()),
             ),
         ]),
+        WorkloadSpec::Open(spec) => object([
+            ("kind", JsonValue::Str("open".into())),
+            ("label", JsonValue::Str(spec.label.clone())),
+            ("arrival", open_arrival_to_json(&spec.arrival)),
+            (
+                "templates",
+                JsonValue::Array(spec.templates.iter().map(template_to_json).collect()),
+            ),
+        ]),
     }
+}
+
+fn open_arrival_to_json(arrival: &OpenArrival) -> JsonValue {
+    match arrival {
+        OpenArrival::Poisson { rate_per_min } => object([
+            ("kind", JsonValue::Str("poisson".into())),
+            ("rate_per_min", JsonValue::Num(*rate_per_min)),
+        ]),
+        OpenArrival::Diurnal { profile, period_s } => object([
+            ("kind", JsonValue::Str("diurnal".into())),
+            ("base_per_min", JsonValue::Num(profile.base_per_min)),
+            (
+                "peaks",
+                JsonValue::Array(
+                    profile
+                        .peaks
+                        .iter()
+                        .map(|p| {
+                            object([
+                                ("center_s", JsonValue::Num(p.center_s)),
+                                ("width_s", JsonValue::Num(p.width_s)),
+                                ("extra_per_min", JsonValue::Num(p.extra_per_min)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("period_s", JsonValue::Num(*period_s)),
+        ]),
+        OpenArrival::Bursty {
+            bursts_per_min,
+            burst_min,
+            burst_max,
+        } => object([
+            ("kind", JsonValue::Str("bursty".into())),
+            ("bursts_per_min", JsonValue::Num(*bursts_per_min)),
+            ("burst_min", JsonValue::UInt(u64::from(*burst_min))),
+            ("burst_max", JsonValue::UInt(u64::from(*burst_max))),
+        ]),
+    }
+}
+
+fn template_to_json(t: &OpenJobTemplate) -> JsonValue {
+    object([
+        (
+            "benchmark",
+            JsonValue::Str(
+                match t.benchmark {
+                    BenchmarkKind::Wordcount => "wordcount",
+                    BenchmarkKind::Grep => "grep",
+                    BenchmarkKind::Terasort => "terasort",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "size_class",
+            match t.size_class {
+                None => JsonValue::Null,
+                Some(SizeClass::Small) => JsonValue::Str("small".into()),
+                Some(SizeClass::Medium) => JsonValue::Str("medium".into()),
+                Some(SizeClass::Large) => JsonValue::Str("large".into()),
+            },
+        ),
+        ("maps", JsonValue::UInt(u64::from(t.maps))),
+        ("reduces", JsonValue::UInt(u64::from(t.reduces))),
+        ("weight", JsonValue::Num(t.weight)),
+    ])
+}
+
+fn serve_to_json(serve: &ServeSpec) -> JsonValue {
+    object([
+        ("warmup_s", duration_to_json(serve.warmup)),
+        ("measure_s", duration_to_json(serve.measure)),
+        (
+            "fast_warmup_s",
+            serve.fast_warmup.map_or(JsonValue::Null, duration_to_json),
+        ),
+        (
+            "fast_measure_s",
+            serve.fast_measure.map_or(JsonValue::Null, duration_to_json),
+        ),
+        (
+            "tolerance",
+            object([
+                ("p99_rel", JsonValue::Num(serve.tolerance.p99_rel)),
+                (
+                    "energy_per_job_rel",
+                    JsonValue::Num(serve.tolerance.energy_per_job_rel),
+                ),
+            ]),
+        ),
+    ])
 }
 
 fn stream_to_json(stream: &StreamSpec) -> JsonValue {
@@ -651,11 +886,230 @@ fn workload_from_json(view: &ObjectView<'_>) -> Result<WorkloadSpec, SpecError> 
             }
             Ok(WorkloadSpec::Streams(streams))
         }
+        "open" => {
+            view.deny_unknown(&["kind", "label", "arrival", "templates"])?;
+            let label = view.string("label")?.to_owned();
+            let arrival = open_arrival_from_json(&view.obj("arrival")?)?;
+            let templates_path = view.child_path("templates");
+            let items = view.array("templates")?;
+            ensure(
+                !items.is_empty(),
+                &templates_path,
+                "must list at least one template",
+            )?;
+            let mut templates = Vec::new();
+            for (i, item) in items.iter().enumerate() {
+                let tv = ObjectView::new(item, format!("{templates_path}[{i}]"))?;
+                templates.push(template_from_json(&tv)?);
+            }
+            Ok(WorkloadSpec::Open(OpenStreamSpec {
+                label,
+                arrival,
+                templates,
+            }))
+        }
         other => Err(SpecError::new(
             view.child_path("kind"),
-            format!("unknown workload kind {other:?} (msd|streams)"),
+            format!("unknown workload kind {other:?} (msd|streams|open)"),
         )),
     }
+}
+
+fn open_arrival_from_json(view: &ObjectView<'_>) -> Result<OpenArrival, SpecError> {
+    match view.string("kind")? {
+        "poisson" => {
+            view.deny_unknown(&["kind", "rate_per_min"])?;
+            let rate = view.f64("rate_per_min")?;
+            ensure(
+                rate.is_finite() && rate > 0.0,
+                &view.child_path("rate_per_min"),
+                "must be positive",
+            )?;
+            Ok(OpenArrival::Poisson { rate_per_min: rate })
+        }
+        "diurnal" => {
+            view.deny_unknown(&["kind", "base_per_min", "peaks", "period_s"])?;
+            let base = view.opt_f64("base_per_min")?.unwrap_or(0.0);
+            ensure(
+                base.is_finite() && base >= 0.0,
+                &view.child_path("base_per_min"),
+                "must be non-negative",
+            )?;
+            let peaks_path = view.child_path("peaks");
+            let mut peaks = Vec::new();
+            for (i, item) in view.array("peaks")?.iter().enumerate() {
+                let pv = ObjectView::new(item, format!("{peaks_path}[{i}]"))?;
+                pv.deny_unknown(&["center_s", "width_s", "extra_per_min"])?;
+                let center = pv.f64("center_s")?;
+                ensure(
+                    center.is_finite(),
+                    &pv.child_path("center_s"),
+                    "must be finite",
+                )?;
+                let width = pv.f64("width_s")?;
+                ensure(
+                    width.is_finite() && width > 0.0,
+                    &pv.child_path("width_s"),
+                    "must be positive",
+                )?;
+                let extra = pv.f64("extra_per_min")?;
+                ensure(
+                    extra.is_finite() && extra >= 0.0,
+                    &pv.child_path("extra_per_min"),
+                    "must be non-negative",
+                )?;
+                peaks.push(DiurnalPeak {
+                    center_s: center,
+                    width_s: width,
+                    extra_per_min: extra,
+                });
+            }
+            let period = view.f64("period_s")?;
+            ensure(
+                period.is_finite() && period > 0.0,
+                &view.child_path("period_s"),
+                "must be positive",
+            )?;
+            let profile = DiurnalProfile {
+                base_per_min: base,
+                peaks,
+            };
+            ensure(
+                profile.max_per_min() > 0.0,
+                view.path(),
+                "diurnal profile must have positive intensity (base or at least one peak)",
+            )?;
+            Ok(OpenArrival::Diurnal {
+                profile,
+                period_s: period,
+            })
+        }
+        "bursty" => {
+            view.deny_unknown(&["kind", "bursts_per_min", "burst_min", "burst_max"])?;
+            let rate = view.f64("bursts_per_min")?;
+            ensure(
+                rate.is_finite() && rate > 0.0,
+                &view.child_path("bursts_per_min"),
+                "must be positive",
+            )?;
+            let burst_min = view.opt_u64("burst_min")?.unwrap_or(1);
+            let burst_max = view.u64("burst_max")?;
+            ensure(
+                burst_min >= 1 && burst_min <= burst_max && burst_max <= u64::from(u32::MAX),
+                &view.child_path("burst_min"),
+                "burst size range must satisfy 1 <= min <= max",
+            )?;
+            Ok(OpenArrival::Bursty {
+                bursts_per_min: rate,
+                burst_min: burst_min as u32,
+                burst_max: burst_max as u32,
+            })
+        }
+        other => Err(SpecError::new(
+            view.child_path("kind"),
+            format!("unknown open arrival kind {other:?} (poisson|diurnal|bursty)"),
+        )),
+    }
+}
+
+fn template_from_json(view: &ObjectView<'_>) -> Result<OpenJobTemplate, SpecError> {
+    view.deny_unknown(&["benchmark", "size_class", "maps", "reduces", "weight"])?;
+    let benchmark = match view.string("benchmark")? {
+        "wordcount" => BenchmarkKind::Wordcount,
+        "grep" => BenchmarkKind::Grep,
+        "terasort" => BenchmarkKind::Terasort,
+        other => {
+            return Err(SpecError::new(
+                view.child_path("benchmark"),
+                format!("unknown benchmark {other:?} (wordcount|grep|terasort)"),
+            ))
+        }
+    };
+    let size_class = match view.opt_string("size_class")? {
+        None => None,
+        Some("small") => Some(SizeClass::Small),
+        Some("medium") => Some(SizeClass::Medium),
+        Some("large") => Some(SizeClass::Large),
+        Some(other) => {
+            return Err(SpecError::new(
+                view.child_path("size_class"),
+                format!("unknown size class {other:?} (small|medium|large)"),
+            ))
+        }
+    };
+    let maps = view.u64("maps")?;
+    ensure(
+        maps > 0 && maps <= u64::from(u32::MAX),
+        &view.child_path("maps"),
+        "must be a positive 32-bit integer",
+    )?;
+    let reduces = view.opt_u64("reduces")?.unwrap_or(0);
+    ensure(
+        reduces <= u64::from(u32::MAX),
+        &view.child_path("reduces"),
+        "must fit in 32 bits",
+    )?;
+    let weight = view.opt_f64("weight")?.unwrap_or(1.0);
+    ensure(
+        weight.is_finite() && weight > 0.0,
+        &view.child_path("weight"),
+        "must be positive",
+    )?;
+    Ok(OpenJobTemplate {
+        benchmark,
+        size_class,
+        maps: maps as u32,
+        reduces: reduces as u32,
+        weight,
+    })
+}
+
+fn serve_from_json(view: &ObjectView<'_>) -> Result<ServeSpec, SpecError> {
+    view.deny_unknown(&[
+        "warmup_s",
+        "measure_s",
+        "fast_warmup_s",
+        "fast_measure_s",
+        "tolerance",
+    ])?;
+    let warmup = opt_duration(view, "warmup_s", false)?
+        .ok_or_else(|| SpecError::new(view.child_path("warmup_s"), "missing required key"))?;
+    let measure = opt_duration(view, "measure_s", true)?
+        .ok_or_else(|| SpecError::new(view.child_path("measure_s"), "missing required key"))?;
+    let fast_warmup = opt_duration(view, "fast_warmup_s", false)?;
+    let fast_measure = opt_duration(view, "fast_measure_s", true)?;
+    let tolerance = match view.opt_obj("tolerance")? {
+        None => ServeTolerance::default(),
+        Some(tv) => {
+            tv.deny_unknown(&["p99_rel", "energy_per_job_rel"])?;
+            let base = ServeTolerance::default();
+            let p99_rel = tv.opt_f64("p99_rel")?.unwrap_or(base.p99_rel);
+            ensure(
+                p99_rel.is_finite() && p99_rel > 0.0,
+                &tv.child_path("p99_rel"),
+                "must be positive",
+            )?;
+            let energy_per_job_rel = tv
+                .opt_f64("energy_per_job_rel")?
+                .unwrap_or(base.energy_per_job_rel);
+            ensure(
+                energy_per_job_rel.is_finite() && energy_per_job_rel > 0.0,
+                &tv.child_path("energy_per_job_rel"),
+                "must be positive",
+            )?;
+            ServeTolerance {
+                p99_rel,
+                energy_per_job_rel,
+            }
+        }
+    };
+    Ok(ServeSpec {
+        warmup,
+        measure,
+        fast_warmup,
+        fast_measure,
+        tolerance,
+    })
 }
 
 fn stream_from_json(view: &ObjectView<'_>) -> Result<StreamSpec, SpecError> {
@@ -1425,6 +1879,7 @@ mod tests {
             schedulers: vec![SchedulerKind::Fair],
             workload: WorkloadSpec::Msd(scenario.msd.clone()),
             fast_workload: None,
+            serve: None,
             fleet: FleetSpec::Paper,
             engine: scenario.engine.clone(),
             tolerance: Tolerance::default(),

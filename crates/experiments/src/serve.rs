@@ -1,0 +1,235 @@
+//! `experiments serve`: the service-mode utilization sweep.
+//!
+//! Takes one open-stream scenario (a spec with a `serve` section), scales
+//! its arrival rate across a grid of utilization levels — from light load
+//! up through overload — and runs every scheduler at every level for the
+//! scenario's first seed. Each cell reports the steady-state service
+//! metrics ([`hadoop_sim::ServiceStats`]): exact p50/p95/p99 job sojourn,
+//! throughput, backlog and energy per completed job. The headline output
+//! is the paper-style energy-per-job comparison at matched load — how much
+//! energy E-Ant spends per job, and at what latency, where the baselines
+//! spend more.
+//!
+//! ```text
+//! experiments serve <scenario.json> [--fast] [--levels 0.3,0.5,...] [--out <json>]
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use hadoop_sim::{RunResult, ServiceStats};
+use metrics::emit::{object, JsonValue};
+
+use crate::common::{parallel_runs, SchedulerKind};
+use crate::scenario::{load_spec, ScenarioSpec};
+
+/// The default utilization grid: three stable points, one near saturation
+/// and one overloaded regime that never drains.
+pub const DEFAULT_LEVELS: [f64; 5] = [0.3, 0.5, 0.7, 0.9, 1.2];
+
+/// One (scheduler, utilization level) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct ServeCell {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Arrival-rate multiplier applied to the scenario's base rate.
+    pub level: f64,
+    /// The steady-state service metrics of the run.
+    pub stats: ServiceStats,
+}
+
+impl ServeCell {
+    fn to_json(&self) -> JsonValue {
+        let stats = &self.stats;
+        object([
+            ("scheduler", JsonValue::Str(self.scheduler.clone())),
+            ("level", JsonValue::Num(self.level)),
+            ("arrivals", JsonValue::UInt(stats.arrivals)),
+            ("completions", JsonValue::UInt(stats.completions)),
+            ("backlog", JsonValue::UInt(stats.backlog)),
+            (
+                "throughput_per_min",
+                JsonValue::Num(stats.throughput_per_min),
+            ),
+            ("p50_sojourn_s", JsonValue::Num(percentile_s(stats, 50))),
+            ("p95_sojourn_s", JsonValue::Num(percentile_s(stats, 95))),
+            ("p99_sojourn_s", JsonValue::Num(percentile_s(stats, 99))),
+            ("energy_per_job_j", JsonValue::Num(stats.energy_per_job)),
+            ("energy_rate_watts", JsonValue::Num(stats.energy_rate_watts)),
+            ("queue_mean", JsonValue::Num(stats.queue_mean)),
+        ])
+    }
+}
+
+fn percentile_s(stats: &ServiceStats, p: u8) -> f64 {
+    stats.percentile(p).map_or(0.0, |d| d.as_secs_f64())
+}
+
+/// Executes the sweep grid: every scheduler in the spec at every level,
+/// first seed, in one parallel batch. Cells are returned scheduler-major
+/// (matching the spec's scheduler order) then level-ascending.
+#[must_use]
+pub fn sweep(spec: &ScenarioSpec, fast: bool, levels: &[f64]) -> Vec<ServeCell> {
+    let seed = spec.seeds[0];
+    let cells: Vec<(&SchedulerKind, f64)> = spec
+        .schedulers
+        .iter()
+        .flat_map(|kind| levels.iter().map(move |&level| (kind, level)))
+        .collect();
+    let tasks: Vec<_> = cells
+        .iter()
+        .map(|&(kind, level)| move || spec.execute_scaled(kind, seed, fast, level))
+        .collect();
+    let results: Vec<RunResult> = parallel_runs(tasks);
+    cells
+        .iter()
+        .zip(results)
+        .map(|(&(kind, level), result)| ServeCell {
+            scheduler: kind.label().to_owned(),
+            level,
+            stats: result
+                .service
+                .expect("a serve scenario always produces service stats"),
+        })
+        .collect()
+}
+
+/// Renders the sweep as the per-cell table plus the headline
+/// energy-per-job-at-matched-p99 comparison lines.
+#[must_use]
+pub fn render(spec: &ScenarioSpec, fast: bool, cells: &[ServeCell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve {}: utilization sweep, seed {}{}",
+        spec.name,
+        spec.seeds[0],
+        if fast { " (fast)" } else { "" }
+    );
+    if !spec.description.is_empty() {
+        let _ = writeln!(out, "  {}", spec.description);
+    }
+    let _ = writeln!(
+        out,
+        "{:<8} {:>5} {:>8} {:>8} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "sched",
+        "util",
+        "arrived",
+        "done",
+        "backlog",
+        "thru/min",
+        "p50 s",
+        "p95 s",
+        "p99 s",
+        "E/job kJ",
+        "fleet W"
+    );
+    for c in cells {
+        let s = &c.stats;
+        let _ = writeln!(
+            out,
+            "{:<8} {:>5.2} {:>8} {:>8} {:>7} {:>9.2} {:>8.1} {:>8.1} {:>8.1} {:>10.2} {:>8.0}",
+            c.scheduler,
+            c.level,
+            s.arrivals,
+            s.completions,
+            s.backlog,
+            s.throughput_per_min,
+            percentile_s(s, 50),
+            percentile_s(s, 95),
+            percentile_s(s, 99),
+            s.energy_per_job / 1e3,
+            s.energy_rate_watts,
+        );
+    }
+    for line in headline_lines(cells) {
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// The headline comparison: at each utilization level, E-Ant's energy per
+/// job vs each baseline running the *same* offered load, with the p99
+/// sojourns alongside so the energy saving is read at its latency cost.
+fn headline_lines(cells: &[ServeCell]) -> Vec<String> {
+    let cell = |label: &str, level: f64| {
+        cells
+            .iter()
+            .find(|c| c.scheduler == label && c.level == level)
+    };
+    let mut levels: Vec<f64> = cells.iter().map(|c| c.level).collect();
+    levels.dedup();
+    let mut out = Vec::new();
+    for &level in &levels {
+        let Some(eant) = cell("E-Ant", level) else {
+            continue;
+        };
+        if eant.stats.energy_per_job <= 0.0 {
+            continue;
+        }
+        for base in ["FIFO", "Fair", "Tarazu"] {
+            let Some(b) = cell(base, level) else { continue };
+            if b.stats.energy_per_job <= 0.0 {
+                continue;
+            }
+            out.push(format!(
+                "  util {:.2}: E-Ant {:.2} kJ/job @ p99 {:.0} s vs {base} {:.2} kJ/job @ p99 {:.0} s ({:+.2}% energy/job)",
+                level,
+                eant.stats.energy_per_job / 1e3,
+                percentile_s(&eant.stats, 99),
+                b.stats.energy_per_job / 1e3,
+                percentile_s(&b.stats, 99),
+                (eant.stats.energy_per_job / b.stats.energy_per_job - 1.0) * 100.0,
+            ));
+        }
+    }
+    out
+}
+
+/// Canonical JSON for the sweep artifact (`--out`), consumed by CI.
+#[must_use]
+pub fn sweep_json(spec: &ScenarioSpec, fast: bool, levels: &[f64], cells: &[ServeCell]) -> String {
+    object([
+        ("scenario", JsonValue::Str(spec.name.clone())),
+        ("seed", JsonValue::UInt(spec.seeds[0])),
+        ("fast", JsonValue::Bool(fast)),
+        (
+            "levels",
+            JsonValue::Array(levels.iter().map(|&l| JsonValue::Num(l)).collect()),
+        ),
+        (
+            "cells",
+            JsonValue::Array(cells.iter().map(ServeCell::to_json).collect()),
+        ),
+    ])
+    .render()
+}
+
+/// `experiments serve <scenario.json>`: loads the spec, runs the sweep,
+/// optionally writes the JSON artifact.
+///
+/// # Errors
+///
+/// Returns file/parse errors, a non-serve scenario, or an unwritable
+/// `--out` path.
+pub fn run(
+    path: &Path,
+    fast: bool,
+    levels: &[f64],
+    out_path: Option<&Path>,
+) -> Result<String, String> {
+    let spec = load_spec(path)?;
+    if spec.serve.is_none() {
+        return Err(format!(
+            "{}: not a service-mode scenario (no `serve` section)",
+            path.display()
+        ));
+    }
+    let cells = sweep(&spec, fast, levels);
+    let report = render(&spec, fast, &cells);
+    if let Some(out) = out_path {
+        std::fs::write(out, sweep_json(&spec, fast, levels, &cells))
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    }
+    Ok(report)
+}

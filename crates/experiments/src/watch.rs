@@ -7,7 +7,7 @@
 //! keeps the renderer deterministic and testable (and a simulated hour
 //! replays in milliseconds anyway).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::BufReader;
 use std::path::Path;
 
@@ -61,9 +61,20 @@ pub struct Dashboard {
     pending: u64,
     /// (at, joules) of the last two control-interval meter readings.
     energy_marks: [(SimTime, f64); 2],
+    /// Submission time per in-flight job, for sojourn measurement.
+    submits: BTreeMap<usize, SimTime>,
+    /// Arrival timestamps within the rolling window (front = oldest).
+    arrivals: VecDeque<SimTime>,
+    /// (completed_at, sojourn_secs) within the rolling window.
+    sojourns: VecDeque<(SimTime, f64)>,
 }
 
 impl Dashboard {
+    /// Width of the rolling window behind the arrivals/min and p95
+    /// sojourn readouts. Long-running (open-stream) traces need a recency
+    /// horizon or the readout degenerates into an all-time average.
+    const ROLLING_WINDOW_S: f64 = 900.0;
+
     /// Creates an empty dashboard for `num_machines` machines.
     pub fn new(num_machines: usize) -> Self {
         Dashboard {
@@ -71,15 +82,46 @@ impl Dashboard {
             active_jobs: 0,
             pending: 0,
             energy_marks: [(SimTime::ZERO, 0.0); 2],
+            submits: BTreeMap::new(),
+            arrivals: VecDeque::new(),
+            sojourns: VecDeque::new(),
+        }
+    }
+
+    /// Drops rolling-window entries older than `at - ROLLING_WINDOW_S`.
+    fn prune_window(&mut self, at: SimTime) {
+        let horizon = at.as_secs_f64() - Self::ROLLING_WINDOW_S;
+        while self
+            .arrivals
+            .front()
+            .is_some_and(|t| t.as_secs_f64() < horizon)
+        {
+            self.arrivals.pop_front();
+        }
+        while self
+            .sojourns
+            .front()
+            .is_some_and(|(t, _)| t.as_secs_f64() < horizon)
+        {
+            self.sojourns.pop_front();
         }
     }
 
     /// Folds one event into the dashboard state.
     pub fn apply(&mut self, at: SimTime, event: &SimEvent) {
+        self.prune_window(at);
         match event {
-            SimEvent::JobSubmitted { .. } => self.active_jobs += 1,
-            SimEvent::JobCompleted { .. } => {
+            SimEvent::JobSubmitted { job, .. } => {
+                self.active_jobs += 1;
+                self.submits.insert(job.index(), at);
+                self.arrivals.push_back(at);
+            }
+            SimEvent::JobCompleted { job } => {
                 self.active_jobs = self.active_jobs.saturating_sub(1);
+                if let Some(submitted) = self.submits.remove(&job.index()) {
+                    self.sojourns
+                        .push_back((at, (at - submitted).as_secs_f64()));
+                }
             }
             SimEvent::SlotOccupancyChanged {
                 machine,
@@ -144,6 +186,38 @@ impl Dashboard {
         (e1 - e0) / dt
     }
 
+    /// Job arrivals per minute over the rolling window ending at `at`.
+    pub fn arrival_rate_per_min(&self, at: SimTime) -> f64 {
+        let span = Self::ROLLING_WINDOW_S.min(at.as_secs_f64());
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let horizon = at.as_secs_f64() - Self::ROLLING_WINDOW_S;
+        let n = self
+            .arrivals
+            .iter()
+            .filter(|t| t.as_secs_f64() >= horizon)
+            .count();
+        n as f64 * 60.0 / span
+    }
+
+    /// Rolling p95 job sojourn (nearest-rank, seconds) over completions in
+    /// the window ending at `at`; 0 when no job completed in the window.
+    pub fn rolling_p95_sojourn_s(&self, at: SimTime) -> f64 {
+        let horizon = at.as_secs_f64() - Self::ROLLING_WINDOW_S;
+        let mut xs: Vec<f64> = self
+            .sojourns
+            .iter()
+            .filter(|(t, _)| t.as_secs_f64() >= horizon)
+            .map(|&(_, s)| s)
+            .collect();
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(f64::total_cmp);
+        xs[(95 * xs.len()).div_ceil(100).max(1) - 1]
+    }
+
     /// Above this fleet size, [`Dashboard::render`] collapses per-machine
     /// rows into one aggregate row per contiguous same-capacity group: a
     /// 1000-machine frame is unreadable (and unrenderable in a terminal)
@@ -158,10 +232,12 @@ impl Dashboard {
         let busy_reduce: u32 = self.machines.iter().map(|m| m.used_reduce).sum();
         let cap_reduce: u32 = self.machines.iter().map(|m| m.cap_reduce).sum();
         let mut out = format!(
-            "== t={:>7.1} s | jobs {:>3} | queue {:>5} | maps {:>3}/{:<3} | \
-             reduces {:>2}/{:<2} | fleet {:>6.0} W ==\n",
+            "== t={:>7.1} s | jobs {:>3} | arr {:>5.2}/min | p95 {:>6.0} s | queue {:>5} | \
+             maps {:>3}/{:<3} | reduces {:>2}/{:<2} | fleet {:>6.0} W ==\n",
             at.as_secs_f64(),
             self.active_jobs,
+            self.arrival_rate_per_min(at),
+            self.rolling_p95_sojourn_s(at),
             self.pending,
             busy_map,
             cap_map,
@@ -416,6 +492,57 @@ mod tests {
         assert!(out.contains("79 up, 1 DEAD"), "{out}");
         // No per-machine rows at this scale.
         assert!(!out.contains("m00  map"), "{out}");
+    }
+
+    #[test]
+    fn arrival_rate_and_rolling_p95_track_the_window() {
+        use workload::JobId;
+
+        let mut dash = Dashboard::new(1);
+        // One arrival per minute; each job takes exactly 120 s, so the
+        // completion of job i-2 lands at the same instant as arrival i.
+        for i in 0..10u64 {
+            let at = SimTime::from_secs(i * 60);
+            if i >= 2 {
+                dash.apply(at, &SimEvent::JobCompleted { job: JobId(i - 2) });
+            }
+            dash.apply(
+                at,
+                &SimEvent::JobSubmitted {
+                    job: JobId(i),
+                    tasks: 4,
+                },
+            );
+        }
+        let now = SimTime::from_secs(540);
+        let rate = dash.arrival_rate_per_min(now);
+        assert!((rate - 10.0 * 60.0 / 540.0).abs() < 1e-9, "{rate}");
+        assert!(
+            (dash.rolling_p95_sojourn_s(now) - 120.0).abs() < 1e-9,
+            "{}",
+            dash.rolling_p95_sojourn_s(now)
+        );
+        // The header surfaces both readouts.
+        let frame = dash.render(now);
+        assert!(frame.contains("arr "), "{frame}");
+        assert!(frame.contains("p95 "), "{frame}");
+
+        // Far beyond the window everything ages out: one fresh arrival in
+        // a full window is 1/15 per minute, and no completions remain.
+        dash.apply(
+            SimTime::from_secs(10_000),
+            &SimEvent::JobSubmitted {
+                job: JobId(99),
+                tasks: 4,
+            },
+        );
+        let later = SimTime::from_secs(10_000);
+        assert!(
+            (dash.arrival_rate_per_min(later) - 60.0 / 900.0).abs() < 1e-9,
+            "{}",
+            dash.arrival_rate_per_min(later)
+        );
+        assert_eq!(dash.rolling_p95_sojourn_s(later), 0.0);
     }
 
     #[test]

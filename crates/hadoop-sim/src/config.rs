@@ -320,6 +320,33 @@ pub enum SpeculationPolicy {
     Late,
 }
 
+/// When a run ends.
+///
+/// The engine historically had exactly one termination model — run until
+/// every submitted job completes ([`StopCondition::Drain`]) — which answers
+/// batch questions (makespan, energy to drain) but not service questions
+/// (energy per job at a p99 sojourn SLO under sustained load). Service-mode
+/// runs instead use [`StopCondition::Horizon`]: simulate a warm-up period
+/// whose jobs are excluded from steady-state accounting, then a measurement
+/// window, and stop at `warmup + measure` regardless of backlog — which is
+/// what makes an *overloaded* (never-draining) regime measurable at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Run until every submitted job completes (or `max_sim_time`); the
+    /// historical batch semantics and the default.
+    Drain,
+    /// Run for a fixed horizon of simulated time: a warm-up prefix excluded
+    /// from steady-state statistics, then a measurement window. The run
+    /// stops at `warmup + measure` whether or not jobs remain — required
+    /// for open-stream and overload regimes that never drain.
+    Horizon {
+        /// Warm-up period before measurement begins.
+        warmup: SimDuration,
+        /// Length of the measurement window.
+        measure: SimDuration,
+    },
+}
+
 /// Configuration of the Hadoop engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
@@ -367,6 +394,9 @@ pub struct EngineConfig {
     /// Hard wall on simulated time; the run aborts (with whatever has
     /// completed) if the workload has not drained by then.
     pub max_sim_time: SimDuration,
+    /// Termination model: drain-to-completion (default) or a fixed
+    /// warm-up + measurement horizon for service-mode runs.
+    pub stop: StopCondition,
 }
 
 impl EngineConfig {
@@ -402,6 +432,12 @@ impl EngineConfig {
         if let Some(dvfs) = &self.dvfs {
             dvfs.validate();
         }
+        if let StopCondition::Horizon { measure, .. } = self.stop {
+            assert!(
+                !measure.is_zero(),
+                "horizon measurement window must be positive"
+            );
+        }
     }
 }
 
@@ -419,6 +455,7 @@ impl Default for EngineConfig {
             speculation_threshold: 1.5,
             trace_decisions: false,
             max_sim_time: SimDuration::from_mins(60 * 24 * 7),
+            stop: StopCondition::Drain,
         }
     }
 }

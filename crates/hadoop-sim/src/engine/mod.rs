@@ -30,6 +30,7 @@ use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use cluster::hdfs::{BlockPlacer, Locality, DEFAULT_REPLICATION};
 use cluster::network::{Network, GIGABIT_MBPS};
 use cluster::{Fleet, MachineId, SlotKind};
+use workload::open::OpenStream;
 use workload::{JobId, JobSpec, TaskId};
 
 use crate::cluster_state::{ClusterState, JobEntry};
@@ -39,7 +40,7 @@ use crate::result::{IntervalSnapshot, RunResult};
 use crate::scheduler::{ClusterQuery, Scheduler};
 use crate::task_arena::TaskArena;
 use crate::trace::{Observer, ObserverSet, SimEvent};
-use crate::{EngineConfig, SpeculationPolicy};
+use crate::{EngineConfig, SpeculationPolicy, StopCondition};
 
 /// Index of `kind` into per-job `[Map, Reduce]` stat arrays.
 pub(super) fn kind_ix(kind: SlotKind) -> usize {
@@ -91,6 +92,12 @@ enum Event {
     Heartbeat(MachineId),
     TaskDone(Box<RunningTask>),
     ControlTick,
+    /// An open-stream job materializing at its submit time. The spec is
+    /// carried in the event (jobs are pulled lazily, one in flight at a
+    /// time), so a horizon run never allocates the full job list.
+    StreamArrival(Box<JobSpec>),
+    /// The warm-up → measurement transition of a horizon run.
+    WarmupCutoff,
 }
 
 /// The Hadoop engine: owns the fleet, the network, the job table and the
@@ -176,6 +183,24 @@ pub struct Engine {
     /// it), so notifying this set is free when empty. This is the only
     /// report channel — the engine never buffers reports itself.
     report_trace: ObserverSet<TaskReport>,
+    // Service-mode (horizon) bookkeeping. All of it stays `None`/zero for
+    // drain runs, which schedule no service events and are byte-identical
+    // to a build without the layer.
+    /// The lazily-pulled open job stream, when one is attached.
+    serve_stream: Option<OpenStream>,
+    /// Time of the warm-up cutoff once it has fired; gates steady-state
+    /// accounting.
+    measure_from: Option<SimTime>,
+    /// Fleet energy metered before the cutoff (subtracted from the final
+    /// total to get window energy).
+    warmup_energy: f64,
+    /// Tasks completed before the cutoff.
+    warmup_tasks: u64,
+    /// Pending-task queue depth accumulators over post-cutoff
+    /// control-interval samples: sum, sample count, max.
+    queue_depth_sum: f64,
+    queue_depth_samples: u64,
+    queue_depth_max: u64,
 }
 
 impl Engine {
@@ -249,6 +274,13 @@ impl Engine {
             total_tasks: 0,
             trace: ObserverSet::new(),
             report_trace: ObserverSet::new(),
+            serve_stream: None,
+            measure_from: None,
+            warmup_energy: 0.0,
+            warmup_tasks: 0,
+            queue_depth_sum: 0.0,
+            queue_depth_samples: 0,
+            queue_depth_max: 0,
             fleet,
         }
     }
@@ -327,6 +359,46 @@ impl Engine {
         &self.fleet
     }
 
+    /// Attaches an open job stream: the engine pulls jobs from it lazily
+    /// during [`run`](Engine::run), one in flight at a time, each
+    /// materializing at its submit time. Jobs already registered via
+    /// [`submit_jobs`](Engine::submit_jobs) still run; stream ids continue
+    /// the dense sequence after them.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the engine is configured with
+    /// [`StopCondition::Horizon`] — an unbounded stream can never drain.
+    pub fn attach_open_stream(&mut self, stream: OpenStream) {
+        assert!(
+            matches!(self.config.stop, StopCondition::Horizon { .. }),
+            "an open stream requires a horizon stop condition"
+        );
+        self.serve_stream = Some(stream);
+    }
+
+    /// Registers a stream-pulled job at its arrival instant: same
+    /// registration steps as [`submit_jobs`](Engine::submit_jobs), but the
+    /// job is marked submitted immediately (its `StreamArrival` event *is*
+    /// the submission).
+    fn register_stream_job(&mut self, spec: JobSpec) {
+        debug_assert_eq!(
+            spec.id().index(),
+            self.jobs.len(),
+            "stream job ids must continue the dense sequence"
+        );
+        let id = spec.id();
+        let blocks = self
+            .placer
+            .place(&self.fleet, spec.num_maps() as usize, &mut self.rng_place);
+        self.state.register(&spec);
+        self.arena.register_job(spec.num_maps(), spec.num_reduces());
+        self.duration_stats.push([(0.0, 0); 2]);
+        self.jobs.push(JobState::new(&self.fleet, spec, blocks));
+        self.submitted.push(true);
+        self.state.update(id, |e| e.submitted = true);
+    }
+
     /// Runs the workload to completion (or the configured time limit) under
     /// `scheduler`, consuming per-run state and producing a [`RunResult`].
     pub fn run(&mut self, scheduler: &mut dyn Scheduler) -> RunResult {
@@ -346,8 +418,23 @@ impl Engine {
             SimTime::ZERO + self.config.control_interval,
             Event::ControlTick,
         );
+        if let StopCondition::Horizon { warmup, .. } = self.config.stop {
+            queue.schedule(SimTime::ZERO + warmup, Event::WarmupCutoff);
+        }
+        // Pull the first open-stream job; each arrival pulls its successor,
+        // so exactly one unmaterialized job is ever in flight.
+        let first_id = JobId(self.jobs.len() as u64);
+        if let Some(stream) = &mut self.serve_stream {
+            let first = stream.next_job(first_id);
+            queue.schedule(first.submit_at(), Event::StreamArrival(Box::new(first)));
+        }
 
-        let deadline = SimTime::ZERO + self.config.max_sim_time;
+        let deadline = match self.config.stop {
+            StopCondition::Drain => SimTime::ZERO + self.config.max_sim_time,
+            StopCondition::Horizon { warmup, measure } => {
+                (SimTime::ZERO + warmup + measure).min(SimTime::ZERO + self.config.max_sim_time)
+            }
+        };
         let mut drained = true;
 
         'run: while let Some((at, mut event)) = queue.pop() {
@@ -391,6 +478,32 @@ impl Engine {
                             queue.schedule(at + self.config.control_interval, Event::ControlTick);
                         }
                     }
+                    Event::StreamArrival(spec) => {
+                        let id = spec.id();
+                        self.register_stream_job(*spec);
+                        let spec = self.jobs[id.index()].spec.clone();
+                        self.trace.emit(at, || SimEvent::JobSubmitted {
+                            job: spec.id(),
+                            tasks: spec.num_tasks(),
+                        });
+                        scheduler.on_job_submitted(&*self, &spec);
+                        let next_id = JobId(self.jobs.len() as u64);
+                        let stream = self
+                            .serve_stream
+                            .as_mut()
+                            .expect("stream arrivals only fire with a stream attached");
+                        let next = stream.next_job(next_id);
+                        queue.schedule(next.submit_at(), Event::StreamArrival(Box::new(next)));
+                    }
+                    Event::WarmupCutoff => {
+                        // Settle energy meters at the cutoff so the window
+                        // energy is exact, then start steady-state
+                        // accounting.
+                        self.fleet.sync_all(at);
+                        self.measure_from = Some(at);
+                        self.warmup_energy = self.fleet.total_energy_joules();
+                        self.warmup_tasks = self.total_tasks;
+                    }
                 }
                 if self.all_done() {
                     // Drain remaining TaskDone events (there are none once
@@ -408,7 +521,11 @@ impl Engine {
     }
 
     fn all_done(&self) -> bool {
-        !self.jobs.is_empty() && self.finished_jobs == self.jobs.len()
+        // An attached stream always has another job coming, so a
+        // transiently complete job set never ends the run.
+        self.serve_stream.is_none()
+            && !self.jobs.is_empty()
+            && self.finished_jobs == self.jobs.len()
     }
 
     /// Emits the post-change slot occupancy of `machine` for one slot

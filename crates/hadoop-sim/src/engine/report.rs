@@ -4,10 +4,13 @@
 use simcore::series::TimeSeries;
 use simcore::SimTime;
 
+use cluster::SlotKind;
+
 use crate::report::{TaskReport, UtilizationSample};
-use crate::result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult};
+use crate::result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult, ServiceStats};
 use crate::scheduler::Scheduler;
 use crate::trace::SimEvent;
+use crate::StopCondition;
 
 use super::{Engine, RunningTask};
 
@@ -94,6 +97,14 @@ impl Engine {
                 index,
                 cumulative_energy_joules: energy,
             });
+        // Steady-state queue-depth sample (horizon runs, post-cutoff only).
+        if self.measure_from.is_some() {
+            let depth = self.state.pending_total(SlotKind::Map)
+                + self.state.pending_total(SlotKind::Reduce);
+            self.queue_depth_sum += depth as f64;
+            self.queue_depth_samples += 1;
+            self.queue_depth_max = self.queue_depth_max.max(depth);
+        }
         scheduler.on_control_interval(&*self);
     }
 
@@ -153,6 +164,8 @@ impl Engine {
             })
             .collect();
 
+        let service = self.service_stats(energy);
+
         RunResult {
             scheduler: scheduler_name,
             makespan: self.now - SimTime::ZERO,
@@ -172,6 +185,112 @@ impl Engine {
             machine_failures: self.machine_failures,
             map_outputs_lost: self.map_outputs_lost,
             machines_blacklisted: self.machines_blacklisted,
+            service,
         }
+    }
+
+    /// Assembles steady-state service metrics for a horizon run; `None`
+    /// for drain runs. `final_energy` is the already-synced fleet total at
+    /// the end of the run.
+    fn service_stats(&self, final_energy: f64) -> Option<ServiceStats> {
+        let StopCondition::Horizon { warmup, .. } = self.config.stop else {
+            return None;
+        };
+        let backlog = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, j)| self.submitted[*i] && !j.is_complete())
+            .count() as u64;
+        let Some(from) = self.measure_from else {
+            // The run ended before the cutoff fired (a finite workload that
+            // hit `max_sim_time` or drained during warm-up): an empty
+            // measurement window.
+            return Some(ServiceStats {
+                warmup_s: warmup.as_secs_f64(),
+                measure_s: 0.0,
+                arrivals: 0,
+                completions: 0,
+                backlog,
+                throughput_per_min: 0.0,
+                mean_sojourn: simcore::SimDuration::ZERO,
+                latency_distribution: Vec::new(),
+                energy_joules: 0.0,
+                energy_per_job: 0.0,
+                energy_rate_watts: 0.0,
+                tasks_completed: 0,
+                queue_mean: 0.0,
+                queue_max: 0,
+            });
+        };
+
+        let mut arrivals = 0u64;
+        let mut sojourns: Vec<simcore::SimDuration> = Vec::new();
+        for (i, j) in self.jobs.iter().enumerate() {
+            if !self.submitted[i] || j.spec.submit_at() < from {
+                continue;
+            }
+            arrivals += 1;
+            if let Some(fin) = j.finished_at {
+                sojourns.push(fin - j.spec.submit_at());
+            }
+        }
+        // SimDuration is totally ordered, so the sort — and therefore every
+        // nearest-rank percentile — is exact and deterministic.
+        sojourns.sort();
+        let completions = sojourns.len() as u64;
+        let latency_distribution = if sojourns.is_empty() {
+            Vec::new()
+        } else {
+            [50u8, 90, 95, 99]
+                .iter()
+                .map(|&p| {
+                    let rank = (p as usize * sojourns.len()).div_ceil(100).max(1);
+                    (p, sojourns[rank - 1])
+                })
+                .collect()
+        };
+        let mean_sojourn = if sojourns.is_empty() {
+            simcore::SimDuration::ZERO
+        } else {
+            simcore::SimDuration::from_secs_f64(
+                sojourns.iter().map(|d| d.as_secs_f64()).sum::<f64>() / sojourns.len() as f64,
+            )
+        };
+
+        let measure_s = (self.now - from).as_secs_f64();
+        let window_energy = final_energy - self.warmup_energy;
+        Some(ServiceStats {
+            warmup_s: warmup.as_secs_f64(),
+            measure_s,
+            arrivals,
+            completions,
+            backlog,
+            throughput_per_min: if measure_s > 0.0 {
+                completions as f64 * 60.0 / measure_s
+            } else {
+                0.0
+            },
+            mean_sojourn,
+            latency_distribution,
+            energy_joules: window_energy,
+            energy_per_job: if completions > 0 {
+                window_energy / completions as f64
+            } else {
+                0.0
+            },
+            energy_rate_watts: if measure_s > 0.0 {
+                window_energy / measure_s
+            } else {
+                0.0
+            },
+            tasks_completed: self.total_tasks - self.warmup_tasks,
+            queue_mean: if self.queue_depth_samples > 0 {
+                self.queue_depth_sum / self.queue_depth_samples as f64
+            } else {
+                0.0
+            },
+            queue_max: self.queue_depth_max,
+        })
     }
 }

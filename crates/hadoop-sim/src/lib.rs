@@ -66,11 +66,12 @@ pub mod trace;
 pub use cluster_state::{ClusterState, JobEntry};
 pub use config::{
     DvfsConfig, EngineConfig, FaultConfig, NoiseConfig, PowerDownConfig, SpeculationPolicy,
+    StopCondition,
 };
 pub use engine::Engine;
 pub use job_state::JobPhase;
 pub use report::{TaskReport, UtilizationSample};
-pub use result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult};
+pub use result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult, ServiceStats};
 pub use scheduler::{generic_candidates, ClusterQuery, GreedyScheduler, Scheduler};
 pub use task_arena::{TaskArena, TaskSlot, MAX_ATTEMPTS};
 pub use trace::{DecisionCandidate, PowerState, SimEvent};

@@ -116,6 +116,65 @@ impl IntervalSnapshot {
     }
 }
 
+/// Steady-state service metrics of a horizon-bounded run.
+///
+/// Populated only when the engine runs under
+/// [`StopCondition::Horizon`](crate::StopCondition): all counters cover the
+/// measurement window (after the warm-up cutoff). Sojourn is wall-clock
+/// submit → finish per job; percentiles are *exact* (nearest-rank over the
+/// full sorted sample, never interpolated or sketched), so they are
+/// bit-reproducible across runs and thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Configured warm-up before measurement began, in seconds.
+    pub warmup_s: f64,
+    /// Actual measured-window length (end of run − warm-up cutoff), in
+    /// seconds.
+    pub measure_s: f64,
+    /// Jobs submitted during the measurement window.
+    pub arrivals: u64,
+    /// Jobs that were both submitted and finished inside the window — the
+    /// sojourn sample size.
+    pub completions: u64,
+    /// Jobs still unfinished at the end of the run (whole run, warm-up
+    /// included): the queue the horizon cut off. Grows without bound in an
+    /// overloaded regime.
+    pub backlog: u64,
+    /// Completed jobs per minute of measurement window.
+    pub throughput_per_min: f64,
+    /// Mean sojourn (submit → finish) over the window's completions.
+    pub mean_sojourn: SimDuration,
+    /// Exact nearest-rank sojourn percentiles, as `(percentile, value)`
+    /// pairs in ascending percentile order (p50/p90/p95/p99). Empty when
+    /// the window saw no completions.
+    pub latency_distribution: Vec<(u8, SimDuration)>,
+    /// Fleet energy metered over the measurement window, in joules.
+    pub energy_joules: f64,
+    /// Window energy divided by window completions (the headline service
+    /// metric), or `0.0` when nothing completed.
+    pub energy_per_job: f64,
+    /// Mean fleet power over the window, in watts.
+    pub energy_rate_watts: f64,
+    /// Tasks completed during the measurement window.
+    pub tasks_completed: u64,
+    /// Mean pending-task queue depth over the window's control-interval
+    /// samples.
+    pub queue_mean: f64,
+    /// Maximum sampled pending-task queue depth over the window.
+    pub queue_max: u64,
+}
+
+impl ServiceStats {
+    /// The recorded sojourn value at `p` (e.g. `99`), if that percentile
+    /// was recorded and the window saw any completions.
+    pub fn percentile(&self, p: u8) -> Option<SimDuration> {
+        self.latency_distribution
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, d)| *d)
+    }
+}
+
 /// Everything measured over one simulated run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
@@ -154,6 +213,9 @@ pub struct RunResult {
     pub map_outputs_lost: u64,
     /// Machines taken out of rotation after repeated task failures.
     pub machines_blacklisted: u64,
+    /// Steady-state service metrics; `Some` only for horizon-bounded
+    /// (service-mode) runs, `None` for every drain run.
+    pub service: Option<ServiceStats>,
 }
 
 impl RunResult {
@@ -334,6 +396,7 @@ mod tests {
             machine_failures: 0,
             map_outputs_lost: 0,
             machines_blacklisted: 0,
+            service: None,
         }
     }
 

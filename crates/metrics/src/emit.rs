@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use cluster::hdfs::Locality;
 use cluster::{MachineId, SlotKind};
 use hadoop_sim::{
-    IntervalSnapshot, JobOutcome, JobPhase, MachineOutcome, RunResult, TaskReport,
+    IntervalSnapshot, JobOutcome, JobPhase, MachineOutcome, RunResult, ServiceStats, TaskReport,
     UtilizationSample,
 };
 use simcore::series::TimeSeries;
@@ -640,9 +640,49 @@ impl ToJson for IntervalSnapshot {
     }
 }
 
-impl ToJson for RunResult {
+impl ToJson for ServiceStats {
     fn to_json(&self) -> JsonValue {
         object([
+            ("warmup_s", JsonValue::Num(self.warmup_s)),
+            ("measure_s", JsonValue::Num(self.measure_s)),
+            ("arrivals", JsonValue::UInt(self.arrivals)),
+            ("completions", JsonValue::UInt(self.completions)),
+            ("backlog", JsonValue::UInt(self.backlog)),
+            (
+                "throughput_per_min",
+                JsonValue::Num(self.throughput_per_min),
+            ),
+            (
+                "mean_sojourn_s",
+                JsonValue::Num(self.mean_sojourn.as_secs_f64()),
+            ),
+            (
+                "latency_distribution",
+                JsonValue::Array(
+                    self.latency_distribution
+                        .iter()
+                        .map(|(p, d)| {
+                            object([
+                                ("p", JsonValue::UInt(u64::from(*p))),
+                                ("sojourn_s", JsonValue::Num(d.as_secs_f64())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("energy_joules", JsonValue::Num(self.energy_joules)),
+            ("energy_per_job", JsonValue::Num(self.energy_per_job)),
+            ("energy_rate_watts", JsonValue::Num(self.energy_rate_watts)),
+            ("tasks_completed", JsonValue::UInt(self.tasks_completed)),
+            ("queue_mean", JsonValue::Num(self.queue_mean)),
+            ("queue_max", JsonValue::UInt(self.queue_max)),
+        ])
+    }
+}
+
+impl ToJson for RunResult {
+    fn to_json(&self) -> JsonValue {
+        let mut fields = Vec::from([
             ("scheduler", JsonValue::Str(self.scheduler.clone())),
             ("makespan", self.makespan.to_json()),
             ("drained", JsonValue::Bool(self.drained)),
@@ -686,7 +726,14 @@ impl ToJson for RunResult {
                 "machines_blacklisted",
                 JsonValue::UInt(self.machines_blacklisted),
             ),
-        ])
+        ]);
+        // Schema stability: the `service` key exists only on horizon-mode
+        // results, so every pre-service-mode golden byte sequence — all of
+        // which end at `machines_blacklisted` — is unchanged.
+        if let Some(service) = &self.service {
+            fields.push(("service", service.to_json()));
+        }
+        object(fields)
     }
 }
 
@@ -786,6 +833,7 @@ mod tests {
             machine_failures: 1,
             map_outputs_lost: 0,
             machines_blacklisted: 0,
+            service: None,
         };
         let json = run_result_json(&run);
         assert!(json.starts_with(r#"{"scheduler":"E-Ant","makespan":10000,"drained":true"#));
@@ -899,6 +947,7 @@ mod tests {
             machine_failures: 0,
             map_outputs_lost: 0,
             machines_blacklisted: 0,
+            service: None,
         };
         assert_eq!(run_result_json(&make()), run_result_json(&make()));
     }

@@ -118,6 +118,7 @@ mod tests {
             machine_failures: 0,
             map_outputs_lost: 0,
             machines_blacklisted: 0,
+            service: None,
         }
     }
 

@@ -197,6 +197,205 @@ impl DiurnalProfile {
     }
 }
 
+/// An *unbounded* arrival law for open-stream (service-mode) workloads.
+///
+/// Unlike [`ArrivalProcess`] and [`DiurnalProfile::sample_arrivals`], which
+/// produce a fixed count of arrivals, an open arrival law never runs out:
+/// [`OpenArrivalGen`] lazily draws the next submission instant on demand, so
+/// a horizon-bounded run can consume arrivals one at a time without ever
+/// materializing a job list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpenArrival {
+    /// Memoryless (homogeneous Poisson) arrivals at `rate_per_min`.
+    Poisson {
+        /// Mean arrivals per minute.
+        rate_per_min: f64,
+    },
+    /// Nonhomogeneous Poisson arrivals whose intensity follows `profile`,
+    /// repeated with period `period_s` (a synthetic "day"). Sampled by
+    /// thinning against the profile's peak intensity, so the stream is
+    /// unbounded while preserving the diurnal shape.
+    Diurnal {
+        /// The time-varying intensity over one period.
+        profile: DiurnalProfile,
+        /// Length of one repetition of the profile, in seconds.
+        period_s: f64,
+    },
+    /// Compound Poisson: burst *epochs* arrive at `bursts_per_min`, and each
+    /// epoch submits a uniform `burst_min..=burst_max` jobs at the same
+    /// instant — the batch-submission spikes of production clusters.
+    Bursty {
+        /// Mean burst epochs per minute.
+        bursts_per_min: f64,
+        /// Smallest number of jobs per burst.
+        burst_min: u32,
+        /// Largest number of jobs per burst (inclusive).
+        burst_max: u32,
+    },
+}
+
+impl OpenArrival {
+    /// Mean arrivals per minute of the law (time-averaged for diurnal,
+    /// epochs × mean burst size for bursty).
+    pub fn mean_rate_per_min(&self) -> f64 {
+        match self {
+            OpenArrival::Poisson { rate_per_min } => *rate_per_min,
+            OpenArrival::Diurnal { profile, period_s } => {
+                // Trapezoid-free mean: sample the intensity on a fine grid.
+                let steps = 1000;
+                let sum: f64 = (0..steps)
+                    .map(|i| profile.intensity_per_min((i as f64 + 0.5) * period_s / steps as f64))
+                    .sum();
+                sum / steps as f64
+            }
+            OpenArrival::Bursty {
+                bursts_per_min,
+                burst_min,
+                burst_max,
+            } => bursts_per_min * f64::from(burst_min + burst_max) / 2.0,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate, an invalid diurnal profile/period, or
+    /// an empty/inverted burst-size range.
+    pub fn validate(&self) {
+        match self {
+            OpenArrival::Poisson { rate_per_min } => {
+                assert!(
+                    rate_per_min.is_finite() && *rate_per_min > 0.0,
+                    "arrival rate must be positive"
+                );
+            }
+            OpenArrival::Diurnal { profile, period_s } => {
+                assert!(
+                    period_s.is_finite() && *period_s > 0.0,
+                    "diurnal period must be positive"
+                );
+                assert!(
+                    profile.base_per_min.is_finite() && profile.base_per_min >= 0.0,
+                    "base rate must be non-negative"
+                );
+                for p in &profile.peaks {
+                    assert!(
+                        p.width_s.is_finite() && p.width_s > 0.0,
+                        "peak width must be positive"
+                    );
+                    assert!(
+                        p.extra_per_min.is_finite() && p.extra_per_min >= 0.0,
+                        "peak rate must be non-negative"
+                    );
+                }
+                assert!(
+                    profile.max_per_min() > 0.0,
+                    "diurnal profile must have positive intensity"
+                );
+            }
+            OpenArrival::Bursty {
+                bursts_per_min,
+                burst_min,
+                burst_max,
+            } => {
+                assert!(
+                    bursts_per_min.is_finite() && *bursts_per_min > 0.0,
+                    "burst rate must be positive"
+                );
+                assert!(
+                    *burst_min >= 1 && burst_max >= burst_min,
+                    "burst size range must satisfy 1 <= min <= max"
+                );
+            }
+        }
+    }
+}
+
+/// The stateful lazy sampler behind an [`OpenArrival`] law: each call to
+/// [`OpenArrivalGen::next`] yields the next submission instant
+/// (non-decreasing; bursty epochs repeat the same instant for every job in
+/// the burst). `rate_scale` multiplies the law's intensity — the
+/// utilization knob of the service-mode sweep — without touching burst
+/// sizes or the diurnal shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenArrivalGen {
+    law: OpenArrival,
+    rate_scale: f64,
+    /// Current epoch position, seconds since the stream started.
+    t_secs: f64,
+    /// Jobs still owed at the current epoch (bursty only).
+    pending_burst: u32,
+}
+
+impl OpenArrivalGen {
+    /// Creates a sampler for `law` with its intensity scaled by
+    /// `rate_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the law is invalid (see [`OpenArrival::validate`]) or the
+    /// scale is not strictly positive and finite.
+    pub fn new(law: OpenArrival, rate_scale: f64) -> Self {
+        law.validate();
+        assert!(
+            rate_scale.is_finite() && rate_scale > 0.0,
+            "rate scale must be positive"
+        );
+        OpenArrivalGen {
+            law,
+            rate_scale,
+            t_secs: 0.0,
+            pending_burst: 0,
+        }
+    }
+
+    /// The scaled mean arrivals per minute.
+    pub fn mean_rate_per_min(&self) -> f64 {
+        self.law.mean_rate_per_min() * self.rate_scale
+    }
+
+    /// Draws the next submission instant. Non-decreasing; consecutive calls
+    /// within one burst return the same instant.
+    pub fn next(&mut self, rng: &mut SimRng) -> SimTime {
+        match &self.law {
+            OpenArrival::Poisson { rate_per_min } => {
+                let rate_per_sec = rate_per_min * self.rate_scale / 60.0;
+                self.t_secs += rng.exponential(rate_per_sec).max(0.001);
+            }
+            OpenArrival::Diurnal { profile, period_s } => {
+                // Thinning (Lewis & Shedler): candidates at the scaled peak
+                // intensity, accepted with probability intensity(t)/max. The
+                // acceptance ratio is scale-free, so `rate_scale` only
+                // shrinks the candidate gaps.
+                let max_per_sec = profile.max_per_min() * self.rate_scale / 60.0;
+                loop {
+                    self.t_secs += rng.exponential(max_per_sec).max(0.001);
+                    let phase = self.t_secs % period_s;
+                    if rng.chance(profile.intensity_per_min(phase) / profile.max_per_min()) {
+                        break;
+                    }
+                }
+            }
+            OpenArrival::Bursty {
+                bursts_per_min,
+                burst_min,
+                burst_max,
+            } => {
+                if self.pending_burst > 0 {
+                    self.pending_burst -= 1;
+                } else {
+                    let rate_per_sec = bursts_per_min * self.rate_scale / 60.0;
+                    self.t_secs += rng.exponential(rate_per_sec).max(0.001);
+                    let size = rng.uniform_u64(u64::from(*burst_min), u64::from(*burst_max)) as u32;
+                    self.pending_burst = size - 1;
+                }
+            }
+        }
+        SimTime::ZERO + SimDuration::from_secs_f64(self.t_secs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,5 +534,149 @@ mod tests {
             }],
         };
         profile.sample_arrivals(1, SimDuration::from_secs(60), &mut SimRng::seed_from(0));
+    }
+
+    fn open_laws() -> Vec<OpenArrival> {
+        vec![
+            OpenArrival::Poisson { rate_per_min: 6.0 },
+            OpenArrival::Diurnal {
+                profile: double_peak(),
+                period_s: 900.0,
+            },
+            OpenArrival::Bursty {
+                bursts_per_min: 1.5,
+                burst_min: 2,
+                burst_max: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn open_streams_are_nondecreasing_and_deterministic() {
+        for law in open_laws() {
+            let draw = |seed: u64| -> Vec<SimTime> {
+                let mut gen = OpenArrivalGen::new(law.clone(), 1.0);
+                let mut rng = SimRng::seed_from(seed);
+                (0..200).map(|_| gen.next(&mut rng)).collect()
+            };
+            let a = draw(7);
+            assert_eq!(a, draw(7), "{law:?} not deterministic");
+            assert_ne!(a, draw(8), "{law:?} ignores its seed");
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{law:?} went backwards");
+        }
+    }
+
+    #[test]
+    fn open_poisson_respects_scaled_rate() {
+        for &scale in &[0.5, 1.0, 2.0] {
+            let mut gen = OpenArrivalGen::new(OpenArrival::Poisson { rate_per_min: 10.0 }, scale);
+            let mut rng = SimRng::seed_from(3);
+            let mut count = 0usize;
+            let horizon = SimTime::from_secs(60 * 300);
+            loop {
+                if gen.next(&mut rng) > horizon {
+                    break;
+                }
+                count += 1;
+            }
+            let rate = count as f64 / 300.0;
+            let want = 10.0 * scale;
+            assert!(
+                (rate - want).abs() < 0.15 * want,
+                "scale {scale}: observed {rate}/min, want ~{want}/min"
+            );
+        }
+    }
+
+    #[test]
+    fn open_diurnal_concentrates_at_peaks_across_periods() {
+        let law = OpenArrival::Diurnal {
+            profile: double_peak(),
+            period_s: 900.0,
+        };
+        let mut gen = OpenArrivalGen::new(law, 1.0);
+        let mut rng = SimRng::seed_from(5);
+        let times: Vec<f64> = (0..600).map(|_| gen.next(&mut rng).as_secs_f64()).collect();
+        // The stream keeps going past one period (it is unbounded)…
+        assert!(*times.last().unwrap() > 900.0);
+        // …and the per-period phase mass still sits at the peaks.
+        let near_peak = times
+            .iter()
+            .filter(|t| {
+                let s = *t % 900.0;
+                (s - 200.0).abs() < 100.0 || (s - 700.0).abs() < 100.0
+            })
+            .count();
+        assert!(
+            near_peak * 2 > times.len(),
+            "only {near_peak}/{} arrivals near peaks",
+            times.len()
+        );
+    }
+
+    #[test]
+    fn open_bursts_share_an_instant_and_respect_sizes() {
+        let mut gen = OpenArrivalGen::new(
+            OpenArrival::Bursty {
+                bursts_per_min: 2.0,
+                burst_min: 3,
+                burst_max: 3,
+            },
+            1.0,
+        );
+        let mut rng = SimRng::seed_from(9);
+        let times: Vec<SimTime> = (0..30).map(|_| gen.next(&mut rng)).collect();
+        // Exactly-3 bursts: every run of equal timestamps has length 3.
+        let mut runs = Vec::new();
+        let mut len = 1;
+        for w in times.windows(2) {
+            if w[0] == w[1] {
+                len += 1;
+            } else {
+                runs.push(len);
+                len = 1;
+            }
+        }
+        runs.push(len);
+        assert!(runs.iter().all(|&r| r == 3), "burst runs {runs:?}");
+    }
+
+    #[test]
+    fn open_mean_rate_estimates() {
+        let poisson = OpenArrival::Poisson { rate_per_min: 4.0 };
+        assert!((poisson.mean_rate_per_min() - 4.0).abs() < 1e-12);
+        let bursty = OpenArrival::Bursty {
+            bursts_per_min: 2.0,
+            burst_min: 1,
+            burst_max: 3,
+        };
+        assert!((bursty.mean_rate_per_min() - 4.0).abs() < 1e-12);
+        let diurnal = OpenArrival::Diurnal {
+            profile: DiurnalProfile {
+                base_per_min: 2.0,
+                peaks: vec![],
+            },
+            period_s: 600.0,
+        };
+        assert!((diurnal.mean_rate_per_min() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst size range must satisfy")]
+    fn open_burst_range_rejected() {
+        OpenArrivalGen::new(
+            OpenArrival::Bursty {
+                bursts_per_min: 1.0,
+                burst_min: 4,
+                burst_max: 2,
+            },
+            1.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate scale must be positive")]
+    fn open_zero_scale_rejected() {
+        OpenArrivalGen::new(OpenArrival::Poisson { rate_per_min: 1.0 }, 0.0);
     }
 }

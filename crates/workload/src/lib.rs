@@ -19,7 +19,10 @@
 //!   per-tenant job templates with Poisson/uniform/batch/diurnal arrivals.
 //! * [`arrival`] — Poisson and fixed-rate arrival processes for the
 //!   motivation-study experiments (Fig. 1) and the MSD submission schedule,
-//!   plus the diurnal intensity sampler.
+//!   plus the diurnal intensity sampler and the unbounded open-stream
+//!   arrival laws behind service mode.
+//! * [`open`] — lazily-evaluated open job streams (weighted templates ×
+//!   poisson/diurnal/bursty arrivals) for horizon-bounded service runs.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ mod group;
 mod job;
 pub mod mix;
 pub mod msd;
+pub mod open;
 
 pub use benchmarks::{Benchmark, BenchmarkKind};
 pub use group::{GroupId, GroupTable};

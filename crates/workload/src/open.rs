@@ -1,0 +1,233 @@
+//! Open (unbounded) job streams for service-mode runs.
+//!
+//! Batch workloads ([`crate::msd`], [`crate::mix`]) materialize a finite job
+//! list up front; a service-mode run instead measures a scheduler under
+//! *sustained* load over a horizon, where the job list is conceptually
+//! infinite. This module models that as an [`OpenStreamSpec`] — a weighted
+//! set of job templates fed by an [`OpenArrival`] law — and an
+//! [`OpenStream`], the lazily-evaluated generator the engine pulls one job
+//! at a time. A horizon run therefore never allocates the full job list,
+//! and an overload regime (arrival rate beyond cluster capacity) is
+//! representable without an unbounded `Vec`.
+//!
+//! Determinism: the stream owns a dedicated fork of the scenario RNG
+//! (`fork("open")`), so pulling jobs lazily from inside the engine's event
+//! loop draws exactly the same sequence as materializing them eagerly —
+//! a property the repo's service tests pin against an oracle.
+
+use simcore::{SimRng, SimTime};
+
+use crate::arrival::{OpenArrival, OpenArrivalGen};
+use crate::{Benchmark, BenchmarkKind, JobId, JobSpec, SizeClass};
+
+/// One weighted job shape an open stream can emit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenJobTemplate {
+    /// Benchmark every job from this template runs.
+    pub benchmark: BenchmarkKind,
+    /// Optional size class attached to the jobs (for fairness reports).
+    pub size_class: Option<SizeClass>,
+    /// Map tasks per job.
+    pub maps: u32,
+    /// Reduce tasks per job.
+    pub reduces: u32,
+    /// Relative draw weight among the stream's templates.
+    pub weight: f64,
+}
+
+/// An unbounded workload: a weighted template mix fed by an arrival law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenStreamSpec {
+    /// Human-readable stream name (shown in dashboards and reports).
+    pub label: String,
+    /// The arrival law jobs follow.
+    pub arrival: OpenArrival,
+    /// Weighted job templates; each arrival draws one.
+    pub templates: Vec<OpenJobTemplate>,
+}
+
+impl OpenStreamSpec {
+    /// Validates the spec, panicking with a descriptive message on the
+    /// first violation.
+    pub fn validate(&self) {
+        self.arrival.validate();
+        assert!(
+            !self.templates.is_empty(),
+            "open stream must have at least one template"
+        );
+        for t in &self.templates {
+            assert!(t.maps > 0, "open-stream jobs must have at least one map");
+            assert!(
+                t.weight.is_finite() && t.weight > 0.0,
+                "template weight must be positive"
+            );
+        }
+    }
+
+    /// Mean arrival rate of the spec at unit rate scale, in jobs/minute.
+    pub fn mean_rate_per_min(&self) -> f64 {
+        self.arrival.mean_rate_per_min()
+    }
+}
+
+/// The lazily-evaluated generator behind an [`OpenStreamSpec`].
+///
+/// The engine pulls jobs one at a time with [`next_job`], supplying the
+/// next dense [`JobId`]; submit times are non-decreasing. All randomness
+/// comes from a private fork (`"open"`) of the RNG handed to [`new`], so
+/// the sequence is independent of when (simulation-wise) the pulls happen.
+///
+/// [`next_job`]: OpenStream::next_job
+/// [`new`]: OpenStream::new
+#[derive(Debug)]
+pub struct OpenStream {
+    templates: Vec<OpenJobTemplate>,
+    weights: Vec<f64>,
+    arrivals: OpenArrivalGen,
+    rng: SimRng,
+    emitted: u64,
+}
+
+impl OpenStream {
+    /// Builds a generator for `spec` with the arrival intensity multiplied
+    /// by `rate_scale` (the utilization knob for sweeps). Forks `"open"`
+    /// off `rng`; the caller's RNG advances by exactly one fork regardless
+    /// of how many jobs are later pulled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or `rate_scale` is not positive.
+    pub fn new(spec: &OpenStreamSpec, rate_scale: f64, rng: &mut SimRng) -> Self {
+        spec.validate();
+        let weights = spec.templates.iter().map(|t| t.weight).collect();
+        OpenStream {
+            templates: spec.templates.clone(),
+            weights,
+            arrivals: OpenArrivalGen::new(spec.arrival.clone(), rate_scale),
+            rng: rng.fork("open"),
+            emitted: 0,
+        }
+    }
+
+    /// Scaled mean arrival rate, in jobs/minute.
+    pub fn mean_rate_per_min(&self) -> f64 {
+        self.arrivals.mean_rate_per_min()
+    }
+
+    /// Number of jobs pulled so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Draws the next job of the stream. `id` is the dense id the engine
+    /// assigns (its current job count); submit times never decrease.
+    pub fn next_job(&mut self, id: JobId) -> JobSpec {
+        let at: SimTime = self.arrivals.next(&mut self.rng);
+        let ti = self
+            .rng
+            .weighted_index(&self.weights)
+            .expect("validated templates are non-empty with positive weights");
+        let t = &self.templates[ti];
+        self.emitted += 1;
+        let mut spec = JobSpec::new(id, Benchmark::of(t.benchmark), t.maps, t.reduces, at);
+        if let Some(class) = t.size_class {
+            spec = spec.with_size_class(class);
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> OpenStreamSpec {
+        OpenStreamSpec {
+            label: "svc".to_owned(),
+            arrival: OpenArrival::Poisson { rate_per_min: 6.0 },
+            templates: vec![
+                OpenJobTemplate {
+                    benchmark: BenchmarkKind::Wordcount,
+                    size_class: Some(SizeClass::Small),
+                    maps: 8,
+                    reduces: 2,
+                    weight: 3.0,
+                },
+                OpenJobTemplate {
+                    benchmark: BenchmarkKind::Terasort,
+                    size_class: None,
+                    maps: 16,
+                    reduces: 4,
+                    weight: 1.0,
+                },
+            ],
+        }
+    }
+
+    fn pull(n: usize, seed: u64, scale: f64) -> Vec<JobSpec> {
+        let mut rng = SimRng::seed_from(seed);
+        let mut stream = OpenStream::new(&spec(), scale, &mut rng);
+        (0..n).map(|i| stream.next_job(JobId(i as u64))).collect()
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_ordered() {
+        let a = pull(100, 11, 1.0);
+        let b = pull(100, 11, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, pull(100, 12, 1.0));
+        assert!(a.windows(2).all(|w| w[0].submit_at() <= w[1].submit_at()));
+        for (i, j) in a.iter().enumerate() {
+            assert_eq!(j.id(), JobId(i as u64));
+        }
+    }
+
+    #[test]
+    fn templates_draw_by_weight() {
+        let jobs = pull(400, 7, 1.0);
+        let heavy = jobs
+            .iter()
+            .filter(|j| j.benchmark().kind() == BenchmarkKind::Wordcount)
+            .count();
+        // 3:1 weights → ~300 of 400; accept a generous band.
+        assert!((250..=350).contains(&heavy), "heavy template drew {heavy}");
+        assert!(jobs
+            .iter()
+            .any(|j| j.benchmark().kind() == BenchmarkKind::Terasort));
+    }
+
+    #[test]
+    fn rate_scale_compresses_arrivals() {
+        let slow = pull(200, 3, 0.5);
+        let fast = pull(200, 3, 2.0);
+        assert!(fast.last().unwrap().submit_at() < slow.last().unwrap().submit_at());
+    }
+
+    #[test]
+    fn caller_rng_advances_by_one_fork_only() {
+        let mut a = SimRng::seed_from(5);
+        let mut b = SimRng::seed_from(5);
+        let mut sa = OpenStream::new(&spec(), 1.0, &mut a);
+        let _ = OpenStream::new(&spec(), 1.0, &mut b);
+        for i in 0..50 {
+            let _ = sa.next_job(JobId(i));
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "open stream must have at least one template")]
+    fn empty_templates_rejected() {
+        let mut s = spec();
+        s.templates.clear();
+        OpenStream::new(&s, 1.0, &mut SimRng::seed_from(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "template weight must be positive")]
+    fn zero_weight_rejected() {
+        let mut s = spec();
+        s.templates[0].weight = 0.0;
+        OpenStream::new(&s, 1.0, &mut SimRng::seed_from(0));
+    }
+}

@@ -870,12 +870,15 @@ fn faults_conserve_tasks() {
 fn scenario_spec_round_trips_byte_identically() {
     use eant::EAntConfig;
     use experiments::common::SchedulerKind;
-    use experiments::scenario::{FleetGroup, FleetSpec, ScenarioSpec, Tolerance, WorkloadSpec};
+    use experiments::scenario::{
+        FleetGroup, FleetSpec, ScenarioSpec, ServeSpec, ServeTolerance, Tolerance, WorkloadSpec,
+    };
     use hadoop_sim::{DvfsConfig, FaultConfig};
     use simcore::SimDuration;
-    use workload::arrival::{DiurnalPeak, DiurnalProfile};
+    use workload::arrival::{DiurnalPeak, DiurnalProfile, OpenArrival};
     use workload::mix::{BenchmarkChoice, StreamArrival, StreamSpec};
     use workload::msd::MsdConfig;
+    use workload::open::{OpenJobTemplate, OpenStreamSpec};
     use workload::SizeClass;
 
     fn ident(rng: &mut SimRng, prefix: &str) -> String {
@@ -972,6 +975,79 @@ fn scenario_spec_round_trips_byte_identically() {
         }
     }
 
+    fn gen_open_workload(rng: &mut SimRng) -> WorkloadSpec {
+        let arrival = match rng.uniform_u64(0, 2) {
+            0 => OpenArrival::Poisson {
+                rate_per_min: rng.uniform_range(0.2, 6.0),
+            },
+            1 => OpenArrival::Diurnal {
+                profile: DiurnalProfile {
+                    base_per_min: rng.uniform_range(0.2, 2.0),
+                    peaks: (0..rng.uniform_u64(1, 2))
+                        .map(|_| DiurnalPeak {
+                            center_s: rng.uniform_range(0.0, 3600.0),
+                            width_s: rng.uniform_range(60.0, 600.0),
+                            extra_per_min: rng.uniform_range(0.5, 8.0),
+                        })
+                        .collect(),
+                },
+                period_s: rng.uniform_range(1200.0, 7200.0),
+            },
+            _ => {
+                let burst_min = rng.uniform_u64(1, 4) as u32;
+                OpenArrival::Bursty {
+                    bursts_per_min: rng.uniform_range(0.1, 2.0),
+                    burst_min,
+                    burst_max: burst_min + rng.uniform_u64(0, 4) as u32,
+                }
+            }
+        };
+        let templates = (0..rng.uniform_u64(1, 3))
+            .map(|_| OpenJobTemplate {
+                benchmark: match rng.uniform_u64(0, 2) {
+                    0 => BenchmarkKind::Wordcount,
+                    1 => BenchmarkKind::Grep,
+                    _ => BenchmarkKind::Terasort,
+                },
+                size_class: match rng.uniform_u64(0, 3) {
+                    0 => None,
+                    1 => Some(SizeClass::Small),
+                    2 => Some(SizeClass::Medium),
+                    _ => Some(SizeClass::Large),
+                },
+                maps: rng.uniform_u64(1, 128) as u32,
+                reduces: rng.uniform_u64(0, 16) as u32,
+                weight: rng.uniform_range(0.1, 5.0),
+            })
+            .collect();
+        WorkloadSpec::Open(OpenStreamSpec {
+            label: ident(rng, "open"),
+            arrival,
+            templates,
+        })
+    }
+
+    fn gen_serve(rng: &mut SimRng) -> ServeSpec {
+        ServeSpec {
+            warmup: SimDuration::from_secs(rng.uniform_u64(0, 3600)),
+            measure: SimDuration::from_secs(rng.uniform_u64(600, 14_400)),
+            fast_warmup: if rng.chance(0.5) {
+                Some(SimDuration::from_secs(rng.uniform_u64(0, 600)))
+            } else {
+                None
+            },
+            fast_measure: if rng.chance(0.5) {
+                Some(SimDuration::from_secs(rng.uniform_u64(300, 3600)))
+            } else {
+                None
+            },
+            tolerance: ServeTolerance {
+                p99_rel: rng.uniform_range(0.001, 0.1),
+                energy_per_job_rel: rng.uniform_range(0.001, 0.1),
+            },
+        }
+    }
+
     fn gen_fleet(rng: &mut SimRng) -> FleetSpec {
         if rng.chance(0.4) {
             FleetSpec::Paper
@@ -1058,6 +1134,10 @@ fn scenario_spec_round_trips_byte_identically() {
     }
 
     check("scenario_spec_round_trips_byte_identically", 64, |rng| {
+        // A scenario is either closed (msd/streams, no serve) or an open
+        // service scenario (open workload + serve section) — the spec
+        // validator rejects mixing, so the generator picks one shape.
+        let open = rng.chance(0.3);
         let spec = ScenarioSpec {
             name: ident(rng, "scenario"),
             description: format!("prop \"case\" \\ {}", ident(rng, "desc")),
@@ -1065,12 +1145,21 @@ fn scenario_spec_round_trips_byte_identically() {
             schedulers: (0..rng.uniform_u64(1, 4))
                 .map(|_| gen_scheduler(rng))
                 .collect(),
-            workload: gen_workload(rng),
+            workload: if open {
+                gen_open_workload(rng)
+            } else {
+                gen_workload(rng)
+            },
             fast_workload: if rng.chance(0.5) {
-                Some(gen_workload(rng))
+                Some(if open {
+                    gen_open_workload(rng)
+                } else {
+                    gen_workload(rng)
+                })
             } else {
                 None
             },
+            serve: if open { Some(gen_serve(rng)) } else { None },
             fleet: gen_fleet(rng),
             engine: gen_engine(rng),
             tolerance: Tolerance {
