@@ -1,0 +1,104 @@
+//! Telemetry-stack overhead benchmarks: the same fixed E-Ant run bare,
+//! with the folding registry, with sampling on, and with the full SLO
+//! watchdog riding along.
+//!
+//! The observability contract is *zero perturbation, pay-as-you-observe*:
+//! observers never feed back into the engine (byte-identical results,
+//! enforced by tests), a run with no observers attached pays nothing, and
+//! turning sampling on over an already-attached registry must stay within
+//! run-to-run noise (`run_registry` vs `run_registry_sampling`) — the
+//! sampler adds one bounded drain per control interval, nothing per-event.
+//! `run_bare` vs `run_registry` prices observation itself: with any
+//! observer attached the engine materializes every event struct, roughly
+//! doubling a small run; that cost is opt-in and does not grow when
+//! sampling or the watchdog ride along. CI archives this as
+//! `BENCH_telemetry.json`.
+
+use bench::{black_box, Harness};
+use eant::EAntConfig;
+use experiments::common::{Scenario, SchedulerKind};
+use hadoop_sim::trace::SharedObserver;
+use hadoop_sim::{SloConfig, SloWatchdog};
+use metrics::registry::RegistryObserver;
+use simcore::{SimDuration, SimTime};
+use workload::msd::MsdConfig;
+
+fn scenario() -> Scenario {
+    let mut s = Scenario::fast(2015);
+    s.msd = MsdConfig {
+        num_jobs: 6,
+        task_scale: 32,
+        submission_window: SimDuration::from_mins(4),
+    };
+    s
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    let kind = SchedulerKind::EAnt(EAntConfig::paper_default());
+
+    h.bench("run_bare/6jobs", || {
+        black_box(scenario().run(&kind).total_energy_joules())
+    });
+
+    h.bench("run_registry/6jobs", || {
+        let registry = SharedObserver::new(RegistryObserver::new());
+        let handle = registry.clone();
+        let result = scenario().run_observed(&kind, move |engine, scheduler| {
+            engine.attach_observer(Box::new(handle.clone()));
+            scheduler.attach_observer(Box::new(handle));
+        });
+        black_box((result.total_energy_joules(), registry))
+    });
+
+    h.bench("run_registry_sampling/6jobs", || {
+        let registry = SharedObserver::new(RegistryObserver::with_sampling());
+        let handle = registry.clone();
+        let result = scenario().run_observed(&kind, move |engine, scheduler| {
+            engine.attach_observer(Box::new(handle.clone()));
+            scheduler.attach_observer(Box::new(handle));
+        });
+        black_box((result.total_energy_joules(), registry))
+    });
+
+    h.bench("run_watchdog/6jobs", || {
+        // Thresholds far above anything the run produces: the monitors all
+        // evaluate every interval but never trip, which is the steady-state
+        // cost a production run would pay.
+        let cfg = SloConfig {
+            p99_sojourn: Some(SimDuration::from_secs(1_000_000)),
+            arm_after: SimTime::ZERO,
+            ..SloConfig::default()
+        };
+        let registry = SharedObserver::new(RegistryObserver::with_sampling());
+        let watchdog = SharedObserver::new(SloWatchdog::new(cfg));
+        let reg_handle = registry.clone();
+        let dog_handle = watchdog.clone();
+        let result = scenario().run_observed(&kind, move |engine, scheduler| {
+            engine.attach_observer(Box::new(reg_handle.clone()));
+            engine.attach_observer(Box::new(dog_handle.clone()));
+            scheduler.attach_observer(Box::new(reg_handle));
+            scheduler.attach_observer(Box::new(dog_handle));
+        });
+        black_box((result.total_energy_joules(), registry, watchdog))
+    });
+
+    // The sampler's own cost, isolated: one control-interval drain over a
+    // registry the size the run above produces.
+    h.bench("snapshot_render", || {
+        let registry = SharedObserver::new(RegistryObserver::with_sampling());
+        let handle = registry.clone();
+        let _ = scenario().run_observed(&kind, move |engine, scheduler| {
+            engine.attach_observer(Box::new(handle.clone()));
+            scheduler.attach_observer(Box::new(handle));
+        });
+        black_box(registry.with(|r| {
+            (
+                r.registry().snapshot().render().len(),
+                r.series_snapshot().map(|s| s.render().len()),
+            )
+        }))
+    });
+
+    h.finish();
+}

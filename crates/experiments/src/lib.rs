@@ -22,6 +22,8 @@
 //! | [`extensions`] | §VIII future-work: E-Ant + idle power-down |
 //! | [`faults`] | fault-injection sweep: scheduler degradation under crashes/retries |
 //! | [`scenario`] | data-driven scenario files, run database, regression gate |
+//! | [`slo`] | monitored runs: telemetry sampling, SLO watchdog, postmortem bundles |
+//! | [`explain`] | `explain`: critical-path + energy/wait attribution, tail blame |
 //! | [`timeline`] | cluster load over time (saturation diagnostic) + `--trace`/`--replay` |
 //! | [`tracediff`] | `trace-diff`: first divergence + per-type deltas between two traces |
 //! | [`watch`] | `watch`: text dashboard replayed from a trace file |
@@ -31,6 +33,7 @@
 pub mod ablations;
 pub mod bound;
 pub mod common;
+pub mod explain;
 pub mod extensions;
 pub mod faults;
 pub mod fig1;
@@ -44,6 +47,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod scenario;
 pub mod serve;
+pub mod slo;
 pub mod tables;
 pub mod timeline;
 pub mod tracediff;

@@ -11,15 +11,17 @@
 //!                                          # first divergence + deltas
 //! experiments watch <path> [--every <secs>]
 //!                                          # text dashboard from a trace
-//! experiments scenario run <file> [--fast] [--db <path>]
+//! experiments scenario run <file> [--fast] [--db <path>] [--postmortem <dir>]
 //! experiments scenario sweep <dir> [--fast] [--db <path>]
 //! experiments scenario compare <baseline.jsonl> <candidate.jsonl>
 //!                                          # run DB regression gate
 //! experiments serve <scenario.json> [--fast] [--levels <l1,l2,..>] [--out <json>]
 //!                                          # service-mode utilization sweep
+//! experiments explain <trace.jsonl | postmortem-dir>
+//!                                          # critical-path + tail-blame report
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use experiments::timeline::TraceOptions;
@@ -31,10 +33,11 @@ fn usage() -> ExitCode {
          \x20      experiments --replay <path>\n\
          \x20      experiments trace-diff <a.jsonl> <b.jsonl> [--kind <type>]\n\
          \x20      experiments watch <trace.jsonl> [--every <secs>]\n\
-         \x20      experiments scenario run <file.json> [--fast] [--db <path>]\n\
+         \x20      experiments scenario run <file.json> [--fast] [--db <path>] [--postmortem <dir>]\n\
          \x20      experiments scenario sweep <dir> [--fast] [--db <path>]\n\
          \x20      experiments scenario compare <baseline.jsonl> <candidate.jsonl>\n\
-         \x20      experiments serve <scenario.json> [--fast] [--levels <l1,l2,..>] [--out <json>]"
+         \x20      experiments serve <scenario.json> [--fast] [--levels <l1,l2,..>] [--out <json>]\n\
+         \x20      experiments explain <trace.jsonl | postmortem-dir>"
     );
     eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(", "));
     ExitCode::FAILURE
@@ -118,6 +121,7 @@ fn cmd_scenario(args: &[String]) -> ExitCode {
     };
     let mut fast = false;
     let mut db: Option<PathBuf> = None;
+    let mut postmortem: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
@@ -129,11 +133,20 @@ fn cmd_scenario(args: &[String]) -> ExitCode {
                 };
                 db = Some(PathBuf::from(p));
             }
+            "--postmortem" => {
+                let Some(p) = iter.next() else {
+                    return fail("--postmortem needs a directory path");
+                };
+                postmortem = Some(PathBuf::from(p));
+            }
             other if other.starts_with("--") => {
                 return fail(&format!("unknown scenario flag {other}"));
             }
             other => paths.push(PathBuf::from(other)),
         }
+    }
+    if postmortem.is_some() && verb != "run" {
+        return fail("--postmortem only applies to scenario run");
     }
     match verb {
         "run" | "sweep" => {
@@ -141,7 +154,12 @@ fn cmd_scenario(args: &[String]) -> ExitCode {
                 return fail(&format!("scenario {verb} needs exactly one path"));
             }
             let result = if verb == "run" {
-                experiments::scenario::run_file(&paths[0], fast, db.as_deref())
+                experiments::scenario::run_file_opts(
+                    &paths[0],
+                    fast,
+                    db.as_deref(),
+                    postmortem.as_deref(),
+                )
             } else {
                 experiments::scenario::sweep_dir(&paths[0], fast, db.as_deref())
             };
@@ -223,6 +241,23 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
 }
 
+/// `experiments explain <trace.jsonl | postmortem-dir>`
+fn cmd_explain(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return fail("explain takes exactly one trace file or postmortem bundle directory");
+    };
+    if path.starts_with("--") {
+        return fail(&format!("unknown explain flag {path}"));
+    }
+    match experiments::explain::run(Path::new(path)) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => fail(&err),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -230,6 +265,7 @@ fn main() -> ExitCode {
         Some("watch") => return cmd_watch(&args[1..]),
         Some("scenario") => return cmd_scenario(&args[1..]),
         Some("serve") => return cmd_serve(&args[1..]),
+        Some("explain") => return cmd_explain(&args[1..]),
         _ => {}
     }
 

@@ -33,7 +33,10 @@ pub use spec::{
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+use metrics::emit::{object, JsonValue};
+
 use crate::common::parallel_runs;
+use crate::slo::{run_monitored, MonitoredCell};
 
 /// The committed scenario library (`scenarios/` at the repository root).
 #[must_use]
@@ -53,15 +56,19 @@ pub fn load_spec(path: &Path) -> Result<ScenarioSpec, String> {
     ScenarioSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// The (scheduler × seed) cell grid of a spec, scheduler-major.
+fn cell_grid(spec: &ScenarioSpec) -> Vec<(&crate::common::SchedulerKind, u64)> {
+    spec.schedulers
+        .iter()
+        .flat_map(|kind| spec.seeds.iter().map(move |&seed| (kind, seed)))
+        .collect()
+}
+
 /// Executes every (scheduler × seed) cell of `spec`, returning the report
 /// and the records (in scheduler-major order).
 #[must_use]
 pub fn execute_spec(spec: &ScenarioSpec, fast: bool) -> (String, Vec<RunRecord>) {
-    let cells: Vec<_> = spec
-        .schedulers
-        .iter()
-        .flat_map(|kind| spec.seeds.iter().map(move |&seed| (kind, seed)))
-        .collect();
+    let cells = cell_grid(spec);
     let tasks: Vec<_> = cells
         .iter()
         .map(|&(kind, seed)| move || spec.execute(kind, seed, fast))
@@ -73,7 +80,53 @@ pub fn execute_spec(spec: &ScenarioSpec, fast: bool) -> (String, Vec<RunRecord>)
         .zip(&results)
         .map(|(&(kind, seed), result)| RunRecord::new(spec, kind, seed, fast, result))
         .collect();
+    let report = render_report(spec, fast, &records);
+    (report, records)
+}
 
+/// Executes every cell under observation — registry sampling always, the
+/// scenario's SLO watchdog when an `"slo"` section is present — returning
+/// the report, the records, and the per-cell telemetry. Record bytes are
+/// identical to [`execute_spec`]'s: observers never feed back into the run.
+#[must_use]
+pub fn execute_spec_monitored(
+    spec: &ScenarioSpec,
+    fast: bool,
+) -> (String, Vec<RunRecord>, Vec<MonitoredCell>) {
+    let cells = cell_grid(spec);
+    let tasks: Vec<_> = cells
+        .iter()
+        .map(|&(kind, seed)| move || run_monitored(spec, kind, seed, fast))
+        .collect();
+    let monitored = parallel_runs(tasks);
+
+    let records: Vec<RunRecord> = cells
+        .iter()
+        .zip(&monitored)
+        .map(|(&(kind, seed), cell)| RunRecord::new(spec, kind, seed, fast, &cell.result))
+        .collect();
+    let mut report = render_report(spec, fast, &records);
+    for cell in &monitored {
+        if let Some(pm) = &cell.postmortem {
+            let _ = writeln!(report, "  {}", pm.summary());
+        } else if let Some(stats) = &cell.slo_stats {
+            let _ = writeln!(
+                report,
+                "  slo ok: {} seed {} (end window p99 {:.1} s over {} jobs, \
+                 queue {}, growth {:+.1}/min)",
+                cell.scheduler,
+                cell.seed,
+                stats.p99_sojourn_s,
+                stats.window_completions,
+                stats.queue_depth,
+                stats.backlog_growth_per_min
+            );
+        }
+    }
+    (report, records, monitored)
+}
+
+fn render_report(spec: &ScenarioSpec, fast: bool, records: &[RunRecord]) -> String {
     let mut out = String::new();
     let workload_desc = {
         let active = match (&spec.fast_workload, fast) {
@@ -103,7 +156,7 @@ pub fn execute_spec(spec: &ScenarioSpec, fast: bool) -> (String, Vec<RunRecord>)
         "{:<8} {:>6} {:>12} {:>12} {:>8}  key",
         "sched", "seed", "energy MJ", "makespan s", "drained"
     );
-    for r in &records {
+    for r in records {
         let _ = writeln!(
             out,
             "{:<8} {:>6} {:>12.3} {:>12.1} {:>8}  {}",
@@ -115,7 +168,7 @@ pub fn execute_spec(spec: &ScenarioSpec, fast: bool) -> (String, Vec<RunRecord>)
             r.key
         );
     }
-    for line in savings_lines(&records) {
+    for line in savings_lines(records) {
         let _ = writeln!(out, "{line}");
     }
     for r in records.iter().filter(|r| r.open_stream) {
@@ -128,7 +181,7 @@ pub fn execute_spec(spec: &ScenarioSpec, fast: bool) -> (String, Vec<RunRecord>)
             r.energy_per_job_j / 1e3
         );
     }
-    (out, records)
+    out
 }
 
 /// Mean E-Ant energy savings vs each baseline present in the record set —
@@ -168,10 +221,85 @@ fn savings_lines(records: &[RunRecord]) -> Vec<String> {
 ///
 /// Returns file, parse or database errors.
 pub fn run_file(path: &Path, fast: bool, db_path: Option<&Path>) -> Result<String, String> {
+    run_file_opts(path, fast, db_path, None)
+}
+
+/// `scenario run <file> [--db <path>] [--postmortem <dir>]`: the monitored
+/// run path. Every cell carries the sampling registry; the scenario's
+/// `"slo"` section (when present) arms the watchdog. With `--db`, the
+/// per-cell registry snapshots land next to the database as
+/// `<db>.registry.json`; with `--postmortem`, each breached cell's flight
+/// recorder is dumped as a bundle directory under `dir`.
+///
+/// # Errors
+///
+/// Returns file, parse, database or bundle-write errors.
+pub fn run_file_opts(
+    path: &Path,
+    fast: bool,
+    db_path: Option<&Path>,
+    postmortem_root: Option<&Path>,
+) -> Result<String, String> {
     let spec = load_spec(path)?;
-    let (report, records) = execute_spec(&spec, fast);
+    let (mut report, records, cells) = execute_spec_monitored(&spec, fast);
+    if let Some(root) = postmortem_root {
+        let mut wrote = 0usize;
+        for cell in &cells {
+            if let Some(pm) = &cell.postmortem {
+                let dir = pm.write_to(root)?;
+                let _ = writeln!(report, "  postmortem bundle: {}", dir.display());
+                wrote += 1;
+            }
+        }
+        if wrote == 0 {
+            let _ = writeln!(report, "  no SLO breach; no postmortem bundle written");
+        }
+    }
+    if let Some(db) = db_path {
+        let registry_path = registry_snapshot_path(db);
+        write_registry_snapshots(&spec, fast, &cells, &registry_path)?;
+        let _ = writeln!(report, "  registry snapshots: {}", registry_path.display());
+    }
     update_db(db_path, records)?;
     Ok(report)
+}
+
+/// Where `scenario run --db <path>` writes its registry snapshots.
+#[must_use]
+pub fn registry_snapshot_path(db_path: &Path) -> PathBuf {
+    let mut name = db_path
+        .file_name()
+        .map_or_else(|| "runs".into(), std::ffi::OsStr::to_os_string);
+    name.push(".registry.json");
+    db_path.with_file_name(name)
+}
+
+/// Writes one canonical-JSON document holding every cell's end-of-run
+/// registry snapshot and sampled time series.
+fn write_registry_snapshots(
+    spec: &ScenarioSpec,
+    fast: bool,
+    cells: &[MonitoredCell],
+    path: &Path,
+) -> Result<(), String> {
+    let cell_docs: Vec<JsonValue> = cells
+        .iter()
+        .map(|cell| {
+            object(vec![
+                ("scheduler", JsonValue::Str(cell.scheduler.clone())),
+                ("seed", JsonValue::UInt(cell.seed)),
+                ("registry", cell.registry.clone()),
+                ("series", cell.series.to_json()),
+            ])
+        })
+        .collect();
+    let doc = object(vec![
+        ("scenario", JsonValue::Str(spec.name.clone())),
+        ("fast", JsonValue::Bool(fast)),
+        ("cells", JsonValue::Array(cell_docs)),
+    ]);
+    std::fs::write(path, doc.render() + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 /// `scenario sweep <dir>`: runs every `*.json` spec in `dir` (sorted), one

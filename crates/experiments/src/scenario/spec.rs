@@ -21,11 +21,11 @@ use cluster::{profiles, Fleet};
 use eant::{EAntConfig, ExchangeStrategy};
 use hadoop_sim::{
     DvfsConfig, Engine, EngineConfig, FaultConfig, NoiseConfig, PowerDownConfig, RunResult,
-    Scheduler, SpeculationPolicy, StopCondition,
+    Scheduler, SloConfig, SpeculationPolicy, StopCondition,
 };
 use metrics::emit::{object, JsonValue};
 use metrics::spec::{ensure, fnv1a_64, syntax_context, with_context, ObjectView, SpecError};
-use simcore::{SimDuration, SimRng};
+use simcore::{SimDuration, SimRng, SimTime};
 use workload::arrival::{DiurnalPeak, DiurnalProfile, OpenArrival};
 use workload::mix::{self, BenchmarkChoice, StreamArrival, StreamSpec};
 use workload::msd::MsdConfig;
@@ -166,6 +166,11 @@ pub struct ScenarioSpec {
     /// Service-mode horizon and tolerances; present exactly when the
     /// workload is [`WorkloadSpec::Open`].
     pub serve: Option<ServeSpec>,
+    /// SLO watchdog thresholds and flight-recorder sizing. Plain
+    /// `execute` runs ignore this section entirely (the watchdog is an
+    /// observer the harness attaches, never an engine knob), so adding it
+    /// to a scenario perturbs nothing but the manifest key.
+    pub slo: Option<SloConfig>,
 }
 
 impl ScenarioSpec {
@@ -199,6 +204,7 @@ impl ScenarioSpec {
             "engine",
             "tolerance",
             "serve",
+            "slo",
         ])?;
 
         let name = root.string("name")?.to_owned();
@@ -260,6 +266,10 @@ impl ScenarioSpec {
             .opt_obj("serve")?
             .map(|v| serve_from_json(&v))
             .transpose()?;
+        let slo = root
+            .opt_obj("slo")?
+            .map(|v| slo_from_json(&v))
+            .transpose()?;
 
         // Open workloads and the serve section come as a pair: the horizon
         // is what bounds an unbounded stream, and a drain workload has no
@@ -295,6 +305,7 @@ impl ScenarioSpec {
             engine,
             tolerance,
             serve,
+            slo,
         })
     }
 
@@ -332,6 +343,9 @@ impl ScenarioSpec {
         ]);
         if let Some(serve) = &self.serve {
             fields.push(("serve", serve_to_json(serve)));
+        }
+        if let Some(slo) = &self.slo {
+            fields.push(("slo", slo_to_json(slo)));
         }
         object(fields)
     }
@@ -424,7 +438,10 @@ impl ScenarioSpec {
         self.execute_scaled_observed(kind, seed, fast, rate_scale, |_, _| {})
     }
 
-    fn execute_scaled_observed(
+    /// Runs one cell with both the utilization knob and an observer hook —
+    /// the most general execution path; every other `execute_*` variant
+    /// delegates here, so observed and plain runs agree byte for byte.
+    pub fn execute_scaled_observed(
         &self,
         kind: &SchedulerKind,
         seed: u64,
@@ -761,6 +778,33 @@ fn serve_to_json(serve: &ServeSpec) -> JsonValue {
                     JsonValue::Num(serve.tolerance.energy_per_job_rel),
                 ),
             ]),
+        ),
+    ])
+}
+
+fn slo_to_json(slo: &SloConfig) -> JsonValue {
+    let opt_duration_s = |d: Option<SimDuration>| d.map_or(JsonValue::Null, duration_to_json);
+    object([
+        ("window_s", duration_to_json(slo.window)),
+        ("ring_capacity", JsonValue::UInt(slo.ring_capacity as u64)),
+        (
+            "arm_after_s",
+            duration_to_json(slo.arm_after - SimTime::ZERO),
+        ),
+        (
+            "min_completions",
+            JsonValue::UInt(slo.min_completions as u64),
+        ),
+        ("p95_sojourn_s", opt_duration_s(slo.p95_sojourn)),
+        ("p99_sojourn_s", opt_duration_s(slo.p99_sojourn)),
+        (
+            "max_queue_depth",
+            slo.max_queue_depth.map_or(JsonValue::Null, JsonValue::UInt),
+        ),
+        (
+            "max_backlog_growth_per_min",
+            slo.max_backlog_growth_per_min
+                .map_or(JsonValue::Null, JsonValue::Num),
         ),
     ])
 }
@@ -1110,6 +1154,64 @@ fn serve_from_json(view: &ObjectView<'_>) -> Result<ServeSpec, SpecError> {
         fast_measure,
         tolerance,
     })
+}
+
+fn slo_from_json(view: &ObjectView<'_>) -> Result<SloConfig, SpecError> {
+    view.deny_unknown(&[
+        "window_s",
+        "ring_capacity",
+        "arm_after_s",
+        "min_completions",
+        "p95_sojourn_s",
+        "p99_sojourn_s",
+        "max_queue_depth",
+        "max_backlog_growth_per_min",
+    ])?;
+    let base = SloConfig::default();
+    let window = opt_duration(view, "window_s", true)?.unwrap_or(base.window);
+    let ring_capacity = match view.opt_u64("ring_capacity")? {
+        None => base.ring_capacity,
+        Some(n) => {
+            ensure(n > 0, &view.child_path("ring_capacity"), "must be positive")?;
+            n as usize
+        }
+    };
+    let arm_after =
+        opt_duration(view, "arm_after_s", false)?.map_or(base.arm_after, |d| SimTime::ZERO + d);
+    let min_completions = view
+        .opt_u64("min_completions")?
+        .map_or(base.min_completions, |n| n as usize);
+    let p95_sojourn = opt_duration(view, "p95_sojourn_s", true)?;
+    let p99_sojourn = opt_duration(view, "p99_sojourn_s", true)?;
+    let max_queue_depth = view.opt_u64("max_queue_depth")?;
+    let max_backlog_growth_per_min = match view.opt_f64("max_backlog_growth_per_min")? {
+        None => None,
+        Some(g) => {
+            ensure(
+                g.is_finite() && g > 0.0,
+                &view.child_path("max_backlog_growth_per_min"),
+                "must be positive",
+            )?;
+            Some(g)
+        }
+    };
+    let cfg = SloConfig {
+        window,
+        ring_capacity,
+        arm_after,
+        min_completions,
+        p95_sojourn,
+        p99_sojourn,
+        max_queue_depth,
+        max_backlog_growth_per_min,
+    };
+    ensure(
+        cfg.has_thresholds(),
+        view.path(),
+        "must set at least one threshold (p95_sojourn_s, p99_sojourn_s, \
+         max_queue_depth or max_backlog_growth_per_min)",
+    )?;
+    Ok(cfg)
 }
 
 fn stream_from_json(view: &ObjectView<'_>) -> Result<StreamSpec, SpecError> {
@@ -1851,6 +1953,44 @@ mod tests {
     }
 
     #[test]
+    fn slo_section_round_trips_and_fills_defaults() {
+        let input = r#"{
+            "name": "slo",
+            "seeds": [11],
+            "schedulers": [{"kind": "fair"}],
+            "workload": {"kind": "msd", "num_jobs": 4, "task_scale": 64,
+                         "submission_window_s": 120},
+            "slo": {"p99_sojourn_s": 1800, "arm_after_s": 600}
+        }"#;
+        let spec = ScenarioSpec::parse(input).expect("valid spec");
+        let slo = spec.slo.as_ref().expect("slo section parsed");
+        let base = SloConfig::default();
+        assert_eq!(slo.p99_sojourn, Some(SimDuration::from_secs(1800)));
+        assert_eq!(slo.arm_after, SimTime::from_secs(600));
+        assert_eq!(slo.window, base.window);
+        assert_eq!(slo.ring_capacity, base.ring_capacity);
+        assert_eq!(slo.min_completions, base.min_completions);
+        let once = spec.canonical();
+        let reparsed = ScenarioSpec::parse(&once).expect("canonical form parses");
+        assert_eq!(spec, reparsed);
+        assert_eq!(once, reparsed.canonical());
+    }
+
+    #[test]
+    fn slo_without_thresholds_is_rejected() {
+        let input = r#"{
+            "name": "slo",
+            "seeds": [11],
+            "schedulers": [{"kind": "fair"}],
+            "workload": {"kind": "msd", "num_jobs": 4, "task_scale": 64,
+                         "submission_window_s": 120},
+            "slo": {"window_s": 600}
+        }"#;
+        let err = ScenarioSpec::parse(input).unwrap_err();
+        assert!(err.contains("at least one threshold"), "{err}");
+    }
+
+    #[test]
     fn manifest_key_tracks_every_input() {
         let spec = ScenarioSpec::parse(minimal()).expect("valid spec");
         let kind = SchedulerKind::Fair;
@@ -1880,6 +2020,7 @@ mod tests {
             workload: WorkloadSpec::Msd(scenario.msd.clone()),
             fast_workload: None,
             serve: None,
+            slo: None,
             fleet: FleetSpec::Paper,
             engine: scenario.engine.clone(),
             tolerance: Tolerance::default(),

@@ -15,10 +15,12 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use hadoop_sim::{RunResult, ServiceStats};
+use hadoop_sim::trace::SharedObserver;
+use hadoop_sim::ServiceStats;
 use metrics::emit::{object, JsonValue};
+use metrics::registry::RegistryObserver;
 
 use crate::common::{parallel_runs, SchedulerKind};
 use crate::scenario::{load_spec, ScenarioSpec};
@@ -36,6 +38,9 @@ pub struct ServeCell {
     pub level: f64,
     /// The steady-state service metrics of the run.
     pub stats: ServiceStats,
+    /// End-of-run registry snapshot (counters/gauges/histograms folded
+    /// from the cell's event stream) plus its sampled time series.
+    pub registry: JsonValue,
 }
 
 impl ServeCell {
@@ -78,18 +83,43 @@ pub fn sweep(spec: &ScenarioSpec, fast: bool, levels: &[f64]) -> Vec<ServeCell> 
         .collect();
     let tasks: Vec<_> = cells
         .iter()
-        .map(|&(kind, level)| move || spec.execute_scaled(kind, seed, fast, level))
+        .map(|&(kind, level)| {
+            move || {
+                // Rc-based, so created inside the worker closure; only the
+                // extracted (Send) snapshot leaves the task.
+                let registry = SharedObserver::new(RegistryObserver::with_sampling());
+                let handle = registry.clone();
+                let result =
+                    spec.execute_scaled_observed(kind, seed, fast, level, |engine, scheduler| {
+                        engine.attach_observer(Box::new(handle.clone()));
+                        scheduler.attach_observer(Box::new(handle));
+                    });
+                let snapshot = registry.with(|r| {
+                    object([
+                        ("registry", r.registry().snapshot()),
+                        (
+                            "series",
+                            r.series_snapshot()
+                                .expect("sampling registry always has a series snapshot")
+                                .to_json(),
+                        ),
+                    ])
+                });
+                (result, snapshot)
+            }
+        })
         .collect();
-    let results: Vec<RunResult> = parallel_runs(tasks);
+    let results = parallel_runs(tasks);
     cells
         .iter()
         .zip(results)
-        .map(|(&(kind, level), result)| ServeCell {
+        .map(|(&(kind, level), (result, registry))| ServeCell {
             scheduler: kind.label().to_owned(),
             level,
             stats: result
                 .service
                 .expect("a serve scenario always produces service stats"),
+            registry,
         })
         .collect()
 }
@@ -205,8 +235,41 @@ pub fn sweep_json(spec: &ScenarioSpec, fast: bool, levels: &[f64], cells: &[Serv
     .render()
 }
 
+/// Where `serve --out <path>` writes its per-cell registry snapshots: the
+/// artifact path with `.registry.json` appended.
+#[must_use]
+pub fn registry_artifact_path(out_path: &Path) -> PathBuf {
+    let mut name = out_path.as_os_str().to_owned();
+    name.push(".registry.json");
+    PathBuf::from(name)
+}
+
+/// Canonical JSON holding every cell's registry snapshot and sampled
+/// series, written next to the `--out` artifact.
+#[must_use]
+pub fn registry_json(spec: &ScenarioSpec, fast: bool, cells: &[ServeCell]) -> String {
+    let cell_docs: Vec<JsonValue> = cells
+        .iter()
+        .map(|c| {
+            object([
+                ("scheduler", JsonValue::Str(c.scheduler.clone())),
+                ("level", JsonValue::Num(c.level)),
+                ("registry", c.registry.clone()),
+            ])
+        })
+        .collect();
+    object([
+        ("scenario", JsonValue::Str(spec.name.clone())),
+        ("seed", JsonValue::UInt(spec.seeds[0])),
+        ("fast", JsonValue::Bool(fast)),
+        ("cells", JsonValue::Array(cell_docs)),
+    ])
+    .render()
+}
+
 /// `experiments serve <scenario.json>`: loads the spec, runs the sweep,
-/// optionally writes the JSON artifact.
+/// optionally writes the JSON artifact (plus the per-cell registry
+/// snapshots next to it).
 ///
 /// # Errors
 ///
@@ -226,10 +289,14 @@ pub fn run(
         ));
     }
     let cells = sweep(&spec, fast, levels);
-    let report = render(&spec, fast, &cells);
+    let mut report = render(&spec, fast, &cells);
     if let Some(out) = out_path {
         std::fs::write(out, sweep_json(&spec, fast, levels, &cells))
             .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        let registry_path = registry_artifact_path(out);
+        std::fs::write(&registry_path, registry_json(&spec, fast, &cells))
+            .map_err(|e| format!("cannot write {}: {e}", registry_path.display()))?;
+        let _ = writeln!(report, "  registry snapshots: {}", registry_path.display());
     }
     Ok(report)
 }

@@ -278,6 +278,15 @@ pub fn registry_snapshot_path(trace_path: &Path) -> PathBuf {
     PathBuf::from(name)
 }
 
+/// Path of the sampled telemetry time series written next to a trace: the
+/// trace path with `.series.json` appended. `watch` reads this file (when
+/// present) to plot real per-interval series instead of re-deriving them.
+pub fn telemetry_series_path(trace_path: &Path) -> PathBuf {
+    let mut name = trace_path.as_os_str().to_owned();
+    name.push(".series.json");
+    PathBuf::from(name)
+}
+
 /// Runs the E-Ant scenario with a JSONL trace sink attached to both the
 /// engine and the scheduler streams, writing one canonical line per event
 /// to `path`. The streamed aggregates are verified against the post-hoc
@@ -317,7 +326,7 @@ pub fn write_trace_with(opts: TraceOptions, path: &Path) -> Result<String, Strin
         .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
     let sink = SharedObserver::new(JsonlTraceSink::new(BufWriter::new(file)));
     let stats = SharedObserver::new(StreamingRunStats::new(fleet.len()));
-    let registry = SharedObserver::new(RegistryObserver::new());
+    let registry = SharedObserver::new(RegistryObserver::with_sampling());
 
     let kind = SchedulerKind::EAnt(EAntConfig::paper_default());
     let sink_handle = sink.clone();
@@ -345,10 +354,18 @@ pub fn write_trace_with(opts: TraceOptions, path: &Path) -> Result<String, Strin
     std::fs::write(&snapshot_path, snapshot.as_bytes())
         .map_err(|e| format!("cannot write {}: {e}", snapshot_path.display()))?;
 
+    let series_path = telemetry_series_path(path);
+    let series = registry
+        .with(|r| r.series_snapshot())
+        .expect("sampling registry always has a series snapshot");
+    std::fs::write(&series_path, series.render() + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", series_path.display()))?;
+
     Ok(format!(
         "wrote {} trace events to {} (E-Ant, seed {}, moderate faults, \
          decision tracing {}, makespan {:.0} s, {:.3} MJ; streaming \
-         aggregates verified against RunResult; registry snapshot at {})",
+         aggregates verified against RunResult; registry snapshot at {}, \
+         telemetry series at {})",
         lines,
         path.display(),
         opts.seed,
@@ -356,6 +373,7 @@ pub fn write_trace_with(opts: TraceOptions, path: &Path) -> Result<String, Strin
         result.makespan.as_secs_f64(),
         result.total_energy_joules() / 1e6,
         snapshot_path.display(),
+        series_path.display(),
     ))
 }
 

@@ -13,8 +13,11 @@ use std::path::Path;
 
 use cluster::SlotKind;
 use hadoop_sim::{PowerState, SimEvent};
+use metrics::registry::SeriesSnapshot;
 use metrics::trace::read_trace_lines;
 use simcore::SimTime;
+
+use crate::timeline::telemetry_series_path;
 
 /// Machine availability as seen from the fault events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -333,6 +336,87 @@ impl Dashboard {
     }
 }
 
+/// Series the telemetry panel plots first, in this order, when the
+/// sampled snapshot carries them. Everything else is summarized by count.
+const FEATURED_SERIES: &[&str] = &[
+    "cumulative_energy_joules",
+    "queue_depth:p95",
+    "task_duration_seconds{kind=map}:p95",
+    "task_duration_seconds{kind=reduce}:p95",
+    "events_total{type=task_started}",
+    "events_total{type=job_completed}",
+];
+
+/// An ASCII sparkline of `values`, downsampled by bucket means to at most
+/// `width` columns and scaled to the series' own min..max range.
+fn sparkline(values: &[f64], width: usize) -> String {
+    const LEVELS: &[u8] = b"_.:-=+*#";
+    if values.is_empty() {
+        return String::new();
+    }
+    let buckets: Vec<f64> = (0..width.min(values.len()))
+        .map(|b| {
+            let lo = b * values.len() / width.min(values.len());
+            let hi = ((b + 1) * values.len() / width.min(values.len())).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    let (min, max) = buckets
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    buckets
+        .iter()
+        .map(|&v| {
+            let t = if max > min {
+                (v - min) / (max - min)
+            } else {
+                0.0
+            };
+            let idx = ((t * (LEVELS.len() - 1) as f64).round() as usize).min(LEVELS.len() - 1);
+            LEVELS[idx] as char
+        })
+        .collect()
+}
+
+/// The telemetry panel: real sampled series (per control interval) from
+/// the `<trace>.series.json` the trace run wrote, plotted as sparklines —
+/// not re-derived from the events.
+fn render_series(snapshot: &SeriesSnapshot) -> String {
+    let mut out = String::new();
+    let mut shown = 0usize;
+    for name in FEATURED_SERIES {
+        let Some(series) = snapshot.get(name) else {
+            continue;
+        };
+        let values: Vec<f64> = series.iter().map(|(_, v)| v).collect();
+        if values.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {:<38} {:<40} last {:>10.1}\n",
+            name,
+            sparkline(&values, 40),
+            values[values.len() - 1],
+        ));
+        shown += 1;
+    }
+    let total = snapshot.series.len();
+    let header = format!(
+        "telemetry — {} sampled series ({} plotted, {} more){}:\n",
+        total,
+        shown,
+        total.saturating_sub(shown),
+        if snapshot.dropped > 0 {
+            format!("; {} series dropped at the cap", snapshot.dropped)
+        } else {
+            String::new()
+        },
+    );
+    header + &out
+}
+
 /// Fixed-width occupancy bar, e.g. `[####----]`.
 fn bar(used: u32, capacity: u32) -> String {
     const WIDTH: usize = 8;
@@ -413,6 +497,15 @@ pub fn run(path: &Path, every_secs: f64) -> Result<String, String> {
             .collect::<Vec<_>>()
             .join(", "),
     ));
+    // Plot the real sampled series when the trace run left them next to
+    // the trace (best-effort: older traces have no series file).
+    let series_path = telemetry_series_path(path);
+    if let Ok(text) = std::fs::read_to_string(&series_path) {
+        let snapshot =
+            SeriesSnapshot::parse(&text).map_err(|e| format!("{}: {e}", series_path.display()))?;
+        out.push('\n');
+        out.push_str(&render_series(&snapshot));
+    }
     Ok(out)
 }
 
@@ -444,7 +537,12 @@ mod tests {
             out.contains("DEAD") || out.contains("machine_failed"),
             "{out}"
         );
+        // The trace run wrote sampled series next to the trace; the
+        // dashboard plots them instead of re-deriving.
+        assert!(out.contains("telemetry — "), "{out}");
+        assert!(out.contains("cumulative_energy_joules"), "{out}");
         std::fs::remove_file(crate::timeline::registry_snapshot_path(&path)).ok();
+        std::fs::remove_file(crate::timeline::telemetry_series_path(&path)).ok();
         std::fs::remove_file(path).ok();
     }
 

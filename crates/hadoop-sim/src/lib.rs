@@ -62,6 +62,7 @@ mod scheduler;
 pub mod single_node;
 mod task_arena;
 pub mod trace;
+pub mod watchdog;
 
 pub use cluster_state::{ClusterState, JobEntry};
 pub use config::{
@@ -75,6 +76,7 @@ pub use result::{IntervalSnapshot, JobOutcome, MachineOutcome, RunResult, Servic
 pub use scheduler::{generic_candidates, ClusterQuery, GreedyScheduler, Scheduler};
 pub use task_arena::{TaskArena, TaskSlot, MAX_ATTEMPTS};
 pub use trace::{DecisionCandidate, PowerState, SimEvent};
+pub use watchdog::{SloBreach, SloConfig, SloStats, SloWatchdog};
 
 /// Internal key identifying a task within a job: (kind, index).
 pub(crate) type TaskIndexKey = (cluster::SlotKind, u32);

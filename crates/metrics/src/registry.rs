@@ -15,6 +15,19 @@
 //! histograms, and the fleet energy gauge — including the per-decision
 //! counters when [`hadoop_sim::EngineConfig::trace_decisions`] is on.
 //!
+//! # Sampling mode
+//!
+//! [`RegistryObserver::with_sampling`] additionally turns the registry into
+//! a telemetry *time-series* source: every `control_interval_fired` event
+//! (and the final `run_finished`) takes one sample of the whole registry —
+//! the windowed **delta** of every counter, the instantaneous value of
+//! every gauge, and bucket-estimated p50/p95/p99 points of every histogram
+//! — into a bounded per-series [`TimeSeries`] store keyed by
+//! `name{label=value,...}`. Counter deltas re-sum to the end-of-run
+//! snapshot exactly (a property the test suite pins), so the series file is
+//! a faithful windowed decomposition of the snapshot, not an approximation.
+//! [`SeriesSnapshot`] is the canonical JSON codec for the store.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,10 +46,11 @@ use std::collections::BTreeMap;
 use cluster::{MachineId, SlotKind};
 use hadoop_sim::trace::Observer;
 use hadoop_sim::SimEvent;
+use simcore::series::TimeSeries;
 use simcore::SimTime;
 use workload::TaskId;
 
-use crate::emit::{object, JsonValue};
+use crate::emit::{object, JsonValue, ToJson};
 
 /// Dense id of an interned label set (see [`Registry::label_set`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -306,6 +320,194 @@ impl Registry {
             ),
         ])
     }
+
+    /// Flat series key for a metric: `name` alone for the empty label set,
+    /// `name{k=v,...}` (keys sorted, as interned) otherwise.
+    fn series_name(&self, name: &str, labels: LabelSetId) -> String {
+        let set = &self.label_sets[labels.0 as usize];
+        if set.is_empty() {
+            return name.to_owned();
+        }
+        let pairs: Vec<String> = set.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{name}{{{}}}", pairs.join(","))
+    }
+}
+
+/// Nearest-rank percentile estimate from fixed histogram buckets: the
+/// inclusive upper bound of the bucket holding the rank-th observation,
+/// clamped to the last finite bound for the overflow bucket. `None` when
+/// the histogram is empty.
+fn bucket_percentile(h: &Histogram, p: u64) -> Option<f64> {
+    if h.count == 0 {
+        return None;
+    }
+    let rank = (p * h.count).div_ceil(100).max(1);
+    let mut cumulative = 0u64;
+    for (i, &count) in h.buckets.iter().enumerate() {
+        cumulative += count;
+        if cumulative >= rank {
+            let last = h.bounds.len() - 1;
+            return Some(h.bounds[i.min(last)]);
+        }
+    }
+    None
+}
+
+/// Default per-series sample cap of the sampling mode: generous enough for
+/// any committed scenario (one sample per control interval), bounded so a
+/// runaway horizon cannot grow memory without limit.
+pub const DEFAULT_SERIES_CAP: usize = 4096;
+
+/// The windowed time-series store behind [`RegistryObserver::with_sampling`].
+#[derive(Debug)]
+struct Sampler {
+    cap: usize,
+    series: BTreeMap<String, TimeSeries>,
+    /// Counter value at the previous sample, keyed by series name, so each
+    /// sample records the per-window delta.
+    last_counters: BTreeMap<String, u64>,
+    dropped: u64,
+}
+
+impl Sampler {
+    fn new(cap: usize) -> Self {
+        assert!(cap > 0, "series sampler needs capacity > 0");
+        Sampler {
+            cap,
+            series: BTreeMap::new(),
+            last_counters: BTreeMap::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, name: &str, at: SimTime, value: f64) {
+        let s = self
+            .series
+            .entry(name.to_owned())
+            .or_insert_with(|| TimeSeries::new(name));
+        if s.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        s.record(at, value);
+    }
+
+    /// Takes one sample of the whole registry at sim time `at`.
+    fn sample(&mut self, at: SimTime, reg: &Registry) {
+        for c in &reg.counters {
+            let name = reg.series_name(c.name, c.labels);
+            let last = self.last_counters.get(&name).copied().unwrap_or(0);
+            self.last_counters.insert(name.clone(), c.value);
+            self.push(&name, at, (c.value - last) as f64);
+        }
+        for g in &reg.gauges {
+            let name = reg.series_name(g.name, g.labels);
+            self.push(&name, at, g.value);
+        }
+        for h in &reg.histograms {
+            let base = reg.series_name(h.name, h.labels);
+            for p in [50u64, 95, 99] {
+                if let Some(v) = bucket_percentile(h, p) {
+                    self.push(&format!("{base}:p{p}"), at, v);
+                }
+            }
+        }
+    }
+
+    fn snapshot(&self) -> SeriesSnapshot {
+        SeriesSnapshot {
+            dropped: self.dropped,
+            series: self.series.values().cloned().collect(),
+        }
+    }
+}
+
+/// The telemetry time-series of one sampled run: every registry series,
+/// sorted by name, plus the count of samples dropped to the per-series
+/// capacity bound. Canonical JSON via [`SeriesSnapshot::render`], inverse
+/// [`SeriesSnapshot::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Samples discarded because a series hit the capacity bound.
+    pub dropped: u64,
+    /// One series per sampled metric (counters as windowed deltas, gauges
+    /// as instantaneous values, histograms as `:p50`/`:p95`/`:p99` points),
+    /// sorted by series name.
+    pub series: Vec<TimeSeries>,
+}
+
+impl SeriesSnapshot {
+    /// Canonical JSON: `{"dropped":N,"series":[{"name":...,"samples":[[ms,v],...]},...]}`.
+    pub fn to_json(&self) -> JsonValue {
+        object([
+            ("dropped", JsonValue::UInt(self.dropped)),
+            (
+                "series",
+                JsonValue::Array(self.series.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Renders the canonical JSON document.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses a document produced by [`SeriesSnapshot::render`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn parse(text: &str) -> Result<SeriesSnapshot, String> {
+        let doc = JsonValue::parse(text)?;
+        let dropped = doc
+            .get("dropped")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing or mistyped \"dropped\"")?;
+        let Some(JsonValue::Array(items)) = doc.get("series") else {
+            return Err("missing or mistyped \"series\"".to_owned());
+        };
+        let mut series = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let ctx = |m: &str| format!("series {i}: {m}");
+            let name = item
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ctx("missing or mistyped \"name\""))?;
+            let Some(JsonValue::Array(samples)) = item.get("samples") else {
+                return Err(ctx("missing or mistyped \"samples\""));
+            };
+            let mut ts = TimeSeries::new(name);
+            for s in samples {
+                let JsonValue::Array(pair) = s else {
+                    return Err(ctx("sample is not a [millis,value] pair"));
+                };
+                let (Some(at), Some(v)) = (
+                    pair.first().and_then(JsonValue::as_u64),
+                    pair.get(1).and_then(JsonValue::as_f64),
+                ) else {
+                    return Err(ctx("sample is not a [millis,value] pair"));
+                };
+                ts.record(SimTime::from_millis(at), v);
+            }
+            series.push(ts);
+        }
+        Ok(SeriesSnapshot { dropped, series })
+    }
+
+    /// Looks up a series by exact name.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// A copy with every series cut at `until` (samples after it removed):
+    /// the postmortem slice of the telemetry up to a breach.
+    pub fn sliced_until(&self, until: SimTime) -> SeriesSnapshot {
+        SeriesSnapshot {
+            dropped: self.dropped,
+            series: self.series.iter().map(|s| s.sliced_until(until)).collect(),
+        }
+    }
 }
 
 /// Queue-depth histogram bounds (pending tasks at each heartbeat drain).
@@ -327,6 +529,8 @@ pub struct RegistryObserver {
     registry: Registry,
     /// Start time of each in-flight attempt, for duration observations.
     started: BTreeMap<(TaskId, MachineId), SimTime>,
+    /// Telemetry sampling mode; `None` keeps the observer snapshot-only.
+    sampler: Option<Sampler>,
 }
 
 impl Default for RegistryObserver {
@@ -341,12 +545,38 @@ impl RegistryObserver {
         RegistryObserver {
             registry: Registry::new(),
             started: BTreeMap::new(),
+            sampler: None,
+        }
+    }
+
+    /// Creates an observer with telemetry sampling on (the
+    /// [sampling mode](self#sampling-mode)), bounded at
+    /// [`DEFAULT_SERIES_CAP`] samples per series.
+    pub fn with_sampling() -> Self {
+        RegistryObserver::with_sampling_capacity(DEFAULT_SERIES_CAP)
+    }
+
+    /// Sampling mode with an explicit per-series sample cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_sampling_capacity(cap: usize) -> Self {
+        RegistryObserver {
+            registry: Registry::new(),
+            started: BTreeMap::new(),
+            sampler: Some(Sampler::new(cap)),
         }
     }
 
     /// The populated registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The sampled telemetry time-series, or `None` when sampling is off.
+    pub fn series_snapshot(&self) -> Option<SeriesSnapshot> {
+        self.sampler.as_ref().map(Sampler::snapshot)
     }
 
     /// Consumes the observer, returning the registry.
@@ -453,6 +683,16 @@ impl Observer<SimEvent> for RegistryObserver {
                 self.registry.set(t, *total_tasks as f64);
             }
             _ => {}
+        }
+        // Sample *after* folding, so the window closing at this control
+        // tick (or at the run footer) includes the tick's own updates.
+        if matches!(
+            event,
+            SimEvent::ControlIntervalFired { .. } | SimEvent::RunFinished { .. }
+        ) {
+            if let Some(sampler) = self.sampler.as_mut() {
+                sampler.sample(at, &self.registry);
+            }
         }
     }
 }
@@ -576,5 +816,130 @@ mod tests {
             panic!("counters not an array")
         };
         assert_eq!(items.len(), 5, "{text}");
+    }
+
+    fn tick(index: u64, joules: f64) -> SimEvent {
+        SimEvent::ControlIntervalFired {
+            index,
+            cumulative_energy_joules: joules,
+        }
+    }
+
+    #[test]
+    fn sampling_records_counter_deltas_and_gauge_values() {
+        let mut obs = RegistryObserver::with_sampling();
+        obs.on_event(
+            SimTime::from_secs(1),
+            &SimEvent::JobCompleted { job: JobId(0) },
+        );
+        obs.on_event(SimTime::from_secs(300), &tick(0, 100.0));
+        obs.on_event(
+            SimTime::from_secs(301),
+            &SimEvent::JobCompleted { job: JobId(1) },
+        );
+        obs.on_event(
+            SimTime::from_secs(302),
+            &SimEvent::JobCompleted { job: JobId(2) },
+        );
+        obs.on_event(SimTime::from_secs(600), &tick(1, 250.0));
+
+        let snap = obs.series_snapshot().expect("sampling is on");
+        let completed = snap
+            .get("events_total{type=job_completed}")
+            .expect("job_completed series");
+        let samples: Vec<_> = completed.iter().collect();
+        assert_eq!(
+            samples,
+            vec![
+                (SimTime::from_secs(300), 1.0),
+                (SimTime::from_secs(600), 2.0)
+            ],
+            "counter samples must be per-window deltas"
+        );
+        let energy = snap
+            .get("cumulative_energy_joules")
+            .expect("energy gauge series");
+        assert_eq!(energy.last_value(), Some(250.0));
+        // The tick counter saw itself: first window 1 tick, second 1 tick.
+        let ticks = snap
+            .get("events_total{type=control_interval_fired}")
+            .expect("tick series");
+        let deltas: Vec<f64> = ticks.iter().map(|(_, v)| v).collect();
+        assert_eq!(deltas, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn sampling_emits_histogram_percentile_points() {
+        let mut obs = RegistryObserver::with_sampling();
+        for depth in [1u64, 10, 200] {
+            obs.on_event(
+                SimTime::from_secs(depth),
+                &SimEvent::HeartbeatDrained {
+                    machine: MachineId(0),
+                    free_map: 0,
+                    free_reduce: 0,
+                    pending_total: depth,
+                },
+            );
+        }
+        obs.on_event(SimTime::from_secs(300), &tick(0, 1.0));
+        let snap = obs.series_snapshot().unwrap();
+        // 3 observations in buckets le=8, le=32, le=512: p50 → 32, p99 → 512.
+        assert_eq!(
+            snap.get("queue_depth:p50").and_then(TimeSeries::last_value),
+            Some(32.0)
+        );
+        assert_eq!(
+            snap.get("queue_depth:p99").and_then(TimeSeries::last_value),
+            Some(512.0)
+        );
+    }
+
+    #[test]
+    fn sampling_cap_drops_and_counts() {
+        let mut obs = RegistryObserver::with_sampling_capacity(2);
+        for i in 0..4u64 {
+            obs.on_event(SimTime::from_secs(i * 300), &tick(i, i as f64));
+        }
+        let snap = obs.series_snapshot().unwrap();
+        assert!(snap.dropped > 0, "cap must count dropped samples");
+        for s in &snap.series {
+            assert!(s.len() <= 2, "series {} over cap", s.name());
+        }
+    }
+
+    #[test]
+    fn series_snapshot_round_trips_and_slices() {
+        let mut obs = RegistryObserver::with_sampling();
+        obs.on_event(
+            SimTime::from_secs(1),
+            &SimEvent::JobCompleted { job: JobId(0) },
+        );
+        obs.on_event(SimTime::from_secs(300), &tick(0, 12.5));
+        obs.on_event(SimTime::from_secs(600), &tick(1, 80.0));
+        let snap = obs.series_snapshot().unwrap();
+        let text = snap.render();
+        let reparsed = SeriesSnapshot::parse(&text).expect("valid series JSON");
+        assert_eq!(reparsed.render(), text, "byte-stable re-render");
+
+        let cut = snap.sliced_until(SimTime::from_secs(300));
+        for s in &cut.series {
+            assert!(
+                s.iter().all(|(t, _)| t <= SimTime::from_secs(300)),
+                "series {} leaked past the slice",
+                s.name()
+            );
+        }
+        assert_eq!(
+            cut.get("cumulative_energy_joules").unwrap().last_value(),
+            Some(12.5)
+        );
+    }
+
+    #[test]
+    fn snapshot_only_observer_has_no_series() {
+        let mut obs = RegistryObserver::new();
+        obs.on_event(SimTime::from_secs(300), &tick(0, 1.0));
+        assert!(obs.series_snapshot().is_none());
     }
 }

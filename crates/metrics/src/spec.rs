@@ -392,17 +392,12 @@ pub fn snippet(line: &str) -> String {
     format!("{}... [{} bytes total]", &line[..end], line.len())
 }
 
-/// FNV-1a 64-bit digest — the content hash keying run-database manifests.
-/// Stable across platforms and releases by construction.
-#[must_use]
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// FNV-1a 64-bit digest — the content hash keying run-database manifests
+/// and golden trace digests. Stable across platforms and releases by
+/// construction. One shared implementation lives in [`simcore`] (the fork
+/// labels of [`simcore::SimRng`] use the same hash); this re-export is the
+/// canonical name the metrics/experiments layers use.
+pub use simcore::fnv1a_64;
 
 #[cfg(test)]
 mod tests {

@@ -49,5 +49,5 @@ mod time;
 pub mod trace;
 
 pub use events::EventQueue;
-pub use rng::SimRng;
+pub use rng::{fnv1a_64, SimRng};
 pub use time::{SimDuration, SimTime};

@@ -112,12 +112,7 @@ impl SimRng {
     /// independent of how much randomness the parent has already consumed.
     pub fn fork(&self, label: &str) -> SimRng {
         // FNV-1a over the label, mixed with the parent seed via splitmix64.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in label.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        let child = splitmix64(self.seed ^ h);
+        let child = splitmix64(self.seed ^ fnv1a_64(label.as_bytes()));
         SimRng::seed_from(child)
     }
 
@@ -266,6 +261,20 @@ fn splitmix64_mix(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// FNV-1a 64-bit digest: the repository's one content hash, used for fork
+/// labels here and (via `metrics::spec`) run-database manifest keys and
+/// golden trace digests. Stable across platforms and releases by
+/// construction — the pinned vectors below are part of the public contract.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +296,17 @@ mod tests {
         for &e in &expected {
             assert_eq!(engine.next_u64(), e);
         }
+    }
+
+    /// FNV-1a 64 reference vectors from the original Fowler/Noll/Vo
+    /// publication: the offset basis (empty input) and two short strings.
+    /// Fork-label derivation, manifest keys and the golden trace digests
+    /// all ride on these exact constants.
+    #[test]
+    fn fnv1a_reference_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
     }
 
     /// SplitMix64 reference vectors: seed 0 and the widely published

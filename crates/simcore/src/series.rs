@@ -109,6 +109,21 @@ impl TimeSeries {
             .sum()
     }
 
+    /// A copy of the series keeping only the samples at or before `until`
+    /// (the flight-recorder slice: everything the series knew at that
+    /// instant, nothing recorded after it).
+    pub fn sliced_until(&self, until: SimTime) -> TimeSeries {
+        TimeSeries {
+            name: self.name.clone(),
+            samples: self
+                .samples
+                .iter()
+                .copied()
+                .take_while(|&(t, _)| t <= until)
+                .collect(),
+        }
+    }
+
     /// Resamples the series at a fixed period, producing `(time, value)`
     /// points from the first to the last sample inclusive.
     ///
@@ -191,6 +206,17 @@ mod tests {
         let samples: Vec<_> = ts.iter().collect();
         assert_eq!(samples[1].0, SimTime::from_secs(10));
         assert_eq!(ts.last_value(), Some(2.0));
+    }
+
+    #[test]
+    fn sliced_until_keeps_the_prefix() {
+        let ts = series();
+        let cut = ts.sliced_until(SimTime::from_secs(10));
+        assert_eq!(cut.name(), "test");
+        assert_eq!(cut.len(), 2);
+        assert_eq!(cut.last_value(), Some(10.0));
+        assert!(ts.sliced_until(SimTime::ZERO).len() == 1);
+        assert!(ts.sliced_until(SimTime::from_secs(99)).len() == 3);
     }
 
     #[test]

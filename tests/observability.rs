@@ -1,10 +1,13 @@
 //! End-to-end observability pipeline tests: decision-traced runs flowing
-//! through the JSONL codec into `trace-diff`, the replay breakdown and the
-//! registry snapshot.
+//! through the JSONL codec into `trace-diff`, the replay breakdown, the
+//! registry snapshot, the sampled time series and the SLO watchdog's
+//! postmortem flight recorder.
 
 use eant::EAntConfig;
-use experiments::common::{Scenario, SchedulerKind};
-use experiments::timeline::registry_snapshot_path;
+use experiments::common::{parallel_runs_with_workers, Scenario, SchedulerKind};
+use experiments::scenario::{library_dir, load_spec, ScenarioSpec};
+use experiments::slo::{run_monitored, MonitoredCell, PostmortemBundle};
+use experiments::timeline::{registry_snapshot_path, telemetry_series_path};
 use hadoop_sim::trace::SharedObserver;
 use hadoop_sim::FaultConfig;
 use metrics::emit::JsonValue;
@@ -133,6 +136,7 @@ fn replay_prints_decision_breakdown_and_registry_snapshot() {
     assert!(text.contains("task_duration_seconds"), "{text}");
 
     std::fs::remove_file(snapshot_path).ok();
+    std::fs::remove_file(telemetry_series_path(&path)).ok();
     std::fs::remove_file(path).ok();
 }
 
@@ -176,4 +180,148 @@ fn registry_snapshot_is_replay_invariant() {
         live_snapshot,
         "replayed registry snapshot diverges from the live one"
     );
+}
+
+fn slo_spec() -> ScenarioSpec {
+    load_spec(&library_dir().join("serve-overload-burst-slo.json"))
+        .expect("committed slo scenario parses")
+}
+
+/// Serializes everything a postmortem bundle writes to disk, so two
+/// bundles can be compared byte for byte without touching the filesystem.
+fn bundle_bytes(pm: &PostmortemBundle) -> String {
+    format!(
+        "{}\n{}\n{}\n{}",
+        pm.breach_json().render(),
+        pm.events_jsonl(),
+        pm.series.render(),
+        pm.decisions
+    )
+}
+
+/// Runs every (scheduler × seed) cell of the slo scenario monitored, on
+/// `workers` threads, and returns the cells in grid order.
+fn run_cells(spec: &ScenarioSpec, workers: usize) -> Vec<MonitoredCell> {
+    let cells: Vec<_> = spec
+        .schedulers
+        .iter()
+        .flat_map(|kind| spec.seeds.iter().map(move |&seed| (kind, seed)))
+        .collect();
+    let tasks: Vec<_> = cells
+        .iter()
+        .map(|&(kind, seed)| move || run_monitored(spec, kind, seed, true))
+        .collect();
+    parallel_runs_with_workers(workers, tasks)
+}
+
+/// The flight recorder is deterministic two ways at once: the same breach
+/// evidence comes out byte-identical on 1 vs 4 worker threads, and across
+/// two consecutive single-threaded regenerations.
+#[test]
+fn postmortem_bundle_is_thread_count_invariant_and_rerun_stable() {
+    let spec = slo_spec();
+    let serial = run_cells(&spec, 1);
+    let parallel = run_cells(&spec, 4);
+    let again = run_cells(&spec, 1);
+    assert_eq!(serial.len(), parallel.len());
+
+    let mut breached = 0usize;
+    for ((a, b), c) in serial.iter().zip(&parallel).zip(&again) {
+        assert_eq!(a.scheduler, b.scheduler);
+        assert_eq!(a.registry.render(), b.registry.render(), "{}", a.scheduler);
+        assert_eq!(a.series.render(), b.series.render(), "{}", a.scheduler);
+        match (&a.postmortem, &b.postmortem, &c.postmortem) {
+            (Some(a), Some(b), Some(c)) => {
+                let bytes = bundle_bytes(a);
+                assert_eq!(
+                    bytes,
+                    bundle_bytes(b),
+                    "bundle differs across thread counts"
+                );
+                assert_eq!(bytes, bundle_bytes(c), "bundle differs across reruns");
+                breached += 1;
+            }
+            (None, None, None) => {}
+            _ => panic!("breach occurrence differs across runs for {}", a.scheduler),
+        }
+    }
+    // The scenario is built so E-Ant (and only E-Ant) trips the watchdog.
+    assert_eq!(breached, 1, "expected exactly the E-Ant cell to breach");
+    let eant = serial
+        .iter()
+        .find(|c| c.scheduler == "E-Ant")
+        .expect("slo scenario includes E-Ant");
+    let pm = eant.postmortem.as_ref().expect("E-Ant breaches");
+    assert_eq!(pm.breach.monitor, "p99_sojourn");
+}
+
+/// Every sampled counter series is a sequence of windowed deltas; summing
+/// the windows must reproduce the counter's end-of-run registry value
+/// *exactly* — integer events, integer counts, no drift. Checked for every
+/// counter of every cell of the slo scenario, watchdog armed and not.
+#[test]
+fn series_counter_deltas_resum_to_registry_snapshot() {
+    let mut spec = slo_spec();
+    for armed in [true, false] {
+        if !armed {
+            spec.slo = None;
+        }
+        for cell in run_cells(&spec, 2) {
+            let counters = cell
+                .registry
+                .get("counters")
+                .and_then(|v| match v {
+                    JsonValue::Array(items) => Some(items.clone()),
+                    _ => None,
+                })
+                .expect("registry snapshot has a counters array");
+            assert!(!counters.is_empty(), "registry folded no counters");
+            let mut checked = 0usize;
+            for counter in &counters {
+                let key = series_key(counter);
+                let total = counter
+                    .get("value")
+                    .and_then(JsonValue::as_u64)
+                    .expect("counter value is a u64");
+                let series = cell
+                    .series
+                    .get(&key)
+                    .unwrap_or_else(|| panic!("no sampled series for counter {key}"));
+                let resummed: f64 = series.iter().map(|(_, v)| v).sum();
+                assert!(
+                    (resummed - total as f64).abs() == 0.0,
+                    "{}/{key}: series re-sums to {resummed}, registry says {total}",
+                    cell.scheduler
+                );
+                checked += 1;
+            }
+            assert!(
+                checked >= 5,
+                "{}: only {checked} counters checked",
+                cell.scheduler
+            );
+        }
+    }
+}
+
+/// Rebuilds a counter's sampled-series key (`name{k=v,...}`) from its
+/// registry-snapshot JSON entry.
+fn series_key(counter: &JsonValue) -> String {
+    let name = counter
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .expect("counter has a name");
+    let mut key = name.to_owned();
+    if let Some(JsonValue::Object(pairs)) = counter.get("labels") {
+        if !pairs.is_empty() {
+            let rendered: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.as_str().expect("string label")))
+                .collect();
+            key.push('{');
+            key.push_str(&rendered.join(","));
+            key.push('}');
+        }
+    }
+    key
 }

@@ -873,8 +873,8 @@ fn scenario_spec_round_trips_byte_identically() {
     use experiments::scenario::{
         FleetGroup, FleetSpec, ScenarioSpec, ServeSpec, ServeTolerance, Tolerance, WorkloadSpec,
     };
-    use hadoop_sim::{DvfsConfig, FaultConfig};
-    use simcore::SimDuration;
+    use hadoop_sim::{DvfsConfig, FaultConfig, SloConfig};
+    use simcore::{SimDuration, SimTime};
     use workload::arrival::{DiurnalPeak, DiurnalProfile, OpenArrival};
     use workload::mix::{BenchmarkChoice, StreamArrival, StreamSpec};
     use workload::msd::MsdConfig;
@@ -1048,6 +1048,33 @@ fn scenario_spec_round_trips_byte_identically() {
         }
     }
 
+    fn gen_slo(rng: &mut SimRng) -> SloConfig {
+        // At least one threshold must be set (the validator's invariant),
+        // so p99 is always present and the rest are coin flips.
+        SloConfig {
+            window: SimDuration::from_secs(rng.uniform_u64(60, 1800)),
+            ring_capacity: rng.uniform_u64(1, 4096) as usize,
+            arm_after: SimTime::from_secs(rng.uniform_u64(0, 3600)),
+            min_completions: rng.uniform_u64(0, 100) as usize,
+            p95_sojourn: if rng.chance(0.5) {
+                Some(SimDuration::from_secs(rng.uniform_u64(60, 7200)))
+            } else {
+                None
+            },
+            p99_sojourn: Some(SimDuration::from_secs(rng.uniform_u64(60, 7200))),
+            max_queue_depth: if rng.chance(0.5) {
+                Some(rng.uniform_u64(1, 100_000))
+            } else {
+                None
+            },
+            max_backlog_growth_per_min: if rng.chance(0.5) {
+                Some(rng.uniform_range(0.1, 50.0))
+            } else {
+                None
+            },
+        }
+    }
+
     fn gen_fleet(rng: &mut SimRng) -> FleetSpec {
         if rng.chance(0.4) {
             FleetSpec::Paper
@@ -1160,6 +1187,11 @@ fn scenario_spec_round_trips_byte_identically() {
                 None
             },
             serve: if open { Some(gen_serve(rng)) } else { None },
+            slo: if rng.chance(0.3) {
+                Some(gen_slo(rng))
+            } else {
+                None
+            },
             fleet: gen_fleet(rng),
             engine: gen_engine(rng),
             tolerance: Tolerance {

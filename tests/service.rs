@@ -92,6 +92,7 @@ fn serve_scenario(label: &str, arrival: OpenArrival) -> ScenarioSpec {
             fast_measure: None,
             tolerance: ServeTolerance::default(),
         }),
+        slo: None,
         fleet: FleetSpec::Paper,
         engine: EngineConfig::default(),
         tolerance: Tolerance::default(),
@@ -296,6 +297,7 @@ fn drain_runs_carry_no_service_stats() {
         }),
         fast_workload: None,
         serve: None,
+        slo: None,
         fleet: FleetSpec::Paper,
         engine: EngineConfig::default(),
         tolerance: Tolerance::default(),
